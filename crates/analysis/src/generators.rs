@@ -1,0 +1,298 @@
+//! Synthetic fact generators.
+//!
+//! The paper's macrobenchmarks run on facts extracted from real code bases
+//! (Apache httpd through Graspan, a small Scala library through TASTy
+//! Query).  Those extraction pipelines and inputs are not redistributable,
+//! so this module generates seeded synthetic fact sets with the same
+//! relational schema and a comparable shape: program graphs are sparse,
+//! skewed (a few variables participate in many assignments), and contain
+//! both local chains and long-range edges.  All generators are
+//! deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated set of binary facts for one relation.
+pub type EdgeList = Vec<(u32, u32)>;
+
+/// Uniform random digraph: `edges` arcs over `nodes` vertices, without
+/// self-loops, duplicates allowed (the engine's set semantics deduplicate).
+pub fn random_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(edges);
+    while out.len() < edges {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// Skewed digraph produced by preferential attachment: early nodes
+/// accumulate many incident edges, mimicking the hub structure of
+/// assignment graphs extracted from real programs.
+pub fn skewed_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: EdgeList = Vec::with_capacity(edges);
+    // Endpoint pool: every generated edge feeds its endpoints back into the
+    // pool so frequently-used nodes are chosen again more often.
+    let mut pool: Vec<u32> = (0..nodes.min(16)).collect();
+    while out.len() < edges {
+        let a = if rng.gen_bool(0.7) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            rng.gen_range(0..nodes)
+        };
+        let b = rng.gen_range(0..nodes);
+        if a == b {
+            continue;
+        }
+        out.push((a, b));
+        if pool.len() < 4096 {
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    out
+}
+
+/// A layered chain-with-shortcuts graph: mostly local edges `i → i+1..i+4`
+/// plus a few long-range shortcuts.  Produces deep transitive closures with
+/// bounded fan-out — the shape that makes semi-naive iteration counts large,
+/// which is what the CSDA workload stresses.
+pub fn chain_with_shortcuts(nodes: u32, shortcut_every: u32, seed: u64) -> EdgeList {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..nodes - 1 {
+        out.push((i, i + 1));
+        if shortcut_every > 0 && i % shortcut_every == 0 {
+            let span = rng.gen_range(2..=8).min(nodes - 1 - i);
+            if span >= 2 {
+                out.push((i, i + span));
+            }
+        }
+    }
+    out
+}
+
+/// Facts for the CSPA (context-sensitive pointer analysis) schema of
+/// Fig. 1: `Assign(dst, src)` and `Derefr(ptr, var)` over a shared variable
+/// universe.  `scale` is the approximate number of variables; the edge
+/// counts follow the ratio observed in the paper's httpd extract (many more
+/// assignments than dereferences).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CspaFacts {
+    /// `Assign(dst, src)` facts.
+    pub assign: EdgeList,
+    /// `Derefr(ptr, var)` facts.
+    pub derefr: EdgeList,
+}
+
+/// Generates CSPA facts at the given scale.
+pub fn cspa_facts(scale: u32, seed: u64) -> CspaFacts {
+    let vars = scale.max(8);
+    let assign_count = (vars as usize) * 3 / 2;
+    let deref_count = (vars as usize) / 2;
+    CspaFacts {
+        assign: skewed_digraph(vars, assign_count, seed),
+        derefr: random_digraph(vars, deref_count, seed.wrapping_add(1)),
+    }
+}
+
+/// Facts for the CSDA (context-sensitive dataflow) schema: a single
+/// `Nullflow(src, dst)` edge relation whose transitive closure is deep.
+pub fn csda_facts(scale: u32, seed: u64) -> EdgeList {
+    chain_with_shortcuts(scale.max(4), 7, seed)
+}
+
+/// Facts describing a small program in the style of the paper's "SListLib"
+/// input: allocation sites, pointer assignments, loads, stores, calls and a
+/// pair of inverse serialization functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramFacts {
+    /// `AddressOf(var, heap)` — variable takes the address of an allocation.
+    pub address_of: EdgeList,
+    /// `Assign(dst, src)` — simple assignment.
+    pub assign: EdgeList,
+    /// `Load(dst, src)` — `dst = *src`.
+    pub load: EdgeList,
+    /// `Store(dst, src)` — `*dst = src`.
+    pub store: EdgeList,
+    /// `CallSite(site, func)` — call site invokes function.
+    pub call_site: EdgeList,
+    /// `CallArg(site, var)` — argument passed at a call site.
+    pub call_arg: EdgeList,
+    /// `CallRet(site, var)` — variable receiving the call's result.
+    pub call_ret: EdgeList,
+    /// `InvFuns(f, g)` — `f` undoes `g` (function ids).
+    pub inv_funs: EdgeList,
+    /// Number of distinct function ids used by the call facts.
+    pub functions: u32,
+}
+
+/// Generates SListLib-style program facts.  `scale` roughly corresponds to
+/// the number of program variables.
+pub fn slistlib_facts(scale: u32, seed: u64) -> ProgramFacts {
+    let vars = scale.max(16);
+    let heaps = (vars / 4).max(2);
+    let functions = (vars / 8).clamp(2, 64);
+    let sites = vars / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut address_of = Vec::new();
+    for v in 0..vars / 3 {
+        address_of.push((v, vars + rng.gen_range(0..heaps)));
+    }
+    let assign = skewed_digraph(vars, vars as usize, seed.wrapping_add(2));
+    let load = random_digraph(vars, (vars / 3) as usize, seed.wrapping_add(3));
+    let store = random_digraph(vars, (vars / 4) as usize, seed.wrapping_add(4));
+
+    let mut call_site = Vec::new();
+    let mut call_arg = Vec::new();
+    let mut call_ret = Vec::new();
+    let func_base = vars + heaps;
+    for site in 0..sites {
+        let site_id = func_base + functions + site;
+        let func = func_base + rng.gen_range(0..functions);
+        call_site.push((site_id, func));
+        call_arg.push((site_id, rng.gen_range(0..vars)));
+        call_ret.push((site_id, rng.gen_range(0..vars)));
+    }
+    // The first two functions are declared mutual inverses
+    // (serialize / deserialize), matching the paper's InvFuns fact.
+    let inv_funs = vec![(func_base + 1, func_base), (func_base, func_base + 1)];
+
+    ProgramFacts {
+        address_of,
+        assign,
+        load,
+        store,
+        call_site,
+        call_arg,
+        call_ret,
+        inv_funs,
+        functions,
+    }
+}
+
+/// Arithmetic helper facts used by the micro workloads: `Succ(i, i+1)` and
+/// `Num(i)` over `0..=bound`.
+pub fn arithmetic_facts(bound: u32) -> (EdgeList, Vec<u32>) {
+    let succ = (0..bound).map(|i| (i, i + 1)).collect();
+    let nums = (0..=bound).collect();
+    (succ, nums)
+}
+
+/// `Mult(a, b, a*b)` facts for all `2 <= a <= b` with `a*b <= bound`
+/// (the composite-number table used by the Primes workload).
+pub fn multiplication_facts(bound: u32) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    let mut a = 2;
+    while a * a <= bound {
+        let mut b = a;
+        while a * b <= bound {
+            out.push((a, b, a * b));
+            b += 1;
+        }
+        a += 1;
+    }
+    out
+}
+
+/// The exact `(fib(n-2), fib(n-1), fib(n))` addition triples needed to
+/// compute Fibonacci numbers up to index `n` bottom-up.
+pub fn fibonacci_addition_facts(n: u32) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    let (mut a, mut b) = (0u32, 1u32);
+    for _ in 2..=n {
+        let c = a + b;
+        out.push((a, b, c));
+        a = b;
+        b = c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_digraph(100, 500, 7), random_digraph(100, 500, 7));
+        assert_eq!(skewed_digraph(100, 500, 7), skewed_digraph(100, 500, 7));
+        assert_eq!(cspa_facts(64, 1), cspa_facts(64, 1));
+        assert_eq!(slistlib_facts(64, 1), slistlib_facts(64, 1));
+        assert_ne!(random_digraph(100, 500, 7), random_digraph(100, 500, 8));
+    }
+
+    #[test]
+    fn random_digraph_has_no_self_loops() {
+        for (a, b) in random_digraph(50, 300, 3) {
+            assert_ne!(a, b);
+            assert!(a < 50 && b < 50);
+        }
+    }
+
+    #[test]
+    fn skewed_digraph_is_actually_skewed() {
+        let edges = skewed_digraph(1000, 5000, 11);
+        let mut out_degree = vec![0usize; 1000];
+        for (a, _) in &edges {
+            out_degree[*a as usize] += 1;
+        }
+        let max = *out_degree.iter().max().unwrap();
+        let mean = edges.len() / 1000;
+        assert!(max > mean * 5, "max degree {max} should exceed 5x the mean {mean}");
+    }
+
+    #[test]
+    fn chain_reaches_every_node() {
+        let edges = chain_with_shortcuts(100, 5, 3);
+        // The base chain i -> i+1 is always present.
+        for i in 0..99u32 {
+            assert!(edges.contains(&(i, i + 1)));
+        }
+    }
+
+    #[test]
+    fn cspa_ratio_has_more_assignments_than_dereferences() {
+        let facts = cspa_facts(256, 5);
+        assert!(facts.assign.len() > facts.derefr.len());
+    }
+
+    #[test]
+    fn slistlib_facts_have_inverse_pair_and_calls() {
+        let facts = slistlib_facts(64, 9);
+        assert_eq!(facts.inv_funs.len(), 2);
+        assert!(!facts.call_site.is_empty());
+        assert_eq!(facts.call_site.len(), facts.call_arg.len());
+        assert_eq!(facts.call_site.len(), facts.call_ret.len());
+    }
+
+    #[test]
+    fn arithmetic_and_multiplication_tables() {
+        let (succ, nums) = arithmetic_facts(10);
+        assert_eq!(succ.len(), 10);
+        assert_eq!(nums.len(), 11);
+        let mult = multiplication_facts(20);
+        assert!(mult.contains(&(2, 10, 20)));
+        assert!(mult.contains(&(4, 5, 20)));
+        assert!(!mult.iter().any(|&(a, b, c)| a * b != c || c > 20));
+    }
+
+    #[test]
+    fn fibonacci_triples_are_correct() {
+        let triples = fibonacci_addition_facts(10);
+        assert_eq!(triples.first(), Some(&(0, 1, 1)));
+        assert_eq!(triples.last(), Some(&(21, 34, 55)));
+        for (a, b, c) in triples {
+            assert_eq!(a + b, c);
+        }
+    }
+}

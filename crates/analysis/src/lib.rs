@@ -1,0 +1,41 @@
+//! # carac-analysis
+//!
+//! Benchmark workloads and synthetic fact generators for Carac-rs,
+//! mirroring the paper's evaluation suite (§VI-A):
+//!
+//! * **Macrobenchmarks** — program analyses: CSPA and CSDA (Graspan),
+//!   Andersen's points-to (Doop) and the custom inverse-functions
+//!   "wasted work" analysis, each over seeded synthetic program facts with
+//!   the same schema and shape as the paper's inputs (which come from
+//!   proprietary extraction pipelines; see DESIGN.md for the substitution).
+//! * **Microbenchmarks** — Ackermann, Fibonacci and Primes encoded as
+//!   bounded Datalog programs.
+//!
+//! Every workload is available in a *hand-optimized* and an *unoptimized*
+//! formulation — the two atom orders the paper compares against the
+//! adaptive JIT.
+
+pub mod generators;
+pub mod micro;
+pub mod program_analysis;
+pub mod workload;
+
+pub use micro::{ackermann, fibonacci, primes};
+pub use program_analysis::{andersen, cspa, csda, inverse_functions};
+pub use workload::{Formulation, Workload};
+
+/// The paper's macrobenchmark suite at a given scale (CSPA, CSDA, Andersen,
+/// InvFuns).
+pub fn macro_suite(scale: u32, seed: u64) -> Vec<Workload> {
+    vec![
+        andersen(scale, seed),
+        inverse_functions(scale, seed),
+        cspa(scale, seed),
+        csda(scale * 4, seed),
+    ]
+}
+
+/// The paper's microbenchmark suite (Ackermann, Fibonacci, Primes).
+pub fn micro_suite(bound: u32) -> Vec<Workload> {
+    vec![ackermann(bound), fibonacci(bound.min(40)), primes(bound * 10)]
+}

@@ -1,0 +1,379 @@
+//! Program-analysis macrobenchmarks (paper §VI-A).
+//!
+//! Four workloads, mirroring the paper's selection:
+//!
+//! * [`cspa`] — Graspan's context-sensitive pointer analysis (Fig. 1),
+//! * [`csda`] — Graspan's context-sensitive dataflow analysis (2-way joins
+//!   only),
+//! * [`andersen`] — Andersen's context- and flow-insensitive points-to
+//!   analysis as distributed with Doop,
+//! * [`inverse_functions`] — the custom "wasted work" analysis that flags
+//!   adjacent calls to functions declared inverse of each other; its main
+//!   rule joins eight atoms, which is what makes it the most join-order
+//!   sensitive workload of the set.
+//!
+//! Each builder returns both the hand-optimized and the deliberately
+//! unoptimized formulation over the same synthetic fact set.
+
+use carac_datalog::{builder::TermSpec, Program, ProgramBuilder};
+
+use crate::generators::{cspa_facts, csda_facts, slistlib_facts, EdgeList};
+use crate::workload::Workload;
+
+fn add_edges(builder: &mut ProgramBuilder, relation: &str, edges: &EdgeList) {
+    for &(a, b) in edges {
+        builder.fact_ints(relation, &[a, b]);
+    }
+}
+
+/// Context-sensitive pointer analysis (CSPA) from Fig. 1 of the paper.
+///
+/// `scale` controls the size of the synthetic variable universe; the paper's
+/// CSPA_20k sample corresponds to roughly `scale = 8_000` (20 000 input
+/// facts).  Tests use much smaller scales.
+pub fn cspa(scale: u32, seed: u64) -> Workload {
+    let facts = cspa_facts(scale, seed);
+    let build = |hand_optimized: bool| -> Program {
+        let mut b = ProgramBuilder::new();
+        for rel in ["Assign", "Derefr", "VaFlow", "VAlias", "MAlias"] {
+            b.relation(rel, 2);
+        }
+        // Copy rules (order-insensitive, single atom).
+        b.rule("VaFlow", &["v2", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+
+        if hand_optimized {
+            // VaFlow(v1, v2) :- Assign(v1, v3), MAlias(v3, v2).
+            b.rule("VaFlow", &["v1", "v2"])
+                .when("Assign", &["v1", "v3"])
+                .when("MAlias", &["v3", "v2"])
+                .end();
+            // VaFlow(v1, v2) :- VaFlow(v1, v3), VaFlow(v3, v2).
+            b.rule("VaFlow", &["v1", "v2"])
+                .when("VaFlow", &["v1", "v3"])
+                .when("VaFlow", &["v3", "v2"])
+                .end();
+            // MAlias(v1, v0) :- Derefr(v2, v1), VAlias(v2, v3), Derefr(v3, v0).
+            b.rule("MAlias", &["v1", "v0"])
+                .when("Derefr", &["v2", "v1"])
+                .when("VAlias", &["v2", "v3"])
+                .when("Derefr", &["v3", "v0"])
+                .end();
+            // VAlias(v1, v2) :- VaFlow(v3, v1), VaFlow(v3, v2).
+            b.rule("VAlias", &["v1", "v2"])
+                .when("VaFlow", &["v3", "v1"])
+                .when("VaFlow", &["v3", "v2"])
+                .end();
+            // VAlias(v1, v2) :- MAlias(v3, v0), VaFlow(v3, v1), VaFlow(v0, v2).
+            b.rule("VAlias", &["v1", "v2"])
+                .when("MAlias", &["v3", "v0"])
+                .when("VaFlow", &["v3", "v1"])
+                .when("VaFlow", &["v0", "v2"])
+                .end();
+        } else {
+            // The orders exactly as written in Fig. 1(a): the last VAlias
+            // rule starts with two VaFlow atoms that share no variable — the
+            // cartesian-product blow-up discussed in §IV.
+            b.rule("VaFlow", &["v1", "v2"])
+                .when("MAlias", &["v3", "v2"])
+                .when("Assign", &["v1", "v3"])
+                .end();
+            b.rule("VaFlow", &["v1", "v2"])
+                .when("VaFlow", &["v3", "v2"])
+                .when("VaFlow", &["v1", "v3"])
+                .end();
+            b.rule("MAlias", &["v1", "v0"])
+                .when("VAlias", &["v2", "v3"])
+                .when("Derefr", &["v3", "v0"])
+                .when("Derefr", &["v2", "v1"])
+                .end();
+            b.rule("VAlias", &["v1", "v2"])
+                .when("VaFlow", &["v3", "v2"])
+                .when("VaFlow", &["v3", "v1"])
+                .end();
+            b.rule("VAlias", &["v1", "v2"])
+                .when("VaFlow", &["v0", "v2"])
+                .when("VaFlow", &["v3", "v1"])
+                .when("MAlias", &["v3", "v0"])
+                .end();
+        }
+
+        add_edges(&mut b, "Assign", &facts.assign);
+        add_edges(&mut b, "Derefr", &facts.derefr);
+        b.build().expect("CSPA program must validate")
+    };
+    Workload {
+        name: "CSPA",
+        description: "Graspan context-sensitive pointer analysis (Fig. 1)",
+        optimized: build(true),
+        unoptimized: build(false),
+        output_relation: "VAlias",
+    }
+}
+
+/// Context-sensitive dataflow analysis (CSDA): transitive closure over
+/// null-flow edges; every rule is a 2-way join.
+pub fn csda(scale: u32, seed: u64) -> Workload {
+    let edges = csda_facts(scale, seed);
+    let build = |hand_optimized: bool| -> Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Nullflow", 2);
+        b.relation("Dataflow", 2);
+        b.rule("Dataflow", &["x", "y"]).when("Nullflow", &["x", "y"]).end();
+        if hand_optimized {
+            b.rule("Dataflow", &["x", "y"])
+                .when("Nullflow", &["x", "z"])
+                .when("Dataflow", &["z", "y"])
+                .end();
+        } else {
+            b.rule("Dataflow", &["x", "y"])
+                .when("Dataflow", &["z", "y"])
+                .when("Nullflow", &["x", "z"])
+                .end();
+        }
+        add_edges(&mut b, "Nullflow", &edges);
+        b.build().expect("CSDA program must validate")
+    };
+    Workload {
+        name: "CSDA",
+        description: "Graspan context-sensitive dataflow analysis (2-way joins only)",
+        optimized: build(true),
+        unoptimized: build(false),
+        output_relation: "Dataflow",
+    }
+}
+
+/// Andersen's points-to analysis (context- and flow-insensitive), adapted
+/// from Doop's formulation, over synthetic SListLib-style program facts.
+pub fn andersen(scale: u32, seed: u64) -> Workload {
+    let facts = slistlib_facts(scale, seed);
+    let build = |hand_optimized: bool| -> Program {
+        let mut b = ProgramBuilder::new();
+        for rel in ["AddressOf", "Assign", "Load", "Store", "PointsTo"] {
+            b.relation(rel, 2);
+        }
+        b.rule("PointsTo", &["p", "v"]).when("AddressOf", &["p", "v"]).end();
+        if hand_optimized {
+            b.rule("PointsTo", &["p", "v"])
+                .when("Assign", &["p", "q"])
+                .when("PointsTo", &["q", "v"])
+                .end();
+            b.rule("PointsTo", &["p", "v"])
+                .when("Load", &["p", "q"])
+                .when("PointsTo", &["q", "r"])
+                .when("PointsTo", &["r", "v"])
+                .end();
+            b.rule("PointsTo", &["r", "v"])
+                .when("Store", &["p", "q"])
+                .when("PointsTo", &["p", "r"])
+                .when("PointsTo", &["q", "v"])
+                .end();
+        } else {
+            b.rule("PointsTo", &["p", "v"])
+                .when("PointsTo", &["q", "v"])
+                .when("Assign", &["p", "q"])
+                .end();
+            // Worst case: the two big PointsTo atoms first, sharing no
+            // variable, with the selective Load/Store atom last.
+            b.rule("PointsTo", &["p", "v"])
+                .when("PointsTo", &["r", "v"])
+                .when("Load", &["p", "q"])
+                .when("PointsTo", &["q", "r"])
+                .end();
+            b.rule("PointsTo", &["r", "v"])
+                .when("PointsTo", &["q", "v"])
+                .when("Store", &["p", "q"])
+                .when("PointsTo", &["p", "r"])
+                .end();
+        }
+        add_edges(&mut b, "AddressOf", &facts.address_of);
+        add_edges(&mut b, "Assign", &facts.assign);
+        add_edges(&mut b, "Load", &facts.load);
+        add_edges(&mut b, "Store", &facts.store);
+        b.build().expect("Andersen program must validate")
+    };
+    Workload {
+        name: "Andersen",
+        description: "Andersen's points-to analysis on SListLib-style facts",
+        optimized: build(true),
+        unoptimized: build(false),
+        output_relation: "PointsTo",
+    }
+}
+
+/// The inverse-functions ("wasted work") analysis: flags values that are
+/// serialized and then immediately deserialized (or any other pair of calls
+/// to functions declared inverse of each other) along a dataflow path.  Its
+/// main rule joins eight atoms.
+pub fn inverse_functions(scale: u32, seed: u64) -> Workload {
+    let facts = slistlib_facts(scale, seed);
+    let build = |hand_optimized: bool| -> Program {
+        let mut b = ProgramBuilder::new();
+        for rel in [
+            "AddressOf", "Assign", "Load", "Store", "CallSite", "CallArg", "CallRet", "InvFuns",
+            "PointsTo", "Flow", "RedundantPair", "Wasted",
+        ] {
+            b.relation(rel, 2);
+        }
+
+        // Value flow: assignment edges plus transitive closure.
+        b.rule("Flow", &["x", "y"]).when("Assign", &["y", "x"]).end();
+        if hand_optimized {
+            b.rule("Flow", &["x", "y"])
+                .when("Flow", &["x", "z"])
+                .when("Flow", &["z", "y"])
+                .end();
+        } else {
+            b.rule("Flow", &["x", "y"])
+                .when("Flow", &["z", "y"])
+                .when("Flow", &["x", "z"])
+                .end();
+        }
+
+        // A light points-to component (the analysis "extends a points-to
+        // query", §VI-A).
+        b.rule("PointsTo", &["p", "v"]).when("AddressOf", &["p", "v"]).end();
+        if hand_optimized {
+            b.rule("PointsTo", &["p", "v"])
+                .when("Assign", &["p", "q"])
+                .when("PointsTo", &["q", "v"])
+                .end();
+        } else {
+            b.rule("PointsTo", &["p", "v"])
+                .when("PointsTo", &["q", "v"])
+                .when("Assign", &["p", "q"])
+                .end();
+        }
+
+        // The 8-atom redundant-pair rule: call site c1 invokes f producing y,
+        // y flows to y2, y2 is passed to call site c2 which invokes g, and g
+        // is declared the inverse of f.
+        if hand_optimized {
+            b.rule("RedundantPair", &["c1", "c2"])
+                .when("InvFuns", &["g", "f"])
+                .when("CallSite", &["c1", "f"])
+                .when("CallRet", &["c1", "y"])
+                .when("CallArg", &["c1", "x"])
+                .when("Flow", &["y", "y2"])
+                .when("CallArg", &["c2", "y2"])
+                .when("CallSite", &["c2", "g"])
+                .when("CallRet", &["c2", "z"])
+                .end();
+        } else {
+            b.rule("RedundantPair", &["c1", "c2"])
+                .when("Flow", &["y", "y2"])
+                .when("CallRet", &["c2", "z"])
+                .when("CallArg", &["c1", "x"])
+                .when("CallSite", &["c1", "f"])
+                .when("CallRet", &["c1", "y"])
+                .when("CallArg", &["c2", "y2"])
+                .when("CallSite", &["c2", "g"])
+                .when("InvFuns", &["g", "f"])
+                .end();
+        }
+        b.rule("Wasted", &["c2", "z"])
+            .when("RedundantPair", &["c1", "c2"])
+            .when("CallRet", &["c2", "z"])
+            .end();
+
+        add_edges(&mut b, "AddressOf", &facts.address_of);
+        add_edges(&mut b, "Assign", &facts.assign);
+        add_edges(&mut b, "Load", &facts.load);
+        add_edges(&mut b, "Store", &facts.store);
+        add_edges(&mut b, "CallSite", &facts.call_site);
+        add_edges(&mut b, "CallArg", &facts.call_arg);
+        add_edges(&mut b, "CallRet", &facts.call_ret);
+        add_edges(&mut b, "InvFuns", &facts.inv_funs);
+        b.build().expect("InvFuns program must validate")
+    };
+    Workload {
+        name: "InvFuns",
+        description: "Inverse-functions wasted-work analysis (8-atom rule)",
+        optimized: build(true),
+        unoptimized: build(false),
+        output_relation: "RedundantPair",
+    }
+}
+
+/// Helper used by parameterized builders that need string terms (kept for
+/// future workloads that attach function names as symbols).
+#[allow(dead_code)]
+fn string_terms(values: &[&str]) -> Vec<TermSpec> {
+    values.iter().map(|v| TermSpec::Str(v.to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Formulation;
+    use carac::EngineConfig;
+
+    fn agree(workload: &Workload) -> usize {
+        let (a, _) = workload
+            .measure(Formulation::HandOptimized, EngineConfig::interpreted())
+            .unwrap();
+        let (b, _) = workload
+            .measure(Formulation::Unoptimized, EngineConfig::interpreted())
+            .unwrap();
+        assert_eq!(a, b, "{}: formulations disagree", workload.name);
+        a
+    }
+
+    #[test]
+    fn cspa_formulations_agree_and_derive_aliases() {
+        let count = agree(&cspa(24, 7));
+        assert!(count > 0, "CSPA should derive at least one alias pair");
+    }
+
+    #[test]
+    fn csda_formulations_agree() {
+        let count = agree(&csda(60, 7));
+        assert!(count > 60, "the closure must be larger than the base chain");
+    }
+
+    #[test]
+    fn andersen_formulations_agree() {
+        let count = agree(&andersen(32, 7));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn inverse_functions_formulations_agree() {
+        let w = inverse_functions(48, 7);
+        let count = agree(&w);
+        // The synthetic program declares one serialize/deserialize pair and
+        // enough call sites that at least one redundant pair exists.
+        assert!(count > 0, "expected at least one redundant call pair");
+    }
+
+    #[test]
+    fn jit_and_interpreter_agree_on_cspa() {
+        let w = cspa(20, 3);
+        let (interp, _) = w
+            .measure(Formulation::Unoptimized, EngineConfig::interpreted())
+            .unwrap();
+        let (jit, _) = w
+            .measure(
+                Formulation::Unoptimized,
+                EngineConfig::jit(carac::knobs::BackendKind::Lambda, false),
+            )
+            .unwrap();
+        assert_eq!(interp, jit);
+    }
+
+    #[test]
+    fn workload_scales_monotonically() {
+        let small = csda(30, 1);
+        let large = csda(120, 1);
+        let (a, _) = small
+            .measure(Formulation::HandOptimized, EngineConfig::interpreted())
+            .unwrap();
+        let (b, _) = large
+            .measure(Formulation::HandOptimized, EngineConfig::interpreted())
+            .unwrap();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,102 @@
+//! The common shape of a benchmark workload.
+
+use carac::{Carac, EngineConfig, QueryResult, CaracError};
+use carac_datalog::Program;
+
+/// Which formulation of the workload's rules to use (paper §VI-B: "Because
+/// there is no 'typical' way to order Datalog atoms, we consider two
+/// formulations of our input Carac queries approximating the best and worst
+/// cases").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Formulation {
+    /// Atom orders chosen by carefully stepping through execution — the
+    /// "hand-optimized" programs.
+    HandOptimized,
+    /// Deliberately unlucky atom orders — the "unoptimized" programs.
+    Unoptimized,
+}
+
+impl Formulation {
+    /// Both formulations, for sweeps.
+    pub const BOTH: [Formulation; 2] = [Formulation::HandOptimized, Formulation::Unoptimized];
+}
+
+/// A benchmark workload: a Datalog program (in both formulations), its input
+/// facts, and the relation whose size validates the run.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in benchmark output ("CSPA", "InvFuns", ...).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Hand-optimized formulation (facts included).
+    pub optimized: Program,
+    /// Unoptimized formulation (facts included).
+    pub unoptimized: Program,
+    /// Relation whose derived cardinality identifies a correct run.
+    pub output_relation: &'static str,
+}
+
+impl Workload {
+    /// The program for the requested formulation.
+    pub fn program(&self, formulation: Formulation) -> &Program {
+        match formulation {
+            Formulation::HandOptimized => &self.optimized,
+            Formulation::Unoptimized => &self.unoptimized,
+        }
+    }
+
+    /// Builds an engine for the requested formulation and configuration.
+    pub fn engine(&self, formulation: Formulation, config: EngineConfig) -> Carac {
+        Carac::new(self.program(formulation).clone()).with_config(config)
+    }
+
+    /// Runs the workload and returns the result.
+    pub fn run(
+        &self,
+        formulation: Formulation,
+        config: EngineConfig,
+    ) -> Result<QueryResult, CaracError> {
+        self.engine(formulation, config).run()
+    }
+
+    /// Runs the workload and returns `(output cardinality, wall time)` — the
+    /// two numbers every experiment needs.
+    pub fn measure(
+        &self,
+        formulation: Formulation,
+        config: EngineConfig,
+    ) -> Result<(usize, std::time::Duration), CaracError> {
+        let result = self.run(formulation, config)?;
+        let count = result.count(self.output_relation)?;
+        Ok((count, result.stats().total_time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program_analysis::csda;
+
+    #[test]
+    fn both_formulations_produce_the_same_answer() {
+        let w = csda(60, 1);
+        let (a, _) = w
+            .measure(Formulation::HandOptimized, EngineConfig::interpreted())
+            .unwrap();
+        let (b, _) = w
+            .measure(Formulation::Unoptimized, EngineConfig::interpreted())
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn program_accessor_matches_formulation() {
+        let w = csda(30, 1);
+        assert_eq!(
+            w.program(Formulation::HandOptimized).rules().len(),
+            w.program(Formulation::Unoptimized).rules().len()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # carac-baselines
+//!
+//! Stand-ins for the external systems of the paper's state-of-the-art
+//! comparison (§VI-D, Table II):
+//!
+//! * [`SouffleLike`] — an ahead-of-time engine with interpreter, compiler
+//!   (modeled toolchain cost) and profile-driven auto-tuned modes,
+//! * [`DlxLike`] — a static commercial-engine stand-in using naive
+//!   evaluation with fixed join orders.
+//!
+//! Both are built from the same substrates as Carac-rs itself so the
+//! comparison isolates the *optimization strategy* (static / profiled /
+//! adaptive) rather than incidental engineering differences.  See DESIGN.md
+//! for the substitution rationale and its limits.
+
+pub mod dlx_like;
+pub mod souffle_like;
+
+pub use dlx_like::{DlxConfig, DlxLike, DlxRun};
+pub use souffle_like::{BaselineRun, SouffleConfig, SouffleLike, SouffleMode};

@@ -1,0 +1,81 @@
+//! Ablation benchmarks for the design knobs DESIGN.md calls out:
+//!
+//! * compilation granularity (Program vs. UnionAllRules vs. Spj),
+//! * the freshness threshold gating recompilation,
+//! * the constant selectivity factor of the cost model.
+//!
+//! These are not figures from the paper; they quantify the sensitivity of
+//! the adaptive JIT to its own tuning parameters on a mid-size workload.
+
+use std::time::Duration;
+
+use carac::exec::JitConfig;
+use carac::knobs::{BackendKind, OpKind, OptimizerConfig};
+use carac::EngineConfig;
+use carac_analysis::{andersen, Formulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_granularity(c: &mut Criterion) {
+    let workload = andersen(36, 11);
+    let mut group = c.benchmark_group("ablation_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, granularity) in [
+        ("program", OpKind::Program),
+        ("union_all_rules", OpKind::UnionAllRules),
+        ("union_rule", OpKind::UnionRule),
+        ("spj", OpKind::Spj),
+    ] {
+        let config = EngineConfig::jit_with(JitConfig {
+            backend: BackendKind::Lambda,
+            granularity,
+            ..JitConfig::default()
+        });
+        group.bench_function(label, |b| {
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_freshness(c: &mut Criterion) {
+    let workload = andersen(36, 11);
+    let mut group = c.benchmark_group("ablation_freshness_threshold");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for threshold in [0.0, 0.2, 1.0, 1.0e9] {
+        let config = EngineConfig::jit_with(JitConfig {
+            backend: BackendKind::Lambda,
+            optimizer: OptimizerConfig {
+                freshness_threshold: threshold,
+                ..OptimizerConfig::default()
+            },
+            ..JitConfig::default()
+        });
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_selectivity(c: &mut Criterion) {
+    let workload = andersen(36, 11);
+    let mut group = c.benchmark_group("ablation_selectivity_factor");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for selectivity in [0.01, 0.1, 0.5, 1.0] {
+        let config = EngineConfig::jit_with(JitConfig {
+            backend: BackendKind::IrGen,
+            optimizer: OptimizerConfig {
+                selectivity_factor: selectivity,
+                ..OptimizerConfig::default()
+            },
+            ..JitConfig::default()
+        });
+        group.bench_function(format!("selectivity_{selectivity}"), |b| {
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity, bench_freshness, bench_selectivity);
+criterion_main!(benches);

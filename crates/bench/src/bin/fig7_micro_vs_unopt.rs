@@ -1,0 +1,21 @@
+//! Figure 7 — microbenchmark speedup over the "unoptimized" programs.
+//!
+//! Same layout as Figure 6 but for the short-running Ackermann, Fibonacci
+//! and Primes programs.  The expected shape: speedups are much smaller than
+//! for the macrobenchmarks (there is less time to amortize any optimization
+//! work) and the cheap backends (IRGenerator, Lambda) fare best.
+
+use carac_analysis::Formulation;
+use carac_bench::{figure_micro_workloads, speedup_figure};
+
+fn main() {
+    let workloads = figure_micro_workloads();
+    let table = speedup_figure(
+        "Figure 7: microbenchmark speedup over the unoptimized interpreted program",
+        &workloads,
+        Formulation::Unoptimized,
+        Formulation::Unoptimized,
+        3,
+    );
+    println!("{table}");
+}

@@ -1,0 +1,24 @@
+//! Figure 8 — macrobenchmark speedup (or slowdown) over the hand-optimized
+//! programs.
+//!
+//! Measures how much the JIT helps — or unintentionally hurts — programs
+//! whose atom orders are already good, on the macrobenchmarks plus CSDA.
+//! The paper's shape: values hover around 1x, the IRGenerator backend wins
+//! clearly on CSDA (~6x, repeated build/probe-side swapping with almost no
+//! overhead) and no configuration collapses far below 1x.
+
+use carac_analysis::Formulation;
+use carac_bench::{figure_csda, figure_macro_workloads, speedup_figure};
+
+fn main() {
+    let mut workloads = figure_macro_workloads();
+    workloads.push(figure_csda());
+    let table = speedup_figure(
+        "Figure 8: macrobenchmark speedup over the hand-optimized interpreted program",
+        &workloads,
+        Formulation::HandOptimized,
+        Formulation::HandOptimized,
+        2,
+    );
+    println!("{table}");
+}

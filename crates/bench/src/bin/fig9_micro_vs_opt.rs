@@ -1,0 +1,22 @@
+//! Figure 9 — microbenchmark speedup (or slowdown) over the hand-optimized
+//! programs.
+//!
+//! The stress case for adaptivity: on programs that are both short-running
+//! and already well ordered, any optimization overhead is pure loss.  The
+//! paper reports slowdowns down to ~0.1x for the heaviest backend on
+//! Ackermann; the cheap backends should stay close to 1x.
+
+use carac_analysis::Formulation;
+use carac_bench::{figure_micro_workloads, speedup_figure};
+
+fn main() {
+    let workloads = figure_micro_workloads();
+    let table = speedup_figure(
+        "Figure 9: microbenchmark speedup over the hand-optimized interpreted program",
+        &workloads,
+        Formulation::HandOptimized,
+        Formulation::HandOptimized,
+        3,
+    );
+    println!("{table}");
+}

@@ -1,0 +1,57 @@
+//! Table I — average execution time of interpreted Carac queries.
+//!
+//! Reproduces the paper's Table I: wall-clock execution time of the pure
+//! interpreter on every workload, for the four combinations of
+//! {unindexed, indexed} × {unoptimized, hand-optimized}.  The absolute
+//! numbers differ from the paper (synthetic data, smaller scale, different
+//! hardware); the relationships that must hold are (a) indexed ≤ unindexed
+//! and (b) hand-optimized ≤ unoptimized, with the gaps largest for the
+//! join-order-sensitive macrobenchmarks.
+
+use carac::EngineConfig;
+use carac_analysis::Formulation;
+use carac_bench::{
+    figure_csda, figure_macro_workloads, figure_micro_workloads, fmt_secs, measure, render_table,
+};
+
+fn main() {
+    let mut workloads = figure_micro_workloads();
+    workloads.extend(figure_macro_workloads());
+    workloads.push(figure_csda());
+
+    let headers = vec![
+        "Benchmark".to_string(),
+        "Unindexed Unoptimized".to_string(),
+        "Unindexed Optimized".to_string(),
+        "Indexed Unoptimized".to_string(),
+        "Indexed Optimized".to_string(),
+        "|output|".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        let cells: Vec<(Formulation, EngineConfig)> = vec![
+            (Formulation::Unoptimized, EngineConfig::interpreted_unindexed()),
+            (Formulation::HandOptimized, EngineConfig::interpreted_unindexed()),
+            (Formulation::Unoptimized, EngineConfig::interpreted()),
+            (Formulation::HandOptimized, EngineConfig::interpreted()),
+        ];
+        let mut row = vec![workload.name.to_string()];
+        let mut output = 0;
+        for (formulation, config) in cells {
+            let (count, time) = measure(workload, formulation, config, 2);
+            output = count;
+            row.push(fmt_secs(time));
+        }
+        row.push(output.to_string());
+        rows.push(row);
+        eprintln!("[table1] finished {}", workload.name);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table I: average execution time (s) of interpreted Carac queries",
+            &headers,
+            &rows
+        )
+    );
+}

@@ -1,0 +1,216 @@
+//! Engine configuration.
+//!
+//! The configuration space mirrors the axes of the paper's evaluation
+//! (§VI): execution mode (pure interpretation, adaptive JIT, ahead-of-time
+//! "macro" compilation), backend, blocking vs. asynchronous compilation,
+//! compilation granularity, indexed vs. unindexed storage, and the
+//! semi-naive vs. naive evaluation strategy.
+
+use carac_exec::{BackendKind, CompileMode, JitConfig};
+use carac_ir::EvalStrategy;
+use carac_optimizer::OptimizerConfig;
+
+/// How the engine executes a program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionMode {
+    /// Pure interpretation of the plan with the atom orders exactly as the
+    /// rules were written (the paper's "unoptimized"/"hand-optimized"
+    /// baselines, depending on how the input program is formulated).
+    Interpreted,
+    /// The adaptive JIT: runtime re-optimization plus code generation with
+    /// one of the backends.
+    Jit(JitConfig),
+    /// Ahead-of-time ("macro") optimization: the plan's join orders are
+    /// sorted before execution begins, using whatever facts are available at
+    /// that point; optionally the online IRGenerator optimization is also
+    /// injected.
+    AheadOfTime(AotConfig),
+}
+
+/// Ahead-of-time optimization configuration (paper §VI-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AotConfig {
+    /// Whether the facts known at compile time contribute cardinalities
+    /// ("Macro Facts+rules") or only the rule schema is used
+    /// ("Macro Rules").
+    pub use_fact_cardinalities: bool,
+    /// Whether the generated code also reorders online during execution
+    /// (the "(online)" variants in Fig. 10), implemented with the
+    /// IRGenerator backend.
+    pub online_reorder: bool,
+    /// Optimizer parameters used for the offline sort.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for AotConfig {
+    fn default() -> Self {
+        AotConfig {
+            use_fact_cardinalities: true,
+            online_reorder: true,
+            optimizer: OptimizerConfig::ahead_of_time(),
+        }
+    }
+}
+
+/// Complete engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Whether join-key/filter hash indexes are built (the indexed vs.
+    /// unindexed axis of Figures 6–9).
+    pub use_indexes: bool,
+    /// Evaluation strategy used when generating the plan.
+    pub strategy: EvalStrategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Jit(JitConfig::default()),
+            use_indexes: true,
+            strategy: EvalStrategy::SemiNaive,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Pure interpretation with indexes.
+    pub fn interpreted() -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Interpreted,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Pure interpretation without indexes.
+    pub fn interpreted_unindexed() -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Interpreted,
+            use_indexes: false,
+            strategy: EvalStrategy::SemiNaive,
+        }
+    }
+
+    /// The paper's six JIT configurations: `(backend, async)` with the
+    /// default granularity, full compilation.
+    pub fn jit(backend: BackendKind, async_compile: bool) -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Jit(JitConfig::labelled(backend, async_compile)),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A JIT configuration with full control over the JIT knobs.
+    pub fn jit_with(config: JitConfig) -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Jit(config),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Ahead-of-time ("macro") configuration.
+    pub fn ahead_of_time(use_fact_cardinalities: bool, online_reorder: bool) -> Self {
+        EngineConfig {
+            mode: ExecutionMode::AheadOfTime(AotConfig {
+                use_fact_cardinalities,
+                online_reorder,
+                optimizer: OptimizerConfig::ahead_of_time(),
+            }),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Disables index construction.
+    pub fn without_indexes(mut self) -> Self {
+        self.use_indexes = false;
+        self
+    }
+
+    /// Switches the evaluation strategy (semi-naive by default).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Human-readable label matching the paper's legends ("JIT Lambda
+    /// Blocking", "Interpreted", "Macro Facts+Rules (online)", ...).
+    pub fn label(&self) -> String {
+        match &self.mode {
+            ExecutionMode::Interpreted => "Interpreted".to_string(),
+            ExecutionMode::Jit(jit) => {
+                let backend = match jit.backend {
+                    BackendKind::Quotes => "Quotes",
+                    BackendKind::Bytecode => "Bytecode",
+                    BackendKind::Lambda => "Lambda",
+                    BackendKind::IrGen => "IRGenerator",
+                };
+                let sync = if jit.async_compile { "Async" } else { "Blocking" };
+                let mode = match jit.mode {
+                    CompileMode::Full => "",
+                    CompileMode::Snippet => " Snippet",
+                };
+                if jit.backend == BackendKind::IrGen {
+                    format!("JIT {backend}")
+                } else {
+                    format!("JIT {backend} {sync}{mode}")
+                }
+            }
+            ExecutionMode::AheadOfTime(aot) => {
+                let facts = if aot.use_fact_cardinalities {
+                    "Facts+Rules"
+                } else {
+                    "Rules"
+                };
+                let online = if aot.online_reorder { " (online)" } else { "" };
+                format!("Macro {facts}{online}")
+            }
+        }
+    }
+}
+
+/// Re-exported knobs so downstream crates only need `carac` for common use.
+pub mod knobs {
+    pub use carac_exec::{BackendKind, CompileMode, StagingCostModel};
+    pub use carac_ir::{EvalStrategy, OpKind};
+    pub use carac_optimizer::{OptimizerConfig, ReorderAlgorithm};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_papers_legends() {
+        assert_eq!(EngineConfig::interpreted().label(), "Interpreted");
+        assert_eq!(
+            EngineConfig::jit(BackendKind::Lambda, false).label(),
+            "JIT Lambda Blocking"
+        );
+        assert_eq!(
+            EngineConfig::jit(BackendKind::Quotes, true).label(),
+            "JIT Quotes Async"
+        );
+        assert_eq!(
+            EngineConfig::jit(BackendKind::IrGen, false).label(),
+            "JIT IRGenerator"
+        );
+        assert_eq!(
+            EngineConfig::ahead_of_time(true, true).label(),
+            "Macro Facts+Rules (online)"
+        );
+        assert_eq!(
+            EngineConfig::ahead_of_time(false, false).label(),
+            "Macro Rules"
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = EngineConfig::jit(BackendKind::Bytecode, true).without_indexes();
+        assert!(!config.use_indexes);
+        assert_eq!(config.strategy, EvalStrategy::SemiNaive);
+        let naive = EngineConfig::interpreted().with_strategy(EvalStrategy::Naive);
+        assert_eq!(naive.strategy, EvalStrategy::Naive);
+    }
+}

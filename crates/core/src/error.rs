@@ -1,0 +1,62 @@
+//! Top-level error type of the `carac` facade.
+
+use std::fmt;
+
+/// Any error the engine can produce, from parsing to execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaracError {
+    /// Frontend (parsing, validation, stratification) error.
+    Datalog(carac_datalog::DatalogError),
+    /// Execution error.
+    Exec(carac_exec::ExecError),
+    /// Storage error outside the execution path (e.g. loading facts).
+    Storage(carac_storage::StorageError),
+}
+
+impl fmt::Display for CaracError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaracError::Datalog(err) => write!(f, "{err}"),
+            CaracError::Exec(err) => write!(f, "{err}"),
+            CaracError::Storage(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for CaracError {}
+
+impl From<carac_datalog::DatalogError> for CaracError {
+    fn from(err: carac_datalog::DatalogError) -> Self {
+        CaracError::Datalog(err)
+    }
+}
+
+impl From<carac_exec::ExecError> for CaracError {
+    fn from(err: carac_exec::ExecError) -> Self {
+        CaracError::Exec(err)
+    }
+}
+
+impl From<carac_storage::StorageError> for CaracError {
+    fn from(err: carac_storage::StorageError) -> Self {
+        CaracError::Storage(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_frontend_errors() {
+        let err: CaracError =
+            carac_datalog::DatalogError::UnknownRelation("Foo".to_string()).into();
+        assert!(err.to_string().contains("Foo"));
+    }
+
+    #[test]
+    fn wraps_exec_errors() {
+        let err: CaracError = carac_exec::ExecError::Internal("boom".to_string()).into();
+        assert!(err.to_string().contains("boom"));
+    }
+}

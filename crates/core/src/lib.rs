@@ -1,0 +1,73 @@
+//! # carac
+//!
+//! Carac-rs: **adaptive recursive query optimization** in Rust — a
+//! reproduction of the ICDE 2024 paper *"Adaptive Recursive Query
+//! Optimization"* (Herlihy, Martres, Ailamaki, Odersky).
+//!
+//! Carac is a Datalog engine whose join orders are not fixed at query
+//! compile time: the engine re-optimizes the conjunctive subqueries of the
+//! semi-naive evaluation *while the query runs*, using the live relation
+//! cardinalities instead of cross-iteration cardinality estimates, and
+//! regenerates executable code for the re-optimized subqueries through a
+//! set of runtime compilation backends.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use carac::{Carac, EngineConfig};
+//! use carac::knobs::BackendKind;
+//! use carac_datalog::parser::parse;
+//!
+//! let program = parse(
+//!     "Path(x, y) :- Edge(x, y).\n\
+//!      Path(x, y) :- Edge(x, z), Path(z, y).\n\
+//!      Edge(1, 2). Edge(2, 3). Edge(3, 4).",
+//! ).unwrap();
+//!
+//! // Adaptive JIT with the lambda backend (the default).
+//! let result = Carac::new(program.clone()).run().unwrap();
+//! assert_eq!(result.count("Path").unwrap(), 6);
+//!
+//! // Pure interpretation, or any of the paper's JIT configurations.
+//! let interpreted = Carac::new(program.clone())
+//!     .with_config(EngineConfig::interpreted())
+//!     .run().unwrap();
+//! let bytecode = Carac::new(program)
+//!     .with_config(EngineConfig::jit(BackendKind::Bytecode, true))
+//!     .run().unwrap();
+//! assert_eq!(interpreted.count("Path").unwrap(), bytecode.count("Path").unwrap());
+//! ```
+//!
+//! ## Crate layout
+//!
+//! This crate is the facade; the heavy lifting lives in the substrate
+//! crates, all re-exported here for convenience:
+//!
+//! * [`carac_datalog`] — AST, parser, builder DSL, stratification,
+//! * [`carac_ir`] — the IROp logical plan and its generation,
+//! * [`carac_optimizer`] — the cardinality/selectivity/index cost model and
+//!   the greedy & sort-based reordering algorithms,
+//! * [`carac_exec`] — interpreter, JIT controller, compilation backends,
+//! * [`carac_vm`] — the relational bytecode VM behind the bytecode backend,
+//! * [`carac_storage`] — tuples, relations, indexes and the semi-naive
+//!   evaluation databases.
+
+pub mod aot;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod result;
+
+pub use config::{AotConfig, EngineConfig, ExecutionMode};
+pub use config::knobs;
+pub use engine::Carac;
+pub use error::CaracError;
+pub use result::QueryResult;
+
+// Re-export the substrate crates under stable names.
+pub use carac_datalog as datalog;
+pub use carac_exec as exec;
+pub use carac_ir as ir;
+pub use carac_optimizer as optimizer;
+pub use carac_storage as storage;
+pub use carac_vm as vm;

@@ -1,0 +1,126 @@
+//! Query results.
+
+use carac_datalog::Program;
+use carac_exec::{ExecContext, RunStats};
+use carac_storage::{RelId, Tuple};
+
+use crate::error::CaracError;
+
+/// The outcome of running a program: access to every derived relation plus
+/// the run statistics.
+#[derive(Debug)]
+pub struct QueryResult {
+    program: Program,
+    context: ExecContext,
+}
+
+impl QueryResult {
+    pub(crate) fn new(program: Program, context: ExecContext) -> Self {
+        QueryResult { program, context }
+    }
+
+    /// Run statistics (iterations, subqueries, compilations, timings).
+    pub fn stats(&self) -> &RunStats {
+        &self.context.stats
+    }
+
+    /// Number of derived tuples in `relation`.
+    pub fn count(&self, relation: &str) -> Result<usize, CaracError> {
+        let rel = self.rel(relation)?;
+        Ok(self.context.derived_count(rel))
+    }
+
+    /// Raw derived tuples of `relation`.
+    pub fn tuples(&self, relation: &str) -> Result<Vec<Tuple>, CaracError> {
+        let rel = self.rel(relation)?;
+        Ok(self.context.derived_tuples(rel))
+    }
+
+    /// Derived tuples of `relation` with every value rendered through the
+    /// symbol table (strings resolve to their text, integers print as
+    /// numbers).
+    pub fn rows(&self, relation: &str) -> Result<Vec<Vec<String>>, CaracError> {
+        let tuples = self.tuples(relation)?;
+        Ok(tuples
+            .iter()
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .map(|&v| self.program.symbols().display(v))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Whether `relation` derived at least one tuple containing exactly the
+    /// given rendered values (convenience for tests and examples).
+    pub fn contains(&self, relation: &str, values: &[&str]) -> Result<bool, CaracError> {
+        Ok(self
+            .rows(relation)?
+            .iter()
+            .any(|row| row.len() == values.len() && row.iter().zip(values).all(|(a, b)| a == b)))
+    }
+
+    /// Total number of derived tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.context.storage.total_derived()
+    }
+
+    /// The program this result was computed for.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn rel(&self, name: &str) -> Result<RelId, CaracError> {
+        self.program
+            .relation_by_name(name)
+            .map_err(CaracError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Carac;
+    use crate::EngineConfig;
+    use carac_datalog::parser::parse;
+
+    fn result() -> QueryResult {
+        let program = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Named(\"start\", x) :- Edge(x, y).\n\
+             Edge(1, 2). Edge(2, 3).",
+        )
+        .unwrap();
+        Carac::new(program)
+            .with_config(EngineConfig::interpreted())
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_and_tuples() {
+        let r = result();
+        assert_eq!(r.count("Path").unwrap(), 3);
+        assert_eq!(r.tuples("Path").unwrap().len(), 3);
+        assert!(r.count("Missing").is_err());
+        assert!(r.total_tuples() >= 5);
+    }
+
+    #[test]
+    fn rows_resolve_symbols() {
+        let r = result();
+        let rows = r.rows("Named").unwrap();
+        assert!(rows.iter().any(|row| row[0] == "start"));
+        assert!(r.contains("Named", &["start", "1"]).unwrap());
+        assert!(!r.contains("Named", &["start", "99"]).unwrap());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = result();
+        assert!(r.stats().subqueries > 0);
+        assert!(r.stats().tuples_inserted >= 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Abstract syntax of Datalog programs.
+//!
+//! A program is a set of relation declarations, ground facts, and rules of
+//! the form `R0(v...) :- L1, ..., Ln` where each literal `Li` is a possibly
+//! negated atom (paper §II-A).  Variables are normalized per rule to dense
+//! [`VarId`]s by the builder/parser; the original names are retained for
+//! diagnostics and display.
+
+use std::fmt;
+
+use carac_storage::{RelId, Value};
+
+/// A rule identifier, dense per program in definition order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// A rule-local variable, dense in order of first occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A term: either a rule-local variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Rule-local variable.
+    Var(VarId),
+    /// Ground constant (interned).
+    Const(Value),
+}
+
+impl Term {
+    /// The variable id, if this term is a variable.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this term is a constant.
+    pub fn as_const(self) -> Option<Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+/// An atom `R(t1, ..., tk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation referenced by the atom.
+    pub rel: RelId,
+    /// Terms, one per column of the relation.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Self {
+        Atom { rel, terms }
+    }
+
+    /// Number of terms.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterator over the variables of the atom together with their column
+    /// positions.
+    pub fn variables(&self) -> impl Iterator<Item = (usize, VarId)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_var().map(|v| (i, v)))
+    }
+
+    /// Iterator over constant positions.
+    pub fn constants(&self) -> impl Iterator<Item = (usize, Value)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c)))
+    }
+}
+
+/// A possibly negated atom in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// Whether the literal is negated (`!R(...)`).
+    pub negated: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn positive(atom: Atom) -> Self {
+        Literal {
+            atom,
+            negated: false,
+        }
+    }
+
+    /// A negated literal.
+    pub fn negative(atom: Atom) -> Self {
+        Literal {
+            atom,
+            negated: true,
+        }
+    }
+}
+
+/// A Datalog rule `head :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Identifier of the rule within its program.
+    pub id: RuleId,
+    /// Head atom (always positive, relation must be intensional).
+    pub head: Atom,
+    /// Body literals.  The order is semantically irrelevant but is the
+    /// "input order" the join-order optimizer starts from.
+    pub body: Vec<Literal>,
+    /// Variable names in [`VarId`] order, kept for diagnostics.
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Number of distinct variables in the rule.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The positive body literals, in order.
+    pub fn positive_body(&self) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter(|l| !l.negated)
+    }
+
+    /// The negated body literals, in order.
+    pub fn negative_body(&self) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter(|l| l.negated)
+    }
+
+    /// Returns a copy of the rule with its *positive* body atoms permuted
+    /// according to `order` (indices into the positive body).  Negated
+    /// literals keep their relative order and stay at the end.
+    ///
+    /// Reordering atoms does not change Datalog semantics (paper §IV), so
+    /// this is the primitive used both by the "hand-optimized" program
+    /// variants and by the optimizer when rewriting rules statically.
+    pub fn with_positive_order(&self, order: &[usize]) -> Rule {
+        let positives: Vec<&Literal> = self.positive_body().collect();
+        assert_eq!(
+            order.len(),
+            positives.len(),
+            "permutation must cover every positive literal"
+        );
+        let mut body: Vec<Literal> = order.iter().map(|&i| positives[i].clone()).collect();
+        body.extend(self.negative_body().cloned());
+        Rule {
+            id: self.id,
+            head: self.head.clone(),
+            body,
+            var_names: self.var_names.clone(),
+        }
+    }
+}
+
+/// A relation declaration as seen by the frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// Id assigned in declaration order.
+    pub id: RelId,
+    /// Relation name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Whether the relation is extensional (cannot appear in rule heads).
+    /// This is computed: a relation is intensional iff it appears in at
+    /// least one rule head.
+    pub is_edb: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: u32, terms: Vec<Term>) -> Atom {
+        Atom::new(RelId(rel), terms)
+    }
+
+    #[test]
+    fn atom_variable_and_constant_iteration() {
+        let a = atom(
+            0,
+            vec![Term::Var(VarId(0)), Term::Const(Value::int(7)), Term::Var(VarId(1))],
+        );
+        let vars: Vec<_> = a.variables().collect();
+        assert_eq!(vars, vec![(0, VarId(0)), (2, VarId(1))]);
+        let consts: Vec<_> = a.constants().collect();
+        assert_eq!(consts, vec![(1, Value::int(7))]);
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn with_positive_order_permutes_only_positive_literals() {
+        let rule = Rule {
+            id: RuleId(0),
+            head: atom(0, vec![Term::Var(VarId(0))]),
+            body: vec![
+                Literal::positive(atom(1, vec![Term::Var(VarId(0))])),
+                Literal::negative(atom(3, vec![Term::Var(VarId(0))])),
+                Literal::positive(atom(2, vec![Term::Var(VarId(0))])),
+            ],
+            var_names: vec!["x".into()],
+        };
+        let reordered = rule.with_positive_order(&[1, 0]);
+        let rels: Vec<RelId> = reordered.body.iter().map(|l| l.atom.rel).collect();
+        assert_eq!(rels, vec![RelId(2), RelId(1), RelId(3)]);
+        assert!(reordered.body[2].negated);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn with_positive_order_rejects_short_permutation() {
+        let rule = Rule {
+            id: RuleId(0),
+            head: atom(0, vec![Term::Var(VarId(0))]),
+            body: vec![
+                Literal::positive(atom(1, vec![Term::Var(VarId(0))])),
+                Literal::positive(atom(2, vec![Term::Var(VarId(0))])),
+            ],
+            var_names: vec!["x".into()],
+        };
+        let _ = rule.with_positive_order(&[0]);
+    }
+
+    #[test]
+    fn term_accessors() {
+        assert_eq!(Term::Var(VarId(3)).as_var(), Some(VarId(3)));
+        assert_eq!(Term::Var(VarId(3)).as_const(), None);
+        assert_eq!(Term::Const(Value::int(1)).as_const(), Some(Value::int(1)));
+    }
+}

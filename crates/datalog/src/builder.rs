@@ -1,0 +1,372 @@
+//! Embedded DSL for constructing Datalog programs programmatically.
+//!
+//! This is the Rust analogue of the paper's Scala-embedded DSL (§V-A): rules
+//! and facts are first-class values constructed with ordinary function
+//! calls, so workloads can be generated, transformed and composed by host
+//! code.
+//!
+//! ```
+//! use carac_datalog::builder::{ProgramBuilder, TermSpec};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.relation("Edge", 2);
+//! b.relation("Path", 2);
+//! b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+//! b.rule("Path", &["x", "y"])
+//!     .when("Edge", &["x", "z"])
+//!     .when("Path", &["z", "y"])
+//!     .end();
+//! b.fact_ints("Edge", &[1, 2]);
+//! b.fact_ints("Edge", &[2, 3]);
+//! let program = b.build().unwrap();
+//! assert_eq!(program.rules().len(), 2);
+//! ```
+
+use carac_storage::{RelId, SymbolTable, Tuple, Value};
+
+use crate::ast::{Atom, Literal, RelationDecl, Rule, RuleId, Term, VarId};
+use crate::error::DatalogError;
+use carac_storage::hasher::FxHashMap;
+
+use crate::precedence::Stratification;
+use crate::program::Program;
+use crate::validate;
+
+/// A term as written by the user: a named variable, an integer constant, or
+/// a string constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermSpec {
+    /// A named variable ("x", "y", ...).
+    Var(String),
+    /// A small integer constant.
+    Int(u32),
+    /// A string constant, interned on build.
+    Str(String),
+}
+
+impl From<&str> for TermSpec {
+    /// Bare strings in rule positions are variables — the common case when
+    /// writing analysis rules.  Use [`TermSpec::Str`] (or the [`s`] helper)
+    /// for string constants.
+    fn from(name: &str) -> Self {
+        TermSpec::Var(name.to_string())
+    }
+}
+
+impl From<u32> for TermSpec {
+    fn from(n: u32) -> Self {
+        TermSpec::Int(n)
+    }
+}
+
+/// Helper constructing a variable term.
+pub fn v(name: &str) -> TermSpec {
+    TermSpec::Var(name.to_string())
+}
+
+/// Helper constructing an integer constant term.
+pub fn c(n: u32) -> TermSpec {
+    TermSpec::Int(n)
+}
+
+/// Helper constructing a string constant term.
+pub fn s(text: &str) -> TermSpec {
+    TermSpec::Str(text.to_string())
+}
+
+/// Partially built rule; finish with [`RuleBuilder::end`].
+#[must_use = "call .end() to add the rule to the program"]
+pub struct RuleBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    head_rel: String,
+    head_terms: Vec<TermSpec>,
+    body: Vec<(String, Vec<TermSpec>, bool)>,
+}
+
+impl<'a> RuleBuilder<'a> {
+    /// Adds a positive body literal.
+    pub fn when<T: Into<TermSpec> + Clone>(mut self, rel: &str, terms: &[T]) -> Self {
+        self.body.push((
+            rel.to_string(),
+            terms.iter().cloned().map(Into::into).collect(),
+            false,
+        ));
+        self
+    }
+
+    /// Adds a negated body literal.
+    pub fn when_not<T: Into<TermSpec> + Clone>(mut self, rel: &str, terms: &[T]) -> Self {
+        self.body.push((
+            rel.to_string(),
+            terms.iter().cloned().map(Into::into).collect(),
+            true,
+        ));
+        self
+    }
+
+    /// Finishes the rule and records it in the program builder.
+    pub fn end(self) {
+        self.builder.raw_rules.push(RawRule {
+            head_rel: self.head_rel,
+            head_terms: self.head_terms,
+            body: self.body,
+        });
+    }
+}
+
+/// A rule before name resolution.
+#[derive(Debug, Clone)]
+struct RawRule {
+    head_rel: String,
+    head_terms: Vec<TermSpec>,
+    body: Vec<(String, Vec<TermSpec>, bool)>,
+}
+
+/// Incremental program builder.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    relations: Vec<(String, usize)>,
+    raw_rules: Vec<RawRule>,
+    raw_facts: Vec<(String, Vec<TermSpec>)>,
+    symbols: SymbolTable,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a relation with the given arity.  Declaring the same
+    /// relation twice with the same arity is a no-op; conflicting arities
+    /// are reported at [`build`](ProgramBuilder::build) time.
+    pub fn relation(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.relations.push((name.to_string(), arity));
+        self
+    }
+
+    /// Starts a rule with the given head.
+    pub fn rule<T: Into<TermSpec> + Clone>(&mut self, head: &str, terms: &[T]) -> RuleBuilder<'_> {
+        RuleBuilder {
+            head_rel: head.to_string(),
+            head_terms: terms.iter().cloned().map(Into::into).collect(),
+            body: Vec::new(),
+            builder: self,
+        }
+    }
+
+    /// Adds a ground fact with arbitrary term specs (must all be constants).
+    pub fn fact(&mut self, rel: &str, terms: &[TermSpec]) -> &mut Self {
+        self.raw_facts.push((rel.to_string(), terms.to_vec()));
+        self
+    }
+
+    /// Adds a ground fact of integer constants.
+    pub fn fact_ints(&mut self, rel: &str, ints: &[u32]) -> &mut Self {
+        let terms = ints.iter().map(|&n| TermSpec::Int(n)).collect::<Vec<_>>();
+        self.raw_facts.push((rel.to_string(), terms));
+        self
+    }
+
+    /// Interns a string constant eagerly (useful when the same value must be
+    /// referenced both in facts and by host code inspecting results).
+    pub fn intern(&mut self, text: &str) -> Value {
+        self.symbols.intern(text)
+    }
+
+    /// Resolves names, validates the program, computes the stratification
+    /// and returns the immutable [`Program`].
+    pub fn build(mut self) -> Result<Program, DatalogError> {
+        // 1. Deduplicate relation declarations, checking arities.
+        let mut decls: Vec<RelationDecl> = Vec::new();
+        let mut by_name: FxHashMap<String, RelId> = FxHashMap::default();
+        for (name, arity) in &self.relations {
+            if let Some(&existing) = by_name.get(name) {
+                let prev = &decls[existing.index()];
+                if prev.arity != *arity {
+                    return Err(DatalogError::ConflictingDeclaration {
+                        name: name.clone(),
+                        first: prev.arity,
+                        second: *arity,
+                    });
+                }
+                continue;
+            }
+            let id = RelId(decls.len() as u32);
+            by_name.insert(name.clone(), id);
+            decls.push(RelationDecl {
+                id,
+                name: name.clone(),
+                arity: *arity,
+                is_edb: true, // refined below once rules are known
+            });
+        }
+
+        let lookup = |name: &str, by_name: &FxHashMap<String, RelId>| -> Result<RelId, DatalogError> {
+            by_name
+                .get(name)
+                .copied()
+                .ok_or_else(|| DatalogError::UnknownRelation(name.to_string()))
+        };
+
+        // 2. Resolve rules: map names to RelIds and variable names to dense
+        //    per-rule VarIds.
+        let mut rules: Vec<Rule> = Vec::new();
+        for (rule_idx, raw) in self.raw_rules.iter().enumerate() {
+            let mut var_names: Vec<String> = Vec::new();
+            let mut var_ids: FxHashMap<String, VarId> = FxHashMap::default();
+            let mut resolve_terms =
+                |specs: &[TermSpec], symbols: &mut SymbolTable| -> Vec<Term> {
+                    specs
+                        .iter()
+                        .map(|spec| match spec {
+                            TermSpec::Var(name) => {
+                                let id = *var_ids.entry(name.clone()).or_insert_with(|| {
+                                    let id = VarId(var_names.len() as u32);
+                                    var_names.push(name.clone());
+                                    id
+                                });
+                                Term::Var(id)
+                            }
+                            TermSpec::Int(n) => Term::Const(Value::int(*n)),
+                            TermSpec::Str(text) => Term::Const(symbols.intern(text)),
+                        })
+                        .collect()
+                };
+
+            let head_rel = lookup(&raw.head_rel, &by_name)?;
+            let head_terms = resolve_terms(&raw.head_terms, &mut self.symbols);
+            let mut body = Vec::with_capacity(raw.body.len());
+            for (rel_name, terms, negated) in &raw.body {
+                let rel = lookup(rel_name, &by_name)?;
+                let atom = Atom::new(rel, resolve_terms(terms, &mut self.symbols));
+                body.push(Literal {
+                    atom,
+                    negated: *negated,
+                });
+            }
+            rules.push(Rule {
+                id: RuleId(rule_idx as u32),
+                head: Atom::new(head_rel, head_terms),
+                body,
+                var_names,
+            });
+        }
+
+        // 3. Classify relations: anything appearing in a rule head is IDB.
+        for rule in &rules {
+            decls[rule.head.rel.index()].is_edb = false;
+        }
+
+        // 4. Resolve facts.
+        let mut facts: Vec<(RelId, Tuple)> = Vec::new();
+        for (rel_name, terms) in &self.raw_facts {
+            let rel = lookup(rel_name, &by_name)?;
+            let mut values = Vec::with_capacity(terms.len());
+            for term in terms {
+                match term {
+                    TermSpec::Int(n) => values.push(Value::int(*n)),
+                    TermSpec::Str(text) => values.push(self.symbols.intern(text)),
+                    TermSpec::Var(_) => {
+                        return Err(DatalogError::NonGroundFact(rel_name.clone()))
+                    }
+                }
+            }
+            facts.push((rel, Tuple::new(values)));
+        }
+
+        // 5. Validate arities, safety and fact shapes.
+        validate::validate(&decls, &rules, &facts, &self.symbols)?;
+
+        // 6. Stratify (also rejects negation through recursion).
+        let stratification = Stratification::compute(&decls, &rules)?;
+
+        Ok(Program::new(decls, rules, facts, self.symbols, stratification))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_declaration_same_arity_is_ok() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Edge", 2);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn conflicting_arity_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Edge", 3);
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::ConflictingDeclaration { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_in_rule_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        assert!(matches!(b.build(), Err(DatalogError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn string_constants_are_interned() {
+        let mut b = ProgramBuilder::new();
+        b.relation("InvFuns", 2);
+        b.fact("InvFuns", &[s("deserialize"), s("serialize")]);
+        b.fact("InvFuns", &[s("deserialize"), s("serialize")]);
+        let p = b.build().unwrap();
+        assert_eq!(p.facts().len(), 2);
+        let (_, t) = &p.facts()[0];
+        assert_eq!(p.symbols().display(t.get(0).unwrap()), "deserialize");
+    }
+
+    #[test]
+    fn facts_with_variables_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.fact("Edge", &[v("x"), c(1)]);
+        assert!(matches!(b.build(), Err(DatalogError::NonGroundFact(_))));
+    }
+
+    #[test]
+    fn variables_are_shared_within_a_rule() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        let p = b.build().unwrap();
+        let rule = &p.rules()[0];
+        // x, y, z → 3 distinct variables.
+        assert_eq!(rule.num_vars(), 3);
+        // The `z` in both body atoms resolves to the same VarId.
+        let edge_z = rule.body[0].atom.terms[1];
+        let path_z = rule.body[1].atom.terms[0];
+        assert_eq!(edge_z, path_z);
+    }
+
+    #[test]
+    fn mixed_term_specs_via_into() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Fact", 2);
+        b.relation("Out", 1);
+        // `1u32.into()` is a constant, "x" is a variable.
+        b.rule("Out", &[v("x")])
+            .when("Fact", &[TermSpec::Int(1), v("x")])
+            .end();
+        let p = b.build().unwrap();
+        let body_atom = &p.rules()[0].body[0].atom;
+        assert_eq!(body_atom.terms[0], Term::Const(Value::int(1)));
+        assert!(matches!(body_atom.terms[1], Term::Var(_)));
+    }
+}

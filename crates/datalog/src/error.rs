@@ -1,0 +1,129 @@
+//! Frontend error type.
+
+use std::fmt;
+
+/// Errors reported while constructing, parsing or validating a Datalog
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A relation was declared twice with different arities.
+    ConflictingDeclaration {
+        /// Relation name.
+        name: String,
+        /// Arity of the first declaration.
+        first: usize,
+        /// Arity of the conflicting declaration.
+        second: usize,
+    },
+    /// An atom referenced a relation that was never declared.
+    UnknownRelation(String),
+    /// An atom used a different number of terms than the relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Terms supplied.
+        actual: usize,
+    },
+    /// A head variable does not occur in any positive body literal
+    /// (violates range restriction / safety).
+    UnsafeHeadVariable {
+        /// Rule (by display string) containing the violation.
+        rule: String,
+        /// Offending variable name.
+        variable: String,
+    },
+    /// A variable inside a negated literal does not occur in any positive
+    /// literal of the same rule.
+    UnsafeNegatedVariable {
+        /// Rule containing the violation.
+        rule: String,
+        /// Offending variable name.
+        variable: String,
+    },
+    /// A rule's head relation is extensional (facts-only relations cannot be
+    /// derived).
+    HeadIsEdb(String),
+    /// Negation through recursion: a negated literal's relation is in the
+    /// same stratum (mutual recursion) as the rule head.
+    NotStratifiable {
+        /// Head relation of the offending rule.
+        head: String,
+        /// Negated relation participating in the cycle.
+        negated: String,
+    },
+    /// A fact contained a variable.
+    NonGroundFact(String),
+    /// Parse error with a line/column position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::ConflictingDeclaration { name, first, second } => write!(
+                f,
+                "relation `{name}` declared with conflicting arities {first} and {second}"
+            ),
+            DatalogError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DatalogError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom for `{relation}` has {actual} terms but the relation has arity {expected}"
+            ),
+            DatalogError::UnsafeHeadVariable { rule, variable } => write!(
+                f,
+                "head variable `{variable}` in rule `{rule}` does not occur in a positive body literal"
+            ),
+            DatalogError::UnsafeNegatedVariable { rule, variable } => write!(
+                f,
+                "variable `{variable}` of a negated literal in rule `{rule}` does not occur in a positive literal"
+            ),
+            DatalogError::HeadIsEdb(name) => {
+                write!(f, "relation `{name}` is extensional and cannot appear in a rule head")
+            }
+            DatalogError::NotStratifiable { head, negated } => write!(
+                f,
+                "program is not stratifiable: `{head}` depends negatively on `{negated}` within a recursive cycle"
+            ),
+            DatalogError::NonGroundFact(rel) => {
+                write!(f, "fact for `{rel}` contains a variable; facts must be ground")
+            }
+            DatalogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        let err = DatalogError::UnknownRelation("VaFlow".into());
+        assert!(err.to_string().contains("VaFlow"));
+        let err = DatalogError::NotStratifiable {
+            head: "Prime".into(),
+            negated: "Composite".into(),
+        };
+        assert!(err.to_string().contains("Prime"));
+        assert!(err.to_string().contains("Composite"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # carac-datalog
+//!
+//! The Datalog frontend of Carac-rs (paper §II-A, §V-A): abstract syntax,
+//! an embedded builder DSL, a textual parser, per-rule metadata extraction,
+//! precedence-graph construction with stratification (including stratified
+//! negation), static validation, and static rewrites such as alias
+//! elimination.
+//!
+//! The output of this crate is an immutable, validated [`Program`] that the
+//! planner (`carac-ir`), optimizer (`carac-optimizer`) and execution engine
+//! (`carac-exec`) consume.
+//!
+//! ```
+//! use carac_datalog::parser::parse;
+//!
+//! let program = parse(
+//!     "Path(x, y) :- Edge(x, y).\n\
+//!      Path(x, y) :- Edge(x, z), Path(z, y).\n\
+//!      Edge(1, 2). Edge(2, 3).",
+//! ).unwrap();
+//! assert_eq!(program.rules().len(), 2);
+//! assert_eq!(program.stratification().len(), 1);
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod metadata;
+pub mod parser;
+pub mod precedence;
+pub mod program;
+pub mod rewrite;
+pub mod validate;
+
+pub use ast::{Atom, Literal, RelationDecl, Rule, RuleId, Term, VarId};
+pub use builder::{ProgramBuilder, TermSpec};
+pub use error::DatalogError;
+pub use metadata::{AtomMeta, ColumnConstraint, HeadBinding, RuleMeta};
+pub use precedence::{Stratification, Stratum};
+pub use program::Program;

@@ -1,0 +1,305 @@
+//! Per-rule metadata used by the planner and the optimizer.
+//!
+//! As rules are defined, Carac records where variables and constants occur
+//! so that later stages can cheaply answer the questions that drive
+//! optimization (paper §V-A): which columns are join keys, which columns
+//! carry constant filters, how the head projects out of the body, and which
+//! columns deserve an index (§IV: "one index per filter or join predicate").
+
+use carac_storage::hasher::FxHashMap;
+use carac_storage::{RelId, Value};
+
+use crate::ast::{Rule, VarId};
+
+/// Where a head column gets its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadBinding {
+    /// The head column copies the value bound to this variable.
+    Var(VarId),
+    /// The head column is a constant.
+    Const(Value),
+}
+
+/// A join/filter condition contributed by one column of one body atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnConstraint {
+    /// The column must equal a constant (`$l = c`).
+    Constant(Value),
+    /// The column carries a variable that also occurs elsewhere in the rule
+    /// (a join key / repeated-variable filter).
+    SharedVar(VarId),
+    /// The column carries a variable that occurs nowhere else (no
+    /// constraint beyond binding).
+    FreeVar(VarId),
+}
+
+/// Metadata for one positive body atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomMeta {
+    /// Relation the atom scans.
+    pub rel: RelId,
+    /// Constraint classification per column.
+    pub columns: Vec<ColumnConstraint>,
+}
+
+impl AtomMeta {
+    /// Columns that should be indexed for this atom: every column carrying a
+    /// constant or a shared variable.
+    pub fn index_candidates(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                ColumnConstraint::Constant(_) | ColumnConstraint::SharedVar(_) => Some(i),
+                ColumnConstraint::FreeVar(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of constant-filter columns.
+    pub fn constant_count(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c, ColumnConstraint::Constant(_)))
+            .count()
+    }
+
+    /// Variables carried by the atom (with their columns).
+    pub fn variables(&self) -> impl Iterator<Item = (usize, VarId)> + '_ {
+        self.columns.iter().enumerate().filter_map(|(i, c)| match c {
+            ColumnConstraint::SharedVar(v) | ColumnConstraint::FreeVar(v) => Some((i, *v)),
+            ColumnConstraint::Constant(_) => None,
+        })
+    }
+}
+
+/// Metadata derived from one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// Head relation.
+    pub head_rel: RelId,
+    /// How each head column is produced.
+    pub head_bindings: Vec<HeadBinding>,
+    /// Metadata per positive body atom, in the rule's body order.
+    pub atoms: Vec<AtomMeta>,
+    /// Metadata per negated body atom, in order.
+    pub negated_atoms: Vec<AtomMeta>,
+    /// For each variable, how many literals (positive or negative) mention
+    /// it.  Variables with count ≥ 2 are join keys.
+    pub var_occurrences: Vec<usize>,
+}
+
+impl RuleMeta {
+    /// Analyzes a rule.
+    pub fn analyze(rule: &Rule) -> RuleMeta {
+        let mut var_occurrences = vec![0usize; rule.num_vars()];
+        // Count in how many literals each variable occurs (occurrences within
+        // one atom count once for sharing purposes, but repeated variables
+        // within an atom are still join-like filters — counted separately
+        // below through SharedVar classification).
+        for literal in &rule.body {
+            let mut seen: FxHashMap<VarId, ()> = FxHashMap::default();
+            for (_, var) in literal.atom.variables() {
+                if seen.insert(var, ()).is_none() {
+                    var_occurrences[var.index()] += 1;
+                }
+            }
+        }
+        // Head occurrences also make a variable "interesting" for indexing:
+        // the head projection reads it.
+        for (_, var) in rule.head.variables() {
+            var_occurrences[var.index()] += 1;
+        }
+
+        // Detect variables occurring more than once *within* a single atom
+        // (e.g. R(x, x)) — these behave like shared variables too.
+        let mut repeated_within_atom = vec![false; rule.num_vars()];
+        for literal in &rule.body {
+            let mut counts: FxHashMap<VarId, usize> = FxHashMap::default();
+            for (_, var) in literal.atom.variables() {
+                *counts.entry(var).or_insert(0) += 1;
+            }
+            for (var, count) in counts {
+                if count > 1 {
+                    repeated_within_atom[var.index()] = true;
+                }
+            }
+        }
+
+        let classify = |literal: &crate::ast::Literal| -> AtomMeta {
+            let columns = literal
+                .atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    crate::ast::Term::Const(c) => ColumnConstraint::Constant(*c),
+                    crate::ast::Term::Var(v) => {
+                        if var_occurrences[v.index()] >= 2 || repeated_within_atom[v.index()] {
+                            ColumnConstraint::SharedVar(*v)
+                        } else {
+                            ColumnConstraint::FreeVar(*v)
+                        }
+                    }
+                })
+                .collect();
+            AtomMeta {
+                rel: literal.atom.rel,
+                columns,
+            }
+        };
+
+        let atoms = rule.positive_body().map(classify).collect();
+        let negated_atoms = rule.negative_body().map(classify).collect();
+
+        let head_bindings = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                crate::ast::Term::Var(v) => HeadBinding::Var(*v),
+                crate::ast::Term::Const(c) => HeadBinding::Const(*c),
+            })
+            .collect();
+
+        RuleMeta {
+            head_rel: rule.head.rel,
+            head_bindings,
+            atoms,
+            negated_atoms,
+            var_occurrences,
+        }
+    }
+
+    /// All `(relation, column)` pairs that should carry an index for this
+    /// rule (join keys and constant filters, over positive and negated
+    /// atoms).
+    pub fn index_requests(&self) -> Vec<(RelId, usize)> {
+        let mut requests = Vec::new();
+        for atom in self.atoms.iter().chain(self.negated_atoms.iter()) {
+            for col in atom.index_candidates() {
+                requests.push((atom.rel, col));
+            }
+        }
+        requests
+    }
+
+    /// Number of positive atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c, v, ProgramBuilder};
+
+    #[test]
+    fn join_keys_are_shared_vars() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert_eq!(meta.num_atoms(), 2);
+        // Edge(x, z): x is shared (head + body), z is shared (both atoms).
+        assert!(matches!(
+            meta.atoms[0].columns[1],
+            ColumnConstraint::SharedVar(_)
+        ));
+        // Path(z, y): z shared with Edge.
+        assert!(matches!(
+            meta.atoms[1].columns[0],
+            ColumnConstraint::SharedVar(_)
+        ));
+        // Index requests cover the join columns.
+        let requests = meta.index_requests();
+        assert!(!requests.is_empty());
+    }
+
+    #[test]
+    fn constants_become_constant_constraints_and_index_requests() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Call", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &[v("x")]).when("Call", &[v("x"), c(7)]).end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert!(matches!(
+            meta.atoms[0].columns[1],
+            ColumnConstraint::Constant(_)
+        ));
+        assert_eq!(meta.atoms[0].constant_count(), 1);
+        assert!(meta
+            .index_requests()
+            .contains(&(p.relation_by_name("Call").unwrap(), 1)));
+    }
+
+    #[test]
+    fn free_variables_are_not_indexed() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &["x"]).when("Edge", &["x", "unused"]).end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert!(matches!(
+            meta.atoms[0].columns[1],
+            ColumnConstraint::FreeVar(_)
+        ));
+        assert_eq!(meta.atoms[0].index_candidates(), vec![0]);
+    }
+
+    #[test]
+    fn repeated_variable_within_one_atom_is_shared() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("SelfLoop", 1);
+        b.rule("SelfLoop", &["x"]).when("Edge", &["x", "x"]).end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert!(matches!(
+            meta.atoms[0].columns[0],
+            ColumnConstraint::SharedVar(_)
+        ));
+        assert!(matches!(
+            meta.atoms[0].columns[1],
+            ColumnConstraint::SharedVar(_)
+        ));
+    }
+
+    #[test]
+    fn negated_atoms_get_metadata_too() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Num", 1);
+        b.relation("Composite", 1);
+        b.relation("Prime", 1);
+        b.rule("Prime", &["x"])
+            .when("Num", &["x"])
+            .when_not("Composite", &["x"])
+            .end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert_eq!(meta.negated_atoms.len(), 1);
+        assert!(matches!(
+            meta.negated_atoms[0].columns[0],
+            ColumnConstraint::SharedVar(_)
+        ));
+    }
+
+    #[test]
+    fn head_constants_are_bindings() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Out", 2);
+        b.rule("Out", &[v("x"), c(0)]).when("Edge", &[v("x"), v("y")]).end();
+        let p = b.build().unwrap();
+        let meta = RuleMeta::analyze(&p.rules()[0]);
+        assert!(matches!(meta.head_bindings[0], HeadBinding::Var(_)));
+        assert!(matches!(meta.head_bindings[1], HeadBinding::Const(_)));
+    }
+}

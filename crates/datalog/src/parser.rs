@@ -1,0 +1,487 @@
+//! Textual Datalog parser.
+//!
+//! The engine is primarily driven through the embedded builder DSL, but a
+//! small concrete syntax makes examples, tests and ad-hoc experimentation
+//! much more pleasant.  The grammar is deliberately close to the paper's
+//! notation:
+//!
+//! ```text
+//! // transitive closure
+//! Path(x, y) :- Edge(x, y).
+//! Path(x, y) :- Edge(x, z), Path(z, y).
+//! Edge(1, 2).
+//! Edge(2, 3).
+//! InvFuns("deserialize", "serialize").
+//! Prime(x) :- Num(x), !Composite(x).
+//! ```
+//!
+//! * clauses end with `.`,
+//! * a clause without `:-` whose terms are all constants is a fact,
+//! * numbers are integer constants, double-quoted strings are string
+//!   constants, bare identifiers in term position are variables,
+//! * `!` negates a body literal,
+//! * `%`, `#` and `//` start line comments,
+//! * relations are declared implicitly by use; arities must be consistent.
+
+use crate::builder::{ProgramBuilder, TermSpec};
+use crate::error::DatalogError;
+use crate::program::Program;
+
+/// Parses a Datalog program from text.
+pub fn parse(source: &str) -> Result<Program, DatalogError> {
+    Parser::new(source).parse_program()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(u32),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Bang,
+    Turnstile, // :-
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') | Some('#') => {
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') => {
+                    // Only treat as a comment if followed by another '/'.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(&c) = self.chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize, usize)>, DatalogError> {
+        self.skip_trivia();
+        let (line, column) = (self.line, self.column);
+        let Some(&c) = self.chars.peek() else {
+            return Ok(None);
+        };
+        let token = match c {
+            '(' => {
+                self.bump();
+                Token::LParen
+            }
+            ')' => {
+                self.bump();
+                Token::RParen
+            }
+            ',' => {
+                self.bump();
+                Token::Comma
+            }
+            '.' => {
+                self.bump();
+                Token::Dot
+            }
+            '!' => {
+                self.bump();
+                Token::Bang
+            }
+            ':' => {
+                self.bump();
+                match self.chars.peek() {
+                    Some('-') => {
+                        self.bump();
+                        Token::Turnstile
+                    }
+                    _ => return Err(self.error("expected `-` after `:`")),
+                }
+            }
+            '"' => {
+                self.bump();
+                let mut text = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(ch) => text.push(ch),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Token::Str(text)
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = self.chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n * 10 + digit as u64;
+                        if n > u32::MAX as u64 {
+                            return Err(self.error("integer literal too large"));
+                        }
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Int(n as u32)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        ident.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Ident(ident)
+            }
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(Some((token, line, column)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize, usize)>,
+    pos: usize,
+}
+
+/// A parsed atom before classification into fact/rule pieces.
+struct ParsedAtom {
+    rel: String,
+    terms: Vec<TermSpec>,
+    negated: bool,
+}
+
+impl Parser {
+    fn new(source: &str) -> Self {
+        // Tokenize eagerly; errors surface during `parse_program`.
+        let mut lexer = Lexer::new(source);
+        let mut tokens = Vec::new();
+        loop {
+            match lexer.next_token() {
+                Ok(Some(t)) => tokens.push(t),
+                Ok(None) => break,
+                Err(err) => {
+                    // Store a poison marker by re-raising later: simplest is
+                    // to stash the error as a pseudo token; instead we keep
+                    // the error by storing it in the struct.
+                    tokens.push((Token::Ident(format!("\u{0}lex-error:{err}")), 0, 0));
+                    break;
+                }
+            }
+        }
+        Parser { tokens, pos: 0 }
+    }
+
+    fn error_at(&self, message: impl Into<String>) -> DatalogError {
+        let (line, column) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((0, 0));
+        DatalogError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), DatalogError> {
+        match self.bump() {
+            Some(t) if &t == expected => Ok(()),
+            Some(t) => Err(self.error_at(format!("expected {what}, found {t:?}"))),
+            None => Err(self.error_at(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn parse_program(mut self) -> Result<Program, DatalogError> {
+        // Surface lexer errors.
+        for (token, _, _) in &self.tokens {
+            if let Token::Ident(text) = token {
+                if let Some(rest) = text.strip_prefix('\u{0}') {
+                    let message = rest.trim_start_matches("lex-error:").to_string();
+                    return Err(DatalogError::Parse {
+                        line: 0,
+                        column: 0,
+                        message,
+                    });
+                }
+            }
+        }
+
+        let mut builder = ProgramBuilder::new();
+        // Relations are declared implicitly; remember first-seen arities and
+        // declare them all before building.
+        let mut clauses: Vec<(ParsedAtom, Vec<ParsedAtom>)> = Vec::new();
+        while self.peek().is_some() {
+            let clause = self.parse_clause()?;
+            clauses.push(clause);
+        }
+
+        // Declare relations with their first-seen arity; the builder's
+        // validation catches inconsistent later uses.
+        let mut declared: Vec<(String, usize)> = Vec::new();
+        {
+            let mut declare = |atom: &ParsedAtom| {
+                if !declared.iter().any(|(n, _)| n == &atom.rel) {
+                    declared.push((atom.rel.clone(), atom.terms.len()));
+                }
+            };
+            for (head, body) in &clauses {
+                declare(head);
+                for atom in body {
+                    declare(atom);
+                }
+            }
+        }
+        for (name, arity) in &declared {
+            builder.relation(name, *arity);
+        }
+
+        for (head, body) in clauses {
+            let is_fact = body.is_empty()
+                && head
+                    .terms
+                    .iter()
+                    .all(|t| !matches!(t, TermSpec::Var(_)));
+            if is_fact {
+                builder.fact(&head.rel, &head.terms);
+            } else {
+                let mut rb = builder.rule(&head.rel, &head.terms);
+                for atom in body {
+                    rb = if atom.negated {
+                        rb.when_not(&atom.rel, &atom.terms)
+                    } else {
+                        rb.when(&atom.rel, &atom.terms)
+                    };
+                }
+                rb.end();
+            }
+        }
+        builder.build()
+    }
+
+    fn parse_clause(&mut self) -> Result<(ParsedAtom, Vec<ParsedAtom>), DatalogError> {
+        let head = self.parse_atom(false)?;
+        let mut body = Vec::new();
+        match self.peek() {
+            Some(Token::Dot) => {
+                self.bump();
+            }
+            Some(Token::Turnstile) => {
+                self.bump();
+                loop {
+                    let negated = if matches!(self.peek(), Some(Token::Bang)) {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let atom = self.parse_atom(negated)?;
+                    body.push(atom);
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::Dot) => break,
+                        other => {
+                            return Err(self.error_at(format!(
+                                "expected `,` or `.` after body literal, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(self.error_at(format!(
+                    "expected `.` or `:-` after clause head, found {other:?}"
+                )))
+            }
+        }
+        Ok((head, body))
+    }
+
+    fn parse_atom(&mut self, negated: bool) -> Result<ParsedAtom, DatalogError> {
+        let rel = match self.bump() {
+            Some(Token::Ident(name)) => name,
+            other => return Err(self.error_at(format!("expected relation name, found {other:?}"))),
+        };
+        self.expect(&Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Ident(name)) => terms.push(TermSpec::Var(name)),
+                Some(Token::Int(n)) => terms.push(TermSpec::Int(n)),
+                Some(Token::Str(text)) => terms.push(TermSpec::Str(text)),
+                other => return Err(self.error_at(format!("expected term, found {other:?}"))),
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(self.error_at(format!("expected `,` or `)`, found {other:?}")))
+                }
+            }
+        }
+        Ok(ParsedAtom {
+            rel,
+            terms,
+            negated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_transitive_closure() {
+        let program = parse(
+            r#"
+            % transitive closure
+            Path(x, y) :- Edge(x, y).
+            Path(x, y) :- Edge(x, z), Path(z, y).
+            Edge(1, 2).
+            Edge(2, 3).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.rules().len(), 2);
+        assert_eq!(program.facts().len(), 2);
+        let edge = program.relation_by_name("Edge").unwrap();
+        assert!(program.relation(edge).is_edb);
+    }
+
+    #[test]
+    fn parses_string_facts_and_negation() {
+        let program = parse(
+            r#"
+            InvFuns("deserialize", "serialize").
+            Prime(x) :- Num(x), !Composite(x).
+            Composite(x) :- NonTrivialDivisor(x, d).
+            Num(2). Num(3). Num(4).
+            NonTrivialDivisor(4, 2).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.facts().len(), 5);
+        let prime_rule = &program.rules()[0];
+        assert_eq!(prime_rule.negative_body().count(), 1);
+    }
+
+    #[test]
+    fn fact_with_variable_is_a_rule_error() {
+        // `Edge(x, 2).` has a variable in a bodyless clause: it is parsed as
+        // a rule with an empty body, which then fails the safety check.
+        let err = parse("Edge(x, 2).").unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeHeadVariable { .. }));
+    }
+
+    #[test]
+    fn comment_styles_are_ignored() {
+        let program = parse(
+            "% percent comment\n# hash comment\n// slash comment\nEdge(1, 2).\n",
+        )
+        .unwrap();
+        assert_eq!(program.facts().len(), 1);
+    }
+
+    #[test]
+    fn reports_missing_dot() {
+        let err = parse("Edge(1, 2)").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = parse("Name(\"abc).").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+    }
+
+    #[test]
+    fn reports_bad_character() {
+        let err = parse("Edge(1, 2) & Edge(2, 3).").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }));
+    }
+
+    #[test]
+    fn inconsistent_arity_across_uses_is_rejected() {
+        let err = parse("Edge(1, 2).\nEdge(1, 2, 3).").unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let program = parse("Path(x, y) :- Edge(x, z), Path(z, y).").unwrap();
+        let shown = program.display_rule(&program.rules()[0]);
+        assert_eq!(shown, "Path(x, y) :- Edge(x, z), Path(z, y).");
+    }
+}

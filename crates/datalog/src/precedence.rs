@@ -1,0 +1,354 @@
+//! Precedence graph, strongly connected components, and stratification.
+//!
+//! The precedence graph has one node per relation and an edge `B → A`
+//! whenever `B` occurs in the body of a rule with head `A` ("A depends on
+//! B").  Relations in the same strongly connected component are mutually
+//! recursive and must be evaluated together in one fixpoint; the condensation
+//! of the graph, topologically ordered, yields the evaluation *strata*
+//! (paper §V-A: "generation of a precedence graph so that relations that
+//! rely on other relations will be calculated only after their dependencies
+//! are calculated").
+//!
+//! Stratified negation additionally requires that a negated dependency never
+//! stays inside one SCC: `A :- ..., !B, ...` with `A` and `B` mutually
+//! recursive has no least fixpoint and is rejected.
+
+use carac_storage::hasher::FxHashSet;
+use carac_storage::RelId;
+
+use crate::ast::{RelationDecl, Rule, RuleId};
+use crate::error::DatalogError;
+
+/// One stratum: a set of relations evaluated in a single semi-naive fixpoint
+/// together with the rules that define them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratum {
+    /// Relations computed by this stratum (IDB relations only).
+    pub relations: Vec<RelId>,
+    /// Rules whose head belongs to this stratum.
+    pub rules: Vec<RuleId>,
+    /// Whether any rule in the stratum is recursive (its body mentions a
+    /// relation of the same stratum).  Non-recursive strata need a single
+    /// pass rather than a fixpoint loop.
+    pub recursive: bool,
+}
+
+/// The full stratification of a program, in evaluation order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stratification {
+    strata: Vec<Stratum>,
+}
+
+impl Stratification {
+    /// Strata in evaluation order (dependencies first).
+    pub fn strata(&self) -> &[Stratum] {
+        &self.strata
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Whether there are no strata (a facts-only program).
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// Computes the stratification of `rules` over `decls`.
+    pub fn compute(decls: &[RelationDecl], rules: &[Rule]) -> Result<Self, DatalogError> {
+        let n = decls.len();
+
+        // adjacency: dependencies[a] = set of relations a's rules read.
+        let mut deps: Vec<FxHashSet<usize>> = vec![FxHashSet::default(); n];
+        let mut negative_deps: Vec<FxHashSet<usize>> = vec![FxHashSet::default(); n];
+        for rule in rules {
+            let head = rule.head.rel.index();
+            for literal in &rule.body {
+                let body_rel = literal.atom.rel.index();
+                deps[head].insert(body_rel);
+                if literal.negated {
+                    negative_deps[head].insert(body_rel);
+                }
+            }
+        }
+
+        let sccs = tarjan_sccs(n, &deps);
+
+        // Map each relation to its SCC index.
+        let mut scc_of = vec![usize::MAX; n];
+        for (scc_idx, members) in sccs.iter().enumerate() {
+            for &m in members {
+                scc_of[m] = scc_idx;
+            }
+        }
+
+        // Reject negation inside an SCC.
+        for rule in rules {
+            let head = rule.head.rel.index();
+            for literal in rule.negative_body() {
+                let body_rel = literal.atom.rel.index();
+                if scc_of[head] == scc_of[body_rel] {
+                    return Err(DatalogError::NotStratifiable {
+                        head: decls[head].name.clone(),
+                        negated: decls[body_rel].name.clone(),
+                    });
+                }
+            }
+        }
+
+        // Tarjan emits SCCs in reverse topological order of the condensation
+        // when edges point from dependent to dependency... Our `deps` edges
+        // go head -> body (head depends on body), and Tarjan's algorithm
+        // emits an SCC only after all SCCs reachable from it have been
+        // emitted — i.e. dependencies are emitted first.  That is exactly
+        // evaluation order.
+        let mut strata = Vec::new();
+        for members in &sccs {
+            // Only intensional relations form strata worth evaluating.
+            let relations: Vec<RelId> = members
+                .iter()
+                .copied()
+                .filter(|&m| !decls[m].is_edb)
+                .map(|m| RelId(m as u32))
+                .collect();
+            if relations.is_empty() {
+                continue;
+            }
+            let member_set: FxHashSet<usize> = members.iter().copied().collect();
+            let stratum_rules: Vec<RuleId> = rules
+                .iter()
+                .filter(|r| member_set.contains(&r.head.rel.index()))
+                .map(|r| r.id)
+                .collect();
+            let recursive = rules.iter().any(|r| {
+                member_set.contains(&r.head.rel.index())
+                    && r.body
+                        .iter()
+                        .any(|l| member_set.contains(&l.atom.rel.index()))
+            });
+            strata.push(Stratum {
+                relations,
+                rules: stratum_rules,
+                recursive,
+            });
+        }
+
+        Ok(Stratification { strata })
+    }
+}
+
+/// Iterative Tarjan SCC over a graph given as adjacency sets.
+///
+/// Returns the SCCs in an order where every SCC appears after all SCCs it
+/// has edges into (i.e. dependencies first, given edges point from dependent
+/// to dependency).
+fn tarjan_sccs(n: usize, adj: &[FxHashSet<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+
+    let mut state = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut next_index: u32 = 0;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over its deps).
+    for start in 0..n {
+        if state[start].visited {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let neighbors: Vec<usize> = adj[start].iter().copied().collect();
+        state[start].visited = true;
+        state[start].index = next_index;
+        state[start].lowlink = next_index;
+        next_index += 1;
+        stack.push(start);
+        state[start].on_stack = true;
+        call_stack.push((start, neighbors, 0));
+
+        while let Some((node, neighbors, mut pos)) = call_stack.pop() {
+            let mut descended = false;
+            while pos < neighbors.len() {
+                let next = neighbors[pos];
+                pos += 1;
+                if !state[next].visited {
+                    // Descend.
+                    state[next].visited = true;
+                    state[next].index = next_index;
+                    state[next].lowlink = next_index;
+                    next_index += 1;
+                    stack.push(next);
+                    state[next].on_stack = true;
+                    let next_neighbors: Vec<usize> = adj[next].iter().copied().collect();
+                    call_stack.push((node, neighbors, pos));
+                    call_stack.push((next, next_neighbors, 0));
+                    descended = true;
+                    break;
+                } else if state[next].on_stack {
+                    state[node].lowlink = state[node].lowlink.min(state[next].index);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Node finished.
+            if state[node].lowlink == state[node].index {
+                let mut scc = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    state[w].on_stack = false;
+                    scc.push(w);
+                    if w == node {
+                        break;
+                    }
+                }
+                scc.sort_unstable();
+                sccs.push(scc);
+            }
+            // Propagate lowlink to parent.
+            if let Some((parent, _, _)) = call_stack.last() {
+                let parent = *parent;
+                state[parent].lowlink = state[parent].lowlink.min(state[node].lowlink);
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn single_recursive_stratum() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        let p = b.build().unwrap();
+        let strat = p.stratification();
+        assert_eq!(strat.len(), 1);
+        assert!(strat.strata()[0].recursive);
+        assert_eq!(strat.strata()[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn dependencies_evaluate_before_dependents() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.relation("Reachable", 1);
+        b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        b.rule("Reachable", &["y"]).when("Path", &["x", "y"]).end();
+        let p = b.build().unwrap();
+        let strat = p.stratification();
+        assert_eq!(strat.len(), 2);
+        let path = p.relation_by_name("Path").unwrap();
+        let reach = p.relation_by_name("Reachable").unwrap();
+        assert_eq!(strat.strata()[0].relations, vec![path]);
+        assert_eq!(strat.strata()[1].relations, vec![reach]);
+        assert!(!strat.strata()[1].recursive);
+    }
+
+    #[test]
+    fn mutual_recursion_lands_in_one_stratum() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Base", 2);
+        b.relation("A", 2);
+        b.relation("B", 2);
+        b.rule("A", &["x", "y"]).when("Base", &["x", "y"]).end();
+        b.rule("A", &["x", "y"]).when("B", &["x", "y"]).end();
+        b.rule("B", &["x", "y"]).when("A", &["y", "x"]).end();
+        let p = b.build().unwrap();
+        assert_eq!(p.stratification().len(), 1);
+        assert_eq!(p.stratification().strata()[0].relations.len(), 2);
+    }
+
+    #[test]
+    fn stratified_negation_is_accepted() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Num", 1);
+        b.relation("Composite", 1);
+        b.relation("Prime", 1);
+        b.rule("Composite", &["x"]).when("Num", &["x"]).end();
+        b.rule("Prime", &["x"])
+            .when("Num", &["x"])
+            .when_not("Composite", &["x"])
+            .end();
+        let p = b.build().unwrap();
+        assert_eq!(p.stratification().len(), 2);
+    }
+
+    #[test]
+    fn negation_through_recursion_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Base", 1);
+        b.relation("Win", 1);
+        b.relation("Lose", 1);
+        b.rule("Win", &["x"])
+            .when("Base", &["x"])
+            .when_not("Lose", &["x"])
+            .end();
+        b.rule("Lose", &["x"])
+            .when("Base", &["x"])
+            .when_not("Win", &["x"])
+            .end();
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn tarjan_on_diamond_graph() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 ; no cycles, 4 singleton SCCs, with
+        // 3 (the sink / dependency) emitted before 0.
+        let mut adj = vec![FxHashSet::default(); 4];
+        adj[0].insert(1);
+        adj[0].insert(2);
+        adj[1].insert(3);
+        adj[2].insert(3);
+        let sccs = tarjan_sccs(4, &adj);
+        assert_eq!(sccs.len(), 4);
+        let pos = |x: usize| sccs.iter().position(|s| s.contains(&x)).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(3) < pos(2));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn tarjan_detects_cycles() {
+        // 0 <-> 1, 2 alone depending on the cycle.
+        let mut adj = vec![FxHashSet::default(); 3];
+        adj[0].insert(1);
+        adj[1].insert(0);
+        adj[2].insert(0);
+        let sccs = tarjan_sccs(3, &adj);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0], vec![0, 1]);
+        assert_eq!(sccs[1], vec![2]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Static rewrites over validated programs.
+//!
+//! The paper mentions one static rewrite (§V-A): *alias elimination* — when
+//! a relation is a pure alias of another (`A(x, y) :- B(x, y)` and nothing
+//! else defines `A`), every use of `A` can be replaced by `B` to avoid a
+//! costly extra materialization.  We implement that rewrite plus a helper
+//! that computes the program-wide index requests derived from rule metadata
+//! (§IV "index selection").
+
+use carac_storage::hasher::{FxHashMap, FxHashSet};
+use carac_storage::RelId;
+
+use crate::ast::{Rule, Term};
+use crate::metadata::RuleMeta;
+use crate::program::Program;
+
+/// Returns the relation that `rule` aliases, if the rule is a pure identity
+/// copy: a single positive body atom, no negation, no constants, and the
+/// head terms are exactly the body terms in the same order.
+fn alias_target(rule: &Rule) -> Option<RelId> {
+    if rule.body.len() != 1 || rule.body[0].negated {
+        return None;
+    }
+    let body_atom = &rule.body[0].atom;
+    if body_atom.terms.len() != rule.head.terms.len() {
+        return None;
+    }
+    let identical = rule
+        .head
+        .terms
+        .iter()
+        .zip(body_atom.terms.iter())
+        .all(|(h, b)| match (h, b) {
+            (Term::Var(hv), Term::Var(bv)) => hv == bv,
+            _ => false,
+        });
+    // All body variables must be distinct, otherwise the "alias" filters.
+    let mut seen = FxHashSet::default();
+    let all_distinct = body_atom
+        .terms
+        .iter()
+        .all(|t| matches!(t, Term::Var(v) if seen.insert(*v)));
+    if identical && all_distinct {
+        Some(body_atom.rel)
+    } else {
+        None
+    }
+}
+
+/// Detects alias relations: IDB relations defined by exactly one rule that
+/// is a pure identity copy of another relation.  Returns a map from alias
+/// relation to its target.
+///
+/// Chains (`A :- B`, `B :- C`) are resolved transitively; cycles are left
+/// untouched (they are genuine recursive definitions, not aliases).
+pub fn find_aliases(program: &Program) -> FxHashMap<RelId, RelId> {
+    // Count rules per head relation.
+    let mut rule_count: FxHashMap<RelId, usize> = FxHashMap::default();
+    for rule in program.rules() {
+        *rule_count.entry(rule.head.rel).or_insert(0) += 1;
+    }
+
+    let mut direct: FxHashMap<RelId, RelId> = FxHashMap::default();
+    for rule in program.rules() {
+        if rule_count.get(&rule.head.rel) != Some(&1) {
+            continue;
+        }
+        if let Some(target) = alias_target(rule) {
+            if target != rule.head.rel {
+                direct.insert(rule.head.rel, target);
+            }
+        }
+    }
+
+    // Resolve chains, guarding against cycles.
+    let mut resolved: FxHashMap<RelId, RelId> = FxHashMap::default();
+    for (&alias, &mut mut target) in direct.clone().iter_mut() {
+        let mut seen = FxHashSet::default();
+        seen.insert(alias);
+        while let Some(&next) = direct.get(&target) {
+            if !seen.insert(target) {
+                break; // cycle
+            }
+            target = next;
+        }
+        if !seen.contains(&target) || target != alias {
+            resolved.insert(alias, target);
+        }
+    }
+    resolved
+}
+
+/// Applies alias elimination: rewrites every body occurrence of an alias
+/// relation to its target and drops the alias-defining rules.
+///
+/// The alias relation itself stays declared (its contents after evaluation
+/// would equal the target's), so downstream code querying it by name should
+/// query the target returned in the alias map instead.
+pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>) {
+    let aliases = find_aliases(program);
+    if aliases.is_empty() {
+        return (program.clone(), aliases);
+    }
+
+    // Rebuild via the builder to re-run validation and stratification.
+    let mut builder = crate::builder::ProgramBuilder::new();
+    for decl in program.relations() {
+        builder.relation(&decl.name, decl.arity);
+    }
+    for rule in program.rules() {
+        // Skip alias-defining rules.
+        if aliases.contains_key(&rule.head.rel) {
+            continue;
+        }
+        let head_name = &program.relation(rule.head.rel).name;
+        let to_spec = |term: &Term, rule: &Rule| match term {
+            Term::Var(v) => crate::builder::TermSpec::Var(rule.var_names[v.index()].clone()),
+            Term::Const(c) => match program.symbols().resolve(*c) {
+                Some(text) => crate::builder::TermSpec::Str(text.to_string()),
+                None => crate::builder::TermSpec::Int(c.as_int().unwrap_or(0)),
+            },
+        };
+        let head_terms: Vec<_> = rule.head.terms.iter().map(|t| to_spec(t, rule)).collect();
+        let mut rb = builder.rule(head_name, &head_terms);
+        for literal in &rule.body {
+            let rel = aliases
+                .get(&literal.atom.rel)
+                .copied()
+                .unwrap_or(literal.atom.rel);
+            let rel_name = &program.relation(rel).name;
+            let terms: Vec<_> = literal.atom.terms.iter().map(|t| to_spec(t, rule)).collect();
+            rb = if literal.negated {
+                rb.when_not(rel_name, &terms)
+            } else {
+                rb.when(rel_name, &terms)
+            };
+        }
+        rb.end();
+    }
+    for (rel, tuple) in program.facts() {
+        let name = &program.relation(*rel).name;
+        let specs: Vec<_> = tuple
+            .values()
+            .iter()
+            .map(|v| match program.symbols().resolve(*v) {
+                Some(text) => crate::builder::TermSpec::Str(text.to_string()),
+                None => crate::builder::TermSpec::Int(v.as_int().unwrap_or(0)),
+            })
+            .collect();
+        builder.fact(name, &specs);
+    }
+
+    let rewritten = builder
+        .build()
+        .expect("alias elimination must preserve validity");
+    (rewritten, aliases)
+}
+
+/// All `(relation, column)` index requests implied by the program's rules.
+/// Duplicates are removed; order follows first request.
+pub fn index_requests(program: &Program) -> Vec<(RelId, usize)> {
+    let mut seen = FxHashSet::default();
+    let mut requests = Vec::new();
+    for rule in program.rules() {
+        let meta = RuleMeta::analyze(rule);
+        for request in meta.index_requests() {
+            if seen.insert(request) {
+                requests.push(request);
+            }
+        }
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn aliased_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Link", 2); // pure alias of Edge
+        b.relation("Path", 2);
+        b.rule("Link", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"]).when("Link", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"])
+            .when("Link", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_simple_alias() {
+        let p = aliased_program();
+        let aliases = find_aliases(&p);
+        let link = p.relation_by_name("Link").unwrap();
+        let edge = p.relation_by_name("Edge").unwrap();
+        assert_eq!(aliases.get(&link), Some(&edge));
+        assert_eq!(aliases.len(), 1);
+    }
+
+    #[test]
+    fn eliminates_alias_uses() {
+        let p = aliased_program();
+        let (rewritten, aliases) = eliminate_aliases(&p);
+        assert_eq!(aliases.len(), 1);
+        // The alias-defining rule is dropped.
+        assert_eq!(rewritten.rules().len(), 2);
+        // Every remaining body atom references Edge, not Link.
+        let edge = rewritten.relation_by_name("Edge").unwrap();
+        let link = rewritten.relation_by_name("Link").unwrap();
+        for rule in rewritten.rules() {
+            for literal in &rule.body {
+                assert_ne!(literal.atom.rel, link);
+            }
+            assert!(rule
+                .body
+                .iter()
+                .any(|l| l.atom.rel == edge || !rewritten.relation(l.atom.rel).is_edb));
+        }
+    }
+
+    #[test]
+    fn filtering_copy_is_not_an_alias() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("SelfLoop", 2);
+        // Repeated variable: this filters, it does not alias.
+        b.rule("SelfLoop", &["x", "x"]).when("Edge", &["x", "x"]).end();
+        let p = b.build().unwrap();
+        assert!(find_aliases(&p).is_empty());
+    }
+
+    #[test]
+    fn multi_rule_relation_is_not_an_alias() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Other", 2);
+        b.relation("Both", 2);
+        b.rule("Both", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Both", &["x", "y"]).when("Other", &["x", "y"]).end();
+        let p = b.build().unwrap();
+        assert!(find_aliases(&p).is_empty());
+    }
+
+    #[test]
+    fn alias_chains_resolve_to_the_root() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("A", 2);
+        b.relation("B", 2);
+        b.rule("A", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("B", &["x", "y"]).when("A", &["x", "y"]).end();
+        let p = b.build().unwrap();
+        let aliases = find_aliases(&p);
+        let edge = p.relation_by_name("Edge").unwrap();
+        let a = p.relation_by_name("A").unwrap();
+        let b_rel = p.relation_by_name("B").unwrap();
+        assert_eq!(aliases.get(&a), Some(&edge));
+        assert_eq!(aliases.get(&b_rel), Some(&edge));
+    }
+
+    #[test]
+    fn index_requests_cover_join_columns() {
+        let p = aliased_program();
+        let requests = index_requests(&p);
+        assert!(!requests.is_empty());
+        // Every request is within bounds.
+        for (rel, col) in requests {
+            assert!(col < p.relation(rel).arity);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Static validation of Datalog programs.
+//!
+//! Validation enforces the classic well-formedness conditions before a
+//! program reaches the planner:
+//!
+//! * every atom's arity matches its relation declaration,
+//! * every head variable occurs in at least one positive body literal
+//!   (range restriction / safety),
+//! * every variable of a negated literal occurs in at least one positive
+//!   literal (safe negation),
+//! * facts are ground and match their relation's arity.
+
+use carac_storage::{RelId, SymbolTable, Tuple};
+
+use crate::ast::{RelationDecl, Rule};
+use crate::error::DatalogError;
+
+/// Runs all validation passes; returns the first error found.
+pub fn validate(
+    decls: &[RelationDecl],
+    rules: &[Rule],
+    facts: &[(RelId, Tuple)],
+    symbols: &SymbolTable,
+) -> Result<(), DatalogError> {
+    check_arities(decls, rules, facts)?;
+    check_safety(decls, rules, symbols)?;
+    Ok(())
+}
+
+/// Renders a rule without access to a full `Program` (validation runs before
+/// the program exists).
+fn describe_rule(decls: &[RelationDecl], rule: &Rule) -> String {
+    let head = &decls[rule.head.rel.index()].name;
+    format!("{head}/{} (rule #{})", rule.head.arity(), rule.id.0)
+}
+
+fn check_arities(
+    decls: &[RelationDecl],
+    rules: &[Rule],
+    facts: &[(RelId, Tuple)],
+) -> Result<(), DatalogError> {
+    let arity_of = |rel: RelId| decls[rel.index()].arity;
+    for rule in rules {
+        if rule.head.arity() != arity_of(rule.head.rel) {
+            return Err(DatalogError::ArityMismatch {
+                relation: decls[rule.head.rel.index()].name.clone(),
+                expected: arity_of(rule.head.rel),
+                actual: rule.head.arity(),
+            });
+        }
+        for literal in &rule.body {
+            if literal.atom.arity() != arity_of(literal.atom.rel) {
+                return Err(DatalogError::ArityMismatch {
+                    relation: decls[literal.atom.rel.index()].name.clone(),
+                    expected: arity_of(literal.atom.rel),
+                    actual: literal.atom.arity(),
+                });
+            }
+        }
+    }
+    for (rel, tuple) in facts {
+        if tuple.arity() != arity_of(*rel) {
+            return Err(DatalogError::ArityMismatch {
+                relation: decls[rel.index()].name.clone(),
+                expected: arity_of(*rel),
+                actual: tuple.arity(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_safety(
+    decls: &[RelationDecl],
+    rules: &[Rule],
+    _symbols: &SymbolTable,
+) -> Result<(), DatalogError> {
+    for rule in rules {
+        // Collect variables bound by positive literals.
+        let mut bound = vec![false; rule.num_vars()];
+        for literal in rule.positive_body() {
+            for (_, var) in literal.atom.variables() {
+                bound[var.index()] = true;
+            }
+        }
+        // Head variables must be bound.
+        for (_, var) in rule.head.variables() {
+            if !bound[var.index()] {
+                return Err(DatalogError::UnsafeHeadVariable {
+                    rule: describe_rule(decls, rule),
+                    variable: rule.var_names[var.index()].clone(),
+                });
+            }
+        }
+        // Negated literal variables must be bound.
+        for literal in rule.negative_body() {
+            for (_, var) in literal.atom.variables() {
+                if !bound[var.index()] {
+                    return Err(DatalogError::UnsafeNegatedVariable {
+                        rule: describe_rule(decls, rule),
+                        variable: rule.var_names[var.index()].clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c, v, ProgramBuilder};
+
+    #[test]
+    fn facts_and_atoms_must_match_arity() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.fact_ints("Edge", &[1, 2, 3]);
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"]).when("Edge", &["x"]).end();
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_head_variable_is_unsafe() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Out", 2);
+        b.rule("Out", &["x", "w"]).when("Edge", &["x", "y"]).end();
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::UnsafeHeadVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn head_constants_are_always_safe() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Out", 2);
+        b.rule("Out", &[v("x"), c(0)]).when("Edge", &[v("x"), v("y")]).end();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn negated_only_variable_is_unsafe() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Node", 1);
+        b.relation("Blocked", 1);
+        b.relation("Ok", 1);
+        // `y` appears only under negation.
+        b.rule("Ok", &["x"])
+            .when("Node", &["x"])
+            .when_not("Blocked", &["y"])
+            .end();
+        assert!(matches!(
+            b.build(),
+            Err(DatalogError::UnsafeNegatedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn safe_negation_passes() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Node", 1);
+        b.relation("Blocked", 1);
+        b.relation("Ok", 1);
+        b.rule("Ok", &["x"])
+            .when("Node", &["x"])
+            .when_not("Blocked", &["x"])
+            .end();
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,317 @@
+//! Asynchronous compilation.
+//!
+//! Carac's JIT can compile blocking (the query waits for the artifact) or
+//! asynchronously: compilation requests are shipped to a dedicated compiler
+//! thread and the interpreter keeps making progress, switching to the
+//! compiled artifact at the next safe point once it is ready (paper §V-B.2
+//! "Asynchronous Compilation").  Because every IR node boundary is a safe
+//! point and all state lives in the storage layer, the hand-over needs no
+//! stack surgery — the engine simply starts using the artifact on its next
+//! visit to the node.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use carac_ir::{IRNode, NodeId, OpKind};
+use carac_storage::hasher::{FxHashMap, FxHashSet};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::backends::{compile_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
+use crate::error::ExecError;
+use crate::stats::CompileEvent;
+
+/// A request shipped to the compiler thread.
+struct CompileRequest {
+    node_id: NodeId,
+    kind: OpKind,
+    subtree: IRNode,
+    backend: BackendKind,
+    mode: CompileMode,
+    staging: StagingCostModel,
+    warm: bool,
+}
+
+/// A finished compilation.
+pub struct CompileResult {
+    /// The artifact.
+    pub artifact: Artifact,
+    /// Bookkeeping for the statistics log.
+    pub event: CompileEvent,
+}
+
+/// Handle to the background compiler thread plus the blocking entry point.
+pub struct CompilationManager {
+    tx: Option<Sender<CompileRequest>>,
+    results: Arc<Mutex<FxHashMap<NodeId, CompileResult>>>,
+    pending: FxHashSet<NodeId>,
+    completed_compilations: usize,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CompilationManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompilationManager")
+            .field("pending", &self.pending.len())
+            .field("completed", &self.completed_compilations)
+            .finish()
+    }
+}
+
+impl Default for CompilationManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompilationManager {
+    /// Creates a manager with its background compiler thread.
+    pub fn new() -> Self {
+        let (tx, rx): (Sender<CompileRequest>, Receiver<CompileRequest>) = unbounded();
+        let results: Arc<Mutex<FxHashMap<NodeId, CompileResult>>> =
+            Arc::new(Mutex::new(FxHashMap::default()));
+        let worker_results = Arc::clone(&results);
+        let worker = std::thread::Builder::new()
+            .name("carac-compiler".to_string())
+            .spawn(move || {
+                while let Ok(request) = rx.recv() {
+                    let (artifact, duration) = compile_artifact(
+                        &request.subtree,
+                        request.backend,
+                        request.mode,
+                        &request.staging,
+                        request.warm,
+                    );
+                    let result = CompileResult {
+                        artifact,
+                        event: CompileEvent {
+                            node: request.node_id,
+                            kind: request.kind,
+                            backend: request.backend.tag(),
+                            full: request.mode == CompileMode::Full,
+                            warm: request.warm,
+                            duration,
+                        },
+                    };
+                    worker_results.lock().insert(request.node_id, result);
+                }
+            })
+            .expect("failed to spawn the compiler thread");
+        CompilationManager {
+            tx: Some(tx),
+            results,
+            pending: FxHashSet::default(),
+            completed_compilations: 0,
+            worker: Some(worker),
+        }
+    }
+
+    /// Whether the compiler has completed at least one compilation ("warm").
+    pub fn is_warm(&self) -> bool {
+        self.completed_compilations > 0
+    }
+
+    /// Number of compilations completed (collected) so far.
+    pub fn completed(&self) -> usize {
+        self.completed_compilations
+    }
+
+    /// Whether a request for `node_id` is in flight.
+    pub fn is_pending(&self, node_id: NodeId) -> bool {
+        self.pending.contains(&node_id)
+    }
+
+    /// Compiles synchronously on the calling thread.
+    pub fn compile_blocking(
+        &mut self,
+        node_id: NodeId,
+        kind: OpKind,
+        subtree: &IRNode,
+        backend: BackendKind,
+        mode: CompileMode,
+        staging: &StagingCostModel,
+    ) -> CompileResult {
+        let warm = self.is_warm();
+        let (artifact, duration) = compile_artifact(subtree, backend, mode, staging, warm);
+        self.completed_compilations += 1;
+        CompileResult {
+            artifact,
+            event: CompileEvent {
+                node: node_id,
+                kind,
+                backend: backend.tag(),
+                full: mode == CompileMode::Full,
+                warm,
+                duration,
+            },
+        }
+    }
+
+    /// Submits an asynchronous compilation request.  A duplicate request for
+    /// a node that is already pending is ignored.
+    pub fn request(
+        &mut self,
+        node_id: NodeId,
+        kind: OpKind,
+        subtree: IRNode,
+        backend: BackendKind,
+        mode: CompileMode,
+        staging: StagingCostModel,
+    ) -> Result<(), ExecError> {
+        if self.pending.contains(&node_id) {
+            return Ok(());
+        }
+        let warm = self.is_warm();
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| ExecError::Compilation("compiler thread shut down".into()))?;
+        tx.send(CompileRequest {
+            node_id,
+            kind,
+            subtree,
+            backend,
+            mode,
+            staging,
+            warm,
+        })
+        .map_err(|_| ExecError::Compilation("compiler thread disconnected".into()))?;
+        self.pending.insert(node_id);
+        Ok(())
+    }
+
+    /// Polls for a finished compilation of `node_id`.  Returns `None` while
+    /// the request is still in flight.
+    pub fn poll(&mut self, node_id: NodeId) -> Option<CompileResult> {
+        let result = self.results.lock().remove(&node_id);
+        if result.is_some() {
+            self.pending.remove(&node_id);
+            self.completed_compilations += 1;
+        }
+        result
+    }
+
+    /// Blocks until the pending compilation of `node_id` finishes (used by
+    /// tests and by engine shutdown paths).  Returns `None` if nothing was
+    /// pending.
+    pub fn wait(&mut self, node_id: NodeId, timeout: Duration) -> Option<CompileResult> {
+        if !self.pending.contains(&node_id) {
+            return self.poll(node_id);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(result) = self.poll(node_id) {
+                return Some(result);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for CompilationManager {
+    fn drop(&mut self) {
+        // Closing the channel lets the worker drain and exit.
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+    use carac_ir::{generate_plan, EvalStrategy};
+
+    fn plan() -> IRNode {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n",
+        )
+        .unwrap();
+        generate_plan(&p, EvalStrategy::SemiNaive)
+    }
+
+    #[test]
+    fn blocking_compilation_is_immediately_available() {
+        let mut manager = CompilationManager::new();
+        let plan = plan();
+        let result = manager.compile_blocking(
+            plan.id,
+            plan.kind(),
+            &plan,
+            BackendKind::Lambda,
+            CompileMode::Full,
+            &StagingCostModel::free(),
+        );
+        assert!(matches!(result.artifact, Artifact::FullClosure(_)));
+        assert!(!result.event.warm);
+        assert!(manager.is_warm());
+        // A second compilation is warm.
+        let result = manager.compile_blocking(
+            plan.id,
+            plan.kind(),
+            &plan,
+            BackendKind::Lambda,
+            CompileMode::Full,
+            &StagingCostModel::free(),
+        );
+        assert!(result.event.warm);
+    }
+
+    #[test]
+    fn async_compilation_arrives_eventually() {
+        let mut manager = CompilationManager::new();
+        let plan = plan();
+        manager
+            .request(
+                plan.id,
+                plan.kind(),
+                plan.clone(),
+                BackendKind::Bytecode,
+                CompileMode::Full,
+                StagingCostModel::free(),
+            )
+            .unwrap();
+        assert!(manager.is_pending(plan.id));
+        let result = manager
+            .wait(plan.id, Duration::from_secs(5))
+            .expect("compilation should finish");
+        assert!(matches!(result.artifact, Artifact::Vm(_)));
+        assert!(!manager.is_pending(plan.id));
+        assert_eq!(manager.completed(), 1);
+    }
+
+    #[test]
+    fn duplicate_requests_are_ignored() {
+        let mut manager = CompilationManager::new();
+        let plan = plan();
+        for _ in 0..3 {
+            manager
+                .request(
+                    plan.id,
+                    plan.kind(),
+                    plan.clone(),
+                    BackendKind::Lambda,
+                    CompileMode::Full,
+                    StagingCostModel::free(),
+                )
+                .unwrap();
+        }
+        let _ = manager.wait(plan.id, Duration::from_secs(5)).unwrap();
+        // Only one result was produced for the node.
+        assert!(manager.poll(plan.id).is_none());
+    }
+
+    #[test]
+    fn polling_unknown_node_returns_none() {
+        let mut manager = CompilationManager::new();
+        assert!(manager.poll(NodeId(42)).is_none());
+        assert!(manager.wait(NodeId(42), Duration::from_millis(10)).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! The mutable execution context shared by the interpreter, the compiled
+//! artifacts and the JIT controller.
+
+use carac_datalog::Program;
+use carac_optimizer::OptimizeContext;
+use carac_storage::hasher::FxHashSet;
+use carac_storage::{DbKind, RelId, StorageManager, Tuple};
+
+use crate::error::ExecError;
+use crate::stats::RunStats;
+
+/// Everything a running query touches: the storage manager, declarative
+/// information about the program (which relations are intensional, which
+/// columns are indexed), the current iteration counter and the run
+/// statistics.
+///
+/// All query state lives either here or inside the storage manager — never
+/// on the native stack across IR nodes — which is what makes every IR node
+/// boundary a safe point for switching between interpretation and compiled
+/// code (paper §V-B.3).
+#[derive(Debug)]
+pub struct ExecContext {
+    /// The relational storage.
+    pub storage: StorageManager,
+    /// Whether each relation is intensional (`is_idb[rel.index()]`).
+    pub is_idb: Vec<bool>,
+    /// `(relation, column)` pairs carrying an index.
+    pub indexed: FxHashSet<(RelId, usize)>,
+    /// Iteration counter across the whole run (used for staleness
+    /// bookkeeping and reporting).
+    pub iteration: u64,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl ExecContext {
+    /// Builds a context for `program`: registers every relation, requests
+    /// the indexes implied by the rules (when `use_indexes` is set) and
+    /// loads the program's static facts.
+    pub fn prepare(program: &Program, use_indexes: bool) -> Result<ExecContext, ExecError> {
+        let mut storage = StorageManager::new(use_indexes);
+        for decl in program.relations() {
+            storage.register(&decl.name, decl.arity, decl.is_edb);
+        }
+        let mut indexed = FxHashSet::default();
+        if use_indexes {
+            for (rel, col) in carac_datalog::rewrite::index_requests(program) {
+                storage.add_index(rel, col)?;
+                indexed.insert((rel, col));
+            }
+        }
+        for (rel, tuple) in program.facts() {
+            storage.insert_fact(*rel, tuple.clone())?;
+        }
+        let is_idb = program.relations().iter().map(|d| !d.is_edb).collect();
+        Ok(ExecContext {
+            storage,
+            is_idb,
+            indexed,
+            iteration: 0,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// Inserts an additional EDB fact (facts may keep arriving after the
+    /// context was prepared — the "incrementally added at runtime" facts of
+    /// §V-A).
+    pub fn insert_fact(&mut self, rel: RelId, tuple: Tuple) -> Result<bool, ExecError> {
+        Ok(self.storage.insert_fact(rel, tuple)?)
+    }
+
+    /// Builds the optimizer's view of the current state.
+    pub fn optimize_context(&self) -> OptimizeContext {
+        let mut snapshot = self.storage.stats();
+        snapshot.iteration = self.iteration;
+        OptimizeContext::new(snapshot, self.is_idb.clone(), self.indexed.clone())
+    }
+
+    /// Number of tuples currently derived for `rel`.
+    pub fn derived_count(&self, rel: RelId) -> usize {
+        self.storage
+            .relation(DbKind::Derived, rel)
+            .map(|r| r.len())
+            .unwrap_or(0)
+    }
+
+    /// All derived tuples of `rel`, cloned (for result inspection by callers
+    /// and tests; hot paths use the storage manager directly).
+    pub fn derived_tuples(&self, rel: RelId) -> Vec<Tuple> {
+        self.storage
+            .relation(DbKind::Derived, rel)
+            .map(|r| r.tuples().to_vec())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+
+    #[test]
+    fn prepare_registers_relations_and_facts() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3).",
+        )
+        .unwrap();
+        let ctx = ExecContext::prepare(&p, true).unwrap();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(edge), 2);
+        assert_eq!(ctx.derived_count(path), 0);
+        assert!(ctx.is_idb[path.index()]);
+        assert!(!ctx.is_idb[edge.index()]);
+        // Join columns got indexes.
+        assert!(!ctx.indexed.is_empty());
+    }
+
+    #[test]
+    fn unindexed_context_requests_no_indexes() {
+        let p = parse("Path(x, y) :- Edge(x, z), Path(z, y).").unwrap();
+        let ctx = ExecContext::prepare(&p, false).unwrap();
+        assert!(ctx.indexed.is_empty());
+        assert!(!ctx.storage.indexes_enabled());
+    }
+
+    #[test]
+    fn optimize_context_reflects_cardinalities() {
+        let p = parse("Out(x, y) :- Edge(x, y).\nEdge(4, 5).").unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        ctx.iteration = 3;
+        let oc = ctx.optimize_context();
+        let edge = p.relation_by_name("Edge").unwrap();
+        assert_eq!(oc.cardinality(edge, DbKind::Derived), 1);
+        assert_eq!(oc.stats.iteration, 3);
+    }
+
+    #[test]
+    fn facts_can_arrive_after_preparation() {
+        let p = parse("Out(x, y) :- Edge(x, y).\nEdge(1, 1).").unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        let edge = p.relation_by_name("Edge").unwrap();
+        assert!(ctx.insert_fact(edge, Tuple::pair(9, 9)).unwrap());
+        assert!(!ctx.insert_fact(edge, Tuple::pair(9, 9)).unwrap());
+        assert_eq!(ctx.derived_count(edge), 2);
+    }
+}

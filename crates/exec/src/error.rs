@@ -1,0 +1,63 @@
+//! Execution-layer error type.
+
+use std::fmt;
+
+/// Errors surfaced while executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The storage layer rejected an operation.
+    Storage(carac_storage::StorageError),
+    /// The bytecode machine failed.
+    Vm(String),
+    /// The compilation manager failed (worker thread gone, poisoned state).
+    Compilation(String),
+    /// An internal invariant was violated (a bug in plan generation or the
+    /// JIT controller).
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(err) => write!(f, "storage error: {err}"),
+            ExecError::Vm(msg) => write!(f, "vm error: {msg}"),
+            ExecError::Compilation(msg) => write!(f, "compilation error: {msg}"),
+            ExecError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<carac_storage::StorageError> for ExecError {
+    fn from(err: carac_storage::StorageError) -> Self {
+        ExecError::Storage(err)
+    }
+}
+
+impl From<carac_vm::VmError> for ExecError {
+    fn from(err: carac_vm::VmError) -> Self {
+        ExecError::Vm(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_storage::{RelId, StorageError};
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let err: ExecError = StorageError::UnknownRelation(RelId(5)).into();
+        assert!(err.to_string().contains("R5"));
+        let err: ExecError = carac_vm::VmError::PcOutOfBounds(3).into();
+        assert!(err.to_string().contains('3'));
+    }
+}

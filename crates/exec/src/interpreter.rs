@@ -1,0 +1,172 @@
+//! The plan interpreter.
+//!
+//! Walks the IROp tree directly, executing every `σπ⋈` with the interpreted
+//! join kernel.  This is Carac's baseline execution mode (paper §V-B:
+//! "When Carac is in interpretation mode, there is no further partial
+//! evaluation and the interpreter visits this IROp tree") and the mode the
+//! JIT falls back to while asynchronous compilations are still in flight.
+
+use carac_ir::{IRNode, IROp};
+
+use crate::context::ExecContext;
+use crate::error::ExecError;
+use crate::kernel::execute_interpreted;
+
+/// Executes `node` (and its whole subtree) against `ctx`.
+pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
+    match &node.op {
+        IROp::Program { children }
+        | IROp::Sequence { children }
+        | IROp::Stratum { children, .. }
+        | IROp::UnionAllRules { children, .. }
+        | IROp::UnionRule { children, .. } => {
+            for child in children {
+                interpret(child, ctx)?;
+            }
+            Ok(())
+        }
+        IROp::SwapClear { relations } => {
+            ctx.storage.swap_and_clear(relations)?;
+            Ok(())
+        }
+        IROp::DoWhile { relations, body } => {
+            loop {
+                interpret(body, ctx)?;
+                ctx.iteration += 1;
+                ctx.stats.iterations += 1;
+                if ctx.storage.deltas_empty(relations)? {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        IROp::Spj { query } => {
+            execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+    use carac_ir::{generate_plan, EvalStrategy};
+    use carac_storage::{DbKind, Tuple};
+
+    fn run(source: &str, indexes: bool) -> (carac_datalog::Program, ExecContext) {
+        let p = parse(source).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let mut ctx = ExecContext::prepare(&p, indexes).unwrap();
+        interpret(&plan, &mut ctx).unwrap();
+        (p, ctx)
+    }
+
+    #[test]
+    fn transitive_closure_reaches_fixpoint() {
+        let (p, ctx) = run(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4). Edge(4, 1).",
+            true,
+        );
+        let path = p.relation_by_name("Path").unwrap();
+        // A 4-cycle: every node reaches every node → 16 pairs.
+        assert_eq!(ctx.derived_count(path), 16);
+        assert!(ctx.stats.iterations >= 3);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let source = "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4). Edge(2, 5). Edge(5, 6).";
+        let p = parse(source).unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+
+        let mut semi_ctx = ExecContext::prepare(&p, true).unwrap();
+        interpret(&generate_plan(&p, EvalStrategy::SemiNaive), &mut semi_ctx).unwrap();
+
+        let mut naive_ctx = ExecContext::prepare(&p, true).unwrap();
+        interpret(&generate_plan(&p, EvalStrategy::Naive), &mut naive_ctx).unwrap();
+
+        let mut a = semi_ctx.derived_tuples(path);
+        let mut b = naive_ctx.derived_tuples(path);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stratified_negation_evaluates_lower_stratum_first() {
+        let (p, ctx) = run(
+            "Reach(x) :- Source(x).\n\
+             Reach(y) :- Reach(x), Edge(x, y).\n\
+             Unreached(x) :- Node(x), !Reach(x).\n\
+             Source(1).\n\
+             Node(1). Node(2). Node(3). Node(4).\n\
+             Edge(1, 2). Edge(2, 3).",
+            true,
+        );
+        let unreached = p.relation_by_name("Unreached").unwrap();
+        let tuples = ctx.derived_tuples(unreached);
+        assert_eq!(tuples, vec![Tuple::from_ints(&[4])]);
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let (p, ctx) = run(
+            "Even(0).\n\
+             Even(y) :- Odd(x), Succ(x, y).\n\
+             Odd(y) :- Even(x), Succ(x, y).\n\
+             Succ(0, 1). Succ(1, 2). Succ(2, 3). Succ(3, 4). Succ(4, 5).",
+            false,
+        );
+        let even = p.relation_by_name("Even").unwrap();
+        let odd = p.relation_by_name("Odd").unwrap();
+        let mut evens = ctx.derived_tuples(even);
+        evens.sort();
+        assert_eq!(
+            evens,
+            vec![
+                Tuple::from_ints(&[0]),
+                Tuple::from_ints(&[2]),
+                Tuple::from_ints(&[4])
+            ]
+        );
+        assert_eq!(ctx.derived_count(odd), 3);
+    }
+
+    #[test]
+    fn constant_only_fact_rule_fires_once() {
+        let (p, ctx) = run(
+            "Flag(1) :- Marker(0).\n\
+             Marker(0).",
+            false,
+        );
+        let flag = p.relation_by_name("Flag").unwrap();
+        assert_eq!(ctx.derived_tuples(flag), vec![Tuple::from_ints(&[1])]);
+    }
+
+    #[test]
+    fn deltas_are_empty_after_fixpoint() {
+        let (p, ctx) = run(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3).",
+            true,
+        );
+        let path = p.relation_by_name("Path").unwrap();
+        assert!(ctx
+            .storage
+            .relation(DbKind::DeltaKnown, path)
+            .unwrap()
+            .is_empty());
+        assert!(ctx
+            .storage
+            .relation(DbKind::DeltaNew, path)
+            .unwrap()
+            .is_empty());
+    }
+}

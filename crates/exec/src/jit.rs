@@ -1,0 +1,562 @@
+//! The just-in-time optimizing execution engine (paper §V-B).
+//!
+//! The JIT drives execution by interpreting the IROp tree from the root.
+//! Whenever it reaches a node whose kind matches the configured
+//! *compilation granularity* it may (re)optimize the join orders in that
+//! subtree using the live cardinalities, compile the subtree with the
+//! configured backend — blocking or on the compiler thread — and from then
+//! on execute the compiled artifact instead of interpreting, until the
+//! *freshness test* decides the cardinality landscape has shifted enough
+//! that the artifact should be thrown away (deoptimization) and rebuilt.
+//!
+//! Because all state lives in the storage layer, every node boundary is a
+//! safe point: switching from interpretation to a compiled artifact (or
+//! back) requires no stack capture.
+
+use std::time::Instant;
+
+use carac_ir::{IRNode, IROp, NodeId, OpKind};
+use carac_optimizer::{optimize_plan, FreshnessTest, OptimizerConfig, ReorderAlgorithm};
+use carac_storage::hasher::FxHashMap;
+use carac_vm::Machine;
+
+use crate::backends::{Artifact, BackendKind, CompileMode, StagingCostModel};
+use crate::compile_manager::CompilationManager;
+use crate::context::ExecContext;
+use crate::error::ExecError;
+use crate::interpreter::interpret;
+use crate::kernel::{execute_interpreted, SpecializedQuery};
+use crate::stats::CompileEvent;
+
+/// Configuration of the JIT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitConfig {
+    /// Compilation target.
+    pub backend: BackendKind,
+    /// Node kind at which compilation (and re-optimization) is triggered.
+    pub granularity: OpKind,
+    /// Full-subtree or snippet compilation.
+    pub mode: CompileMode,
+    /// Compile on the background thread (`true`) or block (`false`).
+    pub async_compile: bool,
+    /// Whether the join-order optimization is applied at all.  Disabling it
+    /// isolates the cost/benefit of pure code generation.
+    pub enable_reorder: bool,
+    /// Which reordering algorithm to use.
+    pub reorder_algorithm: ReorderAlgorithm,
+    /// Optimizer parameters (selectivity constant, freshness threshold, ...).
+    pub optimizer: OptimizerConfig,
+    /// Modeled staging cost for the `Quotes` backend.
+    pub staging: StagingCostModel,
+}
+
+impl Default for JitConfig {
+    fn default() -> Self {
+        JitConfig {
+            backend: BackendKind::Lambda,
+            granularity: OpKind::UnionAllRules,
+            mode: CompileMode::Full,
+            async_compile: false,
+            enable_reorder: true,
+            reorder_algorithm: ReorderAlgorithm::Greedy,
+            optimizer: OptimizerConfig::default(),
+            staging: StagingCostModel::default(),
+        }
+    }
+}
+
+impl JitConfig {
+    /// A convenience constructor matching the paper's experiment labels,
+    /// e.g. "JIT Lambda Blocking" or "JIT Quotes Async".
+    pub fn labelled(backend: BackendKind, async_compile: bool) -> Self {
+        JitConfig {
+            backend,
+            async_compile,
+            ..JitConfig::default()
+        }
+    }
+}
+
+/// The JIT engine: owns the plan, the compiled-artifact cache, the freshness
+/// state and the background compiler.
+#[derive(Debug)]
+pub struct JitEngine {
+    plan: IRNode,
+    config: JitConfig,
+    manager: CompilationManager,
+    artifacts: FxHashMap<NodeId, Artifact>,
+    freshness: FxHashMap<NodeId, FreshnessTest>,
+}
+
+impl JitEngine {
+    /// Creates a JIT engine for a generated plan.
+    pub fn new(plan: IRNode, config: JitConfig) -> Self {
+        JitEngine {
+            plan,
+            config,
+            manager: CompilationManager::new(),
+            artifacts: FxHashMap::default(),
+            freshness: FxHashMap::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &IRNode {
+        &self.plan
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JitConfig {
+        &self.config
+    }
+
+    /// Number of compiled artifacts currently cached.
+    pub fn cached_artifacts(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// Runs the plan to completion against `ctx`.
+    pub fn run(&mut self, ctx: &mut ExecContext) -> Result<(), ExecError> {
+        let plan = self.plan.clone();
+        let started = Instant::now();
+        self.exec_node(&plan, ctx)?;
+        ctx.stats.total_time += started.elapsed();
+        Ok(())
+    }
+
+    fn exec_node(&mut self, node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
+        if node.kind() == self.config.granularity {
+            return self.exec_compilable(node, ctx);
+        }
+        match &node.op {
+            IROp::Program { children }
+            | IROp::Sequence { children }
+            | IROp::Stratum { children, .. }
+            | IROp::UnionAllRules { children, .. }
+            | IROp::UnionRule { children, .. } => {
+                for child in children {
+                    self.exec_node(child, ctx)?;
+                }
+                Ok(())
+            }
+            IROp::SwapClear { relations } => {
+                ctx.storage.swap_and_clear(relations)?;
+                Ok(())
+            }
+            IROp::DoWhile { relations, body } => {
+                loop {
+                    self.exec_node(body, ctx)?;
+                    ctx.iteration += 1;
+                    ctx.stats.iterations += 1;
+                    if ctx.storage.deltas_empty(relations)? {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            IROp::Spj { query } => {
+                // Below the compilation granularity: plain interpretation.
+                execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Handles a node at the compilation granularity: freshness check,
+    /// artifact reuse, (re)optimization, compilation, fallback.
+    fn exec_compilable(&mut self, node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
+        let oc = ctx.optimize_context();
+        let freshness = self.freshness.entry(node.id).or_default();
+        let stale = freshness.is_stale(&oc.stats, &self.config.optimizer);
+
+        if self.artifacts.contains_key(&node.id) {
+            if !stale {
+                return self.run_cached(node, ctx);
+            }
+            // Deoptimize: the cardinality landscape shifted too much since
+            // this artifact was generated.
+            self.artifacts.remove(&node.id);
+            ctx.stats.deopts += 1;
+        }
+
+        // An asynchronous compilation may already be in flight.
+        if self.manager.is_pending(node.id) {
+            if let Some(result) = self.manager.poll(node.id) {
+                ctx.stats.compile_events.push(result.event);
+                self.artifacts.insert(node.id, result.artifact);
+                self.freshness
+                    .entry(node.id)
+                    .or_default()
+                    .record(oc.stats.clone());
+                return self.run_cached(node, ctx);
+            }
+            ctx.stats.interpreted_fallbacks += 1;
+            return self.interpret_with_polling(node, ctx);
+        }
+
+        // (Re)optimize the subtree against the live statistics.
+        let reorder_started = Instant::now();
+        let mut subtree = node.clone();
+        if self.config.enable_reorder {
+            let changed = optimize_plan(
+                &mut subtree,
+                &oc,
+                &self.config.optimizer,
+                self.config.reorder_algorithm,
+            );
+            ctx.stats.reorders += changed as u64;
+        }
+        let reorder_time = reorder_started.elapsed();
+        self.freshness
+            .entry(node.id)
+            .or_default()
+            .record(oc.stats.clone());
+
+        if self.config.backend == BackendKind::IrGen {
+            // The IRGenerator target needs no separate compilation phase:
+            // the reordered IR is the artifact and the interpreter runs it.
+            ctx.stats.compile_events.push(CompileEvent {
+                node: node.id,
+                kind: node.kind(),
+                backend: BackendKind::IrGen.tag(),
+                full: true,
+                warm: true,
+                duration: reorder_time,
+            });
+            self.artifacts.insert(node.id, Artifact::Ir(subtree));
+            return self.run_cached(node, ctx);
+        }
+
+        if self.config.async_compile {
+            self.manager.request(
+                node.id,
+                node.kind(),
+                subtree,
+                self.config.backend,
+                self.config.mode,
+                self.config.staging,
+            )?;
+            ctx.stats.interpreted_fallbacks += 1;
+            return self.interpret_with_polling(node, ctx);
+        }
+
+        let result = self.manager.compile_blocking(
+            node.id,
+            node.kind(),
+            &subtree,
+            self.config.backend,
+            self.config.mode,
+            &self.config.staging,
+        );
+        ctx.stats.compile_events.push(result.event);
+        self.artifacts.insert(node.id, result.artifact);
+        self.run_cached(node, ctx)
+    }
+
+    /// Executes the cached artifact for `node`.
+    fn run_cached(&mut self, node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
+        let artifact = self
+            .artifacts
+            .get(&node.id)
+            .ok_or_else(|| ExecError::Internal("artifact vanished".into()))?;
+        ctx.stats.compiled_executions += 1;
+        Self::run_artifact(artifact, node, ctx)
+    }
+
+    /// Executes `artifact` in place of interpreting `node`.
+    fn run_artifact(
+        artifact: &Artifact,
+        node: &IRNode,
+        ctx: &mut ExecContext,
+    ) -> Result<(), ExecError> {
+        match artifact {
+            Artifact::FullClosure(closure) => closure(ctx),
+            Artifact::Ir(subtree) => interpret(subtree, ctx),
+            Artifact::Vm(program) => {
+                let mut machine = Machine::for_program(program);
+                let vm_stats = machine.run(program, &mut ctx.storage)?;
+                ctx.stats.tuples_emitted += vm_stats.emitted;
+                ctx.stats.tuples_inserted += vm_stats.inserted;
+                Ok(())
+            }
+            Artifact::Snippet(kernels) => Self::exec_with_snippets(node, kernels, ctx),
+        }
+    }
+
+    /// Hybrid execution for snippet artifacts: compiled `σπ⋈` kernels where
+    /// available, interpretation for everything else (control flow defers
+    /// back to the interpreter between snippets).
+    fn exec_with_snippets(
+        node: &IRNode,
+        kernels: &FxHashMap<NodeId, SpecializedQuery>,
+        ctx: &mut ExecContext,
+    ) -> Result<(), ExecError> {
+        match &node.op {
+            IROp::Spj { query } => {
+                if let Some(kernel) = kernels.get(&node.id) {
+                    kernel.execute(&mut ctx.storage, &mut ctx.stats)?;
+                } else {
+                    execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+                }
+                Ok(())
+            }
+            IROp::SwapClear { relations } => {
+                ctx.storage.swap_and_clear(relations)?;
+                Ok(())
+            }
+            IROp::DoWhile { relations, body } => {
+                loop {
+                    Self::exec_with_snippets(body, kernels, ctx)?;
+                    ctx.iteration += 1;
+                    ctx.stats.iterations += 1;
+                    if ctx.storage.deltas_empty(relations)? {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            IROp::Program { children }
+            | IROp::Sequence { children }
+            | IROp::Stratum { children, .. }
+            | IROp::UnionAllRules { children, .. }
+            | IROp::UnionRule { children, .. } => {
+                for child in children {
+                    Self::exec_with_snippets(child, kernels, ctx)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Interprets `node` while an asynchronous compilation is in flight,
+    /// polling at child boundaries (the safe points) so the artifact can be
+    /// picked up as soon as it is ready.  When it becomes ready mid-node the
+    /// whole artifact is executed; re-deriving tuples the interpreter already
+    /// produced is harmless under set semantics.
+    fn interpret_with_polling(
+        &mut self,
+        node: &IRNode,
+        ctx: &mut ExecContext,
+    ) -> Result<(), ExecError> {
+        let children = node.children();
+        if children.is_empty() {
+            return interpret(node, ctx);
+        }
+        for child in children {
+            if let Some(result) = self.manager.poll(node.id) {
+                ctx.stats.compile_events.push(result.event);
+                self.artifacts.insert(node.id, result.artifact);
+                self.freshness
+                    .entry(node.id)
+                    .or_default()
+                    .record(ctx.storage.stats());
+                return self.run_cached(node, ctx);
+            }
+            interpret(child, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+    use carac_datalog::Program;
+    use carac_ir::{generate_plan, EvalStrategy};
+    use std::time::Duration;
+
+    fn tc_program() -> Program {
+        parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4). Edge(4, 5). Edge(5, 1).",
+        )
+        .unwrap()
+    }
+
+    fn run_with(config: JitConfig, program: &Program) -> ExecContext {
+        let plan = generate_plan(program, EvalStrategy::SemiNaive);
+        let mut engine = JitEngine::new(plan, config);
+        let mut ctx = ExecContext::prepare(program, true).unwrap();
+        engine.run(&mut ctx).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn every_backend_computes_the_same_fixpoint() {
+        let program = tc_program();
+        let path = program.relation_by_name("Path").unwrap();
+        let expected = {
+            let ctx = run_with(
+                JitConfig {
+                    enable_reorder: false,
+                    ..JitConfig::default()
+                },
+                &program,
+            );
+            ctx.derived_count(path)
+        };
+        assert_eq!(expected, 25); // 5-cycle: all pairs reachable.
+        for backend in BackendKind::ALL {
+            for async_compile in [false, true] {
+                let config = JitConfig {
+                    backend,
+                    async_compile,
+                    staging: StagingCostModel::free(),
+                    ..JitConfig::default()
+                };
+                let ctx = run_with(config, &program);
+                assert_eq!(
+                    ctx.derived_count(path),
+                    expected,
+                    "backend {backend:?} async={async_compile} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_compilation_records_events_and_artifacts() {
+        let program = tc_program();
+        let plan = generate_plan(&program, EvalStrategy::SemiNaive);
+        let mut engine = JitEngine::new(
+            plan,
+            JitConfig {
+                backend: BackendKind::Lambda,
+                async_compile: false,
+                ..JitConfig::default()
+            },
+        );
+        let mut ctx = ExecContext::prepare(&program, true).unwrap();
+        engine.run(&mut ctx).unwrap();
+        assert!(ctx.stats.compilations() > 0);
+        assert!(engine.cached_artifacts() > 0);
+        assert!(ctx.stats.compiled_executions > 0);
+    }
+
+    #[test]
+    fn async_compilation_eventually_switches_or_finishes_interpreted() {
+        let program = tc_program();
+        let config = JitConfig {
+            backend: BackendKind::Quotes,
+            async_compile: true,
+            staging: StagingCostModel {
+                cold_extra: Duration::from_millis(5),
+                warm_base: Duration::from_millis(1),
+                per_node: Duration::ZERO,
+                snippet_factor: 1.0,
+            },
+            ..JitConfig::default()
+        };
+        let ctx = run_with(config, &program);
+        let path = program.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 25);
+        // While the quote was compiling the engine kept interpreting.
+        assert!(ctx.stats.interpreted_fallbacks > 0 || ctx.stats.compiled_executions > 0);
+    }
+
+    #[test]
+    fn snippet_mode_produces_correct_results() {
+        let program = tc_program();
+        let config = JitConfig {
+            backend: BackendKind::Quotes,
+            mode: CompileMode::Snippet,
+            staging: StagingCostModel::free(),
+            ..JitConfig::default()
+        };
+        let ctx = run_with(config, &program);
+        let path = program.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 25);
+    }
+
+    #[test]
+    fn irgen_backend_reorders_without_separate_compilation() {
+        let program = parse(
+            "VAlias(v1, v2) :- VaFlow(v0, v2), VaFlow(v3, v1), MAlias(v3, v0).\n\
+             VaFlow(x, y) :- Assign(x, y).\n\
+             MAlias(x, y) :- Assign(y, x).\n\
+             Assign(1, 2). Assign(2, 3). Assign(3, 1). Assign(4, 2).",
+        )
+        .unwrap();
+        let config = JitConfig {
+            backend: BackendKind::IrGen,
+            ..JitConfig::default()
+        };
+        let ctx = run_with(config, &program);
+        assert!(ctx.stats.reorders > 0, "the 3-way join should be reordered");
+        assert!(ctx
+            .stats
+            .compile_events
+            .iter()
+            .all(|e| e.backend == crate::stats::BackendTag::IrGen));
+        let valias = program.relation_by_name("VAlias").unwrap();
+        // Correctness cross-check against the pure interpreter.
+        let plan = generate_plan(&program, EvalStrategy::SemiNaive);
+        let mut ref_ctx = ExecContext::prepare(&program, true).unwrap();
+        interpret(&plan, &mut ref_ctx).unwrap();
+        assert_eq!(ctx.derived_count(valias), ref_ctx.derived_count(valias));
+    }
+
+    #[test]
+    fn spj_granularity_compiles_every_subquery() {
+        let program = tc_program();
+        let config = JitConfig {
+            granularity: OpKind::Spj,
+            staging: StagingCostModel::free(),
+            ..JitConfig::default()
+        };
+        let ctx = run_with(config, &program);
+        let path = program.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 25);
+        assert!(ctx.stats.compilations() >= 2);
+    }
+
+    #[test]
+    fn program_granularity_compiles_once() {
+        let program = tc_program();
+        let config = JitConfig {
+            granularity: OpKind::Program,
+            staging: StagingCostModel::free(),
+            ..JitConfig::default()
+        };
+        let plan = generate_plan(&program, EvalStrategy::SemiNaive);
+        let mut engine = JitEngine::new(plan, config);
+        let mut ctx = ExecContext::prepare(&program, true).unwrap();
+        engine.run(&mut ctx).unwrap();
+        assert_eq!(ctx.stats.compilations(), 1);
+        let path = program.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 25);
+    }
+
+    #[test]
+    fn freshness_failure_triggers_deoptimization_on_rerun() {
+        let program = tc_program();
+        let plan = generate_plan(&program, EvalStrategy::SemiNaive);
+        let mut engine = JitEngine::new(
+            plan,
+            JitConfig {
+                granularity: OpKind::Program,
+                optimizer: OptimizerConfig {
+                    freshness_threshold: 0.0,
+                    ..OptimizerConfig::default()
+                },
+                staging: StagingCostModel::free(),
+                ..JitConfig::default()
+            },
+        );
+        let mut ctx = ExecContext::prepare(&program, true).unwrap();
+        engine.run(&mut ctx).unwrap();
+        assert_eq!(ctx.stats.deopts, 0);
+        // Re-running the same engine after the databases changed drastically
+        // (they now contain the full closure) trips the freshness test at
+        // threshold 0 and the old artifact is discarded.
+        let mut ctx2 = ExecContext::prepare(&program, true).unwrap();
+        // Mutate ctx2's Edge relation so cardinalities differ from the
+        // snapshot recorded during the first run.
+        let edge = program.relation_by_name("Edge").unwrap();
+        ctx2.insert_fact(edge, carac_storage::Tuple::pair(10, 11)).unwrap();
+        engine.run(&mut ctx2).unwrap();
+        assert!(ctx2.stats.deopts >= 1);
+    }
+}

@@ -1,0 +1,533 @@
+//! Join kernels: how one `σπ⋈` subquery actually runs.
+//!
+//! Two kernels are provided, and the gap between them is the heart of what
+//! code generation buys (paper §III: "the fundamental performance benefit to
+//! code generation is specialization"):
+//!
+//! * [`execute_interpreted`] walks the [`ConjunctiveQuery`] structure for
+//!   every candidate tuple: terms are matched, variables are looked up in a
+//!   hash map, constants are re-discovered each time.  This is what the pure
+//!   interpreter does.
+//! * [`SpecializedQuery`] is produced once per (join-ordered) query by
+//!   [`SpecializedQuery::compile`]: filters, loads, intra-atom equality
+//!   checks and the head projection are all resolved into flat arrays so the
+//!   per-tuple inner loop touches no enums and no hash maps.  The lambda,
+//!   quotes and ahead-of-time backends all execute this form.
+//!
+//! Both kernels implement the same semantics: an index-nested-loop join over
+//! the atoms in their current order, followed by anti-join checks for the
+//! negated literals, projecting into the head relation's delta-new database.
+
+use carac_datalog::{HeadBinding, Term, VarId};
+use carac_ir::ConjunctiveQuery;
+use carac_storage::hasher::FxHashMap;
+use carac_storage::{DbKind, RelId, Relation, StorageManager, Tuple, Value};
+
+use crate::error::ExecError;
+use crate::stats::RunStats;
+
+/// Where a filter value comes from in the specialized plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FilterVal {
+    /// A constant from the rule text.
+    Const(Value),
+    /// The binding slot of a variable bound by an earlier atom.
+    Var(usize),
+}
+
+/// One atom of a specialized query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SpecializedAtom {
+    rel: RelId,
+    db: DbKind,
+    /// `(column, value source)` equality filters applied while scanning.
+    filters: Vec<(usize, FilterVal)>,
+    /// `(column, binding slot)` loads for variables bound here.
+    loads: Vec<(usize, usize)>,
+    /// `(column, column)` intra-atom equality requirements (repeated
+    /// variables within the atom).
+    intra_eq: Vec<(usize, usize)>,
+}
+
+/// Where an emitted head column comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EmitVal {
+    Const(Value),
+    Var(usize),
+}
+
+/// A conjunctive query compiled into flat dispatch-free arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecializedQuery {
+    head_rel: RelId,
+    head: Vec<EmitVal>,
+    atoms: Vec<SpecializedAtom>,
+    negated: Vec<SpecializedAtom>,
+    num_vars: usize,
+}
+
+impl SpecializedQuery {
+    /// Specializes `query` with respect to its current atom order.
+    pub fn compile(query: &ConjunctiveQuery) -> SpecializedQuery {
+        let mut bound = vec![false; query.num_vars];
+        let mut atoms = Vec::with_capacity(query.atoms.len());
+        for atom in &query.atoms {
+            let mut filters = Vec::new();
+            let mut loads = Vec::new();
+            let mut intra_eq = Vec::new();
+            let mut first_col_of: FxHashMap<VarId, usize> = FxHashMap::default();
+            for (col, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => filters.push((col, FilterVal::Const(*c))),
+                    Term::Var(v) => {
+                        if bound[v.index()] {
+                            filters.push((col, FilterVal::Var(v.index())));
+                        } else if let Some(&first) = first_col_of.get(v) {
+                            intra_eq.push((first, col));
+                        } else {
+                            first_col_of.insert(*v, col);
+                            loads.push((col, v.index()));
+                        }
+                    }
+                }
+            }
+            for (_, v) in atom.variable_columns() {
+                bound[v.index()] = true;
+            }
+            atoms.push(SpecializedAtom {
+                rel: atom.rel,
+                db: atom.db,
+                filters,
+                loads,
+                intra_eq,
+            });
+        }
+        let negated = query
+            .negated
+            .iter()
+            .map(|atom| {
+                let filters = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .map(|(col, term)| match term {
+                        Term::Const(c) => (col, FilterVal::Const(*c)),
+                        Term::Var(v) => (col, FilterVal::Var(v.index())),
+                    })
+                    .collect();
+                SpecializedAtom {
+                    rel: atom.rel,
+                    db: atom.db,
+                    filters,
+                    loads: Vec::new(),
+                    intra_eq: Vec::new(),
+                }
+            })
+            .collect();
+        let head = query
+            .head_bindings
+            .iter()
+            .map(|b| match b {
+                HeadBinding::Const(c) => EmitVal::Const(*c),
+                HeadBinding::Var(v) => EmitVal::Var(v.index()),
+            })
+            .collect();
+        SpecializedQuery {
+            head_rel: query.head_rel,
+            head,
+            atoms,
+            negated,
+            num_vars: query.num_vars,
+        }
+    }
+
+    /// Executes the specialized query, inserting results into the head
+    /// relation's delta-new database.  Returns the number of genuinely new
+    /// tuples.
+    pub fn execute(
+        &self,
+        storage: &mut StorageManager,
+        stats: &mut RunStats,
+    ) -> Result<u64, ExecError> {
+        stats.subqueries += 1;
+        let mut bindings = vec![Value::int(0); self.num_vars];
+        let mut out: Vec<Tuple> = Vec::new();
+        self.join_level(0, &mut bindings, storage, &mut out)?;
+        stats.tuples_emitted += out.len() as u64;
+        let mut inserted = 0;
+        for tuple in out {
+            if storage.insert_derived(self.head_rel, tuple)? {
+                inserted += 1;
+            }
+        }
+        stats.tuples_inserted += inserted;
+        Ok(inserted)
+    }
+
+    fn join_level(
+        &self,
+        level: usize,
+        bindings: &mut [Value],
+        storage: &StorageManager,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), ExecError> {
+        if level == self.atoms.len() {
+            // Negation checks, then emit.
+            for neg in &self.negated {
+                if probe_exists(storage.relation(neg.db, neg.rel)?, &neg.filters, bindings) {
+                    return Ok(());
+                }
+            }
+            let tuple = Tuple::new(
+                self.head
+                    .iter()
+                    .map(|e| match e {
+                        EmitVal::Const(c) => *c,
+                        EmitVal::Var(slot) => bindings[*slot],
+                    })
+                    .collect(),
+            );
+            out.push(tuple);
+            return Ok(());
+        }
+        let atom = &self.atoms[level];
+        let relation = storage.relation(atom.db, atom.rel)?;
+        let rows = candidate_rows(relation, &atom.filters, bindings);
+        'rows: for row in rows {
+            let tuple = relation.tuple_at(row);
+            for &(col, ref val) in &atom.filters {
+                let expected = match val {
+                    FilterVal::Const(c) => *c,
+                    FilterVal::Var(slot) => bindings[*slot],
+                };
+                if tuple.get(col) != Some(expected) {
+                    continue 'rows;
+                }
+            }
+            for &(a, b) in &atom.intra_eq {
+                if tuple.get(a) != tuple.get(b) {
+                    continue 'rows;
+                }
+            }
+            for &(col, slot) in &atom.loads {
+                bindings[slot] = tuple
+                    .get(col)
+                    .ok_or_else(|| ExecError::Internal("load column out of bounds".into()))?;
+            }
+            self.join_level(level + 1, bindings, storage, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Candidate row offsets for an atom given the current bindings: uses an
+/// index on a filtered column when available, otherwise the first filter,
+/// otherwise a full scan.
+fn candidate_rows(relation: &Relation, filters: &[(usize, FilterVal)], bindings: &[Value]) -> Vec<usize> {
+    let resolve = |val: &FilterVal| match val {
+        FilterVal::Const(c) => *c,
+        FilterVal::Var(slot) => bindings[*slot],
+    };
+    if let Some((col, val)) = filters.iter().find(|(col, _)| relation.has_index(*col)) {
+        return relation.lookup_rows(*col, resolve(val));
+    }
+    if let Some((col, val)) = filters.first() {
+        return relation.lookup_rows(*col, resolve(val));
+    }
+    (0..relation.len()).collect()
+}
+
+/// Whether a tuple matching every filter exists (negation probe).
+fn probe_exists(relation: &Relation, filters: &[(usize, FilterVal)], bindings: &[Value]) -> bool {
+    let rows = candidate_rows(relation, filters, bindings);
+    rows.into_iter().any(|row| {
+        let tuple = relation.tuple_at(row);
+        filters.iter().all(|&(col, ref val)| {
+            let expected = match val {
+                FilterVal::Const(c) => *c,
+                FilterVal::Var(slot) => bindings[*slot],
+            };
+            tuple.get(col) == Some(expected)
+        })
+    })
+}
+
+/// Fully interpreted execution of a conjunctive query: every candidate tuple
+/// re-examines the query structure (terms, variable map) instead of running
+/// against a specialized plan.
+pub fn execute_interpreted(
+    query: &ConjunctiveQuery,
+    storage: &mut StorageManager,
+    stats: &mut RunStats,
+) -> Result<u64, ExecError> {
+    stats.subqueries += 1;
+    let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
+    let mut out = Vec::new();
+    interp_level(query, 0, &mut bindings, storage, &mut out)?;
+    stats.tuples_emitted += out.len() as u64;
+    let mut inserted = 0;
+    for tuple in out {
+        if storage.insert_derived(query.head_rel, tuple)? {
+            inserted += 1;
+        }
+    }
+    stats.tuples_inserted += inserted;
+    Ok(inserted)
+}
+
+fn interp_level(
+    query: &ConjunctiveQuery,
+    level: usize,
+    bindings: &mut FxHashMap<VarId, Value>,
+    storage: &StorageManager,
+    out: &mut Vec<Tuple>,
+) -> Result<(), ExecError> {
+    if level == query.atoms.len() {
+        for neg in &query.negated {
+            let relation = storage.relation(neg.db, neg.rel)?;
+            let exists = relation.tuples().iter().any(|tuple| {
+                neg.terms.iter().enumerate().all(|(col, term)| match term {
+                    Term::Const(c) => tuple.get(col) == Some(*c),
+                    Term::Var(v) => bindings.get(v).map(|&b| tuple.get(col) == Some(b)).unwrap_or(false),
+                })
+            });
+            if exists {
+                return Ok(());
+            }
+        }
+        let tuple = Tuple::new(
+            query
+                .head_bindings
+                .iter()
+                .map(|binding| match binding {
+                    HeadBinding::Const(c) => *c,
+                    HeadBinding::Var(v) => *bindings
+                        .get(v)
+                        .expect("head variable unbound; validation guarantees safety"),
+                })
+                .collect(),
+        );
+        out.push(tuple);
+        return Ok(());
+    }
+    let atom = &query.atoms[level];
+    let relation = storage.relation(atom.db, atom.rel)?;
+    // Interpretation re-derives the access path every time: if some column is
+    // constrained (constant or bound variable) use it for a lookup, else scan.
+    let constrained: Option<(usize, Value)> =
+        atom.terms.iter().enumerate().find_map(|(col, term)| match term {
+            Term::Const(c) => Some((col, *c)),
+            Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
+        });
+    let rows: Vec<usize> = match constrained {
+        Some((col, val)) => relation.lookup_rows(col, val),
+        None => (0..relation.len()).collect(),
+    };
+    'rows: for row in rows {
+        let tuple = relation.tuple_at(row).clone();
+        // Check every column against the current bindings.
+        let mut locally_bound: Vec<(VarId, Value)> = Vec::new();
+        for (col, term) in atom.terms.iter().enumerate() {
+            let value = tuple
+                .get(col)
+                .ok_or_else(|| ExecError::Internal("tuple narrower than atom".into()))?;
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(&existing) = bindings.get(v) {
+                        if existing != value {
+                            continue 'rows;
+                        }
+                    } else if let Some(&(_, prev)) =
+                        locally_bound.iter().find(|(lv, _)| lv == v)
+                    {
+                        if prev != value {
+                            continue 'rows;
+                        }
+                    } else {
+                        locally_bound.push((*v, value));
+                    }
+                }
+            }
+        }
+        for &(v, value) in &locally_bound {
+            bindings.insert(v, value);
+        }
+        interp_level(query, level + 1, bindings, storage, out)?;
+        for (v, _) in &locally_bound {
+            bindings.remove(v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+    use carac_datalog::Program;
+    use carac_ir::{generate_plan, EvalStrategy};
+
+    fn prep(program: &Program, indexes: bool) -> StorageManager {
+        let mut sm = StorageManager::new(indexes);
+        for decl in program.relations() {
+            sm.register(&decl.name, decl.arity, decl.is_edb);
+        }
+        if indexes {
+            for (rel, col) in carac_datalog::rewrite::index_requests(program) {
+                sm.add_index(rel, col).unwrap();
+            }
+        }
+        for (rel, tuple) in program.facts() {
+            sm.insert_fact(*rel, tuple.clone()).unwrap();
+        }
+        sm
+    }
+
+    fn first_query(program: &Program) -> ConjunctiveQuery {
+        let plan = generate_plan(program, EvalStrategy::SemiNaive);
+        plan.spj_queries()[0].1.clone()
+    }
+
+    #[test]
+    fn specialized_and_interpreted_agree_on_simple_join() {
+        let p = parse(
+            "Gp(x, z) :- Parent(x, y), Parent(y, z).\n\
+             Parent(1, 2). Parent(2, 3). Parent(2, 4). Parent(3, 5).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let gp = p.relation_by_name("Gp").unwrap();
+
+        let mut s1 = prep(&p, true);
+        let mut stats1 = RunStats::default();
+        let n1 = SpecializedQuery::compile(&q).execute(&mut s1, &mut stats1).unwrap();
+
+        let mut s2 = prep(&p, false);
+        let mut stats2 = RunStats::default();
+        let n2 = execute_interpreted(&q, &mut s2, &mut stats2).unwrap();
+
+        assert_eq!(n1, n2);
+        assert_eq!(n1, 3); // (1,3), (1,4), (2,5)
+        let mut a = s1.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+        let mut b = s2.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constants_filter_in_both_kernels() {
+        let p = parse(
+            "CallsSeven(x) :- Call(x, 7).\n\
+             Call(1, 7). Call(2, 8). Call(3, 7).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("CallsSeven").unwrap();
+        for indexes in [false, true] {
+            let mut s = prep(&p, indexes);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
+
+            let mut s = prep(&p, indexes);
+            let mut stats = RunStats::default();
+            execute_interpreted(&q, &mut s, &mut stats).unwrap();
+            assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn repeated_variable_within_atom_filters() {
+        let p = parse(
+            "Loop(x) :- Edge(x, x).\n\
+             Edge(1, 1). Edge(1, 2). Edge(3, 3).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Loop").unwrap();
+        let mut s = prep(&p, false);
+        let mut stats = RunStats::default();
+        SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
+
+        let mut s = prep(&p, false);
+        let mut stats = RunStats::default();
+        execute_interpreted(&q, &mut s, &mut stats).unwrap();
+        assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn negation_filters_candidates() {
+        let p = parse(
+            "Ok(x) :- Node(x), !Blocked(x).\n\
+             Node(1). Node(2). Node(3). Blocked(2).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Ok").unwrap();
+        for specialized in [true, false] {
+            let mut s = prep(&p, false);
+            let mut stats = RunStats::default();
+            if specialized {
+                SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            } else {
+                execute_interpreted(&q, &mut s, &mut stats).unwrap();
+            }
+            let delta = s.relation(DbKind::DeltaNew, rel).unwrap();
+            assert_eq!(delta.len(), 2);
+            assert!(delta.contains(&Tuple::from_ints(&[1])));
+            assert!(delta.contains(&Tuple::from_ints(&[3])));
+        }
+    }
+
+    #[test]
+    fn three_way_join_order_does_not_change_results() {
+        let p = parse(
+            "VAlias(v1, v2) :- VaFlow(v0, v2), VaFlow(v3, v1), MAlias(v3, v0).\n\
+             VaFlow(1, 10). VaFlow(2, 20). VaFlow(1, 30).\n\
+             MAlias(2, 1). MAlias(1, 1).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("VAlias").unwrap();
+        let orders: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]];
+        let mut results: Vec<Vec<Tuple>> = Vec::new();
+        for order in orders {
+            let reordered = q.with_order(&order);
+            let mut s = prep(&p, true);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&reordered)
+                .execute(&mut s, &mut stats)
+                .unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, rel).unwrap().tuples().to_vec();
+            tuples.sort();
+            results.push(tuples);
+        }
+        assert!(!results[0].is_empty());
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn stats_record_emitted_and_inserted() {
+        let p = parse(
+            "Out(x) :- Edge(x, y).\n\
+             Edge(1, 2). Edge(1, 3). Edge(2, 4).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let mut s = prep(&p, false);
+        let mut stats = RunStats::default();
+        SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        // Three bindings project onto two distinct head tuples.
+        assert_eq!(stats.tuples_emitted, 3);
+        assert_eq!(stats.tuples_inserted, 2);
+        assert_eq!(stats.subqueries, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # carac-exec
+//!
+//! The execution engine of Carac-rs: a plan interpreter, four runtime
+//! compilation backends, an asynchronous compilation manager, and the JIT
+//! controller that ties them together with the adaptive join-order
+//! optimizer (paper §V-B, §V-C).
+//!
+//! The engine executes the IROp plans produced by `carac-ir`.  In pure
+//! interpretation mode ([`interpreter::interpret`]) the tree is walked
+//! directly.  In JIT mode ([`JitEngine`]) execution starts interpreted and,
+//! at the configured granularity, subtrees are re-optimized against live
+//! cardinalities and compiled with one of the [`backends`]; compilation can
+//! happen synchronously or on a background thread while interpretation
+//! continues, and compiled artifacts are discarded again (deoptimization)
+//! when the freshness test detects that the cardinality landscape has
+//! drifted.
+
+pub mod backends;
+pub mod compile_manager;
+pub mod context;
+pub mod error;
+pub mod interpreter;
+pub mod jit;
+pub mod kernel;
+pub mod stats;
+
+pub use backends::{Artifact, BackendKind, CompileMode, StagingCostModel};
+pub use compile_manager::CompilationManager;
+pub use context::ExecContext;
+pub use error::ExecError;
+pub use jit::{JitConfig, JitEngine};
+pub use kernel::SpecializedQuery;
+pub use stats::{BackendTag, CompileEvent, RunStats};

@@ -1,0 +1,141 @@
+//! Runtime counters collected during a query run.
+//!
+//! These counters back the evaluation: speedups are computed from
+//! `total_time`, the compilation-cost figures (paper Fig. 5) from the
+//! per-event [`CompileEvent`] log, and the benchmark harness asserts result
+//! sizes through `tuples_inserted`.
+
+use std::time::Duration;
+
+use carac_ir::{NodeId, OpKind};
+
+/// Which backend produced an artifact (mirrors `BackendKind`, duplicated
+/// here to keep `stats` dependency-free of the backend module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendTag {
+    /// Staged-closure ("quotes & splices") backend.
+    Quotes,
+    /// Relational bytecode VM backend.
+    Bytecode,
+    /// Precompiled higher-order function backend.
+    Lambda,
+    /// IR regeneration backend.
+    IrGen,
+}
+
+/// One compilation performed by the JIT (or ahead of time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileEvent {
+    /// Node that was compiled.
+    pub node: NodeId,
+    /// Kind of the node (the granularity it was compiled at).
+    pub kind: OpKind,
+    /// Backend used.
+    pub backend: BackendTag,
+    /// Whether the whole subtree ("full") or only the node body ("snippet")
+    /// was compiled.
+    pub full: bool,
+    /// Whether the compiler was warm (had compiled at least once before).
+    pub warm: bool,
+    /// Wall-clock time spent generating the artifact (including any modeled
+    /// staging cost).
+    pub duration: Duration,
+}
+
+/// Counters for one run of a program.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Semi-naive iterations executed (across all strata).
+    pub iterations: u64,
+    /// SPJ subqueries executed (interpreted or compiled).
+    pub subqueries: u64,
+    /// Tuples produced by subqueries before deduplication.
+    pub tuples_emitted: u64,
+    /// Tuples that were genuinely new.
+    pub tuples_inserted: u64,
+    /// Join-order re-optimizations applied.
+    pub reorders: u64,
+    /// Compiled artifacts that were invalidated (deoptimization).
+    pub deopts: u64,
+    /// Times a ready compiled artifact was used instead of interpreting.
+    pub compiled_executions: u64,
+    /// Times execution fell back to interpretation because an asynchronous
+    /// compilation was not ready yet.
+    pub interpreted_fallbacks: u64,
+    /// Compilation log.
+    pub compile_events: Vec<CompileEvent>,
+    /// Total wall-clock execution time (filled by the engine).
+    pub total_time: Duration,
+}
+
+impl RunStats {
+    /// Total time spent compiling (sum over events).
+    pub fn compile_time(&self) -> Duration {
+        self.compile_events.iter().map(|e| e.duration).sum()
+    }
+
+    /// Number of compilations.
+    pub fn compilations(&self) -> usize {
+        self.compile_events.len()
+    }
+
+    /// Merges another stats block into this one (used when a run is split
+    /// across strata or across engine components).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.iterations += other.iterations;
+        self.subqueries += other.subqueries;
+        self.tuples_emitted += other.tuples_emitted;
+        self.tuples_inserted += other.tuples_inserted;
+        self.reorders += other.reorders;
+        self.deopts += other.deopts;
+        self.compiled_executions += other.compiled_executions;
+        self.interpreted_fallbacks += other.interpreted_fallbacks;
+        self.compile_events
+            .extend(other.compile_events.iter().cloned());
+        self.total_time += other.total_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ms: u64) -> CompileEvent {
+        CompileEvent {
+            node: NodeId(0),
+            kind: OpKind::Spj,
+            backend: BackendTag::Lambda,
+            full: true,
+            warm: false,
+            duration: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn compile_time_sums_events() {
+        let mut stats = RunStats::default();
+        stats.compile_events.push(event(5));
+        stats.compile_events.push(event(7));
+        assert_eq!(stats.compile_time(), Duration::from_millis(12));
+        assert_eq!(stats.compilations(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats {
+            iterations: 2,
+            subqueries: 10,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            iterations: 3,
+            subqueries: 5,
+            compile_events: vec![event(1)],
+            ..RunStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.subqueries, 15);
+        assert_eq!(a.compilations(), 1);
+    }
+}

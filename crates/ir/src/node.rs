@@ -1,0 +1,316 @@
+//! The IROp tree — Carac's logical query plan (paper Fig. 4).
+//!
+//! The plan is an imperative tree of relational-algebra, control-flow and
+//! relation-management operations obtained by partially evaluating the
+//! semi-naive evaluator with respect to the input Datalog program (a
+//! Futamura projection, §V-B.1).  Every node carries a stable [`NodeId`] so
+//! the JIT can cache compiled artifacts per node and so safe points can be
+//! identified across interpretation and compiled code.
+//!
+//! Correspondence with the paper's operators:
+//!
+//! | paper              | here                          |
+//! |--------------------|-------------------------------|
+//! | `ProgramOp`        | [`IROp::Program`]             |
+//! | `DoWhileOp`        | [`IROp::DoWhile`]             |
+//! | `SwapClearOp`      | [`IROp::SwapClear`]           |
+//! | `UnionOp*` (pink)  | [`IROp::UnionAllRules`]       |
+//! | `UnionOp` (yellow) | [`IROp::UnionRule`]           |
+//! | `σπ⋈` (blue)       | [`IROp::Spj`]                 |
+//! | `InsertOp`/`ScanOp`| folded into [`IROp::Spj`] (it scans its sources and inserts into the head's delta-new) |
+//! | sequencing         | [`IROp::Sequence`]            |
+
+use carac_datalog::RuleId;
+use carac_storage::RelId;
+use std::fmt;
+
+use crate::query::ConjunctiveQuery;
+
+/// Stable identifier of a node within one generated plan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of an IR operation — used to express compilation granularities
+/// ("compile at every UnionOp*", "compile at every σπ⋈", ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Whole-program node.
+    Program,
+    /// One stratum (initial pass + fixpoint loop).
+    Stratum,
+    /// Fixpoint loop of a stratum.
+    DoWhile,
+    /// Plain sequencing.
+    Sequence,
+    /// Iteration boundary: merge deltas, swap, clear.
+    SwapClear,
+    /// Union over all rules of one relation (paper `UnionOp*`).
+    UnionAllRules,
+    /// Union over the delta-variants of one rule (paper `UnionOp`).
+    UnionRule,
+    /// One select-project-join subquery.
+    Spj,
+}
+
+/// A plan node: id plus operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IRNode {
+    /// Stable id within the plan.
+    pub id: NodeId,
+    /// The operation.
+    pub op: IROp,
+}
+
+/// Plan operations.  Children are owned; the tree is immutable after
+/// generation except through wholesale replacement by the IRGenerator
+/// backend (which regenerates subtrees with new atom orders).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IROp {
+    /// Top-level program: one child per stratum, executed in order.
+    Program {
+        /// Strata in evaluation order.
+        children: Vec<IRNode>,
+    },
+    /// One stratum: an initial naive pass followed by the fixpoint loop.
+    Stratum {
+        /// Relations computed by this stratum.
+        relations: Vec<RelId>,
+        /// Children executed in order (initial pass, swap, loop).
+        children: Vec<IRNode>,
+        /// Whether the stratum is recursive (needs the loop at all).
+        recursive: bool,
+    },
+    /// Fixpoint loop: execute `body` then [`IROp::SwapClear`]'s merge until
+    /// no delta relation of the stratum contains tuples.
+    DoWhile {
+        /// Relations whose deltas decide termination.
+        relations: Vec<RelId>,
+        /// Loop body.
+        body: Box<IRNode>,
+    },
+    /// Sequential composition, executed left to right.
+    Sequence {
+        /// Children in execution order.
+        children: Vec<IRNode>,
+    },
+    /// Iteration boundary for the given relations.
+    SwapClear {
+        /// Relations to merge/swap/clear.
+        relations: Vec<RelId>,
+    },
+    /// Union of the contributions of every rule defining `rel`
+    /// (paper `UnionOp*`).
+    UnionAllRules {
+        /// Head relation.
+        rel: RelId,
+        /// One child per rule (each an [`IROp::UnionRule`]).
+        children: Vec<IRNode>,
+    },
+    /// Union of the delta-variants of a single rule (paper `UnionOp`).
+    UnionRule {
+        /// Originating rule.
+        rule: RuleId,
+        /// One child per delta-variant (each an [`IROp::Spj`]).
+        children: Vec<IRNode>,
+    },
+    /// One select-project-join subquery: scans its sources, applies the
+    /// filters, projects the head columns and inserts the result into the
+    /// head relation's delta-new database.
+    Spj {
+        /// The subquery.
+        query: ConjunctiveQuery,
+    },
+}
+
+impl IRNode {
+    /// The kind of this node.
+    pub fn kind(&self) -> OpKind {
+        match &self.op {
+            IROp::Program { .. } => OpKind::Program,
+            IROp::Stratum { .. } => OpKind::Stratum,
+            IROp::DoWhile { .. } => OpKind::DoWhile,
+            IROp::Sequence { .. } => OpKind::Sequence,
+            IROp::SwapClear { .. } => OpKind::SwapClear,
+            IROp::UnionAllRules { .. } => OpKind::UnionAllRules,
+            IROp::UnionRule { .. } => OpKind::UnionRule,
+            IROp::Spj { .. } => OpKind::Spj,
+        }
+    }
+
+    /// Immutable children of this node, in execution order.
+    pub fn children(&self) -> Vec<&IRNode> {
+        match &self.op {
+            IROp::Program { children }
+            | IROp::Sequence { children }
+            | IROp::UnionAllRules { children, .. }
+            | IROp::UnionRule { children, .. }
+            | IROp::Stratum { children, .. } => children.iter().collect(),
+            IROp::DoWhile { body, .. } => vec![body],
+            IROp::SwapClear { .. } | IROp::Spj { .. } => Vec::new(),
+        }
+    }
+
+    /// Mutable children of this node, in execution order.
+    pub fn children_mut(&mut self) -> Vec<&mut IRNode> {
+        match &mut self.op {
+            IROp::Program { children }
+            | IROp::Sequence { children }
+            | IROp::UnionAllRules { children, .. }
+            | IROp::UnionRule { children, .. }
+            | IROp::Stratum { children, .. } => children.iter_mut().collect(),
+            IROp::DoWhile { body, .. } => vec![body.as_mut()],
+            IROp::SwapClear { .. } | IROp::Spj { .. } => Vec::new(),
+        }
+    }
+
+    /// Pre-order traversal visiting every node.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a IRNode)) {
+        f(self);
+        for child in self.children() {
+            child.visit(f);
+        }
+    }
+
+    /// Pre-order traversal with mutable access.
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut IRNode)) {
+        f(self);
+        for child in self.children_mut() {
+            child.visit_mut(f);
+        }
+    }
+
+    /// Total number of nodes in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        let mut count = 0;
+        self.visit(&mut |_| count += 1);
+        count
+    }
+
+    /// Finds a node by id.
+    pub fn find(&self, id: NodeId) -> Option<&IRNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        for child in self.children() {
+            if let Some(found) = child.find(id) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Collects the ids of every node of the given kind, in pre-order.
+    pub fn nodes_of_kind(&self, kind: OpKind) -> Vec<NodeId> {
+        let mut ids = Vec::new();
+        self.visit(&mut |node| {
+            if node.kind() == kind {
+                ids.push(node.id);
+            }
+        });
+        ids
+    }
+
+    /// Collects every SPJ query in the subtree (pre-order), together with
+    /// the node ids carrying them.
+    pub fn spj_queries(&self) -> Vec<(NodeId, &ConjunctiveQuery)> {
+        let mut out = Vec::new();
+        self.visit(&mut |node| {
+            if let IROp::Spj { query } = &node.op {
+                out.push((node.id, query));
+            }
+        });
+        out
+    }
+}
+
+/// Allocates [`NodeId`]s during plan construction.
+#[derive(Debug, Default)]
+pub struct NodeIdGen {
+    next: u32,
+}
+
+impl NodeIdGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        NodeIdGen::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far.
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(gen: &mut NodeIdGen) -> IRNode {
+        IRNode {
+            id: gen.fresh(),
+            op: IROp::SwapClear { relations: vec![] },
+        }
+    }
+
+    #[test]
+    fn traversal_counts_and_finds_nodes() {
+        let mut gen = NodeIdGen::new();
+        let a = leaf(&mut gen);
+        let b = leaf(&mut gen);
+        let seq = IRNode {
+            id: gen.fresh(),
+            op: IROp::Sequence { children: vec![a, b] },
+        };
+        let target = seq.children()[1].id;
+        let root = IRNode {
+            id: gen.fresh(),
+            op: IROp::Program { children: vec![seq] },
+        };
+        assert_eq!(root.node_count(), 4);
+        assert!(root.find(target).is_some());
+        assert!(root.find(NodeId(99)).is_none());
+        assert_eq!(root.nodes_of_kind(OpKind::SwapClear).len(), 2);
+        assert_eq!(root.kind(), OpKind::Program);
+    }
+
+    #[test]
+    fn visit_mut_reaches_every_node() {
+        let mut gen = NodeIdGen::new();
+        let a = leaf(&mut gen);
+        let mut root = IRNode {
+            id: gen.fresh(),
+            op: IROp::Sequence { children: vec![a] },
+        };
+        let mut visited = 0;
+        root.visit_mut(&mut |_| visited += 1);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn id_generator_is_dense() {
+        let mut gen = NodeIdGen::new();
+        assert_eq!(gen.fresh(), NodeId(0));
+        assert_eq!(gen.fresh(), NodeId(1));
+        assert_eq!(gen.count(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Plan generation: partial evaluation of the semi-naive evaluator with
+//! respect to the input Datalog program (a Futamura projection, §V-B.1).
+//!
+//! The generated plan follows Fig. 4 of the paper, one [`IROp::Stratum`] per
+//! stratum of the program:
+//!
+//! ```text
+//! Program
+//! └─ Stratum (per stratum, in dependency order)
+//!    ├─ Sequence            (initial naive pass)
+//!    │  ├─ UnionAllRules R₁ ── UnionRule ── Spj (all atoms read Derived)
+//!    │  ├─ UnionAllRules R₂ ...
+//!    │  └─ SwapClear [R₁, R₂, ...]
+//!    └─ DoWhile [R₁, R₂, ...]
+//!       └─ Sequence
+//!          ├─ UnionAllRules R₁
+//!          │  ├─ UnionRule rule₁
+//!          │  │  ├─ Spj (delta on atom 0)
+//!          │  │  ├─ Spj (delta on atom 1)
+//!          │  │  └─ ...
+//!          │  └─ UnionRule rule₂ ...
+//!          ├─ UnionAllRules R₂ ...
+//!          └─ SwapClear [R₁, R₂, ...]
+//! ```
+//!
+//! In the fixpoint loop only atoms whose relation belongs to the *current*
+//! stratum get a delta-variant: lower-stratum and EDB relations are fully
+//! computed by then, so their deltas are permanently empty and the corresponding
+//! subqueries would contribute nothing.
+
+use carac_datalog::Program;
+use carac_storage::RelId;
+
+use crate::node::{IRNode, IROp, NodeIdGen};
+use crate::query::ConjunctiveQuery;
+
+/// Which evaluation strategy to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Semi-naive evaluation: delta-variants per rule, as in the paper.
+    SemiNaive,
+    /// Naive evaluation: every iteration re-evaluates every rule against the
+    /// full derived database.  Used by the DLX-like baseline and as a
+    /// correctness oracle in tests.
+    Naive,
+}
+
+/// Generates the logical query plan for `program`.
+pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
+    let mut ids = NodeIdGen::new();
+    let mut strata_nodes = Vec::new();
+
+    for stratum in program.stratification().strata() {
+        let relations = stratum.relations.clone();
+        let rules: Vec<_> = stratum
+            .rules
+            .iter()
+            .map(|&rule_id| program.rule(rule_id))
+            .collect();
+
+        // --- initial naive pass: every rule, all atoms from Derived ------
+        let mut initial_children = Vec::new();
+        for &rel in &relations {
+            let mut rule_nodes = Vec::new();
+            for rule in rules.iter().filter(|r| r.head.rel == rel) {
+                let spj = IRNode {
+                    id: ids.fresh(),
+                    op: IROp::Spj {
+                        query: ConjunctiveQuery::from_rule(rule, None),
+                    },
+                };
+                rule_nodes.push(IRNode {
+                    id: ids.fresh(),
+                    op: IROp::UnionRule {
+                        rule: rule.id,
+                        children: vec![spj],
+                    },
+                });
+            }
+            initial_children.push(IRNode {
+                id: ids.fresh(),
+                op: IROp::UnionAllRules {
+                    rel,
+                    children: rule_nodes,
+                },
+            });
+        }
+        initial_children.push(IRNode {
+            id: ids.fresh(),
+            op: IROp::SwapClear {
+                relations: relations.clone(),
+            },
+        });
+        let initial = IRNode {
+            id: ids.fresh(),
+            op: IROp::Sequence {
+                children: initial_children,
+            },
+        };
+
+        // --- fixpoint loop ------------------------------------------------
+        let loop_node = if stratum.recursive {
+            let mut loop_children = Vec::new();
+            for &rel in &relations {
+                let mut rule_nodes = Vec::new();
+                for rule in rules.iter().filter(|r| r.head.rel == rel) {
+                    let variants =
+                        delta_variants(rule, &relations, strategy, &mut ids);
+                    if variants.is_empty() {
+                        continue;
+                    }
+                    rule_nodes.push(IRNode {
+                        id: ids.fresh(),
+                        op: IROp::UnionRule {
+                            rule: rule.id,
+                            children: variants,
+                        },
+                    });
+                }
+                loop_children.push(IRNode {
+                    id: ids.fresh(),
+                    op: IROp::UnionAllRules {
+                        rel,
+                        children: rule_nodes,
+                    },
+                });
+            }
+            loop_children.push(IRNode {
+                id: ids.fresh(),
+                op: IROp::SwapClear {
+                    relations: relations.clone(),
+                },
+            });
+            let body = IRNode {
+                id: ids.fresh(),
+                op: IROp::Sequence {
+                    children: loop_children,
+                },
+            };
+            Some(IRNode {
+                id: ids.fresh(),
+                op: IROp::DoWhile {
+                    relations: relations.clone(),
+                    body: Box::new(body),
+                },
+            })
+        } else {
+            None
+        };
+
+        let mut children = vec![initial];
+        children.extend(loop_node);
+        strata_nodes.push(IRNode {
+            id: ids.fresh(),
+            op: IROp::Stratum {
+                relations,
+                children,
+                recursive: stratum.recursive,
+            },
+        });
+    }
+
+    IRNode {
+        id: ids.fresh(),
+        op: IROp::Program {
+            children: strata_nodes,
+        },
+    }
+}
+
+/// The delta-variant subqueries of one rule inside its stratum's loop.
+fn delta_variants(
+    rule: &carac_datalog::Rule,
+    stratum_relations: &[RelId],
+    strategy: EvalStrategy,
+    ids: &mut NodeIdGen,
+) -> Vec<IRNode> {
+    match strategy {
+        EvalStrategy::Naive => {
+            // Naive evaluation re-runs the full query every iteration.
+            vec![IRNode {
+                id: ids.fresh(),
+                op: IROp::Spj {
+                    query: ConjunctiveQuery::from_rule(rule, None),
+                },
+            }]
+        }
+        EvalStrategy::SemiNaive => {
+            let mut variants = Vec::new();
+            for (i, literal) in rule.positive_body().enumerate() {
+                if stratum_relations.contains(&literal.atom.rel) {
+                    variants.push(IRNode {
+                        id: ids.fresh(),
+                        op: IROp::Spj {
+                            query: ConjunctiveQuery::from_rule(rule, Some(i)),
+                        },
+                    });
+                }
+            }
+            variants
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::OpKind;
+    use carac_datalog::parser::parse;
+    use carac_storage::DbKind;
+
+    fn tc_program() -> Program {
+        parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn semi_naive_plan_shape_for_transitive_closure() {
+        let p = tc_program();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        assert_eq!(plan.kind(), OpKind::Program);
+        assert_eq!(plan.nodes_of_kind(OpKind::Stratum).len(), 1);
+        assert_eq!(plan.nodes_of_kind(OpKind::DoWhile).len(), 1);
+        // Initial pass: 2 SPJ (one per rule).  Loop: only the recursive rule
+        // has an in-stratum atom (Path), so exactly 1 delta variant.
+        let spjs = plan.spj_queries();
+        assert_eq!(spjs.len(), 3);
+        let delta_spjs: Vec<_> = spjs
+            .iter()
+            .filter(|(_, q)| q.atoms.iter().any(|a| a.db == DbKind::DeltaKnown))
+            .collect();
+        assert_eq!(delta_spjs.len(), 1);
+    }
+
+    #[test]
+    fn naive_plan_has_full_queries_in_loop() {
+        let p = tc_program();
+        let plan = generate_plan(&p, EvalStrategy::Naive);
+        let spjs = plan.spj_queries();
+        // Initial: 2, loop: 2 (every rule re-run in full).
+        assert_eq!(spjs.len(), 4);
+        assert!(spjs
+            .iter()
+            .all(|(_, q)| q.atoms.iter().all(|a| a.db == DbKind::Derived)));
+    }
+
+    #[test]
+    fn cspa_rule_with_three_atoms_gets_three_delta_variants() {
+        let p = parse(
+            "VaFlow(v1, v2) :- MAlias(v3, v2), Assign(v1, v3).\n\
+             VaFlow(v1, v2) :- VaFlow(v3, v2), VaFlow(v1, v3).\n\
+             MAlias(v1, v0) :- VAlias(v2, v3), Derefr(v3, v0), Derefr(v2, v1).\n\
+             VAlias(v1, v2) :- VaFlow(v3, v2), VaFlow(v3, v1).\n\
+             VAlias(v1, v2) :- VaFlow(v0, v2), VaFlow(v3, v1), MAlias(v3, v0).\n\
+             VaFlow(v2, v1) :- Assign(v2, v1).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        // The 3-atom VAlias rule (rule index 4) has all three atoms in the
+        // stratum (VaFlow, VaFlow, MAlias are all mutually recursive), so it
+        // yields 3 delta variants inside the loop.
+        let union_rules = plan.nodes_of_kind(OpKind::UnionRule);
+        assert!(!union_rules.is_empty());
+        let mut found_three_variant_rule = false;
+        plan.visit(&mut |node| {
+            if let IROp::UnionRule { children, .. } = &node.op {
+                if children.len() == 3 {
+                    found_three_variant_rule = true;
+                }
+            }
+        });
+        assert!(found_three_variant_rule);
+    }
+
+    #[test]
+    fn non_recursive_stratum_has_no_loop() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Endpoint(y) :- Path(x, y).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        assert_eq!(plan.nodes_of_kind(OpKind::Stratum).len(), 2);
+        // Only the recursive Path stratum contains a DoWhile.
+        assert_eq!(plan.nodes_of_kind(OpKind::DoWhile).len(), 1);
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let p = tc_program();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let mut ids = Vec::new();
+        plan.visit(&mut |n| ids.push(n.id));
+        let mut deduped = ids.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(ids.len(), deduped.len());
+    }
+
+    #[test]
+    fn negated_atoms_survive_plan_generation() {
+        let p = parse(
+            "Composite(x) :- Div(x, d).\n\
+             Prime(x) :- Num(x), !Composite(x).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let has_negated = plan
+            .spj_queries()
+            .iter()
+            .any(|(_, q)| !q.negated.is_empty());
+        assert!(has_negated);
+    }
+}

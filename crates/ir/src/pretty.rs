@@ -1,0 +1,126 @@
+//! Human-readable rendering of plans, mostly for debugging, examples and
+//! `EXPLAIN`-style output in the benchmark harness.
+
+use std::fmt::Write as _;
+
+use carac_datalog::Program;
+use carac_storage::DbKind;
+
+use crate::node::{IRNode, IROp};
+use crate::query::ConjunctiveQuery;
+
+/// Renders a plan as an indented tree.  Relation and rule names are resolved
+/// through `program`.
+pub fn render_plan(plan: &IRNode, program: &Program) -> String {
+    let mut out = String::new();
+    render_node(plan, program, 0, &mut out);
+    out
+}
+
+fn render_node(node: &IRNode, program: &Program, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let label = match &node.op {
+        IROp::Program { .. } => "Program".to_string(),
+        IROp::Stratum {
+            relations,
+            recursive,
+            ..
+        } => format!(
+            "Stratum [{}]{}",
+            names(relations, program),
+            if *recursive { " (recursive)" } else { "" }
+        ),
+        IROp::DoWhile { relations, .. } => {
+            format!("DoWhile until Δ empty [{}]", names(relations, program))
+        }
+        IROp::Sequence { .. } => "Sequence".to_string(),
+        IROp::SwapClear { relations } => {
+            format!("SwapClear [{}]", names(relations, program))
+        }
+        IROp::UnionAllRules { rel, .. } => {
+            format!("Union* into {}", program.relation(*rel).name)
+        }
+        IROp::UnionRule { rule, .. } => {
+            format!("Union for {}", program.display_rule(program.rule(*rule)))
+        }
+        IROp::Spj { query } => render_query(query, program),
+    };
+    let _ = writeln!(out, "{indent}{:?} {label}", node.id);
+    for child in node.children() {
+        render_node(child, program, depth + 1, out);
+    }
+}
+
+fn names(relations: &[carac_storage::RelId], program: &Program) -> String {
+    relations
+        .iter()
+        .map(|&r| program.relation(r).name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a conjunctive query in σπ⋈ notation, marking delta atoms with a
+/// δ superscript and derived atoms with ⋆ (matching the paper's notation).
+pub fn render_query(query: &ConjunctiveQuery, program: &Program) -> String {
+    let atoms: Vec<String> = query
+        .atoms
+        .iter()
+        .map(|a| {
+            let marker = match a.db {
+                DbKind::DeltaKnown => "δ",
+                DbKind::Derived => "⋆",
+                DbKind::DeltaNew => "ν",
+            };
+            format!("{}{}", program.relation(a.rel).name, marker)
+        })
+        .collect();
+    let negated: Vec<String> = query
+        .negated
+        .iter()
+        .map(|a| format!("¬{}", program.relation(a.rel).name))
+        .collect();
+    let mut body = atoms.join(" ⋈ ");
+    if !negated.is_empty() {
+        body = format!("{body} ▷ {}", negated.join(", "));
+    }
+    format!(
+        "σπ[{}] ← {}",
+        program.relation(query.head_rel).name,
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{generate_plan, EvalStrategy};
+    use carac_datalog::parser::parse;
+
+    #[test]
+    fn rendering_mentions_relations_and_markers() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let text = render_plan(&plan, &p);
+        assert!(text.contains("Program"));
+        assert!(text.contains("DoWhile"));
+        assert!(text.contains("Path"));
+        assert!(text.contains('δ'));
+        assert!(text.contains('⋆'));
+    }
+
+    #[test]
+    fn negated_atoms_render_with_antijoin() {
+        let p = parse(
+            "Composite(x) :- Div(x, d).\n\
+             Prime(x) :- Num(x), !Composite(x).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let text = render_plan(&plan, &p);
+        assert!(text.contains('¬'));
+    }
+}

@@ -1,0 +1,236 @@
+//! Conjunctive subqueries — the Select-Project-Join payload of the plan.
+
+use carac_datalog::{HeadBinding, Rule, RuleId, Term, VarId};
+use carac_storage::{DbKind, RelId, Value};
+
+/// One source atom of a conjunctive query: which relation to read, from
+/// which evaluation database, and the terms constraining each column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// Relation scanned by this atom.
+    pub rel: RelId,
+    /// Database the atom reads from (`Derived` or `DeltaKnown`; negated
+    /// atoms always read `Derived`).
+    pub db: DbKind,
+    /// Term per column: variables bind/join, constants filter.
+    pub terms: Vec<Term>,
+}
+
+impl QueryAtom {
+    /// Positions holding constants, with their values.
+    pub fn constant_columns(&self) -> impl Iterator<Item = (usize, Value)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c)))
+    }
+
+    /// Positions holding variables, with their ids.
+    pub fn variable_columns(&self) -> impl Iterator<Item = (usize, VarId)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_var().map(|v| (i, v)))
+    }
+}
+
+/// A complete conjunctive subquery in the sense of §II-A: an ordered list of
+/// positive atoms joined on their shared variables, a set of negated atoms
+/// acting as anti-join filters, and a head projection.
+///
+/// The *order* of `atoms` is the join order executed by every backend; the
+/// adaptive optimizer permutes it (it never changes the set of atoms, only
+/// the order), so `ConjunctiveQuery` also records the rule it came from so
+/// re-optimization can attribute statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Rule this subquery was generated from.
+    pub rule: RuleId,
+    /// Relation the produced tuples are inserted into (the rule head).
+    pub head_rel: RelId,
+    /// How each head column is produced from the variable bindings.
+    pub head_bindings: Vec<HeadBinding>,
+    /// Positive atoms in execution (join) order.
+    pub atoms: Vec<QueryAtom>,
+    /// Negated atoms (stratified; always evaluated against `Derived` after
+    /// all positive atoms have bound their variables).
+    pub negated: Vec<QueryAtom>,
+    /// Number of distinct variables in the originating rule.
+    pub num_vars: usize,
+}
+
+impl ConjunctiveQuery {
+    /// Builds the subquery for `rule` in which the positive atom at
+    /// `delta_atom` (an index into the rule's positive body) reads from the
+    /// delta-known database and every other positive atom reads from the
+    /// derived database.  Pass `None` to read everything from `Derived`
+    /// (the naive / initial-pass form).
+    pub fn from_rule(rule: &Rule, delta_atom: Option<usize>) -> ConjunctiveQuery {
+        let head_bindings = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => HeadBinding::Var(*v),
+                Term::Const(c) => HeadBinding::Const(*c),
+            })
+            .collect();
+        let atoms = rule
+            .positive_body()
+            .enumerate()
+            .map(|(i, literal)| QueryAtom {
+                rel: literal.atom.rel,
+                db: if Some(i) == delta_atom {
+                    DbKind::DeltaKnown
+                } else {
+                    DbKind::Derived
+                },
+                terms: literal.atom.terms.clone(),
+            })
+            .collect();
+        let negated = rule
+            .negative_body()
+            .map(|literal| QueryAtom {
+                rel: literal.atom.rel,
+                db: DbKind::Derived,
+                terms: literal.atom.terms.clone(),
+            })
+            .collect();
+        ConjunctiveQuery {
+            rule: rule.id,
+            head_rel: rule.head.rel,
+            head_bindings,
+            atoms,
+            negated,
+            num_vars: rule.num_vars(),
+        }
+    }
+
+    /// Returns a copy with the positive atoms permuted by `order` (indices
+    /// into the current `atoms` vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..atoms.len()`.
+    pub fn with_order(&self, order: &[usize]) -> ConjunctiveQuery {
+        assert_eq!(order.len(), self.atoms.len(), "order must cover every atom");
+        let mut seen = vec![false; self.atoms.len()];
+        for &i in order {
+            assert!(!seen[i], "order must not repeat atoms");
+            seen[i] = true;
+        }
+        ConjunctiveQuery {
+            atoms: order.iter().map(|&i| self.atoms[i].clone()).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Number of positive atoms (the `n` of the n-way join).
+    pub fn width(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether consecutive execution of `atoms` in the current order ever
+    /// joins an atom with no variable shared with previously bound atoms —
+    /// i.e. whether a cartesian product occurs somewhere in the pipeline.
+    pub fn has_cartesian_product(&self) -> bool {
+        let mut bound: Vec<bool> = vec![false; self.num_vars];
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                let shares = atom
+                    .variable_columns()
+                    .any(|(_, v)| bound[v.index()]);
+                let has_constant = atom.constant_columns().next().is_some();
+                if !shares && !has_constant {
+                    return true;
+                }
+            }
+            for (_, v) in atom.variable_columns() {
+                bound[v.index()] = true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::ProgramBuilder;
+
+    fn sample_rule() -> (carac_datalog::Program, Rule) {
+        let mut b = ProgramBuilder::new();
+        b.relation("VaFlow", 2);
+        b.relation("MAlias", 2);
+        b.relation("VAlias", 2);
+        b.rule("VAlias", &["v1", "v2"])
+            .when("VaFlow", &["v0", "v2"])
+            .when("VaFlow", &["v3", "v1"])
+            .when("MAlias", &["v3", "v0"])
+            .end();
+        let p = b.build().unwrap();
+        let rule = p.rules()[0].clone();
+        (p, rule)
+    }
+
+    #[test]
+    fn delta_atom_selection_sets_db_kinds() {
+        let (_, rule) = sample_rule();
+        let q = ConjunctiveQuery::from_rule(&rule, Some(1));
+        assert_eq!(q.atoms[0].db, DbKind::Derived);
+        assert_eq!(q.atoms[1].db, DbKind::DeltaKnown);
+        assert_eq!(q.atoms[2].db, DbKind::Derived);
+        assert_eq!(q.width(), 3);
+
+        let naive = ConjunctiveQuery::from_rule(&rule, None);
+        assert!(naive.atoms.iter().all(|a| a.db == DbKind::Derived));
+    }
+
+    #[test]
+    fn with_order_permutes_atoms() {
+        let (_, rule) = sample_rule();
+        let q = ConjunctiveQuery::from_rule(&rule, Some(0));
+        let reordered = q.with_order(&[2, 0, 1]);
+        assert_eq!(reordered.atoms[0], q.atoms[2]);
+        assert_eq!(reordered.atoms[1], q.atoms[0]);
+        assert_eq!(reordered.atoms[2], q.atoms[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat")]
+    fn with_order_rejects_duplicates() {
+        let (_, rule) = sample_rule();
+        let q = ConjunctiveQuery::from_rule(&rule, Some(0));
+        let _ = q.with_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn cartesian_product_detection() {
+        let (_, rule) = sample_rule();
+        // Original order: VaFlow(v0,v2), VaFlow(v3,v1), MAlias(v3,v0).
+        // Atom 2 (VaFlow(v3,v1)) shares nothing with atom 1 (v0,v2): cartesian.
+        let q = ConjunctiveQuery::from_rule(&rule, None);
+        assert!(q.has_cartesian_product());
+        // Order VaFlow(v0,v2), MAlias(v3,v0), VaFlow(v3,v1) joins at every
+        // step: no cartesian product.
+        let good = q.with_order(&[0, 2, 1]);
+        assert!(!good.has_cartesian_product());
+    }
+
+    #[test]
+    fn constant_and_variable_columns() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Call", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &[carac_datalog::builder::v("x")])
+            .when("Call", &[carac_datalog::builder::v("x"), carac_datalog::builder::c(9)])
+            .end();
+        let p = b.build().unwrap();
+        let q = ConjunctiveQuery::from_rule(&p.rules()[0], None);
+        let consts: Vec<_> = q.atoms[0].constant_columns().collect();
+        assert_eq!(consts, vec![(1, Value::int(9))]);
+        let vars: Vec<_> = q.atoms[0].variable_columns().collect();
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].0, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Optimizer configuration.
+
+/// Tunable parameters of the join-order optimizer.
+///
+/// The paper keeps the cost model deliberately lightweight (§IV): input
+/// cardinalities are read from the live databases, each additional
+/// constraint multiplies the estimate by a constant *selectivity* reduction
+/// factor (conditions are assumed statistically independent), and indexes
+/// make bound probes cheaper.  Every constant here is an ablation axis (see
+/// `carac-bench`'s `ablations` bench).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Multiplicative reduction applied per bound constraint (constant
+    /// filter or join on an already-bound variable).
+    pub selectivity_factor: f64,
+    /// Additional multiplicative benefit applied when an atom can be probed
+    /// through an existing index on a bound column.
+    pub index_benefit: f64,
+    /// Penalty multiplier applied to candidate atoms that share no variable
+    /// with the already-chosen prefix (a cartesian product step).  Chosen
+    /// large enough that a cartesian step is only taken when unavoidable.
+    pub cartesian_penalty: f64,
+    /// Cardinality assumed for intensional relations whose derived database
+    /// is still empty when the optimization runs ahead of time (the "macro"
+    /// configurations of §VI-C).  `None` means "trust the observed zero",
+    /// which is what the runtime optimizer wants.
+    pub unknown_idb_cardinality: Option<f64>,
+    /// Relative cardinality change (between the snapshot used for the last
+    /// optimization and the current one) above which recompilation is
+    /// considered worthwhile — the "freshness" test of §V-B.2.
+    pub freshness_threshold: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            selectivity_factor: 0.1,
+            index_benefit: 0.5,
+            cartesian_penalty: 1.0e6,
+            unknown_idb_cardinality: None,
+            freshness_threshold: 0.2,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Configuration used by the ahead-of-time ("macro") optimizations,
+    /// where intensional cardinalities are unknown.
+    pub fn ahead_of_time() -> Self {
+        OptimizerConfig {
+            unknown_idb_cardinality: Some(1_000.0),
+            ..OptimizerConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_runtime_oriented() {
+        let cfg = OptimizerConfig::default();
+        assert!(cfg.unknown_idb_cardinality.is_none());
+        assert!(cfg.selectivity_factor < 1.0);
+        assert!(cfg.cartesian_penalty > 1.0);
+    }
+
+    #[test]
+    fn aot_assumes_unknown_idb_cardinality() {
+        let cfg = OptimizerConfig::ahead_of_time();
+        assert!(cfg.unknown_idb_cardinality.is_some());
+    }
+}

@@ -1,0 +1,95 @@
+//! The information available to the optimizer at the moment it runs.
+//!
+//! Depending on the *stage* (paper §III / Fig. 2) different inputs are
+//! concrete: ahead of time only the rule schema may be known; at query
+//! compile time the EDB cardinalities are known; at runtime the live
+//! cardinalities of every database, the set of built indexes, and the
+//! iteration number are all available.  `OptimizeContext` bundles whatever
+//! is known so the same reordering algorithm serves every stage.
+
+use carac_storage::hasher::FxHashSet;
+use carac_storage::{DbKind, RelId, StatsSnapshot};
+
+/// Everything the cost model may consult.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeContext {
+    /// Live (or ahead-of-time) cardinalities.
+    pub stats: StatsSnapshot,
+    /// `is_idb[rel]` — whether the relation is intensional.  Used to decide
+    /// when the "unknown cardinality" fallback applies.
+    pub is_idb: Vec<bool>,
+    /// `(relation, column)` pairs that carry a hash index.
+    pub indexed: FxHashSet<(RelId, usize)>,
+}
+
+impl OptimizeContext {
+    /// Creates a context from its parts.
+    pub fn new(
+        stats: StatsSnapshot,
+        is_idb: Vec<bool>,
+        indexed: FxHashSet<(RelId, usize)>,
+    ) -> Self {
+        OptimizeContext {
+            stats,
+            is_idb,
+            indexed,
+        }
+    }
+
+    /// A context carrying only statistics (no index information, nothing
+    /// marked intensional).  Convenient in tests.
+    pub fn stats_only(stats: StatsSnapshot) -> Self {
+        OptimizeContext {
+            stats,
+            ..OptimizeContext::default()
+        }
+    }
+
+    /// Whether `rel` is known to be intensional.
+    pub fn is_idb(&self, rel: RelId) -> bool {
+        self.is_idb.get(rel.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether `(rel, column)` carries an index.
+    pub fn has_index(&self, rel: RelId, column: usize) -> bool {
+        self.indexed.contains(&(rel, column))
+    }
+
+    /// Observed cardinality of `(rel, db)`.
+    pub fn cardinality(&self, rel: RelId, db: DbKind) -> usize {
+        self.stats.cardinality(rel, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_storage::RelationStats;
+
+    #[test]
+    fn lookups_default_safely() {
+        let ctx = OptimizeContext::default();
+        assert!(!ctx.is_idb(RelId(3)));
+        assert!(!ctx.has_index(RelId(3), 0));
+        assert_eq!(ctx.cardinality(RelId(3), DbKind::Derived), 0);
+    }
+
+    #[test]
+    fn carries_stats_and_indexes() {
+        let stats = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 10,
+                delta_known: 2,
+                delta_new: 0,
+            }],
+            1,
+        );
+        let mut indexed = FxHashSet::default();
+        indexed.insert((RelId(0), 1));
+        let ctx = OptimizeContext::new(stats, vec![true], indexed);
+        assert!(ctx.is_idb(RelId(0)));
+        assert!(ctx.has_index(RelId(0), 1));
+        assert!(!ctx.has_index(RelId(0), 0));
+        assert_eq!(ctx.cardinality(RelId(0), DbKind::DeltaKnown), 2);
+    }
+}

@@ -1,0 +1,385 @@
+//! Databases and the semi-naive storage manager.
+//!
+//! Bottom-up semi-naive evaluation (paper §II-A, §V-D) needs three databases
+//! per relation:
+//!
+//! * **derived** — every fact discovered so far (plus the EDB facts),
+//! * **delta-known** — the facts discovered in the *previous* iteration
+//!   (read-only during the current iteration),
+//! * **delta-new** — the facts discovered in the *current* iteration
+//!   (write-only during the current iteration).
+//!
+//! Splitting the delta into a read-only and a write-only half is what lets
+//! any IROp boundary act as a safe point and enables asynchronous
+//! compilation: no operator ever observes a relation it is concurrently
+//! writing.  At the end of each iteration [`StorageManager::swap_and_clear`]
+//! merges delta-new into derived, swaps the two delta databases and clears
+//! the new write-side.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{RelId, RelationSchema};
+use crate::stats::StatsSnapshot;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Which of the three evaluation databases an operator reads from or writes
+/// to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbKind {
+    /// All facts discovered so far (including EDB facts).
+    Derived,
+    /// Facts discovered in the previous iteration (read side of the delta).
+    DeltaKnown,
+    /// Facts discovered in the current iteration (write side of the delta).
+    DeltaNew,
+}
+
+impl DbKind {
+    /// All database kinds, useful for exhaustive iteration in tests.
+    pub const ALL: [DbKind; 3] = [DbKind::Derived, DbKind::DeltaKnown, DbKind::DeltaNew];
+}
+
+/// A set of relations addressed by [`RelId`].
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a relation.  Ids must be registered densely in order
+    /// (0, 1, 2, ...), which the frontend guarantees.
+    pub fn register(&mut self, schema: RelationSchema) {
+        debug_assert_eq!(
+            schema.id.index(),
+            self.relations.len(),
+            "relations must be registered in id order"
+        );
+        self.relations.push(Relation::new(schema));
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Immutable access to a relation.
+    pub fn relation(&self, id: RelId) -> Result<&Relation> {
+        self.relations
+            .get(id.index())
+            .ok_or(StorageError::UnknownRelation(id))
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, id: RelId) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(id.index())
+            .ok_or(StorageError::UnknownRelation(id))
+    }
+
+    /// Iterator over all relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter()
+    }
+
+    /// Cardinality of a relation, 0 if unknown (defensive for stats paths).
+    pub fn cardinality(&self, id: RelId) -> usize {
+        self.relations.get(id.index()).map_or(0, Relation::len)
+    }
+}
+
+/// The storage manager owns the three evaluation databases plus the schema
+/// catalog, and implements the iteration-boundary operations used by the
+/// execution layer.
+#[derive(Debug, Clone)]
+pub struct StorageManager {
+    schemas: Vec<RelationSchema>,
+    derived: Database,
+    delta_known: Database,
+    delta_new: Database,
+    /// Whether hash indexes are maintained (the indexed/unindexed axis of
+    /// the evaluation).
+    use_indexes: bool,
+}
+
+impl StorageManager {
+    /// Creates an empty storage manager.  `use_indexes` controls whether
+    /// join-key indexes requested via [`StorageManager::add_index`] are
+    /// honoured.
+    pub fn new(use_indexes: bool) -> Self {
+        StorageManager {
+            schemas: Vec::new(),
+            derived: Database::new(),
+            delta_known: Database::new(),
+            delta_new: Database::new(),
+            use_indexes,
+        }
+    }
+
+    /// Whether indexes are enabled.
+    pub fn indexes_enabled(&self) -> bool {
+        self.use_indexes
+    }
+
+    /// Registers a relation in all three databases and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, arity: usize, is_edb: bool) -> RelId {
+        let id = RelId(u32::try_from(self.schemas.len()).expect("too many relations"));
+        let schema = RelationSchema::new(id, name, arity, is_edb);
+        self.schemas.push(schema.clone());
+        self.derived.register(schema.clone());
+        self.delta_known.register(schema.clone());
+        self.delta_new.register(schema);
+        id
+    }
+
+    /// The schema catalog.
+    pub fn schemas(&self) -> &[RelationSchema] {
+        &self.schemas
+    }
+
+    /// Looks up a schema by id.
+    pub fn schema(&self, id: RelId) -> Result<&RelationSchema> {
+        self.schemas
+            .get(id.index())
+            .ok_or(StorageError::UnknownRelation(id))
+    }
+
+    /// Looks up a relation id by name.
+    pub fn rel_by_name(&self, name: &str) -> Result<RelId> {
+        self.schemas
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.id)
+            .ok_or_else(|| StorageError::UnknownRelationName(name.to_string()))
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Requests a hash index on `(rel, column)` in the derived and
+    /// delta-known databases (the two read-side databases).  No-op when the
+    /// manager was created with indexes disabled.
+    pub fn add_index(&mut self, rel: RelId, column: usize) -> Result<()> {
+        if !self.use_indexes {
+            return Ok(());
+        }
+        self.derived.relation_mut(rel)?.add_index(column)?;
+        self.delta_known.relation_mut(rel)?.add_index(column)?;
+        Ok(())
+    }
+
+    /// Read access to one of the three databases.
+    pub fn db(&self, kind: DbKind) -> &Database {
+        match kind {
+            DbKind::Derived => &self.derived,
+            DbKind::DeltaKnown => &self.delta_known,
+            DbKind::DeltaNew => &self.delta_new,
+        }
+    }
+
+    /// Mutable access to one of the three databases.
+    pub fn db_mut(&mut self, kind: DbKind) -> &mut Database {
+        match kind {
+            DbKind::Derived => &mut self.derived,
+            DbKind::DeltaKnown => &mut self.delta_known,
+            DbKind::DeltaNew => &mut self.delta_new,
+        }
+    }
+
+    /// Convenience accessor: relation `rel` in database `kind`.
+    pub fn relation(&self, kind: DbKind, rel: RelId) -> Result<&Relation> {
+        self.db(kind).relation(rel)
+    }
+
+    /// Inserts an EDB fact: the tuple lands in both the derived database and
+    /// the delta-known database so that the first semi-naive iteration sees
+    /// every base fact as "new".
+    pub fn insert_fact(&mut self, rel: RelId, tuple: Tuple) -> Result<bool> {
+        let fresh = self.derived.relation_mut(rel)?.insert(tuple.clone())?;
+        if fresh {
+            self.delta_known.relation_mut(rel)?.insert(tuple)?;
+        }
+        Ok(fresh)
+    }
+
+    /// Inserts a derived fact produced during the current iteration.  The
+    /// fact is recorded in delta-new only if it is not already present in
+    /// the derived database (semi-naive deduplication); the derived database
+    /// itself is only extended at the next [`swap_and_clear`].
+    ///
+    /// Returns `true` if the fact was genuinely new.
+    ///
+    /// [`swap_and_clear`]: StorageManager::swap_and_clear
+    pub fn insert_derived(&mut self, rel: RelId, tuple: Tuple) -> Result<bool> {
+        if self.derived.relation(rel)?.contains(&tuple) {
+            return Ok(false);
+        }
+        self.delta_new.relation_mut(rel)?.insert(tuple)
+    }
+
+    /// Iteration boundary: merge delta-new into derived, move delta-new into
+    /// delta-known (replacing the previous contents) and leave delta-new
+    /// empty for the next iteration.
+    ///
+    /// Returns the number of facts merged into the derived database across
+    /// all listed relations; the caller uses "0" as the fixpoint signal.
+    pub fn swap_and_clear(&mut self, relations: &[RelId]) -> Result<usize> {
+        let mut merged = 0;
+        for &rel in relations {
+            // Merge the freshly discovered facts into the derived database.
+            {
+                let new_rel = self.delta_new.relation(rel)?.clone();
+                let derived = self.derived.relation_mut(rel)?;
+                merged += derived.union_in_place(&new_rel)?;
+            }
+            // delta-known <- delta-new ; delta-new <- empty
+            let (known_db, new_db) = (&mut self.delta_known, &mut self.delta_new);
+            let known = known_db.relation_mut(rel)?;
+            let new = new_db.relation_mut(rel)?;
+            known.clear();
+            known.swap_contents(new);
+            // `swap_contents` also swaps index definitions; re-clear to make
+            // sure the new write side starts empty but keeps no stale rows.
+            new.clear();
+        }
+        Ok(merged)
+    }
+
+    /// Whether every listed relation's delta-known database is empty — the
+    /// fixpoint test used by `DoWhileOp`.
+    pub fn deltas_empty(&self, relations: &[RelId]) -> Result<bool> {
+        for &rel in relations {
+            if !self.delta_known.relation(rel)?.is_empty() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Clears the delta databases of the given relations (used when
+    /// re-running a program on the same manager).
+    pub fn clear_deltas(&mut self, relations: &[RelId]) -> Result<()> {
+        for &rel in relations {
+            self.delta_known.relation_mut(rel)?.clear();
+            self.delta_new.relation_mut(rel)?.clear();
+        }
+        Ok(())
+    }
+
+    /// Snapshot of current cardinalities for the optimizer.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::capture(self)
+    }
+
+    /// Total number of derived tuples across all relations (used by tests
+    /// and by the benchmark harness to validate result sizes).
+    pub fn total_derived(&self) -> usize {
+        self.derived.relations().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> (StorageManager, RelId, RelId) {
+        let mut sm = StorageManager::new(true);
+        let edge = sm.register("Edge", 2, true);
+        let path = sm.register("Path", 2, false);
+        (sm, edge, path)
+    }
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let (sm, edge, path) = manager();
+        assert_eq!(edge, RelId(0));
+        assert_eq!(path, RelId(1));
+        assert_eq!(sm.relation_count(), 2);
+        assert_eq!(sm.rel_by_name("Edge").unwrap(), edge);
+        assert!(sm.rel_by_name("Missing").is_err());
+    }
+
+    #[test]
+    fn insert_fact_populates_derived_and_delta_known() {
+        let (mut sm, edge, _) = manager();
+        assert!(sm.insert_fact(edge, Tuple::pair(1, 2)).unwrap());
+        assert!(!sm.insert_fact(edge, Tuple::pair(1, 2)).unwrap());
+        assert_eq!(sm.relation(DbKind::Derived, edge).unwrap().len(), 1);
+        assert_eq!(sm.relation(DbKind::DeltaKnown, edge).unwrap().len(), 1);
+        assert_eq!(sm.relation(DbKind::DeltaNew, edge).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn insert_derived_dedups_against_derived() {
+        let (mut sm, _, path) = manager();
+        assert!(sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+        // Not yet merged into derived, so the same tuple dedups against
+        // delta-new instead.
+        assert!(!sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+        sm.swap_and_clear(&[path]).unwrap();
+        // Now it is in derived, so re-deriving it is a no-op.
+        assert!(!sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+    }
+
+    #[test]
+    fn swap_and_clear_merges_and_swaps() {
+        let (mut sm, _, path) = manager();
+        sm.insert_derived(path, Tuple::pair(1, 2)).unwrap();
+        sm.insert_derived(path, Tuple::pair(2, 3)).unwrap();
+        let merged = sm.swap_and_clear(&[path]).unwrap();
+        assert_eq!(merged, 2);
+        assert_eq!(sm.relation(DbKind::Derived, path).unwrap().len(), 2);
+        assert_eq!(sm.relation(DbKind::DeltaKnown, path).unwrap().len(), 2);
+        assert!(sm.relation(DbKind::DeltaNew, path).unwrap().is_empty());
+
+        // A second boundary with nothing new drains the delta.
+        let merged = sm.swap_and_clear(&[path]).unwrap();
+        assert_eq!(merged, 0);
+        assert!(sm.deltas_empty(&[path]).unwrap());
+    }
+
+    #[test]
+    fn indexes_can_be_disabled_globally() {
+        let mut sm = StorageManager::new(false);
+        let edge = sm.register("Edge", 2, true);
+        sm.add_index(edge, 0).unwrap();
+        assert!(!sm
+            .relation(DbKind::Derived, edge)
+            .unwrap()
+            .has_index(0));
+
+        let mut sm_on = StorageManager::new(true);
+        let edge = sm_on.register("Edge", 2, true);
+        sm_on.add_index(edge, 0).unwrap();
+        assert!(sm_on
+            .relation(DbKind::Derived, edge)
+            .unwrap()
+            .has_index(0));
+    }
+
+    #[test]
+    fn clear_deltas_resets_only_deltas() {
+        let (mut sm, edge, path) = manager();
+        sm.insert_fact(edge, Tuple::pair(1, 2)).unwrap();
+        sm.insert_derived(path, Tuple::pair(1, 2)).unwrap();
+        sm.clear_deltas(&[edge, path]).unwrap();
+        assert!(sm.deltas_empty(&[edge, path]).unwrap());
+        assert_eq!(sm.relation(DbKind::Derived, edge).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let (sm, _, _) = manager();
+        assert!(matches!(
+            sm.relation(DbKind::Derived, RelId(99)),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! A small, fast, non-cryptographic hasher used for all storage hash maps.
+//!
+//! The tuples that flow through a Datalog engine are short rows of 32-bit
+//! integers, for which SipHash (the standard library default) is needlessly
+//! slow.  We implement the well-known `FxHash` multiply-xor scheme locally so
+//! that the workspace does not need an extra dependency for a 30-line
+//! hasher.  HashDoS resistance is irrelevant here: keys are internal
+//! integers, never attacker-controlled strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash scheme (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast hasher for small integer-like keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn different_values_usually_hash_different() {
+        // Not a strong property, but a sanity check that the hasher mixes.
+        let a = hash_of(&1u32);
+        let b = hash_of(&2u32);
+        let c = hash_of(&3u32);
+        assert!(a != b || b != c);
+    }
+
+    #[test]
+    fn map_and_set_work_with_fx_hasher() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        set.insert((1, 2));
+        assert!(set.contains(&(1, 2)));
+        assert!(!set.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // Strings whose length is not a multiple of 8 must still distinguish
+        // by their tail bytes.
+        assert_ne!(hash_of(&"abcdefghi"), hash_of(&"abcdefghj"));
+    }
+}

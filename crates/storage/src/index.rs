@@ -1,0 +1,140 @@
+//! Per-column hash indexes.
+//!
+//! The paper's index-selection policy (§IV) is deliberately simple: Carac
+//! builds one hash index for every column that participates in a join key or
+//! filter predicate, maintained incrementally as facts are inserted.  The
+//! indexed/unindexed distinction is one of the axes of the evaluation
+//! (Figures 6–9), so indexes can be toggled per relation.
+
+use crate::hasher::FxHashMap;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A hash index over one column of a relation.
+///
+/// Maps each value appearing in the indexed column to the row offsets (in
+/// insertion order) of the tuples carrying it.  Offsets index into the
+/// owning relation's tuple vector; the index never stores tuples itself.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    /// Indexed column position.
+    column: usize,
+    /// Value → offsets of matching rows.
+    entries: FxHashMap<Value, Vec<usize>>,
+}
+
+impl ColumnIndex {
+    /// Creates an empty index over `column`.
+    pub fn new(column: usize) -> Self {
+        ColumnIndex {
+            column,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// The column this index covers.
+    #[inline]
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Registers a newly inserted tuple stored at `row`.
+    #[inline]
+    pub fn insert(&mut self, tuple: &Tuple, row: usize) {
+        if let Some(v) = tuple.get(self.column) {
+            self.entries.entry(v).or_default().push(row);
+        }
+    }
+
+    /// Row offsets whose indexed column equals `value`.
+    #[inline]
+    pub fn lookup(&self, value: Value) -> &[usize] {
+        self.entries.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct values present in the indexed column.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops all entries (used when the owning relation is cleared).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Rebuilds the index from scratch over `tuples`.
+    pub fn rebuild(&mut self, tuples: &[Tuple]) {
+        self.entries.clear();
+        for (row, tuple) in tuples.iter().enumerate() {
+            self.insert(tuple, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Tuple> {
+        vec![
+            Tuple::pair(1, 10),
+            Tuple::pair(2, 10),
+            Tuple::pair(1, 20),
+            Tuple::pair(3, 30),
+        ]
+    }
+
+    #[test]
+    fn lookup_returns_matching_rows() {
+        let tuples = sample();
+        let mut idx = ColumnIndex::new(0);
+        for (row, t) in tuples.iter().enumerate() {
+            idx.insert(t, row);
+        }
+        assert_eq!(idx.lookup(Value::int(1)), &[0, 2]);
+        assert_eq!(idx.lookup(Value::int(3)), &[3]);
+        assert!(idx.lookup(Value::int(9)).is_empty());
+    }
+
+    #[test]
+    fn indexes_second_column() {
+        let tuples = sample();
+        let mut idx = ColumnIndex::new(1);
+        for (row, t) in tuples.iter().enumerate() {
+            idx.insert(t, row);
+        }
+        assert_eq!(idx.lookup(Value::int(10)), &[0, 1]);
+        assert_eq!(idx.distinct_values(), 3);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let tuples = sample();
+        let mut incr = ColumnIndex::new(0);
+        for (row, t) in tuples.iter().enumerate() {
+            incr.insert(t, row);
+        }
+        let mut rebuilt = ColumnIndex::new(0);
+        rebuilt.rebuild(&tuples);
+        assert_eq!(incr.lookup(Value::int(1)), rebuilt.lookup(Value::int(1)));
+        assert_eq!(incr.distinct_values(), rebuilt.distinct_values());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut idx = ColumnIndex::new(0);
+        idx.insert(&Tuple::pair(1, 2), 0);
+        idx.clear();
+        assert!(idx.lookup(Value::int(1)).is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_column_is_ignored() {
+        // A unary tuple inserted into an index on column 1 simply does not
+        // register; the relation enforces arity, the index stays defensive.
+        let mut idx = ColumnIndex::new(1);
+        idx.insert(&Tuple::from_ints(&[5]), 0);
+        assert_eq!(idx.distinct_values(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # carac-storage
+//!
+//! The physical relational layer of the Carac-rs engine (paper §V-D).
+//!
+//! This crate owns everything that touches tuples at runtime:
+//!
+//! * [`Value`] — interned 32-bit constants plus a [`SymbolTable`] mapping
+//!   them back to strings/integers,
+//! * [`Tuple`] — a fixed-arity row of values,
+//! * [`Relation`] — an insertion-ordered, duplicate-free set of tuples with
+//!   optional per-column hash indexes,
+//! * [`Database`] — a collection of relations addressed by [`RelId`],
+//! * [`StorageManager`] — the three evaluation databases used by semi-naive
+//!   evaluation (*derived*, *delta-known*, *delta-new*) together with the
+//!   `swap`, `clear`, `merge` and `diff` operations the execution layer
+//!   needs at iteration boundaries,
+//! * [`ops`] — basic relational operators (select, project, join, union,
+//!   difference) usable both directly and as building blocks for the
+//!   execution backends,
+//! * [`stats`] — cardinality snapshots consumed by the adaptive optimizer.
+//!
+//! The layer is deliberately storage-engine-agnostic from the point of view
+//! of the upper layers: the execution engine only talks to it through the
+//! APIs exposed here, mirroring the paper's "pluggable relational layer".
+
+pub mod database;
+pub mod error;
+pub mod hasher;
+pub mod index;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod symbol;
+pub mod tuple;
+pub mod value;
+
+pub use database::{Database, DbKind, StorageManager};
+pub use error::StorageError;
+pub use index::ColumnIndex;
+pub use relation::Relation;
+pub use schema::{RelId, RelationSchema};
+pub use stats::{RelationStats, StatsSnapshot};
+pub use symbol::SymbolTable;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, StorageError>;

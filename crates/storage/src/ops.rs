@@ -1,0 +1,224 @@
+//! Basic relational operators.
+//!
+//! The execution backends implement their own fused n-way join kernels for
+//! performance, but the relational layer also exposes the textbook unary and
+//! binary operators (paper §V-D: "select, project, join, and union").  They
+//! are used by the baseline engines, by tests as an executable specification
+//! of the fused kernels, and by users who want to poke at relations directly.
+
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A selection predicate on a single relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// Column `col` must equal the constant `value`.
+    ColumnEqualsConst { col: usize, value: Value },
+    /// Column `left` must equal column `right` (a self-join condition within
+    /// one tuple).
+    ColumnsEqual { left: usize, right: usize },
+}
+
+impl Predicate {
+    /// Evaluates the predicate against one tuple.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match *self {
+            Predicate::ColumnEqualsConst { col, value } => tuple.get(col) == Some(value),
+            Predicate::ColumnsEqual { left, right } => {
+                tuple.get(left).is_some() && tuple.get(left) == tuple.get(right)
+            }
+        }
+    }
+}
+
+/// σ: returns the tuples of `input` satisfying all `predicates`.
+pub fn select(input: &Relation, predicates: &[Predicate]) -> Vec<Tuple> {
+    input
+        .tuples()
+        .iter()
+        .filter(|t| predicates.iter().all(|p| p.matches(t)))
+        .cloned()
+        .collect()
+}
+
+/// π: projects each tuple of `input` onto `columns` (in the given order).
+/// Duplicates introduced by the projection are preserved in the returned
+/// vector; callers inserting into a [`Relation`] get set semantics back.
+pub fn project(input: &[Tuple], columns: &[usize]) -> Vec<Tuple> {
+    input.iter().map(|t| t.project(columns)).collect()
+}
+
+/// ⋈: hash join of `left` and `right` on `left_col = right_col`.
+///
+/// The output tuples are the concatenation of the left tuple and the right
+/// tuple (no column elimination); use [`project`] afterwards to shape the
+/// result.  The smaller side is used as the build side.
+pub fn hash_join(
+    left: &[Tuple],
+    right: &[Tuple],
+    left_col: usize,
+    right_col: usize,
+) -> Vec<Tuple> {
+    // Build on the smaller input to bound the hash table size.
+    if right.len() < left.len() {
+        let swapped = hash_join(right, left, right_col, left_col);
+        // Re-concatenate in the caller's expected order (left ++ right).
+        return swapped
+            .into_iter()
+            .map(|t| {
+                let values = t.values();
+                let (r, l) = values.split_at(right.first().map_or(0, Tuple::arity));
+                Tuple::new(l.iter().chain(r.iter()).copied().collect())
+            })
+            .collect();
+    }
+
+    let mut table: FxHashMap<Value, Vec<&Tuple>> = FxHashMap::default();
+    for tuple in left {
+        if let Some(key) = tuple.get(left_col) {
+            table.entry(key).or_default().push(tuple);
+        }
+    }
+    let mut out = Vec::new();
+    for r in right {
+        let Some(key) = r.get(right_col) else { continue };
+        if let Some(matches) = table.get(&key) {
+            for l in matches {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+/// Cartesian product of two tuple sets (the degenerate join with no key).
+pub fn cartesian_product(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(l.concat(r));
+        }
+    }
+    out
+}
+
+/// ∪: set union of two tuple collections.
+pub fn union(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut seen: crate::hasher::FxHashSet<Tuple> = crate::hasher::FxHashSet::default();
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    for t in left.iter().chain(right.iter()) {
+        if seen.insert(t.clone()) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// ∖: tuples of `left` that are not in `right`.
+pub fn difference(left: &[Tuple], right: &Relation) -> Vec<Tuple> {
+    left.iter()
+        .filter(|t| !right.contains(t))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelId, RelationSchema};
+
+    fn rel(name: &str, arity: usize, rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(RelationSchema::new(RelId(0), name, arity, true));
+        for row in rows {
+            r.insert(Tuple::from_ints(row)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn select_filters_by_constant_and_column_equality() {
+        let r = rel("R", 2, &[&[1, 1], &[1, 2], &[2, 2]]);
+        let by_const = select(
+            &r,
+            &[Predicate::ColumnEqualsConst {
+                col: 0,
+                value: Value::int(1),
+            }],
+        );
+        assert_eq!(by_const.len(), 2);
+
+        let diagonal = select(&r, &[Predicate::ColumnsEqual { left: 0, right: 1 }]);
+        assert_eq!(diagonal, vec![Tuple::pair(1, 1), Tuple::pair(2, 2)]);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let rows = vec![Tuple::pair(1, 2), Tuple::pair(3, 4)];
+        let projected = project(&rows, &[1, 0]);
+        assert_eq!(projected, vec![Tuple::pair(2, 1), Tuple::pair(4, 3)]);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let left = vec![Tuple::pair(1, 10), Tuple::pair(2, 20), Tuple::pair(3, 10)];
+        let right = vec![Tuple::pair(10, 100), Tuple::pair(10, 200), Tuple::pair(20, 300)];
+        let mut joined = hash_join(&left, &right, 1, 0);
+        let mut expected = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l.get(1) == r.get(0) {
+                    expected.push(l.concat(r));
+                }
+            }
+        }
+        joined.sort();
+        expected.sort();
+        assert_eq!(joined, expected);
+        assert_eq!(joined.len(), 5);
+    }
+
+    #[test]
+    fn hash_join_swaps_build_side_transparently() {
+        // Left bigger than right triggers the swap path; output order of
+        // columns must still be left ++ right.
+        let left = vec![
+            Tuple::pair(1, 5),
+            Tuple::pair(2, 5),
+            Tuple::pair(3, 5),
+            Tuple::pair(4, 6),
+        ];
+        let right = vec![Tuple::pair(5, 50)];
+        let joined = hash_join(&left, &right, 1, 0);
+        assert_eq!(joined.len(), 3);
+        for t in &joined {
+            assert_eq!(t.arity(), 4);
+            assert_eq!(t.get(1), Some(Value::int(5)));
+            assert_eq!(t.get(2), Some(Value::int(5)));
+            assert_eq!(t.get(3), Some(Value::int(50)));
+        }
+    }
+
+    #[test]
+    fn cartesian_product_sizes_multiply() {
+        let left = vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])];
+        let right = vec![Tuple::from_ints(&[3]), Tuple::from_ints(&[4]), Tuple::from_ints(&[5])];
+        assert_eq!(cartesian_product(&left, &right).len(), 6);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let a = vec![Tuple::pair(1, 2), Tuple::pair(3, 4)];
+        let b = vec![Tuple::pair(3, 4), Tuple::pair(5, 6)];
+        let u = union(&a, &b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn difference_removes_existing() {
+        let existing = rel("R", 2, &[&[1, 2]]);
+        let candidate = vec![Tuple::pair(1, 2), Tuple::pair(7, 8)];
+        assert_eq!(difference(&candidate, &existing), vec![Tuple::pair(7, 8)]);
+    }
+}

@@ -1,0 +1,340 @@
+//! In-memory relations with set semantics.
+
+use crate::error::StorageError;
+use crate::hasher::FxHashSet;
+use crate::index::ColumnIndex;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A duplicate-free, insertion-ordered collection of tuples.
+///
+/// Relations keep three structures in sync:
+///
+/// * `tuples` — insertion-ordered rows, the scan path,
+/// * `set` — a hash set used for O(1) duplicate elimination and membership
+///   tests (`diff`, semi-naive dedup),
+/// * `indexes` — optional per-column hash indexes used by index-nested-loop
+///   joins when the engine runs in "indexed" mode.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: Vec<Tuple>,
+    set: FxHashSet<Tuple>,
+    indexes: Vec<ColumnIndex>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+            set: FxHashSet::default(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The schema of this relation.
+    #[inline]
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Name of the relation (convenience accessor).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity
+    }
+
+    /// Number of tuples currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Declares a hash index on `column`.  Idempotent; existing tuples are
+    /// back-filled.  Returns an error if the column is out of bounds.
+    pub fn add_index(&mut self, column: usize) -> Result<()> {
+        if column >= self.schema.arity {
+            return Err(StorageError::ColumnOutOfBounds {
+                relation: self.schema.name.clone(),
+                column,
+                arity: self.schema.arity,
+            });
+        }
+        if self.indexes.iter().any(|ix| ix.column() == column) {
+            return Ok(());
+        }
+        let mut index = ColumnIndex::new(column);
+        index.rebuild(&self.tuples);
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Columns currently covered by an index.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.indexes.iter().map(ColumnIndex::column).collect()
+    }
+
+    /// Whether `column` has an index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.iter().any(|ix| ix.column() == column)
+    }
+
+    /// Inserts a tuple, returning `true` if it was new.
+    ///
+    /// Duplicate tuples are silently ignored (set semantics).  Arity is
+    /// validated against the schema.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.schema.arity {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity,
+                actual: tuple.arity(),
+            });
+        }
+        if self.set.contains(&tuple) {
+            return Ok(false);
+        }
+        let row = self.tuples.len();
+        for index in &mut self.indexes {
+            index.insert(&tuple, row);
+        }
+        self.set.insert(tuple.clone());
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// Scan of all tuples in insertion order.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple stored at row offset `row` (insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of bounds; callers obtain rows from
+    /// [`Relation::lookup_rows`] or `0..len()`.
+    #[inline]
+    pub fn tuple_at(&self, row: usize) -> &Tuple {
+        &self.tuples[row]
+    }
+
+    /// Row offsets of the tuples whose `column` equals `value`, using the
+    /// hash index when one exists and a filtered scan otherwise.
+    pub fn lookup_rows(&self, column: usize, value: Value) -> Vec<usize> {
+        if let Some(index) = self.indexes.iter().find(|ix| ix.column() == column) {
+            index.lookup(value).to_vec()
+        } else {
+            self.tuples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.get(column) == Some(value))
+                .map(|(i, _)| i)
+                .collect()
+        }
+    }
+
+    /// Iterator over the tuples whose `column` equals `value`.
+    ///
+    /// Uses the hash index if one exists, otherwise falls back to a filtered
+    /// scan.  The returned vector contains references in insertion order.
+    pub fn lookup(&self, column: usize, value: Value) -> Vec<&Tuple> {
+        if let Some(index) = self.indexes.iter().find(|ix| ix.column() == column) {
+            index
+                .lookup(value)
+                .iter()
+                .map(|&row| &self.tuples[row])
+                .collect()
+        } else {
+            self.tuples
+                .iter()
+                .filter(|t| t.get(column) == Some(value))
+                .collect()
+        }
+    }
+
+    /// Removes every tuple but keeps schema and index definitions.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.set.clear();
+        for index in &mut self.indexes {
+            index.clear();
+        }
+    }
+
+    /// Moves all tuples of `other` into `self` (deduplicating), leaving
+    /// `other` empty.  Schemas must agree in arity.
+    pub fn absorb(&mut self, other: &mut Relation) -> Result<usize> {
+        if other.schema.arity != self.schema.arity {
+            return Err(StorageError::SchemaMismatch {
+                context: format!(
+                    "absorb {}  (arity {}) into {} (arity {})",
+                    other.schema.name, other.schema.arity, self.schema.name, self.schema.arity
+                ),
+            });
+        }
+        let mut added = 0;
+        for tuple in std::mem::take(&mut other.tuples) {
+            if self.insert(tuple)? {
+                added += 1;
+            }
+        }
+        other.set.clear();
+        for index in &mut other.indexes {
+            index.clear();
+        }
+        Ok(added)
+    }
+
+    /// Copies all tuples of `other` into `self` without modifying `other`.
+    pub fn union_in_place(&mut self, other: &Relation) -> Result<usize> {
+        let mut added = 0;
+        for tuple in other.tuples() {
+            if self.insert(tuple.clone())? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Swaps the *contents* of two relations (tuples, set, indexes) while
+    /// leaving their schemas in place.  This is the primitive behind
+    /// `SwapClearOp`.
+    pub fn swap_contents(&mut self, other: &mut Relation) {
+        std::mem::swap(&mut self.tuples, &mut other.tuples);
+        std::mem::swap(&mut self.set, &mut other.set);
+        std::mem::swap(&mut self.indexes, &mut other.indexes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+
+    fn edge_schema() -> RelationSchema {
+        RelationSchema::new(RelId(0), "Edge", 2, true)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(edge_schema());
+        assert!(r.insert(Tuple::pair(1, 2)).unwrap());
+        assert!(!r.insert(Tuple::pair(1, 2)).unwrap());
+        assert!(r.insert(Tuple::pair(2, 3)).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::pair(1, 2)));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut r = Relation::new(edge_schema());
+        let err = r.insert(Tuple::from_ints(&[1, 2, 3])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn lookup_with_and_without_index_agree() {
+        let mut indexed = Relation::new(edge_schema());
+        let mut plain = Relation::new(edge_schema());
+        indexed.add_index(0).unwrap();
+        for (a, b) in [(1, 2), (1, 3), (2, 3), (3, 1)] {
+            indexed.insert(Tuple::pair(a, b)).unwrap();
+            plain.insert(Tuple::pair(a, b)).unwrap();
+        }
+        let from_index: Vec<_> = indexed.lookup(0, Value::int(1)).into_iter().cloned().collect();
+        let from_scan: Vec<_> = plain.lookup(0, Value::int(1)).into_iter().cloned().collect();
+        assert_eq!(from_index, from_scan);
+        assert_eq!(from_index.len(), 2);
+    }
+
+    #[test]
+    fn add_index_backfills_existing_tuples() {
+        let mut r = Relation::new(edge_schema());
+        r.insert(Tuple::pair(7, 8)).unwrap();
+        r.add_index(1).unwrap();
+        assert_eq!(r.lookup(1, Value::int(8)).len(), 1);
+        assert!(r.has_index(1));
+        assert!(!r.has_index(0));
+    }
+
+    #[test]
+    fn add_index_out_of_bounds_errors() {
+        let mut r = Relation::new(edge_schema());
+        assert!(matches!(
+            r.add_index(5),
+            Err(StorageError::ColumnOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_retains_index_definitions() {
+        let mut r = Relation::new(edge_schema());
+        r.add_index(0).unwrap();
+        r.insert(Tuple::pair(1, 2)).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.has_index(0));
+        r.insert(Tuple::pair(3, 4)).unwrap();
+        assert_eq!(r.lookup(0, Value::int(3)).len(), 1);
+    }
+
+    #[test]
+    fn absorb_moves_and_dedups() {
+        let mut a = Relation::new(edge_schema());
+        let mut b = Relation::new(edge_schema());
+        a.insert(Tuple::pair(1, 2)).unwrap();
+        b.insert(Tuple::pair(1, 2)).unwrap();
+        b.insert(Tuple::pair(3, 4)).unwrap();
+        let added = a.absorb(&mut b).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn swap_contents_exchanges_tuples() {
+        let mut a = Relation::new(edge_schema());
+        let mut b = Relation::new(edge_schema());
+        a.insert(Tuple::pair(1, 1)).unwrap();
+        b.insert(Tuple::pair(2, 2)).unwrap();
+        b.insert(Tuple::pair(3, 3)).unwrap();
+        a.swap_contents(&mut b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&Tuple::pair(1, 1)));
+    }
+
+    #[test]
+    fn union_in_place_keeps_source() {
+        let mut a = Relation::new(edge_schema());
+        let mut b = Relation::new(edge_schema());
+        b.insert(Tuple::pair(9, 9)).unwrap();
+        let added = a.union_in_place(&b).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Relation identifiers and schemas.
+
+use std::fmt;
+
+/// Identifier of a relation within a program.
+///
+/// Relation ids are dense small integers assigned by the frontend in
+/// declaration order; every layer (storage, IR, optimizer, backends)
+/// addresses relations exclusively through their `RelId`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Static description of a relation: its name, arity, and whether it is
+/// extensional (facts supplied by the user) or intensional (derived by
+/// rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Id under which the relation is registered.
+    pub id: RelId,
+    /// Human-readable name ("VaFlow", "Assign", ...).
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// `true` for EDB relations (facts only), `false` for IDB relations
+    /// (defined by at least one rule).
+    pub is_edb: bool,
+}
+
+impl RelationSchema {
+    /// Creates a new schema description.
+    pub fn new(id: RelId, name: impl Into<String>, arity: usize, is_edb: bool) -> Self {
+        RelationSchema {
+            id,
+            name: name.into(),
+            arity,
+            is_edb,
+        }
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_edb { "edb" } else { "idb" };
+        write!(f, "{}/{} [{}]", self.name, self.arity, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relid_formats_compactly() {
+        assert_eq!(format!("{}", RelId(3)), "R3");
+        assert_eq!(format!("{:?}", RelId(3)), "R3");
+        assert_eq!(RelId(7).index(), 7);
+    }
+
+    #[test]
+    fn schema_display_mentions_kind() {
+        let edb = RelationSchema::new(RelId(0), "Assign", 2, true);
+        let idb = RelationSchema::new(RelId(1), "VaFlow", 2, false);
+        assert!(edb.to_string().contains("edb"));
+        assert!(idb.to_string().contains("idb"));
+        assert!(idb.to_string().contains("VaFlow/2"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime cardinality statistics.
+//!
+//! The adaptive optimizer never estimates cardinalities across iterations:
+//! it reads the *actual* cardinalities of the derived and delta databases at
+//! the moment the optimization is applied (paper §IV).  A [`StatsSnapshot`]
+//! is that read — a cheap, immutable capture of per-relation sizes that can
+//! be compared against a previous snapshot by the freshness test.
+
+use crate::database::{DbKind, StorageManager};
+use crate::schema::RelId;
+
+/// Cardinalities of one relation across the three evaluation databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelationStats {
+    /// Tuples in the derived (full) database.
+    pub derived: usize,
+    /// Tuples in the delta-known (previous iteration) database.
+    pub delta_known: usize,
+    /// Tuples in the delta-new (current iteration, write-only) database.
+    pub delta_new: usize,
+}
+
+impl RelationStats {
+    /// Cardinality of the database an atom reads from.
+    pub fn for_db(&self, kind: DbKind) -> usize {
+        match kind {
+            DbKind::Derived => self.derived,
+            DbKind::DeltaKnown => self.delta_known,
+            DbKind::DeltaNew => self.delta_new,
+        }
+    }
+}
+
+/// An immutable capture of every relation's cardinalities at a point in
+/// time, plus the iteration at which it was taken.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    per_relation: Vec<RelationStats>,
+    /// Iteration counter supplied by the execution engine (0 before the
+    /// first iteration).  Stored here so freshness decisions can reason
+    /// about how stale a snapshot is.
+    pub iteration: u64,
+}
+
+impl StatsSnapshot {
+    /// Captures the current cardinalities from a storage manager.
+    pub fn capture(storage: &StorageManager) -> StatsSnapshot {
+        let n = storage.relation_count();
+        let mut per_relation = Vec::with_capacity(n);
+        for i in 0..n {
+            let rel = RelId(i as u32);
+            per_relation.push(RelationStats {
+                derived: storage.db(DbKind::Derived).cardinality(rel),
+                delta_known: storage.db(DbKind::DeltaKnown).cardinality(rel),
+                delta_new: storage.db(DbKind::DeltaNew).cardinality(rel),
+            });
+        }
+        StatsSnapshot {
+            per_relation,
+            iteration: 0,
+        }
+    }
+
+    /// Builds a snapshot directly from raw stats (used by optimizer tests
+    /// that do not want to materialize relations).
+    pub fn from_stats(per_relation: Vec<RelationStats>, iteration: u64) -> Self {
+        StatsSnapshot {
+            per_relation,
+            iteration,
+        }
+    }
+
+    /// Stats for one relation; zeroes if the relation is unknown.
+    pub fn relation(&self, rel: RelId) -> RelationStats {
+        self.per_relation
+            .get(rel.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Cardinality of `(rel, db)`.
+    pub fn cardinality(&self, rel: RelId, db: DbKind) -> usize {
+        self.relation(rel).for_db(db)
+    }
+
+    /// Number of relations captured.
+    pub fn len(&self) -> usize {
+        self.per_relation.len()
+    }
+
+    /// True when no relation was captured.
+    pub fn is_empty(&self) -> bool {
+        self.per_relation.is_empty()
+    }
+
+    /// Maximum relative change of any relation's derived or delta-known
+    /// cardinality between `self` (older) and `newer`.
+    ///
+    /// The result is in `[0, +inf)`; `0` means nothing changed.  Relations
+    /// growing from zero count as a change of `1.0` per new tuple bucket
+    /// (i.e. "infinite" growth is capped to the new cardinality) so a single
+    /// new fact in an empty relation still registers.
+    pub fn max_relative_change(&self, newer: &StatsSnapshot) -> f64 {
+        let mut max_change: f64 = 0.0;
+        let n = self.len().max(newer.len());
+        for i in 0..n {
+            let rel = RelId(i as u32);
+            let old = self.relation(rel);
+            let new = newer.relation(rel);
+            for db in [DbKind::Derived, DbKind::DeltaKnown] {
+                let o = old.for_db(db) as f64;
+                let nw = new.for_db(db) as f64;
+                let change = if o == 0.0 {
+                    nw
+                } else {
+                    ((nw - o) / o).abs()
+                };
+                if change > max_change {
+                    max_change = change;
+                }
+            }
+        }
+        max_change
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn capture_reads_all_databases() {
+        let mut sm = StorageManager::new(true);
+        let edge = sm.register("Edge", 2, true);
+        let path = sm.register("Path", 2, false);
+        sm.insert_fact(edge, Tuple::pair(1, 2)).unwrap();
+        sm.insert_derived(path, Tuple::pair(1, 2)).unwrap();
+
+        let snap = sm.stats();
+        assert_eq!(snap.cardinality(edge, DbKind::Derived), 1);
+        assert_eq!(snap.cardinality(edge, DbKind::DeltaKnown), 1);
+        assert_eq!(snap.cardinality(path, DbKind::DeltaNew), 1);
+        assert_eq!(snap.cardinality(path, DbKind::Derived), 0);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_reads_as_zero() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.cardinality(RelId(7), DbKind::Derived), 0);
+    }
+
+    #[test]
+    fn relative_change_detects_growth() {
+        let old = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 100,
+                delta_known: 10,
+                delta_new: 0,
+            }],
+            1,
+        );
+        let new = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 150,
+                delta_known: 10,
+                delta_new: 0,
+            }],
+            2,
+        );
+        let change = old.max_relative_change(&new);
+        assert!((change - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_change_from_zero_counts_new_tuples() {
+        let old = StatsSnapshot::from_stats(vec![RelationStats::default()], 0);
+        let new = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 3,
+                delta_known: 0,
+                delta_new: 0,
+            }],
+            1,
+        );
+        assert!(old.max_relative_change(&new) >= 3.0);
+    }
+
+    #[test]
+    fn identical_snapshots_have_zero_change() {
+        let snap = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 5,
+                delta_known: 5,
+                delta_new: 5,
+            }],
+            3,
+        );
+        assert_eq!(snap.max_relative_change(&snap.clone()), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! String interning.
+//!
+//! Datalog facts frequently contain string constants (function names,
+//! variable names extracted by a program analysis front-end).  The engine
+//! never compares strings during evaluation: every string is interned once,
+//! and joins operate on the resulting 32-bit [`Value`]s.
+
+use crate::hasher::FxHashMap;
+use crate::value::Value;
+
+/// Bidirectional map between strings and interned [`Value`]s.
+///
+/// Interning is append-only: symbols are never removed, so a `Value` handed
+/// out once stays valid for the lifetime of the table.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    by_name: FxHashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the same [`Value`] for repeated calls with
+    /// the same string.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&idx) = self.by_name.get(name) {
+            return Value::symbol(idx);
+        }
+        let idx = u32::try_from(self.names.len()).expect("symbol table overflow");
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), idx);
+        Value::symbol(idx)
+    }
+
+    /// Looks up an already-interned string without inserting it.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        self.by_name.get(name).copied().map(Value::symbol)
+    }
+
+    /// Resolves a symbol value back to its string.
+    ///
+    /// Returns `None` for plain integer values or unknown symbol indices.
+    pub fn resolve(&self, value: Value) -> Option<&str> {
+        let idx = value.symbol_index()? as usize;
+        self.names.get(idx).map(String::as_str)
+    }
+
+    /// Renders any value for human consumption: symbols resolve to their
+    /// string, integers print as numbers.
+    pub fn display(&self, value: Value) -> String {
+        match self.resolve(value) {
+            Some(name) => name.to_string(),
+            None => value
+                .as_int()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("{value:?}")),
+        }
+    }
+
+    /// Number of distinct interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = SymbolTable::new();
+        let a1 = table.intern("serialize");
+        let a2 = table.intern("serialize");
+        let b = table.intern("deserialize");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut table = SymbolTable::new();
+        let v = table.intern("to_json");
+        assert_eq!(table.resolve(v), Some("to_json"));
+        assert_eq!(table.lookup("to_json"), Some(v));
+        assert_eq!(table.lookup("missing"), None);
+    }
+
+    #[test]
+    fn resolve_of_plain_int_is_none() {
+        let table = SymbolTable::new();
+        assert_eq!(table.resolve(Value::int(7)), None);
+        assert_eq!(table.display(Value::int(7)), "7");
+    }
+
+    #[test]
+    fn display_of_symbol_uses_name() {
+        let mut table = SymbolTable::new();
+        let v = table.intern("atoi");
+        assert_eq!(table.display(v), "atoi");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-arity tuples.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A single row of a relation.
+///
+/// Tuples are immutable after construction; the arity is fixed by the
+/// relation's schema and checked on insertion.  Internally the values are
+/// stored in a boxed slice so the tuple itself is two words wide, which
+/// keeps the derived/delta sets compact.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a binary tuple from two plain integers (the common case for
+    /// graph-shaped analysis facts).
+    pub fn pair(a: u32, b: u32) -> Self {
+        Tuple::new(vec![Value::int(a), Value::int(b)])
+    }
+
+    /// Builds a tuple of plain integers.
+    pub fn from_ints(ints: &[u32]) -> Self {
+        Tuple::new(ints.iter().copied().map(Value::int).collect())
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read access to a column; returns `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, column: usize) -> Option<Value> {
+        self.values.get(column).copied()
+    }
+
+    /// The underlying slice of values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projects the tuple onto the given column positions, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of bounds (plan generation guarantees
+    /// in-bounds projections; the debug assertion catches planner bugs).
+    pub fn project(&self, columns: &[usize]) -> Tuple {
+        Tuple::new(columns.iter().map(|&c| self.values[c]).collect())
+    }
+
+    /// Concatenates two tuples (used by join operators building wide
+    /// intermediate rows).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.values[index]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl From<(u32, u32)> for Tuple {
+    fn from((a, b): (u32, u32)) -> Self {
+        Tuple::pair(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from_ints(&[1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(Value::int(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t[2], Value::int(3));
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = Tuple::from_ints(&[10, 20, 30]);
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, Tuple::from_ints(&[30, 10, 10]));
+    }
+
+    #[test]
+    fn concat_appends_columns() {
+        let a = Tuple::pair(1, 2);
+        let b = Tuple::from_ints(&[3]);
+        assert_eq!(a.concat(&b), Tuple::from_ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Tuple::pair(1, 2), Tuple::from_ints(&[1, 2]));
+        assert_ne!(Tuple::pair(1, 2), Tuple::pair(2, 1));
+    }
+
+    #[test]
+    fn display_lists_values() {
+        let t = Tuple::pair(4, 5);
+        assert_eq!(format!("{t}"), "(4, 5)");
+    }
+}

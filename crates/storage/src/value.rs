@@ -1,0 +1,140 @@
+//! Interned constant values.
+//!
+//! Carac stores every constant as a 32-bit integer (the paper's tuples are
+//! pairs of 32-bit integers).  Strings and other domain constants are
+//! interned through the [`SymbolTable`](crate::symbol::SymbolTable); small
+//! non-negative integers are represented directly so that arithmetic helper
+//! relations (used by the micro workloads) do not need interning.
+
+use std::fmt;
+
+/// A single constant value flowing through the engine.
+///
+/// `Value` is a thin newtype over `u32`.  The upper half of the space is
+/// reserved for interned symbols (see [`SymbolTable`]); the lower half
+/// carries small integers directly.  Keeping values `Copy` and 4 bytes wide
+/// is what makes the join kernels cheap.
+///
+/// [`SymbolTable`]: crate::symbol::SymbolTable
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// First id used for interned symbols.  Values below this bound are
+    /// plain integers; values at or above it index into the symbol table.
+    pub const SYMBOL_BASE: u32 = 1 << 31;
+
+    /// Builds a value carrying a small non-negative integer directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` collides with the symbol range; domain integers must
+    /// stay below [`Value::SYMBOL_BASE`].
+    #[inline]
+    pub fn int(n: u32) -> Self {
+        assert!(
+            n < Self::SYMBOL_BASE,
+            "integer constant {n} collides with the interned-symbol range"
+        );
+        Value(n)
+    }
+
+    /// Builds a value referencing the symbol table slot `idx`.
+    #[inline]
+    pub(crate) fn symbol(idx: u32) -> Self {
+        Value(Self::SYMBOL_BASE + idx)
+    }
+
+    /// Returns the raw 32-bit representation.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this value is an interned symbol rather than a plain integer.
+    #[inline]
+    pub fn is_symbol(self) -> bool {
+        self.0 >= Self::SYMBOL_BASE
+    }
+
+    /// For symbol values, the index into the symbol table.
+    #[inline]
+    pub fn symbol_index(self) -> Option<u32> {
+        if self.is_symbol() {
+            Some(self.0 - Self::SYMBOL_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// For integer values, the carried integer.
+    #[inline]
+    pub fn as_int(self) -> Option<u32> {
+        if self.is_symbol() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(idx) = self.symbol_index() {
+            write!(f, "sym#{idx}")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::int(123);
+        assert_eq!(v.as_int(), Some(123));
+        assert!(!v.is_symbol());
+        assert_eq!(v.symbol_index(), None);
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        let v = Value::symbol(7);
+        assert!(v.is_symbol());
+        assert_eq!(v.symbol_index(), Some(7));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn oversized_int_panics() {
+        let _ = Value::int(Value::SYMBOL_BASE);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::int(5)), "5");
+        assert_eq!(format!("{:?}", Value::symbol(2)), "sym#2");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::int(100) < Value::symbol(0));
+    }
+}

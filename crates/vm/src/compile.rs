@@ -1,0 +1,367 @@
+//! Lowering IR subtrees into VM bytecode.
+//!
+//! The compiler is intentionally simple and fast: generating a program is a
+//! single pass over the (already join-ordered) IR subtree, which is what
+//! makes the bytecode backend cheap to invoke at runtime compared with the
+//! staged-closure backend (paper Fig. 5 shows the same relationship between
+//! the JVM-bytecode and quote backends).
+
+use carac_datalog::{HeadBinding, Term, VarId};
+use carac_ir::{ConjunctiveQuery, IRNode, IROp};
+use carac_storage::hasher::FxHashMap;
+
+use crate::instr::{EmitSource, FilterSource, Instr, Pc, Reg, Slot};
+use crate::program::VmProgram;
+
+/// Incremental program builder with forward-jump patching.
+#[derive(Debug, Default)]
+struct Assembler {
+    instrs: Vec<Instr>,
+    num_regs: usize,
+    num_slots: usize,
+}
+
+impl Assembler {
+    fn here(&self) -> Pc {
+        Pc(self.instrs.len() as u32)
+    }
+
+    fn push(&mut self, instr: Instr) -> Pc {
+        let pc = self.here();
+        self.instrs.push(instr);
+        pc
+    }
+
+    fn reg(&mut self, index: usize) -> Reg {
+        self.num_regs = self.num_regs.max(index + 1);
+        Reg(index as u16)
+    }
+
+    fn slot(&mut self, index: usize) -> Slot {
+        self.num_slots = self.num_slots.max(index + 1);
+        Slot(index as u16)
+    }
+
+    /// Patches the exhaustion/jump target of the instruction at `pc`.
+    fn patch(&mut self, pc: Pc, target: Pc) {
+        match &mut self.instrs[pc.index()] {
+            Instr::Advance { on_exhausted, .. } => *on_exhausted = target,
+            Instr::Jump(t) => *t = target,
+            Instr::NegCheck { on_found, .. } => *on_found = target,
+            Instr::RequireEq { on_mismatch, .. } => *on_mismatch = target,
+            Instr::JumpIfDeltasNotEmpty { target: t, .. } => *t = target,
+            other => panic!("cannot patch {other:?}"),
+        }
+    }
+
+    fn finish(mut self) -> VmProgram {
+        self.instrs.push(Instr::Halt);
+        VmProgram {
+            instrs: self.instrs,
+            num_regs: self.num_regs,
+            num_slots: self.num_slots,
+        }
+    }
+}
+
+/// Placeholder target used before patching.
+const PENDING: Pc = Pc(u32::MAX);
+
+/// Compiles a whole IR subtree into one VM program.  The subtree may contain
+/// any IR operation; the resulting program performs exactly the same storage
+/// effects as interpreting the subtree would.
+pub fn compile_node(node: &IRNode) -> VmProgram {
+    let mut asm = Assembler::default();
+    emit_node(node, &mut asm);
+    let program = asm.finish();
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
+/// Compiles a single conjunctive query into a VM program (used by the
+/// per-subquery compilation granularity).
+pub fn compile_query(query: &ConjunctiveQuery) -> VmProgram {
+    let mut asm = Assembler::default();
+    emit_query(query, &mut asm);
+    let program = asm.finish();
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
+fn emit_node(node: &IRNode, asm: &mut Assembler) {
+    match &node.op {
+        IROp::Program { children }
+        | IROp::Sequence { children }
+        | IROp::Stratum { children, .. }
+        | IROp::UnionAllRules { children, .. }
+        | IROp::UnionRule { children, .. } => {
+            for child in children {
+                emit_node(child, asm);
+            }
+        }
+        IROp::SwapClear { relations } => {
+            asm.push(Instr::SwapClear {
+                relations: relations.clone(),
+            });
+        }
+        IROp::DoWhile { relations, body } => {
+            let loop_head = asm.here();
+            emit_node(body, asm);
+            asm.push(Instr::JumpIfDeltasNotEmpty {
+                relations: relations.clone(),
+                target: loop_head,
+            });
+        }
+        IROp::Spj { query } => emit_query(query, asm),
+    }
+}
+
+/// Emits the nested-loop join pipeline for one conjunctive query.
+///
+/// Register allocation: one register per rule variable, in [`VarId`] order,
+/// plus temporaries appended after them for repeated within-atom variables.
+fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
+    let var_reg: FxHashMap<VarId, Reg> = (0..query.num_vars)
+        .map(|i| (VarId(i as u32), asm.reg(i)))
+        .collect();
+    let mut next_temp = query.num_vars;
+
+    // Variables bound by atoms processed so far.
+    let mut bound = vec![false; query.num_vars];
+
+    // pc of each atom's Advance instruction; the innermost one is the
+    // continuation target for Emit / NegCheck failures.
+    let mut advance_pcs: Vec<Pc> = Vec::with_capacity(query.atoms.len());
+    // Advance instructions whose `on_exhausted` targets are patched at the
+    // end: atom 0 exits the query, atom i>0 falls back to atom i-1's
+    // Advance.
+    let mut first_advance: Option<Pc> = None;
+
+    for (i, atom) in query.atoms.iter().enumerate() {
+        // Filters: constants plus variables bound by *previous* atoms.
+        let mut filters: Vec<(usize, FilterSource)> = Vec::new();
+        let mut loads: Vec<(usize, Reg)> = Vec::new();
+        let mut eq_checks: Vec<(Reg, Reg)> = Vec::new();
+        let mut seen_here: FxHashMap<VarId, Reg> = FxHashMap::default();
+
+        for (col, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => filters.push((col, FilterSource::Const(*c))),
+                Term::Var(v) => {
+                    if bound[v.index()] {
+                        filters.push((col, FilterSource::Reg(var_reg[v])));
+                    } else if let Some(&first_reg) = seen_here.get(v) {
+                        // Repeated unbound variable within this atom: load a
+                        // temporary and require equality.
+                        let temp = asm.reg(next_temp);
+                        next_temp += 1;
+                        loads.push((col, temp));
+                        eq_checks.push((first_reg, temp));
+                    } else {
+                        let reg = var_reg[v];
+                        loads.push((col, reg));
+                        seen_here.insert(*v, reg);
+                    }
+                }
+            }
+        }
+
+        let slot = asm.slot(i);
+        asm.push(Instr::OpenScan {
+            slot,
+            rel: atom.rel,
+            db: atom.db,
+            filters,
+        });
+        let advance_pc = asm.push(Instr::Advance {
+            slot,
+            loads,
+            on_exhausted: PENDING,
+        });
+        if i == 0 {
+            first_advance = Some(advance_pc);
+        } else {
+            // Exhausting this cursor resumes the enclosing loop.
+            let outer = advance_pcs[i - 1];
+            asm.patch(advance_pc, outer);
+        }
+        advance_pcs.push(advance_pc);
+
+        // Within-atom equality checks retry this atom's Advance on mismatch.
+        for (a, b) in eq_checks {
+            asm.push(Instr::RequireEq {
+                a,
+                b,
+                on_mismatch: advance_pc,
+            });
+        }
+
+        for (_, v) in atom.variable_columns() {
+            bound[v.index()] = true;
+        }
+    }
+
+    let continue_pc = advance_pcs.last().copied();
+
+    // Negated atoms: all their variables are bound now (validated by the
+    // frontend); a matching tuple rejects the candidate binding.
+    for negated in &query.negated {
+        let filters: Vec<(usize, FilterSource)> = negated
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(col, term)| match term {
+                Term::Const(c) => (col, FilterSource::Const(*c)),
+                Term::Var(v) => (col, FilterSource::Reg(var_reg[v])),
+            })
+            .collect();
+        let target = continue_pc.unwrap_or(PENDING);
+        let pc = asm.push(Instr::NegCheck {
+            rel: negated.rel,
+            db: negated.db,
+            filters,
+            on_found: target,
+        });
+        if continue_pc.is_none() {
+            // Rule without positive atoms: a violated negation skips the
+            // single Emit below; patched after we know the exit pc.
+            asm.patch(pc, PENDING);
+        }
+    }
+
+    // Emit the head tuple.
+    let columns: Vec<EmitSource> = query
+        .head_bindings
+        .iter()
+        .map(|binding| match binding {
+            HeadBinding::Var(v) => EmitSource::Reg(var_reg[v]),
+            HeadBinding::Const(c) => EmitSource::Const(*c),
+        })
+        .collect();
+    asm.push(Instr::Emit {
+        rel: query.head_rel,
+        columns,
+    });
+
+    match continue_pc {
+        Some(advance) => {
+            // Loop back for the next candidate of the innermost atom.
+            asm.push(Instr::Jump(advance));
+        }
+        None => {
+            // Constant-only rule: fall through, nothing to loop over.
+        }
+    }
+
+    // The exit point of this query is whatever instruction comes next.
+    let exit = asm.here();
+    if let Some(first) = first_advance {
+        asm.patch(first, exit);
+    }
+    // Patch any pending NegCheck targets from the no-positive-atom case.
+    for pc_index in 0..asm.instrs.len() {
+        if let Instr::NegCheck { on_found, .. } = &asm.instrs[pc_index] {
+            if *on_found == PENDING {
+                asm.patch(Pc(pc_index as u32), exit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+    use carac_ir::{generate_plan, EvalStrategy};
+
+    #[test]
+    fn query_compilation_produces_valid_programs() {
+        let p = parse(
+            "VAlias(v1, v2) :- VaFlow(v0, v2), VaFlow(v3, v1), MAlias(v3, v0).\n\
+             VaFlow(x, y) :- Assign(x, y).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        for (_, query) in plan.spj_queries() {
+            let program = compile_query(query);
+            assert!(program.validate().is_ok());
+            // One OpenScan + Advance pair per atom, one Emit, one back Jump,
+            // one Halt at minimum.
+            assert!(program.len() >= 2 * query.width() + 3);
+        }
+    }
+
+    #[test]
+    fn whole_plan_compilation_has_loop_backedge() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        assert!(program.validate().is_ok());
+        let has_backedge = program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::JumpIfDeltasNotEmpty { .. }));
+        assert!(has_backedge);
+        let swap_clears = program
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::SwapClear { .. }))
+            .count();
+        assert_eq!(swap_clears, 2); // initial pass + loop body
+    }
+
+    #[test]
+    fn constants_become_filters_not_loads() {
+        let p = parse("Out(x) :- Call(x, 7).\n").unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let (_, query) = plan.spj_queries()[0];
+        let program = compile_query(query);
+        let open = program
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::OpenScan { filters, .. } => Some(filters.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(open.len(), 1);
+        assert!(matches!(open[0], (1, FilterSource::Const(_))));
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom_emits_equality_check() {
+        let p = parse("Loop(x) :- Edge(x, x).\n").unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let (_, query) = plan.spj_queries()[0];
+        let program = compile_query(query);
+        assert!(program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::RequireEq { .. })));
+    }
+
+    #[test]
+    fn negated_atoms_emit_negcheck() {
+        let p = parse(
+            "Composite(x) :- Div(x, d).\n\
+             Prime(x) :- Num(x), !Composite(x).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let with_negation = plan
+            .spj_queries()
+            .into_iter()
+            .find(|(_, q)| !q.negated.is_empty())
+            .unwrap()
+            .1;
+        let program = compile_query(with_negation);
+        assert!(program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::NegCheck { .. })));
+    }
+}

@@ -1,0 +1,23 @@
+//! # carac-vm
+//!
+//! A relational bytecode virtual machine — the substrate behind Carac-rs's
+//! "bytecode" compilation target (paper §V-C.2).
+//!
+//! Where the paper generates JVM bytecode directly through the Class-File
+//! API, this crate defines its own compact register-machine instruction set
+//! over the storage layer ([`Instr`]), a single-pass compiler from
+//! (join-ordered) IR subtrees to instruction sequences ([`compile_node`],
+//! [`compile_query`]) and an interpreter for those sequences ([`Machine`]).
+//! Programs are generated at runtime, are cheap to produce, and cannot hand
+//! control back to the plan interpreter in the middle of a node — the same
+//! trade-offs as the paper's bytecode target.
+
+pub mod compile;
+pub mod instr;
+pub mod machine;
+pub mod program;
+
+pub use compile::{compile_node, compile_query};
+pub use instr::{EmitSource, FilterSource, Instr, Pc, Reg, Slot};
+pub use machine::{Machine, VmError, VmStats};
+pub use program::VmProgram;

@@ -1,0 +1,450 @@
+//! The bytecode interpreter ("machine").
+//!
+//! Executes a [`VmProgram`] against a [`StorageManager`].  The machine
+//! checks register, slot and pc bounds as it goes — generated programs are
+//! trusted but not blindly: a compiler bug surfaces as a [`VmError`] rather
+//! than silent corruption, mirroring the paper's observation that the
+//! bytecode target trades the type-checked safety of quotes for speed while
+//! the runtime still enforces its own invariants.
+
+use carac_storage::{DbKind, StorageManager, Tuple, Value};
+use std::fmt;
+
+use crate::instr::{EmitSource, FilterSource, Instr, Reg, Slot};
+use crate::program::VmProgram;
+
+/// Errors raised while executing a VM program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The program counter left the program.
+    PcOutOfBounds(u32),
+    /// A register index exceeded the allocated register file.
+    RegisterOutOfBounds(u16),
+    /// A cursor slot index exceeded the allocated slots.
+    SlotOutOfBounds(u16),
+    /// A cursor was advanced before being opened.
+    CursorNotOpen(u16),
+    /// A register was read before being written.
+    UninitializedRegister(u16),
+    /// The storage layer rejected an operation.
+    Storage(String),
+    /// The instruction budget was exhausted (guards against non-terminating
+    /// generated programs in tests).
+    BudgetExhausted,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::PcOutOfBounds(pc) => write!(f, "program counter {pc} out of bounds"),
+            VmError::RegisterOutOfBounds(r) => write!(f, "register r{r} out of bounds"),
+            VmError::SlotOutOfBounds(s) => write!(f, "cursor slot s{s} out of bounds"),
+            VmError::CursorNotOpen(s) => write!(f, "cursor slot s{s} advanced before open"),
+            VmError::UninitializedRegister(r) => write!(f, "register r{r} read before write"),
+            VmError::Storage(msg) => write!(f, "storage error: {msg}"),
+            VmError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<carac_storage::StorageError> for VmError {
+    fn from(err: carac_storage::StorageError) -> Self {
+        VmError::Storage(err.to_string())
+    }
+}
+
+/// Counters reported after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub executed: u64,
+    /// Tuples emitted (before storage-level deduplication).
+    pub emitted: u64,
+    /// Tuples that were genuinely new.
+    pub inserted: u64,
+}
+
+/// An open cursor: the matching row offsets of one relation snapshot and the
+/// current position within them.
+#[derive(Debug, Clone)]
+struct Cursor {
+    rel: carac_storage::RelId,
+    db: DbKind,
+    rows: Vec<usize>,
+    pos: usize,
+    open: bool,
+}
+
+impl Default for Cursor {
+    fn default() -> Self {
+        Cursor {
+            rel: carac_storage::RelId(0),
+            db: DbKind::Derived,
+            rows: Vec::new(),
+            pos: 0,
+            open: false,
+        }
+    }
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Machine {
+    regs: Vec<Option<Value>>,
+    cursors: Vec<Cursor>,
+    /// Maximum number of instructions a single `run` may execute; defaults
+    /// to effectively unlimited.
+    pub budget: u64,
+}
+
+impl Machine {
+    /// Creates a machine sized for `program`.
+    pub fn for_program(program: &VmProgram) -> Self {
+        Machine {
+            regs: vec![None; program.num_regs],
+            cursors: vec![Cursor::default(); program.num_slots],
+            budget: u64::MAX,
+        }
+    }
+
+    /// Runs `program` to completion against `storage`.
+    pub fn run(
+        &mut self,
+        program: &VmProgram,
+        storage: &mut StorageManager,
+    ) -> Result<VmStats, VmError> {
+        let mut stats = VmStats::default();
+        let mut pc: usize = 0;
+        loop {
+            if stats.executed >= self.budget {
+                return Err(VmError::BudgetExhausted);
+            }
+            let instr = program
+                .instrs
+                .get(pc)
+                .ok_or(VmError::PcOutOfBounds(pc as u32))?;
+            stats.executed += 1;
+            match instr {
+                Instr::Halt => return Ok(stats),
+                Instr::Jump(target) => {
+                    pc = target.index();
+                    continue;
+                }
+                Instr::SwapClear { relations } => {
+                    storage.swap_and_clear(relations)?;
+                }
+                Instr::JumpIfDeltasNotEmpty { relations, target } => {
+                    if !storage.deltas_empty(relations)? {
+                        pc = target.index();
+                        continue;
+                    }
+                }
+                Instr::OpenScan {
+                    slot,
+                    rel,
+                    db,
+                    filters,
+                } => {
+                    let rows = self.matching_rows(storage, *rel, *db, filters)?;
+                    let cursor = self.cursor_mut(*slot)?;
+                    cursor.rel = *rel;
+                    cursor.db = *db;
+                    cursor.rows = rows;
+                    cursor.pos = 0;
+                    cursor.open = true;
+                }
+                Instr::Advance {
+                    slot,
+                    loads,
+                    on_exhausted,
+                } => {
+                    let cursor = self.cursor(*slot)?;
+                    if !cursor.open {
+                        return Err(VmError::CursorNotOpen(slot.0));
+                    }
+                    if cursor.pos >= cursor.rows.len() {
+                        pc = on_exhausted.index();
+                        continue;
+                    }
+                    let row = cursor.rows[cursor.pos];
+                    let (rel, db) = (cursor.rel, cursor.db);
+                    self.cursor_mut(*slot)?.pos += 1;
+                    let relation = storage.relation(db, rel)?;
+                    let tuple = relation.tuple_at(row).clone();
+                    for &(col, reg) in loads {
+                        let value = tuple.get(col).ok_or(VmError::Storage(format!(
+                            "column {col} out of bounds while loading from {rel:?}"
+                        )))?;
+                        self.write_reg(reg, value)?;
+                    }
+                }
+                Instr::RequireEq { a, b, on_mismatch } => {
+                    if self.read_reg(*a)? != self.read_reg(*b)? {
+                        pc = on_mismatch.index();
+                        continue;
+                    }
+                }
+                Instr::NegCheck {
+                    rel,
+                    db,
+                    filters,
+                    on_found,
+                } => {
+                    let rows = self.matching_rows(storage, *rel, *db, filters)?;
+                    if !rows.is_empty() {
+                        pc = on_found.index();
+                        continue;
+                    }
+                }
+                Instr::Emit { rel, columns } => {
+                    let mut values = Vec::with_capacity(columns.len());
+                    for source in columns {
+                        values.push(match source {
+                            EmitSource::Const(c) => *c,
+                            EmitSource::Reg(r) => self.read_reg(*r)?,
+                        });
+                    }
+                    stats.emitted += 1;
+                    if storage.insert_derived(*rel, Tuple::new(values))? {
+                        stats.inserted += 1;
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn cursor(&self, slot: Slot) -> Result<&Cursor, VmError> {
+        self.cursors
+            .get(slot.0 as usize)
+            .ok_or(VmError::SlotOutOfBounds(slot.0))
+    }
+
+    fn cursor_mut(&mut self, slot: Slot) -> Result<&mut Cursor, VmError> {
+        self.cursors
+            .get_mut(slot.0 as usize)
+            .ok_or(VmError::SlotOutOfBounds(slot.0))
+    }
+
+    fn read_reg(&self, reg: Reg) -> Result<Value, VmError> {
+        self.regs
+            .get(reg.0 as usize)
+            .ok_or(VmError::RegisterOutOfBounds(reg.0))?
+            .ok_or(VmError::UninitializedRegister(reg.0))
+    }
+
+    fn write_reg(&mut self, reg: Reg, value: Value) -> Result<(), VmError> {
+        let slot = self
+            .regs
+            .get_mut(reg.0 as usize)
+            .ok_or(VmError::RegisterOutOfBounds(reg.0))?;
+        *slot = Some(value);
+        Ok(())
+    }
+
+    /// Row offsets of the tuples of `(rel, db)` matching every filter.  The
+    /// first filter whose column carries an index narrows the candidate set;
+    /// remaining filters are applied by inspection.
+    fn matching_rows(
+        &self,
+        storage: &StorageManager,
+        rel: carac_storage::RelId,
+        db: DbKind,
+        filters: &[(usize, FilterSource)],
+    ) -> Result<Vec<usize>, VmError> {
+        let relation = storage.relation(db, rel)?;
+        // Resolve filter values up front.
+        let mut resolved: Vec<(usize, Value)> = Vec::with_capacity(filters.len());
+        for (col, source) in filters {
+            let value = match source {
+                FilterSource::Const(c) => *c,
+                FilterSource::Reg(r) => self.read_reg(*r)?,
+            };
+            resolved.push((*col, value));
+        }
+        // Pick an indexed column if one exists.
+        let indexed = resolved
+            .iter()
+            .find(|(col, _)| relation.has_index(*col))
+            .copied();
+        let candidates: Vec<usize> = match indexed {
+            Some((col, value)) => relation.lookup_rows(col, value),
+            None => match resolved.first() {
+                Some(&(col, value)) => relation.lookup_rows(col, value),
+                None => (0..relation.len()).collect(),
+            },
+        };
+        if resolved.len() <= 1 {
+            return Ok(candidates);
+        }
+        Ok(candidates
+            .into_iter()
+            .filter(|&row| {
+                let tuple = relation.tuple_at(row);
+                resolved
+                    .iter()
+                    .all(|&(col, value)| tuple.get(col) == Some(value))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_node, compile_query};
+    use crate::instr::Pc;
+    use carac_datalog::parser::parse;
+    use carac_datalog::Program;
+    use carac_ir::{generate_plan, EvalStrategy};
+    use carac_storage::RelId;
+
+    fn storage_for(program: &Program, indexes: bool) -> StorageManager {
+        let mut sm = StorageManager::new(indexes);
+        for decl in program.relations() {
+            sm.register(&decl.name, decl.arity, decl.is_edb);
+        }
+        for (rel, tuple) in program.facts() {
+            sm.insert_fact(*rel, tuple.clone()).unwrap();
+        }
+        sm
+    }
+
+    #[test]
+    fn transitive_closure_via_full_compilation() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        let mut storage = storage_for(&p, true);
+        let mut machine = Machine::for_program(&program);
+        let stats = machine.run(&program, &mut storage).unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        let result = storage.relation(DbKind::Derived, path).unwrap();
+        // 1→2,2→3,3→4,1→3,2→4,1→4
+        assert_eq!(result.len(), 6);
+        assert!(stats.inserted >= 6);
+        assert!(stats.executed > 0);
+    }
+
+    #[test]
+    fn machine_handles_negation() {
+        let p = parse(
+            "Composite(x) :- Div(x, d).\n\
+             Prime(x) :- Num(x), !Composite(x).\n\
+             Num(2). Num(3). Num(4).\n\
+             Div(4, 2).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        let mut storage = storage_for(&p, false);
+        let mut machine = Machine::for_program(&program);
+        machine.run(&program, &mut storage).unwrap();
+        let prime = p.relation_by_name("Prime").unwrap();
+        let result = storage.relation(DbKind::Derived, prime).unwrap();
+        assert_eq!(result.len(), 2); // 2 and 3
+        assert!(result.contains(&Tuple::from_ints(&[2])));
+        assert!(result.contains(&Tuple::from_ints(&[3])));
+        assert!(!result.contains(&Tuple::from_ints(&[4])));
+    }
+
+    #[test]
+    fn indexed_and_unindexed_agree() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 1). Edge(3, 5).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        let path = p.relation_by_name("Path").unwrap();
+
+        let mut with_index = storage_for(&p, true);
+        // Request an index on the join column.
+        with_index.add_index(p.relation_by_name("Edge").unwrap(), 1).unwrap();
+        with_index.add_index(path, 0).unwrap();
+        Machine::for_program(&program)
+            .run(&program, &mut with_index)
+            .unwrap();
+
+        let mut without_index = storage_for(&p, false);
+        Machine::for_program(&program)
+            .run(&program, &mut without_index)
+            .unwrap();
+
+        assert_eq!(
+            with_index.relation(DbKind::Derived, path).unwrap().len(),
+            without_index.relation(DbKind::Derived, path).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn budget_guards_against_runaway_programs() {
+        let program = VmProgram {
+            instrs: vec![Instr::Jump(Pc(0))],
+            num_regs: 0,
+            num_slots: 0,
+        };
+        let mut machine = Machine::for_program(&program);
+        machine.budget = 100;
+        let p = parse("Edge(1, 2).").unwrap();
+        let mut storage = storage_for(&p, false);
+        assert_eq!(
+            machine.run(&program, &mut storage),
+            Err(VmError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_is_reported() {
+        let program = VmProgram {
+            instrs: vec![
+                Instr::Emit {
+                    rel: RelId(0),
+                    columns: vec![EmitSource::Reg(Reg(0))],
+                },
+                Instr::Halt,
+            ],
+            num_regs: 1,
+            num_slots: 0,
+        };
+        let p = parse("Edge(1, 2).").unwrap();
+        let mut storage = storage_for(&p, false);
+        let mut machine = Machine::for_program(&program);
+        assert!(matches!(
+            machine.run(&program, &mut storage),
+            Err(VmError::UninitializedRegister(0))
+        ));
+    }
+
+    #[test]
+    fn single_query_compilation_populates_delta_new() {
+        let p = parse(
+            "Copy(x, y) :- Edge(x, y).\n\
+             Edge(7, 8).\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let (_, query) = plan.spj_queries()[0];
+        let program = compile_query(query);
+        let mut storage = storage_for(&p, false);
+        let mut machine = Machine::for_program(&program);
+        let stats = machine.run(&program, &mut storage).unwrap();
+        assert_eq!(stats.inserted, 1);
+        let copy = p.relation_by_name("Copy").unwrap();
+        assert_eq!(
+            storage.relation(DbKind::DeltaNew, copy).unwrap().len(),
+            1
+        );
+        // Not yet merged into derived: that is SwapClear's job.
+        assert_eq!(storage.relation(DbKind::Derived, copy).unwrap().len(), 0);
+    }
+}

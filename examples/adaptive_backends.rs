@@ -1,0 +1,54 @@
+//! Exercise every compilation backend on the same query and compare what
+//! each one does: compilations performed, artifacts reused, re-orderings
+//! applied, deoptimizations, and wall-clock time.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example adaptive_backends
+//! ```
+
+use carac::knobs::BackendKind;
+use carac::EngineConfig;
+use carac_analysis::{inverse_functions, Formulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = inverse_functions(96, 7);
+    println!("{} — {}\n", workload.name, workload.description);
+
+    let configs: Vec<EngineConfig> = vec![
+        EngineConfig::interpreted(),
+        EngineConfig::jit(BackendKind::IrGen, false),
+        EngineConfig::jit(BackendKind::Lambda, false),
+        EngineConfig::jit(BackendKind::Bytecode, false),
+        EngineConfig::jit(BackendKind::Quotes, false),
+        EngineConfig::jit(BackendKind::Quotes, true),
+    ];
+
+    println!(
+        "{:<24} {:>10} {:>8} {:>9} {:>7} {:>12}",
+        "configuration", "time", "reorder", "compiles", "deopts", "result"
+    );
+    let mut expected = None;
+    for config in configs {
+        let label = config.label();
+        let result = workload.run(Formulation::Unoptimized, config)?;
+        let count = result.count(workload.output_relation)?;
+        if let Some(expected) = expected {
+            assert_eq!(count, expected, "{label} produced a different result");
+        } else {
+            expected = Some(count);
+        }
+        let stats = result.stats();
+        println!(
+            "{:<24} {:>10.4?} {:>8} {:>9} {:>7} {:>12}",
+            label,
+            stats.total_time,
+            stats.reorders,
+            stats.compilations(),
+            stats.deopts,
+            count
+        );
+    }
+    println!("\nAll configurations derived the same fixpoint.");
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Property-based differential testing: on randomly generated fact sets,
+//! every execution path (interpreter, all JIT backends, AOT, the bytecode
+//! VM, the baselines) must compute exactly the same fixpoint, and the
+//! fixpoint must satisfy the semantic invariants of the query.
+
+use carac::knobs::BackendKind;
+use carac::{Carac, EngineConfig};
+use carac_datalog::{parser::parse, Program, ProgramBuilder};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds the transitive-closure program over a given edge list.
+fn tc_program(edges: &[(u32, u32)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.relation("Edge", 2);
+    b.relation("Path", 2);
+    b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+    b.rule("Path", &["x", "y"])
+        .when("Edge", &["x", "z"])
+        .when("Path", &["z", "y"])
+        .end();
+    for &(a, b_) in edges {
+        b.fact_ints("Edge", &[a, b_]);
+    }
+    b.build().unwrap()
+}
+
+/// Reference transitive closure computed directly in Rust.
+fn closure_reference(edges: &[(u32, u32)], nodes: u32) -> usize {
+    let n = nodes as usize;
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        reach[a as usize][b as usize] = true;
+    }
+    // Floyd–Warshall style closure.
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    reach[i][j] = reach[i][j] || reach[k][j];
+                }
+            }
+        }
+    }
+    reach.iter().flatten().filter(|&&r| r).count()
+}
+
+fn edge_strategy(nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0..nodes, 0..nodes), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transitive closure: every engine configuration equals the
+    /// Floyd–Warshall reference.
+    #[test]
+    fn transitive_closure_matches_reference(edges in edge_strategy(12, 40)) {
+        let program = tc_program(&edges);
+        let expected = closure_reference(&edges, 12);
+        let configs = [
+            EngineConfig::interpreted(),
+            EngineConfig::interpreted_unindexed(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+            EngineConfig::jit(BackendKind::Bytecode, false),
+            EngineConfig::jit(BackendKind::IrGen, false),
+            EngineConfig::ahead_of_time(true, true),
+        ];
+        for config in configs {
+            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            prop_assert_eq!(result.count("Path").unwrap(), expected);
+        }
+    }
+
+    /// Stratified negation: Reach ∪ Unreached must partition the node set,
+    /// for every engine configuration.
+    #[test]
+    fn negation_partitions_the_domain(
+        edges in edge_strategy(10, 30),
+        seeds in vec(0u32..10, 1..3),
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Node", 1);
+        b.relation("Seed", 1);
+        b.relation("Reach", 1);
+        b.relation("Unreached", 1);
+        b.rule("Reach", &["x"]).when("Seed", &["x"]).end();
+        b.rule("Reach", &["y"]).when("Reach", &["x"]).when("Edge", &["x", "y"]).end();
+        b.rule("Unreached", &["x"]).when("Node", &["x"]).when_not("Reach", &["x"]).end();
+        for n in 0..10u32 {
+            b.fact_ints("Node", &[n]);
+        }
+        for s in &seeds {
+            b.fact_ints("Seed", &[*s]);
+        }
+        for (a, b_) in &edges {
+            b.fact_ints("Edge", &[*a, *b_]);
+        }
+        let program = b.build().unwrap();
+        for config in [
+            EngineConfig::interpreted(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+            EngineConfig::jit(BackendKind::Bytecode, true),
+        ] {
+            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            let reach = result.count("Reach").unwrap();
+            let unreached = result.count("Unreached").unwrap();
+            prop_assert_eq!(reach + unreached, 10);
+            // Seeds are always reachable.
+            for s in &seeds {
+                prop_assert!(result.contains("Reach", &[&s.to_string()]).unwrap());
+            }
+        }
+    }
+
+    /// The same-generation query (a non-linear recursive query) agrees
+    /// between the interpreter and the VM-compiled execution.
+    #[test]
+    fn same_generation_interpreter_equals_vm(edges in edge_strategy(9, 25)) {
+        let mut source = String::from(
+            "Sg(x, y) :- Parent(p, x), Parent(p, y).\n\
+             Sg(x, y) :- Parent(px, x), Sg(px, py), Parent(py, y).\n",
+        );
+        for (a, b) in &edges {
+            source.push_str(&format!("Parent({a}, {b}).\n"));
+        }
+        if edges.is_empty() {
+            source.push_str("Parent(0, 1).\n");
+        }
+        let program = parse(&source).unwrap();
+        let interp = Carac::new(program.clone())
+            .with_config(EngineConfig::interpreted())
+            .run()
+            .unwrap();
+        let vm = Carac::new(program)
+            .with_config(EngineConfig::jit(BackendKind::Bytecode, false))
+            .run()
+            .unwrap();
+        let mut a = interp.tuples("Sg").unwrap();
+        let mut b = vm.tuples("Sg").unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

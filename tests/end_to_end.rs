@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: frontend → plan → every execution
+//! configuration → identical fixpoints, including the baseline engines.
+
+use carac::knobs::BackendKind;
+use carac::{Carac, EngineConfig};
+use carac_analysis::{ackermann, andersen, cspa, csda, fibonacci, inverse_functions, primes, Formulation};
+use carac_baselines::{DlxConfig, DlxLike, SouffleConfig, SouffleLike, SouffleMode};
+use carac_datalog::parser::parse;
+use std::time::Duration;
+
+/// Every engine configuration the facade exposes.
+fn all_configs() -> Vec<EngineConfig> {
+    let mut configs = vec![
+        EngineConfig::interpreted(),
+        EngineConfig::interpreted_unindexed(),
+        EngineConfig::ahead_of_time(true, true),
+        EngineConfig::ahead_of_time(true, false),
+        EngineConfig::ahead_of_time(false, true),
+        EngineConfig::ahead_of_time(false, false),
+    ];
+    for backend in [
+        BackendKind::IrGen,
+        BackendKind::Lambda,
+        BackendKind::Bytecode,
+        BackendKind::Quotes,
+    ] {
+        for async_compile in [false, true] {
+            configs.push(EngineConfig::jit(backend, async_compile));
+        }
+    }
+    configs
+}
+
+#[test]
+fn every_configuration_agrees_on_every_workload() {
+    let workloads = vec![
+        andersen(28, 3),
+        inverse_functions(32, 3),
+        cspa(20, 3),
+        csda(50, 3),
+        ackermann(14),
+        fibonacci(14),
+        primes(60),
+    ];
+    for workload in workloads {
+        for formulation in Formulation::BOTH {
+            let mut expected: Option<usize> = None;
+            for config in all_configs() {
+                let label = config.label();
+                let (count, _) = workload
+                    .measure(formulation, config)
+                    .unwrap_or_else(|e| panic!("{} / {label}: {e}", workload.name));
+                match expected {
+                    None => expected = Some(count),
+                    Some(e) => assert_eq!(
+                        count, e,
+                        "{} ({formulation:?}) under {label} diverged",
+                        workload.name
+                    ),
+                }
+            }
+            // The headline output relation may legitimately be small at these
+            // tiny test scales (e.g. few redundant call pairs); equality
+            // across configurations is the property under test.  A separate
+            // test in `carac-analysis` checks non-emptiness at larger scales.
+            assert!(expected.is_some(), "{} never ran", workload.name);
+        }
+    }
+}
+
+#[test]
+fn baselines_agree_with_carac() {
+    let workload = csda(80, 9);
+    let program = workload.program(Formulation::HandOptimized).clone();
+    let carac_count = Carac::new(program.clone())
+        .with_config(EngineConfig::jit(BackendKind::Lambda, false))
+        .run()
+        .unwrap()
+        .count(workload.output_relation)
+        .unwrap();
+
+    let dlx = DlxLike::new(program.clone(), DlxConfig::default())
+        .run(workload.output_relation)
+        .unwrap();
+    assert_eq!(dlx.output_count, carac_count);
+
+    for mode in [
+        SouffleMode::Interpreter,
+        SouffleMode::Compiler,
+        SouffleMode::AutoTuned,
+    ] {
+        let run = SouffleLike::new(
+            program.clone(),
+            SouffleConfig {
+                mode,
+                toolchain_cost: Duration::from_millis(1),
+                ..SouffleConfig::default()
+            },
+        )
+        .run(workload.output_relation)
+        .unwrap();
+        assert_eq!(run.output_count, carac_count, "{mode:?} diverged");
+    }
+}
+
+#[test]
+fn parsed_and_builder_programs_compose_across_crates() {
+    // A program written textually, extended with facts through the facade,
+    // executed by the JIT, inspected through the symbol table.
+    let program = parse(
+        r#"
+        SameGeneration(x, y) :- Parent(p, x), Parent(p, y).
+        SameGeneration(x, y) :- Parent(px, x), SameGeneration(px, py), Parent(py, y).
+        Parent("adam", "abel").
+        Parent("adam", "cain").
+        "#,
+    )
+    .unwrap();
+    let mut engine = Carac::new(program).with_config(EngineConfig::jit(BackendKind::Bytecode, false));
+    engine.add_fact_ints("Parent", &[7, 8]).unwrap();
+    let result = engine.run().unwrap();
+    assert!(result.contains("SameGeneration", &["abel", "cain"]).unwrap());
+    assert!(result.contains("SameGeneration", &["8", "8"]).unwrap());
+}
+
+#[test]
+fn unoptimized_and_optimized_formulations_share_schema() {
+    for workload in [cspa(16, 1), andersen(16, 1), inverse_functions(24, 1)] {
+        let opt = workload.program(Formulation::HandOptimized);
+        let unopt = workload.program(Formulation::Unoptimized);
+        assert_eq!(opt.relations().len(), unopt.relations().len());
+        assert_eq!(opt.rules().len(), unopt.rules().len());
+        assert_eq!(opt.facts().len(), unopt.facts().len());
+        // Formulations differ only in atom order: every rule has the same
+        // multiset of body relations.
+        for (a, b) in opt.rules().iter().zip(unopt.rules()) {
+            assert_eq!(a.head.rel, b.head.rel);
+            let mut ra: Vec<_> = a.body.iter().map(|l| (l.atom.rel, l.negated)).collect();
+            let mut rb: Vec<_> = b.body.iter().map(|l| (l.atom.rel, l.negated)).collect();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb);
+        }
+    }
+}
+
+#[test]
+fn stats_expose_the_adaptivity_machinery() {
+    let workload = cspa(32, 5);
+    let result = workload
+        .run(
+            Formulation::Unoptimized,
+            EngineConfig::jit(BackendKind::Lambda, false),
+        )
+        .unwrap();
+    let stats = result.stats();
+    assert!(stats.iterations > 1, "CSPA needs several iterations");
+    assert!(stats.reorders > 0, "the JIT should reorder at least one join");
+    assert!(stats.compilations() > 0);
+    assert!(stats.compiled_executions > 0);
+    assert!(stats.compile_time() <= stats.total_time);
+}

@@ -9,8 +9,7 @@
 //! both local chains and long-range edges.  All generators are
 //! deterministic given their seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A generated set of binary facts for one relation.
 pub type EdgeList = Vec<(u32, u32)>;
@@ -19,11 +18,11 @@ pub type EdgeList = Vec<(u32, u32)>;
 /// self-loops, duplicates allowed (the engine's set semantics deduplicate).
 pub fn random_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
     assert!(nodes >= 2, "need at least two nodes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(edges);
     while out.len() < edges {
-        let a = rng.gen_range(0..nodes);
-        let b = rng.gen_range(0..nodes);
+        let a = rng.gen_range_u32(0, nodes);
+        let b = rng.gen_range_u32(0, nodes);
         if a != b {
             out.push((a, b));
         }
@@ -36,18 +35,18 @@ pub fn random_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
 /// assignment graphs extracted from real programs.
 pub fn skewed_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
     assert!(nodes >= 2, "need at least two nodes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out: EdgeList = Vec::with_capacity(edges);
     // Endpoint pool: every generated edge feeds its endpoints back into the
     // pool so frequently-used nodes are chosen again more often.
     let mut pool: Vec<u32> = (0..nodes.min(16)).collect();
     while out.len() < edges {
         let a = if rng.gen_bool(0.7) {
-            pool[rng.gen_range(0..pool.len())]
+            pool[rng.gen_range_usize(0, pool.len())]
         } else {
-            rng.gen_range(0..nodes)
+            rng.gen_range_u32(0, nodes)
         };
-        let b = rng.gen_range(0..nodes);
+        let b = rng.gen_range_u32(0, nodes);
         if a == b {
             continue;
         }
@@ -66,12 +65,12 @@ pub fn skewed_digraph(nodes: u32, edges: usize, seed: u64) -> EdgeList {
 /// which is what the CSDA workload stresses.
 pub fn chain_with_shortcuts(nodes: u32, shortcut_every: u32, seed: u64) -> EdgeList {
     assert!(nodes >= 2, "need at least two nodes");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for i in 0..nodes - 1 {
         out.push((i, i + 1));
         if shortcut_every > 0 && i % shortcut_every == 0 {
-            let span = rng.gen_range(2..=8).min(nodes - 1 - i);
+            let span = rng.gen_range_u32(2, 9).min(nodes - 1 - i);
             if span >= 2 {
                 out.push((i, i + span));
             }
@@ -142,11 +141,11 @@ pub fn slistlib_facts(scale: u32, seed: u64) -> ProgramFacts {
     let heaps = (vars / 4).max(2);
     let functions = (vars / 8).clamp(2, 64);
     let sites = vars / 2;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
 
     let mut address_of = Vec::new();
     for v in 0..vars / 3 {
-        address_of.push((v, vars + rng.gen_range(0..heaps)));
+        address_of.push((v, vars + rng.gen_range_u32(0, heaps)));
     }
     let assign = skewed_digraph(vars, vars as usize, seed.wrapping_add(2));
     let load = random_digraph(vars, (vars / 3) as usize, seed.wrapping_add(3));
@@ -158,14 +157,27 @@ pub fn slistlib_facts(scale: u32, seed: u64) -> ProgramFacts {
     let func_base = vars + heaps;
     for site in 0..sites {
         let site_id = func_base + functions + site;
-        let func = func_base + rng.gen_range(0..functions);
+        let func = func_base + rng.gen_range_u32(0, functions);
         call_site.push((site_id, func));
-        call_arg.push((site_id, rng.gen_range(0..vars)));
-        call_ret.push((site_id, rng.gen_range(0..vars)));
+        call_arg.push((site_id, rng.gen_range_u32(0, vars)));
+        call_ret.push((site_id, rng.gen_range_u32(0, vars)));
     }
     // The first two functions are declared mutual inverses
     // (serialize / deserialize), matching the paper's InvFuns fact.
     let inv_funs = vec![(func_base + 1, func_base), (func_base, func_base + 1)];
+
+    // Plant one guaranteed serialize-then-deserialize chain so the
+    // wasted-work analysis always has at least one redundant pair to find,
+    // independent of what the random call graph happens to contain: site 0
+    // calls serialize returning `ret`, `ret` is assigned into `fwd`, and
+    // site 1 passes `fwd` to deserialize.
+    let (ret_var, fwd_var) = (0, 1);
+    call_site[0].1 = func_base;
+    call_ret[0].1 = ret_var;
+    call_site[1].1 = func_base + 1;
+    call_arg[1].1 = fwd_var;
+    let mut assign = assign;
+    assign.push((fwd_var, ret_var));
 
     ProgramFacts {
         address_of,

@@ -18,6 +18,7 @@
 pub mod generators;
 pub mod micro;
 pub mod program_analysis;
+pub mod rng;
 pub mod workload;
 
 pub use micro::{ackermann, fibonacci, primes};

@@ -1,0 +1,140 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The fact generators only need a seedable, reproducible source of uniform
+//! integers; they do not need cryptographic strength or the full `rand`
+//! distribution machinery (and the offline build cannot fetch the `rand`
+//! crate).  This is the xoshiro256++ generator seeded through SplitMix64 —
+//! the exact combination `rand`'s own `SmallRng` used for years — with a
+//! `rand`-flavoured method surface (`gen_range`, `gen_bool`) so the
+//! generator code reads the same.
+
+/// Deterministic xoshiro256++ PRNG, seedable from a single `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.  Equal seeds produce equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state, as
+        // recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        // Reference xoshiro256++ transition: the order matters — s1 and s0
+        // must observe the already-updated s2 and s3.
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// A uniform integer in `[low, high)` (`high` exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range_u32(&mut self, low: u32, high: u32) -> u32 {
+        assert!(low < high, "gen_range called with empty range {low}..{high}");
+        let span = (high - low) as u64;
+        // Lemire's multiply-shift bounded-integer method (slightly biased
+        // for spans close to 2^64; irrelevant at the spans used here).
+        low + (((self.next_u64() as u128 * span as u128) >> 64) as u64) as u32
+    }
+
+    /// A uniform `usize` in `[low, high)`.
+    pub fn gen_range_usize(&mut self, low: usize, high: usize) -> usize {
+        assert!(low < high, "gen_range called with empty range {low}..{high}");
+        let span = (high - low) as u128;
+        low + ((self.next_u64() as u128 * span) >> 64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // Compare against the top 53 bits mapped to [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_xoshiro256plusplus() {
+        // Known-answer test: SplitMix64(42)-seeded xoshiro256++, first four
+        // outputs, computed with an independent implementation of the
+        // published algorithm.  Pins the exact stream so the state
+        // transition cannot silently drift.
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 0xd076_4d4f_4476_689f);
+        assert_eq!(rng.next_u64(), 0x519e_4174_576f_3791);
+        assert_eq!(rng.next_u64(), 0xfbe0_7cfb_0c24_ed8c);
+        assert_eq!(rng.next_u64(), 0xb37d_9f60_0cd8_35b8);
+    }
+
+    #[test]
+    fn equal_seeds_produce_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range_u32(3, 17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "got {hits}");
+    }
+}

@@ -8,7 +8,7 @@
 //! magnitude on CSPA — without any input from the user.
 
 use carac_analysis::Formulation;
-use carac_bench::{figure_macro_workloads, speedup_figure};
+use carac_bench::{figure_macro_workloads, parallel_scaling_table, speedup_figure};
 
 fn main() {
     let workloads = figure_macro_workloads();
@@ -22,4 +22,15 @@ fn main() {
     println!("{table}");
     println!("(rows: execution configuration; columns: workload with indexes / without indexes;");
     println!(" every value is speedup over the interpreted unoptimized program in the same index setting)");
+
+    // The --threads axis: sharded parallel evaluation of the same workloads
+    // (set `--threads 1,4,8` or CARAC_BENCH_THREADS to change the axis).
+    let parallel = parallel_scaling_table(
+        "Figure 6 (threads axis): sharded parallel evaluation, hand-optimized programs",
+        &workloads,
+        Formulation::HandOptimized,
+        2,
+    );
+    println!("{parallel}");
+    println!("(wall-clock of the interpreted engine; parallel runs are verified to derive the serial fact set)");
 }

@@ -6,7 +6,7 @@
 //! work) and the cheap backends (IRGenerator, Lambda) fare best.
 
 use carac_analysis::Formulation;
-use carac_bench::{figure_micro_workloads, speedup_figure};
+use carac_bench::{figure_micro_workloads, parallel_scaling_table, speedup_figure};
 
 fn main() {
     let workloads = figure_micro_workloads();
@@ -18,4 +18,13 @@ fn main() {
         3,
     );
     println!("{table}");
+    println!(
+        "{}",
+        parallel_scaling_table(
+            "Figure 7 (threads axis): sharded parallel evaluation",
+            &workloads,
+            Formulation::HandOptimized,
+            3,
+        )
+    );
 }

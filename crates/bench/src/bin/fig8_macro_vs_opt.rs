@@ -8,7 +8,7 @@
 //! overhead) and no configuration collapses far below 1x.
 
 use carac_analysis::Formulation;
-use carac_bench::{figure_csda, figure_macro_workloads, speedup_figure};
+use carac_bench::{figure_csda, figure_macro_workloads, parallel_scaling_table, speedup_figure};
 
 fn main() {
     let mut workloads = figure_macro_workloads();
@@ -21,4 +21,13 @@ fn main() {
         2,
     );
     println!("{table}");
+    println!(
+        "{}",
+        parallel_scaling_table(
+            "Figure 8 (threads axis): sharded parallel evaluation",
+            &workloads,
+            Formulation::HandOptimized,
+            2,
+        )
+    );
 }

@@ -7,7 +7,7 @@
 //! Ackermann; the cheap backends should stay close to 1x.
 
 use carac_analysis::Formulation;
-use carac_bench::{figure_micro_workloads, speedup_figure};
+use carac_bench::{figure_micro_workloads, parallel_scaling_table, speedup_figure};
 
 fn main() {
     let workloads = figure_micro_workloads();
@@ -19,4 +19,13 @@ fn main() {
         3,
     );
     println!("{table}");
+    println!(
+        "{}",
+        parallel_scaling_table(
+            "Figure 9 (threads axis): sharded parallel evaluation",
+            &workloads,
+            Formulation::HandOptimized,
+            3,
+        )
+    );
 }

@@ -37,6 +37,91 @@ pub fn macro_scale() -> u32 {
         .unwrap_or(DEFAULT_MACRO_SCALE)
 }
 
+/// The worker-thread axis for the parallel-scaling tables: `--threads 1,4,8`
+/// on the command line, else the `CARAC_BENCH_THREADS` environment variable,
+/// else `1,4`.  Values are deduplicated, kept in the order given, and `0`
+/// entries are dropped.
+pub fn thread_axis() -> Vec<usize> {
+    let from_args = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1).cloned())
+            .or_else(|| {
+                args.iter()
+                    .find(|a| a.starts_with("--threads="))
+                    .map(|a| a["--threads=".len()..].to_string())
+            })
+    };
+    let spec = from_args
+        .or_else(|| std::env::var("CARAC_BENCH_THREADS").ok())
+        .unwrap_or_else(|| "1,4".to_string());
+    let mut axis: Vec<usize> = Vec::new();
+    for part in spec.split(',') {
+        if let Ok(n) = part.trim().parse::<usize>() {
+            if n > 0 && !axis.contains(&n) {
+                axis.push(n);
+            }
+        }
+    }
+    if axis.is_empty() {
+        axis.push(1);
+    }
+    axis
+}
+
+/// The parallel-scaling table shared by the figure binaries' `--threads`
+/// axis: for every workload, the serial interpreted wall-clock next to each
+/// parallel worker count, with the speedup over serial.  Panics if any
+/// parallel run diverges from the serial fact count — the determinism
+/// contract is part of what the table certifies.
+pub fn parallel_scaling_table(
+    title: &str,
+    workloads: &[Workload],
+    formulation: Formulation,
+    repeats: usize,
+) -> String {
+    let threads = thread_axis();
+    let mut headers = vec!["Workload".to_string(), "serial".to_string()];
+    for &t in &threads {
+        if t > 1 {
+            headers.push(format!("{t} threads"));
+            headers.push(format!("x{t} speedup"));
+        }
+    }
+    let mut rows = Vec::new();
+    for workload in workloads {
+        let (serial_count, serial_time) = measure(
+            workload,
+            formulation,
+            EngineConfig::interpreted(),
+            repeats,
+        );
+        let mut row = vec![workload.name.to_string(), fmt_secs(serial_time)];
+        for &t in &threads {
+            if t <= 1 {
+                continue;
+            }
+            let (count, time) = measure(
+                workload,
+                formulation,
+                EngineConfig::interpreted().with_parallelism(t),
+                repeats,
+            );
+            assert_eq!(
+                count, serial_count,
+                "{} with {t} threads diverged from the serial fact count",
+                workload.name
+            );
+            row.push(fmt_secs(time));
+            row.push(fmt_speedup(speedup(serial_time, time)));
+        }
+        eprintln!("[{title}] parallel scaling for {} done", workload.name);
+        rows.push(row);
+    }
+    render_table(title, &headers, &rows)
+}
+
 /// The six JIT configurations of Figures 6–9, in the paper's legend order,
 /// plus their labels.
 pub fn jit_configs() -> Vec<(String, EngineConfig)> {

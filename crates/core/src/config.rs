@@ -53,6 +53,25 @@ impl Default for AotConfig {
 }
 
 /// Complete engine configuration.
+///
+/// Constructors cover the paper's experiment grid (interpretation, the JIT
+/// backends, ahead-of-time optimization); builder methods toggle the
+/// orthogonal axes (indexes, evaluation strategy, parallelism):
+///
+/// ```
+/// use carac::EngineConfig;
+/// use carac::knobs::{BackendKind, EvalStrategy};
+///
+/// let jit = EngineConfig::jit(BackendKind::Bytecode, true);
+/// assert_eq!(jit.label(), "JIT Bytecode Async");
+///
+/// let config = EngineConfig::interpreted()
+///     .without_indexes()
+///     .with_strategy(EvalStrategy::Naive)
+///     .with_parallelism(4);
+/// assert!(!config.use_indexes);
+/// assert_eq!(config.parallelism, 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Execution mode.
@@ -62,6 +81,15 @@ pub struct EngineConfig {
     pub use_indexes: bool,
     /// Evaluation strategy used when generating the plan.
     pub strategy: EvalStrategy,
+    /// Worker threads available to the join kernels.  `1` (the default)
+    /// evaluates serially; larger values shard each relation's tuple store
+    /// and partition rule-body evaluation across a fork-join pool, with
+    /// per-shard results merged deterministically before the delta swap —
+    /// parallel runs derive exactly the serial fact set.  Works with both
+    /// [`EvalStrategy::Naive`] and [`EvalStrategy::SemiNaive`] and with
+    /// every execution mode (the bytecode VM itself stays serial; its
+    /// interpreted fallbacks parallelize).
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +98,7 @@ impl Default for EngineConfig {
             mode: ExecutionMode::Jit(JitConfig::default()),
             use_indexes: true,
             strategy: EvalStrategy::SemiNaive,
+            parallelism: 1,
         }
     }
 }
@@ -88,7 +117,7 @@ impl EngineConfig {
         EngineConfig {
             mode: ExecutionMode::Interpreted,
             use_indexes: false,
-            strategy: EvalStrategy::SemiNaive,
+            ..EngineConfig::default()
         }
     }
 
@@ -130,6 +159,13 @@ impl EngineConfig {
     /// Switches the evaluation strategy (semi-naive by default).
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker-thread budget for the join kernels (see
+    /// [`EngineConfig::parallelism`]).  `0` is treated as `1`.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
         self
     }
 
@@ -212,5 +248,15 @@ mod tests {
         assert_eq!(config.strategy, EvalStrategy::SemiNaive);
         let naive = EngineConfig::interpreted().with_strategy(EvalStrategy::Naive);
         assert_eq!(naive.strategy, EvalStrategy::Naive);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_serial_and_clamps() {
+        assert_eq!(EngineConfig::default().parallelism, 1);
+        assert_eq!(EngineConfig::interpreted().with_parallelism(8).parallelism, 8);
+        assert_eq!(EngineConfig::interpreted().with_parallelism(0).parallelism, 1);
+        // The knob composes with every mode without changing the label.
+        let parallel = EngineConfig::jit(BackendKind::Lambda, false).with_parallelism(4);
+        assert_eq!(parallel.label(), "JIT Lambda Blocking");
     }
 }

@@ -102,8 +102,28 @@ impl Carac {
     /// Each call starts from a fresh database built from the program facts
     /// plus any facts added with the `add_*` methods, so the engine can be
     /// reused for repeated measurements.
+    ///
+    /// ```
+    /// use carac::{Carac, EngineConfig};
+    /// use carac_datalog::parser::parse;
+    ///
+    /// let program = parse(
+    ///     "Path(x, y) :- Edge(x, y).\n\
+    ///      Path(x, y) :- Edge(x, z), Path(z, y).\n\
+    ///      Edge(1, 2). Edge(2, 3).",
+    /// ).unwrap();
+    /// // Serial and 4-thread parallel evaluation derive the same fixpoint.
+    /// let serial = Carac::new(program.clone())
+    ///     .with_config(EngineConfig::interpreted())
+    ///     .run().unwrap();
+    /// let parallel = Carac::new(program)
+    ///     .with_config(EngineConfig::interpreted().with_parallelism(4))
+    ///     .run().unwrap();
+    /// assert_eq!(serial.count("Path").unwrap(), parallel.count("Path").unwrap());
+    /// ```
     pub fn run(&self) -> Result<QueryResult, CaracError> {
         let mut ctx = ExecContext::prepare(&self.program, self.config.use_indexes)?;
+        ctx.set_parallelism(self.config.parallelism)?;
         for (rel, tuple) in &self.extra_facts {
             ctx.insert_fact(*rel, tuple.clone())?;
         }

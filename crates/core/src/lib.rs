@@ -52,6 +52,8 @@
 //! * [`carac_storage`] — tuples, relations, indexes and the semi-naive
 //!   evaluation databases.
 
+#![warn(missing_docs)]
+
 pub mod aot;
 pub mod config;
 pub mod engine;

@@ -183,6 +183,21 @@ impl RuleMeta {
         requests
     }
 
+    /// All `(relation, columns)` composite-index requests for this rule:
+    /// one request per atom that constrains at least two columns (join keys
+    /// and/or constant filters), over positive and negated atoms.  Columns
+    /// are ascending, matching the storage layer's canonical order.
+    pub fn composite_index_requests(&self) -> Vec<(RelId, Vec<usize>)> {
+        let mut requests = Vec::new();
+        for atom in self.atoms.iter().chain(self.negated_atoms.iter()) {
+            let candidates = atom.index_candidates();
+            if candidates.len() >= 2 {
+                requests.push((atom.rel, candidates));
+            }
+        }
+        requests
+    }
+
     /// Number of positive atoms.
     pub fn num_atoms(&self) -> usize {
         self.atoms.len()

@@ -172,6 +172,23 @@ pub fn index_requests(program: &Program) -> Vec<(RelId, usize)> {
     requests
 }
 
+/// All `(relation, columns)` composite-index requests implied by the
+/// program's rules: one request per atom constraining two or more columns.
+/// Duplicates are removed; order follows first request.
+pub fn composite_index_requests(program: &Program) -> Vec<(RelId, Vec<usize>)> {
+    let mut seen: FxHashSet<(RelId, Vec<usize>)> = FxHashSet::default();
+    let mut requests = Vec::new();
+    for rule in program.rules() {
+        let meta = RuleMeta::analyze(rule);
+        for request in meta.composite_index_requests() {
+            if seen.insert(request.clone()) {
+                requests.push(request);
+            }
+        }
+    }
+    requests
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +288,44 @@ mod tests {
         for (rel, col) in requests {
             assert!(col < p.relation(rel).arity);
         }
+    }
+
+    #[test]
+    fn composite_requests_need_two_constrained_columns() {
+        // Sg(px, py) is probed with both columns bound in the non-linear
+        // same-generation rule — the canonical composite-index shape.
+        let mut b = ProgramBuilder::new();
+        b.relation("Parent", 2);
+        b.relation("Sg", 2);
+        b.rule("Sg", &["x", "y"])
+            .when("Parent", &["p", "x"])
+            .when("Parent", &["p", "y"])
+            .end();
+        b.rule("Sg", &["x", "y"])
+            .when("Parent", &["px", "x"])
+            .when("Sg", &["px", "py"])
+            .when("Parent", &["py", "y"])
+            .end();
+        let p = b.build().unwrap();
+        let requests = composite_index_requests(&p);
+        let sg = p.relation_by_name("Sg").unwrap();
+        let parent = p.relation_by_name("Parent").unwrap();
+        assert!(requests.contains(&(sg, vec![0, 1])));
+        assert!(requests.contains(&(parent, vec![0, 1])));
+        // Columns are canonical (ascending) and within bounds.
+        for (rel, cols) in &requests {
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(cols.iter().all(|&c| c < p.relation(*rel).arity));
+        }
+    }
+
+    #[test]
+    fn single_constraint_atoms_request_no_composite() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &["x"]).when("Edge", &["x", "unused"]).end();
+        let p = b.build().unwrap();
+        assert!(composite_index_requests(&p).is_empty());
     }
 }

@@ -232,7 +232,7 @@ pub fn compile_closure(node: &IRNode) -> ClosureFn {
         IROp::Spj { query } => {
             let kernel = SpecializedQuery::compile(query);
             Box::new(move |ctx| {
-                kernel.execute(&mut ctx.storage, &mut ctx.stats)?;
+                kernel.execute_with(&mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 Ok(())
             })
         }

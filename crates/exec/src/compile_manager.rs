@@ -9,14 +9,13 @@
 //! stack surgery — the engine simply starts using the artifact on its next
 //! visit to the node.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use carac_ir::{IRNode, NodeId, OpKind};
 use carac_storage::hasher::{FxHashMap, FxHashSet};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::backends::{compile_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
 use crate::error::ExecError;
@@ -68,7 +67,7 @@ impl Default for CompilationManager {
 impl CompilationManager {
     /// Creates a manager with its background compiler thread.
     pub fn new() -> Self {
-        let (tx, rx): (Sender<CompileRequest>, Receiver<CompileRequest>) = unbounded();
+        let (tx, rx): (Sender<CompileRequest>, Receiver<CompileRequest>) = channel();
         let results: Arc<Mutex<FxHashMap<NodeId, CompileResult>>> =
             Arc::new(Mutex::new(FxHashMap::default()));
         let worker_results = Arc::clone(&results);
@@ -94,7 +93,10 @@ impl CompilationManager {
                             duration,
                         },
                     };
-                    worker_results.lock().insert(request.node_id, result);
+                    worker_results
+                        .lock()
+                        .expect("compiler result map poisoned")
+                        .insert(request.node_id, result);
                 }
             })
             .expect("failed to spawn the compiler thread");
@@ -184,7 +186,11 @@ impl CompilationManager {
     /// Polls for a finished compilation of `node_id`.  Returns `None` while
     /// the request is still in flight.
     pub fn poll(&mut self, node_id: NodeId) -> Option<CompileResult> {
-        let result = self.results.lock().remove(&node_id);
+        let result = self
+            .results
+            .lock()
+            .expect("compiler result map poisoned")
+            .remove(&node_id);
         if result.is_some() {
             self.pending.remove(&node_id);
             self.completed_compilations += 1;

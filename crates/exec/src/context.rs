@@ -26,9 +26,13 @@ pub struct ExecContext {
     pub is_idb: Vec<bool>,
     /// `(relation, column)` pairs carrying an index.
     pub indexed: FxHashSet<(RelId, usize)>,
+    /// `(relation, columns)` composite-index requests that were honoured.
+    pub composite_indexed: Vec<(RelId, Vec<usize>)>,
     /// Iteration counter across the whole run (used for staleness
     /// bookkeeping and reporting).
     pub iteration: u64,
+    /// Worker threads available to the join kernels (1 = serial).
+    pub parallelism: usize,
     /// Run statistics.
     pub stats: RunStats,
 }
@@ -43,10 +47,15 @@ impl ExecContext {
             storage.register(&decl.name, decl.arity, decl.is_edb);
         }
         let mut indexed = FxHashSet::default();
+        let mut composite_indexed = Vec::new();
         if use_indexes {
             for (rel, col) in carac_datalog::rewrite::index_requests(program) {
                 storage.add_index(rel, col)?;
                 indexed.insert((rel, col));
+            }
+            for (rel, cols) in carac_datalog::rewrite::composite_index_requests(program) {
+                storage.add_composite_index(rel, &cols)?;
+                composite_indexed.push((rel, cols));
             }
         }
         for (rel, tuple) in program.facts() {
@@ -57,9 +66,21 @@ impl ExecContext {
             storage,
             is_idb,
             indexed,
+            composite_indexed,
             iteration: 0,
+            parallelism: 1,
             stats: RunStats::default(),
         })
+    }
+
+    /// Configures the worker-thread budget for the join kernels and shards
+    /// the storage layer to match, so full delta scans partition across
+    /// workers without rescanning.  `parallelism <= 1` restores serial
+    /// evaluation (and unshards the relations).
+    pub fn set_parallelism(&mut self, parallelism: usize) -> Result<(), ExecError> {
+        self.parallelism = parallelism.max(1);
+        self.storage.set_sharding(self.parallelism)?;
+        Ok(())
     }
 
     /// Inserts an additional EDB fact (facts may keep arriving after the
@@ -69,11 +90,15 @@ impl ExecContext {
         Ok(self.storage.insert_fact(rel, tuple)?)
     }
 
-    /// Builds the optimizer's view of the current state.
+    /// Builds the optimizer's view of the current state, including the
+    /// composite indexes built for this program and the worker budget the
+    /// pipeline estimator should account for.
     pub fn optimize_context(&self) -> OptimizeContext {
         let mut snapshot = self.storage.stats();
         snapshot.iteration = self.iteration;
         OptimizeContext::new(snapshot, self.is_idb.clone(), self.indexed.clone())
+            .with_composites(self.composite_indexed.iter().cloned().collect())
+            .with_parallelism(self.parallelism)
     }
 
     /// Number of tuples currently derived for `rel`.

@@ -10,7 +10,7 @@ use carac_ir::{IRNode, IROp};
 
 use crate::context::ExecContext;
 use crate::error::ExecError;
-use crate::kernel::execute_interpreted;
+use crate::kernel::execute_interpreted_with;
 
 /// Executes `node` (and its whole subtree) against `ctx`.
 pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
@@ -41,7 +41,7 @@ pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> 
             Ok(())
         }
         IROp::Spj { query } => {
-            execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+            execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
             Ok(())
         }
     }

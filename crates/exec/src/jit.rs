@@ -25,7 +25,7 @@ use crate::compile_manager::CompilationManager;
 use crate::context::ExecContext;
 use crate::error::ExecError;
 use crate::interpreter::interpret;
-use crate::kernel::{execute_interpreted, SpecializedQuery};
+use crate::kernel::{execute_interpreted_with, SpecializedQuery};
 use crate::stats::CompileEvent;
 
 /// Configuration of the JIT.
@@ -156,7 +156,7 @@ impl JitEngine {
             }
             IROp::Spj { query } => {
                 // Below the compilation granularity: plain interpretation.
-                execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+                execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 Ok(())
             }
         }
@@ -294,9 +294,9 @@ impl JitEngine {
         match &node.op {
             IROp::Spj { query } => {
                 if let Some(kernel) = kernels.get(&node.id) {
-                    kernel.execute(&mut ctx.storage, &mut ctx.stats)?;
+                    kernel.execute_with(&mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 } else {
-                    execute_interpreted(query, &mut ctx.storage, &mut ctx.stats)?;
+                    execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 }
                 Ok(())
             }

@@ -24,7 +24,13 @@ use carac_storage::hasher::FxHashMap;
 use carac_storage::{DbKind, RelId, Relation, StorageManager, Tuple, Value};
 
 use crate::error::ExecError;
+use crate::parallel::{chunk_rows, parallel_map};
 use crate::stats::RunStats;
+
+/// Minimum number of driving rows before a subquery is worth forking: below
+/// this, thread-spawn overhead dominates and the kernels stay serial.  The
+/// cutoff only affects scheduling — results are identical either way.
+pub const PARALLEL_ROW_THRESHOLD: usize = 64;
 
 /// Where a filter value comes from in the specialized plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,10 +155,32 @@ impl SpecializedQuery {
         storage: &mut StorageManager,
         stats: &mut RunStats,
     ) -> Result<u64, ExecError> {
+        self.execute_with(storage, stats, 1)
+    }
+
+    /// Executes the specialized query with up to `parallelism` worker
+    /// threads partitioning the driving atom's candidate rows.
+    ///
+    /// Workers evaluate disjoint partitions against the read-only storage
+    /// snapshot; emitted tuples are merged in partition order and inserted
+    /// serially, so the derived fact set is identical to the serial run for
+    /// every worker count.  Small row sets (below
+    /// [`PARALLEL_ROW_THRESHOLD`]) run serially.
+    pub fn execute_with(
+        &self,
+        storage: &mut StorageManager,
+        stats: &mut RunStats,
+        parallelism: usize,
+    ) -> Result<u64, ExecError> {
         stats.subqueries += 1;
-        let mut bindings = vec![Value::int(0); self.num_vars];
-        let mut out: Vec<Tuple> = Vec::new();
-        self.join_level(0, &mut bindings, storage, &mut out)?;
+        let out = if parallelism > 1 {
+            self.join_parallel(storage, stats, parallelism)?
+        } else {
+            let mut bindings = vec![Value::int(0); self.num_vars];
+            let mut out: Vec<Tuple> = Vec::new();
+            self.join_level(0, &mut bindings, storage, &mut out)?;
+            out
+        };
         stats.tuples_emitted += out.len() as u64;
         let mut inserted = 0;
         for tuple in out {
@@ -162,6 +190,64 @@ impl SpecializedQuery {
         }
         stats.tuples_inserted += inserted;
         Ok(inserted)
+    }
+
+    /// The fork-join body of [`execute_with`](Self::execute_with): splits
+    /// the driving rows into per-worker partitions (the relation's hash
+    /// shards when it is sharded and fully scanned, contiguous chunks
+    /// otherwise) and joins each partition independently.
+    fn join_parallel(
+        &self,
+        storage: &StorageManager,
+        stats: &mut RunStats,
+        parallelism: usize,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let Some(first) = self.atoms.first() else {
+            // A body-less query (constant rule): nothing to partition.
+            let mut bindings = vec![Value::int(0); self.num_vars];
+            let mut out = Vec::new();
+            self.join_level(0, &mut bindings, storage, &mut out)?;
+            return Ok(out);
+        };
+        let relation = storage.relation(first.db, first.rel)?;
+        // Level-0 filters are constants by construction (a variable filter
+        // needs an earlier atom to bind it), so resolving against the empty
+        // binding set is safe.
+        let zero_bindings = vec![Value::int(0); self.num_vars];
+        let use_shards = first.filters.is_empty() && relation.is_sharded();
+        let scan_rows;
+        let partitions: Vec<&[usize]> = if use_shards {
+            // Hash shards scan independently; merge order is shard order.
+            (0..relation.shard_count())
+                .map(|s| relation.shard_rows(s))
+                .filter(|rows| !rows.is_empty())
+                .collect()
+        } else {
+            scan_rows = candidate_rows(relation, &first.filters, &zero_bindings);
+            chunk_rows(&scan_rows, parallelism)
+        };
+        let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
+        if total_rows < PARALLEL_ROW_THRESHOLD || partitions.len() <= 1 {
+            let mut bindings = zero_bindings;
+            let mut out = Vec::new();
+            for rows in &partitions {
+                self.join_rows(0, relation, rows, &mut bindings, storage, &mut out)?;
+            }
+            return Ok(out);
+        }
+        stats.parallel_subqueries += 1;
+        stats.parallel_tasks += partitions.len() as u64;
+        let results = parallel_map(parallelism, &partitions, |rows| {
+            let mut bindings = vec![Value::int(0); self.num_vars];
+            let mut out = Vec::new();
+            self.join_rows(0, relation, rows, &mut bindings, storage, &mut out)?;
+            Ok::<_, ExecError>(out)
+        });
+        let mut merged = Vec::new();
+        for result in results {
+            merged.extend(result?);
+        }
+        Ok(merged)
     }
 
     fn join_level(
@@ -193,7 +279,22 @@ impl SpecializedQuery {
         let atom = &self.atoms[level];
         let relation = storage.relation(atom.db, atom.rel)?;
         let rows = candidate_rows(relation, &atom.filters, bindings);
-        'rows: for row in rows {
+        self.join_rows(level, relation, &rows, bindings, storage, out)
+    }
+
+    /// Joins one level over an explicit candidate-row list (the shared tail
+    /// of the serial and partitioned paths).
+    fn join_rows(
+        &self,
+        level: usize,
+        relation: &Relation,
+        rows: &[usize],
+        bindings: &mut [Value],
+        storage: &StorageManager,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), ExecError> {
+        let atom = &self.atoms[level];
+        'rows: for &row in rows {
             let tuple = relation.tuple_at(row);
             for &(col, ref val) in &atom.filters {
                 let expected = match val {
@@ -220,14 +321,21 @@ impl SpecializedQuery {
     }
 }
 
-/// Candidate row offsets for an atom given the current bindings: uses an
-/// index on a filtered column when available, otherwise the first filter,
-/// otherwise a full scan.
+/// Candidate row offsets for an atom given the current bindings.  The
+/// access-path policy itself lives in [`Relation::candidate_rows`]; this
+/// wrapper resolves the filter sources and keeps an allocation-free fast
+/// path for relations without composite indexes (the common case in this
+/// per-level hot loop).
 fn candidate_rows(relation: &Relation, filters: &[(usize, FilterVal)], bindings: &[Value]) -> Vec<usize> {
     let resolve = |val: &FilterVal| match val {
         FilterVal::Const(c) => *c,
         FilterVal::Var(slot) => bindings[*slot],
     };
+    if filters.len() >= 2 && relation.has_composite_indexes() {
+        let resolved: Vec<(usize, Value)> =
+            filters.iter().map(|(col, val)| (*col, resolve(val))).collect();
+        return relation.candidate_rows(&resolved);
+    }
     if let Some((col, val)) = filters.iter().find(|(col, _)| relation.has_index(*col)) {
         return relation.lookup_rows(*col, resolve(val));
     }
@@ -260,10 +368,30 @@ pub fn execute_interpreted(
     storage: &mut StorageManager,
     stats: &mut RunStats,
 ) -> Result<u64, ExecError> {
+    execute_interpreted_with(query, storage, stats, 1)
+}
+
+/// Interpreted execution with up to `parallelism` worker threads, following
+/// the same partition-and-merge discipline as
+/// [`SpecializedQuery::execute_with`]: the driving atom's candidate rows are
+/// split (hash shards for full scans, contiguous chunks otherwise), each
+/// partition is interpreted independently against the read-only storage, and
+/// results merge in partition order before the serial deduplicating insert.
+pub fn execute_interpreted_with(
+    query: &ConjunctiveQuery,
+    storage: &mut StorageManager,
+    stats: &mut RunStats,
+    parallelism: usize,
+) -> Result<u64, ExecError> {
     stats.subqueries += 1;
-    let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
-    let mut out = Vec::new();
-    interp_level(query, 0, &mut bindings, storage, &mut out)?;
+    let out = if parallelism > 1 && !query.atoms.is_empty() {
+        interp_parallel(query, storage, stats, parallelism)?
+    } else {
+        let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
+        let mut out = Vec::new();
+        interp_level(query, 0, &mut bindings, storage, &mut out)?;
+        out
+    };
     stats.tuples_emitted += out.len() as u64;
     let mut inserted = 0;
     for tuple in out {
@@ -273,6 +401,59 @@ pub fn execute_interpreted(
     }
     stats.tuples_inserted += inserted;
     Ok(inserted)
+}
+
+/// Partitioned interpretation of the driving atom (level 0).
+fn interp_parallel(
+    query: &ConjunctiveQuery,
+    storage: &StorageManager,
+    stats: &mut RunStats,
+    parallelism: usize,
+) -> Result<Vec<Tuple>, ExecError> {
+    let atom = &query.atoms[0];
+    let relation = storage.relation(atom.db, atom.rel)?;
+    // At level 0 no variable is bound yet, so only constants constrain.
+    let constrained: Option<(usize, Value)> =
+        atom.terms.iter().enumerate().find_map(|(col, term)| match term {
+            Term::Const(c) => Some((col, *c)),
+            Term::Var(_) => None,
+        });
+    let use_shards = constrained.is_none() && relation.is_sharded();
+    let scan_rows;
+    let partitions: Vec<&[usize]> = if use_shards {
+        (0..relation.shard_count())
+            .map(|s| relation.shard_rows(s))
+            .filter(|rows| !rows.is_empty())
+            .collect()
+    } else {
+        scan_rows = match constrained {
+            Some((col, val)) => relation.lookup_rows(col, val),
+            None => (0..relation.len()).collect(),
+        };
+        chunk_rows(&scan_rows, parallelism)
+    };
+    let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
+    if total_rows < PARALLEL_ROW_THRESHOLD || partitions.len() <= 1 {
+        let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
+        let mut out = Vec::new();
+        for rows in &partitions {
+            interp_rows(query, 0, relation, rows, &mut bindings, storage, &mut out)?;
+        }
+        return Ok(out);
+    }
+    stats.parallel_subqueries += 1;
+    stats.parallel_tasks += partitions.len() as u64;
+    let results = parallel_map(parallelism, &partitions, |rows| {
+        let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
+        let mut out = Vec::new();
+        interp_rows(query, 0, relation, rows, &mut bindings, storage, &mut out)?;
+        Ok::<_, ExecError>(out)
+    });
+    let mut merged = Vec::new();
+    for result in results {
+        merged.extend(result?);
+    }
+    Ok(merged)
 }
 
 fn interp_level(
@@ -312,18 +493,49 @@ fn interp_level(
     }
     let atom = &query.atoms[level];
     let relation = storage.relation(atom.db, atom.rel)?;
-    // Interpretation re-derives the access path every time: if some column is
-    // constrained (constant or bound variable) use it for a lookup, else scan.
-    let constrained: Option<(usize, Value)> =
-        atom.terms.iter().enumerate().find_map(|(col, term)| match term {
-            Term::Const(c) => Some((col, *c)),
-            Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
-        });
-    let rows: Vec<usize> = match constrained {
-        Some((col, val)) => relation.lookup_rows(col, val),
-        None => (0..relation.len()).collect(),
+    // Interpretation re-derives the access path every time.  Resolving all
+    // filters costs an allocation, so only do it when the relation actually
+    // has a composite index to probe; otherwise keep the original
+    // allocation-free first-constrained-column lookup.
+    let rows: Vec<usize> = if relation.has_composite_indexes() {
+        let filters: Vec<(usize, Value)> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(col, term)| match term {
+                Term::Const(c) => Some((col, *c)),
+                Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
+            })
+            .collect();
+        relation.candidate_rows(&filters)
+    } else {
+        let constrained: Option<(usize, Value)> =
+            atom.terms.iter().enumerate().find_map(|(col, term)| match term {
+                Term::Const(c) => Some((col, *c)),
+                Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
+            });
+        match constrained {
+            Some((col, val)) => relation.lookup_rows(col, val),
+            None => (0..relation.len()).collect(),
+        }
     };
-    'rows: for row in rows {
+    interp_rows(query, level, relation, &rows, bindings, storage, out)
+}
+
+/// Interprets one level over an explicit candidate-row list (the shared tail
+/// of the serial and partitioned paths).
+#[allow(clippy::too_many_arguments)]
+fn interp_rows(
+    query: &ConjunctiveQuery,
+    level: usize,
+    relation: &Relation,
+    rows: &[usize],
+    bindings: &mut FxHashMap<VarId, Value>,
+    storage: &StorageManager,
+    out: &mut Vec<Tuple>,
+) -> Result<(), ExecError> {
+    let atom = &query.atoms[level];
+    'rows: for &row in rows {
         let tuple = relation.tuple_at(row).clone();
         // Check every column against the current bindings.
         let mut locally_bound: Vec<(VarId, Value)> = Vec::new();
@@ -512,6 +724,84 @@ mod tests {
         assert!(!results[0].is_empty());
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_for_both_kernels() {
+        // A join big enough to clear PARALLEL_ROW_THRESHOLD, over a sharded
+        // store: every worker count must produce the same delta set.
+        let mut source = String::from("Gp(x, z) :- Parent(x, y), Parent(y, z).\n");
+        for i in 0..120u32 {
+            source.push_str(&format!("Parent({}, {}).\n", i, (i * 7 + 1) % 120));
+        }
+        let p = parse(&source).unwrap();
+        let q = first_query(&p);
+        let gp = p.relation_by_name("Gp").unwrap();
+
+        let reference = {
+            let mut s = prep(&p, true);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            tuples.sort();
+            tuples
+        };
+        assert!(reference.len() > 10);
+
+        for parallelism in [2usize, 4, 8] {
+            // Specialized kernel, sharded storage.
+            let mut s = prep(&p, true);
+            s.set_sharding(parallelism).unwrap();
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q)
+                .execute_with(&mut s, &mut stats, parallelism)
+                .unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            tuples.sort();
+            assert_eq!(tuples, reference, "specialized x{parallelism} diverged");
+            assert!(stats.parallel_subqueries > 0, "parallel path not exercised");
+            assert!(stats.parallel_tasks >= 2);
+
+            // Interpreted kernel, unsharded storage (chunked partitioning).
+            let mut s = prep(&p, false);
+            let mut stats = RunStats::default();
+            execute_interpreted_with(&q, &mut s, &mut stats, parallelism).unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            tuples.sort();
+            assert_eq!(tuples, reference, "interpreted x{parallelism} diverged");
+        }
+    }
+
+    #[test]
+    fn composite_index_path_matches_scan_path() {
+        // Sg probed on both columns: with a composite index the specialized
+        // kernel answers through one probe; results must equal the
+        // index-free run.
+        let p = parse(
+            "Out(x, y) :- Left(x, y), Sg(x, y).\n\
+             Left(1, 2). Left(2, 3). Left(3, 4). Left(9, 9).\n\
+             Sg(1, 2). Sg(3, 4). Sg(5, 6).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let out = p.relation_by_name("Out").unwrap();
+        let sg = p.relation_by_name("Sg").unwrap();
+
+        let run = |composite: bool| {
+            let mut s = prep(&p, composite);
+            if composite {
+                s.add_composite_index(sg, &[0, 1]).unwrap();
+            }
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, out).unwrap().tuples().to_vec();
+            tuples.sort();
+            tuples
+        };
+        let with_composite = run(true);
+        let without = run(false);
+        assert_eq!(with_composite, without);
+        assert_eq!(with_composite.len(), 2); // (1,2) and (3,4)
     }
 
     #[test]

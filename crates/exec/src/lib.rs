@@ -22,6 +22,7 @@ pub mod error;
 pub mod interpreter;
 pub mod jit;
 pub mod kernel;
+pub mod parallel;
 pub mod stats;
 
 pub use backends::{Artifact, BackendKind, CompileMode, StagingCostModel};
@@ -30,4 +31,5 @@ pub use context::ExecContext;
 pub use error::ExecError;
 pub use jit::{JitConfig, JitEngine};
 pub use kernel::SpecializedQuery;
+pub use parallel::parallel_map;
 pub use stats::{BackendTag, CompileEvent, RunStats};

@@ -1,0 +1,135 @@
+//! Data-parallel fork-join execution for the join kernels.
+//!
+//! The semi-naive fixpoint loop is embarrassingly parallel *within* one
+//! `σπ⋈` subquery: the candidate rows of the driving (outermost) atom can be
+//! partitioned and joined independently, because workers only read the
+//! storage layer — all writes (delta insertion, deduplication) happen
+//! serially after the partitions are merged in partition order.  That merge
+//! discipline is what makes parallel runs deterministic: the derived fact
+//! *set* is identical to the serial run's for every worker count.
+//!
+//! The pool is a std-only fork-join scheme built on [`std::thread::scope`]:
+//! workers claim partition indices from a shared atomic counter, so a worker
+//! that finishes early immediately steals the next unclaimed partition
+//! instead of idling (the same load-balancing property a work-stealing deque
+//! provides for this flat task shape, without the dependency).  Scoped
+//! threads let workers borrow the storage manager directly — no `Arc`, no
+//! cloning multi-million-tuple databases.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item, using up to `parallelism` worker threads, and
+/// returns the results *in item order* regardless of which worker computed
+/// them or when they finished.
+///
+/// With `parallelism <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — the serial and parallel paths produce identical
+/// output by construction.
+pub fn parallel_map<I, T, F>(parallelism: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = parallelism.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Claim the next unprocessed partition; an early-finishing
+                // worker keeps claiming ("stealing") until none are left.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every partition index was claimed exactly once"))
+        .collect()
+}
+
+/// Splits `rows` into at most `parts` contiguous chunks of near-equal size
+/// (at least one row per chunk; fewer chunks when there are fewer rows).
+/// Concatenating the chunks in order reproduces `rows` exactly, which keeps
+/// partitioned evaluation order-deterministic.
+pub fn chunk_rows(rows: &[usize], parts: usize) -> Vec<&[usize]> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, rows.len());
+    let base = rows.len() / parts;
+    let extra = rows.len() % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        chunks.push(&rows[start..start + len]);
+        start += len;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for parallelism in [1, 2, 4, 8] {
+            let doubled = parallel_map(parallelism, &items, |&i| i * 2);
+            assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_inline_for_single_worker() {
+        // A non-Sync side effect per item would not compile for the threaded
+        // path; instead verify the inline path handles the empty and unit
+        // cases.
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map::<u32, u32, _>(4, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_balances_uneven_work() {
+        // Tasks with wildly different costs still produce ordered output.
+        let items: Vec<u64> = (0..32).map(|i| if i % 7 == 0 { 200_000 } else { 10 }).collect();
+        let sums = parallel_map(8, &items, |&n| (0..n).sum::<u64>());
+        let expected: Vec<u64> = items.iter().map(|&n| (0..n).sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn chunk_rows_concatenates_back() {
+        let rows: Vec<usize> = (0..17).collect();
+        for parts in [1, 2, 3, 5, 16, 17, 40] {
+            let chunks = chunk_rows(&rows, parts);
+            assert!(chunks.len() <= parts.max(1));
+            let rebuilt: Vec<usize> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(rebuilt, rows);
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+        }
+        assert!(chunk_rows(&[], 4).is_empty());
+    }
+}

@@ -62,6 +62,13 @@ pub struct RunStats {
     /// Times execution fell back to interpretation because an asynchronous
     /// compilation was not ready yet.
     pub interpreted_fallbacks: u64,
+    /// Subqueries whose driving rows were evaluated by the parallel
+    /// fork-join kernels (subqueries below the row threshold stay serial and
+    /// are not counted).
+    pub parallel_subqueries: u64,
+    /// Partitions dispatched to worker threads across all parallel
+    /// subqueries (shards or contiguous chunks).
+    pub parallel_tasks: u64,
     /// Compilation log.
     pub compile_events: Vec<CompileEvent>,
     /// Total wall-clock execution time (filled by the engine).
@@ -90,6 +97,8 @@ impl RunStats {
         self.deopts += other.deopts;
         self.compiled_executions += other.compiled_executions;
         self.interpreted_fallbacks += other.interpreted_fallbacks;
+        self.parallel_subqueries += other.parallel_subqueries;
+        self.parallel_tasks += other.parallel_tasks;
         self.compile_events
             .extend(other.compile_events.iter().cloned());
         self.total_time += other.total_time;

@@ -1,0 +1,212 @@
+//! An offline stand-in for the [Criterion](https://docs.rs/criterion)
+//! statistics framework.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `criterion` crate cannot be fetched.  This crate exposes the (small)
+//! subset of Criterion's API that the `carac-bench` benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `measurement_time`, `bench_function` and `Bencher::iter` —
+//! with a deliberately simple measurement loop: a warm-up call followed by
+//! repeated timed batches, reporting best / mean / worst wall-clock per
+//! iteration.  It produces human-readable output rather than HTML reports,
+//! and it has no statistical outlier analysis; it exists so `cargo bench`
+//! works offline with unchanged bench sources.
+//!
+//! The lib target is intentionally named `criterion` so the bench files'
+//! `use criterion::...` lines compile verbatim against either this shim or
+//! the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+///
+/// Holds the global defaults that benchmark groups start from.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.  The group starts from
+    /// this instance's sampling settings (mirroring real Criterion, where
+    /// groups inherit the global configuration until overridden).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- group: {name} --");
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into(), self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (output is flushed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; its [`iter`](Bencher::iter) method
+/// runs and times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to `sample_size` samples or until the
+    /// measurement budget is exhausted (always at least one timed sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (not recorded).
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            black_box(routine());
+            self.samples.push(s.elapsed());
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// An identity function that hides its argument from the optimizer, so the
+/// benchmarked expression is not dead-code-eliminated.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark(id: &str, sample_size: usize, measurement_time: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<52} (no samples)");
+        return;
+    }
+    let best = bencher.samples.iter().min().unwrap();
+    let worst = bencher.samples.iter().max().unwrap();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{id:<52} best {:>12?}  mean {:>12?}  worst {:>12?}  ({} samples)",
+        best,
+        mean,
+        worst,
+        bencher.samples.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// listed benchmark with a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: defines `main` running the listed
+/// groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(100));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).measurement_time(Duration::from_millis(10));
+        group.bench_function("fast", |b| b.iter(|| black_box(42)));
+        group.finish();
+    }
+}

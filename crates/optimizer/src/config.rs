@@ -16,6 +16,15 @@ pub struct OptimizerConfig {
     /// Additional multiplicative benefit applied when an atom can be probed
     /// through an existing index on a bound column.
     pub index_benefit: f64,
+    /// Benefit applied instead of [`index_benefit`](Self::index_benefit)
+    /// when a composite (multi-column) index covers two or more of the
+    /// atom's bound columns: one hash probe resolves several constraints at
+    /// once, so the model rewards it more than a single-column probe.
+    pub composite_index_benefit: f64,
+    /// Fraction of the ideal shard-parallel speedup lost to partitioning
+    /// and merge overhead, used by `estimate_pipeline` when accounting for
+    /// shard fan-out (`0.0` = perfect scaling, `1.0` = no benefit).
+    pub parallel_merge_overhead: f64,
     /// Penalty multiplier applied to candidate atoms that share no variable
     /// with the already-chosen prefix (a cartesian product step).  Chosen
     /// large enough that a cartesian step is only taken when unavoidable.
@@ -36,6 +45,8 @@ impl Default for OptimizerConfig {
         OptimizerConfig {
             selectivity_factor: 0.1,
             index_benefit: 0.5,
+            composite_index_benefit: 0.25,
+            parallel_merge_overhead: 0.25,
             cartesian_penalty: 1.0e6,
             unknown_idb_cardinality: None,
             freshness_threshold: 0.2,
@@ -64,6 +75,10 @@ mod tests {
         assert!(cfg.unknown_idb_cardinality.is_none());
         assert!(cfg.selectivity_factor < 1.0);
         assert!(cfg.cartesian_penalty > 1.0);
+        // A composite probe must beat a single-column probe, or the model
+        // would never prefer the wider index.
+        assert!(cfg.composite_index_benefit < cfg.index_benefit);
+        assert!((0.0..1.0).contains(&cfg.parallel_merge_overhead));
     }
 
     #[test]

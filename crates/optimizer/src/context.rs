@@ -20,6 +20,13 @@ pub struct OptimizeContext {
     pub is_idb: Vec<bool>,
     /// `(relation, column)` pairs that carry a hash index.
     pub indexed: FxHashSet<(RelId, usize)>,
+    /// `(relation, columns)` sets that carry a composite hash index
+    /// (columns ascending, the storage layer's canonical order).
+    pub composite_indexed: FxHashSet<(RelId, Vec<usize>)>,
+    /// Worker threads the execution layer will use (1 = serial).  The
+    /// pipeline estimator discounts the driving scan by the achievable
+    /// shard-parallel speedup.
+    pub parallelism: usize,
 }
 
 impl OptimizeContext {
@@ -33,6 +40,7 @@ impl OptimizeContext {
             stats,
             is_idb,
             indexed,
+            ..OptimizeContext::default()
         }
     }
 
@@ -45,6 +53,18 @@ impl OptimizeContext {
         }
     }
 
+    /// Adds composite-index knowledge.
+    pub fn with_composites(mut self, composite: FxHashSet<(RelId, Vec<usize>)>) -> Self {
+        self.composite_indexed = composite;
+        self
+    }
+
+    /// Sets the worker-thread budget the estimator should account for.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
     /// Whether `rel` is known to be intensional.
     pub fn is_idb(&self, rel: RelId) -> bool {
         self.is_idb.get(rel.index()).copied().unwrap_or(false)
@@ -53,6 +73,15 @@ impl OptimizeContext {
     /// Whether `(rel, column)` carries an index.
     pub fn has_index(&self, rel: RelId, column: usize) -> bool {
         self.indexed.contains(&(rel, column))
+    }
+
+    /// Whether a composite index of `rel` is fully covered by the given
+    /// bound columns, i.e. one hash probe can resolve at least two of them.
+    /// `bound_columns` need not be sorted.
+    pub fn has_composite_covering(&self, rel: RelId, bound_columns: &[usize]) -> bool {
+        self.composite_indexed
+            .iter()
+            .any(|(r, cols)| *r == rel && cols.iter().all(|c| bound_columns.contains(c)))
     }
 
     /// Observed cardinality of `(rel, db)`.
@@ -91,5 +120,22 @@ mod tests {
         assert!(ctx.has_index(RelId(0), 1));
         assert!(!ctx.has_index(RelId(0), 0));
         assert_eq!(ctx.cardinality(RelId(0), DbKind::DeltaKnown), 2);
+    }
+
+    #[test]
+    fn composite_coverage_requires_every_index_column_bound() {
+        let mut composite = FxHashSet::default();
+        composite.insert((RelId(0), vec![0, 1]));
+        let ctx = OptimizeContext::default().with_composites(composite);
+        assert!(ctx.has_composite_covering(RelId(0), &[1, 0]));
+        assert!(ctx.has_composite_covering(RelId(0), &[0, 1, 2]));
+        assert!(!ctx.has_composite_covering(RelId(0), &[0]));
+        assert!(!ctx.has_composite_covering(RelId(1), &[0, 1]));
+    }
+
+    #[test]
+    fn parallelism_clamps_to_serial() {
+        assert_eq!(OptimizeContext::default().with_parallelism(0).parallelism, 1);
+        assert_eq!(OptimizeContext::default().with_parallelism(6).parallelism, 6);
     }
 }

@@ -40,6 +40,7 @@ pub fn atom_score(
 
     let mut score = cardinality;
     let mut usable_index = false;
+    let mut constrained_columns: Vec<usize> = Vec::new();
     for (column, term) in atom.terms.iter().enumerate() {
         let constrained = match term {
             carac_datalog::Term::Const(_) => true,
@@ -47,6 +48,7 @@ pub fn atom_score(
         };
         if constrained {
             score *= config.selectivity_factor;
+            constrained_columns.push(column);
             if ctx.has_index(atom.rel, column) {
                 usable_index = true;
             }
@@ -67,7 +69,13 @@ pub fn atom_score(
         }
     }
 
-    if usable_index {
+    // A composite index covering two or more bound columns resolves them in
+    // one hash probe and beats any single-column access path.
+    if constrained_columns.len() >= 2
+        && ctx.has_composite_covering(atom.rel, &constrained_columns)
+    {
+        score *= config.composite_index_benefit;
+    } else if usable_index {
         score *= config.index_benefit;
     }
     score
@@ -93,6 +101,14 @@ pub fn is_connected(atom: &QueryAtom, bound: &[bool], prefix_empty: bool) -> boo
 /// the quantity the reordering tries to minimize step by step.  Used by
 /// tests and by the ablation benchmarks to compare orders; execution never
 /// relies on it.
+///
+/// When the context reports `parallelism > 1` the estimate is divided by
+/// the achievable shard-parallel speedup: the execution layer partitions the
+/// driving atom's rows across workers, so the whole pipeline scales, minus
+/// the configured merge overhead.  Fan-out never changes the *relative*
+/// order of two pipelines over the same atoms (it is a constant factor),
+/// but it lets callers comparing parallel plans against serial ones (e.g.
+/// the bench harness) reason in one currency.
 pub fn estimate_pipeline(
     atoms: &[QueryAtom],
     num_vars: usize,
@@ -114,7 +130,14 @@ pub fn estimate_pipeline(
             }
         }
     }
-    total
+    total / parallel_speedup(ctx.parallelism, config)
+}
+
+/// Modeled speedup of fan-out over `parallelism` shards: ideal scaling
+/// discounted by the merge overhead, never below 1.
+pub fn parallel_speedup(parallelism: usize, config: &OptimizerConfig) -> f64 {
+    let p = parallelism.max(1) as f64;
+    (1.0 + (p - 1.0) * (1.0 - config.parallel_merge_overhead)).max(1.0)
 }
 
 #[cfg(test)]
@@ -247,6 +270,61 @@ mod tests {
             vec![Term::Const(Value::int(1)), Term::Var(VarId(1))],
         );
         assert!(is_connected(&with_const, &[false, false], false));
+    }
+
+    #[test]
+    fn composite_index_beats_single_column_index() {
+        let mut ctx = ctx_with(&[(1000, 0)]);
+        ctx.indexed.insert((RelId(0), 0));
+        ctx.indexed.insert((RelId(0), 1));
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        let single_only = atom_score(&a, &[true, true], &ctx, &config);
+        ctx.composite_indexed.insert((RelId(0), vec![0, 1]));
+        let with_composite = atom_score(&a, &[true, true], &ctx, &config);
+        assert!(with_composite < single_only);
+        // 1000 * 0.1 * 0.1 * 0.25 = 2.5 vs 1000 * 0.1 * 0.1 * 0.5 = 5.
+        assert!((with_composite - 2.5).abs() < 1e-9);
+        assert!((single_only - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_benefit_needs_full_coverage() {
+        let mut ctx = ctx_with(&[(1000, 0)]);
+        ctx.composite_indexed.insert((RelId(0), vec![0, 1]));
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        // Only column 0 bound: the two-column index cannot be probed.
+        let partial = atom_score(&a, &[true, false], &ctx, &config);
+        assert!((partial - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_fanout_discounts_the_pipeline() {
+        let ctx = ctx_with(&[(10_000, 0)]);
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        let serial = estimate_pipeline(&[a.clone()], 2, &ctx, &config);
+        let parallel_ctx = ctx.clone().with_parallelism(4);
+        let parallel = estimate_pipeline(&[a], 2, &parallel_ctx, &config);
+        assert!(parallel < serial);
+        // Overhead keeps the modeled speedup below ideal.
+        assert!(parallel > serial / 4.0);
+        let speedup = parallel_speedup(4, &config);
+        assert!((serial / parallel - speedup).abs() < 1e-9);
+        assert_eq!(parallel_speedup(1, &config), 1.0);
     }
 
     #[test]

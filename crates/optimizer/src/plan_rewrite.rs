@@ -5,7 +5,7 @@
 //! start once the EDB cardinalities are known, and repeatedly at runtime at
 //! whichever granularity the JIT compiles.  This module provides the
 //! plan-level entry points; the per-node entry point
-//! ([`reorder_query`](crate::reorder::reorder_query)) is used directly by the
+//! ([`reorder_query`]) is used directly by the
 //! execution backends.
 
 use carac_ir::{IRNode, IROp};

@@ -238,6 +238,65 @@ mod tests {
     }
 
     #[test]
+    fn greedy_prefers_the_composite_indexed_probe() {
+        // After A and B have bound both px and py, the equally-sized Aux and
+        // Sg atoms tie on cardinality — but Sg carries a composite index
+        // over both bound columns, so the greedy order probes it first even
+        // though Aux comes first in the written order.
+        let mut b = ProgramBuilder::new();
+        b.relation("A", 2);
+        b.relation("B", 2);
+        b.relation("Aux", 2);
+        b.relation("Sg", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &["x"])
+            .when("A", &["px", "x"])
+            .when("B", &["py", "x"])
+            .when("Aux", &["px", "py"])
+            .when("Sg", &["px", "py"])
+            .end();
+        let p = b.build().unwrap();
+        let q = carac_ir::ConjunctiveQuery::from_rule(&p.rules()[0], None);
+        let sg = p.relation_by_name("Sg").unwrap();
+        let aux = p.relation_by_name("Aux").unwrap();
+        let stats = || {
+            StatsSnapshot::from_stats(
+                vec![
+                    RelationStats { derived: 10, delta_known: 0, delta_new: 0 },
+                    RelationStats { derived: 50, delta_known: 0, delta_new: 0 },
+                    RelationStats { derived: 1_000, delta_known: 0, delta_new: 0 },
+                    RelationStats { derived: 1_000, delta_known: 0, delta_new: 0 },
+                    RelationStats::default(),
+                ],
+                1,
+            )
+        };
+        let positions = |order: &[usize]| {
+            (
+                order.iter().position(|&i| q.atoms[i].rel == sg).unwrap(),
+                order.iter().position(|&i| q.atoms[i].rel == aux).unwrap(),
+            )
+        };
+
+        // Without the composite index the tie keeps the written order.
+        let plain = OptimizeContext::stats_only(stats());
+        let order = greedy_order(&q, &plain, &OptimizerConfig::default());
+        let (pos_sg, pos_aux) = positions(&order);
+        assert!(pos_aux < pos_sg, "tie should keep written order ({order:?})");
+
+        // With it, the composite probe wins the tie.
+        let mut composite = carac_storage::hasher::FxHashSet::default();
+        composite.insert((sg, vec![0, 1]));
+        let indexed = OptimizeContext::stats_only(stats()).with_composites(composite);
+        let order = greedy_order(&q, &indexed, &OptimizerConfig::default());
+        let (pos_sg, pos_aux) = positions(&order);
+        assert!(
+            pos_sg < pos_aux,
+            "composite-indexed Sg should be probed before unindexed Aux (order {order:?})"
+        );
+    }
+
+    #[test]
     fn two_way_join_build_probe_swap() {
         // With only 2-way joins the optimization degenerates to choosing the
         // smaller side first (the CSDA observation of §VI-B.2).

@@ -175,6 +175,45 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Requests a composite hash index on `(rel, columns)` in the two
+    /// read-side databases.  No-op when indexes are disabled.
+    pub fn add_composite_index(&mut self, rel: RelId, columns: &[usize]) -> Result<()> {
+        if !self.use_indexes {
+            return Ok(());
+        }
+        self.derived.relation_mut(rel)?.add_composite_index(columns)?;
+        self.delta_known.relation_mut(rel)?.add_composite_index(columns)?;
+        Ok(())
+    }
+
+    /// Shards every relation (in all three databases) into `shard_count`
+    /// hash partitions keyed on the first column, the default join key.
+    /// `shard_count <= 1` disables sharding.  Nullary relations are left
+    /// unsharded — there is nothing to partition by.
+    ///
+    /// Sharding only adds a partition view over the row offsets; scans,
+    /// lookups and insertion order are unaffected, so serial evaluation on a
+    /// sharded manager is identical to evaluation on an unsharded one.
+    pub fn set_sharding(&mut self, shard_count: usize) -> Result<()> {
+        for db in [&mut self.derived, &mut self.delta_known, &mut self.delta_new] {
+            for schema in &self.schemas {
+                if schema.arity == 0 {
+                    continue;
+                }
+                db.relation_mut(schema.id)?.set_sharding(shard_count, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard count configured for `rel` (1 when unsharded).
+    pub fn shard_count(&self, rel: RelId) -> usize {
+        self.derived
+            .relation(rel)
+            .map(Relation::shard_count)
+            .unwrap_or(1)
+    }
+
     /// Read access to one of the three databases.
     pub fn db(&self, kind: DbKind) -> &Database {
         match kind {
@@ -362,6 +401,47 @@ mod tests {
             .relation(DbKind::Derived, edge)
             .unwrap()
             .has_index(0));
+    }
+
+    #[test]
+    fn sharding_applies_to_all_databases_and_survives_swap() {
+        let (mut sm, edge, path) = manager();
+        sm.set_sharding(4).unwrap();
+        assert_eq!(sm.shard_count(edge), 4);
+        for i in 0..32u32 {
+            sm.insert_fact(edge, Tuple::pair(i, i + 1)).unwrap();
+            sm.insert_derived(path, Tuple::pair(i, i + 1)).unwrap();
+        }
+        let delta = sm.relation(DbKind::DeltaNew, path).unwrap();
+        let partitioned: usize = (0..4).map(|s| delta.shard_rows(s).len()).sum();
+        assert_eq!(partitioned, 32);
+        sm.swap_and_clear(&[path]).unwrap();
+        // After the swap the read side carries the partitions...
+        let known = sm.relation(DbKind::DeltaKnown, path).unwrap();
+        let partitioned: usize = (0..4).map(|s| known.shard_rows(s).len()).sum();
+        assert_eq!(partitioned, 32);
+        // ...and the fresh write side is empty but still sharded.
+        let new = sm.relation(DbKind::DeltaNew, path).unwrap();
+        assert!(new.is_empty());
+        assert_eq!(new.shard_count(), 4);
+    }
+
+    #[test]
+    fn composite_index_requests_respect_the_global_toggle() {
+        let (mut sm, edge, _) = manager();
+        sm.add_composite_index(edge, &[0, 1]).unwrap();
+        assert!(sm
+            .relation(DbKind::Derived, edge)
+            .unwrap()
+            .has_composite_index(&[0, 1]));
+
+        let mut off = StorageManager::new(false);
+        let edge = off.register("Edge", 2, true);
+        off.add_composite_index(edge, &[0, 1]).unwrap();
+        assert!(!off
+            .relation(DbKind::Derived, edge)
+            .unwrap()
+            .has_composite_index(&[0, 1]));
     }
 
     #[test]

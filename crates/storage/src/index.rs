@@ -1,10 +1,19 @@
-//! Per-column hash indexes.
+//! Per-column and composite (multi-column) hash indexes.
 //!
 //! The paper's index-selection policy (§IV) is deliberately simple: Carac
 //! builds one hash index for every column that participates in a join key or
 //! filter predicate, maintained incrementally as facts are inserted.  The
 //! indexed/unindexed distinction is one of the axes of the evaluation
 //! (Figures 6–9), so indexes can be toggled per relation.
+//!
+//! On top of the paper's single-column indexes this crate adds
+//! [`CompositeIndex`]: a hash index over an ordered *set* of columns, used
+//! when a rule constrains several columns of the same atom at once (e.g.
+//! `Sg(px, py)` probed with both `px` and `py` bound).  A composite probe
+//! replaces the intersection of several single-column probes with one hash
+//! lookup.  Composite indexes share the incremental-maintenance contract of
+//! [`ColumnIndex`]: `insert`, `clear` and `rebuild` keep them in sync with
+//! the owning relation's tuple vector.
 
 use crate::hasher::FxHashMap;
 use crate::tuple::Tuple;
@@ -54,6 +63,89 @@ impl ColumnIndex {
 
     /// Number of distinct values present in the indexed column.
     pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops all entries (used when the owning relation is cleared).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Rebuilds the index from scratch over `tuples`.
+    pub fn rebuild(&mut self, tuples: &[Tuple]) {
+        self.entries.clear();
+        for (row, tuple) in tuples.iter().enumerate() {
+            self.insert(tuple, row);
+        }
+    }
+}
+
+/// A hash index over an ordered set of columns of a relation.
+///
+/// Maps each distinct combination of values appearing in the indexed columns
+/// to the row offsets (in insertion order) of the tuples carrying it.  Like
+/// [`ColumnIndex`], it stores offsets into the owning relation's tuple
+/// vector, never tuples.
+#[derive(Debug, Clone, Default)]
+pub struct CompositeIndex {
+    /// Indexed column positions, in ascending order.
+    columns: Vec<usize>,
+    /// Key (values of the indexed columns, in `columns` order) → offsets of
+    /// matching rows.
+    entries: FxHashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl CompositeIndex {
+    /// Creates an empty index over `columns`.  The column list is sorted and
+    /// deduplicated so `[1, 0]` and `[0, 1]` denote the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two distinct columns are given — a one-column
+    /// "composite" index is a [`ColumnIndex`] and should be created as one.
+    pub fn new(columns: &[usize]) -> Self {
+        let mut columns = columns.to_vec();
+        columns.sort_unstable();
+        columns.dedup();
+        assert!(
+            columns.len() >= 2,
+            "composite index needs at least two distinct columns"
+        );
+        CompositeIndex {
+            columns,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// The columns this index covers, ascending.
+    #[inline]
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Extracts this index's key from a tuple, `None` when the tuple is too
+    /// narrow (defensive, mirrors [`ColumnIndex::insert`]).
+    fn key_of(&self, tuple: &Tuple) -> Option<Vec<Value>> {
+        self.columns.iter().map(|&c| tuple.get(c)).collect()
+    }
+
+    /// Registers a newly inserted tuple stored at `row`.
+    #[inline]
+    pub fn insert(&mut self, tuple: &Tuple, row: usize) {
+        if let Some(key) = self.key_of(tuple) {
+            self.entries.entry(key).or_default().push(row);
+        }
+    }
+
+    /// Row offsets whose indexed columns equal `key` (values given in the
+    /// index's ascending column order).
+    #[inline]
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct value combinations present.
+    pub fn distinct_keys(&self) -> usize {
         self.entries.len()
     }
 
@@ -127,6 +219,56 @@ mod tests {
         idx.clear();
         assert!(idx.lookup(Value::int(1)).is_empty());
         assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn composite_lookup_matches_filtered_scan() {
+        let tuples = vec![
+            Tuple::from_ints(&[1, 10, 5]),
+            Tuple::from_ints(&[1, 10, 6]),
+            Tuple::from_ints(&[1, 20, 5]),
+            Tuple::from_ints(&[2, 10, 5]),
+        ];
+        let mut idx = CompositeIndex::new(&[0, 1]);
+        idx.rebuild(&tuples);
+        assert_eq!(idx.lookup(&[Value::int(1), Value::int(10)]), &[0, 1]);
+        assert_eq!(idx.lookup(&[Value::int(2), Value::int(10)]), &[3]);
+        assert!(idx.lookup(&[Value::int(2), Value::int(20)]).is_empty());
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn composite_columns_are_canonicalized() {
+        let a = CompositeIndex::new(&[2, 0]);
+        let b = CompositeIndex::new(&[0, 2, 2]);
+        assert_eq!(a.columns(), &[0, 2]);
+        assert_eq!(b.columns(), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two distinct columns")]
+    fn composite_rejects_single_column() {
+        let _ = CompositeIndex::new(&[1, 1]);
+    }
+
+    #[test]
+    fn composite_incremental_matches_rebuild() {
+        let tuples = vec![
+            Tuple::from_ints(&[1, 2, 3]),
+            Tuple::from_ints(&[1, 2, 4]),
+            Tuple::from_ints(&[2, 2, 3]),
+        ];
+        let mut incr = CompositeIndex::new(&[0, 2]);
+        for (row, t) in tuples.iter().enumerate() {
+            incr.insert(t, row);
+        }
+        let mut rebuilt = CompositeIndex::new(&[0, 2]);
+        rebuilt.rebuild(&tuples);
+        let key = [Value::int(1), Value::int(3)];
+        assert_eq!(incr.lookup(&key), rebuilt.lookup(&key));
+        assert_eq!(incr.distinct_keys(), rebuilt.distinct_keys());
+        incr.clear();
+        assert_eq!(incr.distinct_keys(), 0);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! of the upper layers: the execution engine only talks to it through the
 //! APIs exposed here, mirroring the paper's "pluggable relational layer".
 
+#![warn(missing_docs)]
+
 pub mod database;
 pub mod error;
 pub mod hasher;
@@ -37,7 +39,7 @@ pub mod value;
 
 pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
-pub use index::ColumnIndex;
+pub use index::{ColumnIndex, CompositeIndex};
 pub use relation::Relation;
 pub use schema::{RelId, RelationSchema};
 pub use stats::{RelationStats, StatsSnapshot};

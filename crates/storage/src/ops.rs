@@ -15,10 +15,20 @@ use crate::value::Value;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Predicate {
     /// Column `col` must equal the constant `value`.
-    ColumnEqualsConst { col: usize, value: Value },
+    ColumnEqualsConst {
+        /// Filtered column position.
+        col: usize,
+        /// Constant the column must carry.
+        value: Value,
+    },
     /// Column `left` must equal column `right` (a self-join condition within
     /// one tuple).
-    ColumnsEqual { left: usize, right: usize },
+    ColumnsEqual {
+        /// Left column position.
+        left: usize,
+        /// Right column position.
+        right: usize,
+    },
 }
 
 impl Predicate {

@@ -2,7 +2,7 @@
 
 use crate::error::StorageError;
 use crate::hasher::FxHashSet;
-use crate::index::ColumnIndex;
+use crate::index::{ColumnIndex, CompositeIndex};
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -10,19 +10,58 @@ use crate::Result;
 
 /// A duplicate-free, insertion-ordered collection of tuples.
 ///
-/// Relations keep three structures in sync:
+/// Relations keep several structures in sync:
 ///
 /// * `tuples` — insertion-ordered rows, the scan path,
 /// * `set` — a hash set used for O(1) duplicate elimination and membership
 ///   tests (`diff`, semi-naive dedup),
 /// * `indexes` — optional per-column hash indexes used by index-nested-loop
-///   joins when the engine runs in "indexed" mode.
+///   joins when the engine runs in "indexed" mode,
+/// * `composites` — optional multi-column hash indexes for atoms probed on
+///   several bound columns at once,
+/// * `shards` — optional hash partitions of the row offsets by shard-key
+///   value, enabling independent parallel scans of disjoint tuple subsets
+///   (see [`Relation::set_sharding`]).
+///
+/// ```
+/// use carac_storage::{Relation, RelationSchema, RelId, Tuple, Value};
+///
+/// let mut edges = Relation::new(RelationSchema::new(RelId(0), "Edge", 2, true));
+/// edges.add_index(0)?;                    // single-column hash index
+/// edges.add_composite_index(&[0, 1])?;    // multi-column hash index
+/// edges.insert(Tuple::pair(1, 2))?;
+/// edges.insert(Tuple::pair(1, 3))?;
+/// assert!(!edges.insert(Tuple::pair(1, 2))?); // set semantics: duplicate
+///
+/// assert_eq!(edges.lookup(0, Value::int(1)).len(), 2);
+/// let rows = edges
+///     .lookup_rows_composite(&[(0, Value::int(1)), (1, Value::int(3))])
+///     .expect("the composite index covers both filters");
+/// assert_eq!(rows.len(), 1);
+/// # Ok::<(), carac_storage::StorageError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
     tuples: Vec<Tuple>,
     set: FxHashSet<Tuple>,
     indexes: Vec<ColumnIndex>,
+    composites: Vec<CompositeIndex>,
+    /// Number of shard partitions; `1` disables sharding.
+    shard_count: usize,
+    /// Column whose value hashes a tuple into its shard.
+    shard_key: usize,
+    /// Row offsets per shard (`shards.len() == shard_count` when sharded,
+    /// empty otherwise).
+    shards: Vec<Vec<usize>>,
+}
+
+/// Deterministic shard assignment for a value: a fixed multiplicative hash,
+/// identical on every platform and across runs, so shard membership never
+/// depends on process state.
+#[inline]
+fn shard_of(value: Value, shard_count: usize) -> usize {
+    (value.raw().wrapping_mul(0x9E37_79B1) >> 7) as usize % shard_count
 }
 
 impl Relation {
@@ -33,6 +72,10 @@ impl Relation {
             tuples: Vec::new(),
             set: FxHashSet::default(),
             indexes: Vec::new(),
+            composites: Vec::new(),
+            shard_count: 1,
+            shard_key: 0,
+            shards: Vec::new(),
         }
     }
 
@@ -95,6 +138,105 @@ impl Relation {
         self.indexes.iter().any(|ix| ix.column() == column)
     }
 
+    /// Declares a composite hash index over `columns` (at least two distinct
+    /// columns; a single column degrades to [`Relation::add_index`]).
+    /// Idempotent; existing tuples are back-filled.  Returns an error if any
+    /// column is out of bounds.
+    pub fn add_composite_index(&mut self, columns: &[usize]) -> Result<()> {
+        let mut canonical = columns.to_vec();
+        canonical.sort_unstable();
+        canonical.dedup();
+        for &column in &canonical {
+            if column >= self.schema.arity {
+                return Err(StorageError::ColumnOutOfBounds {
+                    relation: self.schema.name.clone(),
+                    column,
+                    arity: self.schema.arity,
+                });
+            }
+        }
+        match canonical.as_slice() {
+            [] => Ok(()),
+            [single] => self.add_index(*single),
+            _ => {
+                if self.composites.iter().any(|ix| ix.columns() == canonical) {
+                    return Ok(());
+                }
+                let mut index = CompositeIndex::new(&canonical);
+                index.rebuild(&self.tuples);
+                self.composites.push(index);
+                Ok(())
+            }
+        }
+    }
+
+    /// The column sets currently covered by composite indexes.
+    pub fn composite_indexed_columns(&self) -> Vec<Vec<usize>> {
+        self.composites.iter().map(|ix| ix.columns().to_vec()).collect()
+    }
+
+    /// Whether a composite index over exactly `columns` (order-insensitive)
+    /// exists.
+    pub fn has_composite_index(&self, columns: &[usize]) -> bool {
+        let mut canonical = columns.to_vec();
+        canonical.sort_unstable();
+        canonical.dedup();
+        self.composites.iter().any(|ix| ix.columns() == canonical)
+    }
+
+    /// Partitions the relation's rows into `shard_count` hash shards keyed
+    /// on `shard_key`'s value, rebuilding the partitions for the existing
+    /// tuples.  A count of 0 or 1 disables sharding.  Returns an error when
+    /// the key column is out of bounds.
+    ///
+    /// Shard membership is a pure function of the key value (fixed
+    /// multiplicative hash), so two relations sharded the same way agree on
+    /// which shard any tuple belongs to — the property the parallel join
+    /// kernels rely on for deterministic merges.
+    pub fn set_sharding(&mut self, shard_count: usize, shard_key: usize) -> Result<()> {
+        if shard_key >= self.schema.arity {
+            return Err(StorageError::ColumnOutOfBounds {
+                relation: self.schema.name.clone(),
+                column: shard_key,
+                arity: self.schema.arity,
+            });
+        }
+        self.shard_count = shard_count.max(1);
+        self.shard_key = shard_key;
+        self.rebuild_shards();
+        Ok(())
+    }
+
+    /// Number of shard partitions (1 when sharding is disabled).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Whether the relation maintains shard partitions.
+    #[inline]
+    pub fn is_sharded(&self) -> bool {
+        self.shard_count > 1
+    }
+
+    /// Row offsets belonging to shard `shard` (insertion order within the
+    /// shard).  Empty for out-of-range shards or when sharding is disabled.
+    pub fn shard_rows(&self, shard: usize) -> &[usize] {
+        self.shards.get(shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn rebuild_shards(&mut self) {
+        self.shards.clear();
+        if self.shard_count <= 1 {
+            return;
+        }
+        self.shards.resize(self.shard_count, Vec::new());
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            let value = tuple.get(self.shard_key).unwrap_or_default();
+            self.shards[shard_of(value, self.shard_count)].push(row);
+        }
+    }
+
     /// Inserts a tuple, returning `true` if it was new.
     ///
     /// Duplicate tuples are silently ignored (set semantics).  Arity is
@@ -113,6 +255,13 @@ impl Relation {
         let row = self.tuples.len();
         for index in &mut self.indexes {
             index.insert(&tuple, row);
+        }
+        for index in &mut self.composites {
+            index.insert(&tuple, row);
+        }
+        if self.shard_count > 1 {
+            let value = tuple.get(self.shard_key).unwrap_or_default();
+            self.shards[shard_of(value, self.shard_count)].push(row);
         }
         self.set.insert(tuple.clone());
         self.tuples.push(tuple);
@@ -176,12 +325,78 @@ impl Relation {
         }
     }
 
-    /// Removes every tuple but keeps schema and index definitions.
+    /// Row offsets of the tuples matching *all* the given `(column, value)`
+    /// equality filters, through one composite-index probe — `None` when no
+    /// composite index covers the filtered columns.
+    ///
+    /// The widest applicable composite index wins (most columns resolved in
+    /// a single hash lookup).  Callers fall back to a single-column
+    /// [`Relation::lookup_rows`] or a scan when this returns `None`.
+    pub fn lookup_rows_composite(&self, filters: &[(usize, Value)]) -> Option<Vec<usize>> {
+        let best = self
+            .composites
+            .iter()
+            .filter(|ix| {
+                ix.columns()
+                    .iter()
+                    .all(|c| filters.iter().any(|(col, _)| col == c))
+            })
+            .max_by_key(|ix| ix.columns().len())?;
+        let key: Vec<Value> = best
+            .columns()
+            .iter()
+            .map(|c| {
+                filters
+                    .iter()
+                    .find(|(col, _)| col == c)
+                    .map(|&(_, v)| v)
+                    .expect("filter present by construction")
+            })
+            .collect();
+        Some(best.lookup(&key).to_vec())
+    }
+
+    /// Whether any composite index is defined (cheap gate for callers that
+    /// want to skip building a resolved-filter list when it cannot pay off).
+    #[inline]
+    pub fn has_composite_indexes(&self) -> bool {
+        !self.composites.is_empty()
+    }
+
+    /// Candidate row offsets for a set of resolved `(column, value)`
+    /// equality filters — the engine-wide access-path policy, shared by the
+    /// specialized kernel, the interpreter and the bytecode VM: a composite
+    /// index covering several filtered columns, else a single-column index
+    /// on any filtered column, else a lookup on the first filter, else a
+    /// full scan.  Rows may still need re-checking against filters the
+    /// chosen access path did not cover.
+    pub fn candidate_rows(&self, filters: &[(usize, Value)]) -> Vec<usize> {
+        if filters.len() >= 2 {
+            if let Some(rows) = self.lookup_rows_composite(filters) {
+                return rows;
+            }
+        }
+        if let Some(&(col, value)) = filters.iter().find(|(col, _)| self.has_index(*col)) {
+            return self.lookup_rows(col, value);
+        }
+        if let Some(&(col, value)) = filters.first() {
+            return self.lookup_rows(col, value);
+        }
+        (0..self.len()).collect()
+    }
+
+    /// Removes every tuple but keeps schema, index and shard definitions.
     pub fn clear(&mut self) {
         self.tuples.clear();
         self.set.clear();
         for index in &mut self.indexes {
             index.clear();
+        }
+        for index in &mut self.composites {
+            index.clear();
+        }
+        for shard in &mut self.shards {
+            shard.clear();
         }
     }
 
@@ -206,6 +421,12 @@ impl Relation {
         for index in &mut other.indexes {
             index.clear();
         }
+        for index in &mut other.composites {
+            index.clear();
+        }
+        for shard in &mut other.shards {
+            shard.clear();
+        }
         Ok(added)
     }
 
@@ -220,13 +441,17 @@ impl Relation {
         Ok(added)
     }
 
-    /// Swaps the *contents* of two relations (tuples, set, indexes) while
-    /// leaving their schemas in place.  This is the primitive behind
-    /// `SwapClearOp`.
+    /// Swaps the *contents* of two relations (tuples, set, indexes,
+    /// composite indexes and shard partitions) while leaving their schemas
+    /// in place.  This is the primitive behind `SwapClearOp`.
     pub fn swap_contents(&mut self, other: &mut Relation) {
         std::mem::swap(&mut self.tuples, &mut other.tuples);
         std::mem::swap(&mut self.set, &mut other.set);
         std::mem::swap(&mut self.indexes, &mut other.indexes);
+        std::mem::swap(&mut self.composites, &mut other.composites);
+        std::mem::swap(&mut self.shard_count, &mut other.shard_count);
+        std::mem::swap(&mut self.shard_key, &mut other.shard_key);
+        std::mem::swap(&mut self.shards, &mut other.shards);
     }
 }
 
@@ -326,6 +551,91 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 1);
         assert!(b.contains(&Tuple::pair(1, 1)));
+    }
+
+    #[test]
+    fn composite_index_probes_two_bound_columns() {
+        let mut r = Relation::new(edge_schema());
+        r.add_composite_index(&[0, 1]).unwrap();
+        for (a, b) in [(1, 2), (1, 3), (2, 2), (1, 2)] {
+            r.insert(Tuple::pair(a, b)).unwrap();
+        }
+        let rows = r
+            .lookup_rows_composite(&[(0, Value::int(1)), (1, Value::int(2))])
+            .expect("composite index covers both columns");
+        assert_eq!(rows, vec![0]);
+        // Partial filters are not covered by the two-column index.
+        assert!(r.lookup_rows_composite(&[(0, Value::int(1))]).is_none());
+        assert!(r.has_composite_index(&[1, 0]));
+    }
+
+    #[test]
+    fn composite_index_backfills_and_survives_clear() {
+        let mut r = Relation::new(edge_schema());
+        r.insert(Tuple::pair(5, 6)).unwrap();
+        r.add_composite_index(&[0, 1]).unwrap();
+        assert_eq!(
+            r.lookup_rows_composite(&[(0, Value::int(5)), (1, Value::int(6))]),
+            Some(vec![0])
+        );
+        r.clear();
+        assert!(r.has_composite_index(&[0, 1]));
+        r.insert(Tuple::pair(7, 8)).unwrap();
+        assert_eq!(
+            r.lookup_rows_composite(&[(1, Value::int(8)), (0, Value::int(7))]),
+            Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn single_column_composite_degrades_to_plain_index() {
+        let mut r = Relation::new(edge_schema());
+        r.add_composite_index(&[1, 1]).unwrap();
+        assert!(r.has_index(1));
+        assert!(r.composite_indexed_columns().is_empty());
+    }
+
+    #[test]
+    fn shards_partition_all_rows_disjointly() {
+        let mut r = Relation::new(edge_schema());
+        r.set_sharding(4, 0).unwrap();
+        for i in 0..100u32 {
+            r.insert(Tuple::pair(i, i + 1)).unwrap();
+        }
+        assert!(r.is_sharded());
+        let mut seen: Vec<usize> = (0..4).flat_map(|s| r.shard_rows(s).to_vec()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        // Every shard got something at this size.
+        for s in 0..4 {
+            assert!(!r.shard_rows(s).is_empty(), "shard {s} is empty");
+        }
+        // All rows in a shard share the shard of their key value.
+        for s in 0..4 {
+            for &row in r.shard_rows(s) {
+                let v = r.tuple_at(row).get(0).unwrap();
+                assert_eq!(super::shard_of(v, 4), s);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_can_be_reconfigured_and_disabled() {
+        let mut r = Relation::new(edge_schema());
+        for i in 0..10u32 {
+            r.insert(Tuple::pair(i, i)).unwrap();
+        }
+        r.set_sharding(8, 1).unwrap();
+        assert_eq!(r.shard_count(), 8);
+        let total: usize = (0..8).map(|s| r.shard_rows(s).len()).sum();
+        assert_eq!(total, 10);
+        r.set_sharding(1, 0).unwrap();
+        assert!(!r.is_sharded());
+        assert!(r.shard_rows(0).is_empty());
+        assert!(matches!(
+            r.set_sharding(2, 9),
+            Err(StorageError::ColumnOutOfBounds { .. })
+        ));
     }
 
     #[test]

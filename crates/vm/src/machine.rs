@@ -64,6 +64,9 @@ pub struct VmStats {
     pub emitted: u64,
     /// Tuples that were genuinely new.
     pub inserted: u64,
+    /// Scans/probes that were answered through a composite (multi-column)
+    /// index instead of a single-column probe or a filtered scan.
+    pub composite_probes: u64,
 }
 
 /// An open cursor: the matching row offsets of one relation snapshot and the
@@ -147,7 +150,7 @@ impl Machine {
                     db,
                     filters,
                 } => {
-                    let rows = self.matching_rows(storage, *rel, *db, filters)?;
+                    let rows = self.matching_rows(storage, *rel, *db, filters, &mut stats)?;
                     let cursor = self.cursor_mut(*slot)?;
                     cursor.rel = *rel;
                     cursor.db = *db;
@@ -192,7 +195,7 @@ impl Machine {
                     filters,
                     on_found,
                 } => {
-                    let rows = self.matching_rows(storage, *rel, *db, filters)?;
+                    let rows = self.matching_rows(storage, *rel, *db, filters, &mut stats)?;
                     if !rows.is_empty() {
                         pc = on_found.index();
                         continue;
@@ -253,6 +256,7 @@ impl Machine {
         rel: carac_storage::RelId,
         db: DbKind,
         filters: &[(usize, FilterSource)],
+        stats: &mut VmStats,
     ) -> Result<Vec<usize>, VmError> {
         let relation = storage.relation(db, rel)?;
         // Resolve filter values up front.
@@ -264,17 +268,19 @@ impl Machine {
             };
             resolved.push((*col, value));
         }
-        // Pick an indexed column if one exists.
-        let indexed = resolved
-            .iter()
-            .find(|(col, _)| relation.has_index(*col))
-            .copied();
-        let candidates: Vec<usize> = match indexed {
-            Some((col, value)) => relation.lookup_rows(col, value),
-            None => match resolved.first() {
-                Some(&(col, value)) => relation.lookup_rows(col, value),
-                None => (0..relation.len()).collect(),
-            },
+        // Access-path selection is the storage layer's shared policy
+        // (`Relation::candidate_rows`); the composite branch stays explicit
+        // here only to feed the `composite_probes` counter.
+        let composite = if resolved.len() >= 2 {
+            relation.lookup_rows_composite(&resolved)
+        } else {
+            None
+        };
+        let candidates: Vec<usize> = if let Some(rows) = composite {
+            stats.composite_probes += 1;
+            rows
+        } else {
+            relation.candidate_rows(&resolved)
         };
         if resolved.len() <= 1 {
             return Ok(candidates);

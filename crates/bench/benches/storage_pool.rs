@@ -1,0 +1,304 @@
+//! Storage microbenchmark: the flat row pool against the seed's
+//! double-store layout.
+//!
+//! Three measured sections, mirroring the storage hot paths of the fixpoint
+//! loop:
+//!
+//! * **bulk insert** — deduplicating insertion of a graph-shaped fact set
+//!   into the flat-pool [`Relation`] vs. a faithful reimplementation of the
+//!   seed layout (`Vec<Tuple>` + `FxHashSet<Tuple>` + per-column
+//!   `HashMap<Value, Vec<usize>>` index, every row boxed twice),
+//! * **indexed probe** — repeated equality probes through the pool's
+//!   borrowed posting lists vs. the legacy index,
+//! * **fixpoint iteration** — a transitive-closure fixpoint through the full
+//!   engine, the end-to-end number the pool exists to improve.
+//!
+//! After the timed sections the bench checks the acceptance invariants on a
+//! Figure-6 macro workload (Andersen's points-to): the flat pool must be
+//! **strictly smaller resident** than the legacy double-store holding the
+//! same derived facts, and the specialized, interpreted and parallel engines
+//! must derive identical fact counts.  `CARAC_BENCH_SMOKE=1` shrinks the
+//! scales so CI can run the whole file in seconds.
+
+use std::time::Duration;
+
+use carac::knobs::BackendKind;
+use carac::storage::hasher::{FxHashMap, FxHashSet};
+use carac::storage::{RelId, Relation, RelationSchema, Tuple, Value};
+use carac::EngineConfig;
+use carac_analysis::{andersen, Formulation};
+use carac_bench::{smoke_mode, HARNESS_SEED};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A faithful reimplementation of the seed storage layout, kept here as the
+/// measured baseline: every row is a boxed [`Tuple`] stored twice (scan
+/// vector + dedup hash set), and each index posting list is a separate
+/// `Vec<usize>` allocation.
+struct LegacyDoubleStore {
+    tuples: Vec<Tuple>,
+    set: FxHashSet<Tuple>,
+    index: FxHashMap<Value, Vec<usize>>,
+    indexed_column: usize,
+}
+
+impl LegacyDoubleStore {
+    fn new(indexed_column: usize) -> Self {
+        LegacyDoubleStore {
+            tuples: Vec::new(),
+            set: FxHashSet::default(),
+            index: FxHashMap::default(),
+            indexed_column,
+        }
+    }
+
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if self.set.contains(&tuple) {
+            return false;
+        }
+        let row = self.tuples.len();
+        if let Some(v) = tuple.get(self.indexed_column) {
+            self.index.entry(v).or_default().push(row);
+        }
+        self.set.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    fn lookup(&self, value: Value) -> &[usize] {
+        self.index.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resident bytes, capacity-based — the same accounting discipline as
+    /// [`Relation::pool_stats`]: owned vector/table capacity plus per-entry
+    /// heap payloads.  Allocator headers are ignored on both sides (which
+    /// favors this layout, since it makes ~2N+K small allocations where the
+    /// pool makes a handful of large ones).
+    fn resident_bytes(&self) -> usize {
+        let tuple_word = std::mem::size_of::<Tuple>();
+        let boxed: usize = self
+            .tuples
+            .iter()
+            .map(|t| t.arity() * std::mem::size_of::<Value>())
+            .sum();
+        // Scan vector and dedup set each own a full copy of every row.
+        let vec_side = self.tuples.capacity() * tuple_word + boxed;
+        let set_side = self.set.capacity() * tuple_word + boxed;
+        let index_side = self.index.capacity()
+            * (std::mem::size_of::<Value>() + std::mem::size_of::<Vec<usize>>())
+            + self
+                .index
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>();
+        vec_side + set_side + index_side
+    }
+}
+
+/// Deterministic graph-shaped pairs with duplicates (about 1 in 8 repeats),
+/// exercising the dedup path the way EDB loading does.
+fn edge_facts(n: u32) -> Vec<(u32, u32)> {
+    (0..n)
+        .map(|i| {
+            if i % 8 == 7 {
+                ((i / 2).wrapping_mul(7) % 997, (i / 2).wrapping_mul(13) % 997)
+            } else {
+                (i.wrapping_mul(7) % 997, i.wrapping_mul(13) % 997 + i / 997)
+            }
+        })
+        .collect()
+}
+
+fn fresh_relation(indexed: bool) -> Relation {
+    let mut r = Relation::new(RelationSchema::new(RelId(0), "Edge", 2, true));
+    if indexed {
+        r.add_index(0).unwrap();
+    }
+    r
+}
+
+fn bench_bulk_insert(c: &mut Criterion) {
+    let n: u32 = if smoke_mode() { 20_000 } else { 200_000 };
+    let facts = edge_facts(n);
+    let mut group = c.benchmark_group("storage_pool/bulk_insert");
+    group
+        .sample_size(if smoke_mode() { 3 } else { 10 })
+        .measurement_time(Duration::from_secs(if smoke_mode() { 1 } else { 3 }));
+
+    group.bench_function("flat_pool", |b| {
+        b.iter(|| {
+            let mut r = fresh_relation(true);
+            for &(x, y) in &facts {
+                r.insert_row(&[Value::int(x), Value::int(y)]).unwrap();
+            }
+            black_box(r.len())
+        })
+    });
+    group.bench_function("legacy_double_store", |b| {
+        b.iter(|| {
+            let mut r = LegacyDoubleStore::new(0);
+            for &(x, y) in &facts {
+                r.insert(Tuple::pair(x, y));
+            }
+            black_box(r.tuples.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_indexed_probe(c: &mut Criterion) {
+    let n: u32 = if smoke_mode() { 20_000 } else { 200_000 };
+    let facts = edge_facts(n);
+    let mut flat = fresh_relation(true);
+    let mut legacy = LegacyDoubleStore::new(0);
+    for &(x, y) in &facts {
+        flat.insert_row(&[Value::int(x), Value::int(y)]).unwrap();
+        legacy.insert(Tuple::pair(x, y));
+    }
+    let probes: Vec<Value> = (0..997u32).map(Value::int).collect();
+
+    let mut group = c.benchmark_group("storage_pool/indexed_probe");
+    group
+        .sample_size(if smoke_mode() { 3 } else { 10 })
+        .measurement_time(Duration::from_secs(if smoke_mode() { 1 } else { 3 }));
+
+    group.bench_function("flat_pool_posting_lists", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &probes {
+                let probe = flat.probe_rows(&[(0, v)], &mut scratch);
+                for row in probe.iter() {
+                    hits += usize::from(flat.row(row)[0] == v);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("legacy_index", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &probes {
+                for &row in legacy.lookup(v) {
+                    hits += usize::from(legacy.tuples[row].get(0) == Some(v));
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fixpoint_iteration(c: &mut Criterion) {
+    // A transitive closure over a sparse cyclic graph: the full semi-naive
+    // fixpoint (probe, emit, dedup, delta swap) through the engine.
+    let nodes: u32 = if smoke_mode() { 150 } else { 400 };
+    let mut source = String::from(
+        "Path(x, y) :- Edge(x, y).\n\
+         Path(x, y) :- Edge(x, z), Path(z, y).\n",
+    );
+    for i in 0..nodes {
+        source.push_str(&format!("Edge({}, {}).\n", i, (i + 1) % nodes));
+        if i % 13 == 0 {
+            source.push_str(&format!("Edge({}, {}).\n", i, (i * 5 + 2) % nodes));
+        }
+    }
+    let program = carac::datalog::parser::parse(&source).unwrap();
+
+    let mut group = c.benchmark_group("storage_pool/fixpoint_iteration");
+    group
+        .sample_size(if smoke_mode() { 2 } else { 5 })
+        .measurement_time(Duration::from_secs(if smoke_mode() { 2 } else { 5 }));
+    group.bench_function("transitive_closure_interpreted", |b| {
+        b.iter(|| {
+            let result = carac::Carac::new(program.clone())
+                .with_config(EngineConfig::interpreted())
+                .run()
+                .unwrap();
+            black_box(result.count("Path").unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// The acceptance invariants on the Figure-6 macro workload: identical
+/// derived-fact counts across engines, and the flat pool strictly smaller
+/// resident than the legacy double-store holding the same facts.
+fn check_fig6_invariants(_c: &mut Criterion) {
+    let scale = if smoke_mode() { 24 } else { 48 };
+    let workload = andersen(scale, HARNESS_SEED);
+
+    let interpreted = workload
+        .run(Formulation::HandOptimized, EngineConfig::interpreted())
+        .unwrap();
+    let specialized = workload
+        .run(
+            Formulation::HandOptimized,
+            EngineConfig::jit(BackendKind::Lambda, false),
+        )
+        .unwrap();
+    let parallel = workload
+        .run(
+            Formulation::HandOptimized,
+            EngineConfig::interpreted().with_parallelism(4),
+        )
+        .unwrap();
+    assert_eq!(
+        interpreted.total_tuples(),
+        specialized.total_tuples(),
+        "specialized engine diverged from interpreted on the fig6 workload"
+    );
+    assert_eq!(
+        interpreted.total_tuples(),
+        parallel.total_tuples(),
+        "parallel engine diverged from interpreted on the fig6 workload"
+    );
+
+    // Rebuild the derived fact set in the legacy double-store layout and
+    // compare resident bytes against the pool holding the same rows.
+    let program = workload.program(Formulation::HandOptimized);
+    let mut legacy_bytes = 0usize;
+    let mut flat_bytes = 0usize;
+    let mut rows = 0usize;
+    for decl in program.relations() {
+        let tuples = interpreted.tuples(&decl.name).unwrap();
+        let mut legacy = LegacyDoubleStore::new(0);
+        let mut flat = Relation::new(RelationSchema::new(
+            RelId(0),
+            decl.name.clone(),
+            decl.arity,
+            decl.is_edb,
+        ));
+        if decl.arity > 0 {
+            flat.add_index(0).unwrap();
+        }
+        for tuple in tuples {
+            flat.insert_row(tuple.values()).unwrap();
+            legacy.insert(tuple);
+        }
+        rows += flat.len();
+        legacy_bytes += legacy.resident_bytes();
+        flat_bytes += flat.pool_stats().bytes;
+    }
+    println!(
+        "\n-- fig6 invariants (Andersen, scale {scale}) --\n\
+         derived rows: {rows}\n\
+         flat pool resident:     {flat_bytes} bytes\n\
+         legacy double-store:    {legacy_bytes} bytes\n\
+         ratio (legacy / flat):  {:.2}x",
+        legacy_bytes as f64 / flat_bytes.max(1) as f64
+    );
+    assert!(
+        flat_bytes < legacy_bytes,
+        "flat pool ({flat_bytes} B) must be strictly smaller than the legacy \
+         double-store ({legacy_bytes} B)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_bulk_insert,
+    bench_indexed_probe,
+    bench_fixpoint_iteration,
+    check_fig6_invariants,
+);
+criterion_main!(benches);

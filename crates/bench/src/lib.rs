@@ -37,6 +37,35 @@ pub fn macro_scale() -> u32 {
         .unwrap_or(DEFAULT_MACRO_SCALE)
 }
 
+/// Whether the harness runs in smoke mode (`CARAC_BENCH_SMOKE=1`): tiny
+/// scales and minimal sampling, so CI can assert that the benches still
+/// build, run and uphold their invariants (identical fact counts, flat pool
+/// smaller than the legacy double-store) in seconds rather than minutes.
+pub fn smoke_mode() -> bool {
+    std::env::var("CARAC_BENCH_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Renders the row-pool statistics table printed by the fig6–fig9 binaries
+/// alongside their speedup figures: per workload, the derived-fact count
+/// and the aggregate pool stats (rows across all three evaluation
+/// databases, resident bytes, dedup-table rehashes).  These are the
+/// memory-layout numbers that make the flat-pool storage behavior
+/// measurable rather than asserted.  The rows come from runs the caller
+/// already performed ([`parallel_scaling_table`] captures them from its
+/// serial baseline), so no extra workload execution happens here.
+fn render_pool_stats_table(title: &str, rows: &[Vec<String>]) -> String {
+    let headers = vec![
+        "Workload".to_string(),
+        "derived facts".to_string(),
+        "pool rows".to_string(),
+        "resident KiB".to_string(),
+        "rehashes".to_string(),
+    ];
+    render_table(title, &headers, rows)
+}
+
 /// The worker-thread axis for the parallel-scaling tables: `--threads 1,4,8`
 /// on the command line, else the `CARAC_BENCH_THREADS` environment variable,
 /// else `1,4`.  Values are deduplicated, kept in the order given, and `0`
@@ -75,6 +104,11 @@ pub fn thread_axis() -> Vec<usize> {
 /// parallel worker count, with the speedup over serial.  Panics if any
 /// parallel run diverges from the serial fact count — the determinism
 /// contract is part of what the table certifies.
+///
+/// The serial baseline run doubles as the capture point for the row-pool
+/// statistics, so the returned string carries *two* tables: the scaling
+/// table and the flat row-pool statistics of one serial run per workload
+/// (no extra workload execution for the storage numbers).
 pub fn parallel_scaling_table(
     title: &str,
     workloads: &[Workload],
@@ -90,13 +124,36 @@ pub fn parallel_scaling_table(
         }
     }
     let mut rows = Vec::new();
+    let mut pool_rows = Vec::new();
     for workload in workloads {
-        let (serial_count, serial_time) = measure(
-            workload,
-            formulation,
-            EngineConfig::interpreted(),
-            repeats,
-        );
+        // The first serial run is kept whole (fact count, wall time *and*
+        // pool stats); the remaining repeats only refine the best-of-N time.
+        let first = workload
+            .run(formulation, EngineConfig::interpreted())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
+        let serial_count = first
+            .count(workload.output_relation)
+            .expect("workload output relation exists");
+        let mut serial_time = first.stats().total_time;
+        if repeats > 1 {
+            let (count, best) = measure(
+                workload,
+                formulation,
+                EngineConfig::interpreted(),
+                repeats - 1,
+            );
+            assert_eq!(count, serial_count, "{} serial repeat diverged", workload.name);
+            serial_time = serial_time.min(best);
+        }
+        let pool = first.pool_stats();
+        pool_rows.push(vec![
+            workload.name.to_string(),
+            first.total_tuples().to_string(),
+            pool.rows.to_string(),
+            format!("{:.1}", pool.bytes as f64 / 1024.0),
+            pool.rehashes.to_string(),
+        ]);
+        drop(first);
         let mut row = vec![workload.name.to_string(), fmt_secs(serial_time)];
         for &t in &threads {
             if t <= 1 {
@@ -119,7 +176,12 @@ pub fn parallel_scaling_table(
         eprintln!("[{title}] parallel scaling for {} done", workload.name);
         rows.push(row);
     }
-    render_table(title, &headers, &rows)
+    let scaling = render_table(title, &headers, &rows);
+    let storage = render_pool_stats_table(
+        &format!("{title} — storage: flat row-pool statistics (serial run)"),
+        &pool_rows,
+    );
+    format!("{scaling}{storage}")
 }
 
 /// The six JIT configurations of Figures 6–9, in the paper's legend order,

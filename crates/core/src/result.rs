@@ -2,7 +2,7 @@
 
 use carac_datalog::Program;
 use carac_exec::{ExecContext, RunStats};
-use carac_storage::{RelId, Tuple};
+use carac_storage::{PoolStats, RelId, Tuple};
 
 use crate::error::CaracError;
 
@@ -64,6 +64,13 @@ impl QueryResult {
     /// Total number of derived tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.context.storage.total_derived()
+    }
+
+    /// Aggregate row-pool statistics (rows, resident bytes, dedup-table
+    /// rehashes) across the three evaluation databases — the memory-layout
+    /// numbers the benchmark harness reports alongside wall times.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.context.storage.pool_stats()
     }
 
     /// The program this result was computed for.

@@ -114,7 +114,7 @@ impl ExecContext {
     pub fn derived_tuples(&self, rel: RelId) -> Vec<Tuple> {
         self.storage
             .relation(DbKind::Derived, rel)
-            .map(|r| r.tuples().to_vec())
+            .map(|r| r.to_tuples())
             .unwrap_or_default()
     }
 }

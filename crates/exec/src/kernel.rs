@@ -5,23 +5,33 @@
 //! code generation is specialization"):
 //!
 //! * [`execute_interpreted`] walks the [`ConjunctiveQuery`] structure for
-//!   every candidate tuple: terms are matched, variables are looked up in a
+//!   every candidate row: terms are matched, variables are looked up in a
 //!   hash map, constants are re-discovered each time.  This is what the pure
 //!   interpreter does.
 //! * [`SpecializedQuery`] is produced once per (join-ordered) query by
 //!   [`SpecializedQuery::compile`]: filters, loads, intra-atom equality
 //!   checks and the head projection are all resolved into flat arrays so the
-//!   per-tuple inner loop touches no enums and no hash maps.  The lambda,
+//!   per-row inner loop touches no enums and no hash maps.  The lambda,
 //!   quotes and ahead-of-time backends all execute this form.
 //!
 //! Both kernels implement the same semantics: an index-nested-loop join over
 //! the atoms in their current order, followed by anti-join checks for the
 //! negated literals, projecting into the head relation's delta-new database.
+//!
+//! **The inner loop is allocation-free.**  Candidate rows arrive as borrowed
+//! [`RowId`] slices (index posting lists, shard partitions, or a reusable
+//! per-level scratch buffer for unindexed scans — see
+//! [`Relation::probe_rows`]); row values are read as `&[Value]` slices
+//! straight out of the relation's flat row pool; emitted head rows append to
+//! one flat `Vec<Value>` output buffer with the head arity as stride and are
+//! inserted through [`StorageManager::insert_derived_row`].  No `Tuple` (and
+//! no other per-row heap allocation) is constructed anywhere on the fixpoint
+//! hot path.
 
 use carac_datalog::{HeadBinding, Term, VarId};
 use carac_ir::ConjunctiveQuery;
 use carac_storage::hasher::FxHashMap;
-use carac_storage::{DbKind, RelId, Relation, StorageManager, Tuple, Value};
+use carac_storage::{DbKind, RelId, Relation, RowId, StorageManager, Value};
 
 use crate::error::ExecError;
 use crate::parallel::{chunk_rows, parallel_map};
@@ -39,6 +49,17 @@ enum FilterVal {
     Const(Value),
     /// The binding slot of a variable bound by an earlier atom.
     Var(usize),
+}
+
+impl FilterVal {
+    /// Resolves the filter value against the current bindings.
+    #[inline]
+    fn resolve(self, bindings: &[Value]) -> Value {
+        match self {
+            FilterVal::Const(c) => c,
+            FilterVal::Var(slot) => bindings[slot],
+        }
+    }
 }
 
 /// One atom of a specialized query.
@@ -60,6 +81,31 @@ struct SpecializedAtom {
 enum EmitVal {
     Const(Value),
     Var(usize),
+}
+
+/// Reusable per-join-level scratch: the resolved-filter list fed to the
+/// access-path probe and the row-id buffer the probe fills when it has to
+/// scan.  One of these per join level (plus one for negation probes) lives
+/// for the whole subquery execution, so the per-row loop never allocates.
+#[derive(Debug, Default)]
+struct LevelScratch {
+    resolved: Vec<(usize, Value)>,
+    rows: Vec<RowId>,
+}
+
+/// The flat output buffer of one join run: emitted head rows laid out
+/// row-major with the head arity as stride.
+#[derive(Debug, Default)]
+struct EmitBuffer {
+    values: Vec<Value>,
+    rows: u64,
+}
+
+impl EmitBuffer {
+    fn append(&mut self, other: EmitBuffer) {
+        self.values.extend(other.values);
+        self.rows += other.rows;
+    }
 }
 
 /// A conjunctive query compiled into flat dispatch-free arrays.
@@ -147,6 +193,11 @@ impl SpecializedQuery {
         }
     }
 
+    /// One scratch level per atom plus one shared by the negation probes.
+    fn new_scratch(&self) -> Vec<LevelScratch> {
+        (0..self.atoms.len() + 1).map(|_| LevelScratch::default()).collect()
+    }
+
     /// Executes the specialized query, inserting results into the head
     /// relation's delta-new database.  Returns the number of genuinely new
     /// tuples.
@@ -162,7 +213,7 @@ impl SpecializedQuery {
     /// threads partitioning the driving atom's candidate rows.
     ///
     /// Workers evaluate disjoint partitions against the read-only storage
-    /// snapshot; emitted tuples are merged in partition order and inserted
+    /// snapshot; emitted rows are merged in partition order and inserted
     /// serially, so the derived fact set is identical to the serial run for
     /// every worker count.  Small row sets (below
     /// [`PARALLEL_ROW_THRESHOLD`]) run serially.
@@ -177,14 +228,17 @@ impl SpecializedQuery {
             self.join_parallel(storage, stats, parallelism)?
         } else {
             let mut bindings = vec![Value::int(0); self.num_vars];
-            let mut out: Vec<Tuple> = Vec::new();
-            self.join_level(0, &mut bindings, storage, &mut out)?;
+            let mut scratch = self.new_scratch();
+            let mut out = EmitBuffer::default();
+            self.join_level(0, &mut bindings, storage, &mut scratch, &mut out)?;
             out
         };
-        stats.tuples_emitted += out.len() as u64;
+        stats.tuples_emitted += out.rows;
+        let head_arity = self.head.len();
         let mut inserted = 0;
-        for tuple in out {
-            if storage.insert_derived(self.head_rel, tuple)? {
+        for i in 0..out.rows as usize {
+            let row = &out.values[i * head_arity..(i + 1) * head_arity];
+            if storage.insert_derived_row(self.head_rel, row)? {
                 inserted += 1;
             }
         }
@@ -201,12 +255,13 @@ impl SpecializedQuery {
         storage: &StorageManager,
         stats: &mut RunStats,
         parallelism: usize,
-    ) -> Result<Vec<Tuple>, ExecError> {
+    ) -> Result<EmitBuffer, ExecError> {
         let Some(first) = self.atoms.first() else {
             // A body-less query (constant rule): nothing to partition.
             let mut bindings = vec![Value::int(0); self.num_vars];
-            let mut out = Vec::new();
-            self.join_level(0, &mut bindings, storage, &mut out)?;
+            let mut scratch = self.new_scratch();
+            let mut out = EmitBuffer::default();
+            self.join_level(0, &mut bindings, storage, &mut scratch, &mut out)?;
             return Ok(out);
         };
         let relation = storage.relation(first.db, first.rel)?;
@@ -215,23 +270,37 @@ impl SpecializedQuery {
         // binding set is safe.
         let zero_bindings = vec![Value::int(0); self.num_vars];
         let use_shards = first.filters.is_empty() && relation.is_sharded();
-        let scan_rows;
-        let partitions: Vec<&[usize]> = if use_shards {
+        let scan_rows: Vec<RowId>;
+        let partitions: Vec<&[RowId]> = if use_shards {
             // Hash shards scan independently; merge order is shard order.
             (0..relation.shard_count())
                 .map(|s| relation.shard_rows(s))
                 .filter(|rows| !rows.is_empty())
                 .collect()
         } else {
-            scan_rows = candidate_rows(relation, &first.filters, &zero_bindings);
+            let mut resolved = Vec::with_capacity(first.filters.len());
+            for &(col, val) in &first.filters {
+                resolved.push((col, val.resolve(&zero_bindings)));
+            }
+            let mut probe_scratch = Vec::new();
+            scan_rows = relation.probe_rows(&resolved, &mut probe_scratch).iter().collect();
             chunk_rows(&scan_rows, parallelism)
         };
         let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
         if total_rows < PARALLEL_ROW_THRESHOLD || partitions.len() <= 1 {
             let mut bindings = zero_bindings;
-            let mut out = Vec::new();
+            let mut scratch = self.new_scratch();
+            let mut out = EmitBuffer::default();
             for rows in &partitions {
-                self.join_rows(0, relation, rows, &mut bindings, storage, &mut out)?;
+                self.join_rows(
+                    0,
+                    relation,
+                    rows.iter().copied(),
+                    &mut bindings,
+                    storage,
+                    &mut scratch,
+                    &mut out,
+                )?;
             }
             return Ok(out);
         }
@@ -239,13 +308,22 @@ impl SpecializedQuery {
         stats.parallel_tasks += partitions.len() as u64;
         let results = parallel_map(parallelism, &partitions, |rows| {
             let mut bindings = vec![Value::int(0); self.num_vars];
-            let mut out = Vec::new();
-            self.join_rows(0, relation, rows, &mut bindings, storage, &mut out)?;
+            let mut scratch = self.new_scratch();
+            let mut out = EmitBuffer::default();
+            self.join_rows(
+                0,
+                relation,
+                rows.iter().copied(),
+                &mut bindings,
+                storage,
+                &mut scratch,
+                &mut out,
+            )?;
             Ok::<_, ExecError>(out)
         });
-        let mut merged = Vec::new();
+        let mut merged = EmitBuffer::default();
         for result in results {
-            merged.extend(result?);
+            merged.append(result?);
         }
         Ok(merged)
     }
@@ -255,112 +333,101 @@ impl SpecializedQuery {
         level: usize,
         bindings: &mut [Value],
         storage: &StorageManager,
-        out: &mut Vec<Tuple>,
+        scratch: &mut [LevelScratch],
+        out: &mut EmitBuffer,
     ) -> Result<(), ExecError> {
         if level == self.atoms.len() {
-            // Negation checks, then emit.
+            // Negation checks (through the spare scratch level), then emit.
             for neg in &self.negated {
-                if probe_exists(storage.relation(neg.db, neg.rel)?, &neg.filters, bindings) {
+                let relation = storage.relation(neg.db, neg.rel)?;
+                if probe_exists(relation, &neg.filters, bindings, &mut scratch[0]) {
                     return Ok(());
                 }
             }
-            let tuple = Tuple::new(
-                self.head
-                    .iter()
-                    .map(|e| match e {
-                        EmitVal::Const(c) => *c,
-                        EmitVal::Var(slot) => bindings[*slot],
-                    })
-                    .collect(),
-            );
-            out.push(tuple);
+            for e in &self.head {
+                out.values.push(match e {
+                    EmitVal::Const(c) => *c,
+                    EmitVal::Var(slot) => bindings[*slot],
+                });
+            }
+            out.rows += 1;
             return Ok(());
         }
         let atom = &self.atoms[level];
         let relation = storage.relation(atom.db, atom.rel)?;
-        let rows = candidate_rows(relation, &atom.filters, bindings);
-        self.join_rows(level, relation, &rows, bindings, storage, out)
+        let (cur, rest) = scratch.split_first_mut().expect("one scratch level per atom");
+        cur.resolved.clear();
+        for &(col, val) in &atom.filters {
+            cur.resolved.push((col, val.resolve(bindings)));
+        }
+        let probe = relation.probe_rows(&cur.resolved, &mut cur.rows);
+        self.join_rows(level, relation, probe.iter(), bindings, storage, rest, out)
     }
 
-    /// Joins one level over an explicit candidate-row list (the shared tail
-    /// of the serial and partitioned paths).
+    /// Joins one level over an explicit candidate-row iterator (the shared
+    /// tail of the serial and partitioned paths).  `scratch` holds the
+    /// levels *below* this one.
+    #[allow(clippy::too_many_arguments)]
     fn join_rows(
         &self,
         level: usize,
         relation: &Relation,
-        rows: &[usize],
+        rows: impl Iterator<Item = RowId>,
         bindings: &mut [Value],
         storage: &StorageManager,
-        out: &mut Vec<Tuple>,
+        scratch: &mut [LevelScratch],
+        out: &mut EmitBuffer,
     ) -> Result<(), ExecError> {
         let atom = &self.atoms[level];
-        'rows: for &row in rows {
-            let tuple = relation.tuple_at(row);
-            for &(col, ref val) in &atom.filters {
-                let expected = match val {
-                    FilterVal::Const(c) => *c,
-                    FilterVal::Var(slot) => bindings[*slot],
-                };
-                if tuple.get(col) != Some(expected) {
+        'rows: for row in rows {
+            let values = relation.row(row);
+            // Re-check every filter: the access path may not have covered
+            // all of them (and composite candidates are hash-keyed).
+            for &(col, val) in &atom.filters {
+                if values.get(col) != Some(&val.resolve(bindings)) {
                     continue 'rows;
                 }
             }
             for &(a, b) in &atom.intra_eq {
-                if tuple.get(a) != tuple.get(b) {
+                if values.get(a) != values.get(b) {
                     continue 'rows;
                 }
             }
             for &(col, slot) in &atom.loads {
-                bindings[slot] = tuple
+                bindings[slot] = values
                     .get(col)
+                    .copied()
                     .ok_or_else(|| ExecError::Internal("load column out of bounds".into()))?;
             }
-            self.join_level(level + 1, bindings, storage, out)?;
+            self.join_level(level + 1, bindings, storage, scratch, out)?;
         }
         Ok(())
     }
 }
 
-/// Candidate row offsets for an atom given the current bindings.  The
-/// access-path policy itself lives in [`Relation::candidate_rows`]; this
-/// wrapper resolves the filter sources and keeps an allocation-free fast
-/// path for relations without composite indexes (the common case in this
-/// per-level hot loop).
-fn candidate_rows(relation: &Relation, filters: &[(usize, FilterVal)], bindings: &[Value]) -> Vec<usize> {
-    let resolve = |val: &FilterVal| match val {
-        FilterVal::Const(c) => *c,
-        FilterVal::Var(slot) => bindings[*slot],
-    };
-    if filters.len() >= 2 && relation.has_composite_indexes() {
-        let resolved: Vec<(usize, Value)> =
-            filters.iter().map(|(col, val)| (*col, resolve(val))).collect();
-        return relation.candidate_rows(&resolved);
+/// Whether a row matching every filter exists (negation probe), using the
+/// caller's reusable scratch.
+fn probe_exists(
+    relation: &Relation,
+    filters: &[(usize, FilterVal)],
+    bindings: &[Value],
+    scratch: &mut LevelScratch,
+) -> bool {
+    scratch.resolved.clear();
+    for &(col, val) in filters {
+        scratch.resolved.push((col, val.resolve(bindings)));
     }
-    if let Some((col, val)) = filters.iter().find(|(col, _)| relation.has_index(*col)) {
-        return relation.lookup_rows(*col, resolve(val));
-    }
-    if let Some((col, val)) = filters.first() {
-        return relation.lookup_rows(*col, resolve(val));
-    }
-    (0..relation.len()).collect()
-}
-
-/// Whether a tuple matching every filter exists (negation probe).
-fn probe_exists(relation: &Relation, filters: &[(usize, FilterVal)], bindings: &[Value]) -> bool {
-    let rows = candidate_rows(relation, filters, bindings);
-    rows.into_iter().any(|row| {
-        let tuple = relation.tuple_at(row);
-        filters.iter().all(|&(col, ref val)| {
-            let expected = match val {
-                FilterVal::Const(c) => *c,
-                FilterVal::Var(slot) => bindings[*slot],
-            };
-            tuple.get(col) == Some(expected)
-        })
+    let resolved = &scratch.resolved;
+    let probe = relation.probe_rows(resolved, &mut scratch.rows);
+    probe.iter().any(|row| {
+        let values = relation.row(row);
+        resolved
+            .iter()
+            .all(|&(col, expected)| values.get(col) == Some(&expected))
     })
 }
 
-/// Fully interpreted execution of a conjunctive query: every candidate tuple
+/// Fully interpreted execution of a conjunctive query: every candidate row
 /// re-examines the query structure (terms, variable map) instead of running
 /// against a specialized plan.
 pub fn execute_interpreted(
@@ -388,19 +455,29 @@ pub fn execute_interpreted_with(
         interp_parallel(query, storage, stats, parallelism)?
     } else {
         let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
-        let mut out = Vec::new();
-        interp_level(query, 0, &mut bindings, storage, &mut out)?;
+        let mut scratch = interp_scratch(query);
+        let mut trail = Vec::new();
+        let mut out = EmitBuffer::default();
+        interp_level(query, 0, &mut bindings, storage, &mut scratch, &mut trail, &mut out)?;
         out
     };
-    stats.tuples_emitted += out.len() as u64;
+    stats.tuples_emitted += out.rows;
+    let head_arity = query.head_bindings.len();
     let mut inserted = 0;
-    for tuple in out {
-        if storage.insert_derived(query.head_rel, tuple)? {
+    for i in 0..out.rows as usize {
+        let row = &out.values[i * head_arity..(i + 1) * head_arity];
+        if storage.insert_derived_row(query.head_rel, row)? {
             inserted += 1;
         }
     }
     stats.tuples_inserted += inserted;
     Ok(inserted)
+}
+
+/// One scratch level per atom (the interpreter checks negation by scanning,
+/// so no spare level is needed — but keep one for symmetry and safety).
+fn interp_scratch(query: &ConjunctiveQuery) -> Vec<LevelScratch> {
+    (0..query.atoms.len() + 1).map(|_| LevelScratch::default()).collect()
 }
 
 /// Partitioned interpretation of the driving atom (level 0).
@@ -409,7 +486,7 @@ fn interp_parallel(
     storage: &StorageManager,
     stats: &mut RunStats,
     parallelism: usize,
-) -> Result<Vec<Tuple>, ExecError> {
+) -> Result<EmitBuffer, ExecError> {
     let atom = &query.atoms[0];
     let relation = storage.relation(atom.db, atom.rel)?;
     // At level 0 no variable is bound yet, so only constants constrain.
@@ -419,25 +496,36 @@ fn interp_parallel(
             Term::Var(_) => None,
         });
     let use_shards = constrained.is_none() && relation.is_sharded();
-    let scan_rows;
-    let partitions: Vec<&[usize]> = if use_shards {
+    let scan_rows: Vec<RowId>;
+    let partitions: Vec<&[RowId]> = if use_shards {
         (0..relation.shard_count())
             .map(|s| relation.shard_rows(s))
             .filter(|rows| !rows.is_empty())
             .collect()
     } else {
-        scan_rows = match constrained {
-            Some((col, val)) => relation.lookup_rows(col, val),
-            None => (0..relation.len()).collect(),
-        };
+        let filters: Vec<(usize, Value)> = constrained.into_iter().collect();
+        let mut probe_scratch = Vec::new();
+        scan_rows = relation.probe_rows(&filters, &mut probe_scratch).iter().collect();
         chunk_rows(&scan_rows, parallelism)
     };
     let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
     if total_rows < PARALLEL_ROW_THRESHOLD || partitions.len() <= 1 {
         let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
-        let mut out = Vec::new();
+        let mut scratch = interp_scratch(query);
+        let mut trail = Vec::new();
+        let mut out = EmitBuffer::default();
         for rows in &partitions {
-            interp_rows(query, 0, relation, rows, &mut bindings, storage, &mut out)?;
+            interp_rows(
+                query,
+                0,
+                relation,
+                rows.iter().copied(),
+                &mut bindings,
+                storage,
+                &mut scratch,
+                &mut trail,
+                &mut out,
+            )?;
         }
         return Ok(out);
     }
@@ -445,104 +533,115 @@ fn interp_parallel(
     stats.parallel_tasks += partitions.len() as u64;
     let results = parallel_map(parallelism, &partitions, |rows| {
         let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
-        let mut out = Vec::new();
-        interp_rows(query, 0, relation, rows, &mut bindings, storage, &mut out)?;
+        let mut scratch = interp_scratch(query);
+        let mut trail = Vec::new();
+        let mut out = EmitBuffer::default();
+        interp_rows(
+            query,
+            0,
+            relation,
+            rows.iter().copied(),
+            &mut bindings,
+            storage,
+            &mut scratch,
+            &mut trail,
+            &mut out,
+        )?;
         Ok::<_, ExecError>(out)
     });
-    let mut merged = Vec::new();
+    let mut merged = EmitBuffer::default();
     for result in results {
-        merged.extend(result?);
+        merged.append(result?);
     }
     Ok(merged)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn interp_level(
     query: &ConjunctiveQuery,
     level: usize,
     bindings: &mut FxHashMap<VarId, Value>,
     storage: &StorageManager,
-    out: &mut Vec<Tuple>,
+    scratch: &mut [LevelScratch],
+    trail: &mut Vec<(VarId, Value)>,
+    out: &mut EmitBuffer,
 ) -> Result<(), ExecError> {
     if level == query.atoms.len() {
         for neg in &query.negated {
             let relation = storage.relation(neg.db, neg.rel)?;
-            let exists = relation.tuples().iter().any(|tuple| {
+            let exists = relation.iter_rows().any(|row| {
                 neg.terms.iter().enumerate().all(|(col, term)| match term {
-                    Term::Const(c) => tuple.get(col) == Some(*c),
-                    Term::Var(v) => bindings.get(v).map(|&b| tuple.get(col) == Some(b)).unwrap_or(false),
+                    Term::Const(c) => row.get(col) == Some(c),
+                    Term::Var(v) => bindings
+                        .get(v)
+                        .map(|b| row.get(col) == Some(b))
+                        .unwrap_or(false),
                 })
             });
             if exists {
                 return Ok(());
             }
         }
-        let tuple = Tuple::new(
-            query
-                .head_bindings
-                .iter()
-                .map(|binding| match binding {
-                    HeadBinding::Const(c) => *c,
-                    HeadBinding::Var(v) => *bindings
-                        .get(v)
-                        .expect("head variable unbound; validation guarantees safety"),
-                })
-                .collect(),
-        );
-        out.push(tuple);
+        for binding in &query.head_bindings {
+            out.values.push(match binding {
+                HeadBinding::Const(c) => *c,
+                HeadBinding::Var(v) => *bindings
+                    .get(v)
+                    .expect("head variable unbound; validation guarantees safety"),
+            });
+        }
+        out.rows += 1;
         return Ok(());
     }
     let atom = &query.atoms[level];
     let relation = storage.relation(atom.db, atom.rel)?;
-    // Interpretation re-derives the access path every time.  Resolving all
-    // filters costs an allocation, so only do it when the relation actually
-    // has a composite index to probe; otherwise keep the original
-    // allocation-free first-constrained-column lookup.
-    let rows: Vec<usize> = if relation.has_composite_indexes() {
-        let filters: Vec<(usize, Value)> = atom
-            .terms
-            .iter()
-            .enumerate()
-            .filter_map(|(col, term)| match term {
-                Term::Const(c) => Some((col, *c)),
-                Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
-            })
-            .collect();
-        relation.candidate_rows(&filters)
-    } else {
-        let constrained: Option<(usize, Value)> =
-            atom.terms.iter().enumerate().find_map(|(col, term)| match term {
-                Term::Const(c) => Some((col, *c)),
-                Term::Var(v) => bindings.get(v).map(|&val| (col, val)),
-            });
-        match constrained {
-            Some((col, val)) => relation.lookup_rows(col, val),
-            None => (0..relation.len()).collect(),
+    // Interpretation re-derives the access path every time: resolve every
+    // constrained column into the level's reusable filter buffer and let the
+    // storage layer pick the path (composite index, single-column index,
+    // filtered scan into the level's row buffer, or full scan).
+    let (cur, rest) = scratch.split_first_mut().expect("one scratch level per atom");
+    cur.resolved.clear();
+    for (col, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => cur.resolved.push((col, *c)),
+            Term::Var(v) => {
+                if let Some(&val) = bindings.get(v) {
+                    cur.resolved.push((col, val));
+                }
+            }
         }
-    };
-    interp_rows(query, level, relation, &rows, bindings, storage, out)
+    }
+    let probe = relation.probe_rows(&cur.resolved, &mut cur.rows);
+    interp_rows(query, level, relation, probe.iter(), bindings, storage, rest, trail, out)
 }
 
-/// Interprets one level over an explicit candidate-row list (the shared tail
-/// of the serial and partitioned paths).
+/// Interprets one level over an explicit candidate-row iterator (the shared
+/// tail of the serial and partitioned paths).  `scratch` holds the levels
+/// *below* this one; `trail` is the shared locally-bound-variable stack —
+/// each row pushes its fresh bindings onto the trail and truncates back to
+/// its frame on unwind, so no level allocates a binding list per row.
 #[allow(clippy::too_many_arguments)]
 fn interp_rows(
     query: &ConjunctiveQuery,
     level: usize,
     relation: &Relation,
-    rows: &[usize],
+    rows: impl Iterator<Item = RowId>,
     bindings: &mut FxHashMap<VarId, Value>,
     storage: &StorageManager,
-    out: &mut Vec<Tuple>,
+    scratch: &mut [LevelScratch],
+    trail: &mut Vec<(VarId, Value)>,
+    out: &mut EmitBuffer,
 ) -> Result<(), ExecError> {
     let atom = &query.atoms[level];
-    'rows: for &row in rows {
-        let tuple = relation.tuple_at(row).clone();
+    let frame = trail.len();
+    'rows: for row in rows {
+        let values = relation.row(row);
         // Check every column against the current bindings.
-        let mut locally_bound: Vec<(VarId, Value)> = Vec::new();
+        trail.truncate(frame);
         for (col, term) in atom.terms.iter().enumerate() {
-            let value = tuple
+            let value = *values
                 .get(col)
-                .ok_or_else(|| ExecError::Internal("tuple narrower than atom".into()))?;
+                .ok_or_else(|| ExecError::Internal("row narrower than atom".into()))?;
             match term {
                 Term::Const(c) => {
                     if *c != value {
@@ -555,25 +654,26 @@ fn interp_rows(
                             continue 'rows;
                         }
                     } else if let Some(&(_, prev)) =
-                        locally_bound.iter().find(|(lv, _)| lv == v)
+                        trail[frame..].iter().find(|(lv, _)| lv == v)
                     {
                         if prev != value {
                             continue 'rows;
                         }
                     } else {
-                        locally_bound.push((*v, value));
+                        trail.push((*v, value));
                     }
                 }
             }
         }
-        for &(v, value) in &locally_bound {
+        for &(v, value) in &trail[frame..] {
             bindings.insert(v, value);
         }
-        interp_level(query, level + 1, bindings, storage, out)?;
-        for (v, _) in &locally_bound {
-            bindings.remove(v);
+        interp_level(query, level + 1, bindings, storage, scratch, trail, out)?;
+        for &(v, _) in &trail[frame..] {
+            bindings.remove(&v);
         }
     }
+    trail.truncate(frame);
     Ok(())
 }
 
@@ -583,6 +683,7 @@ mod tests {
     use carac_datalog::parser::parse;
     use carac_datalog::Program;
     use carac_ir::{generate_plan, EvalStrategy};
+    use carac_storage::Tuple;
 
     fn prep(program: &Program, indexes: bool) -> StorageManager {
         let mut sm = StorageManager::new(indexes);
@@ -625,8 +726,8 @@ mod tests {
 
         assert_eq!(n1, n2);
         assert_eq!(n1, 3); // (1,3), (1,4), (2,5)
-        let mut a = s1.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
-        let mut b = s2.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+        let mut a = s1.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
+        let mut b = s2.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -717,7 +818,7 @@ mod tests {
             SpecializedQuery::compile(&reordered)
                 .execute(&mut s, &mut stats)
                 .unwrap();
-            let mut tuples = s.relation(DbKind::DeltaNew, rel).unwrap().tuples().to_vec();
+            let mut tuples = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
             tuples.sort();
             results.push(tuples);
         }
@@ -742,7 +843,7 @@ mod tests {
             let mut s = prep(&p, true);
             let mut stats = RunStats::default();
             SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
-            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
             tuples.sort();
             tuples
         };
@@ -756,7 +857,7 @@ mod tests {
             SpecializedQuery::compile(&q)
                 .execute_with(&mut s, &mut stats, parallelism)
                 .unwrap();
-            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
             tuples.sort();
             assert_eq!(tuples, reference, "specialized x{parallelism} diverged");
             assert!(stats.parallel_subqueries > 0, "parallel path not exercised");
@@ -766,7 +867,7 @@ mod tests {
             let mut s = prep(&p, false);
             let mut stats = RunStats::default();
             execute_interpreted_with(&q, &mut s, &mut stats, parallelism).unwrap();
-            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().tuples().to_vec();
+            let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
             tuples.sort();
             assert_eq!(tuples, reference, "interpreted x{parallelism} diverged");
         }
@@ -794,7 +895,7 @@ mod tests {
             }
             let mut stats = RunStats::default();
             SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
-            let mut tuples = s.relation(DbKind::DeltaNew, out).unwrap().tuples().to_vec();
+            let mut tuples = s.relation(DbKind::DeltaNew, out).unwrap().to_tuples();
             tuples.sort();
             tuples
         };

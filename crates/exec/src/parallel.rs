@@ -70,8 +70,9 @@ where
 /// Splits `rows` into at most `parts` contiguous chunks of near-equal size
 /// (at least one row per chunk; fewer chunks when there are fewer rows).
 /// Concatenating the chunks in order reproduces `rows` exactly, which keeps
-/// partitioned evaluation order-deterministic.
-pub fn chunk_rows(rows: &[usize], parts: usize) -> Vec<&[usize]> {
+/// partitioned evaluation order-deterministic.  Generic so it serves both
+/// `RowId` (`u32`) candidate lists and plain `usize` offsets.
+pub fn chunk_rows<T>(rows: &[T], parts: usize) -> Vec<&[T]> {
     if rows.is_empty() {
         return Vec::new();
     }
@@ -130,6 +131,6 @@ mod tests {
             assert_eq!(rebuilt, rows);
             assert!(chunks.iter().all(|c| !c.is_empty()));
         }
-        assert!(chunk_rows(&[], 4).is_empty());
+        assert!(chunk_rows::<usize>(&[], 4).is_empty());
     }
 }

@@ -88,6 +88,16 @@ impl OptimizeContext {
     pub fn cardinality(&self, rel: RelId, db: DbKind) -> usize {
         self.stats.cardinality(rel, db)
     }
+
+    /// Observed per-probe selectivity of an indexed equality filter on
+    /// `(rel, column)` in the derived database: `1 / distinct_values` of
+    /// that column's own index, as reported by the row-pool stats, or
+    /// `None` when the column carries no observed index (callers fall back
+    /// to the configured constant factor).
+    pub fn observed_selectivity(&self, rel: RelId, column: usize) -> Option<f64> {
+        let distinct = self.stats.index_distinct(rel, column);
+        (distinct > 0).then(|| 1.0 / distinct as f64)
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +119,7 @@ mod tests {
             vec![RelationStats {
                 derived: 10,
                 delta_known: 2,
-                delta_new: 0,
+                ..Default::default()
             }],
             1,
         );

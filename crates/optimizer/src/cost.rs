@@ -40,6 +40,13 @@ pub fn atom_score(
 
     let mut score = cardinality;
     let mut usable_index = false;
+    // Observed selectivity from the row-pool stats: an equality probe on an
+    // indexed column of the derived database matches `1 / distinct` of the
+    // rows, where `distinct` is that column's *own* observed key count.
+    // Applied once — for the most selective observed constrained column —
+    // in place of the constant fallback factor; further constrained columns
+    // keep the configured independence assumption.
+    let mut observed: Option<f64> = None;
     let mut constrained_columns: Vec<usize> = Vec::new();
     for (column, term) in atom.terms.iter().enumerate() {
         let constrained = match term {
@@ -47,12 +54,25 @@ pub fn atom_score(
             carac_datalog::Term::Var(v) => bound.get(v.index()).copied().unwrap_or(false),
         };
         if constrained {
-            score *= config.selectivity_factor;
+            if atom.db == carac_storage::DbKind::Derived {
+                if let Some(selectivity) = ctx.observed_selectivity(atom.rel, column) {
+                    observed = Some(observed.map_or(selectivity, |s: f64| s.min(selectivity)));
+                }
+            }
             constrained_columns.push(column);
             if ctx.has_index(atom.rel, column) {
                 usable_index = true;
             }
         }
+    }
+    // One constant factor per constrained column, with the best observed
+    // per-column selectivity substituted for one of them when available.
+    for i in 0..constrained_columns.len() {
+        score *= if i == 0 {
+            observed.unwrap_or(config.selectivity_factor)
+        } else {
+            config.selectivity_factor
+        };
     }
     // Repeated variables within the atom that are not yet bound still filter
     // (e.g. R(x, x)): each extra occurrence of the same unbound variable
@@ -161,7 +181,7 @@ mod tests {
                 .map(|&(derived, delta)| RelationStats {
                     derived,
                     delta_known: delta,
-                    delta_new: 0,
+                    ..Default::default()
                 })
                 .collect(),
             1,
@@ -255,6 +275,89 @@ mod tests {
     }
 
     #[test]
+    fn observed_selectivity_replaces_the_constant_factor() {
+        // 1000 rows, 200 distinct join keys observed by the pool's index on
+        // column 0: an indexed probe is expected to match 1000/200 = 5
+        // rows, so the observed factor (1/200) replaces the constant 0.1
+        // for the bound column; the index benefit still applies.
+        let stats = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 1000,
+                ..Default::default()
+            }],
+            1,
+        )
+        .with_index_distinct(RelId(0), 0, 200);
+        let mut ctx = OptimizeContext::stats_only(stats);
+        ctx.indexed.insert((RelId(0), 0));
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        let score = atom_score(&a, &[true, false], &ctx, &config);
+        // 1000 * (1/200) * 0.5 (index benefit) = 2.5, vs the constant-factor
+        // fallback 1000 * 0.1 * 0.5 = 50.
+        assert!((score - 2.5).abs() < 1e-9);
+
+        // Delta atoms never use the derived-database observation.
+        let delta = atom(
+            0,
+            DbKind::DeltaKnown,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        let delta_score = atom_score(&delta, &[true, false], &ctx, &config);
+        assert_eq!(delta_score, 0.0); // delta cardinality is 0 here
+
+        // Without an index on the bound column the constant factor stays.
+        let mut unindexed_ctx = ctx.clone();
+        unindexed_ctx.indexed.clear();
+        unindexed_ctx.stats = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 1000,
+                ..Default::default()
+            }],
+            1,
+        );
+        let fallback = atom_score(&a, &[true, false], &unindexed_ctx, &config);
+        assert!((fallback - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_selectivity_is_per_column() {
+        // Skewed relation: column 0 has 10 distinct values, column 1 has
+        // 100_000.  The observation applied must be the probed column's
+        // own, never another column's (which would misestimate by 10_000x).
+        let stats = StatsSnapshot::from_stats(
+            vec![RelationStats {
+                derived: 100_000,
+                ..Default::default()
+            }],
+            1,
+        )
+        .with_index_distinct(RelId(0), 0, 10)
+        .with_index_distinct(RelId(0), 1, 100_000);
+        let mut ctx = OptimizeContext::stats_only(stats);
+        ctx.indexed.insert((RelId(0), 0));
+        ctx.indexed.insert((RelId(0), 1));
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        // Only column 0 bound: expected matches 100_000/10 = 10_000,
+        // times the index benefit.
+        let low_distinct = atom_score(&a, &[true, false], &ctx, &config);
+        assert!((low_distinct - 100_000.0 / 10.0 * 0.5).abs() < 1e-6);
+        // Only column 1 bound: expected matches 100_000/100_000 = 1.
+        let high_distinct = atom_score(&a, &[false, true], &ctx, &config);
+        assert!((high_distinct - 1.0 * 0.5).abs() < 1e-6);
+        assert!(high_distinct < low_distinct);
+    }
+
+    #[test]
     fn connectivity_detection() {
         let a = atom(
             0,
@@ -316,7 +419,7 @@ mod tests {
             DbKind::Derived,
             vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
         );
-        let serial = estimate_pipeline(&[a.clone()], 2, &ctx, &config);
+        let serial = estimate_pipeline(std::slice::from_ref(&a), 2, &ctx, &config);
         let parallel_ctx = ctx.clone().with_parallelism(4);
         let parallel = estimate_pipeline(&[a], 2, &parallel_ctx, &config);
         assert!(parallel < serial);

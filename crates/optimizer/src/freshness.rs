@@ -62,8 +62,7 @@ mod tests {
         StatsSnapshot::from_stats(
             vec![RelationStats {
                 derived,
-                delta_known: 0,
-                delta_new: 0,
+                ..Default::default()
             }],
             0,
         )

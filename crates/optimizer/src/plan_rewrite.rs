@@ -97,7 +97,7 @@ mod tests {
             per_relation[rel.index()] = RelationStats {
                 derived: *derived,
                 delta_known: *derived / 2,
-                delta_new: 0,
+                ..Default::default()
             };
         }
         OptimizeContext::stats_only(StatsSnapshot::from_stats(per_relation, 1))

@@ -138,12 +138,12 @@ mod tests {
                 RelationStats {
                     derived: vaflow.0,
                     delta_known: vaflow.1,
-                    delta_new: 0,
+                    ..Default::default()
                 },
                 RelationStats {
                     derived: malias.0,
                     delta_known: malias.1,
-                    delta_new: 0,
+                    ..Default::default()
                 },
                 RelationStats::default(),
             ],
@@ -262,10 +262,10 @@ mod tests {
         let stats = || {
             StatsSnapshot::from_stats(
                 vec![
-                    RelationStats { derived: 10, delta_known: 0, delta_new: 0 },
-                    RelationStats { derived: 50, delta_known: 0, delta_new: 0 },
-                    RelationStats { derived: 1_000, delta_known: 0, delta_new: 0 },
-                    RelationStats { derived: 1_000, delta_known: 0, delta_new: 0 },
+                    RelationStats { derived: 10, delta_known: 0, ..Default::default() },
+                    RelationStats { derived: 50, delta_known: 0, ..Default::default() },
+                    RelationStats { derived: 1_000, delta_known: 0, ..Default::default() },
+                    RelationStats { derived: 1_000, delta_known: 0, ..Default::default() },
                     RelationStats::default(),
                 ],
                 1,
@@ -315,12 +315,12 @@ mod tests {
                 RelationStats {
                     derived: 10,
                     delta_known: 0,
-                    delta_new: 0,
+                    ..Default::default()
                 },
                 RelationStats {
                     derived: 100_000,
                     delta_known: 0,
-                    delta_new: 0,
+                    ..Default::default()
                 },
                 RelationStats::default(),
             ],

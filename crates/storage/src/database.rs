@@ -21,6 +21,7 @@ use crate::relation::Relation;
 use crate::schema::{RelId, RelationSchema};
 use crate::stats::StatsSnapshot;
 use crate::tuple::Tuple;
+use crate::value::Value;
 use crate::Result;
 
 /// Which of the three evaluation databases an operator reads from or writes
@@ -241,9 +242,15 @@ impl StorageManager {
     /// the delta-known database so that the first semi-naive iteration sees
     /// every base fact as "new".
     pub fn insert_fact(&mut self, rel: RelId, tuple: Tuple) -> Result<bool> {
-        let fresh = self.derived.relation_mut(rel)?.insert(tuple.clone())?;
+        self.insert_fact_row(rel, tuple.values())
+    }
+
+    /// [`StorageManager::insert_fact`] over a raw row slice: one pooled
+    /// append per database, no tuple clones anywhere on the path.
+    pub fn insert_fact_row(&mut self, rel: RelId, values: &[Value]) -> Result<bool> {
+        let fresh = self.derived.relation_mut(rel)?.insert_row(values)?;
         if fresh {
-            self.delta_known.relation_mut(rel)?.insert(tuple)?;
+            self.delta_known.relation_mut(rel)?.insert_row(values)?;
         }
         Ok(fresh)
     }
@@ -257,36 +264,60 @@ impl StorageManager {
     ///
     /// [`swap_and_clear`]: StorageManager::swap_and_clear
     pub fn insert_derived(&mut self, rel: RelId, tuple: Tuple) -> Result<bool> {
-        if self.derived.relation(rel)?.contains(&tuple) {
+        self.insert_derived_row(rel, tuple.values())
+    }
+
+    /// [`StorageManager::insert_derived`] over a raw row slice — the form
+    /// the join kernels emit through.  The row hash is computed once and
+    /// shared between the derived-database membership test and the
+    /// delta-new insert.
+    pub fn insert_derived_row(&mut self, rel: RelId, values: &[Value]) -> Result<bool> {
+        let hash = crate::pool::row_hash(values);
+        let derived = self.derived.relation(rel)?;
+        if values.len() != derived.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: derived.name().to_string(),
+                expected: derived.arity(),
+                actual: values.len(),
+            });
+        }
+        if derived.contains_row_hashed(values, hash) {
             return Ok(false);
         }
-        self.delta_new.relation_mut(rel)?.insert(tuple)
+        Ok(self
+            .delta_new
+            .relation_mut(rel)?
+            .insert_row_hashed(values, hash))
     }
 
     /// Iteration boundary: merge delta-new into derived, move delta-new into
     /// delta-known (replacing the previous contents) and leave delta-new
     /// empty for the next iteration.
     ///
+    /// The merge appends rows straight from delta-new's pool, reusing its
+    /// retained row hashes; the rotation itself is an O(1) swap of pool
+    /// internals (no row is copied, reinserted or rehashed).
+    ///
     /// Returns the number of facts merged into the derived database across
     /// all listed relations; the caller uses "0" as the fixpoint signal.
     pub fn swap_and_clear(&mut self, relations: &[RelId]) -> Result<usize> {
         let mut merged = 0;
         for &rel in relations {
-            // Merge the freshly discovered facts into the derived database.
+            // Merge the freshly discovered facts into the derived database
+            // (split field borrows: derived is written, delta-new only read).
             {
-                let new_rel = self.delta_new.relation(rel)?.clone();
-                let derived = self.derived.relation_mut(rel)?;
-                merged += derived.union_in_place(&new_rel)?;
+                let (derived_db, new_db) = (&mut self.derived, &self.delta_new);
+                let new_rel = new_db.relation(rel)?;
+                merged += derived_db.relation_mut(rel)?.union_in_place(new_rel)?;
             }
-            // delta-known <- delta-new ; delta-new <- empty
+            // delta-known <- delta-new ; delta-new <- empty.  The swap moves
+            // the pools in O(1); only the (already-consumed) old read side
+            // is cleared, and `clear` keeps its capacity for the next fill.
             let (known_db, new_db) = (&mut self.delta_known, &mut self.delta_new);
             let known = known_db.relation_mut(rel)?;
             let new = new_db.relation_mut(rel)?;
             known.clear();
             known.swap_contents(new);
-            // `swap_contents` also swaps index definitions; re-clear to make
-            // sure the new write side starts empty but keeps no stale rows.
-            new.clear();
         }
         Ok(merged)
     }
@@ -315,6 +346,18 @@ impl StorageManager {
     /// Snapshot of current cardinalities for the optimizer.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot::capture(self)
+    }
+
+    /// Aggregate row-pool statistics (rows, resident bytes, dedup-table
+    /// rehashes) across every relation of all three evaluation databases —
+    /// the numbers the benchmark harness reports to make the flat-pool
+    /// memory behavior measurable.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        [&self.derived, &self.delta_known, &self.delta_new]
+            .into_iter()
+            .flat_map(Database::relations)
+            .map(Relation::pool_stats)
+            .fold(crate::pool::PoolStats::default(), crate::pool::PoolStats::merge)
     }
 
     /// Total number of derived tuples across all relations (used by tests
@@ -382,6 +425,26 @@ mod tests {
         let merged = sm.swap_and_clear(&[path]).unwrap();
         assert_eq!(merged, 0);
         assert!(sm.deltas_empty(&[path]).unwrap());
+    }
+
+    #[test]
+    fn swap_and_clear_rotates_pools_in_place() {
+        // The O(1)-rotation contract at the manager level: the delta-new
+        // pool moves wholesale into delta-known — identical stats object
+        // (rows, resident bytes, lifetime rehash count), so nothing was
+        // copied, reinserted or rehashed on the way.
+        let (mut sm, _, path) = manager();
+        for i in 0..500u32 {
+            sm.insert_derived(path, Tuple::pair(i, i + 1)).unwrap();
+        }
+        let before = sm.relation(DbKind::DeltaNew, path).unwrap().pool_stats();
+        assert_eq!(before.rows, 500);
+        let merged = sm.swap_and_clear(&[path]).unwrap();
+        assert_eq!(merged, 500);
+        let after = sm.relation(DbKind::DeltaKnown, path).unwrap().pool_stats();
+        assert_eq!(before, after);
+        assert!(sm.relation(DbKind::DeltaNew, path).unwrap().is_empty());
+        assert_eq!(sm.relation(DbKind::Derived, path).unwrap().len(), 500);
     }
 
     #[test]

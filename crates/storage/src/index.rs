@@ -11,25 +11,29 @@
 //! when a rule constrains several columns of the same atom at once (e.g.
 //! `Sg(px, py)` probed with both `px` and `py` bound).  A composite probe
 //! replaces the intersection of several single-column probes with one hash
-//! lookup.  Composite indexes share the incremental-maintenance contract of
-//! [`ColumnIndex`]: `insert`, `clear` and `rebuild` keep them in sync with
-//! the owning relation's tuple vector.
+//! lookup.
+//!
+//! Both index kinds store [`PostingList`]s of [`RowId`]s into the owning
+//! relation's flat row pool — up to a few rows inline, spilling to the heap
+//! only for high-fanout keys — and never store row values themselves.  They
+//! share the incremental-maintenance contract: `insert`, `clear` and
+//! `rebuild` keep them in sync with the owning pool.
 
 use crate::hasher::FxHashMap;
-use crate::tuple::Tuple;
+use crate::pool::{mix_hash, value_hash, PostingList, RowId, RowPool};
 use crate::value::Value;
 
 /// A hash index over one column of a relation.
 ///
-/// Maps each value appearing in the indexed column to the row offsets (in
-/// insertion order) of the tuples carrying it.  Offsets index into the
-/// owning relation's tuple vector; the index never stores tuples itself.
+/// Maps each value appearing in the indexed column to the row ids (in
+/// insertion order) of the rows carrying it.  Ids index into the owning
+/// relation's row pool; the index never stores values itself.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnIndex {
     /// Indexed column position.
     column: usize,
-    /// Value → offsets of matching rows.
-    entries: FxHashMap<Value, Vec<usize>>,
+    /// Value → posting list of matching rows.
+    entries: FxHashMap<Value, PostingList>,
 }
 
 impl ColumnIndex {
@@ -47,18 +51,22 @@ impl ColumnIndex {
         self.column
     }
 
-    /// Registers a newly inserted tuple stored at `row`.
+    /// Registers a newly inserted row stored at `row`.
     #[inline]
-    pub fn insert(&mut self, tuple: &Tuple, row: usize) {
-        if let Some(v) = tuple.get(self.column) {
+    pub fn insert(&mut self, values: &[Value], row: RowId) {
+        if let Some(&v) = values.get(self.column) {
             self.entries.entry(v).or_default().push(row);
         }
     }
 
-    /// Row offsets whose indexed column equals `value`.
+    /// Row ids whose indexed column equals `value` (exact — single-column
+    /// entries are keyed by the value itself, not a hash of it).
     #[inline]
-    pub fn lookup(&self, value: Value) -> &[usize] {
-        self.entries.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    pub fn lookup(&self, value: Value) -> &[RowId] {
+        self.entries
+            .get(&value)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of distinct values present in the indexed column.
@@ -71,28 +79,41 @@ impl ColumnIndex {
         self.entries.clear();
     }
 
-    /// Rebuilds the index from scratch over `tuples`.
-    pub fn rebuild(&mut self, tuples: &[Tuple]) {
+    /// Rebuilds the index from scratch over the rows of `pool`.
+    pub fn rebuild(&mut self, pool: &RowPool) {
         self.entries.clear();
-        for (row, tuple) in tuples.iter().enumerate() {
-            self.insert(tuple, row);
+        for (row, values) in pool.rows().enumerate() {
+            self.insert(values, row as RowId);
         }
+    }
+
+    /// Heap bytes resident in this index (map buckets plus spilled posting
+    /// lists).
+    pub fn resident_bytes(&self) -> usize {
+        let bucket = std::mem::size_of::<Value>() + std::mem::size_of::<PostingList>();
+        self.entries.capacity() * bucket
+            + self.entries.values().map(PostingList::heap_bytes).sum::<usize>()
     }
 }
 
 /// A hash index over an ordered set of columns of a relation.
 ///
-/// Maps each distinct combination of values appearing in the indexed columns
-/// to the row offsets (in insertion order) of the tuples carrying it.  Like
-/// [`ColumnIndex`], it stores offsets into the owning relation's tuple
-/// vector, never tuples.
+/// Entries are keyed by a 64-bit hash of the column values (folded with the
+/// same per-value units as the pool's row hash), so probing never
+/// materializes a key vector.  A posting list may therefore contain
+/// hash-collision false positives: **callers must confirm candidates
+/// against the actual row values**, which every execution kernel does
+/// anyway when re-checking its filters.  [`Relation::lookup_rows_composite`]
+/// performs that confirmation for external callers.
+///
+/// [`Relation::lookup_rows_composite`]: crate::relation::Relation::lookup_rows_composite
 #[derive(Debug, Clone, Default)]
 pub struct CompositeIndex {
     /// Indexed column positions, in ascending order.
     columns: Vec<usize>,
-    /// Key (values of the indexed columns, in `columns` order) → offsets of
-    /// matching rows.
-    entries: FxHashMap<Vec<Value>, Vec<usize>>,
+    /// Key hash (folded over the indexed columns' values, in `columns`
+    /// order) → posting list of candidate rows.
+    entries: FxHashMap<u64, PostingList>,
 }
 
 impl CompositeIndex {
@@ -123,28 +144,54 @@ impl CompositeIndex {
         &self.columns
     }
 
-    /// Extracts this index's key from a tuple, `None` when the tuple is too
-    /// narrow (defensive, mirrors [`ColumnIndex::insert`]).
-    fn key_of(&self, tuple: &Tuple) -> Option<Vec<Value>> {
-        self.columns.iter().map(|&c| tuple.get(c)).collect()
+    /// Hash of this index's key extracted from a full row.
+    #[inline]
+    fn key_hash_of_row(&self, values: &[Value]) -> u64 {
+        self.columns
+            .iter()
+            .fold(0, |h, &c| mix_hash(h, value_hash(values[c])))
     }
 
-    /// Registers a newly inserted tuple stored at `row`.
+    /// Hash of an explicit key (values given in the index's ascending column
+    /// order) — the probe-side counterpart of the row-side hashing done by
+    /// `insert`.
     #[inline]
-    pub fn insert(&mut self, tuple: &Tuple, row: usize) {
-        if let Some(key) = self.key_of(tuple) {
-            self.entries.entry(key).or_default().push(row);
+    pub fn key_hash(&self, key: &[Value]) -> u64 {
+        debug_assert_eq!(key.len(), self.columns.len());
+        key.iter().fold(0, |h, &v| mix_hash(h, value_hash(v)))
+    }
+
+    /// Registers a newly inserted row stored at `row`.  Rows narrower than
+    /// the widest indexed column are ignored (defensive, mirroring
+    /// [`ColumnIndex::insert`]; the relation enforces arity upstream).
+    #[inline]
+    pub fn insert(&mut self, values: &[Value], row: RowId) {
+        if self.columns.last().is_some_and(|&c| c >= values.len()) {
+            return;
         }
+        let hash = self.key_hash_of_row(values);
+        self.entries.entry(hash).or_default().push(row);
     }
 
-    /// Row offsets whose indexed columns equal `key` (values given in the
-    /// index's ascending column order).
+    /// Candidate row ids whose indexed columns *may* equal `key` (values in
+    /// ascending column order).  May contain hash-collision false positives;
+    /// see the type docs.
     #[inline]
-    pub fn lookup(&self, key: &[Value]) -> &[usize] {
-        self.entries.get(key).map(Vec::as_slice).unwrap_or(&[])
+    pub fn lookup(&self, key: &[Value]) -> &[RowId] {
+        self.lookup_hash(self.key_hash(key))
     }
 
-    /// Number of distinct value combinations present.
+    /// Candidate row ids for a precomputed key hash.
+    #[inline]
+    pub fn lookup_hash(&self, hash: u64) -> &[RowId] {
+        self.entries
+            .get(&hash)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct key hashes present (distinct value combinations,
+    /// modulo collisions).
     pub fn distinct_keys(&self) -> usize {
         self.entries.len()
     }
@@ -154,12 +201,20 @@ impl CompositeIndex {
         self.entries.clear();
     }
 
-    /// Rebuilds the index from scratch over `tuples`.
-    pub fn rebuild(&mut self, tuples: &[Tuple]) {
+    /// Rebuilds the index from scratch over the rows of `pool`.
+    pub fn rebuild(&mut self, pool: &RowPool) {
         self.entries.clear();
-        for (row, tuple) in tuples.iter().enumerate() {
-            self.insert(tuple, row);
+        for (row, values) in pool.rows().enumerate() {
+            self.insert(values, row as RowId);
         }
+    }
+
+    /// Heap bytes resident in this index (map buckets plus spilled posting
+    /// lists).
+    pub fn resident_bytes(&self) -> usize {
+        let bucket = std::mem::size_of::<u64>() + std::mem::size_of::<PostingList>();
+        self.entries.capacity() * bucket
+            + self.entries.values().map(PostingList::heap_bytes).sum::<usize>()
     }
 }
 
@@ -167,22 +222,25 @@ impl CompositeIndex {
 mod tests {
     use super::*;
 
-    fn sample() -> Vec<Tuple> {
-        vec![
-            Tuple::pair(1, 10),
-            Tuple::pair(2, 10),
-            Tuple::pair(1, 20),
-            Tuple::pair(3, 30),
-        ]
+    fn pool_of(rows: &[&[u32]]) -> RowPool {
+        let arity = rows.first().map_or(0, |r| r.len());
+        let mut pool = RowPool::new(arity);
+        for row in rows {
+            let values: Vec<Value> = row.iter().copied().map(Value::int).collect();
+            pool.insert(&values);
+        }
+        pool
+    }
+
+    fn sample() -> RowPool {
+        pool_of(&[&[1, 10], &[2, 10], &[1, 20], &[3, 30]])
     }
 
     #[test]
     fn lookup_returns_matching_rows() {
-        let tuples = sample();
+        let pool = sample();
         let mut idx = ColumnIndex::new(0);
-        for (row, t) in tuples.iter().enumerate() {
-            idx.insert(t, row);
-        }
+        idx.rebuild(&pool);
         assert_eq!(idx.lookup(Value::int(1)), &[0, 2]);
         assert_eq!(idx.lookup(Value::int(3)), &[3]);
         assert!(idx.lookup(Value::int(9)).is_empty());
@@ -190,24 +248,22 @@ mod tests {
 
     #[test]
     fn indexes_second_column() {
-        let tuples = sample();
+        let pool = sample();
         let mut idx = ColumnIndex::new(1);
-        for (row, t) in tuples.iter().enumerate() {
-            idx.insert(t, row);
-        }
+        idx.rebuild(&pool);
         assert_eq!(idx.lookup(Value::int(10)), &[0, 1]);
         assert_eq!(idx.distinct_values(), 3);
     }
 
     #[test]
     fn rebuild_matches_incremental() {
-        let tuples = sample();
+        let pool = sample();
         let mut incr = ColumnIndex::new(0);
-        for (row, t) in tuples.iter().enumerate() {
-            incr.insert(t, row);
+        for (row, values) in pool.rows().enumerate() {
+            incr.insert(values, row as RowId);
         }
         let mut rebuilt = ColumnIndex::new(0);
-        rebuilt.rebuild(&tuples);
+        rebuilt.rebuild(&pool);
         assert_eq!(incr.lookup(Value::int(1)), rebuilt.lookup(Value::int(1)));
         assert_eq!(incr.distinct_values(), rebuilt.distinct_values());
     }
@@ -215,7 +271,7 @@ mod tests {
     #[test]
     fn clear_removes_everything() {
         let mut idx = ColumnIndex::new(0);
-        idx.insert(&Tuple::pair(1, 2), 0);
+        idx.insert(&[Value::int(1), Value::int(2)], 0);
         idx.clear();
         assert!(idx.lookup(Value::int(1)).is_empty());
         assert_eq!(idx.distinct_values(), 0);
@@ -223,14 +279,9 @@ mod tests {
 
     #[test]
     fn composite_lookup_matches_filtered_scan() {
-        let tuples = vec![
-            Tuple::from_ints(&[1, 10, 5]),
-            Tuple::from_ints(&[1, 10, 6]),
-            Tuple::from_ints(&[1, 20, 5]),
-            Tuple::from_ints(&[2, 10, 5]),
-        ];
+        let pool = pool_of(&[&[1, 10, 5], &[1, 10, 6], &[1, 20, 5], &[2, 10, 5]]);
         let mut idx = CompositeIndex::new(&[0, 1]);
-        idx.rebuild(&tuples);
+        idx.rebuild(&pool);
         assert_eq!(idx.lookup(&[Value::int(1), Value::int(10)]), &[0, 1]);
         assert_eq!(idx.lookup(&[Value::int(2), Value::int(10)]), &[3]);
         assert!(idx.lookup(&[Value::int(2), Value::int(20)]).is_empty());
@@ -253,17 +304,13 @@ mod tests {
 
     #[test]
     fn composite_incremental_matches_rebuild() {
-        let tuples = vec![
-            Tuple::from_ints(&[1, 2, 3]),
-            Tuple::from_ints(&[1, 2, 4]),
-            Tuple::from_ints(&[2, 2, 3]),
-        ];
+        let pool = pool_of(&[&[1, 2, 3], &[1, 2, 4], &[2, 2, 3]]);
         let mut incr = CompositeIndex::new(&[0, 2]);
-        for (row, t) in tuples.iter().enumerate() {
-            incr.insert(t, row);
+        for (row, values) in pool.rows().enumerate() {
+            incr.insert(values, row as RowId);
         }
         let mut rebuilt = CompositeIndex::new(&[0, 2]);
-        rebuilt.rebuild(&tuples);
+        rebuilt.rebuild(&pool);
         let key = [Value::int(1), Value::int(3)];
         assert_eq!(incr.lookup(&key), rebuilt.lookup(&key));
         assert_eq!(incr.distinct_keys(), rebuilt.distinct_keys());
@@ -272,11 +319,23 @@ mod tests {
     }
 
     #[test]
+    fn high_fanout_key_spills_and_keeps_order() {
+        let rows: Vec<Vec<u32>> = (0..20u32).map(|i| vec![1, i]).collect();
+        let row_refs: Vec<&[u32]> = rows.iter().map(Vec::as_slice).collect();
+        let pool = pool_of(&row_refs);
+        let mut idx = ColumnIndex::new(0);
+        idx.rebuild(&pool);
+        let expected: Vec<RowId> = (0..20).collect();
+        assert_eq!(idx.lookup(Value::int(1)), &expected[..]);
+        assert!(idx.resident_bytes() > 0);
+    }
+
+    #[test]
     fn out_of_bounds_column_is_ignored() {
-        // A unary tuple inserted into an index on column 1 simply does not
+        // A unary row inserted into an index on column 1 simply does not
         // register; the relation enforces arity, the index stays defensive.
         let mut idx = ColumnIndex::new(1);
-        idx.insert(&Tuple::from_ints(&[5]), 0);
+        idx.insert(&[Value::int(5)], 0);
         assert_eq!(idx.distinct_values(), 0);
     }
 }

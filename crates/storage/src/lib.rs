@@ -2,13 +2,18 @@
 //!
 //! The physical relational layer of the Carac-rs engine (paper §V-D).
 //!
-//! This crate owns everything that touches tuples at runtime:
+//! This crate owns everything that touches rows at runtime:
 //!
 //! * [`Value`] — interned 32-bit constants plus a [`SymbolTable`] mapping
 //!   them back to strings/integers,
-//! * [`Tuple`] — a fixed-arity row of values,
-//! * [`Relation`] — an insertion-ordered, duplicate-free set of tuples with
-//!   optional per-column hash indexes,
+//! * [`Tuple`] — a fixed-arity row of values, the *boundary* type for
+//!   loading facts and reading results (the evaluation hot paths speak
+//!   `&[Value]` row slices and [`RowId`]s instead),
+//! * [`pool`] — the flat row pool: one row-major `Vec<Value>` per relation
+//!   with hash-confirm dedup and compact inline-or-spill posting lists,
+//! * [`Relation`] — an insertion-ordered, duplicate-free set of rows over a
+//!   [`RowPool`], with optional per-column and composite hash indexes and
+//!   the allocation-free [`Relation::probe_rows`] access path,
 //! * [`Database`] — a collection of relations addressed by [`RelId`],
 //! * [`StorageManager`] — the three evaluation databases used by semi-naive
 //!   evaluation (*derived*, *delta-known*, *delta-new*) together with the
@@ -30,6 +35,7 @@ pub mod error;
 pub mod hasher;
 pub mod index;
 pub mod ops;
+pub mod pool;
 pub mod relation;
 pub mod schema;
 pub mod stats;
@@ -40,7 +46,8 @@ pub mod value;
 pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
 pub use index::{ColumnIndex, CompositeIndex};
-pub use relation::Relation;
+pub use pool::{PoolStats, PostingList, RowId, RowPool};
+pub use relation::{ProbeIter, ProbeRows, Relation};
 pub use schema::{RelId, RelationSchema};
 pub use stats::{RelationStats, StatsSnapshot};
 pub use symbol::SymbolTable;

@@ -34,10 +34,16 @@ pub enum Predicate {
 impl Predicate {
     /// Evaluates the predicate against one tuple.
     pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.matches_row(tuple.values())
+    }
+
+    /// Evaluates the predicate against one row slice (the storage-layout
+    /// variant used when scanning a relation's row pool directly).
+    pub fn matches_row(&self, row: &[Value]) -> bool {
         match *self {
-            Predicate::ColumnEqualsConst { col, value } => tuple.get(col) == Some(value),
+            Predicate::ColumnEqualsConst { col, value } => row.get(col) == Some(&value),
             Predicate::ColumnsEqual { left, right } => {
-                tuple.get(left).is_some() && tuple.get(left) == tuple.get(right)
+                row.get(left).is_some() && row.get(left) == row.get(right)
             }
         }
     }
@@ -46,10 +52,9 @@ impl Predicate {
 /// σ: returns the tuples of `input` satisfying all `predicates`.
 pub fn select(input: &Relation, predicates: &[Predicate]) -> Vec<Tuple> {
     input
-        .tuples()
-        .iter()
-        .filter(|t| predicates.iter().all(|p| p.matches(t)))
-        .cloned()
+        .iter_rows()
+        .filter(|row| predicates.iter().all(|p| p.matches_row(row)))
+        .map(Tuple::from_row)
         .collect()
 }
 

@@ -1,27 +1,31 @@
-//! In-memory relations with set semantics.
+//! In-memory relations with set semantics over a flat row pool.
 
 use crate::error::StorageError;
-use crate::hasher::FxHashSet;
 use crate::index::{ColumnIndex, CompositeIndex};
+use crate::pool::{mix_hash, shard_of_hash, value_hash, PoolStats, RowId, RowPool};
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::Result;
 
-/// A duplicate-free, insertion-ordered collection of tuples.
+/// A duplicate-free, insertion-ordered collection of rows.
 ///
-/// Relations keep several structures in sync:
+/// All rows live in one row-major [`RowPool`] (a single `Vec<Value>` with an
+/// arity stride); duplicate elimination goes through the pool's 64-bit
+/// row-hash table, confirmed by slice equality — there is no second stored
+/// copy of any row.  On top of the pool the relation maintains:
 ///
-/// * `tuples` — insertion-ordered rows, the scan path,
-/// * `set` — a hash set used for O(1) duplicate elimination and membership
-///   tests (`diff`, semi-naive dedup),
 /// * `indexes` — optional per-column hash indexes used by index-nested-loop
 ///   joins when the engine runs in "indexed" mode,
 /// * `composites` — optional multi-column hash indexes for atoms probed on
 ///   several bound columns at once,
-/// * `shards` — optional hash partitions of the row offsets by shard-key
-///   value, enabling independent parallel scans of disjoint tuple subsets
-///   (see [`Relation::set_sharding`]).
+/// * `shards` — optional hash partitions of the row ids by shard-key value,
+///   enabling independent parallel scans of disjoint row subsets (see
+///   [`Relation::set_sharding`]).
+///
+/// [`Tuple`] remains the boundary type for loading facts and reading
+/// results; the evaluation hot paths speak `&[Value]` row slices and
+/// [`RowId`]s exclusively and never construct tuples.
 ///
 /// ```
 /// use carac_storage::{Relation, RelationSchema, RelId, Tuple, Value};
@@ -33,44 +37,133 @@ use crate::Result;
 /// edges.insert(Tuple::pair(1, 3))?;
 /// assert!(!edges.insert(Tuple::pair(1, 2))?); // set semantics: duplicate
 ///
-/// assert_eq!(edges.lookup(0, Value::int(1)).len(), 2);
+/// assert_eq!(edges.lookup_rows(0, Value::int(1)).len(), 2);
 /// let rows = edges
 ///     .lookup_rows_composite(&[(0, Value::int(1)), (1, Value::int(3))])
 ///     .expect("the composite index covers both filters");
 /// assert_eq!(rows.len(), 1);
+/// assert_eq!(edges.row(rows[0]), &[Value::int(1), Value::int(3)]);
 /// # Ok::<(), carac_storage::StorageError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    tuples: Vec<Tuple>,
-    set: FxHashSet<Tuple>,
+    pool: RowPool,
     indexes: Vec<ColumnIndex>,
     composites: Vec<CompositeIndex>,
     /// Number of shard partitions; `1` disables sharding.
     shard_count: usize,
-    /// Column whose value hashes a tuple into its shard.
+    /// Column whose value hashes a row into its shard.
     shard_key: usize,
-    /// Row offsets per shard (`shards.len() == shard_count` when sharded,
+    /// Row ids per shard (`shards.len() == shard_count` when sharded,
     /// empty otherwise).
-    shards: Vec<Vec<usize>>,
+    shards: Vec<Vec<RowId>>,
 }
 
-/// Deterministic shard assignment for a value: a fixed multiplicative hash,
-/// identical on every platform and across runs, so shard membership never
-/// depends on process state.
+/// Deterministic shard assignment for a value: the shard-key value is run
+/// through the same per-value hash that feeds the pool's row hash
+/// ([`crate::pool::value_hash`]), so shard assignment and dedup share one
+/// hash computation per inserted row, and shard membership is identical on
+/// every platform and across runs.
 #[inline]
-fn shard_of(value: Value, shard_count: usize) -> usize {
-    (value.raw().wrapping_mul(0x9E37_79B1) >> 7) as usize % shard_count
+pub(crate) fn shard_of(value: Value, shard_count: usize) -> usize {
+    shard_of_hash(value_hash(value), shard_count)
+}
+
+/// Borrowed candidate rows answering one probe — the allocation-free
+/// replacement for collecting `Vec<usize>` candidate lists.
+///
+/// Produced by [`Relation::probe_rows`].  Candidates obtained through a
+/// composite index (or any access path that did not cover every filter) may
+/// include rows that fail some filters; callers re-check filters per row,
+/// which the execution kernels do anyway.
+#[derive(Debug)]
+pub struct ProbeRows<'a> {
+    rows: ProbeSource<'a>,
+    via_composite: bool,
+}
+
+#[derive(Debug)]
+enum ProbeSource<'a> {
+    /// An explicit row-id list: an index posting list or the caller's
+    /// scratch buffer.
+    Slice(&'a [RowId]),
+    /// Every row of the relation (no usable access path).
+    All(RowId),
+}
+
+impl<'a> ProbeRows<'a> {
+    /// Number of candidate rows.
+    pub fn len(&self) -> usize {
+        match self.rows {
+            ProbeSource::Slice(s) => s.len(),
+            ProbeSource::All(n) => n as usize,
+        }
+    }
+
+    /// Whether no candidate matches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a composite (multi-column) index answered the probe.
+    pub fn via_composite(&self) -> bool {
+        self.via_composite
+    }
+
+    /// Iterator over the candidate row ids, in insertion order.
+    pub fn iter(&self) -> ProbeIter<'a> {
+        match self.rows {
+            ProbeSource::Slice(s) => ProbeIter::Slice(s.iter()),
+            ProbeSource::All(n) => ProbeIter::Range(0..n),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ProbeRows<'a> {
+    type Item = RowId;
+    type IntoIter = ProbeIter<'a>;
+
+    fn into_iter(self) -> ProbeIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the row ids of a [`ProbeRows`].
+#[derive(Debug)]
+pub enum ProbeIter<'a> {
+    /// Iterating an explicit row-id slice.
+    Slice(std::slice::Iter<'a, RowId>),
+    /// Iterating a full scan `0..n`.
+    Range(std::ops::Range<RowId>),
+}
+
+impl Iterator for ProbeIter<'_> {
+    type Item = RowId;
+
+    #[inline]
+    fn next(&mut self) -> Option<RowId> {
+        match self {
+            ProbeIter::Slice(it) => it.next().copied(),
+            ProbeIter::Range(r) => r.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ProbeIter::Slice(it) => it.size_hint(),
+            ProbeIter::Range(r) => r.size_hint(),
+        }
+    }
 }
 
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity;
         Relation {
             schema,
-            tuples: Vec::new(),
-            set: FxHashSet::default(),
+            pool: RowPool::new(arity),
             indexes: Vec::new(),
             composites: Vec::new(),
             shard_count: 1,
@@ -97,19 +190,19 @@ impl Relation {
         self.schema.arity
     }
 
-    /// Number of tuples currently stored.
+    /// Number of rows currently stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.pool.len()
     }
 
-    /// Whether the relation holds no tuples.
+    /// Whether the relation holds no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.pool.is_empty()
     }
 
-    /// Declares a hash index on `column`.  Idempotent; existing tuples are
+    /// Declares a hash index on `column`.  Idempotent; existing rows are
     /// back-filled.  Returns an error if the column is out of bounds.
     pub fn add_index(&mut self, column: usize) -> Result<()> {
         if column >= self.schema.arity {
@@ -123,7 +216,7 @@ impl Relation {
             return Ok(());
         }
         let mut index = ColumnIndex::new(column);
-        index.rebuild(&self.tuples);
+        index.rebuild(&self.pool);
         self.indexes.push(index);
         Ok(())
     }
@@ -138,9 +231,30 @@ impl Relation {
         self.indexes.iter().any(|ix| ix.column() == column)
     }
 
+    /// Number of distinct values observed by the single-column index on
+    /// `column` (0 when that column is unindexed) — the observed-selectivity
+    /// input of the optimizer's cost model: an equality probe on the column
+    /// is expected to match `len / distinct` rows.
+    pub fn index_distinct(&self, column: usize) -> usize {
+        self.indexes
+            .iter()
+            .find(|ix| ix.column() == column)
+            .map(ColumnIndex::distinct_values)
+            .unwrap_or(0)
+    }
+
+    /// `(column, distinct values)` for every single-column index, in index
+    /// creation order (the per-column form consumed by the stats snapshot).
+    pub fn indexed_distincts(&self) -> Vec<(usize, usize)> {
+        self.indexes
+            .iter()
+            .map(|ix| (ix.column(), ix.distinct_values()))
+            .collect()
+    }
+
     /// Declares a composite hash index over `columns` (at least two distinct
     /// columns; a single column degrades to [`Relation::add_index`]).
-    /// Idempotent; existing tuples are back-filled.  Returns an error if any
+    /// Idempotent; existing rows are back-filled.  Returns an error if any
     /// column is out of bounds.
     pub fn add_composite_index(&mut self, columns: &[usize]) -> Result<()> {
         let mut canonical = columns.to_vec();
@@ -163,7 +277,7 @@ impl Relation {
                     return Ok(());
                 }
                 let mut index = CompositeIndex::new(&canonical);
-                index.rebuild(&self.tuples);
+                index.rebuild(&self.pool);
                 self.composites.push(index);
                 Ok(())
             }
@@ -186,13 +300,13 @@ impl Relation {
 
     /// Partitions the relation's rows into `shard_count` hash shards keyed
     /// on `shard_key`'s value, rebuilding the partitions for the existing
-    /// tuples.  A count of 0 or 1 disables sharding.  Returns an error when
+    /// rows.  A count of 0 or 1 disables sharding.  Returns an error when
     /// the key column is out of bounds.
     ///
-    /// Shard membership is a pure function of the key value (fixed
-    /// multiplicative hash), so two relations sharded the same way agree on
-    /// which shard any tuple belongs to — the property the parallel join
-    /// kernels rely on for deterministic merges.
+    /// Shard membership is a pure function of the key value (the pool's
+    /// per-value hash), so two relations sharded the same way agree on which
+    /// shard any row belongs to — the property the parallel join kernels
+    /// rely on for deterministic merges.
     pub fn set_sharding(&mut self, shard_count: usize, shard_key: usize) -> Result<()> {
         if shard_key >= self.schema.arity {
             return Err(StorageError::ColumnOutOfBounds {
@@ -219,9 +333,9 @@ impl Relation {
         self.shard_count > 1
     }
 
-    /// Row offsets belonging to shard `shard` (insertion order within the
+    /// Row ids belonging to shard `shard` (insertion order within the
     /// shard).  Empty for out-of-range shards or when sharding is disabled.
-    pub fn shard_rows(&self, shard: usize) -> &[usize] {
+    pub fn shard_rows(&self, shard: usize) -> &[RowId] {
         self.shards.get(shard).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -231,129 +345,180 @@ impl Relation {
             return;
         }
         self.shards.resize(self.shard_count, Vec::new());
-        for (row, tuple) in self.tuples.iter().enumerate() {
-            let value = tuple.get(self.shard_key).unwrap_or_default();
-            self.shards[shard_of(value, self.shard_count)].push(row);
+        for (row, values) in self.pool.rows().enumerate() {
+            let value = values.get(self.shard_key).copied().unwrap_or_default();
+            self.shards[shard_of(value, self.shard_count)].push(row as RowId);
         }
     }
 
-    /// Inserts a tuple, returning `true` if it was new.
-    ///
-    /// Duplicate tuples are silently ignored (set semantics).  Arity is
-    /// validated against the schema.
+    /// Inserts a tuple, returning `true` if it was new (boundary API; the
+    /// evaluation hot paths use [`Relation::insert_row`] directly).
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
-        if tuple.arity() != self.schema.arity {
+        self.insert_row(tuple.values())
+    }
+
+    /// Inserts one row given as a value slice, returning `true` if it was
+    /// new.  Duplicate rows are silently ignored (set semantics); arity is
+    /// validated against the schema.  This is the single append path: one
+    /// hash pass over the values feeds the dedup table, every index and the
+    /// shard assignment.
+    pub fn insert_row(&mut self, values: &[Value]) -> Result<bool> {
+        if values.len() != self.schema.arity {
             return Err(StorageError::ArityMismatch {
                 relation: self.schema.name.clone(),
                 expected: self.schema.arity,
-                actual: tuple.arity(),
+                actual: values.len(),
             });
         }
-        if self.set.contains(&tuple) {
-            return Ok(false);
+        // One pass over the values: the per-value hashes fold into the row
+        // hash and the shard key's unit is captured on the way.
+        let mut hash = crate::pool::ROW_HASH_INIT;
+        let mut key_unit = 0u64;
+        for (col, &v) in values.iter().enumerate() {
+            let unit = value_hash(v);
+            if col == self.shard_key {
+                key_unit = unit;
+            }
+            hash = mix_hash(hash, unit);
         }
-        let row = self.tuples.len();
+        Ok(self.insert_prehashed(values, hash, key_unit))
+    }
+
+    /// [`Relation::insert_row`] with the row hash precomputed by the caller
+    /// (arity must already match; used by the merge path so iteration
+    /// boundaries never rehash a row).
+    #[inline]
+    pub(crate) fn insert_row_hashed(&mut self, values: &[Value], hash: u64) -> bool {
+        let key_unit = if self.shard_count > 1 {
+            value_hash(values.get(self.shard_key).copied().unwrap_or_default())
+        } else {
+            0
+        };
+        self.insert_prehashed(values, hash, key_unit)
+    }
+
+    #[inline]
+    fn insert_prehashed(&mut self, values: &[Value], hash: u64, key_unit: u64) -> bool {
+        let Some(row) = self.pool.insert_hashed(values, hash) else {
+            return false;
+        };
         for index in &mut self.indexes {
-            index.insert(&tuple, row);
+            index.insert(values, row);
         }
         for index in &mut self.composites {
-            index.insert(&tuple, row);
+            index.insert(values, row);
         }
         if self.shard_count > 1 {
-            let value = tuple.get(self.shard_key).unwrap_or_default();
-            self.shards[shard_of(value, self.shard_count)].push(row);
+            self.shards[shard_of_hash(key_unit, self.shard_count)].push(row);
         }
-        self.set.insert(tuple.clone());
-        self.tuples.push(tuple);
-        Ok(true)
+        true
     }
 
-    /// Membership test.
+    /// Membership test for a boundary tuple.
     #[inline]
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.set.contains(tuple)
+        self.pool.contains(tuple.values())
     }
 
-    /// Scan of all tuples in insertion order.
+    /// Membership test for a row slice (the hot-path variant).
     #[inline]
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    pub fn contains_row(&self, values: &[Value]) -> bool {
+        self.pool.contains(values)
     }
 
-    /// The tuple stored at row offset `row` (insertion order).
+    /// [`Relation::contains_row`] with the row hash precomputed.
+    #[inline]
+    pub fn contains_row_hashed(&self, values: &[Value], hash: u64) -> bool {
+        self.pool.contains_hashed(values, hash)
+    }
+
+    /// The values of the row with id `row`.
     ///
     /// # Panics
     ///
-    /// Panics when `row` is out of bounds; callers obtain rows from
-    /// [`Relation::lookup_rows`] or `0..len()`.
+    /// Panics when `row` is out of bounds; callers obtain ids from
+    /// [`Relation::probe_rows`], [`Relation::lookup_rows`] or `0..len()`.
     #[inline]
-    pub fn tuple_at(&self, row: usize) -> &Tuple {
-        &self.tuples[row]
+    pub fn row(&self, row: RowId) -> &[Value] {
+        self.pool.row(row)
     }
 
-    /// Row offsets of the tuples whose `column` equals `value`, using the
-    /// hash index when one exists and a filtered scan otherwise.
-    pub fn lookup_rows(&self, column: usize, value: Value) -> Vec<usize> {
+    /// Iterator over all rows (as value slices) in insertion order.
+    #[inline]
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        self.pool.rows()
+    }
+
+    /// Materializes the row with id `row` as a boundary [`Tuple`]
+    /// (allocates; result extraction and tests only — hot paths use
+    /// [`Relation::row`]).
+    #[inline]
+    pub fn tuple_at(&self, row: RowId) -> Tuple {
+        Tuple::from_row(self.pool.row(row))
+    }
+
+    /// Materializes every row as a boundary [`Tuple`], in insertion order
+    /// (allocates; result extraction and tests only).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.pool.rows().map(Tuple::from_row).collect()
+    }
+
+    /// Row ids of the rows whose `column` equals `value`, using the hash
+    /// index when one exists and a filtered scan otherwise.  Allocates the
+    /// result; the hot paths use [`Relation::probe_rows`] instead.
+    pub fn lookup_rows(&self, column: usize, value: Value) -> Vec<RowId> {
         if let Some(index) = self.indexes.iter().find(|ix| ix.column() == column) {
             index.lookup(value).to_vec()
         } else {
-            self.tuples
-                .iter()
+            self.pool
+                .rows()
                 .enumerate()
-                .filter(|(_, t)| t.get(column) == Some(value))
-                .map(|(i, _)| i)
+                .filter(|(_, r)| r.get(column) == Some(&value))
+                .map(|(i, _)| i as RowId)
                 .collect()
         }
     }
 
-    /// Iterator over the tuples whose `column` equals `value`.
-    ///
-    /// Uses the hash index if one exists, otherwise falls back to a filtered
-    /// scan.  The returned vector contains references in insertion order.
-    pub fn lookup(&self, column: usize, value: Value) -> Vec<&Tuple> {
-        if let Some(index) = self.indexes.iter().find(|ix| ix.column() == column) {
-            index
-                .lookup(value)
-                .iter()
-                .map(|&row| &self.tuples[row])
-                .collect()
-        } else {
-            self.tuples
-                .iter()
-                .filter(|t| t.get(column) == Some(value))
-                .collect()
-        }
-    }
-
-    /// Row offsets of the tuples matching *all* the given `(column, value)`
+    /// Row ids of the rows matching *all* the given `(column, value)`
     /// equality filters, through one composite-index probe — `None` when no
     /// composite index covers the filtered columns.
     ///
     /// The widest applicable composite index wins (most columns resolved in
-    /// a single hash lookup).  Callers fall back to a single-column
+    /// a single hash lookup).  Candidates are confirmed against the actual
+    /// row values (composite entries are keyed by hash), so the result is
+    /// exact.  Callers fall back to a single-column
     /// [`Relation::lookup_rows`] or a scan when this returns `None`.
-    pub fn lookup_rows_composite(&self, filters: &[(usize, Value)]) -> Option<Vec<usize>> {
-        let best = self
-            .composites
+    pub fn lookup_rows_composite(&self, filters: &[(usize, Value)]) -> Option<Vec<RowId>> {
+        let best = self.best_composite(filters)?;
+        let hash = composite_probe_hash(best, filters);
+        Some(
+            best.lookup_hash(hash)
+                .iter()
+                .copied()
+                .filter(|&row| {
+                    let values = self.pool.row(row);
+                    best.columns().iter().all(|&c| {
+                        filters
+                            .iter()
+                            .any(|&(col, v)| col == c && values[c] == v)
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// The widest composite index whose columns are all present in
+    /// `filters`, if any.
+    #[inline]
+    fn best_composite(&self, filters: &[(usize, Value)]) -> Option<&CompositeIndex> {
+        self.composites
             .iter()
             .filter(|ix| {
                 ix.columns()
                     .iter()
                     .all(|c| filters.iter().any(|(col, _)| col == c))
             })
-            .max_by_key(|ix| ix.columns().len())?;
-        let key: Vec<Value> = best
-            .columns()
-            .iter()
-            .map(|c| {
-                filters
-                    .iter()
-                    .find(|(col, _)| col == c)
-                    .map(|&(_, v)| v)
-                    .expect("filter present by construction")
-            })
-            .collect();
-        Some(best.lookup(&key).to_vec())
+            .max_by_key(|ix| ix.columns().len())
     }
 
     /// Whether any composite index is defined (cheap gate for callers that
@@ -363,32 +528,75 @@ impl Relation {
         !self.composites.is_empty()
     }
 
-    /// Candidate row offsets for a set of resolved `(column, value)`
-    /// equality filters — the engine-wide access-path policy, shared by the
-    /// specialized kernel, the interpreter and the bytecode VM: a composite
-    /// index covering several filtered columns, else a single-column index
-    /// on any filtered column, else a lookup on the first filter, else a
-    /// full scan.  Rows may still need re-checking against filters the
-    /// chosen access path did not cover.
-    pub fn candidate_rows(&self, filters: &[(usize, Value)]) -> Vec<usize> {
+    /// Candidate rows for a set of resolved `(column, value)` equality
+    /// filters, **without allocating**: the engine-wide access-path policy
+    /// shared by the specialized kernel, the interpreter and the bytecode
+    /// VM.
+    ///
+    /// Access paths, in order of preference: a composite index covering
+    /// several filtered columns, else a single-column index on any filtered
+    /// column, else a scan on the first filter (collected into the caller's
+    /// reusable `scratch` buffer), else a full scan.  The returned candidate
+    /// list borrows either an index posting list or `scratch`; **rows may
+    /// still need re-checking against filters the chosen access path did not
+    /// cover** (composite candidates are hash-keyed and may include
+    /// collision false positives).
+    pub fn probe_rows<'a>(
+        &'a self,
+        filters: &[(usize, Value)],
+        scratch: &'a mut Vec<RowId>,
+    ) -> ProbeRows<'a> {
         if filters.len() >= 2 {
-            if let Some(rows) = self.lookup_rows_composite(filters) {
-                return rows;
+            if let Some(best) = self.best_composite(filters) {
+                let hash = composite_probe_hash(best, filters);
+                return ProbeRows {
+                    rows: ProbeSource::Slice(best.lookup_hash(hash)),
+                    via_composite: true,
+                };
             }
         }
         if let Some(&(col, value)) = filters.iter().find(|(col, _)| self.has_index(*col)) {
-            return self.lookup_rows(col, value);
+            let index = self
+                .indexes
+                .iter()
+                .find(|ix| ix.column() == col)
+                .expect("has_index checked");
+            return ProbeRows {
+                rows: ProbeSource::Slice(index.lookup(value)),
+                via_composite: false,
+            };
         }
         if let Some(&(col, value)) = filters.first() {
-            return self.lookup_rows(col, value);
+            scratch.clear();
+            for (row, values) in self.pool.rows().enumerate() {
+                if values.get(col) == Some(&value) {
+                    scratch.push(row as RowId);
+                }
+            }
+            return ProbeRows {
+                rows: ProbeSource::Slice(scratch),
+                via_composite: false,
+            };
         }
-        (0..self.len()).collect()
+        ProbeRows {
+            rows: ProbeSource::All(self.pool.len() as RowId),
+            via_composite: false,
+        }
     }
 
-    /// Removes every tuple but keeps schema, index and shard definitions.
+    /// Allocating convenience wrapper around [`Relation::probe_rows`]
+    /// (tests, examples and cold paths).  Same access-path policy and the
+    /// same caveat: rows may need re-checking against uncovered filters.
+    pub fn candidate_rows(&self, filters: &[(usize, Value)]) -> Vec<RowId> {
+        let mut scratch = Vec::new();
+        let probe = self.probe_rows(filters, &mut scratch);
+        probe.iter().collect()
+    }
+
+    /// Removes every row but keeps schema, index and shard definitions (and
+    /// allocated capacity, so refills do not reallocate).
     pub fn clear(&mut self) {
-        self.tuples.clear();
-        self.set.clear();
+        self.pool.clear();
         for index in &mut self.indexes {
             index.clear();
         }
@@ -400,7 +608,7 @@ impl Relation {
         }
     }
 
-    /// Moves all tuples of `other` into `self` (deduplicating), leaving
+    /// Moves all rows of `other` into `self` (deduplicating), leaving
     /// `other` empty.  Schemas must agree in arity.
     pub fn absorb(&mut self, other: &mut Relation) -> Result<usize> {
         if other.schema.arity != self.schema.arity {
@@ -411,48 +619,82 @@ impl Relation {
                 ),
             });
         }
-        let mut added = 0;
-        for tuple in std::mem::take(&mut other.tuples) {
-            if self.insert(tuple)? {
-                added += 1;
-            }
-        }
-        other.set.clear();
-        for index in &mut other.indexes {
-            index.clear();
-        }
-        for index in &mut other.composites {
-            index.clear();
-        }
-        for shard in &mut other.shards {
-            shard.clear();
-        }
+        let added = self.union_in_place(other)?;
+        other.clear();
         Ok(added)
     }
 
-    /// Copies all tuples of `other` into `self` without modifying `other`.
+    /// Copies all rows of `other` into `self` without modifying `other`.
+    ///
+    /// Rows are appended straight from `other`'s pool using its retained row
+    /// hashes — no tuples are constructed and nothing is rehashed.
     pub fn union_in_place(&mut self, other: &Relation) -> Result<usize> {
+        if other.schema.arity != self.schema.arity {
+            return Err(StorageError::SchemaMismatch {
+                context: format!(
+                    "union {} (arity {}) into {} (arity {})",
+                    other.schema.name, other.schema.arity, self.schema.name, self.schema.arity
+                ),
+            });
+        }
         let mut added = 0;
-        for tuple in other.tuples() {
-            if self.insert(tuple.clone())? {
+        for row in 0..other.pool.len() {
+            let row = row as RowId;
+            if self.insert_row_hashed(other.pool.row(row), other.pool.hash_of(row)) {
                 added += 1;
             }
         }
         Ok(added)
     }
 
-    /// Swaps the *contents* of two relations (tuples, set, indexes,
-    /// composite indexes and shard partitions) while leaving their schemas
-    /// in place.  This is the primitive behind `SwapClearOp`.
+    /// Swaps the *contents* of two relations (row pool, indexes, composite
+    /// indexes and shard partitions) while leaving their schemas in place,
+    /// in O(1) — this is the primitive behind `SwapClearOp`'s delta
+    /// rotation: no row is copied, reinserted or rehashed.
     pub fn swap_contents(&mut self, other: &mut Relation) {
-        std::mem::swap(&mut self.tuples, &mut other.tuples);
-        std::mem::swap(&mut self.set, &mut other.set);
+        std::mem::swap(&mut self.pool, &mut other.pool);
         std::mem::swap(&mut self.indexes, &mut other.indexes);
         std::mem::swap(&mut self.composites, &mut other.composites);
         std::mem::swap(&mut self.shard_count, &mut other.shard_count);
         std::mem::swap(&mut self.shard_key, &mut other.shard_key);
         std::mem::swap(&mut self.shards, &mut other.shards);
     }
+
+    /// Resident-memory snapshot: the pool's stats plus the resident bytes of
+    /// every index and the shard partitions.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut stats = self.pool.stats();
+        stats.bytes += self
+            .indexes
+            .iter()
+            .map(ColumnIndex::resident_bytes)
+            .sum::<usize>();
+        stats.bytes += self
+            .composites
+            .iter()
+            .map(CompositeIndex::resident_bytes)
+            .sum::<usize>();
+        stats.bytes += self
+            .shards
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<RowId>())
+            .sum::<usize>();
+        stats
+    }
+}
+
+/// Hash of the probe key for `index` assembled from resolved filters (the
+/// filter list is a superset of the index's columns by construction).
+#[inline]
+fn composite_probe_hash(index: &CompositeIndex, filters: &[(usize, Value)]) -> u64 {
+    index.columns().iter().fold(0, |h, &c| {
+        let value = filters
+            .iter()
+            .find(|(col, _)| *col == c)
+            .map(|&(_, v)| v)
+            .expect("filter present by construction");
+        mix_hash(h, value_hash(value))
+    })
 }
 
 #[cfg(test)]
@@ -472,6 +714,7 @@ mod tests {
         assert!(r.insert(Tuple::pair(2, 3)).unwrap());
         assert_eq!(r.len(), 2);
         assert!(r.contains(&Tuple::pair(1, 2)));
+        assert!(r.contains_row(&[Value::int(1), Value::int(2)]));
     }
 
     #[test]
@@ -490,20 +733,22 @@ mod tests {
             indexed.insert(Tuple::pair(a, b)).unwrap();
             plain.insert(Tuple::pair(a, b)).unwrap();
         }
-        let from_index: Vec<_> = indexed.lookup(0, Value::int(1)).into_iter().cloned().collect();
-        let from_scan: Vec<_> = plain.lookup(0, Value::int(1)).into_iter().cloned().collect();
+        let from_index = indexed.lookup_rows(0, Value::int(1));
+        let from_scan = plain.lookup_rows(0, Value::int(1));
         assert_eq!(from_index, from_scan);
         assert_eq!(from_index.len(), 2);
     }
 
     #[test]
-    fn add_index_backfills_existing_tuples() {
+    fn add_index_backfills_existing_rows() {
         let mut r = Relation::new(edge_schema());
         r.insert(Tuple::pair(7, 8)).unwrap();
         r.add_index(1).unwrap();
-        assert_eq!(r.lookup(1, Value::int(8)).len(), 1);
+        assert_eq!(r.lookup_rows(1, Value::int(8)).len(), 1);
         assert!(r.has_index(1));
         assert!(!r.has_index(0));
+        assert_eq!(r.index_distinct(1), 1);
+        assert_eq!(r.index_distinct(0), 0);
     }
 
     #[test]
@@ -524,7 +769,7 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.has_index(0));
         r.insert(Tuple::pair(3, 4)).unwrap();
-        assert_eq!(r.lookup(0, Value::int(3)).len(), 1);
+        assert_eq!(r.lookup_rows(0, Value::int(3)).len(), 1);
     }
 
     #[test]
@@ -541,7 +786,7 @@ mod tests {
     }
 
     #[test]
-    fn swap_contents_exchanges_tuples() {
+    fn swap_contents_exchanges_rows() {
         let mut a = Relation::new(edge_schema());
         let mut b = Relation::new(edge_schema());
         a.insert(Tuple::pair(1, 1)).unwrap();
@@ -551,6 +796,27 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 1);
         assert!(b.contains(&Tuple::pair(1, 1)));
+    }
+
+    #[test]
+    fn swap_contents_rotation_moves_no_rows() {
+        // The O(1) delta-rotation contract: after swapping, both sides serve
+        // reads from their exchanged pools without any reinsertion — the row
+        // ids and retained hashes travel with the pool.
+        let mut known = Relation::new(edge_schema());
+        let mut new = Relation::new(edge_schema());
+        for i in 0..1000u32 {
+            new.insert(Tuple::pair(i, i + 1)).unwrap();
+        }
+        let new_stats = new.pool_stats();
+        known.swap_contents(&mut new);
+        assert_eq!(known.len(), 1000);
+        assert!(new.is_empty());
+        // Identical stats object: same rows, same resident bytes, same
+        // lifetime rehash count — nothing was copied or rehashed.
+        assert_eq!(known.pool_stats(), new_stats);
+        assert_eq!(known.row(0), &[Value::int(0), Value::int(1)]);
+        assert_eq!(known.row(999), &[Value::int(999), Value::int(1000)]);
     }
 
     #[test]
@@ -596,6 +862,41 @@ mod tests {
     }
 
     #[test]
+    fn probe_rows_borrows_posting_lists_and_scratch() {
+        let mut r = Relation::new(edge_schema());
+        r.add_index(0).unwrap();
+        for (a, b) in [(1, 2), (1, 3), (2, 4)] {
+            r.insert(Tuple::pair(a, b)).unwrap();
+        }
+        let mut scratch = Vec::new();
+        // Indexed column: posting-list-backed, scratch untouched.
+        let probe = r.probe_rows(&[(0, Value::int(1))], &mut scratch);
+        assert_eq!(probe.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(!probe.via_composite());
+        // Unindexed column: scratch-backed filtered scan.
+        let probe = r.probe_rows(&[(1, Value::int(4))], &mut scratch);
+        assert_eq!(probe.iter().collect::<Vec<_>>(), vec![2]);
+        // No filters: full range, still allocation-free.
+        let probe = r.probe_rows(&[], &mut scratch);
+        assert_eq!(probe.len(), 3);
+        assert_eq!(probe.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidate_rows_matches_probe_rows() {
+        let mut r = Relation::new(edge_schema());
+        r.add_composite_index(&[0, 1]).unwrap();
+        for (a, b) in [(1, 2), (1, 3), (2, 2)] {
+            r.insert(Tuple::pair(a, b)).unwrap();
+        }
+        let filters = [(0, Value::int(1)), (1, Value::int(3))];
+        let mut scratch = Vec::new();
+        let probe: Vec<RowId> = r.probe_rows(&filters, &mut scratch).iter().collect();
+        assert_eq!(probe, r.candidate_rows(&filters));
+        assert!(r.probe_rows(&filters, &mut scratch).via_composite());
+    }
+
+    #[test]
     fn shards_partition_all_rows_disjointly() {
         let mut r = Relation::new(edge_schema());
         r.set_sharding(4, 0).unwrap();
@@ -603,9 +904,9 @@ mod tests {
             r.insert(Tuple::pair(i, i + 1)).unwrap();
         }
         assert!(r.is_sharded());
-        let mut seen: Vec<usize> = (0..4).flat_map(|s| r.shard_rows(s).to_vec()).collect();
+        let mut seen: Vec<RowId> = (0..4).flat_map(|s| r.shard_rows(s).to_vec()).collect();
         seen.sort_unstable();
-        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(seen, (0..100).collect::<Vec<RowId>>());
         // Every shard got something at this size.
         for s in 0..4 {
             assert!(!r.shard_rows(s).is_empty(), "shard {s} is empty");
@@ -613,7 +914,7 @@ mod tests {
         // All rows in a shard share the shard of their key value.
         for s in 0..4 {
             for &row in r.shard_rows(s) {
-                let v = r.tuple_at(row).get(0).unwrap();
+                let v = r.row(row)[0];
                 assert_eq!(super::shard_of(v, 4), s);
             }
         }
@@ -646,5 +947,19 @@ mod tests {
         let added = a.union_in_place(&b).unwrap();
         assert_eq!(added, 1);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn pool_stats_report_rows_and_bytes() {
+        let mut r = Relation::new(edge_schema());
+        r.add_index(0).unwrap();
+        for i in 0..50u32 {
+            r.insert(Tuple::pair(i % 5, i)).unwrap();
+        }
+        let stats = r.pool_stats();
+        assert_eq!(stats.rows, 50);
+        assert!(stats.bytes >= 50 * 2 * std::mem::size_of::<Value>());
+        assert_eq!(r.index_distinct(0), 5);
+        assert_eq!(r.indexed_distincts(), vec![(0, 5)]);
     }
 }

@@ -36,6 +36,12 @@ impl RelationStats {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     per_relation: Vec<RelationStats>,
+    /// Per relation: `(column, distinct values)` for every single-column
+    /// index on the derived database's row pool.  The observed-selectivity
+    /// input of the adaptive optimizer: an equality probe on an indexed
+    /// column is expected to match `derived / distinct` rows, replacing the
+    /// constant fallback factor.  Empty for snapshots built from raw stats.
+    derived_index_distinct: Vec<Vec<(usize, usize)>>,
     /// Iteration counter supplied by the execution engine (0 before the
     /// first iteration).  Stored here so freshness decisions can reason
     /// about how stale a snapshot is.
@@ -47,8 +53,16 @@ impl StatsSnapshot {
     pub fn capture(storage: &StorageManager) -> StatsSnapshot {
         let n = storage.relation_count();
         let mut per_relation = Vec::with_capacity(n);
+        let mut derived_index_distinct = Vec::with_capacity(n);
         for i in 0..n {
             let rel = RelId(i as u32);
+            derived_index_distinct.push(
+                storage
+                    .db(DbKind::Derived)
+                    .relation(rel)
+                    .map(|r| r.indexed_distincts())
+                    .unwrap_or_default(),
+            );
             per_relation.push(RelationStats {
                 derived: storage.db(DbKind::Derived).cardinality(rel),
                 delta_known: storage.db(DbKind::DeltaKnown).cardinality(rel),
@@ -57,17 +71,42 @@ impl StatsSnapshot {
         }
         StatsSnapshot {
             per_relation,
+            derived_index_distinct,
             iteration: 0,
         }
     }
 
     /// Builds a snapshot directly from raw stats (used by optimizer tests
-    /// that do not want to materialize relations).
+    /// that do not want to materialize relations).  No per-column index
+    /// observations are attached; add them with
+    /// [`StatsSnapshot::with_index_distinct`].
     pub fn from_stats(per_relation: Vec<RelationStats>, iteration: u64) -> Self {
         StatsSnapshot {
             per_relation,
+            derived_index_distinct: Vec::new(),
             iteration,
         }
+    }
+
+    /// Records an observed `(column, distinct values)` pair for `rel`'s
+    /// derived database (builder-style; tests and synthetic snapshots).
+    pub fn with_index_distinct(mut self, rel: RelId, column: usize, distinct: usize) -> Self {
+        if self.derived_index_distinct.len() <= rel.index() {
+            self.derived_index_distinct
+                .resize(rel.index() + 1, Vec::new());
+        }
+        self.derived_index_distinct[rel.index()].push((column, distinct));
+        self
+    }
+
+    /// Distinct values observed by the single-column index on `(rel,
+    /// column)` in the derived database; 0 when unindexed or unobserved.
+    pub fn index_distinct(&self, rel: RelId, column: usize) -> usize {
+        self.derived_index_distinct
+            .get(rel.index())
+            .and_then(|cols| cols.iter().find(|&&(c, _)| c == column))
+            .map(|&(_, d)| d)
+            .unwrap_or(0)
     }
 
     /// Stats for one relation; zeroes if the relation is unknown.
@@ -149,6 +188,24 @@ mod tests {
     fn unknown_relation_reads_as_zero() {
         let snap = StatsSnapshot::default();
         assert_eq!(snap.cardinality(RelId(7), DbKind::Derived), 0);
+        assert_eq!(snap.index_distinct(RelId(7), 0), 0);
+    }
+
+    #[test]
+    fn capture_records_per_column_index_distinct() {
+        let mut sm = StorageManager::new(true);
+        let edge = sm.register("Edge", 2, true);
+        sm.add_index(edge, 0).unwrap();
+        sm.add_index(edge, 1).unwrap();
+        // 3 distinct sources, 6 distinct targets.
+        for i in 0..6u32 {
+            sm.insert_fact(edge, Tuple::pair(i % 3, 10 + i)).unwrap();
+        }
+        let snap = sm.stats();
+        assert_eq!(snap.index_distinct(edge, 0), 3);
+        assert_eq!(snap.index_distinct(edge, 1), 6);
+        // Unindexed / unknown columns read as unobserved.
+        assert_eq!(snap.index_distinct(edge, 2), 0);
     }
 
     #[test]
@@ -157,7 +214,7 @@ mod tests {
             vec![RelationStats {
                 derived: 100,
                 delta_known: 10,
-                delta_new: 0,
+                ..Default::default()
             }],
             1,
         );
@@ -165,7 +222,7 @@ mod tests {
             vec![RelationStats {
                 derived: 150,
                 delta_known: 10,
-                delta_new: 0,
+                ..Default::default()
             }],
             2,
         );
@@ -179,8 +236,7 @@ mod tests {
         let new = StatsSnapshot::from_stats(
             vec![RelationStats {
                 derived: 3,
-                delta_known: 0,
-                delta_new: 0,
+                ..Default::default()
             }],
             1,
         );

@@ -35,6 +35,15 @@ impl Tuple {
         Tuple::new(ints.iter().copied().map(Value::int).collect())
     }
 
+    /// Builds a tuple by copying a row slice out of a relation's row pool
+    /// (the boundary between the flat storage layout and tuple-shaped
+    /// results).
+    pub fn from_row(values: &[Value]) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
     /// Number of columns.
     #[inline]
     pub fn arity(&self) -> usize {

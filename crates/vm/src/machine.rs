@@ -7,7 +7,7 @@
 //! bytecode target trades the type-checked safety of quotes for speed while
 //! the runtime still enforces its own invariants.
 
-use carac_storage::{DbKind, StorageManager, Tuple, Value};
+use carac_storage::{DbKind, Relation, RowId, StorageManager, Value};
 use std::fmt;
 
 use crate::instr::{EmitSource, FilterSource, Instr, Reg, Slot};
@@ -69,13 +69,15 @@ pub struct VmStats {
     pub composite_probes: u64,
 }
 
-/// An open cursor: the matching row offsets of one relation snapshot and the
-/// current position within them.
+/// An open cursor: the matching row ids of one relation snapshot and the
+/// current position within them.  The row buffer is owned by the cursor and
+/// reused across `OpenScan`s (cleared, never reallocated once warm), so the
+/// steady-state probe path performs no heap allocation.
 #[derive(Debug, Clone)]
 struct Cursor {
     rel: carac_storage::RelId,
     db: DbKind,
-    rows: Vec<usize>,
+    rows: Vec<RowId>,
     pos: usize,
     open: bool,
 }
@@ -97,6 +99,12 @@ impl Default for Cursor {
 pub struct Machine {
     regs: Vec<Option<Value>>,
     cursors: Vec<Cursor>,
+    /// Reusable buffer for resolved `(column, value)` filters (probe path).
+    resolved: Vec<(usize, Value)>,
+    /// Reusable buffer the storage probe scans into when no index applies.
+    probe_scratch: Vec<RowId>,
+    /// Reusable row buffer for `Emit` (head values, one row at a time).
+    emit_row: Vec<Value>,
     /// Maximum number of instructions a single `run` may execute; defaults
     /// to effectively unlimited.
     pub budget: u64,
@@ -108,6 +116,9 @@ impl Machine {
         Machine {
             regs: vec![None; program.num_regs],
             cursors: vec![Cursor::default(); program.num_slots],
+            resolved: Vec::new(),
+            probe_scratch: Vec::new(),
+            emit_row: Vec::new(),
             budget: u64::MAX,
         }
     }
@@ -150,11 +161,24 @@ impl Machine {
                     db,
                     filters,
                 } => {
-                    let rows = self.matching_rows(storage, *rel, *db, filters, &mut stats)?;
-                    let cursor = self.cursor_mut(*slot)?;
+                    self.resolve_filters(filters)?;
+                    let relation = storage.relation(*db, *rel)?;
+                    // Disjoint field borrows: the cursor's row buffer is
+                    // filled from the probe without ever being reallocated.
+                    let cursor = self
+                        .cursors
+                        .get_mut(slot.0 as usize)
+                        .ok_or(VmError::SlotOutOfBounds(slot.0))?;
+                    if fill_matching_rows(
+                        relation,
+                        &self.resolved,
+                        &mut self.probe_scratch,
+                        &mut cursor.rows,
+                    ) {
+                        stats.composite_probes += 1;
+                    }
                     cursor.rel = *rel;
                     cursor.db = *db;
-                    cursor.rows = rows;
                     cursor.pos = 0;
                     cursor.open = true;
                 }
@@ -175,11 +199,12 @@ impl Machine {
                     let (rel, db) = (cursor.rel, cursor.db);
                     self.cursor_mut(*slot)?.pos += 1;
                     let relation = storage.relation(db, rel)?;
-                    let tuple = relation.tuple_at(row).clone();
                     for &(col, reg) in loads {
-                        let value = tuple.get(col).ok_or(VmError::Storage(format!(
-                            "column {col} out of bounds while loading from {rel:?}"
-                        )))?;
+                        let value = relation.row(row).get(col).copied().ok_or_else(|| {
+                            VmError::Storage(format!(
+                                "column {col} out of bounds while loading from {rel:?}"
+                            ))
+                        })?;
                         self.write_reg(reg, value)?;
                     }
                 }
@@ -195,22 +220,29 @@ impl Machine {
                     filters,
                     on_found,
                 } => {
-                    let rows = self.matching_rows(storage, *rel, *db, filters, &mut stats)?;
-                    if !rows.is_empty() {
+                    self.resolve_filters(filters)?;
+                    let relation = storage.relation(*db, *rel)?;
+                    let (found, composite) =
+                        any_matching_row(relation, &self.resolved, &mut self.probe_scratch);
+                    if composite {
+                        stats.composite_probes += 1;
+                    }
+                    if found {
                         pc = on_found.index();
                         continue;
                     }
                 }
                 Instr::Emit { rel, columns } => {
-                    let mut values = Vec::with_capacity(columns.len());
+                    self.emit_row.clear();
                     for source in columns {
-                        values.push(match source {
+                        let value = match source {
                             EmitSource::Const(c) => *c,
                             EmitSource::Reg(r) => self.read_reg(*r)?,
-                        });
+                        };
+                        self.emit_row.push(value);
                     }
                     stats.emitted += 1;
-                    if storage.insert_derived(*rel, Tuple::new(values))? {
+                    if storage.insert_derived_row(*rel, &self.emit_row)? {
                         stats.inserted += 1;
                     }
                 }
@@ -247,54 +279,69 @@ impl Machine {
         Ok(())
     }
 
-    /// Row offsets of the tuples of `(rel, db)` matching every filter.  The
-    /// first filter whose column carries an index narrows the candidate set;
-    /// remaining filters are applied by inspection.
-    fn matching_rows(
-        &self,
-        storage: &StorageManager,
-        rel: carac_storage::RelId,
-        db: DbKind,
-        filters: &[(usize, FilterSource)],
-        stats: &mut VmStats,
-    ) -> Result<Vec<usize>, VmError> {
-        let relation = storage.relation(db, rel)?;
-        // Resolve filter values up front.
-        let mut resolved: Vec<(usize, Value)> = Vec::with_capacity(filters.len());
-        for (col, source) in filters {
+    /// Resolves `(column, source)` filters into the machine's reusable
+    /// `(column, value)` buffer.
+    fn resolve_filters(&mut self, filters: &[(usize, FilterSource)]) -> Result<(), VmError> {
+        self.resolved.clear();
+        for &(col, ref source) in filters {
             let value = match source {
                 FilterSource::Const(c) => *c,
                 FilterSource::Reg(r) => self.read_reg(*r)?,
             };
-            resolved.push((*col, value));
+            self.resolved.push((col, value));
         }
-        // Access-path selection is the storage layer's shared policy
-        // (`Relation::candidate_rows`); the composite branch stays explicit
-        // here only to feed the `composite_probes` counter.
-        let composite = if resolved.len() >= 2 {
-            relation.lookup_rows_composite(&resolved)
-        } else {
-            None
-        };
-        let candidates: Vec<usize> = if let Some(rows) = composite {
-            stats.composite_probes += 1;
-            rows
-        } else {
-            relation.candidate_rows(&resolved)
-        };
-        if resolved.len() <= 1 {
-            return Ok(candidates);
-        }
-        Ok(candidates
-            .into_iter()
-            .filter(|&row| {
-                let tuple = relation.tuple_at(row);
-                resolved
-                    .iter()
-                    .all(|&(col, value)| tuple.get(col) == Some(value))
-            })
-            .collect())
+        Ok(())
     }
+}
+
+/// Fills `out` with the row ids of `relation` matching every resolved
+/// filter, reusing the caller's buffers (no allocation once warm).  Access
+/// paths follow the storage layer's shared policy ([`Relation::probe_rows`]);
+/// candidates the chosen path did not fully cover are confirmed against the
+/// actual row values.  Returns whether a composite index answered the probe
+/// (feeds the `composite_probes` counter).
+fn fill_matching_rows(
+    relation: &Relation,
+    resolved: &[(usize, Value)],
+    probe_scratch: &mut Vec<RowId>,
+    out: &mut Vec<RowId>,
+) -> bool {
+    out.clear();
+    let probe = relation.probe_rows(resolved, probe_scratch);
+    let composite = probe.via_composite();
+    if resolved.len() <= 1 && !composite {
+        // A single-column posting list or filtered scan is already exact.
+        out.extend(probe.iter());
+    } else {
+        for row in probe.iter() {
+            let values = relation.row(row);
+            if resolved
+                .iter()
+                .all(|&(col, value)| values.get(col) == Some(&value))
+            {
+                out.push(row);
+            }
+        }
+    }
+    composite
+}
+
+/// Whether any row of `relation` matches every resolved filter (negation
+/// probe; stops at the first confirmed hit).  Returns `(found, composite)`.
+fn any_matching_row(
+    relation: &Relation,
+    resolved: &[(usize, Value)],
+    probe_scratch: &mut Vec<RowId>,
+) -> (bool, bool) {
+    let probe = relation.probe_rows(resolved, probe_scratch);
+    let composite = probe.via_composite();
+    let found = probe.iter().any(|row| {
+        let values = relation.row(row);
+        resolved
+            .iter()
+            .all(|&(col, value)| values.get(col) == Some(&value))
+    });
+    (found, composite)
 }
 
 #[cfg(test)]
@@ -305,7 +352,7 @@ mod tests {
     use carac_datalog::parser::parse;
     use carac_datalog::Program;
     use carac_ir::{generate_plan, EvalStrategy};
-    use carac_storage::RelId;
+    use carac_storage::{RelId, Tuple};
 
     fn storage_for(program: &Program, indexes: bool) -> StorageManager {
         let mut sm = StorageManager::new(indexes);

@@ -11,7 +11,7 @@
 use carac::knobs::BackendKind;
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::random_digraph;
-use carac_analysis::{cspa, Formulation};
+use carac_analysis::{andersen, cspa, csda, inverse_functions, Formulation};
 use carac_datalog::{parser::parse, Program, ProgramBuilder};
 
 /// Builds the transitive-closure program over a given edge list.
@@ -39,10 +39,11 @@ fn closure_reference(edges: &[(u32, u32)], nodes: u32) -> usize {
     }
     // Floyd–Warshall style closure.
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    reach[i][j] = reach[i][j] || reach[k][j];
+        let row_k = reach[k].clone();
+        for row_i in &mut reach {
+            if row_i[k] {
+                for (slot, &via_k) in row_i.iter_mut().zip(&row_k) {
+                    *slot = *slot || via_k;
                 }
             }
         }
@@ -223,4 +224,70 @@ fn parallel_program_analysis_is_deterministic() {
         )
         .unwrap();
     assert_eq!(parallel_unopt, serial_unopt, "unoptimized formulation diverged");
+}
+
+/// The flat row-pool storage derives byte-identical fact sets across every
+/// execution form on the figure-6/figure-8 workloads: the specialized
+/// (lambda) kernel, the bytecode VM, the unindexed interpreter and the
+/// sharded parallel engines (1/2/8 threads) must all equal the interpreted
+/// reference — same output tuples, same total derived-fact count.
+#[test]
+fn flat_pool_engines_agree_on_figure_workloads() {
+    let workloads = vec![
+        andersen(24, 11),
+        inverse_functions(24, 11),
+        cspa(32, 11),
+        csda(150, 11),
+    ];
+    for workload in &workloads {
+        let reference = workload
+            .run(Formulation::HandOptimized, EngineConfig::interpreted())
+            .unwrap();
+        let out = workload.output_relation;
+        let mut expected = reference.tuples(out).unwrap();
+        expected.sort();
+        assert!(!expected.is_empty(), "{} derived nothing", workload.name);
+
+        let engines = vec![
+            ("specialized (lambda)", EngineConfig::jit(BackendKind::Lambda, false)),
+            ("bytecode vm", EngineConfig::jit(BackendKind::Bytecode, false)),
+            ("interpreted unindexed", EngineConfig::interpreted_unindexed()),
+        ];
+        for (label, config) in engines {
+            let result = workload.run(Formulation::HandOptimized, config).unwrap();
+            let mut tuples = result.tuples(out).unwrap();
+            tuples.sort();
+            assert_eq!(tuples, expected, "{}: {label} diverged", workload.name);
+            assert_eq!(
+                result.total_tuples(),
+                reference.total_tuples(),
+                "{}: {label} diverged in total fact count",
+                workload.name
+            );
+        }
+
+        for threads in [1usize, 2, 8] {
+            for (label, base) in [
+                ("interpreted", EngineConfig::interpreted()),
+                ("specialized (lambda)", EngineConfig::jit(BackendKind::Lambda, false)),
+            ] {
+                let result = workload
+                    .run(Formulation::HandOptimized, base.with_parallelism(threads))
+                    .unwrap();
+                let mut tuples = result.tuples(out).unwrap();
+                tuples.sort();
+                assert_eq!(
+                    tuples, expected,
+                    "{}: {label} with {threads} threads diverged",
+                    workload.name
+                );
+                assert_eq!(
+                    result.total_tuples(),
+                    reference.total_tuples(),
+                    "{}: {label} with {threads} threads diverged in total count",
+                    workload.name
+                );
+            }
+        }
+    }
 }

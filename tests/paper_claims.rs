@@ -56,8 +56,8 @@ fn section4_join_order_example() {
 
     // First iteration: |VaFlowδ| = 541_096, |VaFlow⋆| = 903_752, |MAlias⋆| = 541_096.
     let first = stats_for(
-        RelationStats { derived: 903_752, delta_known: 541_096, delta_new: 0 },
-        RelationStats { derived: 541_096, delta_known: 0, delta_new: 0 },
+        RelationStats { derived: 903_752, delta_known: 541_096, ..Default::default() },
+        RelationStats { derived: 541_096, delta_known: 0, ..Default::default() },
     );
     let order = greedy_order(&query, &first, &OptimizerConfig::default());
     let reordered = query.with_order(&order);
@@ -68,8 +68,8 @@ fn section4_join_order_example() {
 
     // Seventh iteration: |VaFlowδ| = 0, |VaFlow⋆| = 1_362_950, |MAlias⋆| = 79_514_436.
     let seventh = stats_for(
-        RelationStats { derived: 1_362_950, delta_known: 0, delta_new: 0 },
-        RelationStats { derived: 79_514_436, delta_known: 0, delta_new: 0 },
+        RelationStats { derived: 1_362_950, delta_known: 0, ..Default::default() },
+        RelationStats { derived: 79_514_436, delta_known: 0, ..Default::default() },
     );
     let order = greedy_order(&query, &seventh, &OptimizerConfig::default());
     assert_eq!(order[0], 1, "the empty delta atom must come first");

@@ -16,11 +16,13 @@
 //! adaptive JIT.
 
 pub mod generators;
+pub mod graph_stats;
 pub mod micro;
 pub mod program_analysis;
 pub mod rng;
 pub mod workload;
 
+pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};
 pub use program_analysis::{andersen, cspa, csda, inverse_functions};
 pub use workload::{Formulation, Workload};

@@ -8,10 +8,13 @@
 //! magnitude on CSPA — without any input from the user.
 
 use carac_analysis::Formulation;
-use carac_bench::{figure_macro_workloads, parallel_scaling_table, speedup_figure};
+use carac_bench::{
+    figure_macro_workloads, figure_shortest_path, parallel_scaling_table, speedup_figure,
+};
 
 fn main() {
-    let workloads = figure_macro_workloads();
+    let mut workloads = figure_macro_workloads();
+    workloads.push(figure_shortest_path());
     let table = speedup_figure(
         "Figure 6: macrobenchmark speedup over the unoptimized interpreted program",
         &workloads,

@@ -28,13 +28,14 @@ pub const DEFAULT_MICRO_BOUND: u32 = 24;
 /// Seed used by every harness binary (determinism across runs).
 pub const HARNESS_SEED: u64 = 0xCA2AC;
 
-/// Reads the macro scale from `CARAC_BENCH_SCALE`, falling back to the
-/// default.
+/// Reads the macro scale from `CARAC_BENCH_SCALE`, falling back to a small
+/// smoke scale under `CARAC_BENCH_SMOKE=1` and to the default otherwise, so
+/// CI can run the figure binaries end-to-end in seconds.
 pub fn macro_scale() -> u32 {
     std::env::var("CARAC_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_MACRO_SCALE)
+        .unwrap_or(if smoke_mode() { 16 } else { DEFAULT_MACRO_SCALE })
 }
 
 /// Whether the harness runs in smoke mode (`CARAC_BENCH_SMOKE=1`): tiny
@@ -214,14 +215,25 @@ pub fn jit_configs() -> Vec<(String, EngineConfig)> {
     configs
 }
 
-/// The macrobenchmarks of Figures 6 and 8 at harness scale.
+/// The macrobenchmarks of Figures 6 and 8 at harness scale, plus the
+/// degree-distribution workload exercising `count` aggregates and
+/// comparison constraints at the same scale.
 pub fn figure_macro_workloads() -> Vec<Workload> {
     let scale = macro_scale();
     vec![
         carac_analysis::andersen(scale, HARNESS_SEED),
         carac_analysis::inverse_functions(scale, HARNESS_SEED),
         carac_analysis::cspa(DEFAULT_CSPA_SCALE.min(scale), HARNESS_SEED),
+        carac_analysis::degree_distribution(scale * 8, HARNESS_SEED),
     ]
+}
+
+/// The shortest-path workload (min aggregation + `<` constraint) at harness
+/// scale — the aggregate counterpart of the macro suite, also printed with
+/// its own parallel-scaling table by the fig6 binary.
+pub fn figure_shortest_path() -> Workload {
+    let scale = macro_scale();
+    carac_analysis::shortest_path(scale * 4, 24, HARNESS_SEED)
 }
 
 /// CSDA at harness scale (used by Figure 8 and Table II).
@@ -426,9 +438,11 @@ mod tests {
 
     #[test]
     fn harness_workload_suites_are_nonempty() {
-        assert_eq!(figure_macro_workloads().len(), 3);
+        assert_eq!(figure_macro_workloads().len(), 4);
+        assert!(figure_macro_workloads().iter().any(|w| w.name == "DegDist"));
         assert_eq!(figure_micro_workloads().len(), 3);
         assert_eq!(figure_csda().name, "CSDA");
+        assert_eq!(figure_shortest_path().name, "ShortestPath");
     }
 
     #[test]

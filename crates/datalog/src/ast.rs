@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use carac_storage::{RelId, Value};
+use carac_storage::{AggFunc, CmpOp, RelId, Value};
 
 /// A rule identifier, dense per program in definition order.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -136,6 +136,59 @@ impl Literal {
     }
 }
 
+/// A comparison constraint in a rule body: `lhs op rhs` where each operand
+/// is a variable or a constant (`x < y`, `d <= 10`, `a != b`, ...).
+///
+/// Constraints are filters, not generators: every variable they mention must
+/// be bound by a positive body literal (enforced by validation), and the
+/// engines evaluate them at the earliest join level that binds both
+/// operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraint {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Term,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Constraint {
+    /// The variables mentioned by the constraint (0, 1 or 2).
+    pub fn variables(&self) -> impl Iterator<Item = VarId> {
+        [self.lhs, self.rhs].into_iter().filter_map(Term::as_var)
+    }
+
+    /// Evaluates the constraint when both operands are constants.  Returns
+    /// `None` when a variable is involved.
+    pub fn eval_const(&self) -> Option<bool> {
+        match (self.lhs, self.rhs) {
+            (Term::Const(a), Term::Const(b)) => Some(self.op.eval(a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// A stratified aggregation attached to a program: the rows of `input`
+/// (fully computed in a lower stratum) are grouped by every column *not*
+/// listed in `aggs`, the listed columns are folded with their aggregation
+/// functions, and one row per group is inserted into `output`.
+///
+/// The frontend materializes one spec per aggregate rule: writing
+/// `Dist(y, min d) :- Body` declares a hidden input relation holding the raw
+/// `(y, d)` projections of `Body` and records the `(column 1, Min)` spec
+/// against `Dist`.  Aggregation crosses strata exactly like negation, so
+/// recursion through an aggregate is rejected during stratification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSpec {
+    /// Relation receiving the aggregated rows.
+    pub output: RelId,
+    /// Hidden relation holding the raw (pre-aggregation) rows.
+    pub input: RelId,
+    /// `(column, function)` pairs; every other column is a group key.
+    pub aggs: Vec<(usize, AggFunc)>,
+}
+
 /// A Datalog rule `head :- body`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
@@ -146,6 +199,8 @@ pub struct Rule {
     /// Body literals.  The order is semantically irrelevant but is the
     /// "input order" the join-order optimizer starts from.
     pub body: Vec<Literal>,
+    /// Comparison constraints between body-bound variables and constants.
+    pub constraints: Vec<Constraint>,
     /// Variable names in [`VarId`] order, kept for diagnostics.
     pub var_names: Vec<String>,
 }
@@ -186,6 +241,7 @@ impl Rule {
             id: self.id,
             head: self.head.clone(),
             body,
+            constraints: self.constraints.clone(),
             var_names: self.var_names.clone(),
         }
     }
@@ -237,6 +293,7 @@ mod tests {
                 Literal::negative(atom(3, vec![Term::Var(VarId(0))])),
                 Literal::positive(atom(2, vec![Term::Var(VarId(0))])),
             ],
+            constraints: vec![],
             var_names: vec!["x".into()],
         };
         let reordered = rule.with_positive_order(&[1, 0]);
@@ -255,6 +312,7 @@ mod tests {
                 Literal::positive(atom(1, vec![Term::Var(VarId(0))])),
                 Literal::positive(atom(2, vec![Term::Var(VarId(0))])),
             ],
+            constraints: vec![],
             var_names: vec!["x".into()],
         };
         let _ = rule.with_positive_order(&[0]);

@@ -55,6 +55,41 @@ pub enum DatalogError {
     },
     /// A fact contained a variable.
     NonGroundFact(String),
+    /// An integer constant does not fit the engine's plain-integer value
+    /// range (`0 ..= 2^31 - 1`; larger values collide with interned
+    /// symbols).
+    IntegerOutOfRange {
+        /// The offending literal.
+        value: u32,
+    },
+    /// A variable of a comparison constraint does not occur in any positive
+    /// body literal of the same rule.
+    UnsafeConstraintVariable {
+        /// Rule containing the violation.
+        rule: String,
+        /// Offending variable name.
+        variable: String,
+    },
+    /// An aggregate term (`min d`, `count y`, ...) appeared outside a rule
+    /// head.
+    AggregateMisplaced {
+        /// Relation whose atom or fact carried the aggregate term.
+        relation: String,
+    },
+    /// A relation with an aggregate rule also has other rules or facts, or
+    /// has more than one aggregate rule.  Aggregated relations must be
+    /// defined by exactly one aggregate rule.
+    AggregateConflict {
+        /// The over-defined relation.
+        relation: String,
+    },
+    /// Recursion through an aggregate: the aggregated relation participates
+    /// in the recursive computation of its own input, which (like negation
+    /// through recursion) has no least fixpoint.
+    AggregateThroughRecursion {
+        /// The aggregated relation.
+        output: String,
+    },
     /// Parse error with a line/column position.
     Parse {
         /// 1-based line.
@@ -100,6 +135,27 @@ impl fmt::Display for DatalogError {
             DatalogError::NonGroundFact(rel) => {
                 write!(f, "fact for `{rel}` contains a variable; facts must be ground")
             }
+            DatalogError::IntegerOutOfRange { value } => write!(
+                f,
+                "integer constant {value} exceeds the plain-integer range (max {})",
+                u32::MAX / 2
+            ),
+            DatalogError::UnsafeConstraintVariable { rule, variable } => write!(
+                f,
+                "variable `{variable}` of a comparison constraint in rule `{rule}` does not occur in a positive body literal"
+            ),
+            DatalogError::AggregateMisplaced { relation } => write!(
+                f,
+                "aggregate term for `{relation}` outside a rule head; `count`/`sum`/`min`/`max` are only allowed in head positions"
+            ),
+            DatalogError::AggregateConflict { relation } => write!(
+                f,
+                "relation `{relation}` must be defined by exactly one aggregate rule and nothing else"
+            ),
+            DatalogError::AggregateThroughRecursion { output } => write!(
+                f,
+                "program is not stratifiable: aggregated relation `{output}` depends recursively on its own aggregate"
+            ),
             DatalogError::Parse {
                 line,
                 column,

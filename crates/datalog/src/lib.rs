@@ -32,8 +32,10 @@ pub mod program;
 pub mod rewrite;
 pub mod validate;
 
-pub use ast::{Atom, Literal, RelationDecl, Rule, RuleId, Term, VarId};
+pub use ast::{AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, Term, VarId};
 pub use builder::{ProgramBuilder, TermSpec};
+pub use carac_storage::hasher;
+pub use carac_storage::{AggFunc, CmpOp};
 pub use error::DatalogError;
 pub use metadata::{AtomMeta, ColumnConstraint, HeadBinding, RuleMeta};
 pub use precedence::{Stratification, Stratum};

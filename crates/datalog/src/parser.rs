@@ -17,11 +17,20 @@
 //!
 //! * clauses end with `.`,
 //! * a clause without `:-` whose terms are all constants is a fact,
-//! * numbers are integer constants, double-quoted strings are string
-//!   constants, bare identifiers in term position are variables,
+//! * numbers are integer constants (at most `2^31 - 1`), double-quoted
+//!   strings are string constants, bare identifiers in term position are
+//!   variables,
 //! * `!` negates a body literal,
+//! * body positions may hold comparison constraints between terms:
+//!   `Near(y) :- Dist(y, d), d < 10.` (operators `<`, `<=`, `>`, `>=`,
+//!   `=`, `!=`),
+//! * head positions may hold aggregate terms `count v`, `sum v`, `min v`,
+//!   `max v`: `Deg(x, count y) :- Edge(x, y).` groups by the plain head
+//!   columns and aggregates the marked ones (stratified, like negation),
 //! * `%`, `#` and `//` start line comments,
 //! * relations are declared implicitly by use; arities must be consistent.
+
+use carac_storage::{AggFunc, CmpOp, Value};
 
 use crate::builder::{ProgramBuilder, TermSpec};
 use crate::error::DatalogError;
@@ -43,6 +52,7 @@ enum Token {
     Dot,
     Bang,
     Turnstile, // :-
+    Cmp(CmpOp),
 }
 
 struct Lexer<'a> {
@@ -140,7 +150,37 @@ impl<'a> Lexer<'a> {
             }
             '!' => {
                 self.bump();
-                Token::Bang
+                match self.chars.peek() {
+                    Some('=') => {
+                        self.bump();
+                        Token::Cmp(CmpOp::Ne)
+                    }
+                    _ => Token::Bang,
+                }
+            }
+            '<' => {
+                self.bump();
+                match self.chars.peek() {
+                    Some('=') => {
+                        self.bump();
+                        Token::Cmp(CmpOp::Le)
+                    }
+                    _ => Token::Cmp(CmpOp::Lt),
+                }
+            }
+            '>' => {
+                self.bump();
+                match self.chars.peek() {
+                    Some('=') => {
+                        self.bump();
+                        Token::Cmp(CmpOp::Ge)
+                    }
+                    _ => Token::Cmp(CmpOp::Gt),
+                }
+            }
+            '=' => {
+                self.bump();
+                Token::Cmp(CmpOp::Eq)
             }
             ':' => {
                 self.bump();
@@ -165,12 +205,18 @@ impl<'a> Lexer<'a> {
                 Token::Str(text)
             }
             c if c.is_ascii_digit() => {
+                // Plain integers share the 32-bit value space with interned
+                // symbols, so literals must stay below `Value::SYMBOL_BASE`
+                // (2^31); larger literals would corrupt into symbol ids.
                 let mut n: u64 = 0;
                 while let Some(&d) = self.chars.peek() {
                     if let Some(digit) = d.to_digit(10) {
                         n = n * 10 + digit as u64;
-                        if n > u32::MAX as u64 {
-                            return Err(self.error("integer literal too large"));
+                        if n >= Value::SYMBOL_BASE as u64 {
+                            return Err(self.error(format!(
+                                "integer literal out of range (max {})",
+                                Value::SYMBOL_BASE - 1
+                            )));
                         }
                         self.bump();
                     } else {
@@ -207,6 +253,20 @@ struct ParsedAtom {
     rel: String,
     terms: Vec<TermSpec>,
     negated: bool,
+}
+
+/// A parsed comparison constraint in a rule body.
+struct ParsedConstraint {
+    lhs: TermSpec,
+    op: CmpOp,
+    rhs: TermSpec,
+}
+
+/// A parsed clause: head, body atoms, body constraints.
+struct ParsedClause {
+    head: ParsedAtom,
+    body: Vec<ParsedAtom>,
+    constraints: Vec<ParsedConstraint>,
 }
 
 impl Parser {
@@ -281,7 +341,7 @@ impl Parser {
         let mut builder = ProgramBuilder::new();
         // Relations are declared implicitly; remember first-seen arities and
         // declare them all before building.
-        let mut clauses: Vec<(ParsedAtom, Vec<ParsedAtom>)> = Vec::new();
+        let mut clauses: Vec<ParsedClause> = Vec::new();
         while self.peek().is_some() {
             let clause = self.parse_clause()?;
             clauses.push(clause);
@@ -296,9 +356,9 @@ impl Parser {
                     declared.push((atom.rel.clone(), atom.terms.len()));
                 }
             };
-            for (head, body) in &clauses {
-                declare(head);
-                for atom in body {
+            for clause in &clauses {
+                declare(&clause.head);
+                for atom in &clause.body {
                     declare(atom);
                 }
             }
@@ -307,12 +367,18 @@ impl Parser {
             builder.relation(name, *arity);
         }
 
-        for (head, body) in clauses {
+        for clause in clauses {
+            let ParsedClause {
+                head,
+                body,
+                constraints,
+            } = clause;
             let is_fact = body.is_empty()
+                && constraints.is_empty()
                 && head
                     .terms
                     .iter()
-                    .all(|t| !matches!(t, TermSpec::Var(_)));
+                    .all(|t| !matches!(t, TermSpec::Var(_) | TermSpec::Agg(..)));
             if is_fact {
                 builder.fact(&head.rel, &head.terms);
             } else {
@@ -324,15 +390,24 @@ impl Parser {
                         rb.when(&atom.rel, &atom.terms)
                     };
                 }
+                for c in constraints {
+                    rb = rb.constrain(c.lhs, c.op, c.rhs);
+                }
                 rb.end();
             }
         }
         builder.build()
     }
 
-    fn parse_clause(&mut self) -> Result<(ParsedAtom, Vec<ParsedAtom>), DatalogError> {
-        let head = self.parse_atom(false)?;
+    /// Peeks `offset` tokens ahead without consuming.
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|(t, _, _)| t)
+    }
+
+    fn parse_clause(&mut self) -> Result<ParsedClause, DatalogError> {
+        let head = self.parse_atom(false, true)?;
         let mut body = Vec::new();
+        let mut constraints = Vec::new();
         match self.peek() {
             Some(Token::Dot) => {
                 self.bump();
@@ -346,8 +421,15 @@ impl Parser {
                     } else {
                         false
                     };
-                    let atom = self.parse_atom(negated)?;
-                    body.push(atom);
+                    // `Ident (` starts an atom; anything else in a (positive)
+                    // body position must be a comparison constraint.
+                    let is_atom = matches!(self.peek(), Some(Token::Ident(_)))
+                        && matches!(self.peek_at(1), Some(Token::LParen));
+                    if negated || is_atom {
+                        body.push(self.parse_atom(negated, false)?);
+                    } else {
+                        constraints.push(self.parse_constraint()?);
+                    }
                     match self.bump() {
                         Some(Token::Comma) => continue,
                         Some(Token::Dot) => break,
@@ -365,10 +447,41 @@ impl Parser {
                 )))
             }
         }
-        Ok((head, body))
+        Ok(ParsedClause {
+            head,
+            body,
+            constraints,
+        })
     }
 
-    fn parse_atom(&mut self, negated: bool) -> Result<ParsedAtom, DatalogError> {
+    /// Parses one operand of a comparison constraint.
+    fn parse_cmp_operand(&mut self) -> Result<TermSpec, DatalogError> {
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(TermSpec::Var(name)),
+            Some(Token::Int(n)) => Ok(TermSpec::Int(n)),
+            Some(Token::Str(text)) => Ok(TermSpec::Str(text)),
+            other => Err(self.error_at(format!(
+                "expected a constraint operand (variable or constant), found {other:?}"
+            ))),
+        }
+    }
+
+    /// Parses a comparison constraint `term op term`.
+    fn parse_constraint(&mut self) -> Result<ParsedConstraint, DatalogError> {
+        let lhs = self.parse_cmp_operand()?;
+        let op = match self.bump() {
+            Some(Token::Cmp(op)) => op,
+            other => {
+                return Err(self.error_at(format!(
+                    "expected a comparison operator (`<`, `<=`, `>`, `>=`, `=`, `!=`), found {other:?}"
+                )))
+            }
+        };
+        let rhs = self.parse_cmp_operand()?;
+        Ok(ParsedConstraint { lhs, op, rhs })
+    }
+
+    fn parse_atom(&mut self, negated: bool, is_head: bool) -> Result<ParsedAtom, DatalogError> {
         let rel = match self.bump() {
             Some(Token::Ident(name)) => name,
             other => return Err(self.error_at(format!("expected relation name, found {other:?}"))),
@@ -377,7 +490,21 @@ impl Parser {
         let mut terms = Vec::new();
         loop {
             match self.bump() {
-                Some(Token::Ident(name)) => terms.push(TermSpec::Var(name)),
+                Some(Token::Ident(name)) => {
+                    // In head positions, `count v` / `sum v` / `min v` /
+                    // `max v` is an aggregate term; a bare agg keyword stays
+                    // an ordinary variable.
+                    let agg = if is_head { AggFunc::from_name(&name) } else { None };
+                    match (agg, self.peek()) {
+                        (Some(func), Some(Token::Ident(_))) => {
+                            let Some(Token::Ident(var)) = self.bump() else {
+                                unreachable!("peeked an identifier");
+                            };
+                            terms.push(TermSpec::Agg(func, var));
+                        }
+                        _ => terms.push(TermSpec::Var(name)),
+                    }
+                }
                 Some(Token::Int(n)) => terms.push(TermSpec::Int(n)),
                 Some(Token::Str(text)) => terms.push(TermSpec::Str(text)),
                 other => return Err(self.error_at(format!("expected term, found {other:?}"))),
@@ -483,5 +610,100 @@ mod tests {
         let program = parse("Path(x, y) :- Edge(x, z), Path(z, y).").unwrap();
         let shown = program.display_rule(&program.rules()[0]);
         assert_eq!(shown, "Path(x, y) :- Edge(x, z), Path(z, y).");
+    }
+
+    #[test]
+    fn out_of_range_integer_literal_is_a_parse_error_not_a_panic() {
+        // Regression: 3_000_000_000 fits u32 but collides with the interned
+        // symbol range; this used to abort via `Value::int`'s assert.
+        let err = parse("Edge(3000000000, 1).").unwrap_err();
+        assert!(matches!(err, DatalogError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("out of range"));
+        // The maximum plain integer still parses.
+        let program = parse("Edge(2147483647, 1).").unwrap();
+        assert_eq!(program.facts().len(), 1);
+        // One past it does not.
+        assert!(matches!(
+            parse("Edge(2147483648, 1)."),
+            Err(DatalogError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_comparison_constraints() {
+        let program = parse(
+            "Near(y, d) :- Dist(y, d), d < 10, y != 3.\n\
+             Dist(1, 5). Dist(2, 12). Dist(3, 4).",
+        )
+        .unwrap();
+        let rule = &program.rules()[0];
+        assert_eq!(rule.constraints.len(), 2);
+        assert_eq!(rule.constraints[0].op, CmpOp::Lt);
+        assert_eq!(rule.constraints[1].op, CmpOp::Ne);
+        let shown = program.display_rule(rule);
+        assert_eq!(shown, "Near(y, d) :- Dist(y, d), d < 10, y != 3.");
+    }
+
+    #[test]
+    fn parses_all_comparison_operators() {
+        let program = parse(
+            "Out(x, y) :- R(x, y), x < y, x <= y, y > x, y >= x, x = x, x != y.",
+        )
+        .unwrap();
+        let ops: Vec<CmpOp> = program.rules()[0]
+            .constraints
+            .iter()
+            .map(|c| c.op)
+            .collect();
+        assert_eq!(
+            ops,
+            vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+        );
+    }
+
+    #[test]
+    fn unbound_constraint_variable_is_rejected() {
+        let err = parse("Out(x) :- R(x), x < w.").unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeConstraintVariable { .. }));
+    }
+
+    #[test]
+    fn parses_aggregate_heads() {
+        let program = parse(
+            "Deg(x, count y) :- Edge(x, y).\n\
+             Edge(1, 2). Edge(1, 3). Edge(2, 3).",
+        )
+        .unwrap();
+        assert_eq!(program.aggregates().len(), 1);
+        let spec = &program.aggregates()[0];
+        assert_eq!(spec.aggs, vec![(1, AggFunc::Count)]);
+        let deg = program.relation_by_name("Deg").unwrap();
+        assert_eq!(spec.output, deg);
+        assert!(!program.relation(deg).is_edb);
+        // The hidden input relation carries the rewritten rule.
+        let input = program.relation(spec.input);
+        assert!(input.name.contains("__agg_input"));
+        assert_eq!(program.rules_for(spec.input).count(), 1);
+        // Aggregation crosses strata: input stratum before output stratum.
+        assert!(program.stratification().len() >= 2);
+    }
+
+    #[test]
+    fn aggregate_keywords_remain_ordinary_variables_elsewhere() {
+        // `min` in body position (and alone in a head without a following
+        // identifier) is a plain variable name.
+        let program = parse("Out(min) :- R(min).").unwrap();
+        assert!(program.aggregates().is_empty());
+        assert_eq!(program.rules()[0].var_names, vec!["min".to_string()]);
+    }
+
+    #[test]
+    fn recursion_through_aggregate_is_rejected() {
+        let err = parse(
+            "Dist(y, min d) :- Dist(x, d), Edge(x, y).\n\
+             Edge(1, 2).",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatalogError::AggregateThroughRecursion { .. }));
     }
 }

@@ -16,7 +16,7 @@
 use carac_storage::hasher::FxHashSet;
 use carac_storage::RelId;
 
-use crate::ast::{RelationDecl, Rule, RuleId};
+use crate::ast::{AggregateSpec, RelationDecl, Rule, RuleId};
 use crate::error::DatalogError;
 
 /// One stratum: a set of relations evaluated in a single semi-naive fixpoint
@@ -55,8 +55,15 @@ impl Stratification {
         self.strata.is_empty()
     }
 
-    /// Computes the stratification of `rules` over `decls`.
-    pub fn compute(decls: &[RelationDecl], rules: &[Rule]) -> Result<Self, DatalogError> {
+    /// Computes the stratification of `rules` (and `aggregates`) over
+    /// `decls`.  An aggregation contributes a dependency edge from its
+    /// output to its input that — like negation — must cross strata: the
+    /// input has to be fully computed before the aggregate is finalized.
+    pub fn compute(
+        decls: &[RelationDecl],
+        rules: &[Rule],
+        aggregates: &[AggregateSpec],
+    ) -> Result<Self, DatalogError> {
         let n = decls.len();
 
         // adjacency: dependencies[a] = set of relations a's rules read.
@@ -71,6 +78,9 @@ impl Stratification {
                     negative_deps[head].insert(body_rel);
                 }
             }
+        }
+        for spec in aggregates {
+            deps[spec.output.index()].insert(spec.input.index());
         }
 
         let sccs = tarjan_sccs(n, &deps);
@@ -94,6 +104,15 @@ impl Stratification {
                         negated: decls[body_rel].name.clone(),
                     });
                 }
+            }
+        }
+        // Reject aggregation inside an SCC: like negation, the aggregate's
+        // input must be fully computed before the output is finalized.
+        for spec in aggregates {
+            if scc_of[spec.output.index()] == scc_of[spec.input.index()] {
+                return Err(DatalogError::AggregateThroughRecursion {
+                    output: decls[spec.output.index()].name.clone(),
+                });
             }
         }
 

@@ -2,12 +2,13 @@
 
 use carac_storage::{RelId, SymbolTable, Tuple};
 
-use crate::ast::{RelationDecl, Rule, RuleId};
+use crate::ast::{AggregateSpec, RelationDecl, Rule, RuleId};
 use crate::error::DatalogError;
 use crate::precedence::Stratification;
 
 /// A complete, validated Datalog program: relation declarations, rules,
-/// ground facts, interned symbols, and its stratification.
+/// ground facts, stratified aggregations, interned symbols, and its
+/// stratification.
 ///
 /// `Program` is immutable once built; the engine owns its own mutable
 /// storage and treats the program purely as a query description.
@@ -16,6 +17,7 @@ pub struct Program {
     relations: Vec<RelationDecl>,
     rules: Vec<Rule>,
     facts: Vec<(RelId, Tuple)>,
+    aggregates: Vec<AggregateSpec>,
     symbols: SymbolTable,
     stratification: Stratification,
 }
@@ -28,6 +30,7 @@ impl Program {
         relations: Vec<RelationDecl>,
         rules: Vec<Rule>,
         facts: Vec<(RelId, Tuple)>,
+        aggregates: Vec<AggregateSpec>,
         symbols: SymbolTable,
         stratification: Stratification,
     ) -> Self {
@@ -35,6 +38,7 @@ impl Program {
             relations,
             rules,
             facts,
+            aggregates,
             symbols,
             stratification,
         }
@@ -78,6 +82,16 @@ impl Program {
     /// the engine at runtime; these are the statically known ones).
     pub fn facts(&self) -> &[(RelId, Tuple)] {
         &self.facts
+    }
+
+    /// The stratified aggregations of the program, one per aggregate rule.
+    pub fn aggregates(&self) -> &[AggregateSpec] {
+        &self.aggregates
+    }
+
+    /// The aggregation producing `rel`, if `rel` is an aggregated relation.
+    pub fn aggregate_for(&self, rel: RelId) -> Option<&AggregateSpec> {
+        self.aggregates.iter().find(|a| a.output == rel)
     }
 
     /// The symbol table used to intern string constants.
@@ -128,6 +142,7 @@ impl Program {
             relations: self.relations.clone(),
             rules,
             facts: self.facts.clone(),
+            aggregates: self.aggregates.clone(),
             symbols: self.symbols.clone(),
             stratification: self.stratification.clone(),
         }
@@ -151,7 +166,15 @@ impl Program {
                 .collect();
             format!("{}({})", self.relation(a.rel).name, terms.join(", "))
         };
-        let body: Vec<String> = rule
+        let term = |t: &crate::ast::Term| match t {
+            crate::ast::Term::Var(v) => rule
+                .var_names
+                .get(v.index())
+                .cloned()
+                .unwrap_or_else(|| format!("{v:?}")),
+            crate::ast::Term::Const(c) => self.symbols.display(*c),
+        };
+        let mut body: Vec<String> = rule
             .body
             .iter()
             .map(|l| {
@@ -162,11 +185,32 @@ impl Program {
                 }
             })
             .collect();
+        body.extend(rule.constraints.iter().map(|c| {
+            format!("{} {} {}", term(&c.lhs), c.op.symbol(), term(&c.rhs))
+        }));
         if body.is_empty() {
             format!("{}.", atom(&rule.head))
         } else {
             format!("{} :- {}.", atom(&rule.head), body.join(", "))
         }
+    }
+
+    /// Human-readable rendering of a stratified aggregation, e.g.
+    /// `Dist(_, min _) <- Dist__agg_input`.
+    pub fn display_aggregate(&self, spec: &AggregateSpec) -> String {
+        let arity = self.relation(spec.output).arity;
+        let cols: Vec<String> = (0..arity)
+            .map(|c| match spec.aggs.iter().find(|(col, _)| *col == c) {
+                Some((_, func)) => format!("{} _", func.name()),
+                None => "_".to_string(),
+            })
+            .collect();
+        format!(
+            "{}({}) <- {}",
+            self.relation(spec.output).name,
+            cols.join(", "),
+            self.relation(spec.input).name
+        )
     }
 }
 

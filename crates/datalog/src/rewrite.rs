@@ -51,6 +51,10 @@ fn alias_target(rule: &Rule) -> Option<RelId> {
 /// is a pure identity copy of another relation.  Returns a map from alias
 /// relation to its target.
 ///
+/// Relations participating in an aggregation (either side) are never
+/// treated as aliases: the aggregation reads the input relation's contents
+/// directly, so eliminating its defining rule would change results.
+///
 /// Chains (`A :- B`, `B :- C`) are resolved transitively; cycles are left
 /// untouched (they are genuine recursive definitions, not aliases).
 pub fn find_aliases(program: &Program) -> FxHashMap<RelId, RelId> {
@@ -59,10 +63,18 @@ pub fn find_aliases(program: &Program) -> FxHashMap<RelId, RelId> {
     for rule in program.rules() {
         *rule_count.entry(rule.head.rel).or_insert(0) += 1;
     }
+    let aggregate_pinned: FxHashSet<RelId> = program
+        .aggregates()
+        .iter()
+        .flat_map(|a| [a.input, a.output])
+        .collect();
 
     let mut direct: FxHashMap<RelId, RelId> = FxHashMap::default();
     for rule in program.rules() {
         if rule_count.get(&rule.head.rel) != Some(&1) {
+            continue;
+        }
+        if aggregate_pinned.contains(&rule.head.rel) {
             continue;
         }
         if let Some(target) = alias_target(rule) {
@@ -102,8 +114,13 @@ pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>
         return (program.clone(), aliases);
     }
 
-    // Rebuild via the builder to re-run validation and stratification.
+    // Rebuild via the builder to re-run validation and stratification.  The
+    // original symbol table seeds the new builder and constants round-trip
+    // as raw [`TermSpec::Value`]s, so every rebuilt rule and fact is
+    // bit-identical to its source — constants that are neither resolvable
+    // symbols nor plain integers are preserved rather than corrupted.
     let mut builder = crate::builder::ProgramBuilder::new();
+    builder.with_symbols(program.symbols().clone());
     for decl in program.relations() {
         builder.relation(&decl.name, decl.arity);
     }
@@ -115,10 +132,7 @@ pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>
         let head_name = &program.relation(rule.head.rel).name;
         let to_spec = |term: &Term, rule: &Rule| match term {
             Term::Var(v) => crate::builder::TermSpec::Var(rule.var_names[v.index()].clone()),
-            Term::Const(c) => match program.symbols().resolve(*c) {
-                Some(text) => crate::builder::TermSpec::Str(text.to_string()),
-                None => crate::builder::TermSpec::Int(c.as_int().unwrap_or(0)),
-            },
+            Term::Const(c) => crate::builder::TermSpec::Value(*c),
         };
         let head_terms: Vec<_> = rule.head.terms.iter().map(|t| to_spec(t, rule)).collect();
         let mut rb = builder.rule(head_name, &head_terms);
@@ -135,6 +149,13 @@ pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>
                 rb.when(rel_name, &terms)
             };
         }
+        for constraint in &rule.constraints {
+            rb = rb.constrain(
+                to_spec(&constraint.lhs, rule),
+                constraint.op,
+                to_spec(&constraint.rhs, rule),
+            );
+        }
         rb.end();
     }
     for (rel, tuple) in program.facts() {
@@ -142,12 +163,16 @@ pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>
         let specs: Vec<_> = tuple
             .values()
             .iter()
-            .map(|v| match program.symbols().resolve(*v) {
-                Some(text) => crate::builder::TermSpec::Str(text.to_string()),
-                None => crate::builder::TermSpec::Int(v.as_int().unwrap_or(0)),
-            })
+            .map(|v| crate::builder::TermSpec::Value(*v))
             .collect();
         builder.fact(name, &specs);
+    }
+    for spec in program.aggregates() {
+        builder.aggregate(
+            &program.relation(spec.output).name,
+            &program.relation(spec.input).name,
+            &spec.aggs,
+        );
     }
 
     let rewritten = builder
@@ -277,6 +302,99 @@ mod tests {
         let b_rel = p.relation_by_name("B").unwrap();
         assert_eq!(aliases.get(&a), Some(&edge));
         assert_eq!(aliases.get(&b_rel), Some(&edge));
+    }
+
+    #[test]
+    fn eliminate_aliases_preserves_constants_bitwise() {
+        // Regression: constants used to round-trip through
+        // `TermSpec::Int(c.as_int().unwrap_or(0))` / re-interning, silently
+        // corrupting any constant the round-trip could not represent and
+        // re-numbering symbols.  Rules, facts and the symbol table must now
+        // be bit-identical after alias elimination.
+        let mut b = ProgramBuilder::new();
+        // Intern extra symbols first so fact symbols get non-dense ids that
+        // naive re-interning would renumber.
+        b.intern("padding-a");
+        b.intern("padding-b");
+        b.relation("Edge", 2);
+        b.relation("Link", 2); // pure alias of Edge
+        b.relation("Tag", 2);
+        b.relation("Path", 2);
+        b.rule("Link", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"]).when("Link", &["x", "y"]).end();
+        b.rule("Path", &[crate::builder::v("x"), crate::builder::s("marker")])
+            .when("Link", &[crate::builder::v("x"), crate::builder::c(7)])
+            .end();
+        b.fact("Tag", &[crate::builder::s("serialize"), crate::builder::c(3)]);
+        b.fact("Edge", &[crate::builder::c(7), crate::builder::c(7)]);
+        let p = b.build().unwrap();
+
+        let (rewritten, aliases) = eliminate_aliases(&p);
+        assert_eq!(aliases.len(), 1);
+        // Facts are bit-identical.
+        assert_eq!(rewritten.facts(), p.facts());
+        // Constants inside rules are bit-identical (modulo the dropped alias
+        // rule and the Link -> Edge substitution).
+        let marker = p.symbols().lookup("marker").unwrap();
+        let rewritten_marker = rewritten.symbols().lookup("marker").unwrap();
+        assert_eq!(marker, rewritten_marker);
+        let has_marker_const = rewritten.rules().iter().any(|r| {
+            r.head.terms.contains(&Term::Const(marker))
+        });
+        assert!(has_marker_const);
+        let seven = carac_storage::Value::int(7);
+        assert!(rewritten
+            .rules()
+            .iter()
+            .any(|r| r.body.iter().any(|l| l.atom.terms.contains(&Term::Const(seven)))));
+    }
+
+    #[test]
+    fn eliminate_aliases_keeps_constraints_and_aggregates() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Link", 2);
+        b.relation("Deg", 2);
+        b.relation("Big", 1);
+        b.rule("Link", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Deg", &[crate::builder::v("x"), crate::builder::count_of("y")])
+            .when("Link", &["x", "y"])
+            .end();
+        b.rule("Big", &["x"])
+            .when("Deg", &["x", "c"])
+            .gt(crate::builder::v("c"), crate::builder::c(1))
+            .end();
+        let p = b.build().unwrap();
+        let (rewritten, aliases) = eliminate_aliases(&p);
+        assert_eq!(aliases.len(), 1);
+        assert_eq!(rewritten.aggregates().len(), 1);
+        // The constraint survives the round-trip.
+        let big = rewritten.relation_by_name("Big").unwrap();
+        let big_rule = rewritten.rules_for(big).next().unwrap();
+        assert_eq!(big_rule.constraints.len(), 1);
+        // The aggregate input rule now reads Edge directly.
+        let spec = &rewritten.aggregates()[0];
+        let edge = rewritten.relation_by_name("Edge").unwrap();
+        let input_rule = rewritten.rules_for(spec.input).next().unwrap();
+        assert_eq!(input_rule.body[0].atom.rel, edge);
+    }
+
+    #[test]
+    fn aggregate_input_copy_rule_is_not_an_alias() {
+        // `Deg__agg_input(x, y) :- Edge(x, y).` is shaped like a pure alias,
+        // but eliminating it would leave the aggregation with an empty
+        // input.
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Deg", 2);
+        b.rule("Deg", &[crate::builder::v("x"), crate::builder::count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
+        let p = b.build().unwrap();
+        assert!(find_aliases(&p).is_empty());
+        let (rewritten, _) = eliminate_aliases(&p);
+        assert_eq!(rewritten.aggregates().len(), 1);
+        assert_eq!(rewritten.rules().len(), 1);
     }
 
     #[test]

@@ -103,6 +103,18 @@ fn check_safety(
                 }
             }
         }
+        // Comparison-constraint variables must be bound: constraints filter,
+        // they never generate bindings.
+        for constraint in &rule.constraints {
+            for var in constraint.variables() {
+                if !bound[var.index()] {
+                    return Err(DatalogError::UnsafeConstraintVariable {
+                        rule: describe_rule(decls, rule),
+                        variable: rule.var_names[var.index()].clone(),
+                    });
+                }
+            }
+        }
     }
     Ok(())
 }

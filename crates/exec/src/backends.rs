@@ -236,6 +236,12 @@ pub fn compile_closure(node: &IRNode) -> ClosureFn {
                 Ok(())
             })
         }
+        IROp::Aggregate { spec } => {
+            let spec = spec.clone();
+            Box::new(move |ctx| {
+                crate::kernel::execute_aggregate(&spec, &mut ctx.storage, &mut ctx.stats)
+            })
+        }
     }
 }
 

@@ -10,7 +10,7 @@ use carac_ir::{IRNode, IROp};
 
 use crate::context::ExecContext;
 use crate::error::ExecError;
-use crate::kernel::execute_interpreted_with;
+use crate::kernel::{execute_aggregate, execute_interpreted_with};
 
 /// Executes `node` (and its whole subtree) against `ctx`.
 pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
@@ -44,6 +44,7 @@ pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> 
             execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
             Ok(())
         }
+        IROp::Aggregate { spec } => execute_aggregate(spec, &mut ctx.storage, &mut ctx.stats),
     }
 }
 

@@ -159,6 +159,9 @@ impl JitEngine {
                 execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 Ok(())
             }
+            IROp::Aggregate { spec } => {
+                crate::kernel::execute_aggregate(spec, &mut ctx.storage, &mut ctx.stats)
+            }
         }
     }
 
@@ -303,6 +306,9 @@ impl JitEngine {
             IROp::SwapClear { relations } => {
                 ctx.storage.swap_and_clear(relations)?;
                 Ok(())
+            }
+            IROp::Aggregate { spec } => {
+                crate::kernel::execute_aggregate(spec, &mut ctx.storage, &mut ctx.stats)
             }
             IROp::DoWhile { relations, body } => {
                 loop {

@@ -28,10 +28,10 @@
 //! no other per-row heap allocation) is constructed anywhere on the fixpoint
 //! hot path.
 
-use carac_datalog::{HeadBinding, Term, VarId};
+use carac_datalog::{AggregateSpec, HeadBinding, Term, VarId};
 use carac_ir::ConjunctiveQuery;
 use carac_storage::hasher::FxHashMap;
-use carac_storage::{DbKind, RelId, Relation, RowId, StorageManager, Value};
+use carac_storage::{CmpOp, DbKind, RelId, Relation, RowId, StorageManager, Value};
 
 use crate::error::ExecError;
 use crate::parallel::{chunk_rows, parallel_map};
@@ -74,6 +74,10 @@ struct SpecializedAtom {
     /// `(column, column)` intra-atom equality requirements (repeated
     /// variables within the atom).
     intra_eq: Vec<(usize, usize)>,
+    /// Comparison constraints that become fully bound at this join level
+    /// (after this atom's loads).  Evaluated inside the per-row loop with no
+    /// allocation: both operands resolve to a register read or a constant.
+    checks: Vec<(CmpOp, FilterVal, FilterVal)>,
 }
 
 /// Where an emitted head column comes from.
@@ -116,14 +120,19 @@ pub struct SpecializedQuery {
     atoms: Vec<SpecializedAtom>,
     negated: Vec<SpecializedAtom>,
     num_vars: usize,
+    /// `false` when a constant-only constraint already failed at compile
+    /// time: the whole query is statically empty.
+    static_ok: bool,
 }
 
 impl SpecializedQuery {
     /// Specializes `query` with respect to its current atom order.
     pub fn compile(query: &ConjunctiveQuery) -> SpecializedQuery {
         let mut bound = vec![false; query.num_vars];
+        // Join level at which each variable is first bound.
+        let mut bind_level = vec![usize::MAX; query.num_vars];
         let mut atoms = Vec::with_capacity(query.atoms.len());
-        for atom in &query.atoms {
+        for (level, atom) in query.atoms.iter().enumerate() {
             let mut filters = Vec::new();
             let mut loads = Vec::new();
             let mut intra_eq = Vec::new();
@@ -145,6 +154,7 @@ impl SpecializedQuery {
             }
             for (_, v) in atom.variable_columns() {
                 bound[v.index()] = true;
+                bind_level[v.index()] = bind_level[v.index()].min(level);
             }
             atoms.push(SpecializedAtom {
                 rel: atom.rel,
@@ -152,7 +162,37 @@ impl SpecializedQuery {
                 filters,
                 loads,
                 intra_eq,
+                checks: Vec::new(),
             });
+        }
+        // Push each comparison constraint to the earliest join level that
+        // binds both operands; constant-only constraints resolve now.
+        let mut static_ok = true;
+        for constraint in &query.constraints {
+            if let Some(outcome) = constraint.eval_const() {
+                static_ok &= outcome;
+                continue;
+            }
+            let to_val = |t: &Term| match t {
+                Term::Const(c) => FilterVal::Const(*c),
+                Term::Var(v) => FilterVal::Var(v.index()),
+            };
+            let level = constraint
+                .variables()
+                .map(|v| bind_level[v.index()])
+                .max()
+                .unwrap_or(0);
+            debug_assert!(
+                level < atoms.len(),
+                "constraint variable unbound; validation guarantees safety"
+            );
+            if let Some(atom) = atoms.get_mut(level) {
+                atom.checks.push((
+                    constraint.op,
+                    to_val(&constraint.lhs),
+                    to_val(&constraint.rhs),
+                ));
+            }
         }
         let negated = query
             .negated
@@ -173,6 +213,7 @@ impl SpecializedQuery {
                     filters,
                     loads: Vec::new(),
                     intra_eq: Vec::new(),
+                    checks: Vec::new(),
                 }
             })
             .collect();
@@ -190,6 +231,7 @@ impl SpecializedQuery {
             atoms,
             negated,
             num_vars: query.num_vars,
+            static_ok,
         }
     }
 
@@ -224,6 +266,11 @@ impl SpecializedQuery {
         parallelism: usize,
     ) -> Result<u64, ExecError> {
         stats.subqueries += 1;
+        if !self.static_ok {
+            // A constant-only constraint failed at compile time: the query
+            // is empty regardless of the database contents.
+            return Ok(0);
+        }
         let out = if parallelism > 1 {
             self.join_parallel(storage, stats, parallelism)?
         } else {
@@ -399,6 +446,13 @@ impl SpecializedQuery {
                     .copied()
                     .ok_or_else(|| ExecError::Internal("load column out of bounds".into()))?;
             }
+            // Comparison constraints whose operands are all bound by now:
+            // two register/constant reads and a branch, nothing allocated.
+            for &(op, a, b) in &atom.checks {
+                if !op.eval(a.resolve(bindings), b.resolve(bindings)) {
+                    continue 'rows;
+                }
+            }
             self.join_level(level + 1, bindings, storage, scratch, out)?;
         }
         Ok(())
@@ -425,6 +479,22 @@ fn probe_exists(
             .iter()
             .all(|&(col, expected)| values.get(col) == Some(&expected))
     })
+}
+
+/// Executes a stratum-boundary aggregation: groups the input relation's
+/// derived rows, folds the aggregate columns and inserts one row per group
+/// into the output relation's delta-new database.  Shared by the
+/// interpreter, the compiled-closure backends and the JIT (the bytecode VM
+/// has its own `Aggregate` instruction calling the same storage primitive).
+pub fn execute_aggregate(
+    spec: &AggregateSpec,
+    storage: &mut StorageManager,
+    stats: &mut RunStats,
+) -> Result<(), ExecError> {
+    let (emitted, inserted) = storage.aggregate_into(spec.input, spec.output, &spec.aggs)?;
+    stats.tuples_emitted += emitted;
+    stats.tuples_inserted += inserted;
+    Ok(())
 }
 
 /// Fully interpreted execution of a conjunctive query: every candidate row
@@ -567,6 +637,17 @@ fn interp_level(
     out: &mut EmitBuffer,
 ) -> Result<(), ExecError> {
     if level == query.atoms.len() {
+        // Body-less (constant) rules never pass through `interp_rows`, so
+        // their constant-only constraints are decided here; for every other
+        // query the constraints were checked as their operands were bound.
+        if query.atoms.is_empty()
+            && !query
+                .constraints
+                .iter()
+                .all(|c| c.eval_const().unwrap_or(true))
+        {
+            return Ok(());
+        }
         for neg in &query.negated {
             let relation = storage.relation(neg.db, neg.rel)?;
             let exists = relation.iter_rows().any(|row| {
@@ -667,6 +748,33 @@ fn interp_rows(
         }
         for &(v, value) in &trail[frame..] {
             bindings.insert(v, value);
+        }
+        // Evaluate each comparison constraint at the earliest level where
+        // all its operands are bound: constraints touching a variable bound
+        // by this row (or constant-only ones, once per driving row at level
+        // 0) are decided now; earlier-bound constraints were already
+        // checked further up the pipeline.
+        let constraints_ok = query.constraints.iter().all(|c| {
+            let decided_here = level == 0
+                || c.variables()
+                    .any(|v| trail[frame..].iter().any(|&(lv, _)| lv == v));
+            if !decided_here {
+                return true;
+            }
+            let resolve = |t: &Term| match t {
+                Term::Const(value) => Some(*value),
+                Term::Var(v) => bindings.get(v).copied(),
+            };
+            match (resolve(&c.lhs), resolve(&c.rhs)) {
+                (Some(a), Some(b)) => c.op.eval(a, b),
+                _ => true, // not yet fully bound; a later level decides
+            }
+        });
+        if !constraints_ok {
+            for &(v, _) in &trail[frame..] {
+                bindings.remove(&v);
+            }
+            continue 'rows;
         }
         interp_level(query, level + 1, bindings, storage, scratch, trail, out)?;
         for &(v, _) in &trail[frame..] {
@@ -903,6 +1011,150 @@ mod tests {
         let without = run(false);
         assert_eq!(with_composite, without);
         assert_eq!(with_composite.len(), 2); // (1,2) and (3,4)
+    }
+
+    #[test]
+    fn comparison_constraints_filter_in_both_kernels() {
+        let p = parse(
+            "Less(x, y) :- Pair(x, y), x < y.\n\
+             Pair(1, 2). Pair(2, 2). Pair(3, 2). Pair(0, 9).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Less").unwrap();
+        for indexes in [false, true] {
+            let mut s = prep(&p, indexes);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            let mut spec = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            spec.sort();
+
+            let mut s = prep(&p, indexes);
+            let mut stats = RunStats::default();
+            execute_interpreted(&q, &mut s, &mut stats).unwrap();
+            let mut interp = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            interp.sort();
+
+            assert_eq!(spec, interp);
+            assert_eq!(
+                spec,
+                vec![Tuple::pair(0, 9), Tuple::pair(1, 2)],
+                "indexes={indexes}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_atom_constraint_checks_at_the_binding_level() {
+        // `d2 < d1` binds its operands in different atoms; both kernels must
+        // evaluate it only once both are bound, in every atom order.
+        let p = parse(
+            "Shrinks(x, z) :- Hop(x, y, d1), Hop(y, z, d2), d2 < d1.\n\
+             Hop(1, 2, 9). Hop(2, 3, 4). Hop(3, 4, 7). Hop(2, 5, 9).",
+        )
+        .unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Shrinks").unwrap();
+        let mut reference: Option<Vec<Tuple>> = None;
+        for order in [vec![0, 1], vec![1, 0]] {
+            let reordered = q.with_order(&order);
+            let mut s = prep(&p, true);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&reordered).execute(&mut s, &mut stats).unwrap();
+            let mut tuples = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            tuples.sort();
+            let mut s = prep(&p, false);
+            let mut stats = RunStats::default();
+            execute_interpreted(&reordered, &mut s, &mut stats).unwrap();
+            let mut interp = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            interp.sort();
+            assert_eq!(tuples, interp, "order {order:?}");
+            match &reference {
+                Some(r) => assert_eq!(r, &tuples, "order {order:?}"),
+                None => reference = Some(tuples),
+            }
+        }
+        // Only 1→2→3 shrinks (9 then 4).
+        assert_eq!(reference.unwrap(), vec![Tuple::pair(1, 3)]);
+    }
+
+    #[test]
+    fn statically_false_constraint_short_circuits() {
+        let p = parse("Out(x) :- Node(x), 2 < 1.\nNode(5).").unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Out").unwrap();
+        let mut s = prep(&p, false);
+        let mut stats = RunStats::default();
+        let inserted = SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        assert_eq!(inserted, 0);
+        let mut s = prep(&p, false);
+        let mut stats = RunStats::default();
+        execute_interpreted(&q, &mut s, &mut stats).unwrap();
+        assert!(s.relation(DbKind::DeltaNew, rel).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraints_survive_parallel_execution() {
+        let mut source = String::from("Less(x, y) :- Pair(x, y), x < y.\n");
+        for i in 0..120u32 {
+            source.push_str(&format!("Pair({}, {}).\n", i, (i * 13 + 5) % 120));
+        }
+        let p = parse(&source).unwrap();
+        let q = first_query(&p);
+        let rel = p.relation_by_name("Less").unwrap();
+        let reference = {
+            let mut s = prep(&p, true);
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            let mut t = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            t.sort();
+            t
+        };
+        assert!(!reference.is_empty());
+        for parallelism in [2usize, 8] {
+            let mut s = prep(&p, true);
+            s.set_sharding(parallelism).unwrap();
+            let mut stats = RunStats::default();
+            SpecializedQuery::compile(&q)
+                .execute_with(&mut s, &mut stats, parallelism)
+                .unwrap();
+            let mut t = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            t.sort();
+            assert_eq!(t, reference, "specialized x{parallelism}");
+
+            let mut s = prep(&p, false);
+            let mut stats = RunStats::default();
+            execute_interpreted_with(&q, &mut s, &mut stats, parallelism).unwrap();
+            let mut t = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
+            t.sort();
+            assert_eq!(t, reference, "interpreted x{parallelism}");
+        }
+    }
+
+    #[test]
+    fn execute_aggregate_counts_groups() {
+        let p = parse(
+            "Deg(x, count y) :- Edge(x, y).\n\
+             Edge(1, 2). Edge(1, 3). Edge(2, 3).",
+        )
+        .unwrap();
+        let spec = p.aggregates()[0].clone();
+        let mut s = prep(&p, false);
+        // Fill the hidden input as evaluation would: copy Edge rows.
+        let edge_rows: Vec<Tuple> = s
+            .relation(DbKind::Derived, p.relation_by_name("Edge").unwrap())
+            .unwrap()
+            .to_tuples();
+        for t in edge_rows {
+            s.insert_fact(spec.input, t).unwrap();
+        }
+        let mut stats = RunStats::default();
+        execute_aggregate(&spec, &mut s, &mut stats).unwrap();
+        let out = s.relation(DbKind::DeltaNew, spec.output).unwrap();
+        assert!(out.contains(&Tuple::pair(1, 2)));
+        assert!(out.contains(&Tuple::pair(2, 1)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.tuples_inserted, 2);
     }
 
     #[test]

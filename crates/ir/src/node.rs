@@ -20,7 +20,7 @@
 //! | `InsertOp`/`ScanOp`| folded into [`IROp::Spj`] (it scans its sources and inserts into the head's delta-new) |
 //! | sequencing         | [`IROp::Sequence`]            |
 
-use carac_datalog::RuleId;
+use carac_datalog::{AggregateSpec, RuleId};
 use carac_storage::RelId;
 use std::fmt;
 
@@ -63,6 +63,8 @@ pub enum OpKind {
     UnionRule,
     /// One select-project-join subquery.
     Spj,
+    /// Stratum-boundary aggregation (group + fold into the output relation).
+    Aggregate,
 }
 
 /// A plan node: id plus operation.
@@ -133,6 +135,15 @@ pub enum IROp {
         /// The subquery.
         query: ConjunctiveQuery,
     },
+    /// Stratified aggregation: groups the (fully computed) input relation's
+    /// derived rows on the non-aggregated columns, folds the aggregated
+    /// columns, and inserts one row per group into the output relation's
+    /// delta-new database.  Always followed by a [`IROp::SwapClear`] on the
+    /// output relation.
+    Aggregate {
+        /// The aggregation to finalize.
+        spec: AggregateSpec,
+    },
 }
 
 impl IRNode {
@@ -147,6 +158,7 @@ impl IRNode {
             IROp::UnionAllRules { .. } => OpKind::UnionAllRules,
             IROp::UnionRule { .. } => OpKind::UnionRule,
             IROp::Spj { .. } => OpKind::Spj,
+            IROp::Aggregate { .. } => OpKind::Aggregate,
         }
     }
 
@@ -159,7 +171,7 @@ impl IRNode {
             | IROp::UnionRule { children, .. }
             | IROp::Stratum { children, .. } => children.iter().collect(),
             IROp::DoWhile { body, .. } => vec![body],
-            IROp::SwapClear { .. } | IROp::Spj { .. } => Vec::new(),
+            IROp::SwapClear { .. } | IROp::Spj { .. } | IROp::Aggregate { .. } => Vec::new(),
         }
     }
 
@@ -172,7 +184,7 @@ impl IRNode {
             | IROp::UnionRule { children, .. }
             | IROp::Stratum { children, .. } => children.iter_mut().collect(),
             IROp::DoWhile { body, .. } => vec![body.as_mut()],
-            IROp::SwapClear { .. } | IROp::Spj { .. } => Vec::new(),
+            IROp::SwapClear { .. } | IROp::Spj { .. } | IROp::Aggregate { .. } => Vec::new(),
         }
     }
 

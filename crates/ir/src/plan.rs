@@ -59,8 +59,18 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
             .collect();
 
         // --- initial naive pass: every rule, all atoms from Derived ------
+        // Aggregated relations have no rules: their single contribution is
+        // the stratum-boundary Aggregate operator reading the (lower-
+        // stratum, fully computed) hidden input relation.
         let mut initial_children = Vec::new();
         for &rel in &relations {
+            if let Some(spec) = program.aggregate_for(rel) {
+                initial_children.push(IRNode {
+                    id: ids.fresh(),
+                    op: IROp::Aggregate { spec: spec.clone() },
+                });
+                continue;
+            }
             let mut rule_nodes = Vec::new();
             for rule in rules.iter().filter(|r| r.head.rel == rel) {
                 let spj = IRNode {
@@ -299,6 +309,46 @@ mod tests {
         deduped.sort();
         deduped.dedup();
         assert_eq!(ids.len(), deduped.len());
+    }
+
+    #[test]
+    fn constraints_survive_plan_generation_and_reordering() {
+        let p = parse(
+            "Out(x, z) :- R(x, y), S(y, z), x < z, y != 3.\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        for (_, q) in plan.spj_queries() {
+            assert_eq!(q.constraints.len(), 2);
+            // Reordering the atoms keeps the constraint set intact.
+            let reordered = q.with_order(&[1, 0]);
+            assert_eq!(reordered.constraints, q.constraints);
+        }
+    }
+
+    #[test]
+    fn aggregates_generate_aggregate_nodes() {
+        let p = parse(
+            "Deg(x, count y) :- Edge(x, y).\n\
+             Big(x) :- Deg(x, c), c > 1.\n",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let agg_nodes = plan.nodes_of_kind(OpKind::Aggregate);
+        assert_eq!(agg_nodes.len(), 1);
+        // The aggregate sits in its own non-recursive stratum between the
+        // hidden input's stratum and Big's stratum.
+        assert_eq!(plan.nodes_of_kind(OpKind::Stratum).len(), 3);
+        let mut order: Vec<OpKind> = Vec::new();
+        plan.visit(&mut |n| {
+            if matches!(n.kind(), OpKind::Aggregate | OpKind::UnionAllRules) {
+                order.push(n.kind());
+            }
+        });
+        assert_eq!(
+            order,
+            vec![OpKind::UnionAllRules, OpKind::Aggregate, OpKind::UnionAllRules]
+        );
     }
 
     #[test]

@@ -44,6 +44,9 @@ fn render_node(node: &IRNode, program: &Program, depth: usize, out: &mut String)
             format!("Union for {}", program.display_rule(program.rule(*rule)))
         }
         IROp::Spj { query } => render_query(query, program),
+        IROp::Aggregate { spec } => {
+            format!("Aggregate {}", program.display_aggregate(spec))
+        }
     };
     let _ = writeln!(out, "{indent}{:?} {label}", node.id);
     for child in node.children() {
@@ -82,6 +85,23 @@ pub fn render_query(query: &ConjunctiveQuery, program: &Program) -> String {
     let mut body = atoms.join(" ⋈ ");
     if !negated.is_empty() {
         body = format!("{body} ▷ {}", negated.join(", "));
+    }
+    if !query.constraints.is_empty() {
+        let rule = program.rule(query.rule);
+        let term = |t: &carac_datalog::Term| match t {
+            carac_datalog::Term::Var(v) => rule
+                .var_names
+                .get(v.index())
+                .cloned()
+                .unwrap_or_else(|| format!("{v:?}")),
+            carac_datalog::Term::Const(c) => program.symbols().display(*c),
+        };
+        let constraints: Vec<String> = query
+            .constraints
+            .iter()
+            .map(|c| format!("{} {} {}", term(&c.lhs), c.op.symbol(), term(&c.rhs)))
+            .collect();
+        body = format!("{body} σ[{}]", constraints.join(", "));
     }
     format!(
         "σπ[{}] ← {}",

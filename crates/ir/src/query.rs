@@ -1,6 +1,6 @@
 //! Conjunctive subqueries — the Select-Project-Join payload of the plan.
 
-use carac_datalog::{HeadBinding, Rule, RuleId, Term, VarId};
+use carac_datalog::{Constraint, HeadBinding, Rule, RuleId, Term, VarId};
 use carac_storage::{DbKind, RelId, Value};
 
 /// One source atom of a conjunctive query: which relation to read, from
@@ -55,6 +55,10 @@ pub struct ConjunctiveQuery {
     /// Negated atoms (stratified; always evaluated against `Derived` after
     /// all positive atoms have bound their variables).
     pub negated: Vec<QueryAtom>,
+    /// Comparison constraints between bound variables and constants.  The
+    /// kernels evaluate each constraint at the earliest join level that
+    /// binds both operands, whatever the current atom order is.
+    pub constraints: Vec<Constraint>,
     /// Number of distinct variables in the originating rule.
     pub num_vars: usize,
 }
@@ -102,6 +106,7 @@ impl ConjunctiveQuery {
             head_bindings,
             atoms,
             negated,
+            constraints: rule.constraints.clone(),
             num_vars: rule.num_vars(),
         }
     }

@@ -38,6 +38,13 @@ pub struct OptimizerConfig {
     /// optimization and the current one) above which recompilation is
     /// considered worthwhile — the "freshness" test of §V-B.2.
     pub freshness_threshold: f64,
+    /// Multiplicative reduction applied per comparison constraint (`<`,
+    /// `<=`, `>`, `>=`, `!=`) that becomes fully bound by placing an atom
+    /// next; equality constraints use
+    /// [`selectivity_factor`](Self::selectivity_factor) instead.  Inequality
+    /// filters are far less selective than equality probes, hence the
+    /// milder default.
+    pub comparison_selectivity: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -50,6 +57,7 @@ impl Default for OptimizerConfig {
             cartesian_penalty: 1.0e6,
             unknown_idb_cardinality: None,
             freshness_threshold: 0.2,
+            comparison_selectivity: 0.5,
         }
     }
 }

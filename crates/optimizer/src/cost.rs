@@ -7,8 +7,9 @@
 //! assumption; a usable index further reduces the cost of probing an atom
 //! whose join column is already bound.
 
-use carac_datalog::VarId;
+use carac_datalog::{Constraint, VarId};
 use carac_ir::QueryAtom;
+use carac_storage::CmpOp;
 
 use crate::config::OptimizerConfig;
 use crate::context::OptimizeContext;
@@ -99,6 +100,62 @@ pub fn atom_score(
         score *= config.index_benefit;
     }
     score
+}
+
+/// The multiplicative selectivity factor contributed by the comparison
+/// constraints that become *newly decidable* by placing `atom` next: every
+/// constraint whose variables are all covered by `bound` plus the atom's own
+/// variables — but were not all bound before — filters the atom's
+/// contribution.  Equality constraints count like an equality probe
+/// ([`OptimizerConfig::selectivity_factor`]); inequalities use the milder
+/// [`OptimizerConfig::comparison_selectivity`].
+///
+/// [`atom_score`] times this factor is the full per-step estimate the
+/// greedy ordering uses ([`atom_score_with_constraints`]).
+pub fn constraint_factor(
+    atom: &QueryAtom,
+    bound: &[bool],
+    constraints: &[Constraint],
+    config: &OptimizerConfig,
+) -> f64 {
+    if constraints.is_empty() {
+        return 1.0;
+    }
+    let mut factor = 1.0;
+    for constraint in constraints {
+        let mut any_new = false;
+        let mut all_covered = true;
+        for var in constraint.variables() {
+            let was_bound = bound.get(var.index()).copied().unwrap_or(false);
+            if !was_bound {
+                if atom.variable_columns().any(|(_, v)| v == var) {
+                    any_new = true;
+                } else {
+                    all_covered = false;
+                }
+            }
+        }
+        if any_new && all_covered {
+            factor *= match constraint.op {
+                CmpOp::Eq => config.selectivity_factor,
+                _ => config.comparison_selectivity,
+            };
+        }
+    }
+    factor
+}
+
+/// [`atom_score`] with the newly-decidable comparison constraints folded in
+/// as selectivity — the estimate the join ordering actually minimizes when
+/// the query carries constraints.
+pub fn atom_score_with_constraints(
+    atom: &QueryAtom,
+    bound: &[bool],
+    constraints: &[Constraint],
+    ctx: &OptimizeContext,
+    config: &OptimizerConfig,
+) -> f64 {
+    atom_score(atom, bound, ctx, config) * constraint_factor(atom, bound, constraints, config)
 }
 
 /// Whether `atom` shares at least one variable with the bound prefix or
@@ -355,6 +412,50 @@ mod tests {
         let high_distinct = atom_score(&a, &[false, true], &ctx, &config);
         assert!((high_distinct - 1.0 * 0.5).abs() < 1e-6);
         assert!(high_distinct < low_distinct);
+    }
+
+    #[test]
+    fn constraint_factor_counts_newly_decidable_constraints() {
+        use carac_datalog::Constraint;
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        // x < 10 over a variable this atom binds: newly decidable.
+        let lt = Constraint {
+            op: CmpOp::Lt,
+            lhs: Term::Var(VarId(0)),
+            rhs: Term::Const(Value::int(10)),
+        };
+        let factor = constraint_factor(&a, &[false, false], &[lt], &config);
+        assert!((factor - config.comparison_selectivity).abs() < 1e-9);
+        // Already fully bound: counted at an earlier step, not here.
+        let factor = constraint_factor(&a, &[true, true], &[lt], &config);
+        assert!((factor - 1.0).abs() < 1e-9);
+        // Involves a variable this atom does not bind: not decidable yet.
+        let cross = Constraint {
+            op: CmpOp::Lt,
+            lhs: Term::Var(VarId(0)),
+            rhs: Term::Var(VarId(5)),
+        };
+        let factor = constraint_factor(&a, &[false, false], &[cross], &config);
+        assert!((factor - 1.0).abs() < 1e-9);
+        // Equality constraints use the sharper equality selectivity.
+        let eq = Constraint {
+            op: CmpOp::Eq,
+            lhs: Term::Var(VarId(1)),
+            rhs: Term::Const(Value::int(3)),
+        };
+        let factor = constraint_factor(&a, &[false, false], &[lt, eq], &config);
+        let expected = config.comparison_selectivity * config.selectivity_factor;
+        assert!((factor - expected).abs() < 1e-9);
+        // The full scoring entry point folds the factor in.
+        let ctx = ctx_with(&[(1000, 0)]);
+        let scored = atom_score_with_constraints(&a, &[false, false], &[lt], &ctx, &config);
+        let plain = atom_score(&a, &[false, false], &ctx, &config);
+        assert!((scored - plain * config.comparison_selectivity).abs() < 1e-9);
     }
 
     #[test]

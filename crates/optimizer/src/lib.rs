@@ -27,7 +27,7 @@ pub mod reorder;
 
 pub use config::OptimizerConfig;
 pub use context::OptimizeContext;
-pub use cost::parallel_speedup;
+pub use cost::{atom_score_with_constraints, constraint_factor, parallel_speedup};
 pub use freshness::FreshnessTest;
 pub use plan_rewrite::{optimize_plan, optimize_subtree};
 pub use reorder::{greedy_order, reorder_query, sort_order, ReorderAlgorithm};

@@ -18,7 +18,7 @@ use carac_ir::ConjunctiveQuery;
 
 use crate::config::OptimizerConfig;
 use crate::context::OptimizeContext;
-use crate::cost::{atom_score, is_connected};
+use crate::cost::{atom_score_with_constraints, is_connected};
 
 /// Greedy runtime join ordering.  Returns a permutation of
 /// `0..query.atoms.len()` (indices into the *current* atom order).
@@ -41,7 +41,8 @@ pub fn greedy_order(
         let mut best_score = f64::INFINITY;
         for (pos, &atom_idx) in remaining.iter().enumerate() {
             let atom = &query.atoms[atom_idx];
-            let mut score = atom_score(atom, &bound, ctx, config);
+            let mut score =
+                atom_score_with_constraints(atom, &bound, &query.constraints, ctx, config);
             if !is_connected(atom, &bound, prefix_empty) {
                 score = score * config.cartesian_penalty + config.cartesian_penalty;
             }
@@ -73,7 +74,12 @@ pub fn sort_order(
         .atoms
         .iter()
         .enumerate()
-        .map(|(i, atom)| (i, atom_score(atom, &bound, ctx, config)))
+        .map(|(i, atom)| {
+            (
+                i,
+                atom_score_with_constraints(atom, &bound, &query.constraints, ctx, config),
+            )
+        })
         .collect();
     // Stable sort keeps the user's order among equal estimates.
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -294,6 +300,33 @@ mod tests {
             pos_sg < pos_aux,
             "composite-indexed Sg should be probed before unindexed Aux (order {order:?})"
         );
+    }
+
+    #[test]
+    fn constrained_atom_wins_the_tie() {
+        // A and B have identical cardinalities; a `<` constraint decidable
+        // as soon as B is placed makes B the cheaper opener even though A
+        // comes first in the written order.
+        let mut b = ProgramBuilder::new();
+        b.relation("A", 2);
+        b.relation("B", 2);
+        b.relation("Out", 1);
+        b.rule("Out", &["x"])
+            .when("A", &["x", "y"])
+            .when("B", &["x", "z"])
+            .lt(carac_datalog::builder::v("z"), carac_datalog::builder::c(5))
+            .end();
+        let p = b.build().unwrap();
+        let q = carac_ir::ConjunctiveQuery::from_rule(&p.rules()[0], None);
+        let ctx = ctx((100, 0), (100, 0));
+        let order = greedy_order(&q, &ctx, &OptimizerConfig::default());
+        assert_eq!(order[0], 1, "constrained B should open the join ({order:?})");
+
+        // Without the constraint the written order is kept.
+        let mut unconstrained = q.clone();
+        unconstrained.constraints.clear();
+        let order = greedy_order(&unconstrained, &ctx, &OptimizerConfig::default());
+        assert_eq!(order[0], 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! the new write-side.
 
 use crate::error::StorageError;
+use crate::hasher::FxHashMap;
 use crate::relation::Relation;
 use crate::schema::{RelId, RelationSchema};
 use crate::stats::StatsSnapshot;
@@ -343,6 +344,101 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Stratum-boundary aggregation: groups the rows of `input`'s *derived*
+    /// database by every column **not** listed in `aggs`, folds the listed
+    /// columns with their aggregation functions, and inserts one result row
+    /// per group into `output`'s delta-new database (deduplicated against
+    /// derived, like every other derived insert).
+    ///
+    /// The output row layout matches the input layout: group columns keep
+    /// their value, aggregate columns carry the finalized aggregate.  Group
+    /// keys are hashed through the same per-row hash unit as the row pool
+    /// ([`crate::pool::row_hash`]), with full-key equality confirmation on
+    /// collision.
+    ///
+    /// Returns `(groups_emitted, rows_inserted)`.
+    pub fn aggregate_into(
+        &mut self,
+        input: RelId,
+        output: RelId,
+        aggs: &[(usize, crate::ops::AggFunc)],
+    ) -> Result<(u64, u64)> {
+        use crate::ops::AggFunc;
+
+        let input_rel = self.derived.relation(input)?;
+        let arity = input_rel.arity();
+        {
+            let output_rel = self.derived.relation(output)?;
+            if output_rel.arity() != arity {
+                return Err(StorageError::ArityMismatch {
+                    relation: output_rel.name().to_string(),
+                    expected: output_rel.arity(),
+                    actual: arity,
+                });
+            }
+        }
+        let mut is_agg = vec![false; arity];
+        for &(col, _) in aggs {
+            if col >= arity {
+                return Err(StorageError::ColumnOutOfBounds {
+                    relation: input_rel.name().to_string(),
+                    column: col,
+                    arity,
+                });
+            }
+            is_agg[col] = true;
+        }
+        let group_cols: Vec<usize> =
+            (0..arity).filter(|&c| !is_agg[c]).collect();
+
+        // Group rows by the hash of their group-key columns; buckets confirm
+        // by full-key equality, so hash collisions stay correct.
+        type Bucket = Vec<(Vec<Value>, Vec<u64>)>;
+        let mut groups: FxHashMap<u64, Bucket> = FxHashMap::default();
+        let mut order: Vec<(u64, usize)> = Vec::new();
+        let mut key_buf: Vec<Value> = Vec::with_capacity(group_cols.len());
+        for row in input_rel.iter_rows() {
+            key_buf.clear();
+            key_buf.extend(group_cols.iter().map(|&c| row[c]));
+            let hash = crate::pool::row_hash(&key_buf);
+            let bucket = groups.entry(hash).or_default();
+            let slot = match bucket.iter().position(|(k, _)| k == &key_buf) {
+                Some(i) => i,
+                None => {
+                    let accs: Vec<u64> =
+                        aggs.iter().map(|&(_, f): &(usize, AggFunc)| f.init()).collect();
+                    bucket.push((key_buf.clone(), accs));
+                    order.push((hash, bucket.len() - 1));
+                    bucket.len() - 1
+                }
+            };
+            let accs = &mut bucket[slot].1;
+            for (i, &(col, func)) in aggs.iter().enumerate() {
+                accs[i] = func.fold(accs[i], row[col]);
+            }
+        }
+
+        // Emit one row per group, in first-seen group order (deterministic
+        // for a given input row order).
+        let mut out_row = vec![Value::default(); arity];
+        let mut emitted = 0u64;
+        let mut inserted = 0u64;
+        for (hash, slot) in order {
+            let (key, accs) = &groups[&hash][slot];
+            for (i, &c) in group_cols.iter().enumerate() {
+                out_row[c] = key[i];
+            }
+            for (i, &(col, func)) in aggs.iter().enumerate() {
+                out_row[col] = func.finish(accs[i]);
+            }
+            emitted += 1;
+            if self.insert_derived_row(output, &out_row)? {
+                inserted += 1;
+            }
+        }
+        Ok((emitted, inserted))
+    }
+
     /// Snapshot of current cardinalities for the optimizer.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot::capture(self)
@@ -515,6 +611,66 @@ mod tests {
         sm.clear_deltas(&[edge, path]).unwrap();
         assert!(sm.deltas_empty(&[edge, path]).unwrap());
         assert_eq!(sm.relation(DbKind::Derived, edge).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_into_groups_and_folds() {
+        use crate::ops::AggFunc;
+        let mut sm = StorageManager::new(true);
+        let input = sm.register("DegIn", 2, false);
+        let output = sm.register("Deg", 2, false);
+        // Rows (x, y): group by column 0, count column 1.
+        for (x, y) in [(1, 10), (1, 11), (1, 12), (2, 10), (3, 30)] {
+            sm.insert_fact(input, Tuple::pair(x, y)).unwrap();
+        }
+        let (emitted, inserted) = sm
+            .aggregate_into(input, output, &[(1, AggFunc::Count)])
+            .unwrap();
+        assert_eq!(emitted, 3);
+        assert_eq!(inserted, 3);
+        let out = sm.relation(DbKind::DeltaNew, output).unwrap();
+        assert!(out.contains(&Tuple::pair(1, 3)));
+        assert!(out.contains(&Tuple::pair(2, 1)));
+        assert!(out.contains(&Tuple::pair(3, 1)));
+    }
+
+    #[test]
+    fn aggregate_min_max_sum() {
+        use crate::ops::AggFunc;
+        let mut sm = StorageManager::new(false);
+        let input = sm.register("In", 2, false);
+        for (g, v) in [(7, 5), (7, 2), (7, 9), (8, 4)] {
+            sm.insert_fact(input, Tuple::pair(g, v)).unwrap();
+        }
+        for (func, a, b) in [
+            (AggFunc::Min, 2, 4),
+            (AggFunc::Max, 9, 4),
+            (AggFunc::Sum, 16, 4),
+        ] {
+            let output = sm.register(format!("Out{}", func.name()), 2, false);
+            sm.aggregate_into(input, output, &[(1, func)]).unwrap();
+            let out = sm.relation(DbKind::DeltaNew, output).unwrap();
+            assert!(out.contains(&Tuple::pair(7, a)), "{func:?}");
+            assert!(out.contains(&Tuple::pair(8, b)), "{func:?}");
+            assert_eq!(out.len(), 2);
+        }
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_shapes() {
+        use crate::ops::AggFunc;
+        let mut sm = StorageManager::new(false);
+        let input = sm.register("In", 2, false);
+        let narrow = sm.register("Narrow", 1, false);
+        assert!(matches!(
+            sm.aggregate_into(input, narrow, &[(1, AggFunc::Count)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        let output = sm.register("Out", 2, false);
+        assert!(matches!(
+            sm.aggregate_into(input, output, &[(5, AggFunc::Count)]),
+            Err(StorageError::ColumnOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod value;
 pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
 pub use index::{ColumnIndex, CompositeIndex};
+pub use ops::{AggFunc, CmpOp};
 pub use pool::{PoolStats, PostingList, RowId, RowPool};
 pub use relation::{ProbeIter, ProbeRows, Relation};
 pub use schema::{RelId, RelationSchema};

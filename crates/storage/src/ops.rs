@@ -11,6 +11,148 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
+/// A binary comparison operator between two [`Value`]s.
+///
+/// Comparisons are over the raw 32-bit representation: plain integers order
+/// numerically, interned symbols order by interning id (and always above
+/// every integer).  The frontend exposes these as the `<`, `<=`, `>`, `>=`,
+/// `=`, `!=` body constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two values (raw 32-bit order).
+    #[inline]
+    pub fn eval(self, a: Value, b: Value) -> bool {
+        match self {
+            CmpOp::Lt => a.raw() < b.raw(),
+            CmpOp::Le => a.raw() <= b.raw(),
+            CmpOp::Gt => a.raw() > b.raw(),
+            CmpOp::Ge => a.raw() >= b.raw(),
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The concrete-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
+/// An aggregation function applicable to one column of a relation.
+///
+/// Aggregation runs under set semantics: the aggregated relation is a set of
+/// rows, so `Count` counts distinct rows per group and `Sum` adds each
+/// distinct row's value once.  `Sum` and `Count` results saturate at the top
+/// of the plain-integer value range ([`Value::SYMBOL_BASE`]` - 1`) so they
+/// can never collide with an interned symbol; `Min`/`Max` return one of the
+/// input values unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of distinct rows in the group.
+    Count,
+    /// Sum of the column over the group's distinct rows.
+    Sum,
+    /// Smallest value of the column in the group (raw 32-bit order).
+    Min,
+    /// Largest value of the column in the group (raw 32-bit order).
+    Max,
+}
+
+impl AggFunc {
+    /// The concrete-syntax spelling of the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parses a concrete-syntax spelling.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Fresh accumulator state for this function.
+    #[inline]
+    pub fn init(self) -> u64 {
+        match self {
+            AggFunc::Count | AggFunc::Sum => 0,
+            AggFunc::Min => u64::MAX,
+            AggFunc::Max => 0,
+        }
+    }
+
+    /// Folds one row's column value into the accumulator.
+    #[inline]
+    pub fn fold(self, acc: u64, value: Value) -> u64 {
+        let raw = value.raw() as u64;
+        match self {
+            AggFunc::Count => acc + 1,
+            AggFunc::Sum => acc.saturating_add(raw),
+            AggFunc::Min => acc.min(raw),
+            AggFunc::Max => acc.max(raw),
+        }
+    }
+
+    /// Finalizes the accumulator into a value.  `Count`/`Sum` saturate at
+    /// the top of the plain-integer range; `Min` over an empty group (which
+    /// the engine never produces — empty groups emit no row) would saturate
+    /// the same way.
+    #[inline]
+    pub fn finish(self, acc: u64) -> Value {
+        match self {
+            AggFunc::Count | AggFunc::Sum => {
+                Value(acc.min((Value::SYMBOL_BASE - 1) as u64) as u32)
+            }
+            AggFunc::Min | AggFunc::Max => {
+                Value(acc.min(u32::MAX as u64) as u32)
+            }
+        }
+    }
+}
+
 /// A selection predicate on a single relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Predicate {
@@ -150,6 +292,43 @@ mod tests {
             r.insert(Tuple::from_ints(row)).unwrap();
         }
         r
+    }
+
+    #[test]
+    fn cmp_op_eval_and_flip() {
+        let a = Value::int(3);
+        let b = Value::int(7);
+        assert!(CmpOp::Lt.eval(a, b));
+        assert!(CmpOp::Le.eval(a, a));
+        assert!(CmpOp::Gt.eval(b, a));
+        assert!(CmpOp::Ge.eval(b, b));
+        assert!(CmpOp::Eq.eval(a, a));
+        assert!(CmpOp::Ne.eval(a, b));
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.eval(a, b), op.flip().eval(b, a));
+            assert_eq!(AggFunc::from_name(op.symbol()), None);
+        }
+    }
+
+    #[test]
+    fn agg_func_fold_and_saturation() {
+        // Sum saturates below the symbol range instead of wrapping into it.
+        let mut acc = AggFunc::Sum.init();
+        for _ in 0..3 {
+            acc = AggFunc::Sum.fold(acc, Value::int(Value::SYMBOL_BASE - 1));
+        }
+        let result = AggFunc::Sum.finish(acc);
+        assert!(!result.is_symbol());
+        assert_eq!(result.raw(), Value::SYMBOL_BASE - 1);
+        // Count counts folds.
+        let mut c = AggFunc::Count.init();
+        c = AggFunc::Count.fold(c, Value::int(9));
+        c = AggFunc::Count.fold(c, Value::int(1));
+        assert_eq!(AggFunc::Count.finish(c), Value::int(2));
+        // Round-trip names.
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
     }
 
     #[test]

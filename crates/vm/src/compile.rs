@@ -49,6 +49,7 @@ impl Assembler {
             Instr::Jump(t) => *t = target,
             Instr::NegCheck { on_found, .. } => *on_found = target,
             Instr::RequireEq { on_mismatch, .. } => *on_mismatch = target,
+            Instr::RequireCmp { on_mismatch, .. } => *on_mismatch = target,
             Instr::JumpIfDeltasNotEmpty { target: t, .. } => *t = target,
             other => panic!("cannot patch {other:?}"),
         }
@@ -113,6 +114,13 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) {
             });
         }
         IROp::Spj { query } => emit_query(query, asm),
+        IROp::Aggregate { spec } => {
+            asm.push(Instr::Aggregate {
+                input: spec.input,
+                output: spec.output,
+                aggs: spec.aggs.clone(),
+            });
+        }
     }
 }
 
@@ -121,10 +129,33 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) {
 /// Register allocation: one register per rule variable, in [`VarId`] order,
 /// plus temporaries appended after them for repeated within-atom variables.
 fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
+    // A failed constant-only constraint makes the query statically empty:
+    // emit nothing at all.
+    if !query
+        .constraints
+        .iter()
+        .all(|c| c.eval_const().unwrap_or(true))
+    {
+        return;
+    }
+
     let var_reg: FxHashMap<VarId, Reg> = (0..query.num_vars)
         .map(|i| (VarId(i as u32), asm.reg(i)))
         .collect();
     let mut next_temp = query.num_vars;
+
+    // Join level at which each variable is first bound (for placing the
+    // comparison-constraint checks at the earliest level that binds all
+    // their operands).
+    let mut bind_level = vec![usize::MAX; query.num_vars];
+    for (i, atom) in query.atoms.iter().enumerate() {
+        for (_, v) in atom.variable_columns() {
+            bind_level[v.index()] = bind_level[v.index()].min(i);
+        }
+    }
+    let cmp_level = |c: &carac_datalog::Constraint| -> Option<usize> {
+        c.variables().map(|v| bind_level[v.index()]).max()
+    };
 
     // Variables bound by atoms processed so far.
     let mut bound = vec![false; query.num_vars];
@@ -192,6 +223,24 @@ fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
             asm.push(Instr::RequireEq {
                 a,
                 b,
+                on_mismatch: advance_pc,
+            });
+        }
+
+        // Comparison constraints fully bound by this atom's loads: a failed
+        // check retries this atom's Advance, exactly like a filter.
+        for constraint in &query.constraints {
+            if cmp_level(constraint) != Some(i) {
+                continue;
+            }
+            let source = |t: &Term| match t {
+                Term::Const(c) => FilterSource::Const(*c),
+                Term::Var(v) => FilterSource::Reg(var_reg[v]),
+            };
+            asm.push(Instr::RequireCmp {
+                op: constraint.op,
+                a: source(&constraint.lhs),
+                b: source(&constraint.rhs),
                 on_mismatch: advance_pc,
             });
         }

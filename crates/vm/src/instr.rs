@@ -18,7 +18,7 @@
 //! cursor filtered by the registers bound so far, `Advance` steps it and
 //! jumps backwards to the enclosing loop when exhausted.
 
-use carac_storage::{DbKind, RelId, Value};
+use carac_storage::{AggFunc, CmpOp, DbKind, RelId, Value};
 use std::fmt;
 
 /// Index of a value register.
@@ -96,6 +96,30 @@ pub enum Instr {
         /// Jump target on mismatch.
         on_mismatch: Pc,
     },
+    /// Jumps to `on_mismatch` unless `a op b` holds — the comparison-
+    /// constraint filter, emitted at the earliest join level that binds both
+    /// operands.
+    RequireCmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand (register or constant).
+        a: FilterSource,
+        /// Right operand (register or constant).
+        b: FilterSource,
+        /// Jump target when the comparison fails.
+        on_mismatch: Pc,
+    },
+    /// Stratum-boundary aggregation: groups `input`'s derived rows on the
+    /// non-aggregated columns, folds the `aggs` columns, and emits one row
+    /// per group into `output`'s delta-new database.
+    Aggregate {
+        /// Relation holding the raw rows (fully computed, lower stratum).
+        input: RelId,
+        /// Relation receiving the aggregated rows.
+        output: RelId,
+        /// `(column, function)` pairs; other columns are group keys.
+        aggs: Vec<(usize, AggFunc)>,
+    },
     /// Anti-join check: if a tuple matching `filters` exists in `(rel, db)`,
     /// jump to `on_found` (the negated literal is violated).
     NegCheck {
@@ -152,6 +176,17 @@ impl fmt::Display for Instr {
             ),
             Instr::RequireEq { a, b, on_mismatch } => {
                 write!(f, "eq?    r{} r{} else->{}", a.0, b.0, on_mismatch.0)
+            }
+            Instr::RequireCmp {
+                op, a, b, on_mismatch,
+            } => write!(
+                f,
+                "cmp?   {a:?} {} {b:?} else->{}",
+                op.symbol(),
+                on_mismatch.0
+            ),
+            Instr::Aggregate { input, output, aggs } => {
+                write!(f, "agg    {input:?} -> {output:?} {aggs:?}")
             }
             Instr::NegCheck {
                 rel, db, filters, on_found,

@@ -214,6 +214,20 @@ impl Machine {
                         continue;
                     }
                 }
+                Instr::RequireCmp { op, a, b, on_mismatch } => {
+                    let left = self.filter_value(a)?;
+                    let right = self.filter_value(b)?;
+                    if !op.eval(left, right) {
+                        pc = on_mismatch.index();
+                        continue;
+                    }
+                }
+                Instr::Aggregate { input, output, aggs } => {
+                    let (emitted, inserted) =
+                        storage.aggregate_into(*input, *output, aggs)?;
+                    stats.emitted += emitted;
+                    stats.inserted += inserted;
+                }
                 Instr::NegCheck {
                     rel,
                     db,
@@ -261,6 +275,14 @@ impl Machine {
         self.cursors
             .get_mut(slot.0 as usize)
             .ok_or(VmError::SlotOutOfBounds(slot.0))
+    }
+
+    /// Resolves one comparison/filter operand.
+    fn filter_value(&self, source: &FilterSource) -> Result<Value, VmError> {
+        match source {
+            FilterSource::Const(c) => Ok(*c),
+            FilterSource::Reg(r) => self.read_reg(*r),
+        }
     }
 
     fn read_reg(&self, reg: Reg) -> Result<Value, VmError> {
@@ -437,6 +459,74 @@ mod tests {
             with_index.relation(DbKind::Derived, path).unwrap().len(),
             without_index.relation(DbKind::Derived, path).unwrap().len()
         );
+    }
+
+    #[test]
+    fn machine_evaluates_comparison_constraints() {
+        let p = parse(
+            "Less(x, y) :- Pair(x, y), x < y.\n\
+             Pair(1, 2). Pair(2, 2). Pair(3, 2). Pair(0, 9).",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        assert!(program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::RequireCmp { .. })));
+        let mut storage = storage_for(&p, false);
+        Machine::for_program(&program)
+            .run(&program, &mut storage)
+            .unwrap();
+        let less = p.relation_by_name("Less").unwrap();
+        let result = storage.relation(DbKind::Derived, less).unwrap();
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&Tuple::pair(1, 2)));
+        assert!(result.contains(&Tuple::pair(0, 9)));
+    }
+
+    #[test]
+    fn statically_false_constraint_compiles_to_nothing() {
+        let p = parse("Out(x) :- Node(x), 2 < 1.\nNode(5).").unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        let mut storage = storage_for(&p, false);
+        Machine::for_program(&program)
+            .run(&program, &mut storage)
+            .unwrap();
+        let out = p.relation_by_name("Out").unwrap();
+        assert!(storage.relation(DbKind::Derived, out).unwrap().is_empty());
+    }
+
+    #[test]
+    fn machine_finalizes_aggregates_at_stratum_boundaries() {
+        let p = parse(
+            "Deg(x, count y) :- Edge(x, y).\n\
+             Busy(x) :- Deg(x, c), c >= 2.\n\
+             Edge(1, 2). Edge(1, 3). Edge(2, 3). Edge(3, 1).",
+        )
+        .unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        let program = compile_node(&plan);
+        assert!(program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Aggregate { .. })));
+        let mut storage = storage_for(&p, true);
+        let stats = Machine::for_program(&program)
+            .run(&program, &mut storage)
+            .unwrap();
+        let deg = p.relation_by_name("Deg").unwrap();
+        let result = storage.relation(DbKind::Derived, deg).unwrap();
+        assert!(result.contains(&Tuple::pair(1, 2)));
+        assert!(result.contains(&Tuple::pair(2, 1)));
+        assert!(result.contains(&Tuple::pair(3, 1)));
+        assert_eq!(result.len(), 3);
+        let busy = p.relation_by_name("Busy").unwrap();
+        let busy_rows = storage.relation(DbKind::Derived, busy).unwrap();
+        assert_eq!(busy_rows.len(), 1);
+        assert!(busy_rows.contains(&Tuple::from_ints(&[1])));
+        assert!(stats.inserted >= 4);
     }
 
     #[test]

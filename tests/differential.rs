@@ -11,8 +11,10 @@
 use carac::knobs::BackendKind;
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::random_digraph;
-use carac_analysis::{andersen, cspa, csda, inverse_functions, Formulation};
-use carac_datalog::{parser::parse, Program, ProgramBuilder};
+use carac_analysis::{
+    andersen, cspa, csda, degree_distribution, inverse_functions, shortest_path, Formulation,
+};
+use carac_datalog::{parser::parse, DatalogError, Program, ProgramBuilder};
 
 /// Builds the transitive-closure program over a given edge list.
 fn tc_program(edges: &[(u32, u32)]) -> Program {
@@ -224,6 +226,219 @@ fn parallel_program_analysis_is_deterministic() {
         )
         .unwrap();
     assert_eq!(parallel_unopt, serial_unopt, "unoptimized formulation diverged");
+}
+
+/// The engine configurations every constraint/aggregate differential case
+/// must agree across: the interpreter (indexed and unindexed), the
+/// specialized (lambda) kernel, the bytecode VM, IR regeneration and the
+/// ahead-of-time pipeline.
+fn semantic_configs() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::interpreted(),
+        EngineConfig::interpreted_unindexed(),
+        EngineConfig::jit(BackendKind::Lambda, false),
+        EngineConfig::jit(BackendKind::Bytecode, false),
+        EngineConfig::jit(BackendKind::IrGen, false),
+        EngineConfig::ahead_of_time(true, true),
+    ]
+}
+
+/// Shortest path via `min` aggregation plus a `<`-constrained rule: every
+/// backend — and every 1/2/8-thread parallel run — derives byte-identical
+/// `Dist` and `Near` sets, matching a BFS reference.
+#[test]
+fn shortest_path_min_aggregate_agrees_across_engines() {
+    for seed in [3u64, 11, 42] {
+        let workload = shortest_path(18, 10, seed);
+        for formulation in Formulation::BOTH {
+            let program = workload.program(formulation);
+
+            // BFS reference over the workload's own edge facts.
+            let edge = program.relation_by_name("Edge").unwrap();
+            let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); 18];
+            for (rel, t) in program.facts() {
+                if *rel == edge {
+                    adjacency[t.get(0).unwrap().raw() as usize].push(t.get(1).unwrap().raw());
+                }
+            }
+            let mut dist = [u32::MAX; 18];
+            dist[0] = 0;
+            let mut frontier = vec![0usize];
+            for d in 1..=10u32 {
+                let mut next = Vec::new();
+                for &x in &frontier {
+                    for &y in &adjacency[x] {
+                        if dist[y as usize] == u32::MAX {
+                            dist[y as usize] = d;
+                            next.push(y as usize);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            let mut expected: Vec<(u32, u32)> = dist
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d != u32::MAX)
+                .map(|(n, &d)| (n as u32, d))
+                .collect();
+            expected.sort_unstable();
+
+            let mut reference: Option<(Vec<_>, Vec<_>)> = None;
+            for config in semantic_configs() {
+                let label = config.label();
+                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let mut derived: Vec<(u32, u32)> = result
+                    .tuples("Dist")
+                    .unwrap()
+                    .into_iter()
+                    .map(|t| (t.get(0).unwrap().raw(), t.get(1).unwrap().raw()))
+                    .collect();
+                derived.sort_unstable();
+                assert_eq!(derived, expected, "{label} diverged from BFS (seed {seed})");
+                let mut near = result.tuples("Near").unwrap();
+                near.sort();
+                let mut dist_tuples = result.tuples("Dist").unwrap();
+                dist_tuples.sort();
+                match &reference {
+                    Some((d, n)) => {
+                        assert_eq!(&dist_tuples, d, "{label} Dist diverged");
+                        assert_eq!(&near, n, "{label} Near diverged");
+                    }
+                    None => reference = Some((dist_tuples, near)),
+                }
+            }
+            // Parallel determinism: 1, 2 and 8 workers equal the reference.
+            let (ref_dist, ref_near) = reference.unwrap();
+            for threads in [1usize, 2, 8] {
+                for base in [
+                    EngineConfig::interpreted(),
+                    EngineConfig::jit(BackendKind::Lambda, false),
+                ] {
+                    let config = base.with_parallelism(threads);
+                    let label = config.label();
+                    let result =
+                        Carac::new(program.clone()).with_config(config).run().unwrap();
+                    let mut dist_tuples = result.tuples("Dist").unwrap();
+                    dist_tuples.sort();
+                    let mut near = result.tuples("Near").unwrap();
+                    near.sort();
+                    assert_eq!(dist_tuples, ref_dist, "{label} x{threads} Dist diverged");
+                    assert_eq!(near, ref_near, "{label} x{threads} Near diverged");
+                }
+            }
+        }
+    }
+}
+
+/// Degree counting via `count` aggregates and `>`/equality joins over the
+/// aggregated values: byte-identical across all engines and thread counts.
+#[test]
+fn degree_count_aggregates_agree_across_engines() {
+    for seed in [1u64, 9] {
+        let workload = degree_distribution(40, seed);
+        for formulation in Formulation::BOTH {
+            let program = workload.program(formulation);
+            let mut reference: Option<Vec<_>> = None;
+            for config in semantic_configs() {
+                let label = config.label();
+                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let mut out_deg = result.tuples("OutDeg").unwrap();
+                out_deg.sort();
+                let mut flagged = result.tuples("Flagged").unwrap();
+                flagged.sort();
+                let mut combined = out_deg;
+                combined.extend(flagged);
+                match &reference {
+                    Some(r) => assert_eq!(&combined, r, "{label} diverged (seed {seed})"),
+                    None => reference = Some(combined),
+                }
+            }
+            let reference = reference.unwrap();
+            for threads in [2usize, 8] {
+                let config = EngineConfig::interpreted().with_parallelism(threads);
+                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let mut out_deg = result.tuples("OutDeg").unwrap();
+                out_deg.sort();
+                let mut flagged = result.tuples("Flagged").unwrap();
+                flagged.sort();
+                let mut combined = out_deg;
+                combined.extend(flagged);
+                assert_eq!(combined, reference, "{threads} threads diverged");
+            }
+        }
+    }
+}
+
+/// Aggregation over a negation stratum: count only the edges whose source
+/// is not blocked.  Exercises a three-deep stratification (negation below
+/// the aggregate input, aggregate above it) on every backend.
+#[test]
+fn aggregate_over_negation_stratifies_and_agrees() {
+    let mut source = String::from(
+        "Ok(x, y) :- Edge(x, y), !Blocked(x).\n\
+         OkDeg(x, count y) :- Ok(x, y).\n\
+         Busy(x) :- OkDeg(x, c), c >= 2.\n",
+    );
+    for (a, b) in random_digraph(12, 40, 0xD1FF) {
+        source.push_str(&format!("Edge({a}, {b}).\n"));
+    }
+    source.push_str("Blocked(1). Blocked(4). Blocked(7).\n");
+    let program = parse(&source).unwrap();
+    // Reference: distinct ok-neighbours per unblocked source.
+    let edge = program.relation_by_name("Edge").unwrap();
+    let blocked = [1u32, 4, 7];
+    let mut neighbors: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); 12];
+    for (rel, t) in program.facts() {
+        if *rel == edge {
+            let (a, b) = (t.get(0).unwrap().raw(), t.get(1).unwrap().raw());
+            if !blocked.contains(&a) {
+                neighbors[a as usize].insert(b);
+            }
+        }
+    }
+    let mut expected: Vec<(u32, u32)> = neighbors
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !n.is_empty())
+        .map(|(x, n)| (x as u32, n.len() as u32))
+        .collect();
+    expected.sort_unstable();
+
+    for config in semantic_configs() {
+        let label = config.label();
+        let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+        let mut derived: Vec<(u32, u32)> = result
+            .tuples("OkDeg")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.get(0).unwrap().raw(), t.get(1).unwrap().raw()))
+            .collect();
+        derived.sort_unstable();
+        assert_eq!(derived, expected, "{label} diverged");
+        let busy = result.count("Busy").unwrap();
+        let expected_busy = expected.iter().filter(|&&(_, c)| c >= 2).count();
+        assert_eq!(busy, expected_busy, "{label} Busy diverged");
+    }
+}
+
+/// Regression (frontend panics): out-of-range integer literals are parse
+/// errors with a position, not aborts.
+#[test]
+fn out_of_range_literals_error_instead_of_panicking() {
+    let err = parse("Edge(3000000000, 1).").unwrap_err();
+    assert!(matches!(err, DatalogError::Parse { .. }), "{err}");
+
+    let mut b = ProgramBuilder::new();
+    b.relation("Edge", 2);
+    b.fact("Edge", &[
+        carac_datalog::TermSpec::Int(u32::MAX),
+        carac_datalog::TermSpec::Int(0),
+    ]);
+    assert!(matches!(
+        b.build(),
+        Err(DatalogError::IntegerOutOfRange { .. })
+    ));
 }
 
 /// The flat row-pool storage derives byte-identical fact sets across every

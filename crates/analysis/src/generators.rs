@@ -192,6 +192,77 @@ pub fn slistlib_facts(scale: u32, seed: u64) -> ProgramFacts {
     }
 }
 
+/// One batch of a generated edge-update stream: edges entering and edges
+/// leaving the live graph.  Inserts and retracts within a batch are
+/// disjoint, and every retract targets an edge that is live at the time the
+/// batch applies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateStreamBatch {
+    /// Edges inserted by this batch (absent from the live graph before it).
+    pub inserts: EdgeList,
+    /// Edges retracted by this batch (present in the live graph before it).
+    pub retracts: EdgeList,
+}
+
+/// Generates a deterministic stream of edge insert/retract batches against
+/// `base` (the initial live edge set): `batches` batches of `batch_size`
+/// operations each, roughly 60% insertions / 40% retractions.  The stream
+/// tracks the live edge set, so replaying the batches in order against
+/// `base` is always well-formed (no duplicate inserts, no phantom
+/// retracts) — the workload shape of the `fig11_incremental` bench and the
+/// incremental differential tests.
+pub fn edge_update_stream(
+    base: &[(u32, u32)],
+    nodes: u32,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<UpdateStreamBatch> {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    for &edge in base {
+        if !live.contains(&edge) {
+            live.push(edge);
+        }
+    }
+    let mut stream = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut batch = UpdateStreamBatch::default();
+        for _ in 0..batch_size {
+            let retract = !live.is_empty() && rng.gen_bool(0.4);
+            if retract {
+                // Draw a victim that was not inserted by this same batch —
+                // the documented disjointness invariant (bounded retries so
+                // a batch that inserted almost everything cannot loop).
+                for _ in 0..64 {
+                    let pos = rng.gen_range_usize(0, live.len());
+                    if batch.inserts.contains(&live[pos]) {
+                        continue;
+                    }
+                    batch.retracts.push(live.remove(pos));
+                    break;
+                }
+            } else {
+                // Draw until we hit an edge not currently live and not
+                // retracted by this same batch — the disjointness
+                // invariant, bounded so a near-complete graph cannot loop.
+                for _ in 0..64 {
+                    let a = rng.gen_range_u32(0, nodes);
+                    let b = rng.gen_range_u32(0, nodes);
+                    if a != b && !live.contains(&(a, b)) && !batch.retracts.contains(&(a, b)) {
+                        live.push((a, b));
+                        batch.inserts.push((a, b));
+                        break;
+                    }
+                }
+            }
+        }
+        stream.push(batch);
+    }
+    stream
+}
+
 /// Arithmetic helper facts used by the micro workloads: `Succ(i, i+1)` and
 /// `Num(i)` over `0..=bound`.
 pub fn arithmetic_facts(bound: u32) -> (EdgeList, Vec<u32>) {
@@ -285,6 +356,44 @@ mod tests {
         assert!(!facts.call_site.is_empty());
         assert_eq!(facts.call_site.len(), facts.call_arg.len());
         assert_eq!(facts.call_site.len(), facts.call_ret.len());
+    }
+
+    #[test]
+    fn update_stream_is_deterministic_and_well_formed() {
+        let base = random_digraph(32, 96, 5);
+        let a = edge_update_stream(&base, 32, 10, 8, 7);
+        let b = edge_update_stream(&base, 32, 10, 8, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // Inserts and retracts of one batch are disjoint, across many
+        // seeds (a retract must never pick an edge inserted by the same
+        // batch — the application order would then matter).
+        for seed in 0..50u64 {
+            for batch in edge_update_stream(&base, 32, 10, 8, seed) {
+                for e in &batch.retracts {
+                    assert!(
+                        !batch.inserts.contains(e),
+                        "seed {seed}: {e:?} both inserted and retracted"
+                    );
+                }
+            }
+        }
+        // Replay: every retract hits a live edge, every insert is fresh.
+        let mut live: Vec<(u32, u32)> = base.clone();
+        live.sort();
+        live.dedup();
+        for batch in &a {
+            for e in &batch.retracts {
+                let pos = live.iter().position(|x| x == e).expect("retract of live edge");
+                live.remove(pos);
+            }
+            for e in &batch.inserts {
+                assert!(!live.contains(e), "insert of already-live edge");
+                live.push(*e);
+            }
+        }
+        assert!(a.iter().any(|b| !b.inserts.is_empty()));
+        assert!(a.iter().any(|b| !b.retracts.is_empty()));
     }
 
     #[test]

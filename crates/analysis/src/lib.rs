@@ -22,6 +22,7 @@ pub mod program_analysis;
 pub mod rng;
 pub mod workload;
 
+pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};
 pub use program_analysis::{andersen, cspa, csda, inverse_functions};

@@ -26,7 +26,8 @@ fn codegen_time(
     let staging = StagingCostModel::default();
     let mut total = Duration::ZERO;
     for _ in 0..repeats {
-        let (_, elapsed) = compile_artifact(node, backend, mode, &staging, warm);
+        let (_, elapsed) = compile_artifact(node, backend, mode, &staging, warm)
+            .expect("backend compilation succeeds");
         total += elapsed;
     }
     total / repeats

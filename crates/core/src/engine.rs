@@ -3,7 +3,10 @@
 use std::time::Instant;
 
 use carac_datalog::Program;
-use carac_exec::{interpreter, BackendKind, ExecContext, JitConfig, JitEngine};
+use carac_exec::{
+    interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine,
+    RunStats, UpdateBatch, UpdateKernel, UpdateReport,
+};
 use carac_ir::generate_plan;
 use carac_optimizer::ReorderAlgorithm;
 use carac_storage::{RelId, Tuple, Value};
@@ -12,6 +15,14 @@ use crate::aot::prepare_plan;
 use crate::config::{EngineConfig, ExecutionMode};
 use crate::error::CaracError;
 use crate::result::QueryResult;
+
+/// A live evaluated session: the fixpoint context plus the incremental
+/// maintenance machinery keeping it current under update batches.
+#[derive(Debug)]
+struct LiveSession {
+    ctx: ExecContext,
+    incremental: Incremental,
+}
 
 /// The user-facing engine: a validated [`Program`] plus an
 /// [`EngineConfig`], with facts optionally added incrementally before the
@@ -30,11 +41,41 @@ use crate::result::QueryResult;
 /// let result = Carac::new(program).run().unwrap();
 /// assert_eq!(result.count("Path").unwrap(), 3);
 /// ```
+///
+/// On top of the one-shot [`Carac::run`], the engine supports a **live
+/// session**: evaluate once, then keep the fixpoint current under streams
+/// of EDB insertions *and* deletions with [`Carac::apply_update`] — counted
+/// semi-naive maintenance for non-recursive strata, delete/re-derive (DRed)
+/// for recursive ones, no full recomputation:
+///
+/// ```
+/// use carac::{Carac, EngineConfig, UpdateBatch};
+/// use carac_datalog::parser::parse;
+/// use carac_storage::Tuple;
+///
+/// let program = parse(
+///     "Path(x, y) :- Edge(x, y).\n\
+///      Path(x, y) :- Edge(x, z), Path(z, y).\n\
+///      Edge(1, 2). Edge(2, 3).",
+/// ).unwrap();
+/// let mut engine = Carac::new(program).with_config(EngineConfig::interpreted());
+/// let edge = engine.program().relation_by_name("Edge").unwrap();
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(edge, Tuple::pair(3, 4));   // a new edge arrives ...
+/// batch.retract(edge, Tuple::pair(1, 2));  // ... and an old one goes away
+/// let report = engine.apply_update(batch).unwrap();
+/// assert_eq!(report.stats.edb_inserted, 1);
+/// assert_eq!(report.stats.edb_retracted, 1);
+/// // 2->3->4 remains: paths (2,3), (3,4), (2,4).
+/// assert_eq!(engine.live_count("Path").unwrap(), 3);
+/// ```
 #[derive(Debug)]
 pub struct Carac {
     program: Program,
     config: EngineConfig,
     extra_facts: Vec<(RelId, Tuple)>,
+    live: Option<LiveSession>,
 }
 
 impl Carac {
@@ -45,12 +86,14 @@ impl Carac {
             program,
             config: EngineConfig::default(),
             extra_facts: Vec::new(),
+            live: None,
         }
     }
 
     /// Replaces the configuration.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
+        self.live = None;
         self
     }
 
@@ -65,10 +108,12 @@ impl Carac {
     }
 
     /// Adds a ground fact of integer constants to `relation` before the run.
+    /// Any live session is discarded (the base fact set changed).
     pub fn add_fact_ints(&mut self, relation: &str, values: &[u32]) -> Result<(), CaracError> {
         let rel = self.program.relation_by_name(relation)?;
         self.extra_facts
             .push((rel, Tuple::new(values.iter().copied().map(Value::int).collect())));
+        self.live = None;
         Ok(())
     }
 
@@ -82,6 +127,7 @@ impl Carac {
         let rel = self.program.relation_by_name(relation)?;
         self.extra_facts
             .extend(edges.iter().map(|&(a, b)| (rel, Tuple::pair(a, b))));
+        self.live = None;
         Ok(())
     }
 
@@ -89,6 +135,7 @@ impl Carac {
     pub fn add_fact_tuple(&mut self, relation: &str, tuple: Tuple) -> Result<(), CaracError> {
         let rel = self.program.relation_by_name(relation)?;
         self.extra_facts.push((rel, tuple));
+        self.live = None;
         Ok(())
     }
 
@@ -122,6 +169,13 @@ impl Carac {
     /// assert_eq!(serial.count("Path").unwrap(), parallel.count("Path").unwrap());
     /// ```
     pub fn run(&self) -> Result<QueryResult, CaracError> {
+        let ctx = self.run_context()?;
+        Ok(QueryResult::new(self.program.clone(), ctx))
+    }
+
+    /// Runs the program to completion and returns the raw execution context
+    /// (the shared engine body behind [`Carac::run`] and the live session).
+    fn run_context(&self) -> Result<ExecContext, CaracError> {
         let mut ctx = ExecContext::prepare(&self.program, self.config.use_indexes)?;
         ctx.set_parallelism(self.config.parallelism)?;
         for (rel, tuple) in &self.extra_facts {
@@ -161,7 +215,95 @@ impl Carac {
                 }
             }
         }
-        Ok(QueryResult::new(self.program.clone(), ctx))
+        Ok(ctx)
+    }
+
+    /// The update kernel implied by the configured execution mode (the
+    /// backend dispatch seam of `carac_exec::backends::update_kernel`).
+    fn live_kernel(&self) -> UpdateKernel {
+        match &self.config.mode {
+            ExecutionMode::Interpreted => UpdateKernel::Interpreted,
+            ExecutionMode::Jit(jit) => update_kernel(jit.backend),
+            ExecutionMode::AheadOfTime(_) => UpdateKernel::Specialized,
+        }
+    }
+
+    /// Evaluates the program to its fixpoint and keeps the result as a
+    /// *live session* that [`Carac::apply_update`] maintains incrementally.
+    /// A no-op when a live session already exists.
+    pub fn run_live(&mut self) -> Result<(), CaracError> {
+        if self.live.is_some() {
+            return Ok(());
+        }
+        let ctx = self.run_context()?;
+        let incremental = Incremental::new(&self.program, &self.extra_facts, self.live_kernel());
+        self.live = Some(LiveSession { ctx, incremental });
+        Ok(())
+    }
+
+    /// Whether a live session is currently held.
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Discards the live session (the next [`Carac::apply_update`] or
+    /// [`Carac::run_live`] re-evaluates from scratch).
+    pub fn invalidate_live(&mut self) {
+        self.live = None;
+    }
+
+    /// Applies a batch of EDB insertions and retractions to the live
+    /// session, maintaining every derived stratum incrementally (counted
+    /// semi-naive for non-recursive strata, delete/re-derive for recursive
+    /// ones).  Opens the live session first if none exists.  The resulting
+    /// fact sets are identical to re-evaluating the updated EDB from
+    /// scratch.
+    pub fn apply_update(&mut self, batch: UpdateBatch) -> Result<UpdateReport, CaracError> {
+        self.run_live()?;
+        let live = self.live.as_mut().expect("run_live just succeeded");
+        Ok(live.incremental.apply(&mut live.ctx, &batch)?)
+    }
+
+    /// Convenience wrapper over [`Carac::apply_update`] for the common
+    /// binary-edge shape: applies `retracts` and `inserts` to `relation` in
+    /// one batch.
+    pub fn apply_edge_updates(
+        &mut self,
+        relation: &str,
+        inserts: &[(u32, u32)],
+        retracts: &[(u32, u32)],
+    ) -> Result<UpdateReport, CaracError> {
+        let rel = self.program.relation_by_name(relation)?;
+        let mut batch = UpdateBatch::new();
+        for &(a, b) in retracts {
+            batch.retract(rel, Tuple::pair(a, b));
+        }
+        for &(a, b) in inserts {
+            batch.insert(rel, Tuple::pair(a, b));
+        }
+        self.apply_update(batch)
+    }
+
+    /// Number of derived tuples of `relation` in the live session
+    /// (evaluating first if needed).
+    pub fn live_count(&mut self, relation: &str) -> Result<usize, CaracError> {
+        self.run_live()?;
+        let rel = self.program.relation_by_name(relation)?;
+        Ok(self.live.as_ref().expect("live").ctx.derived_count(rel))
+    }
+
+    /// All derived tuples of `relation` in the live session (evaluating
+    /// first if needed).
+    pub fn live_tuples(&mut self, relation: &str) -> Result<Vec<Tuple>, CaracError> {
+        self.run_live()?;
+        let rel = self.program.relation_by_name(relation)?;
+        Ok(self.live.as_ref().expect("live").ctx.derived_tuples(rel))
+    }
+
+    /// The live session's accumulated run statistics (including the
+    /// `update` block), if a session is open.
+    pub fn live_stats(&self) -> Option<&RunStats> {
+        self.live.as_ref().map(|l| &l.ctx.stats)
     }
 }
 
@@ -226,6 +368,52 @@ mod tests {
     fn adding_facts_to_unknown_relations_errors() {
         let mut engine = Carac::new(tc());
         assert!(engine.add_fact_ints("Nope", &[1]).is_err());
+    }
+
+    #[test]
+    fn live_session_applies_update_streams() {
+        // Every execution mode maps to an update kernel; spot-check the
+        // three representative ones.
+        for config in [
+            EngineConfig::interpreted(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+            EngineConfig::jit(BackendKind::Bytecode, false), // VM → interpreter fallback
+        ] {
+            let mut engine = Carac::new(tc()).with_config(config);
+            assert!(!engine.is_live());
+            assert_eq!(engine.live_count("Path").unwrap(), 6);
+            assert!(engine.is_live());
+            // Grow the chain, then cut its head, in separate batches.
+            engine.apply_edge_updates("Edge", &[(4, 5)], &[]).unwrap();
+            assert_eq!(engine.live_count("Path").unwrap(), 10);
+            engine.apply_edge_updates("Edge", &[], &[(1, 2)]).unwrap();
+            // Chain 2..=5: 3+2+1 = 6 paths.
+            assert_eq!(engine.live_count("Path").unwrap(), 6);
+            // The session matches a scratch evaluation of the final EDB.
+            let mut scratch = Carac::new(
+                parse(
+                    "Path(x, y) :- Edge(x, y).\n\
+                     Path(x, y) :- Edge(x, z), Path(z, y).\n\
+                     Edge(2, 3). Edge(3, 4). Edge(4, 5).",
+                )
+                .unwrap(),
+            );
+            let mut live = engine.live_tuples("Path").unwrap();
+            let mut from_scratch = scratch.live_tuples("Path").unwrap();
+            live.sort();
+            from_scratch.sort();
+            assert_eq!(live, from_scratch);
+            assert!(engine.live_stats().unwrap().update.batches >= 2);
+        }
+    }
+
+    #[test]
+    fn adding_facts_invalidates_the_live_session() {
+        let mut engine = Carac::new(tc()).with_config(EngineConfig::interpreted());
+        assert_eq!(engine.live_count("Path").unwrap(), 6);
+        engine.add_edge_facts("Edge", &[(4, 5)]).unwrap();
+        assert!(!engine.is_live());
+        assert_eq!(engine.live_count("Path").unwrap(), 10);
     }
 
     #[test]

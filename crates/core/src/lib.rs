@@ -66,6 +66,10 @@ pub use engine::Carac;
 pub use error::CaracError;
 pub use result::QueryResult;
 
+// Incremental maintenance surface (see `Carac::apply_update`).
+pub use carac_exec::{UpdateBatch, UpdateOp, UpdateReport, UpdateStats};
+pub use carac_storage::DeltaSign;
+
 // Re-export the substrate crates under stable names.
 pub use carac_datalog as datalog;
 pub use carac_exec as exec;

@@ -156,16 +156,76 @@ impl std::fmt::Debug for Artifact {
     }
 }
 
+/// Which kernel executes the delta-variant subqueries of an update batch —
+/// the backend dispatch seam of the incremental maintenance subsystem.
+///
+/// Updates need *collect-mode* execution (emitted rows feed retraction and
+/// support-count logic instead of the delta-new insert path), which the
+/// specialized closures and the interpreter both provide.  The bytecode VM
+/// cannot yet hand emitted rows back to the maintenance layer, so
+/// [`update_kernel`] maps it to the interpreter; lifting that restriction
+/// only requires the VM to grow a collect-mode `Emit` and this function to
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKernel {
+    /// Delta variants compiled once per live session with
+    /// [`SpecializedQuery::compile`] and run through the flat-array kernel.
+    Specialized,
+    /// Delta variants executed by the structure-walking interpreter.
+    Interpreted,
+}
+
+/// Maps a compilation backend to the kernel that executes its update
+/// batches (see [`UpdateKernel`]).
+pub fn update_kernel(backend: BackendKind) -> UpdateKernel {
+    match backend {
+        // The closure backends already execute specialized kernels.
+        BackendKind::Lambda | BackendKind::Quotes => UpdateKernel::Specialized,
+        // The VM falls back to the interpreter for updates in this revision;
+        // IRGen interprets its artifacts anyway.
+        BackendKind::Bytecode | BackendKind::IrGen => UpdateKernel::Interpreted,
+    }
+}
+
+/// Validates that `artifact` has a shape the given backend/mode pair is
+/// specified to produce, returning a typed
+/// [`ExecError::UnexpectedArtifact`] otherwise.  The JIT runs every freshly
+/// compiled artifact through this check before caching it, so a misbehaving
+/// backend surfaces as a query error instead of aborting the process.
+pub fn check_artifact(
+    backend: BackendKind,
+    mode: CompileMode,
+    artifact: &Artifact,
+) -> Result<(), ExecError> {
+    let ok = match (backend, mode, artifact) {
+        (BackendKind::Lambda | BackendKind::Quotes, CompileMode::Full, Artifact::FullClosure(_)) => true,
+        (BackendKind::Lambda | BackendKind::Quotes, CompileMode::Snippet, Artifact::Snippet(_)) => true,
+        // Snippet requests degrade to full compilation on the VM target.
+        (BackendKind::Bytecode, _, Artifact::Vm(_)) => true,
+        (BackendKind::IrGen, _, Artifact::Ir(_)) => true,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ExecError::UnexpectedArtifact {
+            backend: format!("{backend:?}"),
+            artifact: format!("{artifact:?}"),
+        })
+    }
+}
+
 /// Compiles `node` (already reordered by the optimizer) with the requested
 /// backend and mode.  Returns the artifact and the wall-clock time spent
-/// (including any modeled staging cost).
+/// (including any modeled staging cost), or a typed error when the backend's
+/// own compiler rejects the subtree (e.g. [`carac_vm::VmError::PatchTarget`]).
 pub fn compile_artifact(
     node: &IRNode,
     backend: BackendKind,
     mode: CompileMode,
     staging: &StagingCostModel,
     warm: bool,
-) -> (Artifact, Duration) {
+) -> Result<(Artifact, Duration), ExecError> {
     let start = Instant::now();
     let artifact = match (backend, mode) {
         (BackendKind::Lambda, CompileMode::Full) => Artifact::FullClosure(compile_closure(node)),
@@ -184,10 +244,10 @@ pub fn compile_artifact(
         // mid-node, so snippet requests degrade to full compilation
         // (documented limitation, matching the paper's description of the
         // JVM-bytecode target).
-        (BackendKind::Bytecode, _) => Artifact::Vm(carac_vm::compile_node(node)),
+        (BackendKind::Bytecode, _) => Artifact::Vm(carac_vm::compile_node(node)?),
         (BackendKind::IrGen, _) => Artifact::Ir(node.clone()),
     };
-    (artifact, start.elapsed())
+    Ok((artifact, start.elapsed()))
 }
 
 /// Builds the fused closure for a whole subtree by stitching together the
@@ -290,22 +350,37 @@ mod tests {
         let staging = StagingCostModel::free();
         for backend in BackendKind::ALL {
             let (artifact, elapsed) =
-                compile_artifact(&plan, backend, CompileMode::Full, &staging, true);
+                compile_artifact(&plan, backend, CompileMode::Full, &staging, true).unwrap();
             assert!(elapsed < Duration::from_secs(1));
+            // The typed shape check replaces the old hard panic: a
+            // misbehaving backend now degrades into ExecError.
+            check_artifact(backend, CompileMode::Full, &artifact)
+                .unwrap_or_else(|e| panic!("{e}"));
             match (backend, artifact) {
-                (BackendKind::Lambda, Artifact::FullClosure(_)) => {}
-                (BackendKind::Quotes, Artifact::FullClosure(_)) => {}
                 (BackendKind::Bytecode, Artifact::Vm(program)) => {
                     assert!(program.validate().is_ok())
                 }
                 (BackendKind::IrGen, Artifact::Ir(node)) => {
                     assert_eq!(node.node_count(), plan.node_count())
                 }
-                (backend, artifact) => {
-                    panic!("backend {backend:?} produced unexpected artifact {artifact:?}")
-                }
+                _ => {}
             }
         }
+    }
+
+    #[test]
+    fn artifact_shape_mismatch_is_a_typed_error() {
+        let (_, plan) = tc();
+        // A VM artifact claimed to come from the Lambda backend is the
+        // misbehaving-backend scenario: the check reports it as a typed
+        // error instead of aborting the process.
+        let vm = Artifact::Vm(carac_vm::compile_node(&plan).expect("plan compiles"));
+        let err = check_artifact(BackendKind::Lambda, CompileMode::Full, &vm).unwrap_err();
+        assert!(matches!(err, ExecError::UnexpectedArtifact { .. }));
+        assert!(err.to_string().contains("unexpected artifact"));
+        // Matching pairs pass, including the documented bytecode
+        // snippet-degrades-to-full case.
+        assert!(check_artifact(BackendKind::Bytecode, CompileMode::Snippet, &vm).is_ok());
     }
 
     #[test]
@@ -319,7 +394,8 @@ mod tests {
             CompileMode::Snippet,
             &StagingCostModel::free(),
             true,
-        );
+        )
+        .unwrap();
         assert!(matches!(artifact, Artifact::Snippet(map) if map.len() == snippets.len()));
     }
 
@@ -332,7 +408,8 @@ mod tests {
             CompileMode::Snippet,
             &StagingCostModel::free(),
             true,
-        );
+        )
+        .unwrap();
         assert!(matches!(artifact, Artifact::Vm(_)));
     }
 
@@ -357,14 +434,17 @@ mod tests {
             snippet_factor: 1.0,
         };
         let (_, cold_time) =
-            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, false);
+            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, false)
+                .unwrap();
         let (_, warm_time) =
-            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, true);
+            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, true)
+                .unwrap();
         assert!(cold_time >= Duration::from_millis(20));
         assert!(warm_time < cold_time);
         // Lambda pays no modeled cost at all.
         let (_, lambda_time) =
-            compile_artifact(&plan, BackendKind::Lambda, CompileMode::Full, &staging, false);
+            compile_artifact(&plan, BackendKind::Lambda, CompileMode::Full, &staging, false)
+                .unwrap();
         assert!(lambda_time < Duration::from_millis(20));
     }
 }

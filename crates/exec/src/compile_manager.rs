@@ -43,7 +43,7 @@ pub struct CompileResult {
 /// Handle to the background compiler thread plus the blocking entry point.
 pub struct CompilationManager {
     tx: Option<Sender<CompileRequest>>,
-    results: Arc<Mutex<FxHashMap<NodeId, CompileResult>>>,
+    results: Arc<Mutex<FxHashMap<NodeId, Result<CompileResult, ExecError>>>>,
     pending: FxHashSet<NodeId>,
     completed_compilations: usize,
     worker: Option<JoinHandle<()>>,
@@ -68,21 +68,24 @@ impl CompilationManager {
     /// Creates a manager with its background compiler thread.
     pub fn new() -> Self {
         let (tx, rx): (Sender<CompileRequest>, Receiver<CompileRequest>) = channel();
-        let results: Arc<Mutex<FxHashMap<NodeId, CompileResult>>> =
+        let results: Arc<Mutex<FxHashMap<NodeId, Result<CompileResult, ExecError>>>> =
             Arc::new(Mutex::new(FxHashMap::default()));
         let worker_results = Arc::clone(&results);
         let worker = std::thread::Builder::new()
             .name("carac-compiler".to_string())
             .spawn(move || {
                 while let Ok(request) = rx.recv() {
-                    let (artifact, duration) = compile_artifact(
+                    // A backend compile error is shipped back as a result so
+                    // the engine degrades with a typed error at the next
+                    // poll instead of hanging on a forever-pending node.
+                    let result = compile_artifact(
                         &request.subtree,
                         request.backend,
                         request.mode,
                         &request.staging,
                         request.warm,
-                    );
-                    let result = CompileResult {
+                    )
+                    .map(|(artifact, duration)| CompileResult {
                         artifact,
                         event: CompileEvent {
                             node: request.node_id,
@@ -92,7 +95,7 @@ impl CompilationManager {
                             warm: request.warm,
                             duration,
                         },
-                    };
+                    });
                     worker_results
                         .lock()
                         .expect("compiler result map poisoned")
@@ -133,11 +136,11 @@ impl CompilationManager {
         backend: BackendKind,
         mode: CompileMode,
         staging: &StagingCostModel,
-    ) -> CompileResult {
+    ) -> Result<CompileResult, ExecError> {
         let warm = self.is_warm();
-        let (artifact, duration) = compile_artifact(subtree, backend, mode, staging, warm);
+        let (artifact, duration) = compile_artifact(subtree, backend, mode, staging, warm)?;
         self.completed_compilations += 1;
-        CompileResult {
+        Ok(CompileResult {
             artifact,
             event: CompileEvent {
                 node: node_id,
@@ -147,7 +150,7 @@ impl CompilationManager {
                 warm,
                 duration,
             },
-        }
+        })
     }
 
     /// Submits an asynchronous compilation request.  A duplicate request for
@@ -184,8 +187,9 @@ impl CompilationManager {
     }
 
     /// Polls for a finished compilation of `node_id`.  Returns `None` while
-    /// the request is still in flight.
-    pub fn poll(&mut self, node_id: NodeId) -> Option<CompileResult> {
+    /// the request is still in flight; a completed compilation may carry a
+    /// typed backend error instead of an artifact.
+    pub fn poll(&mut self, node_id: NodeId) -> Option<Result<CompileResult, ExecError>> {
         let result = self
             .results
             .lock()
@@ -201,7 +205,11 @@ impl CompilationManager {
     /// Blocks until the pending compilation of `node_id` finishes (used by
     /// tests and by engine shutdown paths).  Returns `None` if nothing was
     /// pending.
-    pub fn wait(&mut self, node_id: NodeId, timeout: Duration) -> Option<CompileResult> {
+    pub fn wait(
+        &mut self,
+        node_id: NodeId,
+        timeout: Duration,
+    ) -> Option<Result<CompileResult, ExecError>> {
         if !self.pending.contains(&node_id) {
             return self.poll(node_id);
         }
@@ -247,26 +255,30 @@ mod tests {
     fn blocking_compilation_is_immediately_available() {
         let mut manager = CompilationManager::new();
         let plan = plan();
-        let result = manager.compile_blocking(
-            plan.id,
-            plan.kind(),
-            &plan,
-            BackendKind::Lambda,
-            CompileMode::Full,
-            &StagingCostModel::free(),
-        );
+        let result = manager
+            .compile_blocking(
+                plan.id,
+                plan.kind(),
+                &plan,
+                BackendKind::Lambda,
+                CompileMode::Full,
+                &StagingCostModel::free(),
+            )
+            .unwrap();
         assert!(matches!(result.artifact, Artifact::FullClosure(_)));
         assert!(!result.event.warm);
         assert!(manager.is_warm());
         // A second compilation is warm.
-        let result = manager.compile_blocking(
-            plan.id,
-            plan.kind(),
-            &plan,
-            BackendKind::Lambda,
-            CompileMode::Full,
-            &StagingCostModel::free(),
-        );
+        let result = manager
+            .compile_blocking(
+                plan.id,
+                plan.kind(),
+                &plan,
+                BackendKind::Lambda,
+                CompileMode::Full,
+                &StagingCostModel::free(),
+            )
+            .unwrap();
         assert!(result.event.warm);
     }
 
@@ -287,7 +299,8 @@ mod tests {
         assert!(manager.is_pending(plan.id));
         let result = manager
             .wait(plan.id, Duration::from_secs(5))
-            .expect("compilation should finish");
+            .expect("compilation should finish")
+            .expect("compilation should succeed");
         assert!(matches!(result.artifact, Artifact::Vm(_)));
         assert!(!manager.is_pending(plan.id));
         assert_eq!(manager.completed(), 1);

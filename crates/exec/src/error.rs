@@ -11,6 +11,19 @@ pub enum ExecError {
     Vm(String),
     /// The compilation manager failed (worker thread gone, poisoned state).
     Compilation(String),
+    /// A compilation backend returned an artifact of a shape it is not
+    /// specified to produce (e.g. the bytecode backend handing back a
+    /// closure).  Surfaced as an error so a misbehaving backend degrades the
+    /// query instead of aborting the process.
+    UnexpectedArtifact {
+        /// The backend that produced the artifact.
+        backend: String,
+        /// Debug rendering of the artifact that was produced.
+        artifact: String,
+    },
+    /// An update batch was rejected by the incremental maintenance
+    /// subsystem (unknown relation, non-EDB target, arity mismatch).
+    Update(String),
     /// An internal invariant was violated (a bug in plan generation or the
     /// JIT controller).
     Internal(String),
@@ -22,6 +35,10 @@ impl fmt::Display for ExecError {
             ExecError::Storage(err) => write!(f, "storage error: {err}"),
             ExecError::Vm(msg) => write!(f, "vm error: {msg}"),
             ExecError::Compilation(msg) => write!(f, "compilation error: {msg}"),
+            ExecError::UnexpectedArtifact { backend, artifact } => {
+                write!(f, "backend {backend} produced unexpected artifact {artifact}")
+            }
+            ExecError::Update(msg) => write!(f, "update error: {msg}"),
             ExecError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -1,0 +1,1214 @@
+//! Incremental view maintenance: counted semi-naive + delete/re-derive.
+//!
+//! A completed evaluation leaves the storage manager holding the full
+//! fixpoint.  This module maintains that fixpoint under batched EDB
+//! **insertions and deletions** without recomputing it from scratch:
+//!
+//! * **Insert propagation** — new facts are seeded into the delta-known
+//!   database and pushed through per-rule *delta variants* (one conjunctive
+//!   query per positive body position, reading the delta at that position
+//!   and the derived database elsewhere), iterated with the same
+//!   swap-and-clear boundary as normal semi-naive evaluation.  Updates run
+//!   through the same allocation-free join probes and the same sharded
+//!   fork-join pool as full evaluation, so they parallelize identically.
+//! * **Counted deletion (non-recursive strata)** — every derived row
+//!   carries a support count (derivations recorded by
+//!   `StorageManager::insert_derived_row`).  Lost derivations are
+//!   enumerated by joining the deletion frontier against the pre-deletion
+//!   database and decrement the counts; rows whose count stays positive
+//!   survive without any re-derivation work (the fast path), rows hitting
+//!   zero are retracted and re-checked by an exact head-driven recount.
+//!   Decrements may over-count derivations touching several deleted facts,
+//!   so counts are a *conservative* fast path: a positive count proves
+//!   survival, a zero count only triggers the exact recount.
+//! * **Delete/re-derive, DRed (recursive strata)** — the deletion cone is
+//!   over-approximated by a frontier fixpoint over the delta variants, the
+//!   cone is retracted wholesale, and facts with remaining derivations are
+//!   rescued by a deleted-set-driven re-derivation join followed by normal
+//!   insert propagation restricted to the stratum.
+//! * **Stratum recompute (aggregates, negation)** — strata whose rules
+//!   aggregate a changed input or negate a changed relation are recomputed
+//!   wholesale from the (already final) lower strata by re-running their
+//!   plan subtree; the before/after diff feeds higher strata as ordinary
+//!   signed deltas.  Aggregation is a full-input fold, so this recompute
+//!   *is* its natural incremental granularity.
+//!
+//! Strata are processed in dependency order; each stratum receives the net
+//! signed deltas (`DeltaSign::Insert` / `DeltaSign::Retract`) of everything
+//! below it and publishes its own net deltas upward.  The final state is
+//! byte-identical (as a fact set) to evaluating the updated EDB from
+//! scratch — the differential tests in `tests/differential.rs` assert this
+//! for insert-only, delete-only and mixed batches across thread counts.
+
+use std::time::Instant;
+
+use carac_datalog::{HeadBinding, Program, Rule, Term};
+use carac_ir::{generate_plan, ConjunctiveQuery, EvalStrategy, IRNode, IROp, QueryAtom};
+use carac_storage::hasher::FxHashMap;
+use carac_storage::{DbKind, DeltaSign, RelId, Relation, RelationSchema, Tuple, Value};
+
+use crate::backends::{compile_closure, ClosureFn, UpdateKernel};
+use crate::context::ExecContext;
+use crate::error::ExecError;
+use crate::interpreter::interpret;
+use crate::kernel::{collect_interpreted_rows, SpecializedQuery};
+use crate::stats::{RunStats, UpdateStats};
+
+/// One signed fact of an update batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOp {
+    /// Target (extensional) relation.
+    pub rel: RelId,
+    /// Whether the fact enters or leaves the database.
+    pub sign: DeltaSign,
+    /// The fact's row.
+    pub values: Vec<Value>,
+}
+
+/// A batch of EDB insertions and retractions applied atomically by
+/// [`Incremental::apply`] / `Carac::apply_update`.  Ops are applied in
+/// order, so a retract-then-insert of the same fact cancels out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Queues the insertion of a fact.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> &mut Self {
+        self.insert_row(rel, tuple.values().to_vec())
+    }
+
+    /// Queues the retraction of a fact.
+    pub fn retract(&mut self, rel: RelId, tuple: Tuple) -> &mut Self {
+        self.retract_row(rel, tuple.values().to_vec())
+    }
+
+    /// Queues the insertion of a raw row.
+    pub fn insert_row(&mut self, rel: RelId, values: Vec<Value>) -> &mut Self {
+        self.ops.push(UpdateOp { rel, sign: DeltaSign::Insert, values });
+        self
+    }
+
+    /// Queues the retraction of a raw row.
+    pub fn retract_row(&mut self, rel: RelId, values: Vec<Value>) -> &mut Self {
+        self.ops.push(UpdateOp { rel, sign: DeltaSign::Retract, values });
+        self
+    }
+
+    /// The queued operations, in application order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What one applied batch did, plus the time it took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The maintenance counters of this batch (also accumulated into
+    /// `RunStats::update` on the session's stats).
+    pub stats: UpdateStats,
+    /// Wall-clock time spent applying the batch.
+    pub total_time: std::time::Duration,
+}
+
+/// One delta-variant (or driver) query with its optionally pre-compiled
+/// specialized kernel — the execution unit of every maintenance phase.
+struct QueryExec {
+    query: ConjunctiveQuery,
+    kernel: Option<SpecializedQuery>,
+}
+
+impl QueryExec {
+    fn new(query: ConjunctiveQuery, kernel: UpdateKernel) -> QueryExec {
+        let compiled = match kernel {
+            UpdateKernel::Specialized => Some(SpecializedQuery::compile(&query)),
+            UpdateKernel::Interpreted => None,
+        };
+        QueryExec { query, kernel: compiled }
+    }
+
+    fn head_arity(&self) -> usize {
+        self.query.head_bindings.len()
+    }
+
+    /// Collect-mode execution: emitted head rows (row-major, head arity as
+    /// stride; duplicates preserved — one row per derivation).
+    fn collect(
+        &self,
+        storage: &carac_storage::StorageManager,
+        stats: &mut RunStats,
+        parallelism: usize,
+    ) -> Result<(Vec<Value>, u64), ExecError> {
+        stats.update.delta_subqueries += 1;
+        match &self.kernel {
+            Some(kernel) => kernel.collect_rows(storage, stats, parallelism),
+            None => collect_interpreted_rows(&self.query, storage, stats, parallelism),
+        }
+    }
+}
+
+/// The maintenance machinery of one rule: a delta variant per positive body
+/// position plus the head-driven full-body query used for re-derivation and
+/// exact recounting.
+struct RulePlan {
+    head_rel: RelId,
+    /// `(relation read as delta, variant query)` per positive position.
+    variants: Vec<(RelId, QueryExec)>,
+    /// `Head(pattern)@DeltaKnown ⋈ body@Derived`: enumerates, per fact of
+    /// the set loaded into the head relation's delta-known database, every
+    /// derivation it has in the current database.
+    driver: QueryExec,
+}
+
+/// Per-stratum maintenance plan.
+struct StratumPlan {
+    relations: Vec<RelId>,
+    recursive: bool,
+    rules: Vec<RulePlan>,
+    /// Distinct relations appearing in positive rule bodies (or as the
+    /// aggregate input) — the stratum's inputs plus its own recursion.
+    body_rels: Vec<RelId>,
+    /// Distinct relations appearing under negation in this stratum's rules.
+    negated_rels: Vec<RelId>,
+    /// Whether any relation of the stratum is produced by an aggregation.
+    aggregate: bool,
+    /// The stratum's plan subtree, re-run wholesale on the recompute path.
+    node: IRNode,
+    /// Fused closure of `node` (Specialized kernel only).
+    closure: Option<ClosureFn>,
+}
+
+/// Net signed delta sets accumulated while strata are processed, one pair
+/// of side relations per storage relation.  Inserting a fact that is
+/// currently recorded as retracted (or vice versa) cancels instead of
+/// double-recording, so each set always holds the *net* change against the
+/// pre-batch state.
+struct DeltaSets {
+    plus: Vec<Option<Relation>>,
+    minus: Vec<Option<Relation>>,
+    schemas: Vec<RelationSchema>,
+}
+
+impl DeltaSets {
+    fn new(schemas: Vec<RelationSchema>) -> DeltaSets {
+        DeltaSets {
+            plus: schemas.iter().map(|_| None).collect(),
+            minus: schemas.iter().map(|_| None).collect(),
+            schemas,
+        }
+    }
+
+    fn side<'a>(slot: &'a mut Option<Relation>, schema: &RelationSchema) -> &'a mut Relation {
+        slot.get_or_insert_with(|| Relation::new(schema.clone()))
+    }
+
+    fn record_insert(&mut self, rel: RelId, values: &[Value]) -> Result<(), ExecError> {
+        let ix = rel.index();
+        if let Some(minus) = &mut self.minus[ix] {
+            if minus.retract_row(values)? {
+                return Ok(()); // cancels an earlier retraction
+            }
+        }
+        Self::side(&mut self.plus[ix], &self.schemas[ix]).insert_row(values)?;
+        Ok(())
+    }
+
+    fn record_retract(&mut self, rel: RelId, values: &[Value]) -> Result<(), ExecError> {
+        let ix = rel.index();
+        if let Some(plus) = &mut self.plus[ix] {
+            if plus.retract_row(values)? {
+                return Ok(()); // cancels an earlier insertion
+            }
+        }
+        Self::side(&mut self.minus[ix], &self.schemas[ix]).insert_row(values)?;
+        Ok(())
+    }
+
+    fn plus_of(&self, rel: RelId) -> Option<&Relation> {
+        self.plus[rel.index()].as_ref().filter(|r| !r.is_empty())
+    }
+
+    fn minus_of(&self, rel: RelId) -> Option<&Relation> {
+        self.minus[rel.index()].as_ref().filter(|r| !r.is_empty())
+    }
+
+    fn changed(&self, rel: RelId) -> bool {
+        self.plus_of(rel).is_some() || self.minus_of(rel).is_some()
+    }
+}
+
+/// The incremental maintenance engine for one program: delta variants and
+/// re-derivation drivers (compiled once per live session), the per-stratum
+/// recompute subtrees, and the base-fact protection sets.
+///
+/// Built by `Carac` when a live session is opened; [`Incremental::apply`]
+/// maintains the session's [`ExecContext`] under an [`UpdateBatch`].
+pub struct Incremental {
+    strata: Vec<StratumPlan>,
+    /// Per-relation "base" facts of intensional relations (program facts
+    /// plus runtime-added facts): asserted, not derived, so deletion
+    /// propagation must never retract them.
+    base_facts: Vec<Option<Relation>>,
+    /// Whether each relation is extensional (updatable by batches).
+    is_edb: Vec<bool>,
+    names: Vec<String>,
+}
+
+impl std::fmt::Debug for Incremental {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Incremental")
+            .field("strata", &self.strata.len())
+            .finish()
+    }
+}
+
+/// Statically join-orders a maintenance query: the atom at `first` (the
+/// delta or driver atom — the small side of every update join) is rotated
+/// to the front and the remaining atoms follow greedily by connectivity
+/// (always preferring an atom that shares an already-bound variable or
+/// carries a constant, original order as the tie-break).  Update queries
+/// run outside the adaptive JIT, so this static order is what stands
+/// between a single-edge delta and an accidental full-relation scan at
+/// join level 0.
+fn order_delta_first(query: &ConjunctiveQuery, first: usize) -> ConjunctiveQuery {
+    let n = query.atoms.len();
+    if n <= 1 {
+        return query.clone();
+    }
+    let mut bound = vec![false; query.num_vars];
+    for (_, v) in query.atoms[first].variable_columns() {
+        bound[v.index()] = true;
+    }
+    let mut order = vec![first];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&i| {
+                let atom = &query.atoms[i];
+                atom.variable_columns().any(|(_, v)| bound[v.index()])
+                    || atom.constant_columns().next().is_some()
+            })
+            .unwrap_or(0);
+        let chosen = remaining.remove(pick);
+        for (_, v) in query.atoms[chosen].variable_columns() {
+            bound[v.index()] = true;
+        }
+        order.push(chosen);
+    }
+    query.with_order(&order)
+}
+
+/// Builds the head-driven full-body query of `rule`: the rule's head atom
+/// (its pattern rebuilt from the head bindings) reading the delta-known
+/// database, followed by the positive body reading derived (join-ordered
+/// outward from the driver), with the original negations and constraints.
+/// Loading a fact set into the head relation's delta-known database and
+/// collecting this query emits, per fact of the set, one row per derivation
+/// the current database offers.
+fn driver_query(rule: &Rule) -> ConjunctiveQuery {
+    let mut query = ConjunctiveQuery::from_rule(rule, None);
+    let head_terms: Vec<Term> = query
+        .head_bindings
+        .iter()
+        .map(|b| match b {
+            HeadBinding::Var(v) => Term::Var(*v),
+            HeadBinding::Const(c) => Term::Const(*c),
+        })
+        .collect();
+    query.atoms.insert(
+        0,
+        QueryAtom {
+            rel: query.head_rel,
+            db: DbKind::DeltaKnown,
+            terms: head_terms,
+        },
+    );
+    order_delta_first(&query, 0)
+}
+
+impl Incremental {
+    /// Builds the maintenance plan for `program`.  `extra_facts` are the
+    /// facts added to the engine on top of the program's own (they extend
+    /// the base-fact protection sets); `kernel` picks the execution kernel
+    /// for every delta variant (see
+    /// [`update_kernel`](crate::backends::update_kernel)).
+    pub fn new(
+        program: &Program,
+        extra_facts: &[(RelId, Tuple)],
+        kernel: UpdateKernel,
+    ) -> Incremental {
+        let plan = generate_plan(program, EvalStrategy::SemiNaive);
+        let stratum_nodes: Vec<IRNode> = match plan.op {
+            IROp::Program { children } => children,
+            _ => Vec::new(),
+        };
+        let mut strata = Vec::new();
+        for (stratum, node) in program.stratification().strata().iter().zip(stratum_nodes) {
+            let mut rules = Vec::new();
+            let mut body_rels: Vec<RelId> = Vec::new();
+            let mut negated_rels: Vec<RelId> = Vec::new();
+            for &rule_id in &stratum.rules {
+                let rule = program.rule(rule_id);
+                let mut variants = Vec::new();
+                for (i, literal) in rule.positive_body().enumerate() {
+                    let query =
+                        order_delta_first(&ConjunctiveQuery::from_rule(rule, Some(i)), i);
+                    variants.push((literal.atom.rel, QueryExec::new(query, kernel)));
+                    if !body_rels.contains(&literal.atom.rel) {
+                        body_rels.push(literal.atom.rel);
+                    }
+                }
+                for literal in rule.negative_body() {
+                    if !negated_rels.contains(&literal.atom.rel) {
+                        negated_rels.push(literal.atom.rel);
+                    }
+                }
+                rules.push(RulePlan {
+                    head_rel: rule.head.rel,
+                    variants,
+                    driver: QueryExec::new(driver_query(rule), kernel),
+                });
+            }
+            let mut aggregate = false;
+            for &rel in &stratum.relations {
+                if let Some(spec) = program.aggregate_for(rel) {
+                    aggregate = true;
+                    if !body_rels.contains(&spec.input) {
+                        body_rels.push(spec.input);
+                    }
+                }
+            }
+            let closure = match kernel {
+                UpdateKernel::Specialized => Some(compile_closure(&node)),
+                UpdateKernel::Interpreted => None,
+            };
+            strata.push(StratumPlan {
+                relations: stratum.relations.clone(),
+                recursive: stratum.recursive,
+                rules,
+                body_rels,
+                negated_rels,
+                aggregate,
+                node,
+                closure,
+            });
+        }
+        let mut base_facts: Vec<Option<Relation>> =
+            program.relations().iter().map(|_| None).collect();
+        for (rel, tuple) in program.facts().iter().chain(extra_facts) {
+            let decl = program.relation(*rel);
+            if decl.is_edb {
+                continue; // EDB facts are updatable; only IDB seeds are protected
+            }
+            base_facts[rel.index()]
+                .get_or_insert_with(|| {
+                    Relation::new(RelationSchema::new(*rel, &decl.name, decl.arity, false))
+                })
+                .insert(tuple.clone())
+                .ok();
+        }
+        Incremental {
+            strata,
+            base_facts,
+            is_edb: program.relations().iter().map(|d| d.is_edb).collect(),
+            names: program.relations().iter().map(|d| d.name.clone()).collect(),
+        }
+    }
+
+    /// Applies one update batch to a live context (which must hold a
+    /// completed fixpoint), maintaining every derived stratum.  Returns the
+    /// batch's report; counters also accumulate into `ctx.stats.update`.
+    pub fn apply(
+        &self,
+        ctx: &mut ExecContext,
+        batch: &UpdateBatch,
+    ) -> Result<UpdateReport, ExecError> {
+        let started = Instant::now();
+        let mut up = UpdateStats { batches: 1, ..UpdateStats::default() };
+        let all_rels: Vec<RelId> = (0..ctx.storage.relation_count())
+            .map(|i| RelId(i as u32))
+            .collect();
+        // The delta databases double as the update-delta carrier; a
+        // completed run leaves them empty, but clear defensively.
+        ctx.storage.clear_deltas(&all_rels)?;
+
+        let schemas = ctx.storage.schemas().to_vec();
+        let mut deltas = DeltaSets::new(schemas);
+
+        // --- 1. validate the whole batch before touching anything: a
+        // rejected op must not leave a half-applied batch behind (the live
+        // session stays usable after an Err).
+        for op in batch.ops() {
+            let ix = op.rel.index();
+            let name = self.names.get(ix).ok_or_else(|| {
+                ExecError::Update(format!("unknown relation {:?}", op.rel))
+            })?;
+            if !self.is_edb[ix] {
+                return Err(ExecError::Update(format!(
+                    "relation {name} is intensional; derived facts are maintained \
+                     automatically and cannot be updated directly"
+                )));
+            }
+            let arity = ctx.storage.schema(op.rel)?.arity;
+            if op.values.len() != arity {
+                return Err(ExecError::Update(format!(
+                    "relation {name} has arity {arity}, got a row of width {}",
+                    op.values.len()
+                )));
+            }
+        }
+
+        // --- 2. apply the EDB changes physically, tracking net deltas ----
+        for op in batch.ops() {
+            match op.sign {
+                DeltaSign::Insert => {
+                    if ctx
+                        .storage
+                        .db_mut(DbKind::Derived)
+                        .relation_mut(op.rel)?
+                        .insert_row(&op.values)?
+                    {
+                        deltas.record_insert(op.rel, &op.values)?;
+                    }
+                }
+                DeltaSign::Retract => {
+                    if ctx.storage.retract_fact_row(op.rel, &op.values)? {
+                        deltas.record_retract(op.rel, &op.values)?;
+                    }
+                }
+            }
+        }
+        for (ix, is_edb) in self.is_edb.iter().enumerate() {
+            if *is_edb {
+                let rel = RelId(ix as u32);
+                up.edb_inserted += deltas.plus_of(rel).map_or(0, Relation::len) as u64;
+                up.edb_retracted += deltas.minus_of(rel).map_or(0, Relation::len) as u64;
+            }
+        }
+
+        // --- 3. maintain each stratum in dependency order ----------------
+        for plan in &self.strata {
+            let negation_changed = plan.negated_rels.iter().any(|&r| deltas.changed(r));
+            let inputs_changed = plan.body_rels.iter().any(|&r| deltas.changed(r));
+            if !inputs_changed && !negation_changed {
+                continue;
+            }
+            if plan.aggregate || negation_changed {
+                self.recompute_stratum(plan, ctx, &mut deltas, &mut up)?;
+                continue;
+            }
+            if plan.body_rels.iter().any(|&r| deltas.minus_of(r).is_some()) {
+                self.deletion_phase(plan, ctx, &mut deltas, &mut up)?;
+            }
+            if plan.body_rels.iter().any(|&r| deltas.plus_of(r).is_some()) {
+                self.insertion_phase(plan, ctx, &mut deltas, &mut up)?;
+            }
+        }
+
+        for (ix, is_edb) in self.is_edb.iter().enumerate() {
+            if !*is_edb {
+                let rel = RelId(ix as u32);
+                up.derived_inserted += deltas.plus_of(rel).map_or(0, Relation::len) as u64;
+                up.derived_retracted += deltas.minus_of(rel).map_or(0, Relation::len) as u64;
+            }
+        }
+        // Between batches no RowId or slot watermark is held, so this is
+        // the safe point to fold accumulated tombstones away — without it a
+        // sustained stream would grow pools with total churn, not live
+        // data.
+        ctx.storage.compact_derived();
+        ctx.stats.update.merge(&up);
+        Ok(UpdateReport { stats: up, total_time: started.elapsed() })
+    }
+
+    /// Copies the rows of `facts` into `rel`'s delta-known database.
+    fn load_delta(
+        ctx: &mut ExecContext,
+        rel: RelId,
+        facts: &Relation,
+    ) -> Result<(), ExecError> {
+        ctx.storage
+            .db_mut(DbKind::DeltaKnown)
+            .relation_mut(rel)?
+            .union_in_place(facts)?;
+        Ok(())
+    }
+
+    /// The live rows of `rel`'s derived database appended past the slot
+    /// high-water mark `mark` — the net-new facts of a maintenance phase.
+    fn new_live_rows(
+        ctx: &ExecContext,
+        rel: RelId,
+        mark: usize,
+    ) -> Result<Vec<Vec<Value>>, ExecError> {
+        let derived = ctx.storage.db(DbKind::Derived).relation(rel)?;
+        Ok((mark..derived.slot_count())
+            .filter_map(|slot| {
+                let slot = slot as carac_storage::RowId;
+                derived.is_live(slot).then(|| derived.row(slot).to_vec())
+            })
+            .collect())
+    }
+
+    /// Exact derivation counts for the facts in `probe`: loads them into
+    /// `rel`'s delta-known database, runs every head-driven driver query of
+    /// the stratum's rules for `rel`, and returns emissions per fact (the
+    /// delta databases are cleared again before returning).
+    fn count_derivations(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        rel: RelId,
+        probe: &Relation,
+    ) -> Result<FxHashMap<Vec<Value>, u32>, ExecError> {
+        Self::load_delta(ctx, rel, probe)?;
+        let mut counts: FxHashMap<Vec<Value>, u32> = FxHashMap::default();
+        for rule in plan.rules.iter().filter(|r| r.head_rel == rel) {
+            let ExecContext { storage, stats, parallelism, .. } = ctx;
+            let (buf, emitted) = rule.driver.collect(storage, stats, *parallelism)?;
+            let arity = rule.driver.head_arity();
+            for i in 0..emitted as usize {
+                let row = &buf[i * arity..(i + 1) * arity];
+                *counts.entry(row.to_vec()).or_insert(0) += 1;
+            }
+        }
+        ctx.storage.clear_deltas(&[rel])?;
+        Ok(counts)
+    }
+
+    /// Whether `values` is a protected base fact of `rel` (asserted, not
+    /// derived — deletion propagation must never retract it).
+    fn is_base_fact(&self, rel: RelId, values: &[Value]) -> bool {
+        self.base_facts[rel.index()]
+            .as_ref()
+            .is_some_and(|base| base.contains_row(values))
+    }
+
+    /// The deletion phase of one positive stratum: over-delete the cone of
+    /// the input retractions against the *old* database, then keep the
+    /// survivors — by support count (non-recursive, counted semi-naive) or
+    /// by re-derivation (recursive, DRed).
+    fn deletion_phase(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        deltas: &mut DeltaSets,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        // High-water marks: the batch's EDB insertions are already applied,
+        // so the re-derivation propagation below can derive *genuinely new*
+        // facts through the new edges — those must be published as insert
+        // deltas (re-derived candidates, by contrast, are no net change).
+        let mut marks: Vec<(RelId, usize)> = Vec::new();
+        for &rel in &plan.relations {
+            marks.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count()));
+        }
+        // Restore the already-applied input retractions for the duration of
+        // the over-delete joins: a derivation may combine several deleted
+        // facts, and every variant must see the other deleted facts at its
+        // non-delta positions.  (Already-applied *insertions* stay visible;
+        // they can only enlarge the over-approximation, which the
+        // survivor checks repair.)
+        let mut restored: Vec<(RelId, Vec<Value>)> = Vec::new();
+        for &rel in &plan.body_rels {
+            if let Some(minus) = deltas.minus_of(rel) {
+                let rows: Vec<Vec<Value>> = minus.iter_rows().map(<[Value]>::to_vec).collect();
+                for row in rows {
+                    if ctx
+                        .storage
+                        .db_mut(DbKind::Derived)
+                        .relation_mut(rel)?
+                        .insert_row(&row)?
+                    {
+                        restored.push((rel, row));
+                    }
+                }
+            }
+        }
+
+        // Over-delete fixpoint: frontier rounds over the delta variants.
+        let schema_of = |rel: RelId, ctx: &ExecContext| -> RelationSchema {
+            ctx.storage.schema(rel).expect("stratum relation").clone()
+        };
+        let mut deleted: FxHashMap<RelId, Relation> = FxHashMap::default();
+        for &rel in &plan.relations {
+            deleted.insert(rel, Relation::new(schema_of(rel, ctx)));
+        }
+        let mut frontier: Vec<(RelId, Relation)> = plan
+            .body_rels
+            .iter()
+            .filter_map(|&rel| {
+                deltas.minus_of(rel).map(|minus| {
+                    let mut side = Relation::new(schema_of(rel, ctx));
+                    side.union_in_place(minus).expect("schema match");
+                    (rel, side)
+                })
+            })
+            .collect();
+        while !frontier.is_empty() {
+            let frontier_rels: Vec<RelId> = frontier.iter().map(|(r, _)| *r).collect();
+            for (rel, facts) in &frontier {
+                Self::load_delta(ctx, *rel, facts)?;
+            }
+            let mut next: FxHashMap<RelId, Relation> = FxHashMap::default();
+            for rule in &plan.rules {
+                for (delta_rel, exec) in &rule.variants {
+                    if ctx.storage.relation(DbKind::DeltaKnown, *delta_rel)?.is_empty() {
+                        continue;
+                    }
+                    let ExecContext { storage, stats, parallelism, .. } = ctx;
+                    let (buf, rows) = exec.collect(storage, stats, *parallelism)?;
+                    let arity = exec.head_arity();
+                    let head = rule.head_rel;
+                    for i in 0..rows as usize {
+                        let row = &buf[i * arity..(i + 1) * arity];
+                        let derived = ctx.storage.db(DbKind::Derived).relation(head)?;
+                        let Some(slot) = derived.find_row_hashed(row, carac_storage::pool::row_hash(row)) else {
+                            continue; // phantom derivation via new inserts
+                        };
+                        if self.is_base_fact(head, row) {
+                            continue; // asserted facts are never over-deleted
+                        }
+                        if !plan.recursive {
+                            // Counted semi-naive: one lost derivation.
+                            ctx.storage
+                                .db_mut(DbKind::Derived)
+                                .relation_mut(head)?
+                                .sub_support(slot, 1);
+                        }
+                        let set = deleted.get_mut(&head).expect("stratum relation");
+                        if set.insert_row(row)? {
+                            up.overdeleted += 1;
+                            next.entry(head)
+                                .or_insert_with(|| Relation::new(schema_of(head, ctx)))
+                                .insert_row(row)?;
+                        }
+                    }
+                }
+            }
+            ctx.storage.clear_deltas(&frontier_rels)?;
+            frontier = next.into_iter().collect();
+        }
+
+        // Undo the temporary restores: the inputs return to their new state.
+        for (rel, row) in restored {
+            ctx.storage.retract_fact_row(rel, &row)?;
+        }
+
+        if plan.recursive {
+            self.rederive(plan, ctx, &deleted, deltas, up)?;
+        } else {
+            self.counted_survivors(plan, ctx, &deleted, deltas, up)?;
+        }
+
+        // Publish the genuinely new facts this phase created: live rows
+        // appended past the mark that are *not* over-deleted candidates
+        // (candidates re-entering are re-derivations of pre-batch facts).
+        for (rel, mark) in marks {
+            let candidates = deleted.get(&rel);
+            for row in Self::new_live_rows(ctx, rel, mark)? {
+                if candidates.is_some_and(|set| set.contains_row(&row)) {
+                    continue;
+                }
+                deltas.record_insert(rel, &row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Counted survivor selection for a non-recursive stratum: candidates
+    /// whose decremented support stayed positive survive untouched; the
+    /// rest are retracted and re-checked by an exact head-driven recount.
+    fn counted_survivors(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        deleted: &FxHashMap<RelId, Relation>,
+        deltas: &mut DeltaSets,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        for &rel in &plan.relations {
+            let Some(candidates) = deleted.get(&rel).filter(|r| !r.is_empty()) else {
+                continue;
+            };
+            // Partition candidates by their post-decrement support.
+            let mut zeroed: Vec<Vec<Value>> = Vec::new();
+            {
+                let derived = ctx.storage.db(DbKind::Derived).relation(rel)?;
+                for row in candidates.iter_rows() {
+                    let slot = derived
+                        .find_row_hashed(row, carac_storage::pool::row_hash(row))
+                        .expect("candidate confirmed present during over-delete");
+                    if derived.support_of(slot) > 0 {
+                        up.support_survivors += 1;
+                    } else {
+                        zeroed.push(row.to_vec());
+                    }
+                }
+            }
+            if zeroed.is_empty() {
+                continue;
+            }
+            // Retract the zero-support candidates, then recount them
+            // exactly against the post-deletion database.
+            let mut probe = Relation::new(ctx.storage.schema(rel)?.clone());
+            for row in &zeroed {
+                ctx.storage.retract_derived_row(rel, row)?;
+                probe.insert_row(row)?;
+            }
+            let counts = self.count_derivations(plan, ctx, rel, &probe)?;
+            for row in zeroed {
+                match counts.get(&row).copied().unwrap_or(0) {
+                    0 => deltas.record_retract(rel, &row)?,
+                    n => {
+                        // Still derivable: re-insert with its exact count.
+                        let derived =
+                            ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
+                        derived.insert_row(&row)?;
+                        let slot = derived
+                            .find_row_hashed(&row, carac_storage::pool::row_hash(&row))
+                            .expect("just inserted");
+                        derived.set_support(slot, n);
+                        up.recounted += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DRed re-derivation for a recursive stratum: retract the whole
+    /// over-deleted cone, rescue facts with a remaining one-step derivation
+    /// via the head-driven driver, then propagate the rescues to fixpoint.
+    fn rederive(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        deleted: &FxHashMap<RelId, Relation>,
+        deltas: &mut DeltaSets,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        let any = plan
+            .relations
+            .iter()
+            .any(|rel| deleted.get(rel).is_some_and(|r| !r.is_empty()));
+        if !any {
+            return Ok(());
+        }
+        // Physically retract the cone.
+        for &rel in &plan.relations {
+            if let Some(set) = deleted.get(&rel) {
+                for row in set.iter_rows() {
+                    ctx.storage.retract_derived_row(rel, row)?;
+                }
+            }
+        }
+        // One-step re-derivation: the deleted sets drive their own rules'
+        // full bodies against the remaining database.
+        for &rel in &plan.relations {
+            if let Some(set) = deleted.get(&rel).filter(|r| !r.is_empty()) {
+                Self::load_delta(ctx, rel, set)?;
+            }
+        }
+        let mut seeds: FxHashMap<RelId, Relation> = FxHashMap::default();
+        for rule in &plan.rules {
+            if ctx
+                .storage
+                .relation(DbKind::DeltaKnown, rule.head_rel)?
+                .is_empty()
+            {
+                continue;
+            }
+            let ExecContext { storage, stats, parallelism, .. } = ctx;
+            let (buf, rows) = rule.driver.collect(storage, stats, *parallelism)?;
+            let arity = rule.driver.head_arity();
+            for i in 0..rows as usize {
+                let row = &buf[i * arity..(i + 1) * arity];
+                seeds
+                    .entry(rule.head_rel)
+                    .or_insert_with(|| {
+                        Relation::new(
+                            ctx.storage.schema(rule.head_rel).expect("head schema").clone(),
+                        )
+                    })
+                    .insert_row(row)?;
+            }
+        }
+        ctx.storage.clear_deltas(&plan.relations)?;
+        // Re-insert the rescued facts and propagate them (standard
+        // semi-naive continuation within the stratum).
+        for (rel, seed) in &seeds {
+            for row in seed.iter_rows() {
+                ctx.storage
+                    .db_mut(DbKind::Derived)
+                    .relation_mut(*rel)?
+                    .insert_row(row)?;
+            }
+            Self::load_delta(ctx, *rel, seed)?;
+        }
+        self.propagate(plan, ctx, &plan.relations.clone(), None)?;
+        // Facts still absent are the net retractions the strata above see;
+        // re-derived facts existed before, so they are no delta at all.
+        for &rel in &plan.relations {
+            if let Some(set) = deleted.get(&rel) {
+                for row in set.iter_rows() {
+                    if ctx.storage.db(DbKind::Derived).relation(rel)?.contains_row(row) {
+                        up.rederived += 1;
+                    } else {
+                        deltas.record_retract(rel, row)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The insertion phase of one stratum: seed the input insertions as
+    /// deltas and run semi-naive continuation; newly derived facts are read
+    /// off the row pools' high-water marks afterwards.  Non-recursive
+    /// (counted) strata additionally recount every affected fact exactly,
+    /// keeping the support invariant (`stored <= true derivations`) that
+    /// the counted deletion fast path relies on.
+    fn insertion_phase(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        deltas: &mut DeltaSets,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        // High-water marks: everything appended past them is net-new.
+        let mut marks: Vec<(RelId, usize)> = Vec::new();
+        for &rel in &plan.relations {
+            marks.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count()));
+        }
+        let mut seeded: Vec<RelId> = Vec::new();
+        for &rel in &plan.body_rels {
+            if let Some(plus) = deltas.plus_of(rel) {
+                let plus = plus.clone();
+                Self::load_delta(ctx, rel, &plus)?;
+                seeded.push(rel);
+            }
+        }
+        let mut boundary: Vec<RelId> = plan.relations.clone();
+        for rel in seeded {
+            if !boundary.contains(&rel) {
+                boundary.push(rel);
+            }
+        }
+        // Non-recursive (counted) strata track *every* emitted head fact:
+        // re-emissions bump support counts of pre-existing rows (and
+        // multi-delta derivations are re-emitted once per variant), so all
+        // touched facts — not just the net-new ones — need the exact
+        // recount below to keep the `stored <= true` invariant.
+        let mut affected: Option<FxHashMap<RelId, Relation>> =
+            (!plan.recursive).then(FxHashMap::default);
+        self.propagate(plan, ctx, &boundary, affected.as_mut())?;
+
+        // Collect the net-new facts for downstream strata.
+        for (rel, mark) in marks {
+            for row in Self::new_live_rows(ctx, rel, mark)? {
+                deltas.record_insert(rel, &row)?;
+            }
+        }
+        if let Some(affected) = affected {
+            self.recount_affected(plan, ctx, affected, up)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the stratum's delta variants to fixpoint: whichever relations
+    /// currently hold delta-known facts drive their variants, emitted rows
+    /// go through the ordinary deduplicating derived-insert, and the
+    /// standard swap-and-clear boundary rotates the deltas.  When
+    /// `affected` is given, every emitted head fact is recorded there
+    /// (deduplicated) for the caller's support recount.
+    fn propagate(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        boundary: &[RelId],
+        mut affected: Option<&mut FxHashMap<RelId, Relation>>,
+    ) -> Result<(), ExecError> {
+        loop {
+            for rule in &plan.rules {
+                for (delta_rel, exec) in &rule.variants {
+                    if ctx.storage.relation(DbKind::DeltaKnown, *delta_rel)?.is_empty() {
+                        continue;
+                    }
+                    let ExecContext { storage, stats, parallelism, .. } = ctx;
+                    let (buf, rows) = exec.collect(storage, stats, *parallelism)?;
+                    let arity = exec.head_arity();
+                    // Resolve the affected-set target once per variant, not
+                    // per emitted row (the schema clone is construction-only).
+                    let touched = match affected.as_deref_mut() {
+                        Some(map) if rows > 0 => {
+                            let schema = ctx.storage.schema(rule.head_rel)?.clone();
+                            Some(
+                                map.entry(rule.head_rel)
+                                    .or_insert_with(|| Relation::new(schema)),
+                            )
+                        }
+                        _ => None,
+                    };
+                    let mut touched = touched;
+                    for i in 0..rows as usize {
+                        let row = &buf[i * arity..(i + 1) * arity];
+                        ctx.storage.insert_derived_row(rule.head_rel, row)?;
+                        if let Some(set) = touched.as_deref_mut() {
+                            set.insert_row(row)?;
+                        }
+                    }
+                }
+            }
+            ctx.storage.swap_and_clear(boundary)?;
+            ctx.iteration += 1;
+            ctx.stats.iterations += 1;
+            if ctx.storage.deltas_empty(boundary)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact support recount for the affected facts of a counted stratum:
+    /// the affected set drives each rule's full body; the number of
+    /// emissions per fact is its exact derivation count.
+    fn recount_affected(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        affected: FxHashMap<RelId, Relation>,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        for (&rel, probe) in affected.iter() {
+            if probe.is_empty() {
+                continue;
+            }
+            let counts = self.count_derivations(plan, ctx, rel, probe)?;
+            let derived = ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
+            for row in probe.iter_rows() {
+                if let Some(slot) =
+                    derived.find_row_hashed(row, carac_storage::pool::row_hash(row))
+                {
+                    derived.set_support(slot, counts.get(row).copied().unwrap_or(0).max(1));
+                    up.recounted += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wholesale recompute of one stratum (aggregates; negation over
+    /// changed relations): snapshot the outputs, clear them, re-run the
+    /// stratum's plan subtree against the already-final lower strata, and
+    /// publish the before/after diff as this stratum's net deltas.
+    fn recompute_stratum(
+        &self,
+        plan: &StratumPlan,
+        ctx: &mut ExecContext,
+        deltas: &mut DeltaSets,
+        up: &mut UpdateStats,
+    ) -> Result<(), ExecError> {
+        let mut old: Vec<(RelId, Relation)> = Vec::new();
+        for &rel in &plan.relations {
+            old.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.clone()));
+            ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?.clear();
+        }
+        ctx.storage.clear_deltas(&plan.relations)?;
+        // Base facts of the stratum's relations are asserted, not derived:
+        // reseed them exactly like context preparation does.
+        for &rel in &plan.relations {
+            if let Some(base) = self.base_facts[rel.index()].as_ref() {
+                for row in base.iter_rows() {
+                    ctx.storage.insert_fact_row(rel, row)?;
+                }
+            }
+        }
+        match &plan.closure {
+            Some(closure) => closure(ctx)?,
+            None => interpret(&plan.node, ctx)?,
+        }
+        for (rel, old_rel) in old {
+            let removed: Vec<Vec<Value>> = {
+                let new_rel = ctx.storage.db(DbKind::Derived).relation(rel)?;
+                old_rel
+                    .iter_rows()
+                    .filter(|row| !new_rel.contains_row(row))
+                    .map(<[Value]>::to_vec)
+                    .collect()
+            };
+            let added: Vec<Vec<Value>> = {
+                let new_rel = ctx.storage.db(DbKind::Derived).relation(rel)?;
+                new_rel
+                    .iter_rows()
+                    .filter(|row| !old_rel.contains_row(row))
+                    .map(<[Value]>::to_vec)
+                    .collect()
+            };
+            for row in removed {
+                deltas.record_retract(rel, &row)?;
+            }
+            for row in added {
+                deltas.record_insert(rel, &row)?;
+            }
+        }
+        up.strata_recomputed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carac_datalog::parser::parse;
+
+    fn live_tc() -> (Program, ExecContext, Incremental) {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4).",
+        )
+        .unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        interpret(&plan, &mut ctx).unwrap();
+        let inc = Incremental::new(&p, &[], UpdateKernel::Specialized);
+        (p, ctx, inc)
+    }
+
+    fn scratch_count(source: &str) -> usize {
+        let p = parse(source).unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        interpret(&plan, &mut ctx).unwrap();
+        ctx.derived_count(p.relation_by_name("Path").unwrap())
+    }
+
+    #[test]
+    fn insert_propagates_to_fixpoint() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 6);
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(4, 5));
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(report.stats.edb_inserted, 1);
+        // Chain 1..=5: 4+3+2+1 = 10 paths.
+        assert_eq!(ctx.derived_count(path), 10);
+        assert_eq!(report.stats.derived_inserted, 4);
+    }
+
+    #[test]
+    fn retract_deletes_and_rederives() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        // Add a shortcut so 1 can still reach 3 after 1->2 goes away... it
+        // cannot; but 2->3->4 survives and (1,2),(1,3),(1,4) must go.
+        let mut batch = UpdateBatch::new();
+        batch.retract(edge, Tuple::pair(1, 2));
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(report.stats.edb_retracted, 1);
+        assert_eq!(
+            ctx.derived_count(path),
+            scratch_count(
+                "Path(x, y) :- Edge(x, y).\n\
+                 Path(x, y) :- Edge(x, z), Path(z, y).\n\
+                 Edge(2, 3). Edge(3, 4).",
+            )
+        );
+    }
+
+    #[test]
+    fn mixed_batch_on_a_cycle_matches_scratch() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        // Close the cycle and cut the middle in one batch.
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(4, 1));
+        batch.retract(edge, Tuple::pair(2, 3));
+        inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(
+            ctx.derived_count(path),
+            scratch_count(
+                "Path(x, y) :- Edge(x, y).\n\
+                 Path(x, y) :- Edge(x, z), Path(z, y).\n\
+                 Edge(1, 2). Edge(3, 4). Edge(4, 1).",
+            )
+        );
+    }
+
+    #[test]
+    fn updating_idb_relations_is_a_typed_error() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        // A valid op ahead of the invalid one: the whole batch must be
+        // rejected atomically, leaving the session untouched and usable.
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(4, 5));
+        batch.insert(path, Tuple::pair(9, 9));
+        let err = inc.apply(&mut ctx, &batch).unwrap_err();
+        assert!(matches!(err, ExecError::Update(_)));
+        assert!(err.to_string().contains("intensional"));
+        assert_eq!(ctx.derived_count(edge), 3, "valid op leaked through");
+        assert_eq!(ctx.derived_count(path), 6);
+        // Wrong-arity rows are rejected the same way.
+        let mut batch = UpdateBatch::new();
+        batch.insert_row(edge, vec![carac_storage::Value::int(1)]);
+        let err = inc.apply(&mut ctx, &batch).unwrap_err();
+        assert!(err.to_string().contains("arity"));
+        // The session is still fully usable after rejected batches.
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(4, 5));
+        inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(ctx.derived_count(path), 10);
+    }
+
+    #[test]
+    fn noop_updates_report_nothing() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(1, 2)); // already present
+        batch.retract(edge, Tuple::pair(7, 7)); // never present
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(report.stats.edb_inserted, 0);
+        assert_eq!(report.stats.edb_retracted, 0);
+        assert_eq!(ctx.derived_count(path), 6);
+    }
+
+    #[test]
+    fn retract_then_insert_cancels() {
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.retract(edge, Tuple::pair(2, 3));
+        batch.insert(edge, Tuple::pair(2, 3));
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(report.stats.edb_inserted, 0);
+        assert_eq!(report.stats.edb_retracted, 0);
+        assert_eq!(ctx.derived_count(path), 6);
+    }
+}

@@ -20,7 +20,7 @@ use carac_optimizer::{optimize_plan, FreshnessTest, OptimizerConfig, ReorderAlgo
 use carac_storage::hasher::FxHashMap;
 use carac_vm::Machine;
 
-use crate::backends::{Artifact, BackendKind, CompileMode, StagingCostModel};
+use crate::backends::{check_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
 use crate::compile_manager::CompilationManager;
 use crate::context::ExecContext;
 use crate::error::ExecError;
@@ -185,6 +185,8 @@ impl JitEngine {
         // An asynchronous compilation may already be in flight.
         if self.manager.is_pending(node.id) {
             if let Some(result) = self.manager.poll(node.id) {
+                let result = result?;
+                check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
                 ctx.stats.compile_events.push(result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness
@@ -250,7 +252,8 @@ impl JitEngine {
             self.config.backend,
             self.config.mode,
             &self.config.staging,
-        );
+        )?;
+        check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
         ctx.stats.compile_events.push(result.event);
         self.artifacts.insert(node.id, result.artifact);
         self.run_cached(node, ctx)
@@ -350,6 +353,8 @@ impl JitEngine {
         }
         for child in children {
             if let Some(result) = self.manager.poll(node.id) {
+                let result = result?;
+                check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
                 ctx.stats.compile_events.push(result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness

@@ -265,11 +265,56 @@ impl SpecializedQuery {
         stats: &mut RunStats,
         parallelism: usize,
     ) -> Result<u64, ExecError> {
+        let out = self.collect(storage, stats, parallelism)?;
+        let head_arity = self.head.len();
+        let mut inserted = 0;
+        for i in 0..out.rows as usize {
+            let row = &out.values[i * head_arity..(i + 1) * head_arity];
+            if storage.insert_derived_row(self.head_rel, row)? {
+                inserted += 1;
+            }
+        }
+        stats.tuples_inserted += inserted;
+        Ok(inserted)
+    }
+
+    /// Runs the join pipeline and returns the emitted head rows **without
+    /// inserting them anywhere**: a flat row-major buffer with the head
+    /// arity as stride, plus the row count (duplicates preserved — each row
+    /// is one derivation).  This is the collect-mode entry the incremental
+    /// maintenance subsystem uses for over-deletion, re-derivation and
+    /// support recounting, where emitted rows feed retraction or counting
+    /// logic instead of the delta-new insert path.  Shares the serial and
+    /// fork-join execution machinery with [`SpecializedQuery::execute_with`].
+    pub fn collect_rows(
+        &self,
+        storage: &StorageManager,
+        stats: &mut RunStats,
+        parallelism: usize,
+    ) -> Result<(Vec<Value>, u64), ExecError> {
+        let out = self.collect(storage, stats, parallelism)?;
+        Ok((out.values, out.rows))
+    }
+
+    /// Arity of the emitted head rows (the stride of
+    /// [`SpecializedQuery::collect_rows`]' buffer).
+    pub fn head_arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// The shared emission phase of [`execute_with`](Self::execute_with) and
+    /// [`collect_rows`](Self::collect_rows).
+    fn collect(
+        &self,
+        storage: &StorageManager,
+        stats: &mut RunStats,
+        parallelism: usize,
+    ) -> Result<EmitBuffer, ExecError> {
         stats.subqueries += 1;
         if !self.static_ok {
             // A constant-only constraint failed at compile time: the query
             // is empty regardless of the database contents.
-            return Ok(0);
+            return Ok(EmitBuffer::default());
         }
         let out = if parallelism > 1 {
             self.join_parallel(storage, stats, parallelism)?
@@ -281,16 +326,7 @@ impl SpecializedQuery {
             out
         };
         stats.tuples_emitted += out.rows;
-        let head_arity = self.head.len();
-        let mut inserted = 0;
-        for i in 0..out.rows as usize {
-            let row = &out.values[i * head_arity..(i + 1) * head_arity];
-            if storage.insert_derived_row(self.head_rel, row)? {
-                inserted += 1;
-            }
-        }
-        stats.tuples_inserted += inserted;
-        Ok(inserted)
+        Ok(out)
     }
 
     /// The fork-join body of [`execute_with`](Self::execute_with): splits
@@ -520,6 +556,41 @@ pub fn execute_interpreted_with(
     stats: &mut RunStats,
     parallelism: usize,
 ) -> Result<u64, ExecError> {
+    let out = interp_collect(query, storage, stats, parallelism)?;
+    let head_arity = query.head_bindings.len();
+    let mut inserted = 0;
+    for i in 0..out.rows as usize {
+        let row = &out.values[i * head_arity..(i + 1) * head_arity];
+        if storage.insert_derived_row(query.head_rel, row)? {
+            inserted += 1;
+        }
+    }
+    stats.tuples_inserted += inserted;
+    Ok(inserted)
+}
+
+/// Collect-mode interpreted execution: runs the interpreted join pipeline
+/// and returns the emitted head rows (flat row-major buffer, head arity as
+/// stride, duplicates preserved) without inserting them — the interpreted
+/// counterpart of [`SpecializedQuery::collect_rows`], used by the
+/// incremental maintenance subsystem.
+pub fn collect_interpreted_rows(
+    query: &ConjunctiveQuery,
+    storage: &StorageManager,
+    stats: &mut RunStats,
+    parallelism: usize,
+) -> Result<(Vec<Value>, u64), ExecError> {
+    let out = interp_collect(query, storage, stats, parallelism)?;
+    Ok((out.values, out.rows))
+}
+
+/// The shared emission phase of the interpreted kernel.
+fn interp_collect(
+    query: &ConjunctiveQuery,
+    storage: &StorageManager,
+    stats: &mut RunStats,
+    parallelism: usize,
+) -> Result<EmitBuffer, ExecError> {
     stats.subqueries += 1;
     let out = if parallelism > 1 && !query.atoms.is_empty() {
         interp_parallel(query, storage, stats, parallelism)?
@@ -532,16 +603,7 @@ pub fn execute_interpreted_with(
         out
     };
     stats.tuples_emitted += out.rows;
-    let head_arity = query.head_bindings.len();
-    let mut inserted = 0;
-    for i in 0..out.rows as usize {
-        let row = &out.values[i * head_arity..(i + 1) * head_arity];
-        if storage.insert_derived_row(query.head_rel, row)? {
-            inserted += 1;
-        }
-    }
-    stats.tuples_inserted += inserted;
-    Ok(inserted)
+    Ok(out)
 }
 
 /// One scratch level per atom (the interpreter checks negation by scanning,

@@ -19,17 +19,22 @@ pub mod backends;
 pub mod compile_manager;
 pub mod context;
 pub mod error;
+pub mod incremental;
 pub mod interpreter;
 pub mod jit;
 pub mod kernel;
 pub mod parallel;
 pub mod stats;
 
-pub use backends::{Artifact, BackendKind, CompileMode, StagingCostModel};
+pub use backends::{
+    check_artifact, update_kernel, Artifact, BackendKind, CompileMode, StagingCostModel,
+    UpdateKernel,
+};
 pub use compile_manager::CompilationManager;
 pub use context::ExecContext;
 pub use error::ExecError;
+pub use incremental::{Incremental, UpdateBatch, UpdateOp, UpdateReport};
 pub use jit::{JitConfig, JitEngine};
 pub use kernel::SpecializedQuery;
 pub use parallel::parallel_map;
-pub use stats::{BackendTag, CompileEvent, RunStats};
+pub use stats::{BackendTag, CompileEvent, RunStats, UpdateStats};

@@ -42,6 +42,57 @@ pub struct CompileEvent {
     pub duration: Duration,
 }
 
+/// Counters for the incremental-maintenance subsystem, accumulated across
+/// every [`apply_update`](../incremental/fn.apply_update.html) batch applied
+/// to a live session.  Backs the `fig11_incremental` bench report and the
+/// differential update tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Update batches applied.
+    pub batches: u64,
+    /// EDB facts inserted by batches (net of cancellations and no-ops).
+    pub edb_inserted: u64,
+    /// EDB facts retracted by batches (net).
+    pub edb_retracted: u64,
+    /// Derived facts added to the fixpoint by insert propagation.
+    pub derived_inserted: u64,
+    /// Derived facts removed from the fixpoint by deletion propagation.
+    pub derived_retracted: u64,
+    /// Facts over-deleted by the DRed/counted deletion cone (before
+    /// re-derivation and support checks rescue survivors).
+    pub overdeleted: u64,
+    /// Over-deleted facts rescued by the re-derivation phase.
+    pub rederived: u64,
+    /// Over-deleted facts kept by the counted fast path (support count
+    /// stayed positive — no re-derivation join was needed).
+    pub support_survivors: u64,
+    /// Facts whose support count was recomputed exactly by a head-driven
+    /// recount join.
+    pub recounted: u64,
+    /// Strata recomputed wholesale (aggregate strata, and strata with
+    /// negation over changed relations).
+    pub strata_recomputed: u64,
+    /// Delta-variant subqueries executed across all update phases.
+    pub delta_subqueries: u64,
+}
+
+impl UpdateStats {
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &UpdateStats) {
+        self.batches += other.batches;
+        self.edb_inserted += other.edb_inserted;
+        self.edb_retracted += other.edb_retracted;
+        self.derived_inserted += other.derived_inserted;
+        self.derived_retracted += other.derived_retracted;
+        self.overdeleted += other.overdeleted;
+        self.rederived += other.rederived;
+        self.support_survivors += other.support_survivors;
+        self.recounted += other.recounted;
+        self.strata_recomputed += other.strata_recomputed;
+        self.delta_subqueries += other.delta_subqueries;
+    }
+}
+
 /// Counters for one run of a program.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -71,6 +122,8 @@ pub struct RunStats {
     pub parallel_tasks: u64,
     /// Compilation log.
     pub compile_events: Vec<CompileEvent>,
+    /// Incremental-maintenance counters (zero unless `apply_update` ran).
+    pub update: UpdateStats,
     /// Total wall-clock execution time (filled by the engine).
     pub total_time: Duration,
 }
@@ -101,6 +154,7 @@ impl RunStats {
         self.parallel_tasks += other.parallel_tasks;
         self.compile_events
             .extend(other.compile_events.iter().cloned());
+        self.update.merge(&other.update);
         self.total_time += other.total_time;
     }
 }

@@ -272,9 +272,18 @@ impl StorageManager {
     /// the join kernels emit through.  The row hash is computed once and
     /// shared between the derived-database membership test and the
     /// delta-new insert.
+    ///
+    /// Every call records one *derivation*: a fact already present (in
+    /// derived or in this iteration's delta-new) has its support count
+    /// incremented instead of being stored again, so after a single
+    /// evaluation pass the count equals the number of distinct derivations —
+    /// the quantity the incremental subsystem's counted-deletion fast path
+    /// consumes for non-recursive strata.  (Recursive strata re-emit
+    /// derivations across delta variants, so their counts over-approximate
+    /// and the incremental subsystem uses delete/re-derive there instead.)
     pub fn insert_derived_row(&mut self, rel: RelId, values: &[Value]) -> Result<bool> {
         let hash = crate::pool::row_hash(values);
-        let derived = self.derived.relation(rel)?;
+        let derived = self.derived.relation_mut(rel)?;
         if values.len() != derived.arity() {
             return Err(StorageError::ArityMismatch {
                 relation: derived.name().to_string(),
@@ -282,13 +291,35 @@ impl StorageManager {
                 actual: values.len(),
             });
         }
-        if derived.contains_row_hashed(values, hash) {
+        if let Some(row) = derived.find_row_hashed(values, hash) {
+            derived.add_support(row, 1);
             return Ok(false);
         }
-        Ok(self
-            .delta_new
-            .relation_mut(rel)?
-            .insert_row_hashed(values, hash))
+        let delta_new = self.delta_new.relation_mut(rel)?;
+        match delta_new.insert_row_hashed_id(values, hash) {
+            Some(_) => Ok(true),
+            None => {
+                if let Some(row) = delta_new.find_row_hashed(values, hash) {
+                    delta_new.add_support(row, 1);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Retracts an EDB (or base) fact from the derived database, unlinking
+    /// it from every index and shard partition.  Returns `true` if the fact
+    /// was present.  Derived consequences are *not* touched — maintaining
+    /// them is the job of the incremental subsystem in `carac-exec`.
+    pub fn retract_fact_row(&mut self, rel: RelId, values: &[Value]) -> Result<bool> {
+        self.derived.relation_mut(rel)?.retract_row(values)
+    }
+
+    /// Retracts a derived fact from the derived database (the physical side
+    /// of over-deletion).  Identical to [`StorageManager::retract_fact_row`];
+    /// named separately so call sites document intent.
+    pub fn retract_derived_row(&mut self, rel: RelId, values: &[Value]) -> Result<bool> {
+        self.derived.relation_mut(rel)?.retract_row(values)
     }
 
     /// Iteration boundary: merge delta-new into derived, move delta-new into
@@ -439,6 +470,25 @@ impl StorageManager {
         Ok((emitted, inserted))
     }
 
+    /// Compacts every derived relation whose tombstone count warrants it
+    /// (more dead slots than live rows, with a small absolute floor so tiny
+    /// relations never bother).  Returns the number of relations compacted.
+    /// Only safe at points where no [`crate::RowId`] into the derived
+    /// database is held across the call — the incremental engine invokes
+    /// this between update batches.
+    pub fn compact_derived(&mut self) -> usize {
+        let mut compacted = 0;
+        for schema in &self.schemas {
+            if let Ok(rel) = self.derived.relation_mut(schema.id) {
+                if rel.dead_count() > rel.len().max(64) {
+                    rel.compact();
+                    compacted += 1;
+                }
+            }
+        }
+        compacted
+    }
+
     /// Snapshot of current cardinalities for the optimizer.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot::capture(self)
@@ -541,6 +591,44 @@ mod tests {
         assert_eq!(before, after);
         assert!(sm.relation(DbKind::DeltaNew, path).unwrap().is_empty());
         assert_eq!(sm.relation(DbKind::Derived, path).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn insert_derived_counts_support_per_derivation() {
+        let (mut sm, _, path) = manager();
+        // First emission creates the fact in delta-new with support 1; a
+        // duplicate emission in the same iteration bumps the delta-new copy.
+        assert!(sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+        assert!(!sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+        sm.swap_and_clear(&[path]).unwrap();
+        let derived = sm.relation(DbKind::Derived, path).unwrap();
+        let row = derived
+            .find_row_hashed(
+                &[Value::int(1), Value::int(2)],
+                crate::pool::row_hash(&[Value::int(1), Value::int(2)]),
+            )
+            .unwrap();
+        assert_eq!(derived.support_of(row), 2);
+        // A re-derivation after the merge bumps the derived copy.
+        assert!(!sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
+        assert_eq!(sm.relation(DbKind::Derived, path).unwrap().support_of(row), 3);
+    }
+
+    #[test]
+    fn retract_fact_removes_from_derived_only() {
+        let (mut sm, edge, _) = manager();
+        sm.insert_fact(edge, Tuple::pair(1, 2)).unwrap();
+        sm.insert_fact(edge, Tuple::pair(2, 3)).unwrap();
+        assert!(sm
+            .retract_fact_row(edge, &[Value::int(1), Value::int(2)])
+            .unwrap());
+        assert!(!sm
+            .retract_fact_row(edge, &[Value::int(1), Value::int(2)])
+            .unwrap());
+        assert_eq!(sm.relation(DbKind::Derived, edge).unwrap().len(), 1);
+        // The delta copy made by insert_fact is untouched (callers clear
+        // deltas before incremental maintenance).
+        assert_eq!(sm.relation(DbKind::DeltaKnown, edge).unwrap().len(), 2);
     }
 
     #[test]

@@ -59,6 +59,20 @@ impl ColumnIndex {
         }
     }
 
+    /// Unregisters a retracted row: removes `row` from the posting list of
+    /// its column value (dropping the entry when the list empties).
+    #[inline]
+    pub fn remove(&mut self, values: &[Value], row: RowId) {
+        if let Some(v) = values.get(self.column) {
+            if let Some(list) = self.entries.get_mut(v) {
+                list.remove(row);
+                if list.is_empty() {
+                    self.entries.remove(v);
+                }
+            }
+        }
+    }
+
     /// Row ids whose indexed column equals `value` (exact — single-column
     /// entries are keyed by the value itself, not a hash of it).
     #[inline]
@@ -79,11 +93,11 @@ impl ColumnIndex {
         self.entries.clear();
     }
 
-    /// Rebuilds the index from scratch over the rows of `pool`.
+    /// Rebuilds the index from scratch over the live rows of `pool`.
     pub fn rebuild(&mut self, pool: &RowPool) {
         self.entries.clear();
-        for (row, values) in pool.rows().enumerate() {
-            self.insert(values, row as RowId);
+        for (row, values) in pool.live_rows() {
+            self.insert(values, row);
         }
     }
 
@@ -173,6 +187,22 @@ impl CompositeIndex {
         self.entries.entry(hash).or_default().push(row);
     }
 
+    /// Unregisters a retracted row: removes `row` from the posting list of
+    /// its key hash (dropping the entry when the list empties).
+    #[inline]
+    pub fn remove(&mut self, values: &[Value], row: RowId) {
+        if self.columns.last().is_some_and(|&c| c >= values.len()) {
+            return;
+        }
+        let hash = self.key_hash_of_row(values);
+        if let Some(list) = self.entries.get_mut(&hash) {
+            list.remove(row);
+            if list.is_empty() {
+                self.entries.remove(&hash);
+            }
+        }
+    }
+
     /// Candidate row ids whose indexed columns *may* equal `key` (values in
     /// ascending column order).  May contain hash-collision false positives;
     /// see the type docs.
@@ -201,11 +231,11 @@ impl CompositeIndex {
         self.entries.clear();
     }
 
-    /// Rebuilds the index from scratch over the rows of `pool`.
+    /// Rebuilds the index from scratch over the live rows of `pool`.
     pub fn rebuild(&mut self, pool: &RowPool) {
         self.entries.clear();
-        for (row, values) in pool.rows().enumerate() {
-            self.insert(values, row as RowId);
+        for (row, values) in pool.live_rows() {
+            self.insert(values, row);
         }
     }
 

@@ -46,7 +46,7 @@ pub mod value;
 pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
 pub use index::{ColumnIndex, CompositeIndex};
-pub use ops::{AggFunc, CmpOp};
+pub use ops::{AggFunc, CmpOp, DeltaSign};
 pub use pool::{PoolStats, PostingList, RowId, RowPool};
 pub use relation::{ProbeIter, ProbeRows, Relation};
 pub use schema::{RelId, RelationSchema};

@@ -11,6 +11,19 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
+/// The sign of one fact in a signed delta relation: whether the fact is
+/// being added to or removed from the extensional database.  Update batches
+/// ship `(relation, sign, row)` triples; the incremental maintenance
+/// subsystem turns them into counted semi-naive (non-recursive strata) or
+/// delete/re-derive (recursive strata) propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaSign {
+    /// The fact enters the database.
+    Insert,
+    /// The fact leaves the database.
+    Retract,
+}
+
 /// A binary comparison operator between two [`Value`]s.
 ///
 /// Comparisons are over the raw 32-bit representation: plain integers order

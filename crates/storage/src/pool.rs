@@ -26,9 +26,12 @@ use crate::value::Value;
 /// Dense row identifier within one relation's row pool.
 ///
 /// Row ids are assigned in insertion order, starting at 0, and stay stable
-/// for the lifetime of the pool (rows are never removed individually — only
-/// [`RowPool::clear`] drops them all).  `u32` keeps posting lists half the
-/// size of `usize` offsets; a relation holds at most `u32::MAX` rows.
+/// for the lifetime of the pool.  A row can be *retracted*
+/// ([`RowPool::retract_hashed`]): its slot is tombstoned (the id is never
+/// reused and the values stay readable) but the row no longer participates
+/// in membership tests, iteration or statistics.  `u32` keeps posting lists
+/// half the size of `usize` offsets; a relation holds at most `u32::MAX`
+/// row slots over its lifetime.
 pub type RowId = u32;
 
 /// Multiplicative constant shared with [`crate::hasher::FxHasher`].
@@ -139,6 +142,33 @@ impl PostingList {
         }
     }
 
+    /// Removes the first occurrence of `row`, preserving the order of the
+    /// remaining ids (scan order determinism).  Returns whether the id was
+    /// present.  A spilled list stays spilled — posting lists shrink rarely
+    /// and the capacity is reused by later insertions.
+    pub fn remove(&mut self, row: RowId) -> bool {
+        match self {
+            PostingList::Inline { len, rows } => {
+                let n = *len as usize;
+                match rows[..n].iter().position(|&r| r == row) {
+                    Some(pos) => {
+                        rows.copy_within(pos + 1..n, pos);
+                        *len -= 1;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            PostingList::Spill(rows) => match rows.iter().position(|&r| r == row) {
+                Some(pos) => {
+                    rows.remove(pos);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
     /// Number of rows listed.
     #[inline]
     pub fn len(&self) -> usize {
@@ -208,11 +238,24 @@ pub struct RowPool {
     /// `hashes[r]` is the row hash of row `r` (retained so merges and
     /// rebuilds never rehash).
     hashes: Vec<u64>,
+    /// Per-row derivation support count, parallel to `hashes`: how many
+    /// derivations are known for the row (1 on plain insertion).  Maintained
+    /// by the storage manager's derived-insert path and consumed by the
+    /// incremental maintenance subsystem's counted-deletion fast path;
+    /// meaningless (and ignored) for rows of recursive strata.
+    support: Vec<u32>,
+    /// Tombstones, parallel to `hashes`: `dead[r]` marks a retracted slot.
+    /// Left empty (all-live) until the first retraction so the common
+    /// insert-only pool pays nothing for the feature.
+    dead: Vec<bool>,
+    /// Number of tombstoned slots (`0` for insert-only pools).
+    dead_count: usize,
     /// Row hash → first row carrying that hash.  Membership is confirmed by
     /// slice equality against the pool, so collisions are harmless — and
     /// keeping the common bucket a single 12-byte entry (instead of a
     /// posting list) is what makes the dedup table cheaper than the second
-    /// `HashSet<Tuple>` copy it replaces.
+    /// `HashSet<Tuple>` copy it replaces.  Retracted rows are unlinked, so
+    /// the table only ever resolves live rows.
     dedup: FxHashMap<u64, RowId>,
     /// Additional *distinct* rows whose hash collides with an earlier row
     /// (a true 64-bit collision; essentially always empty).
@@ -228,6 +271,9 @@ impl RowPool {
             arity,
             values: Vec::new(),
             hashes: Vec::new(),
+            support: Vec::new(),
+            dead: Vec::new(),
+            dead_count: 0,
             dedup: FxHashMap::default(),
             overflow: FxHashMap::default(),
             rehashes: 0,
@@ -240,16 +286,39 @@ impl RowPool {
         self.arity
     }
 
-    /// Number of rows stored.
+    /// Number of *live* rows stored (retracted slots excluded) — the
+    /// cardinality every consumer (optimizer statistics, fixpoint tests,
+    /// result counting) observes.
     #[inline]
     pub fn len(&self) -> usize {
+        self.hashes.len() - self.dead_count
+    }
+
+    /// Number of row slots ever allocated, including tombstoned ones — the
+    /// exclusive upper bound of valid [`RowId`]s.
+    #[inline]
+    pub fn slots(&self) -> usize {
         self.hashes.len()
     }
 
-    /// Whether the pool holds no rows.
+    /// Whether the pool holds no live rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.hashes.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether any slot has been tombstoned by a retraction.  While this is
+    /// `false` (the insert-only common case) every slot is live and callers
+    /// may iterate `0..slots()` directly.
+    #[inline]
+    pub fn has_dead(&self) -> bool {
+        self.dead_count > 0
+    }
+
+    /// Whether the slot `row` holds a live (non-retracted) row.
+    #[inline]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.dead.get(row as usize).copied() != Some(true)
     }
 
     /// The values of row `row`.
@@ -269,7 +338,35 @@ impl RowPool {
         self.hashes[row as usize]
     }
 
-    /// Iterator over all rows in insertion order.
+    /// The support count of row `row` (number of known derivations).
+    #[inline]
+    pub fn support_of(&self, row: RowId) -> u32 {
+        self.support[row as usize]
+    }
+
+    /// Overwrites the support count of row `row`.
+    #[inline]
+    pub fn set_support(&mut self, row: RowId, count: u32) {
+        self.support[row as usize] = count;
+    }
+
+    /// Adds `n` derivations to row `row`'s support count (saturating).
+    #[inline]
+    pub fn add_support(&mut self, row: RowId, n: u32) {
+        let slot = &mut self.support[row as usize];
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Removes `n` derivations from row `row`'s support count (saturating at
+    /// zero) and returns the new count.
+    #[inline]
+    pub fn sub_support(&mut self, row: RowId, n: u32) -> u32 {
+        let slot = &mut self.support[row as usize];
+        *slot = slot.saturating_sub(n);
+        *slot
+    }
+
+    /// Iterator over all live rows in insertion order.
     #[inline]
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
         // `chunks_exact(0)` would panic; nullary rows are all the same empty
@@ -277,7 +374,18 @@ impl RowPool {
         RowsIter {
             pool: self,
             next: 0,
+            remaining: self.len(),
         }
+    }
+
+    /// Iterator over `(id, values)` of all live rows in insertion order —
+    /// the retraction-aware replacement for `rows().enumerate()` (slot
+    /// offsets stop being row counts once tombstones exist).
+    #[inline]
+    pub fn live_rows(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        (0..self.slots() as RowId)
+            .filter(move |&row| self.is_live(row))
+            .map(move |row| (row, self.row(row)))
     }
 
     /// Whether an equal row is already stored.
@@ -289,16 +397,65 @@ impl RowPool {
     /// [`RowPool::contains`] with the row hash precomputed by the caller.
     #[inline]
     pub fn contains_hashed(&self, values: &[Value], hash: u64) -> bool {
+        self.find_hashed(values, hash).is_some()
+    }
+
+    /// The live row equal to `values` (hash precomputed), if any.
+    #[inline]
+    pub fn find_hashed(&self, values: &[Value], hash: u64) -> Option<RowId> {
         match self.dedup.get(&hash) {
             Some(&first) => {
-                self.row(first) == values
-                    || self
-                        .overflow
+                if self.row(first) == values {
+                    Some(first)
+                } else {
+                    self.overflow
                         .get(&hash)
-                        .is_some_and(|rows| rows.iter().any(|&r| self.row(r) == values))
+                        .and_then(|rows| rows.iter().copied().find(|&r| self.row(r) == values))
+                }
             }
-            None => false,
+            None => None,
         }
+    }
+
+    /// Tombstones the live row equal to `values` (hash precomputed by the
+    /// caller): the slot keeps its id, hash and values, but the row leaves
+    /// the dedup table, the length and all iteration.  Returns the retracted
+    /// row's id, or `None` when no equal live row exists.
+    pub fn retract_hashed(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
+        debug_assert_eq!(hash, row_hash(values), "caller-supplied hash mismatch");
+        let row = self.find_hashed(values, hash)?;
+        // Unlink from the dedup table, promoting a colliding overflow row
+        // into the primary slot when one exists.
+        if self.dedup.get(&hash) == Some(&row) {
+            let promoted = self
+                .overflow
+                .get_mut(&hash)
+                .and_then(|rows| (!rows.is_empty()).then(|| rows.remove(0)));
+            match promoted {
+                Some(next) => {
+                    self.dedup.insert(hash, next);
+                }
+                None => {
+                    self.dedup.remove(&hash);
+                }
+            }
+        } else if let Some(rows) = self.overflow.get_mut(&hash) {
+            if let Some(pos) = rows.iter().position(|&r| r == row) {
+                rows.remove(pos);
+            }
+        }
+        if let Some(rows) = self.overflow.get(&hash) {
+            if rows.is_empty() {
+                self.overflow.remove(&hash);
+            }
+        }
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.hashes.len()];
+        }
+        self.dead[row as usize] = true;
+        self.dead_count += 1;
+        self.support[row as usize] = 0;
+        Some(row)
     }
 
     /// Inserts a row, returning its new [`RowId`], or `None` when an equal
@@ -349,7 +506,62 @@ impl RowPool {
         }
         self.values.extend_from_slice(values);
         self.hashes.push(hash);
+        self.support.push(1);
+        if !self.dead.is_empty() {
+            self.dead.push(false);
+        }
         Some(row)
+    }
+
+    /// Compacts tombstoned slots away: live rows keep their relative order
+    /// but are **renumbered densely from 0**, and the dedup table is
+    /// rebuilt.  A no-op when nothing is dead.  Returns whether ids moved —
+    /// callers must then rebuild every structure holding [`RowId`]s into
+    /// this pool (indexes, shard partitions); [`Relation::compact`] does
+    /// exactly that.  Without periodic compaction a long-lived session
+    /// under a sustained update stream grows with total churn rather than
+    /// live data (ids are never reused and tombstoned slots keep their
+    /// values resident).
+    ///
+    /// [`Relation::compact`]: crate::relation::Relation::compact
+    pub fn compact(&mut self) -> bool {
+        if !self.has_dead() {
+            return false;
+        }
+        let arity = self.arity;
+        let live = self.len();
+        let mut values = Vec::with_capacity(live * arity);
+        let mut hashes = Vec::with_capacity(live);
+        let mut support = Vec::with_capacity(live);
+        self.dedup.clear();
+        self.overflow.clear();
+        for old in 0..self.hashes.len() {
+            if self.dead[old] {
+                continue;
+            }
+            let row = hashes.len() as RowId;
+            let start = old * arity;
+            values.extend_from_slice(&self.values[start..start + arity]);
+            let hash = self.hashes[old];
+            hashes.push(hash);
+            support.push(self.support[old]);
+            // Rows are distinct by construction; only true 64-bit hash
+            // collisions spill into the overflow side table.
+            match self.dedup.entry(hash) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(row);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.overflow.entry(hash).or_default().push(row);
+                }
+            }
+        }
+        self.values = values;
+        self.hashes = hashes;
+        self.support = support;
+        self.dead.clear();
+        self.dead_count = 0;
+        true
     }
 
     /// Drops all rows but keeps allocated capacity (vectors and the dedup
@@ -357,6 +569,9 @@ impl RowPool {
     pub fn clear(&mut self) {
         self.values.clear();
         self.hashes.clear();
+        self.support.clear();
+        self.dead.clear();
+        self.dead_count = 0;
         self.dedup.clear();
         self.overflow.clear();
     }
@@ -375,6 +590,8 @@ impl RowPool {
             rows: self.len(),
             bytes: self.values.capacity() * std::mem::size_of::<Value>()
                 + self.hashes.capacity() * std::mem::size_of::<u64>()
+                + self.support.capacity() * std::mem::size_of::<u32>()
+                + self.dead.capacity() * std::mem::size_of::<bool>()
                 + self.dedup.capacity() * bucket
                 + overflow,
             rehashes: self.rehashes,
@@ -383,10 +600,12 @@ impl RowPool {
 }
 
 /// Iterator behind [`RowPool::rows`] (explicit struct so nullary relations,
-/// whose stride is 0, still yield one empty slice per stored row).
+/// whose stride is 0, still yield one empty slice per stored row; skips
+/// tombstoned slots).
 struct RowsIter<'a> {
     pool: &'a RowPool,
     next: RowId,
+    remaining: usize,
 }
 
 impl<'a> Iterator for RowsIter<'a> {
@@ -394,18 +613,19 @@ impl<'a> Iterator for RowsIter<'a> {
 
     #[inline]
     fn next(&mut self) -> Option<&'a [Value]> {
-        if (self.next as usize) < self.pool.len() {
-            let row = self.pool.row(self.next);
+        while (self.next as usize) < self.pool.slots() {
+            let id = self.next;
             self.next += 1;
-            Some(row)
-        } else {
-            None
+            if self.pool.is_live(id) {
+                self.remaining -= 1;
+                return Some(self.pool.row(id));
+            }
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rest = self.pool.len() - self.next as usize;
-        (rest, Some(rest))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -515,6 +735,70 @@ mod tests {
             .map(|v| shard_of_hash(value_hash(Value::int(v)), 8))
             .collect();
         assert_eq!(hit.len(), 8);
+    }
+
+    #[test]
+    fn retract_tombstones_and_unlinks_dedup() {
+        let mut pool = RowPool::new(2);
+        pool.insert(&vals(&[1, 2]));
+        pool.insert(&vals(&[3, 4]));
+        pool.insert(&vals(&[5, 6]));
+        let row = pool
+            .retract_hashed(&vals(&[3, 4]), row_hash(&vals(&[3, 4])))
+            .expect("row present");
+        assert_eq!(row, 1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.slots(), 3);
+        assert!(pool.has_dead());
+        assert!(!pool.is_live(1));
+        assert!(!pool.contains(&vals(&[3, 4])));
+        // Values of the tombstoned slot stay readable; iteration skips it.
+        assert_eq!(pool.row(1), &vals(&[3, 4])[..]);
+        let seen: Vec<u32> = pool.rows().map(|r| r[0].raw()).collect();
+        assert_eq!(seen, vec![1, 5]);
+        assert_eq!(pool.rows().len(), 2);
+        let live: Vec<RowId> = pool.live_rows().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![0, 2]);
+        // Retracting again is a no-op; re-inserting allocates a fresh slot.
+        assert_eq!(
+            pool.retract_hashed(&vals(&[3, 4]), row_hash(&vals(&[3, 4]))),
+            None
+        );
+        assert_eq!(pool.insert(&vals(&[3, 4])), Some(3));
+        assert_eq!(pool.len(), 3);
+        assert!(pool.contains(&vals(&[3, 4])));
+    }
+
+    #[test]
+    fn support_counts_ride_on_rows() {
+        let mut pool = RowPool::new(1);
+        let row = pool.insert(&vals(&[9])).unwrap();
+        assert_eq!(pool.support_of(row), 1);
+        pool.add_support(row, 2);
+        assert_eq!(pool.support_of(row), 3);
+        assert_eq!(pool.sub_support(row, 1), 2);
+        assert_eq!(pool.sub_support(row, 10), 0); // saturates
+        pool.set_support(row, 7);
+        assert_eq!(pool.support_of(row), 7);
+    }
+
+    #[test]
+    fn posting_list_remove_preserves_order() {
+        let mut list = PostingList::default();
+        for i in 0..3 {
+            list.push(i);
+        }
+        assert!(list.remove(1));
+        assert_eq!(list.as_slice(), &[0, 2]);
+        assert!(!list.remove(9));
+        // Spilled list.
+        for i in 10..20 {
+            list.push(i);
+        }
+        assert!(list.is_spilled());
+        assert!(list.remove(0));
+        assert_eq!(list.as_slice()[0], 2);
+        assert_eq!(list.len(), 11);
     }
 
     #[test]

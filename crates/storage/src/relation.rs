@@ -345,9 +345,9 @@ impl Relation {
             return;
         }
         self.shards.resize(self.shard_count, Vec::new());
-        for (row, values) in self.pool.rows().enumerate() {
+        for (row, values) in self.pool.live_rows() {
             let value = values.get(self.shard_key).copied().unwrap_or_default();
-            self.shards[shard_of(value, self.shard_count)].push(row as RowId);
+            self.shards[shard_of(value, self.shard_count)].push(row);
         }
     }
 
@@ -381,27 +381,27 @@ impl Relation {
             }
             hash = mix_hash(hash, unit);
         }
-        Ok(self.insert_prehashed(values, hash, key_unit))
+        Ok(self.insert_prehashed_row(values, hash, key_unit).is_some())
     }
 
     /// [`Relation::insert_row`] with the row hash precomputed by the caller
-    /// (arity must already match; used by the merge path so iteration
-    /// boundaries never rehash a row).
+    /// (arity must already match; used by the merge and derived-insert paths
+    /// so iteration boundaries never rehash a row), returning the fresh
+    /// row's id (`None` when an equal row already exists) so callers can
+    /// attach support counts to the inserted row.
     #[inline]
-    pub(crate) fn insert_row_hashed(&mut self, values: &[Value], hash: u64) -> bool {
+    pub(crate) fn insert_row_hashed_id(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
         let key_unit = if self.shard_count > 1 {
             value_hash(values.get(self.shard_key).copied().unwrap_or_default())
         } else {
             0
         };
-        self.insert_prehashed(values, hash, key_unit)
+        self.insert_prehashed_row(values, hash, key_unit)
     }
 
     #[inline]
-    fn insert_prehashed(&mut self, values: &[Value], hash: u64, key_unit: u64) -> bool {
-        let Some(row) = self.pool.insert_hashed(values, hash) else {
-            return false;
-        };
+    fn insert_prehashed_row(&mut self, values: &[Value], hash: u64, key_unit: u64) -> Option<RowId> {
+        let row = self.pool.insert_hashed(values, hash)?;
         for index in &mut self.indexes {
             index.insert(values, row);
         }
@@ -411,7 +411,94 @@ impl Relation {
         if self.shard_count > 1 {
             self.shards[shard_of_hash(key_unit, self.shard_count)].push(row);
         }
-        true
+        Some(row)
+    }
+
+    /// Retracts the row equal to `tuple`, returning `true` if it was
+    /// present (boundary API over [`Relation::retract_row`]).
+    pub fn retract(&mut self, tuple: &Tuple) -> Result<bool> {
+        self.retract_row(tuple.values())
+    }
+
+    /// Retracts one row given as a value slice: the row is tombstoned in the
+    /// pool (its [`RowId`] stays allocated but leaves membership, iteration
+    /// and cardinality) and unlinked from every posting list — single-column
+    /// indexes, composite indexes and the shard partitions.  Returns `true`
+    /// if an equal live row existed.
+    pub fn retract_row(&mut self, values: &[Value]) -> Result<bool> {
+        if values.len() != self.schema.arity {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity,
+                actual: values.len(),
+            });
+        }
+        let hash = crate::pool::row_hash(values);
+        let Some(row) = self.pool.retract_hashed(values, hash) else {
+            return Ok(false);
+        };
+        for index in &mut self.indexes {
+            index.remove(values, row);
+        }
+        for index in &mut self.composites {
+            index.remove(values, row);
+        }
+        if self.shard_count > 1 {
+            let key = values.get(self.shard_key).copied().unwrap_or_default();
+            let shard = &mut self.shards[shard_of(key, self.shard_count)];
+            if let Some(pos) = shard.iter().position(|&r| r == row) {
+                shard.remove(pos);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The live row equal to `values`, if any (hash precomputed by the
+    /// caller) — the row-id-returning variant of
+    /// [`Relation::contains_row_hashed`] used by the support-count
+    /// maintenance of the derived-insert path.
+    #[inline]
+    pub fn find_row_hashed(&self, values: &[Value], hash: u64) -> Option<RowId> {
+        self.pool.find_hashed(values, hash)
+    }
+
+    /// The support count (number of known derivations) of row `row`.
+    #[inline]
+    pub fn support_of(&self, row: RowId) -> u32 {
+        self.pool.support_of(row)
+    }
+
+    /// Adds `n` derivations to row `row`'s support count (saturating).
+    #[inline]
+    pub fn add_support(&mut self, row: RowId, n: u32) {
+        self.pool.add_support(row, n);
+    }
+
+    /// Overwrites row `row`'s support count.
+    #[inline]
+    pub fn set_support(&mut self, row: RowId, count: u32) {
+        self.pool.set_support(row, count);
+    }
+
+    /// Removes `n` derivations from row `row`'s support count (saturating at
+    /// zero), returning the new count.
+    #[inline]
+    pub fn sub_support(&mut self, row: RowId, n: u32) -> u32 {
+        self.pool.sub_support(row, n)
+    }
+
+    /// Whether the slot `row` holds a live (non-retracted) row.
+    #[inline]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.pool.is_live(row)
+    }
+
+    /// Number of row slots ever allocated (including tombstoned ones) — the
+    /// exclusive upper bound of valid [`RowId`]s, used as a high-water mark
+    /// by the incremental subsystem to read off newly appended rows.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.pool.slots()
     }
 
     /// Membership test for a boundary tuple.
@@ -432,12 +519,16 @@ impl Relation {
         self.pool.contains_hashed(values, hash)
     }
 
-    /// The values of the row with id `row`.
+    /// The values of the row with id `row`.  Tombstoned slots keep their
+    /// values readable, so this works for any allocated id; whether the
+    /// slot is live is a separate question ([`Relation::is_live`]).
     ///
     /// # Panics
     ///
     /// Panics when `row` is out of bounds; callers obtain ids from
-    /// [`Relation::probe_rows`], [`Relation::lookup_rows`] or `0..len()`.
+    /// [`Relation::probe_rows`], [`Relation::lookup_rows`] or
+    /// `0..slot_count()` filtered by [`Relation::is_live`] (once rows have
+    /// been retracted, `len()` counts live rows and is *not* an id bound).
     #[inline]
     pub fn row(&self, row: RowId) -> &[Value] {
         self.pool.row(row)
@@ -471,10 +562,9 @@ impl Relation {
             index.lookup(value).to_vec()
         } else {
             self.pool
-                .rows()
-                .enumerate()
+                .live_rows()
                 .filter(|(_, r)| r.get(column) == Some(&value))
-                .map(|(i, _)| i as RowId)
+                .map(|(i, _)| i)
                 .collect()
         }
     }
@@ -568,9 +658,9 @@ impl Relation {
         }
         if let Some(&(col, value)) = filters.first() {
             scratch.clear();
-            for (row, values) in self.pool.rows().enumerate() {
+            for (row, values) in self.pool.live_rows() {
                 if values.get(col) == Some(&value) {
-                    scratch.push(row as RowId);
+                    scratch.push(row);
                 }
             }
             return ProbeRows {
@@ -578,8 +668,19 @@ impl Relation {
                 via_composite: false,
             };
         }
+        if self.pool.has_dead() {
+            // Tombstoned slots exist: a plain `0..slots` range would revive
+            // retracted rows, so collect the live ids into the caller's
+            // reusable scratch (still allocation-free once warm).
+            scratch.clear();
+            scratch.extend(self.pool.live_rows().map(|(row, _)| row));
+            return ProbeRows {
+                rows: ProbeSource::Slice(scratch),
+                via_composite: false,
+            };
+        }
         ProbeRows {
-            rows: ProbeSource::All(self.pool.len() as RowId),
+            rows: ProbeSource::All(self.pool.slots() as RowId),
             via_composite: false,
         }
     }
@@ -591,6 +692,32 @@ impl Relation {
         let mut scratch = Vec::new();
         let probe = self.probe_rows(filters, &mut scratch);
         probe.iter().collect()
+    }
+
+    /// Compacts tombstoned slots away (see [`RowPool::compact`]): live rows
+    /// are renumbered densely and every id-bearing structure — single-column
+    /// and composite indexes, shard partitions — is rebuilt.  A no-op (and
+    /// free) when nothing is dead.  **Invalidates previously obtained
+    /// [`RowId`]s**, so callers only compact at points where none are held
+    /// (the incremental engine compacts between update batches).
+    pub fn compact(&mut self) {
+        if !self.pool.compact() {
+            return;
+        }
+        for index in &mut self.indexes {
+            index.rebuild(&self.pool);
+        }
+        for index in &mut self.composites {
+            index.rebuild(&self.pool);
+        }
+        self.rebuild_shards();
+    }
+
+    /// Number of tombstoned slots currently held (the compaction trigger's
+    /// input; 0 for insert-only relations).
+    #[inline]
+    pub fn dead_count(&self) -> usize {
+        self.pool.slots() - self.pool.len()
     }
 
     /// Removes every row but keeps schema, index and shard definitions (and
@@ -638,10 +765,31 @@ impl Relation {
             });
         }
         let mut added = 0;
-        for row in 0..other.pool.len() {
+        for row in 0..other.pool.slots() {
             let row = row as RowId;
-            if self.insert_row_hashed(other.pool.row(row), other.pool.hash_of(row)) {
-                added += 1;
+            if !other.pool.is_live(row) {
+                continue;
+            }
+            let values = other.pool.row(row);
+            let hash = other.pool.hash_of(row);
+            let support = other.pool.support_of(row);
+            let key_unit = if self.shard_count > 1 {
+                value_hash(values.get(self.shard_key).copied().unwrap_or_default())
+            } else {
+                0
+            };
+            // Support counts travel with the row: a fresh insert carries the
+            // source count, a duplicate adds its derivations to the target's.
+            match self.insert_prehashed_row(values, hash, key_unit) {
+                Some(new_row) => {
+                    self.pool.set_support(new_row, support);
+                    added += 1;
+                }
+                None => {
+                    if let Some(existing) = self.pool.find_hashed(values, hash) {
+                        self.pool.add_support(existing, support);
+                    }
+                }
             }
         }
         Ok(added)
@@ -937,6 +1085,120 @@ mod tests {
             r.set_sharding(2, 9),
             Err(StorageError::ColumnOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn retract_row_unlinks_indexes_and_shards() {
+        let mut r = Relation::new(edge_schema());
+        r.add_index(0).unwrap();
+        r.add_composite_index(&[0, 1]).unwrap();
+        r.set_sharding(4, 0).unwrap();
+        for (a, b) in [(1, 2), (1, 3), (2, 4)] {
+            r.insert(Tuple::pair(a, b)).unwrap();
+        }
+        assert!(r.retract(&Tuple::pair(1, 3)).unwrap());
+        assert!(!r.retract(&Tuple::pair(1, 3)).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&Tuple::pair(1, 3)));
+        assert_eq!(r.lookup_rows(0, Value::int(1)), vec![0]);
+        assert_eq!(
+            r.lookup_rows_composite(&[(0, Value::int(1)), (1, Value::int(3))]),
+            Some(vec![])
+        );
+        let sharded: Vec<RowId> = (0..4).flat_map(|s| r.shard_rows(s).to_vec()).collect();
+        assert_eq!(sharded.len(), 2);
+        assert!(!sharded.contains(&1));
+        // Full scans (probe with no filters) skip the tombstone.
+        let mut scratch = Vec::new();
+        let probe: Vec<RowId> = r.probe_rows(&[], &mut scratch).iter().collect();
+        assert_eq!(probe, vec![0, 2]);
+        // Unindexed filtered scans skip it too.
+        let mut plain = Relation::new(edge_schema());
+        plain.insert(Tuple::pair(1, 2)).unwrap();
+        plain.insert(Tuple::pair(1, 3)).unwrap();
+        plain.retract(&Tuple::pair(1, 3)).unwrap();
+        let probe: Vec<RowId> = plain
+            .probe_rows(&[(0, Value::int(1))], &mut scratch)
+            .iter()
+            .collect();
+        assert_eq!(probe, vec![0]);
+        // Re-insertion after retraction works and is visible again.
+        assert!(r.insert(Tuple::pair(1, 3)).unwrap());
+        assert_eq!(r.lookup_rows(0, Value::int(1)).len(), 2);
+    }
+
+    #[test]
+    fn compact_renumbers_and_rebuilds_everything() {
+        let mut r = Relation::new(edge_schema());
+        r.add_index(0).unwrap();
+        r.add_composite_index(&[0, 1]).unwrap();
+        r.set_sharding(4, 0).unwrap();
+        for i in 0..100u32 {
+            r.insert(Tuple::pair(i % 10, i)).unwrap();
+        }
+        for i in (0..100u32).step_by(2) {
+            r.retract(&Tuple::pair(i % 10, i)).unwrap();
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.dead_count(), 50);
+        r.compact();
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.dead_count(), 0);
+        assert_eq!(r.slot_count(), 50);
+        // Membership, indexes, composite probes and shards all agree with
+        // a freshly built relation holding the surviving rows.
+        let mut fresh = Relation::new(edge_schema());
+        fresh.add_index(0).unwrap();
+        fresh.add_composite_index(&[0, 1]).unwrap();
+        fresh.set_sharding(4, 0).unwrap();
+        for i in (1..100u32).step_by(2) {
+            fresh.insert(Tuple::pair(i % 10, i)).unwrap();
+        }
+        let mut a = r.to_tuples();
+        let mut b = fresh.to_tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        for v in 0..10u32 {
+            assert_eq!(
+                r.lookup_rows(0, Value::int(v)).len(),
+                fresh.lookup_rows(0, Value::int(v)).len()
+            );
+        }
+        assert_eq!(
+            r.lookup_rows_composite(&[(0, Value::int(1)), (1, Value::int(1))]),
+            Some(vec![0])
+        );
+        for s in 0..4 {
+            assert_eq!(r.shard_rows(s).len(), fresh.shard_rows(s).len());
+        }
+        // Support counts travelled with their rows.
+        for row in 0..50u32 {
+            assert_eq!(r.support_of(row), 1);
+        }
+        // Further inserts and retracts behave normally afterwards.
+        assert!(r.insert(Tuple::pair(0, 0)).unwrap());
+        assert!(r.retract(&Tuple::pair(1, 1)).unwrap());
+        assert_eq!(r.len(), 50);
+    }
+
+    #[test]
+    fn union_in_place_transfers_support() {
+        let mut a = Relation::new(edge_schema());
+        let mut b = Relation::new(edge_schema());
+        a.insert(Tuple::pair(1, 2)).unwrap();
+        a.add_support(0, 2); // a's (1,2) has 3 derivations
+        b.insert(Tuple::pair(1, 2)).unwrap();
+        b.insert(Tuple::pair(3, 4)).unwrap();
+        b.set_support(1, 5);
+        a.union_in_place(&b).unwrap();
+        assert_eq!(a.support_of(0), 4); // 3 + 1 from b's copy
+        let new_row = a.find_row_hashed(
+            &[Value::int(3), Value::int(4)],
+            crate::pool::row_hash(&[Value::int(3), Value::int(4)]),
+        )
+        .unwrap();
+        assert_eq!(a.support_of(new_row), 5); // carried over
     }
 
     #[test]

@@ -11,6 +11,7 @@ use carac_ir::{ConjunctiveQuery, IRNode, IROp};
 use carac_storage::hasher::FxHashMap;
 
 use crate::instr::{EmitSource, FilterSource, Instr, Pc, Reg, Slot};
+use crate::machine::VmError;
 use crate::program::VmProgram;
 
 /// Incremental program builder with forward-jump patching.
@@ -43,7 +44,11 @@ impl Assembler {
     }
 
     /// Patches the exhaustion/jump target of the instruction at `pc`.
-    fn patch(&mut self, pc: Pc, target: Pc) {
+    /// Returns a typed [`VmError::PatchTarget`] when the instruction has no
+    /// patchable target — a compiler bug that now degrades into a
+    /// compile-time error propagated to the caller instead of aborting the
+    /// process.
+    fn patch(&mut self, pc: Pc, target: Pc) -> Result<(), VmError> {
         match &mut self.instrs[pc.index()] {
             Instr::Advance { on_exhausted, .. } => *on_exhausted = target,
             Instr::Jump(t) => *t = target,
@@ -51,8 +56,9 @@ impl Assembler {
             Instr::RequireEq { on_mismatch, .. } => *on_mismatch = target,
             Instr::RequireCmp { on_mismatch, .. } => *on_mismatch = target,
             Instr::JumpIfDeltasNotEmpty { target: t, .. } => *t = target,
-            other => panic!("cannot patch {other:?}"),
+            other => return Err(VmError::PatchTarget(format!("{other:?}"))),
         }
+        Ok(())
     }
 
     fn finish(mut self) -> VmProgram {
@@ -70,26 +76,29 @@ const PENDING: Pc = Pc(u32::MAX);
 
 /// Compiles a whole IR subtree into one VM program.  The subtree may contain
 /// any IR operation; the resulting program performs exactly the same storage
-/// effects as interpreting the subtree would.
-pub fn compile_node(node: &IRNode) -> VmProgram {
+/// effects as interpreting the subtree would.  Fails with a typed
+/// [`VmError::PatchTarget`] if the lowering tries to patch an instruction
+/// without a jump target (a compiler bug).
+pub fn compile_node(node: &IRNode) -> Result<VmProgram, VmError> {
     let mut asm = Assembler::default();
-    emit_node(node, &mut asm);
+    emit_node(node, &mut asm)?;
     let program = asm.finish();
     debug_assert_eq!(program.validate(), Ok(()));
-    program
+    Ok(program)
 }
 
 /// Compiles a single conjunctive query into a VM program (used by the
-/// per-subquery compilation granularity).
-pub fn compile_query(query: &ConjunctiveQuery) -> VmProgram {
+/// per-subquery compilation granularity).  Same error contract as
+/// [`compile_node`].
+pub fn compile_query(query: &ConjunctiveQuery) -> Result<VmProgram, VmError> {
     let mut asm = Assembler::default();
-    emit_query(query, &mut asm);
+    emit_query(query, &mut asm)?;
     let program = asm.finish();
     debug_assert_eq!(program.validate(), Ok(()));
-    program
+    Ok(program)
 }
 
-fn emit_node(node: &IRNode, asm: &mut Assembler) {
+fn emit_node(node: &IRNode, asm: &mut Assembler) -> Result<(), VmError> {
     match &node.op {
         IROp::Program { children }
         | IROp::Sequence { children }
@@ -97,7 +106,7 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) {
         | IROp::UnionAllRules { children, .. }
         | IROp::UnionRule { children, .. } => {
             for child in children {
-                emit_node(child, asm);
+                emit_node(child, asm)?;
             }
         }
         IROp::SwapClear { relations } => {
@@ -107,13 +116,13 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) {
         }
         IROp::DoWhile { relations, body } => {
             let loop_head = asm.here();
-            emit_node(body, asm);
+            emit_node(body, asm)?;
             asm.push(Instr::JumpIfDeltasNotEmpty {
                 relations: relations.clone(),
                 target: loop_head,
             });
         }
-        IROp::Spj { query } => emit_query(query, asm),
+        IROp::Spj { query } => emit_query(query, asm)?,
         IROp::Aggregate { spec } => {
             asm.push(Instr::Aggregate {
                 input: spec.input,
@@ -122,13 +131,14 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) {
             });
         }
     }
+    Ok(())
 }
 
 /// Emits the nested-loop join pipeline for one conjunctive query.
 ///
 /// Register allocation: one register per rule variable, in [`VarId`] order,
 /// plus temporaries appended after them for repeated within-atom variables.
-fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
+fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) -> Result<(), VmError> {
     // A failed constant-only constraint makes the query statically empty:
     // emit nothing at all.
     if !query
@@ -136,7 +146,7 @@ fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
         .iter()
         .all(|c| c.eval_const().unwrap_or(true))
     {
-        return;
+        return Ok(());
     }
 
     let var_reg: FxHashMap<VarId, Reg> = (0..query.num_vars)
@@ -214,7 +224,7 @@ fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
         } else {
             // Exhausting this cursor resumes the enclosing loop.
             let outer = advance_pcs[i - 1];
-            asm.patch(advance_pc, outer);
+            asm.patch(advance_pc, outer)?;
         }
         advance_pcs.push(advance_pc);
 
@@ -274,7 +284,7 @@ fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
         if continue_pc.is_none() {
             // Rule without positive atoms: a violated negation skips the
             // single Emit below; patched after we know the exit pc.
-            asm.patch(pc, PENDING);
+            asm.patch(pc, PENDING)?;
         }
     }
 
@@ -305,16 +315,17 @@ fn emit_query(query: &ConjunctiveQuery, asm: &mut Assembler) {
     // The exit point of this query is whatever instruction comes next.
     let exit = asm.here();
     if let Some(first) = first_advance {
-        asm.patch(first, exit);
+        asm.patch(first, exit)?;
     }
     // Patch any pending NegCheck targets from the no-positive-atom case.
     for pc_index in 0..asm.instrs.len() {
         if let Instr::NegCheck { on_found, .. } = &asm.instrs[pc_index] {
             if *on_found == PENDING {
-                asm.patch(Pc(pc_index as u32), exit);
+                asm.patch(Pc(pc_index as u32), exit)?;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -332,7 +343,7 @@ mod tests {
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
         for (_, query) in plan.spj_queries() {
-            let program = compile_query(query);
+            let program = compile_query(query).unwrap();
             assert!(program.validate().is_ok());
             // One OpenScan + Advance pair per atom, one Emit, one back Jump,
             // one Halt at minimum.
@@ -348,7 +359,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         assert!(program.validate().is_ok());
         let has_backedge = program
             .instrs
@@ -368,7 +379,7 @@ mod tests {
         let p = parse("Out(x) :- Call(x, 7).\n").unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
         let (_, query) = plan.spj_queries()[0];
-        let program = compile_query(query);
+        let program = compile_query(query).unwrap();
         let open = program
             .instrs
             .iter()
@@ -386,7 +397,7 @@ mod tests {
         let p = parse("Loop(x) :- Edge(x, x).\n").unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
         let (_, query) = plan.spj_queries()[0];
-        let program = compile_query(query);
+        let program = compile_query(query).unwrap();
         assert!(program
             .instrs
             .iter()
@@ -407,7 +418,7 @@ mod tests {
             .find(|(_, q)| !q.negated.is_empty())
             .unwrap()
             .1;
-        let program = compile_query(with_negation);
+        let program = compile_query(with_negation).unwrap();
         assert!(program
             .instrs
             .iter()

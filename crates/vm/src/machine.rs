@@ -31,6 +31,10 @@ pub enum VmError {
     /// The instruction budget was exhausted (guards against non-terminating
     /// generated programs in tests).
     BudgetExhausted,
+    /// The bytecode compiler tried to patch a jump target into an
+    /// instruction that has none (a lowering bug, reported as a typed
+    /// compile error instead of a process abort).
+    PatchTarget(String),
 }
 
 impl fmt::Display for VmError {
@@ -43,6 +47,9 @@ impl fmt::Display for VmError {
             VmError::UninitializedRegister(r) => write!(f, "register r{r} read before write"),
             VmError::Storage(msg) => write!(f, "storage error: {msg}"),
             VmError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            VmError::PatchTarget(instr) => {
+                write!(f, "cannot patch jump target into {instr}")
+            }
         }
     }
 }
@@ -396,7 +403,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         let mut storage = storage_for(&p, true);
         let mut machine = Machine::for_program(&program);
         let stats = machine.run(&program, &mut storage).unwrap();
@@ -418,7 +425,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         let mut storage = storage_for(&p, false);
         let mut machine = Machine::for_program(&program);
         machine.run(&program, &mut storage).unwrap();
@@ -439,7 +446,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         let path = p.relation_by_name("Path").unwrap();
 
         let mut with_index = storage_for(&p, true);
@@ -469,7 +476,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         assert!(program
             .instrs
             .iter()
@@ -489,7 +496,7 @@ mod tests {
     fn statically_false_constraint_compiles_to_nothing() {
         let p = parse("Out(x) :- Node(x), 2 < 1.\nNode(5).").unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         let mut storage = storage_for(&p, false);
         Machine::for_program(&program)
             .run(&program, &mut storage)
@@ -507,7 +514,7 @@ mod tests {
         )
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
-        let program = compile_node(&plan);
+        let program = compile_node(&plan).unwrap();
         assert!(program
             .instrs
             .iter()
@@ -577,7 +584,7 @@ mod tests {
         .unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
         let (_, query) = plan.spj_queries()[0];
-        let program = compile_query(query);
+        let program = compile_query(query).unwrap();
         let mut storage = storage_for(&p, false);
         let mut machine = Machine::for_program(&program);
         let stats = machine.run(&program, &mut storage).unwrap();

@@ -506,3 +506,449 @@ fn flat_pool_engines_agree_on_figure_workloads() {
         }
     }
 }
+
+// ===================================================================
+// Incremental maintenance: apply_update vs from-scratch re-evaluation
+// ===================================================================
+
+use carac_analysis::generators::{edge_update_stream, UpdateStreamBatch};
+
+/// Replays `stream` over `base` and returns the final edge set.
+fn final_edges(base: &[(u32, u32)], stream: &[UpdateStreamBatch]) -> Vec<(u32, u32)> {
+    let mut live: Vec<(u32, u32)> = base.to_vec();
+    live.sort_unstable();
+    live.dedup();
+    for batch in stream {
+        for e in &batch.retracts {
+            if let Some(pos) = live.iter().position(|x| x == e) {
+                live.remove(pos);
+            }
+        }
+        for e in &batch.inserts {
+            if !live.contains(e) {
+                live.push(*e);
+            }
+        }
+    }
+    live
+}
+
+/// Maintains a live session under `stream` and asserts that every listed
+/// output relation's fact set is identical to evaluating the final edge set
+/// from scratch (with the plain interpreter as the oracle).
+type EdgeProgramFn<'a> = &'a dyn Fn(&[(u32, u32)]) -> carac_datalog::Program;
+
+fn assert_stream_matches_scratch(
+    build: EdgeProgramFn,
+    update_relation: &str,
+    outputs: &[&str],
+    base: &[(u32, u32)],
+    stream: &[UpdateStreamBatch],
+    config: EngineConfig,
+    label: &str,
+) {
+    let mut engine = Carac::new(build(base)).with_config(config);
+    engine.run_live().unwrap_or_else(|e| panic!("{label}: initial run failed: {e}"));
+    for batch in stream {
+        engine
+            .apply_edge_updates(update_relation, &batch.inserts, &batch.retracts)
+            .unwrap_or_else(|e| panic!("{label}: update failed: {e}"));
+    }
+    let mut oracle = Carac::new(build(&final_edges(base, stream)))
+        .with_config(EngineConfig::interpreted());
+    for output in outputs {
+        let mut live = engine.live_tuples(output).unwrap();
+        let mut scratch = oracle.live_tuples(output).unwrap();
+        live.sort();
+        scratch.sort();
+        assert_eq!(live, scratch, "{label}: {output} diverged from scratch");
+    }
+}
+
+/// The three stream shapes every incremental case covers: insert-only,
+/// delete-only, and mixed.
+fn stream_shapes(
+    base: &[(u32, u32)],
+    nodes: u32,
+    seed: u64,
+) -> Vec<(&'static str, Vec<UpdateStreamBatch>)> {
+    let mixed = edge_update_stream(base, nodes, 4, 3, seed);
+    let inserts: Vec<UpdateStreamBatch> = mixed
+        .iter()
+        .map(|b| UpdateStreamBatch { inserts: b.inserts.clone(), retracts: Vec::new() })
+        .collect();
+    // Delete-only: retract a deterministic slice of the base edges.
+    let victims: Vec<(u32, u32)> = base.iter().copied().step_by(3).take(6).collect();
+    let deletes: Vec<UpdateStreamBatch> = victims
+        .chunks(2)
+        .map(|c| UpdateStreamBatch { inserts: Vec::new(), retracts: c.to_vec() })
+        .collect();
+    vec![("insert-only", inserts), ("delete-only", deletes), ("mixed", mixed)]
+}
+
+/// Transitive closure (recursive stratum, pure counted/DRed path): live
+/// maintenance equals scratch for insert-only, delete-only and mixed
+/// streams, across the interpreted and specialized update kernels and
+/// 1/2/8 worker threads.
+#[test]
+fn incremental_tc_matches_scratch_across_kernels_and_threads() {
+    for seed in [0u64, 5, 9] {
+        let base = random_digraph(12, 30, seed);
+        for (shape, stream) in stream_shapes(&base, 12, seed + 100) {
+            for threads in [1usize, 2, 8] {
+                for kernel in [
+                    EngineConfig::interpreted(),
+                    EngineConfig::jit(BackendKind::Lambda, false),
+                ] {
+                    assert_stream_matches_scratch(
+                        &tc_program,
+                        "Edge",
+                        &["Path"],
+                        &base,
+                        &stream,
+                        kernel.with_parallelism(threads),
+                        &format!("tc seed {seed} {shape} x{threads} ({})", kernel.label()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// CSPA-shaped mutually recursive rules (the fig6/fig8 macro workload's
+/// rule set) over an explicit Assign/Derefr fact base: updates to Assign
+/// maintain VaFlow, VAlias and MAlias exactly.
+#[test]
+fn incremental_cspa_rules_match_scratch() {
+    fn cspa_rules(assign: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        for rel in ["Assign", "Derefr", "VaFlow", "VAlias", "MAlias"] {
+            b.relation(rel, 2);
+        }
+        b.rule("VaFlow", &["v2", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
+        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+        b.rule("VaFlow", &["v1", "v2"])
+            .when("Assign", &["v1", "v3"])
+            .when("MAlias", &["v3", "v2"])
+            .end();
+        b.rule("VaFlow", &["v1", "v2"])
+            .when("VaFlow", &["v1", "v3"])
+            .when("VaFlow", &["v3", "v2"])
+            .end();
+        b.rule("MAlias", &["v1", "v0"])
+            .when("Derefr", &["v2", "v1"])
+            .when("VAlias", &["v2", "v3"])
+            .when("Derefr", &["v3", "v0"])
+            .end();
+        b.rule("VAlias", &["v1", "v2"])
+            .when("VaFlow", &["v3", "v1"])
+            .when("VaFlow", &["v3", "v2"])
+            .end();
+        b.rule("VAlias", &["v1", "v2"])
+            .when("MAlias", &["v3", "v0"])
+            .when("VaFlow", &["v3", "v1"])
+            .when("VaFlow", &["v0", "v2"])
+            .end();
+        for &(a, b_) in assign {
+            b.fact_ints("Assign", &[a, b_]);
+        }
+        for (a, b_) in random_digraph(10, 12, 77) {
+            b.fact_ints("Derefr", &[a, b_]);
+        }
+        b.build().unwrap()
+    }
+    for seed in [2u64, 8] {
+        let base = random_digraph(10, 20, seed);
+        for (shape, stream) in stream_shapes(&base, 10, seed + 50) {
+            for kernel in [
+                EngineConfig::interpreted(),
+                EngineConfig::jit(BackendKind::Lambda, false),
+            ] {
+                assert_stream_matches_scratch(
+                    &cspa_rules,
+                    "Assign",
+                    &["VaFlow", "VAlias", "MAlias"],
+                    &base,
+                    &stream,
+                    kernel,
+                    &format!("cspa seed {seed} {shape} ({})", kernel.label()),
+                );
+            }
+        }
+    }
+}
+
+/// Aggregated strata under updates: hop-count shortest paths (recursive
+/// Reach + `min` aggregate + `<`-constrained Near) and degree counting
+/// (`count` aggregates + comparison joins) both stay identical to scratch
+/// under insert/delete/mixed streams and across thread counts.
+#[test]
+fn incremental_aggregates_match_scratch() {
+    fn sp(edges: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Source", 1);
+        b.relation("Zero", 1);
+        b.relation("Succ", 2);
+        b.relation("Reach", 2);
+        b.relation("Dist", 2);
+        b.relation("Near", 1);
+        b.rule("Reach", &["y", "d"]).when("Source", &["y"]).when("Zero", &["d"]).end();
+        b.rule("Reach", &["y", "d2"])
+            .when("Reach", &["x", "d1"])
+            .when("Edge", &["x", "y"])
+            .when("Succ", &["d1", "d2"])
+            .end();
+        b.rule("Dist", &[carac_datalog::builder::v("y"), carac_datalog::builder::min_of("d")])
+            .when("Reach", &["y", "d"])
+            .end();
+        b.rule("Near", &["y"])
+            .when("Dist", &["y", "d"])
+            .lt(carac_datalog::builder::v("d"), carac_datalog::builder::c(4))
+            .end();
+        for &(a, b_) in edges {
+            b.fact_ints("Edge", &[a, b_]);
+        }
+        b.fact_ints("Source", &[0]);
+        b.fact_ints("Zero", &[0]);
+        for d in 0..8u32 {
+            b.fact_ints("Succ", &[d, d + 1]);
+        }
+        b.build().unwrap()
+    }
+    fn degrees(edges: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Threshold", 1);
+        b.relation("OutDeg", 2);
+        b.relation("InDeg", 2);
+        b.relation("HighOut", 1);
+        b.relation("Balanced", 1);
+        b.relation("Flagged", 1);
+        b.rule("OutDeg", &[carac_datalog::builder::v("x"), carac_datalog::builder::count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.rule("InDeg", &[carac_datalog::builder::v("y"), carac_datalog::builder::count_of("x")])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.rule("HighOut", &["x"])
+            .when("Threshold", &["t"])
+            .when("OutDeg", &["x", "c"])
+            .gt(carac_datalog::builder::v("c"), carac_datalog::builder::v("t"))
+            .end();
+        b.rule("Balanced", &["x"]).when("OutDeg", &["x", "c"]).when("InDeg", &["x", "c"]).end();
+        b.rule("Flagged", &["x"]).when("HighOut", &["x"]).end();
+        b.rule("Flagged", &["x"]).when("Balanced", &["x"]).end();
+        for &(a, b_) in edges {
+            b.fact_ints("Edge", &[a, b_]);
+        }
+        b.fact_ints("Threshold", &[2]);
+        b.build().unwrap()
+    }
+    for seed in [4u64, 13] {
+        let base = random_digraph(12, 28, seed);
+        for (shape, stream) in stream_shapes(&base, 12, seed + 200) {
+            for threads in [1usize, 2, 8] {
+                for kernel in [
+                    EngineConfig::interpreted(),
+                    EngineConfig::jit(BackendKind::Lambda, false),
+                ] {
+                    assert_stream_matches_scratch(
+                        &sp,
+                        "Edge",
+                        &["Reach", "Dist", "Near"],
+                        &base,
+                        &stream,
+                        kernel.with_parallelism(threads),
+                        &format!("sp seed {seed} {shape} x{threads} ({})", kernel.label()),
+                    );
+                    assert_stream_matches_scratch(
+                        &degrees,
+                        "Edge",
+                        &["OutDeg", "InDeg", "Flagged"],
+                        &base,
+                        &stream,
+                        kernel.with_parallelism(threads),
+                        &format!("deg seed {seed} {shape} x{threads} ({})", kernel.label()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Negation under updates: strata negating a changed relation are rebuilt
+/// and their diffs propagate — Reach/Unreached keep partitioning the node
+/// set and match scratch exactly.
+#[test]
+fn incremental_negation_matches_scratch() {
+    fn reach(edges: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Node", 1);
+        b.relation("Seed", 1);
+        b.relation("Reach", 1);
+        b.relation("Unreached", 1);
+        b.rule("Reach", &["x"]).when("Seed", &["x"]).end();
+        b.rule("Reach", &["y"]).when("Reach", &["x"]).when("Edge", &["x", "y"]).end();
+        b.rule("Unreached", &["x"]).when("Node", &["x"]).when_not("Reach", &["x"]).end();
+        for n in 0..10u32 {
+            b.fact_ints("Node", &[n]);
+        }
+        b.fact_ints("Seed", &[0]);
+        for &(a, b_) in edges {
+            b.fact_ints("Edge", &[a, b_]);
+        }
+        b.build().unwrap()
+    }
+    for seed in [1u64, 6] {
+        let base = random_digraph(10, 22, seed);
+        for (shape, stream) in stream_shapes(&base, 10, seed + 300) {
+            for kernel in [
+                EngineConfig::interpreted(),
+                EngineConfig::jit(BackendKind::Lambda, false),
+            ] {
+                assert_stream_matches_scratch(
+                    &reach,
+                    "Edge",
+                    &["Reach", "Unreached"],
+                    &base,
+                    &stream,
+                    kernel,
+                    &format!("negation seed {seed} {shape} ({})", kernel.label()),
+                );
+            }
+        }
+    }
+}
+
+/// Insert-only streams on the real figure-6/figure-8 macro workloads:
+/// applying the new facts through `apply_update` equals loading them
+/// up-front and evaluating from scratch.
+#[test]
+fn incremental_insert_only_matches_scratch_on_figure_workloads() {
+    let cases = vec![
+        (andersen(20, 3), "Assign"),
+        (cspa(24, 3), "Assign"),
+        (csda(80, 3), "Nullflow"),
+        (inverse_functions(20, 3), "Assign"),
+    ];
+    for (workload, update_rel) in cases {
+        let program = workload.program(Formulation::HandOptimized).clone();
+        let new_edges = random_digraph(16, 10, 0xFEED);
+        let mut live = Carac::new(program.clone()).with_config(EngineConfig::interpreted());
+        live.run_live().unwrap();
+        live.apply_edge_updates(update_rel, &new_edges, &[]).unwrap();
+
+        let mut scratch = Carac::new(program).with_config(EngineConfig::interpreted());
+        scratch.add_edge_facts(update_rel, &new_edges).unwrap();
+        let out = workload.output_relation;
+        let mut a = live.live_tuples(out).unwrap();
+        let mut b = scratch.live_tuples(out).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{}: insert-only stream diverged", workload.name);
+    }
+}
+
+/// Deletion streams on the figure workloads themselves: retracting a slice
+/// of the generated base facts through the live session equals scratch
+/// evaluation without them.  (The retractable slice is read back from the
+/// program's own fact list, so the scratch program can be rebuilt exactly.)
+#[test]
+fn incremental_deletes_match_scratch_on_csda() {
+    // CSDA: a single recursive 2-atom rule — the pure DRed shape on the
+    // chain-with-shortcuts fact base.
+    fn csda_rules(edges: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Nullflow", 2);
+        b.relation("Dataflow", 2);
+        b.rule("Dataflow", &["x", "y"]).when("Nullflow", &["x", "y"]).end();
+        b.rule("Dataflow", &["x", "y"])
+            .when("Nullflow", &["x", "z"])
+            .when("Dataflow", &["z", "y"])
+            .end();
+        for &(a, b_) in edges {
+            b.fact_ints("Nullflow", &[a, b_]);
+        }
+        b.build().unwrap()
+    }
+    let base = carac_analysis::generators::csda_facts(60, 3);
+    for (shape, stream) in stream_shapes(&base, 60, 0xBEEF) {
+        for kernel in [
+            EngineConfig::interpreted(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+        ] {
+            assert_stream_matches_scratch(
+                &csda_rules,
+                "Nullflow",
+                &["Dataflow"],
+                &base,
+                &stream,
+                kernel,
+                &format!("csda {shape} ({})", kernel.label()),
+            );
+        }
+    }
+}
+
+/// Regression: a mixed batch whose *insertions* enable derivations that
+/// first appear inside the deletion phase's re-derivation propagation (the
+/// new EDB facts are physically present while DRed rescues the cone).
+/// Those genuinely new facts must still be published as insert deltas to
+/// the strata above — here the `min` aggregate must pick up node 69, which
+/// only becomes reachable through an edge inserted in the same batch that
+/// retracts another edge.  (Found by the fig11 harness at scale 40.)
+#[test]
+fn incremental_mixed_batch_publishes_deletion_phase_discoveries() {
+    fn sp(edges: &[(u32, u32)]) -> carac_datalog::Program {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Source", 1);
+        b.relation("Zero", 1);
+        b.relation("Succ", 2);
+        b.relation("Reach", 2);
+        b.relation("Dist", 2);
+        b.rule("Reach", &["y", "d"]).when("Source", &["y"]).when("Zero", &["d"]).end();
+        b.rule("Reach", &["y", "d2"])
+            .when("Reach", &["x", "d1"])
+            .when("Edge", &["x", "y"])
+            .when("Succ", &["d1", "d2"])
+            .end();
+        b.rule("Dist", &[carac_datalog::builder::v("y"), carac_datalog::builder::min_of("d")])
+            .when("Reach", &["y", "d"])
+            .end();
+        for &(a, b_) in edges {
+            b.fact_ints("Edge", &[a, b_]);
+        }
+        b.fact_ints("Source", &[0]);
+        b.fact_ints("Zero", &[0]);
+        for d in 0..48u32 {
+            b.fact_ints("Succ", &[d, d + 1]);
+        }
+        b.build().unwrap()
+    }
+    let base = random_digraph(160, 320, 0xCA2AC + 2);
+    let stream = edge_update_stream(&base, 160, 1, 4, 0xCA2AC + 3);
+    assert!(
+        !stream[0].inserts.is_empty() && !stream[0].retracts.is_empty(),
+        "the regression needs a genuinely mixed batch"
+    );
+    for kernel in [
+        EngineConfig::interpreted(),
+        EngineConfig::jit(BackendKind::Lambda, false),
+    ] {
+        assert_stream_matches_scratch(
+            &sp,
+            "Edge",
+            &["Reach", "Dist"],
+            &base,
+            &stream,
+            kernel,
+            &format!("mixed-batch discovery ({})", kernel.label()),
+        );
+    }
+}

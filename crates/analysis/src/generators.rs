@@ -331,7 +331,10 @@ mod tests {
         }
         let max = *out_degree.iter().max().unwrap();
         let mean = edges.len() / 1000;
-        assert!(max > mean * 5, "max degree {max} should exceed 5x the mean {mean}");
+        assert!(
+            max > mean * 5,
+            "max degree {max} should exceed 5x the mean {mean}"
+        );
     }
 
     #[test]
@@ -384,7 +387,10 @@ mod tests {
         live.dedup();
         for batch in &a {
             for e in &batch.retracts {
-                let pos = live.iter().position(|x| x == e).expect("retract of live edge");
+                let pos = live
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("retract of live edge");
                 live.remove(pos);
             }
             for e in &batch.inserts {

@@ -62,16 +62,22 @@ pub fn shortest_path(nodes: u32, max_depth: u32, seed: u64) -> Workload {
                 .end();
         }
         // One minimum distance per node (stratified aggregation).
-        b.rule("Dist", &[
-            carac_datalog::builder::v("y"),
-            carac_datalog::builder::min_of("d"),
-        ])
+        b.rule(
+            "Dist",
+            &[
+                carac_datalog::builder::v("y"),
+                carac_datalog::builder::min_of("d"),
+            ],
+        )
         .when("Reach", &["y", "d"])
         .end();
         // Comparison constraint over the aggregated distance.
         b.rule("Near", &["y"])
             .when("Dist", &["y", "d"])
-            .lt(carac_datalog::builder::v("d"), carac_datalog::builder::c(near_bound))
+            .lt(
+                carac_datalog::builder::v("d"),
+                carac_datalog::builder::c(near_bound),
+            )
             .end();
 
         for &(a, b_) in &edges {
@@ -112,16 +118,22 @@ pub fn degree_distribution(nodes: u32, seed: u64) -> Workload {
         b.relation("Balanced", 1);
         b.relation("Flagged", 1);
 
-        b.rule("OutDeg", &[
-            carac_datalog::builder::v("x"),
-            carac_datalog::builder::count_of("y"),
-        ])
+        b.rule(
+            "OutDeg",
+            &[
+                carac_datalog::builder::v("x"),
+                carac_datalog::builder::count_of("y"),
+            ],
+        )
         .when("Edge", &["x", "y"])
         .end();
-        b.rule("InDeg", &[
-            carac_datalog::builder::v("y"),
-            carac_datalog::builder::count_of("x"),
-        ])
+        b.rule(
+            "InDeg",
+            &[
+                carac_datalog::builder::v("y"),
+                carac_datalog::builder::count_of("x"),
+            ],
+        )
         .when("Edge", &["x", "y"])
         .end();
 
@@ -130,7 +142,10 @@ pub fn degree_distribution(nodes: u32, seed: u64) -> Workload {
             b.rule("HighOut", &["x"])
                 .when("Threshold", &["t"])
                 .when("OutDeg", &["x", "c"])
-                .gt(carac_datalog::builder::v("c"), carac_datalog::builder::v("t"))
+                .gt(
+                    carac_datalog::builder::v("c"),
+                    carac_datalog::builder::v("t"),
+                )
                 .end();
             b.rule("Balanced", &["x"])
                 .when("OutDeg", &["x", "c"])
@@ -140,7 +155,10 @@ pub fn degree_distribution(nodes: u32, seed: u64) -> Workload {
             b.rule("HighOut", &["x"])
                 .when("OutDeg", &["x", "c"])
                 .when("Threshold", &["t"])
-                .gt(carac_datalog::builder::v("c"), carac_datalog::builder::v("t"))
+                .gt(
+                    carac_datalog::builder::v("c"),
+                    carac_datalog::builder::v("t"),
+                )
                 .end();
             b.rule("Balanced", &["x"])
                 .when("InDeg", &["x", "c"])
@@ -154,7 +172,8 @@ pub fn degree_distribution(nodes: u32, seed: u64) -> Workload {
             b.fact_ints("Edge", &[a, b_]);
         }
         b.fact_ints("Threshold", &[threshold]);
-        b.build().expect("degree-distribution program must validate")
+        b.build()
+            .expect("degree-distribution program must validate")
     };
     Workload {
         name: "DegDist",
@@ -253,7 +272,10 @@ mod tests {
             let x = t.get(0).unwrap().raw();
             let out = out_neighbors.get(&x).map_or(0, FxHashSet::len) as u32;
             let inn = in_neighbors.get(&x).map_or(0, FxHashSet::len) as u32;
-            assert!(out > 5 || (out == inn && out > 0), "node {x} wrongly flagged");
+            assert!(
+                out > 5 || (out == inn && out > 0),
+                "node {x} wrongly flagged"
+            );
         }
     }
 

@@ -25,7 +25,7 @@ pub mod workload;
 pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};
-pub use program_analysis::{andersen, cspa, csda, inverse_functions};
+pub use program_analysis::{andersen, csda, cspa, inverse_functions};
 pub use workload::{Formulation, Workload};
 
 /// The paper's macrobenchmark suite at a given scale (CSPA, CSDA, Andersen,
@@ -41,5 +41,9 @@ pub fn macro_suite(scale: u32, seed: u64) -> Vec<Workload> {
 
 /// The paper's microbenchmark suite (Ackermann, Fibonacci, Primes).
 pub fn micro_suite(bound: u32) -> Vec<Workload> {
-    vec![ackermann(bound), fibonacci(bound.min(40)), primes(bound * 10)]
+    vec![
+        ackermann(bound),
+        fibonacci(bound.min(40)),
+        primes(bound * 10),
+    ]
 }

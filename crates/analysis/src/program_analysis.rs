@@ -17,7 +17,7 @@
 
 use carac_datalog::{builder::TermSpec, Program, ProgramBuilder};
 
-use crate::generators::{cspa_facts, csda_facts, slistlib_facts, EdgeList};
+use crate::generators::{csda_facts, cspa_facts, slistlib_facts, EdgeList};
 use crate::workload::Workload;
 
 fn add_edges(builder: &mut ProgramBuilder, relation: &str, edges: &EdgeList) {
@@ -39,11 +39,21 @@ pub fn cspa(scale: u32, seed: u64) -> Workload {
             b.relation(rel, 2);
         }
         // Copy rules (order-insensitive, single atom).
-        b.rule("VaFlow", &["v2", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
-        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+        b.rule("VaFlow", &["v2", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("VaFlow", &["v1", "v1"])
+            .when("Assign", &["v1", "v2"])
+            .end();
+        b.rule("VaFlow", &["v1", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("MAlias", &["v1", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("MAlias", &["v1", "v1"])
+            .when("Assign", &["v1", "v2"])
+            .end();
 
         if hand_optimized {
             // VaFlow(v1, v2) :- Assign(v1, v3), MAlias(v3, v2).
@@ -122,7 +132,9 @@ pub fn csda(scale: u32, seed: u64) -> Workload {
         let mut b = ProgramBuilder::new();
         b.relation("Nullflow", 2);
         b.relation("Dataflow", 2);
-        b.rule("Dataflow", &["x", "y"]).when("Nullflow", &["x", "y"]).end();
+        b.rule("Dataflow", &["x", "y"])
+            .when("Nullflow", &["x", "y"])
+            .end();
         if hand_optimized {
             b.rule("Dataflow", &["x", "y"])
                 .when("Nullflow", &["x", "z"])
@@ -155,7 +167,9 @@ pub fn andersen(scale: u32, seed: u64) -> Workload {
         for rel in ["AddressOf", "Assign", "Load", "Store", "PointsTo"] {
             b.relation(rel, 2);
         }
-        b.rule("PointsTo", &["p", "v"]).when("AddressOf", &["p", "v"]).end();
+        b.rule("PointsTo", &["p", "v"])
+            .when("AddressOf", &["p", "v"])
+            .end();
         if hand_optimized {
             b.rule("PointsTo", &["p", "v"])
                 .when("Assign", &["p", "q"])
@@ -213,14 +227,26 @@ pub fn inverse_functions(scale: u32, seed: u64) -> Workload {
     let build = |hand_optimized: bool| -> Program {
         let mut b = ProgramBuilder::new();
         for rel in [
-            "AddressOf", "Assign", "Load", "Store", "CallSite", "CallArg", "CallRet", "InvFuns",
-            "PointsTo", "Flow", "RedundantPair", "Wasted",
+            "AddressOf",
+            "Assign",
+            "Load",
+            "Store",
+            "CallSite",
+            "CallArg",
+            "CallRet",
+            "InvFuns",
+            "PointsTo",
+            "Flow",
+            "RedundantPair",
+            "Wasted",
         ] {
             b.relation(rel, 2);
         }
 
         // Value flow: assignment edges plus transitive closure.
-        b.rule("Flow", &["x", "y"]).when("Assign", &["y", "x"]).end();
+        b.rule("Flow", &["x", "y"])
+            .when("Assign", &["y", "x"])
+            .end();
         if hand_optimized {
             b.rule("Flow", &["x", "y"])
                 .when("Flow", &["x", "z"])
@@ -235,7 +261,9 @@ pub fn inverse_functions(scale: u32, seed: u64) -> Workload {
 
         // A light points-to component (the analysis "extends a points-to
         // query", §VI-A).
-        b.rule("PointsTo", &["p", "v"]).when("AddressOf", &["p", "v"]).end();
+        b.rule("PointsTo", &["p", "v"])
+            .when("AddressOf", &["p", "v"])
+            .end();
         if hand_optimized {
             b.rule("PointsTo", &["p", "v"])
                 .when("Assign", &["p", "q"])
@@ -302,7 +330,10 @@ pub fn inverse_functions(scale: u32, seed: u64) -> Workload {
 /// future workloads that attach function names as symbols).
 #[allow(dead_code)]
 fn string_terms(values: &[&str]) -> Vec<TermSpec> {
-    values.iter().map(|v| TermSpec::Str(v.to_string())).collect()
+    values
+        .iter()
+        .map(|v| TermSpec::Str(v.to_string()))
+        .collect()
 }
 
 #[cfg(test)]

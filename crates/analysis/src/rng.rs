@@ -55,7 +55,10 @@ impl SmallRng {
     ///
     /// Panics when the range is empty.
     pub fn gen_range_u32(&mut self, low: u32, high: u32) -> u32 {
-        assert!(low < high, "gen_range called with empty range {low}..{high}");
+        assert!(
+            low < high,
+            "gen_range called with empty range {low}..{high}"
+        );
         let span = (high - low) as u64;
         // Lemire's multiply-shift bounded-integer method (slightly biased
         // for spans close to 2^64; irrelevant at the spans used here).
@@ -64,7 +67,10 @@ impl SmallRng {
 
     /// A uniform `usize` in `[low, high)`.
     pub fn gen_range_usize(&mut self, low: usize, high: usize) -> usize {
-        assert!(low < high, "gen_range called with empty range {low}..{high}");
+        assert!(
+            low < high,
+            "gen_range called with empty range {low}..{high}"
+        );
         let span = (high - low) as u128;
         low + ((self.next_u64() as u128 * span) >> 64) as usize
     }

@@ -1,6 +1,6 @@
 //! The common shape of a benchmark workload.
 
-use carac::{Carac, EngineConfig, QueryResult, CaracError};
+use carac::{Carac, CaracError, EngineConfig, QueryResult};
 use carac_datalog::Program;
 
 /// Which formulation of the workload's rules to use (paper §VI-B: "Because

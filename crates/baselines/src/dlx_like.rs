@@ -90,7 +90,9 @@ mod tests {
              Edge(1, 2). Edge(2, 3). Edge(3, 4).",
         )
         .unwrap();
-        let naive = DlxLike::new(p.clone(), DlxConfig::default()).run("Path").unwrap();
+        let naive = DlxLike::new(p.clone(), DlxConfig::default())
+            .run("Path")
+            .unwrap();
         let semi = DlxLike::new(
             p,
             DlxConfig {
@@ -109,7 +111,9 @@ mod tests {
     #[test]
     fn reports_time_and_errors_on_unknown_relation() {
         let p = parse("Out(x) :- In(x).\nIn(1).").unwrap();
-        let run = DlxLike::new(p.clone(), DlxConfig::default()).run("Out").unwrap();
+        let run = DlxLike::new(p.clone(), DlxConfig::default())
+            .run("Out")
+            .unwrap();
         assert_eq!(run.output_count, 1);
         assert!(run.time.as_nanos() > 0);
         assert!(DlxLike::new(p, DlxConfig::default()).run("Nope").is_err());

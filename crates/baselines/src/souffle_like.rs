@@ -197,7 +197,9 @@ mod tests {
             SouffleMode::Compiler,
             SouffleMode::AutoTuned,
         ] {
-            let run = SouffleLike::new(p.clone(), config(mode)).run("Path").unwrap();
+            let run = SouffleLike::new(p.clone(), config(mode))
+                .run("Path")
+                .unwrap();
             counts.push(run.output_count);
         }
         assert_eq!(counts[0], 10);

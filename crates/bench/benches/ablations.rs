@@ -18,7 +18,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_granularity(c: &mut Criterion) {
     let workload = andersen(36, 11);
     let mut group = c.benchmark_group("ablation_granularity");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (label, granularity) in [
         ("program", OpKind::Program),
         ("union_all_rules", OpKind::UnionAllRules),
@@ -40,7 +42,9 @@ fn bench_granularity(c: &mut Criterion) {
 fn bench_freshness(c: &mut Criterion) {
     let workload = andersen(36, 11);
     let mut group = c.benchmark_group("ablation_freshness_threshold");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for threshold in [0.0, 0.2, 1.0, 1.0e9] {
         let config = EngineConfig::jit_with(JitConfig {
             backend: BackendKind::Lambda,
@@ -60,7 +64,9 @@ fn bench_freshness(c: &mut Criterion) {
 fn bench_selectivity(c: &mut Criterion) {
     let workload = andersen(36, 11);
     let mut group = c.benchmark_group("ablation_selectivity_factor");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for selectivity in [0.01, 0.1, 0.5, 1.0] {
         let config = EngineConfig::jit_with(JitConfig {
             backend: BackendKind::IrGen,
@@ -77,5 +83,10 @@ fn bench_selectivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_granularity, bench_freshness, bench_selectivity);
+criterion_group!(
+    benches,
+    bench_granularity,
+    bench_freshness,
+    bench_selectivity
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_aot(c: &mut Criterion) {
     let workload = fibonacci(25);
     let mut group = c.benchmark_group("fig10_fibonacci_aot");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for (label, config) in [
         ("jit_lambda", EngineConfig::jit(BackendKind::Lambda, false)),
@@ -23,7 +25,10 @@ fn bench_aot(c: &mut Criterion) {
             "macro_rules_online",
             EngineConfig::ahead_of_time(false, true),
         ),
-        ("macro_facts_rules", EngineConfig::ahead_of_time(true, false)),
+        (
+            "macro_facts_rules",
+            EngineConfig::ahead_of_time(true, false),
+        ),
         ("macro_rules", EngineConfig::ahead_of_time(false, false)),
     ] {
         group.bench_function(label, |b| {

@@ -15,18 +15,31 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_codegen(c: &mut Criterion) {
     let workload = carac_analysis::cspa(48, 7);
-    let plan = generate_plan(workload.program(Formulation::Unoptimized), EvalStrategy::SemiNaive);
+    let plan = generate_plan(
+        workload.program(Formulation::Unoptimized),
+        EvalStrategy::SemiNaive,
+    );
     let staging = StagingCostModel::default();
 
     let mut group = c.benchmark_group("fig5_codegen");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for backend in BackendKind::ALL {
         group.bench_function(format!("{backend:?}_full_warm"), |b| {
             b.iter(|| compile_artifact(&plan, backend, CompileMode::Full, &staging, true))
         });
     }
     group.bench_function("Quotes_snippet_warm", |b| {
-        b.iter(|| compile_artifact(&plan, BackendKind::Quotes, CompileMode::Snippet, &staging, true))
+        b.iter(|| {
+            compile_artifact(
+                &plan,
+                BackendKind::Quotes,
+                CompileMode::Snippet,
+                &staging,
+                true,
+            )
+        })
     });
     group.finish();
 }

@@ -16,7 +16,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_andersen(c: &mut Criterion) {
     let workload = andersen(40, 7);
     let mut group = c.benchmark_group("fig6_andersen");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("interpreted_unoptimized", |b| {
         b.iter(|| {

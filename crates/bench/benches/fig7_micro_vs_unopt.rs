@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fibonacci(c: &mut Criterion) {
     let workload = fibonacci(25);
     let mut group = c.benchmark_group("fig7_fibonacci");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for (label, formulation, config) in [
         (

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_csda(c: &mut Criterion) {
     let workload = csda(300, 7);
     let mut group = c.benchmark_group("fig8_csda");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for (label, config) in [
         ("interpreted_hand_optimized", EngineConfig::interpreted()),
@@ -25,7 +27,11 @@ fn bench_csda(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| workload.measure(Formulation::HandOptimized, config).unwrap())
+            b.iter(|| {
+                workload
+                    .measure(Formulation::HandOptimized, config)
+                    .unwrap()
+            })
         });
     }
     group.finish();

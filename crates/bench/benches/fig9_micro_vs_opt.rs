@@ -12,7 +12,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_ackermann(c: &mut Criterion) {
     let workload = ackermann(18);
     let mut group = c.benchmark_group("fig9_ackermann");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for (label, config) in [
         ("interpreted_hand_optimized", EngineConfig::interpreted()),
@@ -30,7 +32,11 @@ fn bench_ackermann(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| workload.measure(Formulation::HandOptimized, config).unwrap())
+            b.iter(|| {
+                workload
+                    .measure(Formulation::HandOptimized, config)
+                    .unwrap()
+            })
         });
     }
     group.finish();

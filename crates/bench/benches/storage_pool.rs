@@ -100,7 +100,10 @@ fn edge_facts(n: u32) -> Vec<(u32, u32)> {
     (0..n)
         .map(|i| {
             if i % 8 == 7 {
-                ((i / 2).wrapping_mul(7) % 997, (i / 2).wrapping_mul(13) % 997)
+                (
+                    (i / 2).wrapping_mul(7) % 997,
+                    (i / 2).wrapping_mul(13) % 997,
+                )
             } else {
                 (i.wrapping_mul(7) % 997, i.wrapping_mul(13) % 997 + i / 997)
             }

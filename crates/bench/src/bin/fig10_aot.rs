@@ -19,17 +19,24 @@
 use carac::knobs::BackendKind;
 use carac::EngineConfig;
 use carac_analysis::Formulation;
-use carac_bench::{
-    figure_micro_workloads, fmt_speedup, measure, render_table, speedup,
-};
+use carac_bench::{figure_micro_workloads, fmt_speedup, measure, render_table, speedup};
 
 fn main() {
     let workloads = figure_micro_workloads();
     let configs: Vec<(&str, EngineConfig)> = vec![
         ("JIT-lambda", EngineConfig::jit(BackendKind::Lambda, false)),
-        ("Macro Facts+Rules (online)", EngineConfig::ahead_of_time(true, true)),
-        ("Macro Rules (online)", EngineConfig::ahead_of_time(false, true)),
-        ("Macro Facts+Rules", EngineConfig::ahead_of_time(true, false)),
+        (
+            "Macro Facts+Rules (online)",
+            EngineConfig::ahead_of_time(true, true),
+        ),
+        (
+            "Macro Rules (online)",
+            EngineConfig::ahead_of_time(false, true),
+        ),
+        (
+            "Macro Facts+Rules",
+            EngineConfig::ahead_of_time(true, false),
+        ),
         ("Macro Rules", EngineConfig::ahead_of_time(false, false)),
     ];
 

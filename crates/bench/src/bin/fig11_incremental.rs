@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::{edge_update_stream, random_digraph, UpdateStreamBatch};
-use carac_bench::{fmt_secs, fmt_speedup, macro_scale, render_table, smoke_mode, speedup, HARNESS_SEED};
+use carac_bench::{
+    fmt_secs, fmt_speedup, macro_scale, render_table, smoke_mode, speedup, HARNESS_SEED,
+};
 use carac_datalog::{builder, Program, ProgramBuilder};
 
 /// Builds the transitive-closure program over an explicit edge list.
@@ -227,7 +229,10 @@ fn main() {
     // where maintenance never pays a deletion cone.
     let sp_grow: Vec<UpdateStreamBatch> = sp_stream
         .iter()
-        .map(|b| UpdateStreamBatch { inserts: b.inserts.clone(), retracts: Vec::new() })
+        .map(|b| UpdateStreamBatch {
+            inserts: b.inserts.clone(),
+            retracts: Vec::new(),
+        })
         .collect();
 
     let sp_build = move |edges: &[(u32, u32)]| sp_program(edges, sp_depth);
@@ -250,35 +255,44 @@ fn main() {
         write_json(&json_path, outcomes);
     };
     for (kernel, config) in &kernels {
-        push(&mut outcomes, measure(
-            "TransitiveClosure",
-            kernel,
-            *config,
-            &tc_program,
-            "Path",
-            &tc_base,
-            &tc_stream,
-        ));
+        push(
+            &mut outcomes,
+            measure(
+                "TransitiveClosure",
+                kernel,
+                *config,
+                &tc_program,
+                "Path",
+                &tc_base,
+                &tc_stream,
+            ),
+        );
         eprintln!("[fig11] TransitiveClosure/{kernel} done");
-        push(&mut outcomes, measure(
-            "ShortestPath (mixed)",
-            kernel,
-            *config,
-            &sp_build,
-            "Dist",
-            &sp_base,
-            &sp_stream,
-        ));
+        push(
+            &mut outcomes,
+            measure(
+                "ShortestPath (mixed)",
+                kernel,
+                *config,
+                &sp_build,
+                "Dist",
+                &sp_base,
+                &sp_stream,
+            ),
+        );
         eprintln!("[fig11] ShortestPath (mixed)/{kernel} done");
-        push(&mut outcomes, measure(
-            "ShortestPath (grow)",
-            kernel,
-            *config,
-            &sp_build,
-            "Dist",
-            &sp_base,
-            &sp_grow,
-        ));
+        push(
+            &mut outcomes,
+            measure(
+                "ShortestPath (grow)",
+                kernel,
+                *config,
+                &sp_build,
+                "Dist",
+                &sp_base,
+                &sp_grow,
+            ),
+        );
         eprintln!("[fig11] ShortestPath (grow)/{kernel} done");
     }
 
@@ -325,7 +339,10 @@ fn main() {
     // default) are too small for stable ratios — per-batch fixed costs
     // dominate — so only correctness is asserted there (inside `measure`).
     if !smoke && scale >= carac_bench::DEFAULT_MACRO_SCALE {
-        for o in outcomes.iter().filter(|o| o.workload == "TransitiveClosure") {
+        for o in outcomes
+            .iter()
+            .filter(|o| o.workload == "TransitiveClosure")
+        {
             assert!(
                 o.speedup >= 5.0,
                 "incremental TC speedup {:.2}x below the 5x bar ({} kernel)",

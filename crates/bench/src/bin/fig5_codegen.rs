@@ -69,13 +69,55 @@ fn main() {
         let row = vec![
             format!("{kind:?}"),
             node.node_count().to_string(),
-            fmt_secs(codegen_time(&node, BackendKind::Quotes, CompileMode::Full, false, 3)),
-            fmt_secs(codegen_time(&node, BackendKind::Quotes, CompileMode::Full, true, 5)),
-            fmt_secs(codegen_time(&node, BackendKind::Quotes, CompileMode::Snippet, true, 5)),
-            fmt_secs(codegen_time(&node, BackendKind::Bytecode, CompileMode::Full, true, 20)),
-            fmt_secs(codegen_time(&node, BackendKind::Lambda, CompileMode::Full, true, 20)),
-            fmt_secs(codegen_time(&node, BackendKind::Lambda, CompileMode::Snippet, true, 20)),
-            fmt_secs(codegen_time(&node, BackendKind::IrGen, CompileMode::Full, true, 20)),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Quotes,
+                CompileMode::Full,
+                false,
+                3,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Quotes,
+                CompileMode::Full,
+                true,
+                5,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Quotes,
+                CompileMode::Snippet,
+                true,
+                5,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Bytecode,
+                CompileMode::Full,
+                true,
+                20,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Lambda,
+                CompileMode::Full,
+                true,
+                20,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::Lambda,
+                CompileMode::Snippet,
+                true,
+                20,
+            )),
+            fmt_secs(codegen_time(
+                &node,
+                BackendKind::IrGen,
+                CompileMode::Full,
+                true,
+                20,
+            )),
         ];
         eprintln!("[fig5] granularity {kind:?} done");
         rows.push(row);

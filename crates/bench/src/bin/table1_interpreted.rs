@@ -30,8 +30,14 @@ fn main() {
     let mut rows = Vec::new();
     for workload in &workloads {
         let cells: Vec<(Formulation, EngineConfig)> = vec![
-            (Formulation::Unoptimized, EngineConfig::interpreted_unindexed()),
-            (Formulation::HandOptimized, EngineConfig::interpreted_unindexed()),
+            (
+                Formulation::Unoptimized,
+                EngineConfig::interpreted_unindexed(),
+            ),
+            (
+                Formulation::HandOptimized,
+                EngineConfig::interpreted_unindexed(),
+            ),
             (Formulation::Unoptimized, EngineConfig::interpreted()),
             (Formulation::HandOptimized, EngineConfig::interpreted()),
         ];

@@ -35,7 +35,11 @@ pub fn macro_scale() -> u32 {
     std::env::var("CARAC_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke_mode() { 16 } else { DEFAULT_MACRO_SCALE })
+        .unwrap_or(if smoke_mode() {
+            16
+        } else {
+            DEFAULT_MACRO_SCALE
+        })
 }
 
 /// Whether the harness runs in smoke mode (`CARAC_BENCH_SMOKE=1`): tiny
@@ -143,7 +147,11 @@ pub fn parallel_scaling_table(
                 EngineConfig::interpreted(),
                 repeats - 1,
             );
-            assert_eq!(count, serial_count, "{} serial repeat diverged", workload.name);
+            assert_eq!(
+                count, serial_count,
+                "{} serial repeat diverged",
+                workload.name
+            );
             serial_time = serial_time.min(best);
         }
         let pool = first.pool_stats();
@@ -386,12 +394,7 @@ pub fn speedup_figure(
                 measured_formulation
             };
             let (_, t_idx) = measure(workload, formulation, *config, repeats);
-            let (_, t_noidx) = measure(
-                workload,
-                formulation,
-                config.without_indexes(),
-                repeats,
-            );
+            let (_, t_noidx) = measure(workload, formulation, config.without_indexes(), repeats);
             row.push(fmt_speedup(speedup(*base_idx, t_idx)));
             row.push(fmt_speedup(speedup(*base_noidx, t_noidx)));
         }

@@ -70,24 +70,22 @@ mod tests {
     #[test]
     fn facts_and_rules_sort_uses_cardinalities() {
         let p = program();
-        let (plan, changed) = prepare_plan(
-            &p,
-            EvalStrategy::SemiNaive,
-            &AotConfig::default(),
-            &[],
-        )
-        .unwrap();
+        let (plan, changed) =
+            prepare_plan(&p, EvalStrategy::SemiNaive, &AotConfig::default(), &[]).unwrap();
         // The EDB cardinalities (Assign=4, Deref=1) are known, so the
         // VaFlow rule's two-atom join should have been re-sorted to lead
         // with the smaller Deref relation in at least one subquery.
         assert!(changed > 0);
-        assert_eq!(plan.spj_queries().len(), generate_plan(&p, EvalStrategy::SemiNaive).spj_queries().len());
+        assert_eq!(
+            plan.spj_queries().len(),
+            generate_plan(&p, EvalStrategy::SemiNaive)
+                .spj_queries()
+                .len()
+        );
         let deref = p.relation_by_name("Deref").unwrap();
         let assign = p.relation_by_name("Assign").unwrap();
         let reordered = plan.spj_queries().iter().any(|(_, q)| {
-            q.atoms.len() == 2
-                && q.atoms[0].rel == deref
-                && q.atoms[1].rel == assign
+            q.atoms.len() == 2 && q.atoms[0].rel == deref && q.atoms[1].rel == assign
         });
         assert!(reordered);
     }
@@ -119,8 +117,8 @@ mod tests {
         let extra: Vec<_> = (0..50)
             .map(|i| (small, carac_storage::Tuple::pair(i, i + 1)))
             .collect();
-        let (plan, _) = prepare_plan(&p, EvalStrategy::SemiNaive, &AotConfig::default(), &extra)
-            .unwrap();
+        let (plan, _) =
+            prepare_plan(&p, EvalStrategy::SemiNaive, &AotConfig::default(), &extra).unwrap();
         let (_, q) = plan.spj_queries()[0];
         // Big (cardinality 1) should be ordered before Small (cardinality 50).
         let first = q.atoms[0].rel;

@@ -181,7 +181,11 @@ impl EngineConfig {
                     BackendKind::Lambda => "Lambda",
                     BackendKind::IrGen => "IRGenerator",
                 };
-                let sync = if jit.async_compile { "Async" } else { "Blocking" };
+                let sync = if jit.async_compile {
+                    "Async"
+                } else {
+                    "Blocking"
+                };
                 let mode = match jit.mode {
                     CompileMode::Full => "",
                     CompileMode::Snippet => " Snippet",
@@ -253,8 +257,14 @@ mod tests {
     #[test]
     fn parallelism_defaults_to_serial_and_clamps() {
         assert_eq!(EngineConfig::default().parallelism, 1);
-        assert_eq!(EngineConfig::interpreted().with_parallelism(8).parallelism, 8);
-        assert_eq!(EngineConfig::interpreted().with_parallelism(0).parallelism, 1);
+        assert_eq!(
+            EngineConfig::interpreted().with_parallelism(8).parallelism,
+            8
+        );
+        assert_eq!(
+            EngineConfig::interpreted().with_parallelism(0).parallelism,
+            1
+        );
         // The knob composes with every mode without changing the label.
         let parallel = EngineConfig::jit(BackendKind::Lambda, false).with_parallelism(4);
         assert_eq!(parallel.label(), "JIT Lambda Blocking");

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use carac_datalog::magic::{magic_rewrite, QueryBinding};
 use carac_datalog::Program;
 use carac_exec::{
     interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine,
@@ -14,7 +15,20 @@ use carac_storage::{RelId, Tuple, Value};
 use crate::aot::prepare_plan;
 use crate::config::{EngineConfig, ExecutionMode};
 use crate::error::CaracError;
-use crate::result::QueryResult;
+use crate::result::{QueryAnswer, QueryResult};
+
+/// Keeps only the tuples matching every bound position of `pattern`.
+fn filter_pattern(tuples: Vec<Tuple>, pattern: &[QueryBinding]) -> Vec<Tuple> {
+    tuples
+        .into_iter()
+        .filter(|t| {
+            t.values()
+                .iter()
+                .zip(pattern)
+                .all(|(&v, binding)| binding.matches(v))
+        })
+        .collect()
+}
 
 /// A live evaluated session: the fixpoint context plus the incremental
 /// maintenance machinery keeping it current under update batches.
@@ -111,8 +125,10 @@ impl Carac {
     /// Any live session is discarded (the base fact set changed).
     pub fn add_fact_ints(&mut self, relation: &str, values: &[u32]) -> Result<(), CaracError> {
         let rel = self.program.relation_by_name(relation)?;
-        self.extra_facts
-            .push((rel, Tuple::new(values.iter().copied().map(Value::int).collect())));
+        self.extra_facts.push((
+            rel,
+            Tuple::new(values.iter().copied().map(Value::int).collect()),
+        ));
         self.live = None;
         Ok(())
     }
@@ -173,10 +189,121 @@ impl Carac {
         Ok(QueryResult::new(self.program.clone(), ctx))
     }
 
+    /// Evaluates a single **goal-directed query** against the program: each
+    /// argument of `relation` is either [`QueryBinding::Bound`] to a
+    /// constant or [`QueryBinding::Free`].  Instead of computing the full
+    /// fixpoint and filtering, the engine rewrites the program around the
+    /// bound arguments with the magic-set transformation
+    /// ([`carac_datalog::magic::magic_rewrite`]) so only *demanded* facts
+    /// are derived — a point query on a large transitive closure touches a
+    /// small cone of the graph, not the whole closure.  The answers are
+    /// bit-identical to filtering [`Carac::run`]'s fixpoint on the bound
+    /// constants (differentially tested across every engine).
+    ///
+    /// Goals that cannot soundly be demand-restricted (negated or
+    /// aggregated relations, goals carrying asserted facts, or an all-free
+    /// pattern) fall back to full evaluation; the fallback is reported on
+    /// [`QueryAnswer::fallback`] and the result's `stats().magic_fallback`.
+    ///
+    /// ```
+    /// use carac::{Carac, QueryBinding};
+    /// use carac_datalog::parser::parse;
+    ///
+    /// let program = parse(
+    ///     "Path(x, y) :- Edge(x, y).\n\
+    ///      Path(x, y) :- Path(x, z), Edge(z, y).\n\
+    ///      Edge(1, 2). Edge(2, 3). Edge(5, 6).",
+    /// ).unwrap();
+    /// let engine = Carac::new(program);
+    /// // Everything reachable from 1 — without deriving paths from 5.
+    /// let answer = engine
+    ///     .query("Path", &[QueryBinding::bound_int(1), QueryBinding::Free])
+    ///     .unwrap();
+    /// assert_eq!(answer.count(), 2);
+    /// assert!(!answer.fallback());
+    /// ```
+    pub fn query(
+        &self,
+        relation: &str,
+        pattern: &[QueryBinding],
+    ) -> Result<QueryAnswer, CaracError> {
+        let rel = self.program.relation_by_name(relation)?;
+        let decl = self.program.relation(rel);
+        if pattern.len() != decl.arity {
+            return Err(carac_datalog::DatalogError::ArityMismatch {
+                relation: decl.name.clone(),
+                expected: decl.arity,
+                actual: pattern.len(),
+            }
+            .into());
+        }
+        // Extensional relations need no evaluation at all: load the facts
+        // and filter.
+        if decl.is_edb {
+            let mut ctx = ExecContext::prepare(&self.program, self.config.use_indexes)?;
+            for (r, tuple) in &self.extra_facts {
+                ctx.insert_fact(*r, tuple.clone())?;
+            }
+            let tuples = filter_pattern(ctx.derived_tuples(rel), pattern);
+            let derived_facts = ctx.storage.total_derived();
+            return Ok(QueryAnswer::new(
+                tuples,
+                ctx.stats,
+                false,
+                derived_facts,
+                decl.name.clone(),
+            ));
+        }
+        let extra_rels: Vec<RelId> = self.extra_facts.iter().map(|&(r, _)| r).collect();
+        let rewritten = magic_rewrite(&self.program, rel, pattern, &extra_rels)?;
+        let mut ctx = self.run_context_for(&rewritten.program, &rewritten.magic_relations)?;
+        ctx.stats.magic_fallback = rewritten.fallback;
+        let answer_rel = rewritten
+            .program
+            .relation_by_name(&rewritten.answer_relation)?;
+        // Recursive demand can seed the goal's magic set with more than the
+        // query constants, so the adorned relation may hold answers for
+        // other demanded bindings too — the pattern filter trims it to
+        // exactly the query's answers.
+        let tuples = filter_pattern(ctx.derived_tuples(answer_rel), pattern);
+        let derived_facts = ctx.storage.total_derived();
+        Ok(QueryAnswer::new(
+            tuples,
+            ctx.stats,
+            rewritten.fallback,
+            derived_facts,
+            rewritten.answer_relation,
+        ))
+    }
+
     /// Runs the program to completion and returns the raw execution context
     /// (the shared engine body behind [`Carac::run`] and the live session).
     fn run_context(&self) -> Result<ExecContext, CaracError> {
-        let mut ctx = ExecContext::prepare(&self.program, self.config.use_indexes)?;
+        self.run_context_for(&self.program, &[])
+    }
+
+    /// [`Carac::run_context`] over an explicit program: the goal-directed
+    /// query path evaluates a magic-rewritten variant of `self.program`
+    /// through the same engine configuration.  `program` must declare the
+    /// engine's relations with their original ids (the rewrite preserves
+    /// them), so the registered extra facts stay valid.  `magic` names the
+    /// rewrite's demand-guard predicates — installed explicitly on the
+    /// context (the optimizer scores them as high-selectivity) rather than
+    /// inferred from relation names, so ordinary programs whose relations
+    /// happen to share the reserved prefix are never mis-scored.
+    fn run_context_for(
+        &self,
+        program: &Program,
+        magic: &[String],
+    ) -> Result<ExecContext, CaracError> {
+        let mut ctx = ExecContext::prepare(program, self.config.use_indexes)?;
+        if !magic.is_empty() {
+            let rels = magic
+                .iter()
+                .map(|name| program.relation_by_name(name))
+                .collect::<Result<_, _>>()?;
+            ctx.set_magic_relations(rels);
+        }
         ctx.set_parallelism(self.config.parallelism)?;
         for (rel, tuple) in &self.extra_facts {
             ctx.insert_fact(*rel, tuple.clone())?;
@@ -184,20 +311,20 @@ impl Carac {
 
         match &self.config.mode {
             ExecutionMode::Interpreted => {
-                let plan = generate_plan(&self.program, self.config.strategy);
+                let plan = generate_plan(program, self.config.strategy);
                 let started = Instant::now();
                 interpreter::interpret(&plan, &mut ctx)?;
                 ctx.stats.total_time = started.elapsed();
             }
             ExecutionMode::Jit(jit_config) => {
-                let plan = generate_plan(&self.program, self.config.strategy);
+                let plan = generate_plan(program, self.config.strategy);
                 let mut engine = JitEngine::new(plan, *jit_config);
                 engine.run(&mut ctx)?;
             }
             ExecutionMode::AheadOfTime(aot) => {
                 // The offline sort is *not* charged to execution time.
                 let (plan, _) =
-                    prepare_plan(&self.program, self.config.strategy, aot, &self.extra_facts)?;
+                    prepare_plan(program, self.config.strategy, aot, &self.extra_facts)?;
                 let started = Instant::now();
                 if aot.online_reorder {
                     let jit_config = JitConfig {
@@ -348,7 +475,10 @@ mod tests {
         ];
         for config in configs {
             let label = config.label();
-            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            let result = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .unwrap();
             assert_eq!(result.count("Path").unwrap(), expected, "{label} diverged");
         }
     }
@@ -417,6 +547,132 @@ mod tests {
     }
 
     #[test]
+    fn goal_directed_query_matches_filtered_fixpoint() {
+        // Two disjoint chains: the point query must not derive the other
+        // chain's paths.
+        let program = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4). Edge(10, 11). Edge(11, 12).",
+        )
+        .unwrap();
+        let engine = Carac::new(program.clone()).with_config(EngineConfig::interpreted());
+        let full = engine.run().unwrap();
+        let answer = engine
+            .query("Path", &[QueryBinding::bound_int(1), QueryBinding::Free])
+            .unwrap();
+        assert!(!answer.fallback());
+        assert!(!answer.stats().magic_fallback);
+        // 1 reaches 2, 3, 4.
+        assert_eq!(answer.count(), 3);
+        let mut expected: Vec<Tuple> = full
+            .tuples("Path")
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(0) == Some(Value::int(1)))
+            .collect();
+        let mut got = answer.into_tuples();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn goal_directed_query_derives_fewer_facts() {
+        let program = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Path(x, z), Edge(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4). Edge(4, 5). Edge(5, 6).",
+        )
+        .unwrap();
+        let engine = Carac::new(program).with_config(EngineConfig::interpreted());
+        let full = engine.run().unwrap();
+        let answer = engine
+            .query("Path", &[QueryBinding::bound_int(4), QueryBinding::Free])
+            .unwrap();
+        assert_eq!(answer.count(), 2); // 4 -> 5, 4 -> 6
+        assert!(
+            answer.derived_facts() < full.total_tuples(),
+            "demanded subset ({}) must be smaller than the full fixpoint ({})",
+            answer.derived_facts(),
+            full.total_tuples()
+        );
+    }
+
+    #[test]
+    fn query_on_edb_relations_skips_evaluation() {
+        let mut engine = Carac::new(tc()).with_config(EngineConfig::interpreted());
+        engine.add_edge_facts("Edge", &[(9, 9)]).unwrap();
+        let answer = engine
+            .query("Edge", &[QueryBinding::bound_int(9), QueryBinding::Free])
+            .unwrap();
+        assert_eq!(answer.count(), 1);
+        assert_eq!(answer.stats().iterations, 0);
+        assert!(!answer.fallback());
+    }
+
+    #[test]
+    fn all_free_query_falls_back_to_full_evaluation() {
+        let engine = Carac::new(tc()).with_config(EngineConfig::interpreted());
+        let answer = engine
+            .query("Path", &[QueryBinding::Free, QueryBinding::Free])
+            .unwrap();
+        assert!(answer.fallback());
+        assert!(answer.stats().magic_fallback);
+        assert_eq!(answer.count(), 6);
+        assert_eq!(answer.answer_relation(), "Path");
+    }
+
+    #[test]
+    fn query_pattern_arity_is_checked() {
+        let engine = Carac::new(tc());
+        assert!(engine.query("Path", &[QueryBinding::bound_int(1)]).is_err());
+        assert!(engine.query("Nope", &[QueryBinding::Free]).is_err());
+    }
+
+    #[test]
+    fn query_agrees_across_execution_modes() {
+        let program = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 1). Edge(7, 8).",
+        )
+        .unwrap();
+        let pattern = [QueryBinding::bound_int(2), QueryBinding::Free];
+        let reference: Vec<Tuple> = {
+            let mut t = Carac::new(program.clone())
+                .with_config(EngineConfig::interpreted())
+                .query("Path", &pattern)
+                .unwrap()
+                .into_tuples();
+            t.sort();
+            t
+        };
+        assert_eq!(reference.len(), 3); // 2 reaches 3, 1, 2
+        for config in [
+            EngineConfig::interpreted_unindexed(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+            EngineConfig::jit(BackendKind::Bytecode, false),
+            EngineConfig::jit(BackendKind::IrGen, false),
+            EngineConfig::ahead_of_time(true, true),
+            EngineConfig::interpreted().with_parallelism(2),
+            EngineConfig::interpreted().with_parallelism(8),
+        ] {
+            let label = config.label();
+            let mut got = Carac::new(program.clone())
+                .with_config(config)
+                .query("Path", &pattern)
+                .unwrap()
+                .into_tuples();
+            got.sort();
+            assert_eq!(
+                got, reference,
+                "{label} diverged on the goal-directed query"
+            );
+        }
+    }
+
+    #[test]
     fn runs_are_repeatable() {
         let engine = Carac::new(tc()).with_config(EngineConfig::interpreted());
         let a = engine.run().unwrap();
@@ -432,14 +688,9 @@ mod tests {
             .run()
             .unwrap();
         let naive = Carac::new(program)
-            .with_config(
-                EngineConfig::interpreted().with_strategy(carac_ir::EvalStrategy::Naive),
-            )
+            .with_config(EngineConfig::interpreted().with_strategy(carac_ir::EvalStrategy::Naive))
             .run()
             .unwrap();
-        assert_eq!(
-            semi.count("Path").unwrap(),
-            naive.count("Path").unwrap()
-        );
+        assert_eq!(semi.count("Path").unwrap(), naive.count("Path").unwrap());
     }
 }

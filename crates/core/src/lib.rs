@@ -60,15 +60,18 @@ pub mod engine;
 pub mod error;
 pub mod result;
 
-pub use config::{AotConfig, EngineConfig, ExecutionMode};
 pub use config::knobs;
+pub use config::{AotConfig, EngineConfig, ExecutionMode};
 pub use engine::Carac;
 pub use error::CaracError;
-pub use result::QueryResult;
+pub use result::{QueryAnswer, QueryResult};
 
 // Incremental maintenance surface (see `Carac::apply_update`).
 pub use carac_exec::{UpdateBatch, UpdateOp, UpdateReport, UpdateStats};
 pub use carac_storage::DeltaSign;
+
+// Goal-directed query surface (see `Carac::query`).
+pub use carac_datalog::magic::QueryBinding;
 
 // Re-export the substrate crates under stable names.
 pub use carac_datalog as datalog;

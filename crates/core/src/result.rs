@@ -85,6 +85,80 @@ impl QueryResult {
     }
 }
 
+/// The outcome of a goal-directed query ([`Carac::query`]): the matching
+/// tuples of the goal relation plus the run statistics of the (magic-set
+/// rewritten, or on fallback full) evaluation that produced them.
+///
+/// [`Carac::query`]: crate::engine::Carac::query
+#[derive(Debug)]
+pub struct QueryAnswer {
+    tuples: Vec<Tuple>,
+    stats: RunStats,
+    fallback: bool,
+    derived_facts: usize,
+    answer_relation: String,
+}
+
+impl QueryAnswer {
+    pub(crate) fn new(
+        tuples: Vec<Tuple>,
+        stats: RunStats,
+        fallback: bool,
+        derived_facts: usize,
+        answer_relation: String,
+    ) -> Self {
+        QueryAnswer {
+            tuples,
+            stats,
+            fallback,
+            derived_facts,
+            answer_relation,
+        }
+    }
+
+    /// The answer tuples: every tuple of the goal relation matching the
+    /// query pattern, full arity (bound positions carry the query
+    /// constants).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the answer, returning the tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Number of answer tuples.
+    pub fn count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Run statistics of the query evaluation (including the
+    /// `magic_fallback` flag).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Whether the engine fell back to full evaluation because the goal
+    /// could not soundly be demand-restricted.
+    pub fn fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Total facts derived while answering (across every relation of the
+    /// evaluated program) — the quantity goal-directed evaluation shrinks
+    /// relative to a full fixpoint, reported by the `fig_query` bench.
+    pub fn derived_facts(&self) -> usize {
+        self.derived_facts
+    }
+
+    /// Name of the relation the answers were read from: the goal's adorned
+    /// relation (`Path__bf`), or the original relation on fallback.
+    pub fn answer_relation(&self) -> &str {
+        &self.answer_relation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

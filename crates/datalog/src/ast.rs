@@ -274,7 +274,11 @@ mod tests {
     fn atom_variable_and_constant_iteration() {
         let a = atom(
             0,
-            vec![Term::Var(VarId(0)), Term::Const(Value::int(7)), Term::Var(VarId(1))],
+            vec![
+                Term::Var(VarId(0)),
+                Term::Const(Value::int(7)),
+                Term::Var(VarId(1)),
+            ],
         );
         let vars: Vec<_> = a.variables().collect();
         assert_eq!(vars, vec![(0, VarId(0)), (2, VarId(1))]);

@@ -24,7 +24,9 @@
 
 use carac_storage::{AggFunc, CmpOp, RelId, SymbolTable, Tuple, Value};
 
-use crate::ast::{AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, Term, VarId};
+use crate::ast::{
+    AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, Term, VarId,
+};
 use crate::error::DatalogError;
 use carac_storage::hasher::FxHashMap;
 
@@ -242,12 +244,7 @@ impl ProgramBuilder {
     /// form used when rebuilding programs (alias elimination); writing an
     /// aggregate head term via [`ProgramBuilder::rule`] creates the hidden
     /// input relation and this registration automatically.
-    pub fn aggregate(
-        &mut self,
-        output: &str,
-        input: &str,
-        aggs: &[(usize, AggFunc)],
-    ) -> &mut Self {
+    pub fn aggregate(&mut self, output: &str, input: &str, aggs: &[(usize, AggFunc)]) -> &mut Self {
         self.raw_aggregates
             .push((output.to_string(), input.to_string(), aggs.to_vec()));
         self
@@ -312,12 +309,13 @@ impl ProgramBuilder {
             });
         }
 
-        let lookup = |name: &str, by_name: &FxHashMap<String, RelId>| -> Result<RelId, DatalogError> {
-            by_name
-                .get(name)
-                .copied()
-                .ok_or_else(|| DatalogError::UnknownRelation(name.to_string()))
-        };
+        let lookup =
+            |name: &str, by_name: &FxHashMap<String, RelId>| -> Result<RelId, DatalogError> {
+                by_name
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| DatalogError::UnknownRelation(name.to_string()))
+            };
 
         // 2. Resolve rules: map names to RelIds and variable names to dense
         //    per-rule VarIds.
@@ -364,7 +362,10 @@ impl ProgramBuilder {
                                      symbols: &mut SymbolTable,
                                      where_: &str|
              -> Result<Vec<Term>, DatalogError> {
-                specs.iter().map(|s| resolve_term(s, symbols, where_)).collect()
+                specs
+                    .iter()
+                    .map(|s| resolve_term(s, symbols, where_))
+                    .collect()
             };
 
             let head_rel = lookup(&raw.head_rel, &by_name)?;
@@ -372,8 +373,7 @@ impl ProgramBuilder {
             let mut body = Vec::with_capacity(raw.body.len());
             for (rel_name, terms, negated) in &raw.body {
                 let rel = lookup(rel_name, &by_name)?;
-                let atom =
-                    Atom::new(rel, resolve_terms(terms, &mut self.symbols, rel_name)?);
+                let atom = Atom::new(rel, resolve_terms(terms, &mut self.symbols, rel_name)?);
                 body.push(Literal {
                     atom,
                     negated: *negated,
@@ -421,9 +421,7 @@ impl ProgramBuilder {
                     }
                     TermSpec::Str(text) => values.push(self.symbols.intern(text)),
                     TermSpec::Value(value) => values.push(*value),
-                    TermSpec::Var(_) => {
-                        return Err(DatalogError::NonGroundFact(rel_name.clone()))
-                    }
+                    TermSpec::Var(_) => return Err(DatalogError::NonGroundFact(rel_name.clone())),
                     TermSpec::Agg(..) => {
                         return Err(DatalogError::AggregateMisplaced {
                             relation: rel_name.clone(),
@@ -449,8 +447,7 @@ impl ProgramBuilder {
                     relation: output_name.clone(),
                 });
             }
-            let (out_arity, in_arity) =
-                (decls[output.index()].arity, decls[input.index()].arity);
+            let (out_arity, in_arity) = (decls[output.index()].arity, decls[input.index()].arity);
             if out_arity != in_arity {
                 return Err(DatalogError::ArityMismatch {
                     relation: output_name.clone(),
@@ -528,9 +525,10 @@ impl ProgramBuilder {
             let hidden = format!("{output}{AGG_INPUT_SUFFIX}");
             let mentioned = self.relations.iter().any(|(n, _)| n == &hidden)
                 || self.raw_facts.iter().any(|(n, _)| n == &hidden)
-                || self.raw_rules.iter().any(|r| {
-                    r.head_rel == hidden || r.body.iter().any(|(n, _, _)| n == &hidden)
-                });
+                || self
+                    .raw_rules
+                    .iter()
+                    .any(|r| r.head_rel == hidden || r.body.iter().any(|(n, _, _)| n == &hidden));
             if mentioned {
                 return Err(DatalogError::AggregateConflict { relation: hidden });
             }
@@ -638,7 +636,9 @@ mod tests {
         b.fact("Edge", &[TermSpec::Int(3_000_000_000), c(1)]);
         assert!(matches!(
             b.build(),
-            Err(DatalogError::IntegerOutOfRange { value: 3_000_000_000 })
+            Err(DatalogError::IntegerOutOfRange {
+                value: 3_000_000_000
+            })
         ));
 
         let mut b = ProgramBuilder::new();
@@ -658,7 +658,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let sym = b.intern("handler");
         b.relation("Tagged", 2);
-        b.fact("Tagged", &[TermSpec::Value(sym), TermSpec::Value(Value::int(9))]);
+        b.fact(
+            "Tagged",
+            &[TermSpec::Value(sym), TermSpec::Value(Value::int(9))],
+        );
         let p = b.build().unwrap();
         let (_, t) = &p.facts()[0];
         assert_eq!(t.get(0), Some(sym));
@@ -683,7 +686,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("R", 1);
         b.relation("Out", 1);
-        b.rule("Out", &["x"]).when("R", &["x"]).lt(v("x"), v("nope")).end();
+        b.rule("Out", &["x"])
+            .when("R", &["x"])
+            .lt(v("x"), v("nope"))
+            .end();
         assert!(matches!(
             b.build(),
             Err(DatalogError::UnsafeConstraintVariable { .. })
@@ -726,7 +732,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Deg", 2);
-        b.rule("Deg", &[v("x"), count_of("y")]).when("Edge", &["x", "y"]).end();
+        b.rule("Deg", &[v("x"), count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
         b.rule("Deg", &["x", "y"]).when("Edge", &["x", "y"]).end();
         assert!(matches!(
             b.build(),
@@ -737,7 +745,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Deg", 2);
-        b.rule("Deg", &[v("x"), count_of("y")]).when("Edge", &["x", "y"]).end();
+        b.rule("Deg", &[v("x"), count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
         b.fact_ints("Deg", &[1, 1]);
         assert!(matches!(
             b.build(),
@@ -753,7 +763,9 @@ mod tests {
         b.relation("Edge", 2);
         b.relation("Deg", 2);
         b.relation("Deg__agg_input", 2);
-        b.rule("Deg", &[v("x"), count_of("y")]).when("Edge", &["x", "y"]).end();
+        b.rule("Deg", &[v("x"), count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
         b.fact_ints("Deg__agg_input", &[5, 9]);
         assert!(matches!(
             b.build(),
@@ -765,8 +777,12 @@ mod tests {
         b.relation("Edge", 2);
         b.relation("Deg", 2);
         b.relation("Deg__agg_input", 2);
-        b.rule("Deg", &[v("x"), count_of("y")]).when("Edge", &["x", "y"]).end();
-        b.rule("Deg__agg_input", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Deg", &[v("x"), count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.rule("Deg__agg_input", &["x", "y"])
+            .when("Edge", &["x", "y"])
+            .end();
         assert!(matches!(
             b.build(),
             Err(DatalogError::AggregateConflict { .. })

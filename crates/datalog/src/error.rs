@@ -90,6 +90,12 @@ pub enum DatalogError {
         /// The aggregated relation.
         output: String,
     },
+    /// A program rewrite (magic sets) would generate a relation name the
+    /// user program already declares; the name is reserved.
+    ReservedName {
+        /// The colliding generated name.
+        relation: String,
+    },
     /// Parse error with a line/column position.
     Parse {
         /// 1-based line.
@@ -155,6 +161,10 @@ impl fmt::Display for DatalogError {
             DatalogError::AggregateThroughRecursion { output } => write!(
                 f,
                 "program is not stratifiable: aggregated relation `{output}` depends recursively on its own aggregate"
+            ),
+            DatalogError::ReservedName { relation } => write!(
+                f,
+                "relation name `{relation}` is reserved for the magic-set rewrite; rename the user relation"
             ),
             DatalogError::Parse {
                 line,

@@ -25,6 +25,7 @@
 pub mod ast;
 pub mod builder;
 pub mod error;
+pub mod magic;
 pub mod metadata;
 pub mod parser;
 pub mod precedence;
@@ -37,6 +38,7 @@ pub use builder::{ProgramBuilder, TermSpec};
 pub use carac_storage::hasher;
 pub use carac_storage::{AggFunc, CmpOp};
 pub use error::DatalogError;
+pub use magic::{magic_rewrite, MagicProgram, QueryBinding};
 pub use metadata::{AtomMeta, ColumnConstraint, HeadBinding, RuleMeta};
 pub use precedence::{Stratification, Stratum};
 pub use program::Program;

@@ -66,10 +66,13 @@ impl AtomMeta {
 
     /// Variables carried by the atom (with their columns).
     pub fn variables(&self) -> impl Iterator<Item = (usize, VarId)> + '_ {
-        self.columns.iter().enumerate().filter_map(|(i, c)| match c {
-            ColumnConstraint::SharedVar(v) | ColumnConstraint::FreeVar(v) => Some((i, *v)),
-            ColumnConstraint::Constant(_) => None,
-        })
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                ColumnConstraint::SharedVar(v) | ColumnConstraint::FreeVar(v) => Some((i, *v)),
+                ColumnConstraint::Constant(_) => None,
+            })
     }
 }
 
@@ -311,7 +314,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Out", 2);
-        b.rule("Out", &[v("x"), c(0)]).when("Edge", &[v("x"), v("y")]).end();
+        b.rule("Out", &[v("x"), c(0)])
+            .when("Edge", &[v("x"), v("y")])
+            .end();
         let p = b.build().unwrap();
         let meta = RuleMeta::analyze(&p.rules()[0]);
         assert!(matches!(meta.head_bindings[0], HeadBinding::Var(_)));

@@ -473,8 +473,8 @@ impl Parser {
             Some(Token::Cmp(op)) => op,
             other => {
                 return Err(self.error_at(format!(
-                    "expected a comparison operator (`<`, `<=`, `>`, `>=`, `=`, `!=`), found {other:?}"
-                )))
+                "expected a comparison operator (`<`, `<=`, `>`, `>=`, `=`, `!=`), found {other:?}"
+            )))
             }
         };
         let rhs = self.parse_cmp_operand()?;
@@ -494,7 +494,11 @@ impl Parser {
                     // In head positions, `count v` / `sum v` / `min v` /
                     // `max v` is an aggregate term; a bare agg keyword stays
                     // an ordinary variable.
-                    let agg = if is_head { AggFunc::from_name(&name) } else { None };
+                    let agg = if is_head {
+                        AggFunc::from_name(&name)
+                    } else {
+                        None
+                    };
                     match (agg, self.peek()) {
                         (Some(func), Some(Token::Ident(_))) => {
                             let Some(Token::Ident(var)) = self.bump() else {
@@ -512,9 +516,7 @@ impl Parser {
             match self.bump() {
                 Some(Token::Comma) => continue,
                 Some(Token::RParen) => break,
-                other => {
-                    return Err(self.error_at(format!("expected `,` or `)`, found {other:?}")))
-                }
+                other => return Err(self.error_at(format!("expected `,` or `)`, found {other:?}"))),
             }
         }
         Ok(ParsedAtom {
@@ -574,10 +576,8 @@ mod tests {
 
     #[test]
     fn comment_styles_are_ignored() {
-        let program = parse(
-            "% percent comment\n# hash comment\n// slash comment\nEdge(1, 2).\n",
-        )
-        .unwrap();
+        let program =
+            parse("% percent comment\n# hash comment\n// slash comment\nEdge(1, 2).\n").unwrap();
         assert_eq!(program.facts().len(), 1);
     }
 
@@ -646,10 +646,8 @@ mod tests {
 
     #[test]
     fn parses_all_comparison_operators() {
-        let program = parse(
-            "Out(x, y) :- R(x, y), x < y, x <= y, y > x, y >= x, x = x, x != y.",
-        )
-        .unwrap();
+        let program =
+            parse("Out(x, y) :- R(x, y), x < y, x <= y, y > x, y >= x, x = x, x != y.").unwrap();
         let ops: Vec<CmpOp> = program.rules()[0]
             .constraints
             .iter()
@@ -657,7 +655,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+            vec![
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Eq,
+                CmpOp::Ne
+            ]
         );
     }
 
@@ -704,6 +709,9 @@ mod tests {
              Edge(1, 2).",
         )
         .unwrap_err();
-        assert!(matches!(err, DatalogError::AggregateThroughRecursion { .. }));
+        assert!(matches!(
+            err,
+            DatalogError::AggregateThroughRecursion { .. }
+        ));
     }
 }

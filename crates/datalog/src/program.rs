@@ -185,9 +185,11 @@ impl Program {
                 }
             })
             .collect();
-        body.extend(rule.constraints.iter().map(|c| {
-            format!("{} {} {}", term(&c.lhs), c.op.symbol(), term(&c.rhs))
-        }));
+        body.extend(
+            rule.constraints
+                .iter()
+                .map(|c| format!("{} {} {}", term(&c.lhs), c.op.symbol(), term(&c.rhs))),
+        );
         if body.is_empty() {
             format!("{}.", atom(&rule.head))
         } else {

@@ -142,7 +142,12 @@ pub fn eliminate_aliases(program: &Program) -> (Program, FxHashMap<RelId, RelId>
                 .copied()
                 .unwrap_or(literal.atom.rel);
             let rel_name = &program.relation(rel).name;
-            let terms: Vec<_> = literal.atom.terms.iter().map(|t| to_spec(t, rule)).collect();
+            let terms: Vec<_> = literal
+                .atom
+                .terms
+                .iter()
+                .map(|t| to_spec(t, rule))
+                .collect();
             rb = if literal.negated {
                 rb.when_not(rel_name, &terms)
             } else {
@@ -270,7 +275,9 @@ mod tests {
         b.relation("Edge", 2);
         b.relation("SelfLoop", 2);
         // Repeated variable: this filters, it does not alias.
-        b.rule("SelfLoop", &["x", "x"]).when("Edge", &["x", "x"]).end();
+        b.rule("SelfLoop", &["x", "x"])
+            .when("Edge", &["x", "x"])
+            .end();
         let p = b.build().unwrap();
         assert!(find_aliases(&p).is_empty());
     }
@@ -322,10 +329,16 @@ mod tests {
         b.relation("Path", 2);
         b.rule("Link", &["x", "y"]).when("Edge", &["x", "y"]).end();
         b.rule("Path", &["x", "y"]).when("Link", &["x", "y"]).end();
-        b.rule("Path", &[crate::builder::v("x"), crate::builder::s("marker")])
-            .when("Link", &[crate::builder::v("x"), crate::builder::c(7)])
-            .end();
-        b.fact("Tag", &[crate::builder::s("serialize"), crate::builder::c(3)]);
+        b.rule(
+            "Path",
+            &[crate::builder::v("x"), crate::builder::s("marker")],
+        )
+        .when("Link", &[crate::builder::v("x"), crate::builder::c(7)])
+        .end();
+        b.fact(
+            "Tag",
+            &[crate::builder::s("serialize"), crate::builder::c(3)],
+        );
         b.fact("Edge", &[crate::builder::c(7), crate::builder::c(7)]);
         let p = b.build().unwrap();
 
@@ -338,15 +351,16 @@ mod tests {
         let marker = p.symbols().lookup("marker").unwrap();
         let rewritten_marker = rewritten.symbols().lookup("marker").unwrap();
         assert_eq!(marker, rewritten_marker);
-        let has_marker_const = rewritten.rules().iter().any(|r| {
-            r.head.terms.contains(&Term::Const(marker))
-        });
-        assert!(has_marker_const);
-        let seven = carac_storage::Value::int(7);
-        assert!(rewritten
+        let has_marker_const = rewritten
             .rules()
             .iter()
-            .any(|r| r.body.iter().any(|l| l.atom.terms.contains(&Term::Const(seven)))));
+            .any(|r| r.head.terms.contains(&Term::Const(marker)));
+        assert!(has_marker_const);
+        let seven = carac_storage::Value::int(7);
+        assert!(rewritten.rules().iter().any(|r| r
+            .body
+            .iter()
+            .any(|l| l.atom.terms.contains(&Term::Const(seven)))));
     }
 
     #[test]
@@ -357,9 +371,12 @@ mod tests {
         b.relation("Deg", 2);
         b.relation("Big", 1);
         b.rule("Link", &["x", "y"]).when("Edge", &["x", "y"]).end();
-        b.rule("Deg", &[crate::builder::v("x"), crate::builder::count_of("y")])
-            .when("Link", &["x", "y"])
-            .end();
+        b.rule(
+            "Deg",
+            &[crate::builder::v("x"), crate::builder::count_of("y")],
+        )
+        .when("Link", &["x", "y"])
+        .end();
         b.rule("Big", &["x"])
             .when("Deg", &["x", "c"])
             .gt(crate::builder::v("c"), crate::builder::c(1))
@@ -387,9 +404,12 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Deg", 2);
-        b.rule("Deg", &[crate::builder::v("x"), crate::builder::count_of("y")])
-            .when("Edge", &["x", "y"])
-            .end();
+        b.rule(
+            "Deg",
+            &[crate::builder::v("x"), crate::builder::count_of("y")],
+        )
+        .when("Edge", &["x", "y"])
+        .end();
         let p = b.build().unwrap();
         assert!(find_aliases(&p).is_empty());
         let (rewritten, _) = eliminate_aliases(&p);

@@ -129,19 +129,13 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.fact_ints("Edge", &[1, 2, 3]);
-        assert!(matches!(
-            b.build(),
-            Err(DatalogError::ArityMismatch { .. })
-        ));
+        assert!(matches!(b.build(), Err(DatalogError::ArityMismatch { .. })));
 
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Path", 2);
         b.rule("Path", &["x", "y"]).when("Edge", &["x"]).end();
-        assert!(matches!(
-            b.build(),
-            Err(DatalogError::ArityMismatch { .. })
-        ));
+        assert!(matches!(b.build(), Err(DatalogError::ArityMismatch { .. })));
     }
 
     #[test]
@@ -161,7 +155,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.relation("Edge", 2);
         b.relation("Out", 2);
-        b.rule("Out", &[v("x"), c(0)]).when("Edge", &[v("x"), v("y")]).end();
+        b.rule("Out", &[v("x"), c(0)])
+            .when("Edge", &[v("x"), v("y")])
+            .end();
         assert!(b.build().is_ok());
     }
 

@@ -198,8 +198,14 @@ pub fn check_artifact(
     artifact: &Artifact,
 ) -> Result<(), ExecError> {
     let ok = match (backend, mode, artifact) {
-        (BackendKind::Lambda | BackendKind::Quotes, CompileMode::Full, Artifact::FullClosure(_)) => true,
-        (BackendKind::Lambda | BackendKind::Quotes, CompileMode::Snippet, Artifact::Snippet(_)) => true,
+        (
+            BackendKind::Lambda | BackendKind::Quotes,
+            CompileMode::Full,
+            Artifact::FullClosure(_),
+        ) => true,
+        (BackendKind::Lambda | BackendKind::Quotes, CompileMode::Snippet, Artifact::Snippet(_)) => {
+            true
+        }
         // Snippet requests degrade to full compilation on the VM target.
         (BackendKind::Bytecode, _, Artifact::Vm(_)) => true,
         (BackendKind::IrGen, _, Artifact::Ir(_)) => true,
@@ -354,8 +360,7 @@ mod tests {
             assert!(elapsed < Duration::from_secs(1));
             // The typed shape check replaces the old hard panic: a
             // misbehaving backend now degrades into ExecError.
-            check_artifact(backend, CompileMode::Full, &artifact)
-                .unwrap_or_else(|e| panic!("{e}"));
+            check_artifact(backend, CompileMode::Full, &artifact).unwrap_or_else(|e| panic!("{e}"));
             match (backend, artifact) {
                 (BackendKind::Bytecode, Artifact::Vm(program)) => {
                     assert!(program.validate().is_ok())
@@ -421,7 +426,10 @@ mod tests {
         let snippet = model.cost(100, true, CompileMode::Snippet);
         assert!(cold > warm);
         assert!(snippet < warm);
-        assert_eq!(StagingCostModel::free().cost(100, false, CompileMode::Full), Duration::ZERO);
+        assert_eq!(
+            StagingCostModel::free().cost(100, false, CompileMode::Full),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -433,18 +441,33 @@ mod tests {
             per_node: Duration::ZERO,
             snippet_factor: 1.0,
         };
-        let (_, cold_time) =
-            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, false)
-                .unwrap();
-        let (_, warm_time) =
-            compile_artifact(&plan, BackendKind::Quotes, CompileMode::Full, &staging, true)
-                .unwrap();
+        let (_, cold_time) = compile_artifact(
+            &plan,
+            BackendKind::Quotes,
+            CompileMode::Full,
+            &staging,
+            false,
+        )
+        .unwrap();
+        let (_, warm_time) = compile_artifact(
+            &plan,
+            BackendKind::Quotes,
+            CompileMode::Full,
+            &staging,
+            true,
+        )
+        .unwrap();
         assert!(cold_time >= Duration::from_millis(20));
         assert!(warm_time < cold_time);
         // Lambda pays no modeled cost at all.
-        let (_, lambda_time) =
-            compile_artifact(&plan, BackendKind::Lambda, CompileMode::Full, &staging, false)
-                .unwrap();
+        let (_, lambda_time) = compile_artifact(
+            &plan,
+            BackendKind::Lambda,
+            CompileMode::Full,
+            &staging,
+            false,
+        )
+        .unwrap();
         assert!(lambda_time < Duration::from_millis(20));
     }
 }

@@ -331,6 +331,8 @@ mod tests {
     fn polling_unknown_node_returns_none() {
         let mut manager = CompilationManager::new();
         assert!(manager.poll(NodeId(42)).is_none());
-        assert!(manager.wait(NodeId(42), Duration::from_millis(10)).is_none());
+        assert!(manager
+            .wait(NodeId(42), Duration::from_millis(10))
+            .is_none());
     }
 }

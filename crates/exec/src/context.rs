@@ -28,6 +28,10 @@ pub struct ExecContext {
     pub indexed: FxHashSet<(RelId, usize)>,
     /// `(relation, columns)` composite-index requests that were honoured.
     pub composite_indexed: Vec<(RelId, Vec<usize>)>,
+    /// Magic (demand-guard) predicates of a goal-directed program — scored
+    /// as high-selectivity by the adaptive optimizer so reordering keeps
+    /// the guards early.  Empty for ordinary programs.
+    pub magic_rels: FxHashSet<RelId>,
     /// Iteration counter across the whole run (used for staleness
     /// bookkeeping and reporting).
     pub iteration: u64,
@@ -67,10 +71,20 @@ impl ExecContext {
             is_idb,
             indexed,
             composite_indexed,
+            magic_rels: FxHashSet::default(),
             iteration: 0,
             parallelism: 1,
             stats: RunStats::default(),
         })
+    }
+
+    /// Marks the magic (demand-guard) predicates of a goal-directed
+    /// program.  Installed by the engine's query path from the rewrite's
+    /// own relation list (`MagicProgram::magic_relations`) — never inferred
+    /// from names, so a user relation that happens to share the reserved
+    /// prefix is not mis-scored on programs that never used the rewrite.
+    pub fn set_magic_relations(&mut self, magic_rels: FxHashSet<RelId>) {
+        self.magic_rels = magic_rels;
     }
 
     /// Configures the worker-thread budget for the join kernels and shards
@@ -99,6 +113,7 @@ impl ExecContext {
         OptimizeContext::new(snapshot, self.is_idb.clone(), self.indexed.clone())
             .with_composites(self.composite_indexed.iter().cloned().collect())
             .with_parallelism(self.parallelism)
+            .with_magic(self.magic_rels.clone())
     }
 
     /// Number of tuples currently derived for `rel`.
@@ -160,6 +175,28 @@ mod tests {
         let edge = p.relation_by_name("Edge").unwrap();
         assert_eq!(oc.cardinality(edge, DbKind::Derived), 1);
         assert_eq!(oc.stats.iteration, 3);
+    }
+
+    #[test]
+    fn magic_relations_are_installed_not_inferred() {
+        // A user relation that happens to carry the reserved magic prefix
+        // must not be mis-scored on ordinary programs: the magic set is
+        // installed explicitly by the query path, never sniffed from names.
+        let mut b = carac_datalog::ProgramBuilder::new();
+        b.relation("m__cache", 2);
+        b.relation("Out", 2);
+        b.rule("Out", &["x", "y"])
+            .when("m__cache", &["x", "y"])
+            .end();
+        let p = b.build().unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        assert!(ctx.magic_rels.is_empty());
+        assert!(ctx.optimize_context().magic.is_empty());
+        let rel = p.relation_by_name("m__cache").unwrap();
+        let mut magic = FxHashSet::default();
+        magic.insert(rel);
+        ctx.set_magic_relations(magic);
+        assert!(ctx.optimize_context().is_magic(rel));
     }
 
     #[test]

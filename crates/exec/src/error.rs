@@ -36,7 +36,10 @@ impl fmt::Display for ExecError {
             ExecError::Vm(msg) => write!(f, "vm error: {msg}"),
             ExecError::Compilation(msg) => write!(f, "compilation error: {msg}"),
             ExecError::UnexpectedArtifact { backend, artifact } => {
-                write!(f, "backend {backend} produced unexpected artifact {artifact}")
+                write!(
+                    f,
+                    "backend {backend} produced unexpected artifact {artifact}"
+                )
             }
             ExecError::Update(msg) => write!(f, "update error: {msg}"),
             ExecError::Internal(msg) => write!(f, "internal error: {msg}"),

@@ -91,13 +91,21 @@ impl UpdateBatch {
 
     /// Queues the insertion of a raw row.
     pub fn insert_row(&mut self, rel: RelId, values: Vec<Value>) -> &mut Self {
-        self.ops.push(UpdateOp { rel, sign: DeltaSign::Insert, values });
+        self.ops.push(UpdateOp {
+            rel,
+            sign: DeltaSign::Insert,
+            values,
+        });
         self
     }
 
     /// Queues the retraction of a raw row.
     pub fn retract_row(&mut self, rel: RelId, values: Vec<Value>) -> &mut Self {
-        self.ops.push(UpdateOp { rel, sign: DeltaSign::Retract, values });
+        self.ops.push(UpdateOp {
+            rel,
+            sign: DeltaSign::Retract,
+            values,
+        });
         self
     }
 
@@ -140,7 +148,10 @@ impl QueryExec {
             UpdateKernel::Specialized => Some(SpecializedQuery::compile(&query)),
             UpdateKernel::Interpreted => None,
         };
-        QueryExec { query, kernel: compiled }
+        QueryExec {
+            query,
+            kernel: compiled,
+        }
     }
 
     fn head_arity(&self) -> usize {
@@ -278,6 +289,16 @@ impl std::fmt::Debug for Incremental {
     }
 }
 
+/// Clamps an exact (u64) derivation count into a stored support value:
+/// counts representable below the sentinel store exactly, anything at or
+/// beyond it stores [`carac_storage::SUPPORT_SATURATED`] — "count unknown,
+/// always recount" — rather than a wrapped or silently-clamped number.
+fn clamp_support(n: u64) -> u32 {
+    // A count of exactly u32::MAX is itself unrepresentable below the
+    // sentinel, so it maps to "saturated" too.
+    u32::try_from(n).unwrap_or(carac_storage::SUPPORT_SATURATED)
+}
+
 /// Statically join-orders a maintenance query: the atom at `first` (the
 /// delta or driver atom — the small side of every update join) is rotated
 /// to the front and the remaining atoms follow greedily by connectivity
@@ -368,8 +389,7 @@ impl Incremental {
                 let rule = program.rule(rule_id);
                 let mut variants = Vec::new();
                 for (i, literal) in rule.positive_body().enumerate() {
-                    let query =
-                        order_delta_first(&ConjunctiveQuery::from_rule(rule, Some(i)), i);
+                    let query = order_delta_first(&ConjunctiveQuery::from_rule(rule, Some(i)), i);
                     variants.push((literal.atom.rel, QueryExec::new(query, kernel)));
                     if !body_rels.contains(&literal.atom.rel) {
                         body_rels.push(literal.atom.rel);
@@ -441,7 +461,10 @@ impl Incremental {
         batch: &UpdateBatch,
     ) -> Result<UpdateReport, ExecError> {
         let started = Instant::now();
-        let mut up = UpdateStats { batches: 1, ..UpdateStats::default() };
+        let mut up = UpdateStats {
+            batches: 1,
+            ..UpdateStats::default()
+        };
         let all_rels: Vec<RelId> = (0..ctx.storage.relation_count())
             .map(|i| RelId(i as u32))
             .collect();
@@ -457,9 +480,10 @@ impl Incremental {
         // session stays usable after an Err).
         for op in batch.ops() {
             let ix = op.rel.index();
-            let name = self.names.get(ix).ok_or_else(|| {
-                ExecError::Update(format!("unknown relation {:?}", op.rel))
-            })?;
+            let name = self
+                .names
+                .get(ix)
+                .ok_or_else(|| ExecError::Update(format!("unknown relation {:?}", op.rel)))?;
             if !self.is_edb[ix] {
                 return Err(ExecError::Update(format!(
                     "relation {name} is intensional; derived facts are maintained \
@@ -529,21 +553,24 @@ impl Incremental {
                 up.derived_retracted += deltas.minus_of(rel).map_or(0, Relation::len) as u64;
             }
         }
-        // Between batches no RowId or slot watermark is held, so this is
-        // the safe point to fold accumulated tombstones away — without it a
-        // sustained stream would grow pools with total churn, not live
-        // data.
-        ctx.storage.compact_derived();
+        // Between batches no RowId or slot watermark is held (every
+        // watermark, candidate set and probe of the phases above has been
+        // consumed), so this is the safe point to fold accumulated
+        // tombstones away — without it a sustained stream would grow pools
+        // with total churn, not live data.  Each compaction bumps the
+        // relation's generation counter; anything still holding a pre-batch
+        // RowId gets a typed `StaleRowId` from the checked accessors
+        // instead of silently reading a renumbered row.
+        up.compactions += ctx.storage.compact_derived() as u64;
         ctx.stats.update.merge(&up);
-        Ok(UpdateReport { stats: up, total_time: started.elapsed() })
+        Ok(UpdateReport {
+            stats: up,
+            total_time: started.elapsed(),
+        })
     }
 
     /// Copies the rows of `facts` into `rel`'s delta-known database.
-    fn load_delta(
-        ctx: &mut ExecContext,
-        rel: RelId,
-        facts: &Relation,
-    ) -> Result<(), ExecError> {
+    fn load_delta(ctx: &mut ExecContext, rel: RelId, facts: &Relation) -> Result<(), ExecError> {
         ctx.storage
             .db_mut(DbKind::DeltaKnown)
             .relation_mut(rel)?
@@ -577,11 +604,20 @@ impl Incremental {
         ctx: &mut ExecContext,
         rel: RelId,
         probe: &Relation,
-    ) -> Result<FxHashMap<Vec<Value>, u32>, ExecError> {
+    ) -> Result<FxHashMap<Vec<Value>, u64>, ExecError> {
         Self::load_delta(ctx, rel, probe)?;
-        let mut counts: FxHashMap<Vec<Value>, u32> = FxHashMap::default();
+        // Counted in u64: a u32 tally would wrap past 2^32 derivations and
+        // report a *smaller* count than the truth — understated is safe for
+        // the survivor test but the stored support must then carry the
+        // saturation sentinel, which `clamp_support` takes care of.
+        let mut counts: FxHashMap<Vec<Value>, u64> = FxHashMap::default();
         for rule in plan.rules.iter().filter(|r| r.head_rel == rel) {
-            let ExecContext { storage, stats, parallelism, .. } = ctx;
+            let ExecContext {
+                storage,
+                stats,
+                parallelism,
+                ..
+            } = ctx;
             let (buf, emitted) = rule.driver.collect(storage, stats, *parallelism)?;
             let arity = rule.driver.head_arity();
             for i in 0..emitted as usize {
@@ -618,7 +654,10 @@ impl Incremental {
         // deltas (re-derived candidates, by contrast, are no net change).
         let mut marks: Vec<(RelId, usize)> = Vec::new();
         for &rel in &plan.relations {
-            marks.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count()));
+            marks.push((
+                rel,
+                ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count(),
+            ));
         }
         // Restore the already-applied input retractions for the duration of
         // the over-delete joins: a derivation may combine several deleted
@@ -670,17 +709,28 @@ impl Incremental {
             let mut next: FxHashMap<RelId, Relation> = FxHashMap::default();
             for rule in &plan.rules {
                 for (delta_rel, exec) in &rule.variants {
-                    if ctx.storage.relation(DbKind::DeltaKnown, *delta_rel)?.is_empty() {
+                    if ctx
+                        .storage
+                        .relation(DbKind::DeltaKnown, *delta_rel)?
+                        .is_empty()
+                    {
                         continue;
                     }
-                    let ExecContext { storage, stats, parallelism, .. } = ctx;
+                    let ExecContext {
+                        storage,
+                        stats,
+                        parallelism,
+                        ..
+                    } = ctx;
                     let (buf, rows) = exec.collect(storage, stats, *parallelism)?;
                     let arity = exec.head_arity();
                     let head = rule.head_rel;
                     for i in 0..rows as usize {
                         let row = &buf[i * arity..(i + 1) * arity];
                         let derived = ctx.storage.db(DbKind::Derived).relation(head)?;
-                        let Some(slot) = derived.find_row_hashed(row, carac_storage::pool::row_hash(row)) else {
+                        let Some(slot) =
+                            derived.find_row_hashed(row, carac_storage::pool::row_hash(row))
+                        else {
                             continue; // phantom derivation via new inserts
                         };
                         if self.is_base_fact(head, row) {
@@ -748,7 +798,12 @@ impl Incremental {
             let Some(candidates) = deleted.get(&rel).filter(|r| !r.is_empty()) else {
                 continue;
             };
-            // Partition candidates by their post-decrement support.
+            // Partition candidates by their post-decrement support.  A
+            // saturated count ([`carac_storage::SUPPORT_SATURATED`]) proves
+            // nothing — the true count overflowed at some point and the
+            // stored number stopped tracking it — so saturated rows are
+            // routed to the exact recount unconditionally instead of being
+            // trusted as survivors.
             let mut zeroed: Vec<Vec<Value>> = Vec::new();
             {
                 let derived = ctx.storage.db(DbKind::Derived).relation(rel)?;
@@ -756,7 +811,7 @@ impl Incremental {
                     let slot = derived
                         .find_row_hashed(row, carac_storage::pool::row_hash(row))
                         .expect("candidate confirmed present during over-delete");
-                    if derived.support_of(slot) > 0 {
+                    if !derived.support_saturated(slot) && derived.support_of(slot) > 0 {
                         up.support_survivors += 1;
                     } else {
                         zeroed.push(row.to_vec());
@@ -779,13 +834,12 @@ impl Incremental {
                     0 => deltas.record_retract(rel, &row)?,
                     n => {
                         // Still derivable: re-insert with its exact count.
-                        let derived =
-                            ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
+                        let derived = ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
                         derived.insert_row(&row)?;
                         let slot = derived
                             .find_row_hashed(&row, carac_storage::pool::row_hash(&row))
                             .expect("just inserted");
-                        derived.set_support(slot, n);
+                        derived.set_support(slot, clamp_support(n));
                         up.recounted += 1;
                     }
                 }
@@ -836,7 +890,12 @@ impl Incremental {
             {
                 continue;
             }
-            let ExecContext { storage, stats, parallelism, .. } = ctx;
+            let ExecContext {
+                storage,
+                stats,
+                parallelism,
+                ..
+            } = ctx;
             let (buf, rows) = rule.driver.collect(storage, stats, *parallelism)?;
             let arity = rule.driver.head_arity();
             for i in 0..rows as usize {
@@ -845,7 +904,10 @@ impl Incremental {
                     .entry(rule.head_rel)
                     .or_insert_with(|| {
                         Relation::new(
-                            ctx.storage.schema(rule.head_rel).expect("head schema").clone(),
+                            ctx.storage
+                                .schema(rule.head_rel)
+                                .expect("head schema")
+                                .clone(),
                         )
                     })
                     .insert_row(row)?;
@@ -869,7 +931,12 @@ impl Incremental {
         for &rel in &plan.relations {
             if let Some(set) = deleted.get(&rel) {
                 for row in set.iter_rows() {
-                    if ctx.storage.db(DbKind::Derived).relation(rel)?.contains_row(row) {
+                    if ctx
+                        .storage
+                        .db(DbKind::Derived)
+                        .relation(rel)?
+                        .contains_row(row)
+                    {
                         up.rederived += 1;
                     } else {
                         deltas.record_retract(rel, row)?;
@@ -896,7 +963,10 @@ impl Incremental {
         // High-water marks: everything appended past them is net-new.
         let mut marks: Vec<(RelId, usize)> = Vec::new();
         for &rel in &plan.relations {
-            marks.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count()));
+            marks.push((
+                rel,
+                ctx.storage.db(DbKind::Derived).relation(rel)?.slot_count(),
+            ));
         }
         let mut seeded: Vec<RelId> = Vec::new();
         for &rel in &plan.body_rels {
@@ -949,10 +1019,19 @@ impl Incremental {
         loop {
             for rule in &plan.rules {
                 for (delta_rel, exec) in &rule.variants {
-                    if ctx.storage.relation(DbKind::DeltaKnown, *delta_rel)?.is_empty() {
+                    if ctx
+                        .storage
+                        .relation(DbKind::DeltaKnown, *delta_rel)?
+                        .is_empty()
+                    {
                         continue;
                     }
-                    let ExecContext { storage, stats, parallelism, .. } = ctx;
+                    let ExecContext {
+                        storage,
+                        stats,
+                        parallelism,
+                        ..
+                    } = ctx;
                     let (buf, rows) = exec.collect(storage, stats, *parallelism)?;
                     let arity = exec.head_arity();
                     // Resolve the affected-set target once per variant, not
@@ -1004,10 +1083,12 @@ impl Incremental {
             let counts = self.count_derivations(plan, ctx, rel, probe)?;
             let derived = ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
             for row in probe.iter_rows() {
-                if let Some(slot) =
-                    derived.find_row_hashed(row, carac_storage::pool::row_hash(row))
+                if let Some(slot) = derived.find_row_hashed(row, carac_storage::pool::row_hash(row))
                 {
-                    derived.set_support(slot, counts.get(row).copied().unwrap_or(0).max(1));
+                    derived.set_support(
+                        slot,
+                        clamp_support(counts.get(row).copied().unwrap_or(0).max(1)),
+                    );
                     up.recounted += 1;
                 }
             }
@@ -1029,7 +1110,10 @@ impl Incremental {
         let mut old: Vec<(RelId, Relation)> = Vec::new();
         for &rel in &plan.relations {
             old.push((rel, ctx.storage.db(DbKind::Derived).relation(rel)?.clone()));
-            ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?.clear();
+            ctx.storage
+                .db_mut(DbKind::Derived)
+                .relation_mut(rel)?
+                .clear();
         }
         ctx.storage.clear_deltas(&plan.relations)?;
         // Base facts of the stratum's relations are asserted, not derived:
@@ -1078,6 +1162,7 @@ impl Incremental {
 mod tests {
     use super::*;
     use carac_datalog::parser::parse;
+    use carac_datalog::ProgramBuilder;
 
     fn live_tc() -> (Program, ExecContext, Incremental) {
         let p = parse(
@@ -1182,6 +1267,135 @@ mod tests {
         batch.insert(edge, Tuple::pair(4, 5));
         inc.apply(&mut ctx, &batch).unwrap();
         assert_eq!(ctx.derived_count(path), 10);
+    }
+
+    #[test]
+    fn saturated_support_forces_exact_recount() {
+        // Regression: support counts saturate at u32::MAX.  Before the
+        // sticky sentinel, a saturated row (true count no longer tracked)
+        // would be decremented to MAX-2 by a batch deleting *all* of its
+        // derivations and then pass the `support > 0` survivor test —
+        // keeping a fact whose true derivation count is zero.  Saturated
+        // rows must take the exact-recount path instead.
+        let p = parse(
+            "Out(x, y) :- A(x, y).\n\
+             Out(x, y) :- B(x, y).\n\
+             A(1, 1). B(1, 1). A(2, 2).",
+        )
+        .unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        interpret(&plan, &mut ctx).unwrap();
+        let out = p.relation_by_name("Out").unwrap();
+        let a = p.relation_by_name("A").unwrap();
+        let b = p.relation_by_name("B").unwrap();
+        assert_eq!(ctx.derived_count(out), 2);
+
+        // Saturate the stored count of Out(1, 1), simulating a row whose
+        // derivation count overflowed during a long-lived session.
+        let row = [Value::int(1), Value::int(1)];
+        let hash = carac_storage::pool::row_hash(&row);
+        let derived = ctx
+            .storage
+            .db_mut(DbKind::Derived)
+            .relation_mut(out)
+            .unwrap();
+        let slot = derived.find_row_hashed(&row, hash).unwrap();
+        derived.set_support(slot, carac_storage::SUPPORT_SATURATED);
+        assert!(derived.support_saturated(slot));
+
+        // Delete *both* derivations in one batch: the true count drops to
+        // zero, so Out(1, 1) must disappear.
+        let inc = Incremental::new(&p, &[], UpdateKernel::Specialized);
+        let mut batch = UpdateBatch::new();
+        batch.retract(a, Tuple::pair(1, 1));
+        batch.retract(b, Tuple::pair(1, 1));
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(
+            ctx.derived_count(out),
+            1,
+            "saturated support must not vouch for a dead fact"
+        );
+        assert!(!ctx
+            .storage
+            .relation(DbKind::Derived, out)
+            .unwrap()
+            .contains_row(&row));
+        // The decision came from the exact recount, not the counter.
+        assert_eq!(report.stats.support_survivors, 0);
+        assert_eq!(report.stats.derived_retracted, 1);
+    }
+
+    #[test]
+    fn mid_stream_compaction_bumps_generation_and_rejects_stale_ids() {
+        // Regression: `compact_derived` between batches renumbers RowIds.
+        // A holder re-reading a pre-batch id would silently get whichever
+        // row was renumbered into the slot; the generation counter makes
+        // the compaction observable and the checked accessor rejects the
+        // stale id with a typed error.
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"]).when("Edge", &["x", "y"]).end();
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .end();
+        // A star: 0 -> i for i in 1..=200 (no transitive paths, so the
+        // retraction cone stays exactly the retracted edges' copies).
+        for i in 1..=200u32 {
+            b.fact_ints("Edge", &[0, i]);
+        }
+        let p = b.build().unwrap();
+        let mut ctx = ExecContext::prepare(&p, true).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        interpret(&plan, &mut ctx).unwrap();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        assert_eq!(ctx.derived_count(path), 200);
+
+        // Hold an id (and the generation it is valid under) of a row that
+        // survives the batch.
+        let survivor = [Value::int(0), Value::int(175)];
+        let hash = carac_storage::pool::row_hash(&survivor);
+        let derived = ctx.storage.relation(DbKind::Derived, path).unwrap();
+        let held_gen = derived.generation();
+        let held_id = derived.find_row_hashed(&survivor, hash).unwrap();
+
+        // Retract 150 of the 200 edges: enough tombstones (150 dead vs 50
+        // live) to trip the between-batch compaction trigger on both Edge
+        // and Path.
+        let inc = Incremental::new(&p, &[], UpdateKernel::Specialized);
+        let mut batch = UpdateBatch::new();
+        for i in 1..=150u32 {
+            batch.retract(edge, Tuple::pair(0, i));
+        }
+        let report = inc.apply(&mut ctx, &batch).unwrap();
+        assert_eq!(ctx.derived_count(path), 50);
+        assert!(
+            report.stats.compactions >= 1,
+            "the churned relations should have been compacted"
+        );
+
+        // The held id is now stale: generation moved, typed rejection.
+        let derived = ctx.storage.relation(DbKind::Derived, path).unwrap();
+        assert!(derived.generation() > held_gen);
+        assert_eq!(
+            ctx.storage.derived_generation(path).unwrap(),
+            derived.generation()
+        );
+        let err = derived.row_checked(held_id, held_gen).unwrap_err();
+        assert!(matches!(
+            err,
+            carac_storage::StorageError::StaleRowId { .. }
+        ));
+        // Re-resolving under the current generation works and finds the
+        // same fact (under a possibly different id).
+        let fresh_id = derived.find_row_hashed(&survivor, hash).unwrap();
+        assert_eq!(
+            derived.row_checked(fresh_id, derived.generation()).unwrap(),
+            &survivor
+        );
     }
 
     #[test]

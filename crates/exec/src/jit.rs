@@ -302,7 +302,12 @@ impl JitEngine {
                 if let Some(kernel) = kernels.get(&node.id) {
                     kernel.execute_with(&mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
                 } else {
-                    execute_interpreted_with(query, &mut ctx.storage, &mut ctx.stats, ctx.parallelism)?;
+                    execute_interpreted_with(
+                        query,
+                        &mut ctx.storage,
+                        &mut ctx.stats,
+                        ctx.parallelism,
+                    )?;
                 }
                 Ok(())
             }
@@ -566,7 +571,8 @@ mod tests {
         // Mutate ctx2's Edge relation so cardinalities differ from the
         // snapshot recorded during the first run.
         let edge = program.relation_by_name("Edge").unwrap();
-        ctx2.insert_fact(edge, carac_storage::Tuple::pair(10, 11)).unwrap();
+        ctx2.insert_fact(edge, carac_storage::Tuple::pair(10, 11))
+            .unwrap();
         engine.run(&mut ctx2).unwrap();
         assert!(ctx2.stats.deopts >= 1);
     }

@@ -237,7 +237,9 @@ impl SpecializedQuery {
 
     /// One scratch level per atom plus one shared by the negation probes.
     fn new_scratch(&self) -> Vec<LevelScratch> {
-        (0..self.atoms.len() + 1).map(|_| LevelScratch::default()).collect()
+        (0..self.atoms.len() + 1)
+            .map(|_| LevelScratch::default())
+            .collect()
     }
 
     /// Executes the specialized query, inserting results into the head
@@ -366,7 +368,10 @@ impl SpecializedQuery {
                 resolved.push((col, val.resolve(&zero_bindings)));
             }
             let mut probe_scratch = Vec::new();
-            scan_rows = relation.probe_rows(&resolved, &mut probe_scratch).iter().collect();
+            scan_rows = relation
+                .probe_rows(&resolved, &mut probe_scratch)
+                .iter()
+                .collect();
             chunk_rows(&scan_rows, parallelism)
         };
         let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
@@ -438,7 +443,9 @@ impl SpecializedQuery {
         }
         let atom = &self.atoms[level];
         let relation = storage.relation(atom.db, atom.rel)?;
-        let (cur, rest) = scratch.split_first_mut().expect("one scratch level per atom");
+        let (cur, rest) = scratch
+            .split_first_mut()
+            .expect("one scratch level per atom");
         cur.resolved.clear();
         for &(col, val) in &atom.filters {
             cur.resolved.push((col, val.resolve(bindings)));
@@ -599,7 +606,15 @@ fn interp_collect(
         let mut scratch = interp_scratch(query);
         let mut trail = Vec::new();
         let mut out = EmitBuffer::default();
-        interp_level(query, 0, &mut bindings, storage, &mut scratch, &mut trail, &mut out)?;
+        interp_level(
+            query,
+            0,
+            &mut bindings,
+            storage,
+            &mut scratch,
+            &mut trail,
+            &mut out,
+        )?;
         out
     };
     stats.tuples_emitted += out.rows;
@@ -609,7 +624,9 @@ fn interp_collect(
 /// One scratch level per atom (the interpreter checks negation by scanning,
 /// so no spare level is needed — but keep one for symmetry and safety).
 fn interp_scratch(query: &ConjunctiveQuery) -> Vec<LevelScratch> {
-    (0..query.atoms.len() + 1).map(|_| LevelScratch::default()).collect()
+    (0..query.atoms.len() + 1)
+        .map(|_| LevelScratch::default())
+        .collect()
 }
 
 /// Partitioned interpretation of the driving atom (level 0).
@@ -623,10 +640,13 @@ fn interp_parallel(
     let relation = storage.relation(atom.db, atom.rel)?;
     // At level 0 no variable is bound yet, so only constants constrain.
     let constrained: Option<(usize, Value)> =
-        atom.terms.iter().enumerate().find_map(|(col, term)| match term {
-            Term::Const(c) => Some((col, *c)),
-            Term::Var(_) => None,
-        });
+        atom.terms
+            .iter()
+            .enumerate()
+            .find_map(|(col, term)| match term {
+                Term::Const(c) => Some((col, *c)),
+                Term::Var(_) => None,
+            });
     let use_shards = constrained.is_none() && relation.is_sharded();
     let scan_rows: Vec<RowId>;
     let partitions: Vec<&[RowId]> = if use_shards {
@@ -637,7 +657,10 @@ fn interp_parallel(
     } else {
         let filters: Vec<(usize, Value)> = constrained.into_iter().collect();
         let mut probe_scratch = Vec::new();
-        scan_rows = relation.probe_rows(&filters, &mut probe_scratch).iter().collect();
+        scan_rows = relation
+            .probe_rows(&filters, &mut probe_scratch)
+            .iter()
+            .collect();
         chunk_rows(&scan_rows, parallelism)
     };
     let total_rows: usize = partitions.iter().map(|p| p.len()).sum();
@@ -742,7 +765,9 @@ fn interp_level(
     // constrained column into the level's reusable filter buffer and let the
     // storage layer pick the path (composite index, single-column index,
     // filtered scan into the level's row buffer, or full scan).
-    let (cur, rest) = scratch.split_first_mut().expect("one scratch level per atom");
+    let (cur, rest) = scratch
+        .split_first_mut()
+        .expect("one scratch level per atom");
     cur.resolved.clear();
     for (col, term) in atom.terms.iter().enumerate() {
         match term {
@@ -755,7 +780,17 @@ fn interp_level(
         }
     }
     let probe = relation.probe_rows(&cur.resolved, &mut cur.rows);
-    interp_rows(query, level, relation, probe.iter(), bindings, storage, rest, trail, out)
+    interp_rows(
+        query,
+        level,
+        relation,
+        probe.iter(),
+        bindings,
+        storage,
+        rest,
+        trail,
+        out,
+    )
 }
 
 /// Interprets one level over an explicit candidate-row iterator (the shared
@@ -796,9 +831,7 @@ fn interp_rows(
                         if existing != value {
                             continue 'rows;
                         }
-                    } else if let Some(&(_, prev)) =
-                        trail[frame..].iter().find(|(lv, _)| lv == v)
-                    {
+                    } else if let Some(&(_, prev)) = trail[frame..].iter().find(|(lv, _)| lv == v) {
                         if prev != value {
                             continue 'rows;
                         }
@@ -888,7 +921,9 @@ mod tests {
 
         let mut s1 = prep(&p, true);
         let mut stats1 = RunStats::default();
-        let n1 = SpecializedQuery::compile(&q).execute(&mut s1, &mut stats1).unwrap();
+        let n1 = SpecializedQuery::compile(&q)
+            .execute(&mut s1, &mut stats1)
+            .unwrap();
 
         let mut s2 = prep(&p, false);
         let mut stats2 = RunStats::default();
@@ -915,7 +950,9 @@ mod tests {
         for indexes in [false, true] {
             let mut s = prep(&p, indexes);
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&q)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
 
             let mut s = prep(&p, indexes);
@@ -936,7 +973,9 @@ mod tests {
         let rel = p.relation_by_name("Loop").unwrap();
         let mut s = prep(&p, false);
         let mut stats = RunStats::default();
-        SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        SpecializedQuery::compile(&q)
+            .execute(&mut s, &mut stats)
+            .unwrap();
         assert_eq!(s.relation(DbKind::DeltaNew, rel).unwrap().len(), 2);
 
         let mut s = prep(&p, false);
@@ -958,7 +997,9 @@ mod tests {
             let mut s = prep(&p, false);
             let mut stats = RunStats::default();
             if specialized {
-                SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+                SpecializedQuery::compile(&q)
+                    .execute(&mut s, &mut stats)
+                    .unwrap();
             } else {
                 execute_interpreted(&q, &mut s, &mut stats).unwrap();
             }
@@ -1012,7 +1053,9 @@ mod tests {
         let reference = {
             let mut s = prep(&p, true);
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&q)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             let mut tuples = s.relation(DbKind::DeltaNew, gp).unwrap().to_tuples();
             tuples.sort();
             tuples
@@ -1064,7 +1107,9 @@ mod tests {
                 s.add_composite_index(sg, &[0, 1]).unwrap();
             }
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&q)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             let mut tuples = s.relation(DbKind::DeltaNew, out).unwrap().to_tuples();
             tuples.sort();
             tuples
@@ -1087,7 +1132,9 @@ mod tests {
         for indexes in [false, true] {
             let mut s = prep(&p, indexes);
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&q)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             let mut spec = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
             spec.sort();
 
@@ -1122,7 +1169,9 @@ mod tests {
             let reordered = q.with_order(&order);
             let mut s = prep(&p, true);
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&reordered).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&reordered)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             let mut tuples = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
             tuples.sort();
             let mut s = prep(&p, false);
@@ -1147,7 +1196,9 @@ mod tests {
         let rel = p.relation_by_name("Out").unwrap();
         let mut s = prep(&p, false);
         let mut stats = RunStats::default();
-        let inserted = SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        let inserted = SpecializedQuery::compile(&q)
+            .execute(&mut s, &mut stats)
+            .unwrap();
         assert_eq!(inserted, 0);
         let mut s = prep(&p, false);
         let mut stats = RunStats::default();
@@ -1167,7 +1218,9 @@ mod tests {
         let reference = {
             let mut s = prep(&p, true);
             let mut stats = RunStats::default();
-            SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+            SpecializedQuery::compile(&q)
+                .execute(&mut s, &mut stats)
+                .unwrap();
             let mut t = s.relation(DbKind::DeltaNew, rel).unwrap().to_tuples();
             t.sort();
             t
@@ -1229,7 +1282,9 @@ mod tests {
         let q = first_query(&p);
         let mut s = prep(&p, false);
         let mut stats = RunStats::default();
-        SpecializedQuery::compile(&q).execute(&mut s, &mut stats).unwrap();
+        SpecializedQuery::compile(&q)
+            .execute(&mut s, &mut stats)
+            .unwrap();
         // Three bindings project onto two distinct head tuples.
         assert_eq!(stats.tuples_emitted, 3);
         assert_eq!(stats.tuples_inserted, 2);

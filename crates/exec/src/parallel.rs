@@ -115,7 +115,9 @@ mod tests {
     #[test]
     fn parallel_map_balances_uneven_work() {
         // Tasks with wildly different costs still produce ordered output.
-        let items: Vec<u64> = (0..32).map(|i| if i % 7 == 0 { 200_000 } else { 10 }).collect();
+        let items: Vec<u64> = (0..32)
+            .map(|i| if i % 7 == 0 { 200_000 } else { 10 })
+            .collect();
         let sums = parallel_map(8, &items, |&n| (0..n).sum::<u64>());
         let expected: Vec<u64> = items.iter().map(|&n| (0..n).sum()).collect();
         assert_eq!(sums, expected);

@@ -74,6 +74,11 @@ pub struct UpdateStats {
     pub strata_recomputed: u64,
     /// Delta-variant subqueries executed across all update phases.
     pub delta_subqueries: u64,
+    /// Derived relations compacted between batches (tombstones folded
+    /// away, row ids renumbered).  Every compaction bumps the relation's
+    /// generation counter, so holders of old `RowId`s can detect — and the
+    /// storage layer rejects — stale access.
+    pub compactions: u64,
 }
 
 impl UpdateStats {
@@ -90,6 +95,7 @@ impl UpdateStats {
         self.recounted += other.recounted;
         self.strata_recomputed += other.strata_recomputed;
         self.delta_subqueries += other.delta_subqueries;
+        self.compactions += other.compactions;
     }
 }
 
@@ -124,6 +130,11 @@ pub struct RunStats {
     pub compile_events: Vec<CompileEvent>,
     /// Incremental-maintenance counters (zero unless `apply_update` ran).
     pub update: UpdateStats,
+    /// Whether a goal-directed query fell back to full evaluation because
+    /// the magic-set rewrite could not soundly restrict the goal (negated
+    /// or aggregated goal, base facts on the goal, or an all-free pattern).
+    /// Always `false` for ordinary `run()` evaluations.
+    pub magic_fallback: bool,
     /// Total wall-clock execution time (filled by the engine).
     pub total_time: Duration,
 }
@@ -155,6 +166,7 @@ impl RunStats {
         self.compile_events
             .extend(other.compile_events.iter().cloned());
         self.update.merge(&other.update);
+        self.magic_fallback |= other.magic_fallback;
         self.total_time += other.total_time;
     }
 }

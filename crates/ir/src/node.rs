@@ -291,12 +291,16 @@ mod tests {
         let b = leaf(&mut gen);
         let seq = IRNode {
             id: gen.fresh(),
-            op: IROp::Sequence { children: vec![a, b] },
+            op: IROp::Sequence {
+                children: vec![a, b],
+            },
         };
         let target = seq.children()[1].id;
         let root = IRNode {
             id: gen.fresh(),
-            op: IROp::Program { children: vec![seq] },
+            op: IROp::Program {
+                children: vec![seq],
+            },
         };
         assert_eq!(root.node_count(), 4);
         assert!(root.find(target).is_some());

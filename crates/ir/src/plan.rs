@@ -114,8 +114,7 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
             for &rel in &relations {
                 let mut rule_nodes = Vec::new();
                 for rule in rules.iter().filter(|r| r.head.rel == rel) {
-                    let variants =
-                        delta_variants(rule, &relations, strategy, &mut ids);
+                    let variants = delta_variants(rule, &relations, strategy, &mut ids);
                     if variants.is_empty() {
                         continue;
                     }
@@ -313,10 +312,7 @@ mod tests {
 
     #[test]
     fn constraints_survive_plan_generation_and_reordering() {
-        let p = parse(
-            "Out(x, z) :- R(x, y), S(y, z), x < z, y != 3.\n",
-        )
-        .unwrap();
+        let p = parse("Out(x, z) :- R(x, y), S(y, z), x < z, y != 3.\n").unwrap();
         let plan = generate_plan(&p, EvalStrategy::SemiNaive);
         for (_, q) in plan.spj_queries() {
             assert_eq!(q.constraints.len(), 2);
@@ -347,7 +343,11 @@ mod tests {
         });
         assert_eq!(
             order,
-            vec![OpKind::UnionAllRules, OpKind::Aggregate, OpKind::UnionAllRules]
+            vec![
+                OpKind::UnionAllRules,
+                OpKind::Aggregate,
+                OpKind::UnionAllRules
+            ]
         );
     }
 

@@ -103,11 +103,7 @@ pub fn render_query(query: &ConjunctiveQuery, program: &Program) -> String {
             .collect();
         body = format!("{body} σ[{}]", constraints.join(", "));
     }
-    format!(
-        "σπ[{}] ← {}",
-        program.relation(query.head_rel).name,
-        body
-    )
+    format!("σπ[{}] ← {}", program.relation(query.head_rel).name, body)
 }
 
 #[cfg(test)]

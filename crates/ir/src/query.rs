@@ -142,9 +142,7 @@ impl ConjunctiveQuery {
         let mut bound: Vec<bool> = vec![false; self.num_vars];
         for (i, atom) in self.atoms.iter().enumerate() {
             if i > 0 {
-                let shares = atom
-                    .variable_columns()
-                    .any(|(_, v)| bound[v.index()]);
+                let shares = atom.variable_columns().any(|(_, v)| bound[v.index()]);
                 let has_constant = atom.constant_columns().next().is_some();
                 if !shares && !has_constant {
                     return true;
@@ -228,7 +226,10 @@ mod tests {
         b.relation("Call", 2);
         b.relation("Out", 1);
         b.rule("Out", &[carac_datalog::builder::v("x")])
-            .when("Call", &[carac_datalog::builder::v("x"), carac_datalog::builder::c(9)])
+            .when(
+                "Call",
+                &[carac_datalog::builder::v("x"), carac_datalog::builder::c(9)],
+            )
             .end();
         let p = b.build().unwrap();
         let q = ConjunctiveQuery::from_rule(&p.rules()[0], None);

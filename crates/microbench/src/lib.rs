@@ -145,7 +145,12 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-fn run_benchmark(id: &str, sample_size: usize, measurement_time: Duration, mut f: impl FnMut(&mut Bencher)) {
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
@@ -197,7 +202,9 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(100));
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(100));
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
     }
 
@@ -205,7 +212,9 @@ mod tests {
     fn group_settings_chain() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(2).measurement_time(Duration::from_millis(10));
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
         group.bench_function("fast", |b| b.iter(|| black_box(42)));
         group.finish();
     }

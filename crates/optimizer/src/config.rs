@@ -45,6 +45,14 @@ pub struct OptimizerConfig {
     /// filters are far less selective than equality probes, hence the
     /// milder default.
     pub comparison_selectivity: f64,
+    /// Multiplicative bonus applied to magic predicates (the `m__...`
+    /// demand guards produced by the magic-set rewrite).  Magic relations
+    /// hold the set of *demanded* bindings — typically a handful of tuples
+    /// against the thousands of a base relation — and every adorned rule is
+    /// correct only as a guarded derivation, so the model scores them as
+    /// highly selective to keep the guard early in every reordered
+    /// pipeline.
+    pub magic_selectivity: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -58,6 +66,7 @@ impl Default for OptimizerConfig {
             unknown_idb_cardinality: None,
             freshness_threshold: 0.2,
             comparison_selectivity: 0.5,
+            magic_selectivity: 0.05,
         }
     }
 }

@@ -27,6 +27,9 @@ pub struct OptimizeContext {
     /// pipeline estimator discounts the driving scan by the achievable
     /// shard-parallel speedup.
     pub parallelism: usize,
+    /// Magic predicates of a goal-directed (magic-set rewritten) program:
+    /// demand guards the cost model scores as high-selectivity.
+    pub magic: FxHashSet<RelId>,
 }
 
 impl OptimizeContext {
@@ -63,6 +66,17 @@ impl OptimizeContext {
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
         self
+    }
+
+    /// Marks the magic (demand-guard) predicates of a rewritten program.
+    pub fn with_magic(mut self, magic: FxHashSet<RelId>) -> Self {
+        self.magic = magic;
+        self
+    }
+
+    /// Whether `rel` is a magic predicate.
+    pub fn is_magic(&self, rel: RelId) -> bool {
+        self.magic.contains(&rel)
     }
 
     /// Whether `rel` is known to be intensional.
@@ -145,7 +159,13 @@ mod tests {
 
     #[test]
     fn parallelism_clamps_to_serial() {
-        assert_eq!(OptimizeContext::default().with_parallelism(0).parallelism, 1);
-        assert_eq!(OptimizeContext::default().with_parallelism(6).parallelism, 6);
+        assert_eq!(
+            OptimizeContext::default().with_parallelism(0).parallelism,
+            1
+        );
+        assert_eq!(
+            OptimizeContext::default().with_parallelism(6).parallelism,
+            6
+        );
     }
 }

@@ -92,12 +92,17 @@ pub fn atom_score(
 
     // A composite index covering two or more bound columns resolves them in
     // one hash probe and beats any single-column access path.
-    if constrained_columns.len() >= 2
-        && ctx.has_composite_covering(atom.rel, &constrained_columns)
+    if constrained_columns.len() >= 2 && ctx.has_composite_covering(atom.rel, &constrained_columns)
     {
         score *= config.composite_index_benefit;
     } else if usable_index {
         score *= config.index_benefit;
+    }
+    // Magic predicates are demand guards: tiny by construction and the
+    // reason the adorned rules are cheap at all, so keep them early in any
+    // reordering the adaptive optimizer applies.
+    if ctx.is_magic(atom.rel) {
+        score *= config.magic_selectivity;
     }
     score
 }

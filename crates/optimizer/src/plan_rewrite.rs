@@ -143,7 +143,11 @@ mod tests {
             ReorderAlgorithm::Greedy,
         );
         let target_node = plan.find(target).unwrap();
-        let target_spjs: Vec<_> = target_node.spj_queries().iter().map(|(id, _)| *id).collect();
+        let target_spjs: Vec<_> = target_node
+            .spj_queries()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         for (id, atoms) in before {
             let now = plan
                 .spj_queries()

@@ -268,10 +268,26 @@ mod tests {
         let stats = || {
             StatsSnapshot::from_stats(
                 vec![
-                    RelationStats { derived: 10, delta_known: 0, ..Default::default() },
-                    RelationStats { derived: 50, delta_known: 0, ..Default::default() },
-                    RelationStats { derived: 1_000, delta_known: 0, ..Default::default() },
-                    RelationStats { derived: 1_000, delta_known: 0, ..Default::default() },
+                    RelationStats {
+                        derived: 10,
+                        delta_known: 0,
+                        ..Default::default()
+                    },
+                    RelationStats {
+                        derived: 50,
+                        delta_known: 0,
+                        ..Default::default()
+                    },
+                    RelationStats {
+                        derived: 1_000,
+                        delta_known: 0,
+                        ..Default::default()
+                    },
+                    RelationStats {
+                        derived: 1_000,
+                        delta_known: 0,
+                        ..Default::default()
+                    },
                     RelationStats::default(),
                 ],
                 1,
@@ -288,7 +304,10 @@ mod tests {
         let plain = OptimizeContext::stats_only(stats());
         let order = greedy_order(&q, &plain, &OptimizerConfig::default());
         let (pos_sg, pos_aux) = positions(&order);
-        assert!(pos_aux < pos_sg, "tie should keep written order ({order:?})");
+        assert!(
+            pos_aux < pos_sg,
+            "tie should keep written order ({order:?})"
+        );
 
         // With it, the composite probe wins the tie.
         let mut composite = carac_storage::hasher::FxHashSet::default();
@@ -320,7 +339,10 @@ mod tests {
         let q = carac_ir::ConjunctiveQuery::from_rule(&p.rules()[0], None);
         let ctx = ctx((100, 0), (100, 0));
         let order = greedy_order(&q, &ctx, &OptimizerConfig::default());
-        assert_eq!(order[0], 1, "constrained B should open the join ({order:?})");
+        assert_eq!(
+            order[0], 1,
+            "constrained B should open the join ({order:?})"
+        );
 
         // Without the constraint the written order is kept.
         let mut unconstrained = q.clone();

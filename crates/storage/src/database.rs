@@ -183,8 +183,12 @@ impl StorageManager {
         if !self.use_indexes {
             return Ok(());
         }
-        self.derived.relation_mut(rel)?.add_composite_index(columns)?;
-        self.delta_known.relation_mut(rel)?.add_composite_index(columns)?;
+        self.derived
+            .relation_mut(rel)?
+            .add_composite_index(columns)?;
+        self.delta_known
+            .relation_mut(rel)?
+            .add_composite_index(columns)?;
         Ok(())
     }
 
@@ -197,7 +201,11 @@ impl StorageManager {
     /// lookups and insertion order are unaffected, so serial evaluation on a
     /// sharded manager is identical to evaluation on an unsharded one.
     pub fn set_sharding(&mut self, shard_count: usize) -> Result<()> {
-        for db in [&mut self.derived, &mut self.delta_known, &mut self.delta_new] {
+        for db in [
+            &mut self.derived,
+            &mut self.delta_known,
+            &mut self.delta_new,
+        ] {
             for schema in &self.schemas {
                 if schema.arity == 0 {
                     continue;
@@ -419,8 +427,7 @@ impl StorageManager {
             }
             is_agg[col] = true;
         }
-        let group_cols: Vec<usize> =
-            (0..arity).filter(|&c| !is_agg[c]).collect();
+        let group_cols: Vec<usize> = (0..arity).filter(|&c| !is_agg[c]).collect();
 
         // Group rows by the hash of their group-key columns; buckets confirm
         // by full-key equality, so hash collisions stay correct.
@@ -436,8 +443,10 @@ impl StorageManager {
             let slot = match bucket.iter().position(|(k, _)| k == &key_buf) {
                 Some(i) => i,
                 None => {
-                    let accs: Vec<u64> =
-                        aggs.iter().map(|&(_, f): &(usize, AggFunc)| f.init()).collect();
+                    let accs: Vec<u64> = aggs
+                        .iter()
+                        .map(|&(_, f): &(usize, AggFunc)| f.init())
+                        .collect();
                     bucket.push((key_buf.clone(), accs));
                     order.push((hash, bucket.len() - 1));
                     bucket.len() - 1
@@ -470,12 +479,25 @@ impl StorageManager {
         Ok((emitted, inserted))
     }
 
+    /// The compaction generation of `rel`'s derived row pool (see
+    /// [`Relation::generation`]): callers holding [`crate::RowId`]s across
+    /// statements snapshot this and validate it on re-access
+    /// ([`Relation::row_checked`]) so a [`StorageManager::compact_derived`]
+    /// in between surfaces as a typed [`StorageError::StaleRowId`] instead
+    /// of wrong rows.
+    pub fn derived_generation(&self, rel: RelId) -> Result<u64> {
+        Ok(self.derived.relation(rel)?.generation())
+    }
+
     /// Compacts every derived relation whose tombstone count warrants it
     /// (more dead slots than live rows, with a small absolute floor so tiny
-    /// relations never bother).  Returns the number of relations compacted.
-    /// Only safe at points where no [`crate::RowId`] into the derived
-    /// database is held across the call — the incremental engine invokes
-    /// this between update batches.
+    /// relations never bother).  Returns the number of relations compacted;
+    /// each compaction bumps that relation's generation counter
+    /// ([`StorageManager::derived_generation`]), so stale-id access is
+    /// detectable.  Only safe at points where no [`crate::RowId`] into the
+    /// derived database is held across the call — the incremental engine
+    /// invokes this between update batches, after every watermark and
+    /// candidate set of the batch has been consumed.
     pub fn compact_derived(&mut self) -> usize {
         let mut compacted = 0;
         for schema in &self.schemas {
@@ -503,7 +525,10 @@ impl StorageManager {
             .into_iter()
             .flat_map(Database::relations)
             .map(Relation::pool_stats)
-            .fold(crate::pool::PoolStats::default(), crate::pool::PoolStats::merge)
+            .fold(
+                crate::pool::PoolStats::default(),
+                crate::pool::PoolStats::merge,
+            )
     }
 
     /// Total number of derived tuples across all relations (used by tests
@@ -611,7 +636,10 @@ mod tests {
         assert_eq!(derived.support_of(row), 2);
         // A re-derivation after the merge bumps the derived copy.
         assert!(!sm.insert_derived(path, Tuple::pair(1, 2)).unwrap());
-        assert_eq!(sm.relation(DbKind::Derived, path).unwrap().support_of(row), 3);
+        assert_eq!(
+            sm.relation(DbKind::Derived, path).unwrap().support_of(row),
+            3
+        );
     }
 
     #[test]
@@ -636,18 +664,12 @@ mod tests {
         let mut sm = StorageManager::new(false);
         let edge = sm.register("Edge", 2, true);
         sm.add_index(edge, 0).unwrap();
-        assert!(!sm
-            .relation(DbKind::Derived, edge)
-            .unwrap()
-            .has_index(0));
+        assert!(!sm.relation(DbKind::Derived, edge).unwrap().has_index(0));
 
         let mut sm_on = StorageManager::new(true);
         let edge = sm_on.register("Edge", 2, true);
         sm_on.add_index(edge, 0).unwrap();
-        assert!(sm_on
-            .relation(DbKind::Derived, edge)
-            .unwrap()
-            .has_index(0));
+        assert!(sm_on.relation(DbKind::Derived, edge).unwrap().has_index(0));
     }
 
     #[test]

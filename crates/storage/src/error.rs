@@ -39,6 +39,20 @@ pub enum StorageError {
         /// Description of the operation that failed.
         context: String,
     },
+    /// A [`RowId`](crate::RowId) obtained under an earlier compaction
+    /// generation was dereferenced after the pool renumbered its rows:
+    /// the slot may now hold a different row (or none), so access is
+    /// rejected instead of returning wrong data.
+    StaleRowId {
+        /// Relation on which the stale access happened.
+        relation: String,
+        /// The stale row id.
+        row: u32,
+        /// Generation the id was obtained under.
+        held: u64,
+        /// The pool's current generation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +81,16 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch { context } => {
                 write!(f, "schema mismatch: {context}")
             }
+            StorageError::StaleRowId {
+                relation,
+                row,
+                held,
+                current,
+            } => write!(
+                f,
+                "stale row id {row} on relation `{relation}`: obtained under compaction \
+                 generation {held}, pool is now at generation {current}"
+            ),
         }
     }
 }

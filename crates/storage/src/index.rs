@@ -106,7 +106,11 @@ impl ColumnIndex {
     pub fn resident_bytes(&self) -> usize {
         let bucket = std::mem::size_of::<Value>() + std::mem::size_of::<PostingList>();
         self.entries.capacity() * bucket
-            + self.entries.values().map(PostingList::heap_bytes).sum::<usize>()
+            + self
+                .entries
+                .values()
+                .map(PostingList::heap_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -244,7 +248,11 @@ impl CompositeIndex {
     pub fn resident_bytes(&self) -> usize {
         let bucket = std::mem::size_of::<u64>() + std::mem::size_of::<PostingList>();
         self.entries.capacity() * bucket
-            + self.entries.values().map(PostingList::heap_bytes).sum::<usize>()
+            + self
+                .entries
+                .values()
+                .map(PostingList::heap_bytes)
+                .sum::<usize>()
     }
 }
 

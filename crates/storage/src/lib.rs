@@ -47,7 +47,7 @@ pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
 pub use index::{ColumnIndex, CompositeIndex};
 pub use ops::{AggFunc, CmpOp, DeltaSign};
-pub use pool::{PoolStats, PostingList, RowId, RowPool};
+pub use pool::{PoolStats, PostingList, RowId, RowPool, SUPPORT_SATURATED};
 pub use relation::{ProbeIter, ProbeRows, Relation};
 pub use schema::{RelId, RelationSchema};
 pub use stats::{RelationStats, StatsSnapshot};

@@ -156,12 +156,8 @@ impl AggFunc {
     #[inline]
     pub fn finish(self, acc: u64) -> Value {
         match self {
-            AggFunc::Count | AggFunc::Sum => {
-                Value(acc.min((Value::SYMBOL_BASE - 1) as u64) as u32)
-            }
-            AggFunc::Min | AggFunc::Max => {
-                Value(acc.min(u32::MAX as u64) as u32)
-            }
+            AggFunc::Count | AggFunc::Sum => Value(acc.min((Value::SYMBOL_BASE - 1) as u64) as u32),
+            AggFunc::Min | AggFunc::Max => Value(acc.min(u32::MAX as u64) as u32),
         }
     }
 }
@@ -225,12 +221,7 @@ pub fn project(input: &[Tuple], columns: &[usize]) -> Vec<Tuple> {
 /// The output tuples are the concatenation of the left tuple and the right
 /// tuple (no column elimination); use [`project`] afterwards to shape the
 /// result.  The smaller side is used as the build side.
-pub fn hash_join(
-    left: &[Tuple],
-    right: &[Tuple],
-    left_col: usize,
-    right_col: usize,
-) -> Vec<Tuple> {
+pub fn hash_join(left: &[Tuple], right: &[Tuple], left_col: usize, right_col: usize) -> Vec<Tuple> {
     // Build on the smaller input to bound the hash table size.
     if right.len() < left.len() {
         let swapped = hash_join(right, left, right_col, left_col);
@@ -253,7 +244,9 @@ pub fn hash_join(
     }
     let mut out = Vec::new();
     for r in right {
-        let Some(key) = r.get(right_col) else { continue };
+        let Some(key) = r.get(right_col) else {
+            continue;
+        };
         if let Some(matches) = table.get(&key) {
             for l in matches {
                 out.push(l.concat(r));
@@ -317,7 +310,14 @@ mod tests {
         assert!(CmpOp::Ge.eval(b, b));
         assert!(CmpOp::Eq.eval(a, a));
         assert!(CmpOp::Ne.eval(a, b));
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.eval(a, b), op.flip().eval(b, a));
             assert_eq!(AggFunc::from_name(op.symbol()), None);
         }
@@ -370,7 +370,11 @@ mod tests {
     #[test]
     fn hash_join_matches_nested_loop() {
         let left = vec![Tuple::pair(1, 10), Tuple::pair(2, 20), Tuple::pair(3, 10)];
-        let right = vec![Tuple::pair(10, 100), Tuple::pair(10, 200), Tuple::pair(20, 300)];
+        let right = vec![
+            Tuple::pair(10, 100),
+            Tuple::pair(10, 200),
+            Tuple::pair(20, 300),
+        ];
         let mut joined = hash_join(&left, &right, 1, 0);
         let mut expected = Vec::new();
         for l in &left {
@@ -410,7 +414,11 @@ mod tests {
     #[test]
     fn cartesian_product_sizes_multiply() {
         let left = vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])];
-        let right = vec![Tuple::from_ints(&[3]), Tuple::from_ints(&[4]), Tuple::from_ints(&[5])];
+        let right = vec![
+            Tuple::from_ints(&[3]),
+            Tuple::from_ints(&[4]),
+            Tuple::from_ints(&[5]),
+        ];
         assert_eq!(cartesian_product(&left, &right).len(), 6);
     }
 

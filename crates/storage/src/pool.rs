@@ -77,6 +77,16 @@ pub fn shard_of_hash(value_hash: u64, shard_count: usize) -> usize {
     ((value_hash >> 7) % shard_count as u64) as usize
 }
 
+/// Sentinel support count marking a row whose true derivation count
+/// overflowed the `u32` range at some point.  The sentinel is **sticky**:
+/// once a row saturates, [`RowPool::add_support`] and
+/// [`RowPool::sub_support`] leave it saturated — the stored number no longer
+/// tracks the true count, so decrementing it would fabricate a bound the
+/// pool cannot justify.  Consumers (the incremental engine's counted
+/// deletion) must treat saturated rows as "count unknown" and take the
+/// exact-recount path instead of trusting the stored value.
+pub const SUPPORT_SATURATED: u32 = u32::MAX;
+
 /// Number of row ids a [`PostingList`] holds without spilling to the heap.
 ///
 /// Chosen so the inline variant is no larger than the spilled one (a `Vec`
@@ -262,6 +272,12 @@ pub struct RowPool {
     overflow: FxHashMap<u64, Vec<RowId>>,
     /// Lifetime count of dedup-table growth events.
     rehashes: u64,
+    /// Compaction generation: incremented every time [`RowPool::compact`]
+    /// renumbers rows.  [`RowId`]s are only meaningful together with the
+    /// generation they were obtained under; holders compare generations to
+    /// detect (and reject) stale ids instead of silently reading whatever
+    /// row now occupies the slot.
+    generation: u64,
 }
 
 impl RowPool {
@@ -277,7 +293,16 @@ impl RowPool {
             dedup: FxHashMap::default(),
             overflow: FxHashMap::default(),
             rehashes: 0,
+            generation: 0,
         }
+    }
+
+    /// The pool's compaction generation: bumped whenever a
+    /// [`RowPool::compact`] renumbers row ids.  A [`RowId`] obtained under
+    /// one generation must not be dereferenced under another.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Row stride.
@@ -350,20 +375,39 @@ impl RowPool {
         self.support[row as usize] = count;
     }
 
-    /// Adds `n` derivations to row `row`'s support count (saturating).
+    /// Adds `n` derivations to row `row`'s support count.  Counts that
+    /// would reach or exceed [`SUPPORT_SATURATED`] stick at the sentinel:
+    /// the row's true count is no longer representable, and pretending the
+    /// clamped value were exact would silently break the counted-deletion
+    /// invariant (`stored <= true derivations` must never flip through a
+    /// sequence of saturated adds and exact subtracts being trusted as a
+    /// survivor proof).
     #[inline]
     pub fn add_support(&mut self, row: RowId, n: u32) {
         let slot = &mut self.support[row as usize];
-        *slot = slot.saturating_add(n);
+        *slot = match slot.checked_add(n) {
+            Some(v) if v < SUPPORT_SATURATED => v,
+            _ => SUPPORT_SATURATED,
+        };
     }
 
     /// Removes `n` derivations from row `row`'s support count (saturating at
-    /// zero) and returns the new count.
+    /// zero) and returns the new count.  A saturated row stays saturated —
+    /// see [`SUPPORT_SATURATED`].
     #[inline]
     pub fn sub_support(&mut self, row: RowId, n: u32) -> u32 {
         let slot = &mut self.support[row as usize];
-        *slot = slot.saturating_sub(n);
+        if *slot != SUPPORT_SATURATED {
+            *slot = slot.saturating_sub(n);
+        }
         *slot
+    }
+
+    /// Whether row `row`'s support count has overflowed and is therefore
+    /// unusable as a derivation count (see [`SUPPORT_SATURATED`]).
+    #[inline]
+    pub fn support_saturated(&self, row: RowId) -> bool {
+        self.support[row as usize] == SUPPORT_SATURATED
     }
 
     /// Iterator over all live rows in insertion order.
@@ -421,7 +465,30 @@ impl RowPool {
     /// caller): the slot keeps its id, hash and values, but the row leaves
     /// the dedup table, the length and all iteration.  Returns the retracted
     /// row's id, or `None` when no equal live row exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hash` is not the row hash of `values`.  The hash keys
+    /// the dedup table, so a mismatched pair would unlink the wrong bucket
+    /// and corrupt membership silently; the public entry validates
+    /// unconditionally (release builds included).  The storage crate's own
+    /// retained-hash paths go through the unchecked internal variant —
+    /// their hashes come from the pool itself and never rehash.
     pub fn retract_hashed(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
+        assert_eq!(
+            hash,
+            row_hash(values),
+            "caller-supplied row hash does not match the row values; \
+             refusing to corrupt the dedup table"
+        );
+        self.retract_hashed_retained(values, hash)
+    }
+
+    /// [`RowPool::retract_hashed`] without the always-on validation:
+    /// crate-internal paths whose hashes are retained pool hashes (merge,
+    /// compaction, the relation's single-pass fold) use this to keep the
+    /// never-rehash guarantee.
+    pub(crate) fn retract_hashed_retained(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
         debug_assert_eq!(hash, row_hash(values), "caller-supplied hash mismatch");
         let row = self.find_hashed(values, hash)?;
         // Unlink from the dedup table, promoting a colliding overflow row
@@ -465,13 +532,39 @@ impl RowPool {
         self.insert_hashed(values, row_hash(values))
     }
 
-    /// [`RowPool::insert`] with the row hash precomputed by the caller —
-    /// the merge path ([`Relation::union_in_place`]) feeds retained hashes
-    /// through here so iteration boundaries never rehash a row.
+    /// [`RowPool::insert`] with the row hash precomputed by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hash` is not the row hash of `values`: a mismatched
+    /// pair would register the row under a key no lookup ever computes,
+    /// silently breaking deduplication (rows stored twice, membership tests
+    /// lying) — exactly the corruption a `debug_assert` used to let through
+    /// in release builds.  The validation is unconditional here; the
+    /// crate-internal merge path ([`Relation::union_in_place`]) goes
+    /// through the unchecked variant with hashes retained by the pool
+    /// itself, so iteration boundaries still never rehash a row.
     ///
     /// [`Relation::union_in_place`]: crate::relation::Relation::union_in_place
     pub fn insert_hashed(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
-        debug_assert_eq!(values.len(), self.arity, "row width must match the pool stride");
+        assert_eq!(
+            hash,
+            row_hash(values),
+            "caller-supplied row hash does not match the row values; \
+             refusing to corrupt the dedup table"
+        );
+        self.insert_hashed_retained(values, hash)
+    }
+
+    /// [`RowPool::insert_hashed`] without the always-on validation — the
+    /// crate-internal fast path for hashes the storage layer computed or
+    /// retained itself.
+    pub(crate) fn insert_hashed_retained(&mut self, values: &[Value], hash: u64) -> Option<RowId> {
+        debug_assert_eq!(
+            values.len(),
+            self.arity,
+            "row width must match the pool stride"
+        );
         debug_assert_eq!(hash, row_hash(values), "caller-supplied hash mismatch");
         assert!(
             self.hashes.len() < RowId::MAX as usize,
@@ -561,6 +654,9 @@ impl RowPool {
         self.support = support;
         self.dead.clear();
         self.dead_count = 0;
+        // Ids moved: everything holding a RowId into this pool is now
+        // stale, observable through the generation counter.
+        self.generation += 1;
         true
     }
 
@@ -780,6 +876,75 @@ mod tests {
         assert_eq!(pool.sub_support(row, 10), 0); // saturates
         pool.set_support(row, 7);
         assert_eq!(pool.support_of(row), 7);
+    }
+
+    #[test]
+    fn support_saturation_is_sticky_and_forces_unknown() {
+        // Regression: support counts used to saturate silently at u32::MAX
+        // with `saturating_add`/`saturating_sub`.  A saturated row whose
+        // true count exceeded u32::MAX could then be decremented to a
+        // positive stored count and pass as a "survivor" in counted
+        // deletion even when its true count had reached zero.  The sentinel
+        // is sticky: adds and subs leave it in place, and consumers are
+        // told the count is unknown.
+        let mut pool = RowPool::new(1);
+        let row = pool.insert(&vals(&[1])).unwrap();
+        assert!(!pool.support_saturated(row));
+        pool.set_support(row, SUPPORT_SATURATED - 2);
+        pool.add_support(row, 1);
+        assert!(!pool.support_saturated(row)); // MAX-1 is still exact
+        pool.add_support(row, 1);
+        assert!(pool.support_saturated(row)); // reached the sentinel
+                                              // Sticky under both directions.
+        assert_eq!(pool.sub_support(row, 1_000), SUPPORT_SATURATED);
+        assert!(pool.support_saturated(row));
+        pool.add_support(row, 7);
+        assert!(pool.support_saturated(row));
+        // An exact overwrite clears the sentinel.
+        pool.set_support(row, 3);
+        assert!(!pool.support_saturated(row));
+        assert_eq!(pool.sub_support(row, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to corrupt the dedup table")]
+    fn insert_hashed_rejects_mismatched_hashes() {
+        // Regression: a mismatched caller-supplied hash was only caught by
+        // a debug_assert, so release builds registered the row under a key
+        // no lookup computes — rows stored twice, membership tests lying.
+        let mut pool = RowPool::new(2);
+        pool.insert_hashed(&vals(&[1, 2]), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to corrupt the dedup table")]
+    fn retract_hashed_rejects_mismatched_hashes() {
+        let mut pool = RowPool::new(2);
+        pool.insert(&vals(&[1, 2]));
+        pool.retract_hashed(&vals(&[1, 2]), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn insert_hashed_accepts_correct_hashes() {
+        let mut pool = RowPool::new(2);
+        let row = vals(&[3, 4]);
+        assert_eq!(pool.insert_hashed(&row, row_hash(&row)), Some(0));
+        assert_eq!(pool.retract_hashed(&row, row_hash(&row)), Some(0));
+    }
+
+    #[test]
+    fn compaction_bumps_the_generation() {
+        let mut pool = RowPool::new(1);
+        assert_eq!(pool.generation(), 0);
+        for i in 0..10u32 {
+            pool.insert(&vals(&[i]));
+        }
+        pool.retract_hashed(&vals(&[3]), row_hash(&vals(&[3])));
+        assert_eq!(pool.generation(), 0); // retraction alone moves no ids
+        assert!(pool.compact());
+        assert_eq!(pool.generation(), 1);
+        assert!(!pool.compact()); // nothing dead: no-op, no bump
+        assert_eq!(pool.generation(), 1);
     }
 
     #[test]

@@ -286,7 +286,10 @@ impl Relation {
 
     /// The column sets currently covered by composite indexes.
     pub fn composite_indexed_columns(&self) -> Vec<Vec<usize>> {
-        self.composites.iter().map(|ix| ix.columns().to_vec()).collect()
+        self.composites
+            .iter()
+            .map(|ix| ix.columns().to_vec())
+            .collect()
     }
 
     /// Whether a composite index over exactly `columns` (order-insensitive)
@@ -400,8 +403,17 @@ impl Relation {
     }
 
     #[inline]
-    fn insert_prehashed_row(&mut self, values: &[Value], hash: u64, key_unit: u64) -> Option<RowId> {
-        let row = self.pool.insert_hashed(values, hash)?;
+    fn insert_prehashed_row(
+        &mut self,
+        values: &[Value],
+        hash: u64,
+        key_unit: u64,
+    ) -> Option<RowId> {
+        // Retained-hash fast path: every hash reaching here was computed by
+        // this crate (the single-pass insert fold) or retained by a pool
+        // (merge, derived-insert), so the public always-on validation is
+        // skipped and iteration boundaries never rehash a row.
+        let row = self.pool.insert_hashed_retained(values, hash)?;
         for index in &mut self.indexes {
             index.insert(values, row);
         }
@@ -434,7 +446,7 @@ impl Relation {
             });
         }
         let hash = crate::pool::row_hash(values);
-        let Some(row) = self.pool.retract_hashed(values, hash) else {
+        let Some(row) = self.pool.retract_hashed_retained(values, hash) else {
             return Ok(false);
         };
         for index in &mut self.indexes {
@@ -487,10 +499,47 @@ impl Relation {
         self.pool.sub_support(row, n)
     }
 
+    /// Whether row `row`'s support count has overflowed and is unusable as
+    /// a derivation count (see [`crate::pool::SUPPORT_SATURATED`]): the
+    /// signal for consumers to take an exact-recount path instead of
+    /// trusting the stored value.
+    #[inline]
+    pub fn support_saturated(&self, row: RowId) -> bool {
+        self.pool.support_saturated(row)
+    }
+
     /// Whether the slot `row` holds a live (non-retracted) row.
     #[inline]
     pub fn is_live(&self, row: RowId) -> bool {
         self.pool.is_live(row)
+    }
+
+    /// The compaction generation of this relation's row pool.  [`RowId`]s
+    /// handed out by probes and lookups are only meaningful under the
+    /// generation current at that moment; [`Relation::compact`] bumps it.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.pool.generation()
+    }
+
+    /// The values of row `row`, validated against the compaction
+    /// `generation` the id was obtained under.  Unlike [`Relation::row`] —
+    /// which trusts the caller and, after a compaction, would silently
+    /// return whatever row was renumbered into the slot — this returns a
+    /// typed [`StorageError::StaleRowId`] when the generation has moved on,
+    /// when the slot was never allocated, or when the row was retracted in
+    /// the meantime.
+    pub fn row_checked(&self, row: RowId, generation: u64) -> Result<&[Value]> {
+        let current = self.pool.generation();
+        if generation != current || (row as usize) >= self.pool.slots() || !self.pool.is_live(row) {
+            return Err(StorageError::StaleRowId {
+                relation: self.schema.name.clone(),
+                row,
+                held: generation,
+                current,
+            });
+        }
+        Ok(self.pool.row(row))
     }
 
     /// Number of row slots ever allocated (including tombstoned ones) — the
@@ -587,11 +636,9 @@ impl Relation {
                 .copied()
                 .filter(|&row| {
                     let values = self.pool.row(row);
-                    best.columns().iter().all(|&c| {
-                        filters
-                            .iter()
-                            .any(|&(col, v)| col == c && values[c] == v)
-                    })
+                    best.columns()
+                        .iter()
+                        .all(|&c| filters.iter().any(|&(col, v)| col == c && values[c] == v))
                 })
                 .collect(),
         )
@@ -1183,6 +1230,52 @@ mod tests {
     }
 
     #[test]
+    fn row_checked_rejects_ids_across_compaction() {
+        // Regression: compaction renumbers RowIds; a holder re-reading a
+        // pre-compaction id through `row()` silently gets whatever row now
+        // occupies the slot.  The generation-checked accessor turns that
+        // into a typed error.
+        let mut r = Relation::new(edge_schema());
+        for i in 0..10u32 {
+            r.insert(Tuple::pair(i, i)).unwrap();
+        }
+        let generation = r.generation();
+        // Hold the id of row (9, 9), then retract everything before it.
+        let held = r.lookup_rows(0, Value::int(9))[0];
+        assert_eq!(
+            r.row_checked(held, generation).unwrap(),
+            &[Value::int(9), Value::int(9)]
+        );
+        for i in 0..9u32 {
+            r.retract(&Tuple::pair(i, i)).unwrap();
+        }
+        r.compact();
+        // The unchecked accessor would now hand back (9, 9) under id 0 and
+        // whatever garbage `held` points at is out of bounds or wrong; the
+        // checked accessor reports staleness instead.
+        let err = r.row_checked(held, generation).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::StaleRowId {
+                held: 0,
+                current: 1,
+                ..
+            }
+        ));
+        // Fresh ids under the new generation validate fine.
+        let fresh = r.lookup_rows(0, Value::int(9))[0];
+        assert_eq!(
+            r.row_checked(fresh, r.generation()).unwrap(),
+            &[Value::int(9), Value::int(9)]
+        );
+        // Retracted-but-not-compacted slots are rejected too.
+        r.insert(Tuple::pair(1, 2)).unwrap();
+        let id = r.lookup_rows(0, Value::int(1))[0];
+        r.retract(&Tuple::pair(1, 2)).unwrap();
+        assert!(r.row_checked(id, r.generation()).is_err());
+    }
+
+    #[test]
     fn union_in_place_transfers_support() {
         let mut a = Relation::new(edge_schema());
         let mut b = Relation::new(edge_schema());
@@ -1193,11 +1286,12 @@ mod tests {
         b.set_support(1, 5);
         a.union_in_place(&b).unwrap();
         assert_eq!(a.support_of(0), 4); // 3 + 1 from b's copy
-        let new_row = a.find_row_hashed(
-            &[Value::int(3), Value::int(4)],
-            crate::pool::row_hash(&[Value::int(3), Value::int(4)]),
-        )
-        .unwrap();
+        let new_row = a
+            .find_row_hashed(
+                &[Value::int(3), Value::int(4)],
+                crate::pool::row_hash(&[Value::int(3), Value::int(4)]),
+            )
+            .unwrap();
         assert_eq!(a.support_of(new_row), 5); // carried over
     }
 

@@ -149,11 +149,7 @@ impl StatsSnapshot {
             for db in [DbKind::Derived, DbKind::DeltaKnown] {
                 let o = old.for_db(db) as f64;
                 let nw = new.for_db(db) as f64;
-                let change = if o == 0.0 {
-                    nw
-                } else {
-                    ((nw - o) / o).abs()
-                };
+                let change = if o == 0.0 { nw } else { ((nw - o) / o).abs() };
                 if change > max_change {
                     max_change = change;
                 }

@@ -163,7 +163,10 @@ impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Instr::OpenScan {
-                slot, rel, db, filters,
+                slot,
+                rel,
+                db,
+                filters,
             } => write!(f, "open   s{} {rel:?}/{db:?} filters={filters:?}", slot.0),
             Instr::Advance {
                 slot,
@@ -178,18 +181,28 @@ impl fmt::Display for Instr {
                 write!(f, "eq?    r{} r{} else->{}", a.0, b.0, on_mismatch.0)
             }
             Instr::RequireCmp {
-                op, a, b, on_mismatch,
+                op,
+                a,
+                b,
+                on_mismatch,
             } => write!(
                 f,
                 "cmp?   {a:?} {} {b:?} else->{}",
                 op.symbol(),
                 on_mismatch.0
             ),
-            Instr::Aggregate { input, output, aggs } => {
+            Instr::Aggregate {
+                input,
+                output,
+                aggs,
+            } => {
                 write!(f, "agg    {input:?} -> {output:?} {aggs:?}")
             }
             Instr::NegCheck {
-                rel, db, filters, on_found,
+                rel,
+                db,
+                filters,
+                on_found,
             } => write!(
                 f,
                 "neg?   {rel:?}/{db:?} filters={filters:?} found->{}",

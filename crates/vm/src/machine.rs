@@ -221,7 +221,12 @@ impl Machine {
                         continue;
                     }
                 }
-                Instr::RequireCmp { op, a, b, on_mismatch } => {
+                Instr::RequireCmp {
+                    op,
+                    a,
+                    b,
+                    on_mismatch,
+                } => {
                     let left = self.filter_value(a)?;
                     let right = self.filter_value(b)?;
                     if !op.eval(left, right) {
@@ -229,9 +234,12 @@ impl Machine {
                         continue;
                     }
                 }
-                Instr::Aggregate { input, output, aggs } => {
-                    let (emitted, inserted) =
-                        storage.aggregate_into(*input, *output, aggs)?;
+                Instr::Aggregate {
+                    input,
+                    output,
+                    aggs,
+                } => {
+                    let (emitted, inserted) = storage.aggregate_into(*input, *output, aggs)?;
                     stats.emitted += emitted;
                     stats.inserted += inserted;
                 }
@@ -451,7 +459,9 @@ mod tests {
 
         let mut with_index = storage_for(&p, true);
         // Request an index on the join column.
-        with_index.add_index(p.relation_by_name("Edge").unwrap(), 1).unwrap();
+        with_index
+            .add_index(p.relation_by_name("Edge").unwrap(), 1)
+            .unwrap();
         with_index.add_index(path, 0).unwrap();
         Machine::for_program(&program)
             .run(&program, &mut with_index)
@@ -590,10 +600,7 @@ mod tests {
         let stats = machine.run(&program, &mut storage).unwrap();
         assert_eq!(stats.inserted, 1);
         let copy = p.relation_by_name("Copy").unwrap();
-        assert_eq!(
-            storage.relation(DbKind::DeltaNew, copy).unwrap().len(),
-            1
-        );
+        assert_eq!(storage.relation(DbKind::DeltaNew, copy).unwrap().len(), 1);
         // Not yet merged into derived: that is SwapClear's job.
         assert_eq!(storage.relation(DbKind::Derived, copy).unwrap().len(), 0);
     }

@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "unoptimized" formulation orders atoms exactly as written in the
     // paper's Fig. 1 — including the VAlias rule whose first two atoms share
     // no variable (a cartesian product).
-    let (count_interp, t_interp) = workload.measure(
-        Formulation::Unoptimized,
-        EngineConfig::interpreted(),
-    )?;
+    let (count_interp, t_interp) =
+        workload.measure(Formulation::Unoptimized, EngineConfig::interpreted())?;
 
     // The adaptive JIT receives the *same* badly ordered program but reorders
     // every conjunctive subquery at runtime using live cardinalities.
@@ -39,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the hand-optimized formulation under plain interpretation, for
     // reference.
-    let (count_hand, t_hand) = workload.measure(
-        Formulation::HandOptimized,
-        EngineConfig::interpreted(),
-    )?;
+    let (count_hand, t_hand) =
+        workload.measure(Formulation::HandOptimized, EngineConfig::interpreted())?;
 
     assert_eq!(count_interp, count_jit);
     assert_eq!(count_interp, count_hand);

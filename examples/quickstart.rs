@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let interpreted = Carac::new(program)
         .with_config(EngineConfig::interpreted())
         .run()?;
-    assert_eq!(
-        interpreted.count("Controls")?,
-        result.count("Controls")?
-    );
+    assert_eq!(interpreted.count("Controls")?, result.count("Controls")?);
 
     println!("\nRun statistics (JIT):");
     let stats = result.stats();

@@ -12,7 +12,7 @@ use carac::knobs::BackendKind;
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::random_digraph;
 use carac_analysis::{
-    andersen, cspa, csda, degree_distribution, inverse_functions, shortest_path, Formulation,
+    andersen, csda, cspa, degree_distribution, inverse_functions, shortest_path, Formulation,
 };
 use carac_datalog::{parser::parse, DatalogError, Program, ProgramBuilder};
 
@@ -85,7 +85,10 @@ fn transitive_closure_matches_reference() {
         ];
         for config in configs {
             let label = config.label();
-            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            let result = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .unwrap();
             assert_eq!(result.count("Path").unwrap(), expected, "{label} diverged");
         }
     }
@@ -105,8 +108,14 @@ fn negation_partitions_the_domain() {
         b.relation("Reach", 1);
         b.relation("Unreached", 1);
         b.rule("Reach", &["x"]).when("Seed", &["x"]).end();
-        b.rule("Reach", &["y"]).when("Reach", &["x"]).when("Edge", &["x", "y"]).end();
-        b.rule("Unreached", &["x"]).when("Node", &["x"]).when_not("Reach", &["x"]).end();
+        b.rule("Reach", &["y"])
+            .when("Reach", &["x"])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.rule("Unreached", &["x"])
+            .when("Node", &["x"])
+            .when_not("Reach", &["x"])
+            .end();
         for n in 0..10u32 {
             b.fact_ints("Node", &[n]);
         }
@@ -122,7 +131,10 @@ fn negation_partitions_the_domain() {
             EngineConfig::jit(BackendKind::Lambda, false),
             EngineConfig::jit(BackendKind::Bytecode, true),
         ] {
-            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            let result = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .unwrap();
             let reach = result.count("Reach").unwrap();
             let unreached = result.count("Unreached").unwrap();
             assert_eq!(reach + unreached, 10);
@@ -183,7 +195,10 @@ fn parallel_transitive_closure_is_deterministic() {
             EngineConfig::jit(BackendKind::Lambda, false).with_parallelism(threads),
         ] {
             let label = config.label();
-            let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+            let result = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .unwrap();
             assert_eq!(
                 result.count("Path").unwrap(),
                 serial_tuples.len(),
@@ -191,7 +206,10 @@ fn parallel_transitive_closure_is_deterministic() {
             );
             let mut tuples = result.tuples("Path").unwrap();
             tuples.sort();
-            assert_eq!(tuples, serial_tuples, "{label} with {threads} threads diverged");
+            assert_eq!(
+                tuples, serial_tuples,
+                "{label} with {threads} threads diverged"
+            );
         }
     }
 }
@@ -209,9 +227,14 @@ fn parallel_program_analysis_is_deterministic() {
         .measure(Formulation::HandOptimized, EngineConfig::interpreted())
         .unwrap();
     for threads in [1usize, 2, 8] {
-        for base in [EngineConfig::interpreted(), EngineConfig::interpreted_unindexed()] {
+        for base in [
+            EngineConfig::interpreted(),
+            EngineConfig::interpreted_unindexed(),
+        ] {
             let config = base.with_parallelism(threads);
-            let (count, _) = workload.measure(Formulation::HandOptimized, config).unwrap();
+            let (count, _) = workload
+                .measure(Formulation::HandOptimized, config)
+                .unwrap();
             assert_eq!(count, serial_count, "{threads} threads diverged");
         }
     }
@@ -225,7 +248,10 @@ fn parallel_program_analysis_is_deterministic() {
             EngineConfig::interpreted().with_parallelism(4),
         )
         .unwrap();
-    assert_eq!(parallel_unopt, serial_unopt, "unoptimized formulation diverged");
+    assert_eq!(
+        parallel_unopt, serial_unopt,
+        "unoptimized formulation diverged"
+    );
 }
 
 /// The engine configurations every constraint/aggregate differential case
@@ -287,7 +313,10 @@ fn shortest_path_min_aggregate_agrees_across_engines() {
             let mut reference: Option<(Vec<_>, Vec<_>)> = None;
             for config in semantic_configs() {
                 let label = config.label();
-                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let result = Carac::new(program.clone())
+                    .with_config(config)
+                    .run()
+                    .unwrap();
                 let mut derived: Vec<(u32, u32)> = result
                     .tuples("Dist")
                     .unwrap()
@@ -317,8 +346,10 @@ fn shortest_path_min_aggregate_agrees_across_engines() {
                 ] {
                     let config = base.with_parallelism(threads);
                     let label = config.label();
-                    let result =
-                        Carac::new(program.clone()).with_config(config).run().unwrap();
+                    let result = Carac::new(program.clone())
+                        .with_config(config)
+                        .run()
+                        .unwrap();
                     let mut dist_tuples = result.tuples("Dist").unwrap();
                     dist_tuples.sort();
                     let mut near = result.tuples("Near").unwrap();
@@ -342,7 +373,10 @@ fn degree_count_aggregates_agree_across_engines() {
             let mut reference: Option<Vec<_>> = None;
             for config in semantic_configs() {
                 let label = config.label();
-                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let result = Carac::new(program.clone())
+                    .with_config(config)
+                    .run()
+                    .unwrap();
                 let mut out_deg = result.tuples("OutDeg").unwrap();
                 out_deg.sort();
                 let mut flagged = result.tuples("Flagged").unwrap();
@@ -357,7 +391,10 @@ fn degree_count_aggregates_agree_across_engines() {
             let reference = reference.unwrap();
             for threads in [2usize, 8] {
                 let config = EngineConfig::interpreted().with_parallelism(threads);
-                let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+                let result = Carac::new(program.clone())
+                    .with_config(config)
+                    .run()
+                    .unwrap();
                 let mut out_deg = result.tuples("OutDeg").unwrap();
                 out_deg.sort();
                 let mut flagged = result.tuples("Flagged").unwrap();
@@ -407,7 +444,10 @@ fn aggregate_over_negation_stratifies_and_agrees() {
 
     for config in semantic_configs() {
         let label = config.label();
-        let result = Carac::new(program.clone()).with_config(config).run().unwrap();
+        let result = Carac::new(program.clone())
+            .with_config(config)
+            .run()
+            .unwrap();
         let mut derived: Vec<(u32, u32)> = result
             .tuples("OkDeg")
             .unwrap()
@@ -431,10 +471,13 @@ fn out_of_range_literals_error_instead_of_panicking() {
 
     let mut b = ProgramBuilder::new();
     b.relation("Edge", 2);
-    b.fact("Edge", &[
-        carac_datalog::TermSpec::Int(u32::MAX),
-        carac_datalog::TermSpec::Int(0),
-    ]);
+    b.fact(
+        "Edge",
+        &[
+            carac_datalog::TermSpec::Int(u32::MAX),
+            carac_datalog::TermSpec::Int(0),
+        ],
+    );
     assert!(matches!(
         b.build(),
         Err(DatalogError::IntegerOutOfRange { .. })
@@ -464,9 +507,18 @@ fn flat_pool_engines_agree_on_figure_workloads() {
         assert!(!expected.is_empty(), "{} derived nothing", workload.name);
 
         let engines = vec![
-            ("specialized (lambda)", EngineConfig::jit(BackendKind::Lambda, false)),
-            ("bytecode vm", EngineConfig::jit(BackendKind::Bytecode, false)),
-            ("interpreted unindexed", EngineConfig::interpreted_unindexed()),
+            (
+                "specialized (lambda)",
+                EngineConfig::jit(BackendKind::Lambda, false),
+            ),
+            (
+                "bytecode vm",
+                EngineConfig::jit(BackendKind::Bytecode, false),
+            ),
+            (
+                "interpreted unindexed",
+                EngineConfig::interpreted_unindexed(),
+            ),
         ];
         for (label, config) in engines {
             let result = workload.run(Formulation::HandOptimized, config).unwrap();
@@ -484,7 +536,10 @@ fn flat_pool_engines_agree_on_figure_workloads() {
         for threads in [1usize, 2, 8] {
             for (label, base) in [
                 ("interpreted", EngineConfig::interpreted()),
-                ("specialized (lambda)", EngineConfig::jit(BackendKind::Lambda, false)),
+                (
+                    "specialized (lambda)",
+                    EngineConfig::jit(BackendKind::Lambda, false),
+                ),
             ] {
                 let result = workload
                     .run(Formulation::HandOptimized, base.with_parallelism(threads))
@@ -548,14 +603,16 @@ fn assert_stream_matches_scratch(
     label: &str,
 ) {
     let mut engine = Carac::new(build(base)).with_config(config);
-    engine.run_live().unwrap_or_else(|e| panic!("{label}: initial run failed: {e}"));
+    engine
+        .run_live()
+        .unwrap_or_else(|e| panic!("{label}: initial run failed: {e}"));
     for batch in stream {
         engine
             .apply_edge_updates(update_relation, &batch.inserts, &batch.retracts)
             .unwrap_or_else(|e| panic!("{label}: update failed: {e}"));
     }
-    let mut oracle = Carac::new(build(&final_edges(base, stream)))
-        .with_config(EngineConfig::interpreted());
+    let mut oracle =
+        Carac::new(build(&final_edges(base, stream))).with_config(EngineConfig::interpreted());
     for output in outputs {
         let mut live = engine.live_tuples(output).unwrap();
         let mut scratch = oracle.live_tuples(output).unwrap();
@@ -575,15 +632,25 @@ fn stream_shapes(
     let mixed = edge_update_stream(base, nodes, 4, 3, seed);
     let inserts: Vec<UpdateStreamBatch> = mixed
         .iter()
-        .map(|b| UpdateStreamBatch { inserts: b.inserts.clone(), retracts: Vec::new() })
+        .map(|b| UpdateStreamBatch {
+            inserts: b.inserts.clone(),
+            retracts: Vec::new(),
+        })
         .collect();
     // Delete-only: retract a deterministic slice of the base edges.
     let victims: Vec<(u32, u32)> = base.iter().copied().step_by(3).take(6).collect();
     let deletes: Vec<UpdateStreamBatch> = victims
         .chunks(2)
-        .map(|c| UpdateStreamBatch { inserts: Vec::new(), retracts: c.to_vec() })
+        .map(|c| UpdateStreamBatch {
+            inserts: Vec::new(),
+            retracts: c.to_vec(),
+        })
         .collect();
-    vec![("insert-only", inserts), ("delete-only", deletes), ("mixed", mixed)]
+    vec![
+        ("insert-only", inserts),
+        ("delete-only", deletes),
+        ("mixed", mixed),
+    ]
 }
 
 /// Transitive closure (recursive stratum, pure counted/DRed path): live
@@ -625,11 +692,21 @@ fn incremental_cspa_rules_match_scratch() {
         for rel in ["Assign", "Derefr", "VaFlow", "VAlias", "MAlias"] {
             b.relation(rel, 2);
         }
-        b.rule("VaFlow", &["v2", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
-        b.rule("VaFlow", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v2", "v1"]).end();
-        b.rule("MAlias", &["v1", "v1"]).when("Assign", &["v1", "v2"]).end();
+        b.rule("VaFlow", &["v2", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("VaFlow", &["v1", "v1"])
+            .when("Assign", &["v1", "v2"])
+            .end();
+        b.rule("VaFlow", &["v1", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("MAlias", &["v1", "v1"])
+            .when("Assign", &["v2", "v1"])
+            .end();
+        b.rule("MAlias", &["v1", "v1"])
+            .when("Assign", &["v1", "v2"])
+            .end();
         b.rule("VaFlow", &["v1", "v2"])
             .when("Assign", &["v1", "v3"])
             .when("MAlias", &["v3", "v2"])
@@ -696,15 +773,24 @@ fn incremental_aggregates_match_scratch() {
         b.relation("Reach", 2);
         b.relation("Dist", 2);
         b.relation("Near", 1);
-        b.rule("Reach", &["y", "d"]).when("Source", &["y"]).when("Zero", &["d"]).end();
+        b.rule("Reach", &["y", "d"])
+            .when("Source", &["y"])
+            .when("Zero", &["d"])
+            .end();
         b.rule("Reach", &["y", "d2"])
             .when("Reach", &["x", "d1"])
             .when("Edge", &["x", "y"])
             .when("Succ", &["d1", "d2"])
             .end();
-        b.rule("Dist", &[carac_datalog::builder::v("y"), carac_datalog::builder::min_of("d")])
-            .when("Reach", &["y", "d"])
-            .end();
+        b.rule(
+            "Dist",
+            &[
+                carac_datalog::builder::v("y"),
+                carac_datalog::builder::min_of("d"),
+            ],
+        )
+        .when("Reach", &["y", "d"])
+        .end();
         b.rule("Near", &["y"])
             .when("Dist", &["y", "d"])
             .lt(carac_datalog::builder::v("d"), carac_datalog::builder::c(4))
@@ -728,18 +814,36 @@ fn incremental_aggregates_match_scratch() {
         b.relation("HighOut", 1);
         b.relation("Balanced", 1);
         b.relation("Flagged", 1);
-        b.rule("OutDeg", &[carac_datalog::builder::v("x"), carac_datalog::builder::count_of("y")])
-            .when("Edge", &["x", "y"])
-            .end();
-        b.rule("InDeg", &[carac_datalog::builder::v("y"), carac_datalog::builder::count_of("x")])
-            .when("Edge", &["x", "y"])
-            .end();
+        b.rule(
+            "OutDeg",
+            &[
+                carac_datalog::builder::v("x"),
+                carac_datalog::builder::count_of("y"),
+            ],
+        )
+        .when("Edge", &["x", "y"])
+        .end();
+        b.rule(
+            "InDeg",
+            &[
+                carac_datalog::builder::v("y"),
+                carac_datalog::builder::count_of("x"),
+            ],
+        )
+        .when("Edge", &["x", "y"])
+        .end();
         b.rule("HighOut", &["x"])
             .when("Threshold", &["t"])
             .when("OutDeg", &["x", "c"])
-            .gt(carac_datalog::builder::v("c"), carac_datalog::builder::v("t"))
+            .gt(
+                carac_datalog::builder::v("c"),
+                carac_datalog::builder::v("t"),
+            )
             .end();
-        b.rule("Balanced", &["x"]).when("OutDeg", &["x", "c"]).when("InDeg", &["x", "c"]).end();
+        b.rule("Balanced", &["x"])
+            .when("OutDeg", &["x", "c"])
+            .when("InDeg", &["x", "c"])
+            .end();
         b.rule("Flagged", &["x"]).when("HighOut", &["x"]).end();
         b.rule("Flagged", &["x"]).when("Balanced", &["x"]).end();
         for &(a, b_) in edges {
@@ -793,8 +897,14 @@ fn incremental_negation_matches_scratch() {
         b.relation("Reach", 1);
         b.relation("Unreached", 1);
         b.rule("Reach", &["x"]).when("Seed", &["x"]).end();
-        b.rule("Reach", &["y"]).when("Reach", &["x"]).when("Edge", &["x", "y"]).end();
-        b.rule("Unreached", &["x"]).when("Node", &["x"]).when_not("Reach", &["x"]).end();
+        b.rule("Reach", &["y"])
+            .when("Reach", &["x"])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.rule("Unreached", &["x"])
+            .when("Node", &["x"])
+            .when_not("Reach", &["x"])
+            .end();
         for n in 0..10u32 {
             b.fact_ints("Node", &[n]);
         }
@@ -841,7 +951,8 @@ fn incremental_insert_only_matches_scratch_on_figure_workloads() {
         let new_edges = random_digraph(16, 10, 0xFEED);
         let mut live = Carac::new(program.clone()).with_config(EngineConfig::interpreted());
         live.run_live().unwrap();
-        live.apply_edge_updates(update_rel, &new_edges, &[]).unwrap();
+        live.apply_edge_updates(update_rel, &new_edges, &[])
+            .unwrap();
 
         let mut scratch = Carac::new(program).with_config(EngineConfig::interpreted());
         scratch.add_edge_facts(update_rel, &new_edges).unwrap();
@@ -866,7 +977,9 @@ fn incremental_deletes_match_scratch_on_csda() {
         let mut b = ProgramBuilder::new();
         b.relation("Nullflow", 2);
         b.relation("Dataflow", 2);
-        b.rule("Dataflow", &["x", "y"]).when("Nullflow", &["x", "y"]).end();
+        b.rule("Dataflow", &["x", "y"])
+            .when("Nullflow", &["x", "y"])
+            .end();
         b.rule("Dataflow", &["x", "y"])
             .when("Nullflow", &["x", "z"])
             .when("Dataflow", &["z", "y"])
@@ -912,15 +1025,24 @@ fn incremental_mixed_batch_publishes_deletion_phase_discoveries() {
         b.relation("Succ", 2);
         b.relation("Reach", 2);
         b.relation("Dist", 2);
-        b.rule("Reach", &["y", "d"]).when("Source", &["y"]).when("Zero", &["d"]).end();
+        b.rule("Reach", &["y", "d"])
+            .when("Source", &["y"])
+            .when("Zero", &["d"])
+            .end();
         b.rule("Reach", &["y", "d2"])
             .when("Reach", &["x", "d1"])
             .when("Edge", &["x", "y"])
             .when("Succ", &["d1", "d2"])
             .end();
-        b.rule("Dist", &[carac_datalog::builder::v("y"), carac_datalog::builder::min_of("d")])
-            .when("Reach", &["y", "d"])
-            .end();
+        b.rule(
+            "Dist",
+            &[
+                carac_datalog::builder::v("y"),
+                carac_datalog::builder::min_of("d"),
+            ],
+        )
+        .when("Reach", &["y", "d"])
+        .end();
         for &(a, b_) in edges {
             b.fact_ints("Edge", &[a, b_]);
         }

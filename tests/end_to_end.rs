@@ -3,7 +3,9 @@
 
 use carac::knobs::BackendKind;
 use carac::{Carac, EngineConfig};
-use carac_analysis::{ackermann, andersen, cspa, csda, fibonacci, inverse_functions, primes, Formulation};
+use carac_analysis::{
+    ackermann, andersen, csda, cspa, fibonacci, inverse_functions, primes, Formulation,
+};
 use carac_baselines::{DlxConfig, DlxLike, SouffleConfig, SouffleLike, SouffleMode};
 use carac_datalog::parser::parse;
 use std::time::Duration;
@@ -116,10 +118,13 @@ fn parsed_and_builder_programs_compose_across_crates() {
         "#,
     )
     .unwrap();
-    let mut engine = Carac::new(program).with_config(EngineConfig::jit(BackendKind::Bytecode, false));
+    let mut engine =
+        Carac::new(program).with_config(EngineConfig::jit(BackendKind::Bytecode, false));
     engine.add_fact_ints("Parent", &[7, 8]).unwrap();
     let result = engine.run().unwrap();
-    assert!(result.contains("SameGeneration", &["abel", "cain"]).unwrap());
+    assert!(result
+        .contains("SameGeneration", &["abel", "cain"])
+        .unwrap());
     assert!(result.contains("SameGeneration", &["8", "8"]).unwrap());
 }
 
@@ -155,7 +160,10 @@ fn stats_expose_the_adaptivity_machinery() {
         .unwrap();
     let stats = result.stats();
     assert!(stats.iterations > 1, "CSPA needs several iterations");
-    assert!(stats.reorders > 0, "the JIT should reorder at least one join");
+    assert!(
+        stats.reorders > 0,
+        "the JIT should reorder at least one join"
+    );
     assert!(stats.compilations() > 0);
     assert!(stats.compiled_executions > 0);
     assert!(stats.compile_time() <= stats.total_time);

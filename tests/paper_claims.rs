@@ -1,8 +1,8 @@
 //! Structural checks of the paper's qualitative claims — the properties the
 //! figures rest on, asserted without fragile wall-clock comparisons.
 
-use carac::knobs::BackendKind;
 use carac::exec::JitConfig;
+use carac::knobs::BackendKind;
 use carac::EngineConfig;
 use carac_analysis::{cspa, inverse_functions, Formulation};
 use carac_datalog::parser::parse;
@@ -56,8 +56,16 @@ fn section4_join_order_example() {
 
     // First iteration: |VaFlowδ| = 541_096, |VaFlow⋆| = 903_752, |MAlias⋆| = 541_096.
     let first = stats_for(
-        RelationStats { derived: 903_752, delta_known: 541_096, ..Default::default() },
-        RelationStats { derived: 541_096, delta_known: 0, ..Default::default() },
+        RelationStats {
+            derived: 903_752,
+            delta_known: 541_096,
+            ..Default::default()
+        },
+        RelationStats {
+            derived: 541_096,
+            delta_known: 0,
+            ..Default::default()
+        },
     );
     let order = greedy_order(&query, &first, &OptimizerConfig::default());
     let reordered = query.with_order(&order);
@@ -68,8 +76,16 @@ fn section4_join_order_example() {
 
     // Seventh iteration: |VaFlowδ| = 0, |VaFlow⋆| = 1_362_950, |MAlias⋆| = 79_514_436.
     let seventh = stats_for(
-        RelationStats { derived: 1_362_950, delta_known: 0, ..Default::default() },
-        RelationStats { derived: 79_514_436, delta_known: 0, ..Default::default() },
+        RelationStats {
+            derived: 1_362_950,
+            delta_known: 0,
+            ..Default::default()
+        },
+        RelationStats {
+            derived: 79_514_436,
+            delta_known: 0,
+            ..Default::default()
+        },
     );
     let order = greedy_order(&query, &seventh, &OptimizerConfig::default());
     assert_eq!(order[0], 1, "the empty delta atom must come first");
@@ -141,7 +157,10 @@ fn snippet_and_async_claims() {
         .unwrap()
         .0;
     let slow_result = workload.run(Formulation::HandOptimized, slow).unwrap();
-    assert_eq!(slow_result.count(workload.output_relation).unwrap(), reference);
+    assert_eq!(
+        slow_result.count(workload.output_relation).unwrap(),
+        reference
+    );
     assert!(slow_result.stats().interpreted_fallbacks > 0);
 }
 
@@ -163,6 +182,9 @@ fn index_selection_covers_join_keys_only() {
                 break;
             }
         }
-        assert!(justified, "index on ({rel:?}, {col}) has no justifying rule");
+        assert!(
+            justified,
+            "index on ({rel:?}, {col}) has no justifying rule"
+        );
     }
 }

@@ -1,0 +1,437 @@
+//! Seeded program fuzzing for the differential test harness.
+//!
+//! [`fuzz_program`] turns a 64-bit seed into a [`FuzzCase`]: a random but
+//! **correct-by-construction** Datalog program (layered so negation and
+//! stratified aggregation only look down, and in-recursion aggregates are
+//! genuine monotone lattice folds), a random EDB, and a random stream of
+//! insert/retract batches.  Equal seeds produce equal cases on every
+//! platform (the generator draws from [`SmallRng`], our deterministic
+//! xoshiro256++).
+//!
+//! The case keeps its facts *out* of the program source so the harness can
+//! replay update streams: `parse(source)` + [`FuzzCase::facts`] is the
+//! initial database, and [`FuzzCase::facts_after`] is the database after a
+//! prefix of the update batches — what an incrementally maintained session
+//! must agree with when re-evaluated from scratch.  On a divergence,
+//! [`FuzzCase::reproducer`] renders a self-contained program (facts
+//! inlined, update log in comments) to paste into a regression test.
+//!
+//! Feature toggles drawn per seed:
+//!
+//! * single-source or multi-source recursion (`Reach`),
+//! * transitive closure, left- or right-recursive, optionally with an
+//!   additional non-linear rule,
+//! * stratified negation over the recursion (`Unreached`),
+//! * comparison constraints (`Ordered`),
+//! * stratified `count` aggregation (`InDeg`),
+//! * a monotone **lattice** aggregate inside the recursion: bounded
+//!   single-stratum shortest path (`min`) or longest bounded walk (`max`),
+//!   checkable against the independent references in
+//!   `carac_baselines::reference`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::rng::SmallRng;
+
+/// Which monotone lattice fold (if any) a fuzzed program contains — the
+/// harness uses this to pick the independent reference oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeKind {
+    /// `Dist(y, min d)`: bounded single-stratum shortest path.
+    MinDist,
+    /// `Walk(y, max d)`: longest bounded walk.
+    MaxWalk,
+}
+
+/// One EDB update of a fuzzed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzOp {
+    /// Relation updated (always extensional).
+    pub relation: String,
+    /// `true` to insert, `false` to retract.
+    pub insert: bool,
+    /// The fact.
+    pub values: Vec<u32>,
+}
+
+/// A fuzzed differential-test case: program source (rules only), initial
+/// EDB, update batches, and the metadata the oracles need.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The generating seed (for reproducer rendering).
+    pub seed: u64,
+    /// Program rules in parser syntax, **without** facts.
+    pub source: String,
+    /// Initial EDB facts, applied via `Carac::add_fact_ints`.
+    pub facts: Vec<(String, Vec<u32>)>,
+    /// Update batches: each inner vector is one atomic
+    /// `Carac::apply_update` batch.
+    pub batches: Vec<Vec<FuzzOp>>,
+    /// The lattice fold the program contains, if any.
+    pub lattice: Option<LatticeKind>,
+    /// Whether the stratified `count` aggregate (`InDeg`) is present.
+    pub counting: bool,
+    /// The `Succ`-chain bound (hop counts 0..=bound) when a lattice fold
+    /// is present.
+    pub bound: u32,
+    /// Number of nodes (constants 0..nodes).
+    pub nodes: u32,
+}
+
+impl FuzzCase {
+    /// The EDB after applying the first `batches` update batches to the
+    /// initial facts (insertions append, retractions remove; both are
+    /// generated to be effective, i.e. inserts of absent and retracts of
+    /// present facts).
+    pub fn facts_after(&self, batches: usize) -> Vec<(String, Vec<u32>)> {
+        let mut set: BTreeSet<(String, Vec<u32>)> = self
+            .facts
+            .iter()
+            .map(|(r, v)| (r.clone(), v.clone()))
+            .collect();
+        for batch in self.batches.iter().take(batches) {
+            for op in batch {
+                let key = (op.relation.clone(), op.values.clone());
+                if op.insert {
+                    set.insert(key);
+                } else {
+                    set.remove(&key);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The current edge set of `relation` after `batches` update batches
+    /// (for the reference oracles).
+    pub fn binary_facts_after(&self, relation: &str, batches: usize) -> Vec<(u32, u32)> {
+        self.facts_after(batches)
+            .into_iter()
+            .filter(|(r, v)| r == relation && v.len() == 2)
+            .map(|(_, v)| (v[0], v[1]))
+            .collect()
+    }
+
+    /// The current unary facts of `relation` after `batches` update batches.
+    pub fn unary_facts_after(&self, relation: &str, batches: usize) -> Vec<u32> {
+        self.facts_after(batches)
+            .into_iter()
+            .filter(|(r, v)| r == relation && v.len() == 1)
+            .map(|(_, v)| v[0])
+            .collect()
+    }
+
+    /// A self-contained reproducer: the program with the *initial* facts
+    /// inlined, plus the seed and the update log as comments.  Paste into
+    /// `parse(...)` to replay the failure.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "% fuzz_program(seed = {})", self.seed);
+        out.push_str(&self.source);
+        if !self.source.ends_with('\n') {
+            out.push('\n');
+        }
+        for (relation, values) in &self.facts {
+            let _ = writeln!(
+                out,
+                "{relation}({}).",
+                values
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        for (i, batch) in self.batches.iter().enumerate() {
+            let _ = writeln!(out, "% batch {i}:");
+            for op in batch {
+                let _ = writeln!(
+                    out,
+                    "%   {} {}({})",
+                    if op.insert { "insert" } else { "retract" },
+                    op.relation,
+                    op.values
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Generates the deterministic [`FuzzCase`] for `seed`.
+pub fn fuzz_program(seed: u64) -> FuzzCase {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+    let nodes = rng.gen_range_u32(4, 9);
+
+    // --- feature toggles -------------------------------------------------
+    let tc = rng.gen_bool(0.75);
+    let tc_left = rng.gen_bool(0.5);
+    let tc_nonlinear = tc && rng.gen_bool(0.3);
+    let negation = rng.gen_bool(0.5);
+    let constraint = tc && rng.gen_bool(0.5);
+    let counting = rng.gen_bool(0.5);
+    let lattice = if rng.gen_bool(0.7) {
+        Some(if rng.gen_bool(0.5) {
+            LatticeKind::MinDist
+        } else {
+            LatticeKind::MaxWalk
+        })
+    } else {
+        None
+    };
+    // `max` folds only have a schedule-independent declarative reading on
+    // acyclic inputs (on a cycle the fold climbs through whatever
+    // intermediate optima the iteration schedule produced — deterministic
+    // across engines, but not expressible as a plain recurrence).  Restrict
+    // those cases to forward edges (`a < b`) with a bound that never
+    // saturates, so the Bellman reference is exact.
+    let dag_only = lattice == Some(LatticeKind::MaxWalk);
+    let bound = if dag_only {
+        nodes
+    } else {
+        rng.gen_range_u32(3, 7)
+    };
+
+    // --- EDB -------------------------------------------------------------
+    let density = 0.12 + 0.3 * (rng.gen_range_u32(0, 100) as f64 / 100.0);
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for a in 0..nodes {
+        for b in 0..nodes {
+            if a != b && !(dag_only && a > b) && rng.gen_bool(density) {
+                edges.insert((a, b));
+            }
+        }
+    }
+    let mut starts: BTreeSet<u32> = BTreeSet::new();
+    starts.insert(rng.gen_range_u32(0, nodes));
+    if rng.gen_bool(0.4) {
+        starts.insert(rng.gen_range_u32(0, nodes));
+    }
+
+    // --- rules (layered: negation/stratified folds look strictly down) ---
+    let mut source = String::new();
+    source.push_str("Reach(x) :- Start(x).\n");
+    if rng.gen_bool(0.5) {
+        source.push_str("Reach(y) :- Reach(x), Edge(x, y).\n");
+    } else {
+        source.push_str("Reach(y) :- Edge(x, y), Reach(x).\n");
+    }
+    if tc {
+        source.push_str("P(x, y) :- Edge(x, y).\n");
+        if tc_left {
+            source.push_str("P(x, y) :- Edge(x, z), P(z, y).\n");
+        } else {
+            source.push_str("P(x, y) :- P(x, z), Edge(z, y).\n");
+        }
+        if tc_nonlinear {
+            source.push_str("P(x, y) :- P(x, z), P(z, y).\n");
+        }
+    }
+    if negation {
+        source.push_str("Unreached(x) :- Node(x), !Reach(x).\n");
+    }
+    if constraint {
+        source.push_str("Ordered(x, y) :- P(x, y), x < y.\n");
+    }
+    if counting {
+        source.push_str("InDeg(y, count x) :- Edge(x, y), Reach(x).\n");
+    }
+    match lattice {
+        Some(LatticeKind::MinDist) => {
+            source.push_str("Dist(y, min d)  :- Start(y), Zero(d).\n");
+            source.push_str("Dist(y, min d2) :- Dist(x, d1), Edge(x, y), Succ(d1, d2).\n");
+        }
+        Some(LatticeKind::MaxWalk) => {
+            source.push_str("Walk(y, max d)  :- Start(y), Zero(d).\n");
+            source.push_str("Walk(y, max d2) :- Walk(x, d1), Edge(x, y), Succ(d1, d2).\n");
+        }
+        None => {}
+    }
+
+    // --- facts -----------------------------------------------------------
+    let mut facts: Vec<(String, Vec<u32>)> = Vec::new();
+    for n in 0..nodes {
+        facts.push(("Node".into(), vec![n]));
+    }
+    for &(a, b) in &edges {
+        facts.push(("Edge".into(), vec![a, b]));
+    }
+    for &s in &starts {
+        facts.push(("Start".into(), vec![s]));
+    }
+    if lattice.is_some() {
+        facts.push(("Zero".into(), vec![0]));
+        for d in 0..bound {
+            facts.push(("Succ".into(), vec![d, d + 1]));
+        }
+    }
+    // `Node` must appear in a rule for arity inference even when negation
+    // is off; reference it harmlessly.
+    if !negation {
+        source.push_str("Known(x) :- Node(x).\n");
+    }
+
+    // --- update stream ---------------------------------------------------
+    // Effective ops only: inserts of absent facts, retracts of present
+    // ones, over `Edge` and `Start` (the relations the derived layers
+    // observe).
+    let mut batches: Vec<Vec<FuzzOp>> = Vec::new();
+    let n_batches = rng.gen_range_usize(1, 4);
+    for _ in 0..n_batches {
+        let mut batch = Vec::new();
+        let n_ops = rng.gen_range_usize(1, 5);
+        for _ in 0..n_ops {
+            let on_edge = rng.gen_bool(0.75);
+            if on_edge {
+                if !edges.is_empty() && rng.gen_bool(0.5) {
+                    let victim = *edges
+                        .iter()
+                        .nth(rng.gen_range_usize(0, edges.len()))
+                        .expect("nonempty");
+                    edges.remove(&victim);
+                    batch.push(FuzzOp {
+                        relation: "Edge".into(),
+                        insert: false,
+                        values: vec![victim.0, victim.1],
+                    });
+                } else {
+                    // Find an absent pair (bounded probing keeps this
+                    // deterministic and total even on dense graphs).
+                    let mut found = None;
+                    for _ in 0..16 {
+                        let a = rng.gen_range_u32(0, nodes);
+                        let b = rng.gen_range_u32(0, nodes);
+                        if a != b && !(dag_only && a > b) && !edges.contains(&(a, b)) {
+                            found = Some((a, b));
+                            break;
+                        }
+                    }
+                    if let Some(pair) = found {
+                        edges.insert(pair);
+                        batch.push(FuzzOp {
+                            relation: "Edge".into(),
+                            insert: true,
+                            values: vec![pair.0, pair.1],
+                        });
+                    }
+                }
+            } else if !starts.is_empty() && rng.gen_bool(0.35) {
+                let victim = *starts
+                    .iter()
+                    .nth(rng.gen_range_usize(0, starts.len()))
+                    .expect("nonempty");
+                starts.remove(&victim);
+                batch.push(FuzzOp {
+                    relation: "Start".into(),
+                    insert: false,
+                    values: vec![victim],
+                });
+            } else {
+                let candidate = rng.gen_range_u32(0, nodes);
+                if !starts.contains(&candidate) {
+                    starts.insert(candidate);
+                    batch.push(FuzzOp {
+                        relation: "Start".into(),
+                        insert: true,
+                        values: vec![candidate],
+                    });
+                }
+            }
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+    }
+
+    FuzzCase {
+        seed,
+        source,
+        facts,
+        batches,
+        lattice,
+        counting,
+        bound,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_produce_equal_cases() {
+        for seed in [0, 1, 7, 42, 1_000_003] {
+            let a = fuzz_program(seed);
+            let b = fuzz_program(seed);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.facts, b.facts);
+            assert_eq!(a.batches, b.batches);
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_program_shape() {
+        let shapes: BTreeSet<String> = (0..50).map(|s| fuzz_program(s).source).collect();
+        assert!(
+            shapes.len() > 10,
+            "seeds produce too few distinct programs ({})",
+            shapes.len()
+        );
+        assert!((0..50).any(|s| fuzz_program(s).lattice == Some(LatticeKind::MinDist)));
+        assert!((0..50).any(|s| fuzz_program(s).lattice == Some(LatticeKind::MaxWalk)));
+        assert!((0..50).any(|s| fuzz_program(s).counting));
+    }
+
+    #[test]
+    fn update_streams_are_effective() {
+        // Every generated op flips the presence of its fact: replaying the
+        // stream through `facts_after` changes the set at every batch.
+        for seed in 0..30 {
+            let case = fuzz_program(seed);
+            let mut current: BTreeSet<(String, Vec<u32>)> = case
+                .facts
+                .iter()
+                .map(|(r, v)| (r.clone(), v.clone()))
+                .collect();
+            for batch in &case.batches {
+                for op in batch {
+                    let key = (op.relation.clone(), op.values.clone());
+                    if op.insert {
+                        assert!(!current.contains(&key), "insert of present fact");
+                        current.insert(key);
+                    } else {
+                        assert!(current.contains(&key), "retract of absent fact");
+                        current.remove(&key);
+                    }
+                }
+            }
+            let expected: Vec<(String, Vec<u32>)> = current.into_iter().collect();
+            assert_eq!(case.facts_after(case.batches.len()), expected);
+        }
+    }
+
+    #[test]
+    fn reproducer_is_self_contained() {
+        let case = fuzz_program(3);
+        let repro = case.reproducer();
+        assert!(repro.contains("seed = 3"));
+        assert!(repro.contains("Reach(x) :- Start(x)."));
+        for (relation, values) in &case.facts {
+            let rendered = format!(
+                "{relation}({})",
+                values
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            assert!(repro.contains(&rendered), "missing fact {rendered}");
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! formulation — the two atom orders the paper compares against the
 //! adaptive JIT.
 
+pub mod fuzz;
 pub mod generators;
 pub mod graph_stats;
 pub mod micro;
@@ -22,6 +23,7 @@ pub mod program_analysis;
 pub mod rng;
 pub mod workload;
 
+pub use fuzz::{fuzz_program, FuzzCase, FuzzOp, LatticeKind};
 pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};

@@ -14,7 +14,11 @@
 //! for the substitution rationale and its limits.
 
 pub mod dlx_like;
+pub mod reference;
 pub mod souffle_like;
 
 pub use dlx_like::{DlxConfig, DlxLike, DlxRun};
+pub use reference::{
+    bounded_max_walk, bounded_min_dist, bounded_reach_counts, two_stratum_min_dist,
+};
 pub use souffle_like::{BaselineRun, SouffleConfig, SouffleLike, SouffleMode};

@@ -1,0 +1,214 @@
+//! Independent reference implementations for the recursive-aggregate
+//! programs the fuzz harness generates: plain-Rust shortest path, longest
+//! bounded walk, and reach-restricted counting — no Datalog machinery at
+//! all, so a bug in the engines cannot hide in a shared substrate.
+//!
+//! Each function mirrors the semantics of one fuzzed program shape (see
+//! `carac_analysis::fuzz`):
+//!
+//! * [`bounded_min_dist`] — the `min` lattice (`Dist(y, min d)`):
+//!   multi-source BFS truncated at the `Succ`-chain bound,
+//! * [`bounded_max_walk`] — the `max` lattice (`Walk(y, max d)`): the
+//!   Bellman-style fixpoint `M(y) = max over edges (x, y) of M(x) + 1`,
+//!   capped at the bound,
+//! * [`bounded_reach_counts`] — the stratified `count`
+//!   (`InDeg(y, count x) :- Edge(x, y), Reach(x)`).
+//!
+//! [`two_stratum_min_dist`] additionally runs the classic two-stratum
+//! shortest-path formulation through the [`SouffleLike`] baseline engine —
+//! a second, engine-grade oracle exercising an entirely different
+//! evaluation path than the lattice fold.
+//!
+//! [`SouffleLike`]: crate::souffle_like::SouffleLike
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use carac_datalog::parser::parse;
+use carac_exec::ExecError;
+
+use crate::souffle_like::{SouffleConfig, SouffleLike, SouffleMode};
+
+/// Multi-source BFS over `edges` from `starts`, truncated at `bound` hops:
+/// the reference for the single-stratum `min` lattice.  Returns sorted
+/// `(node, distance)` pairs; unreachable nodes (or nodes farther than
+/// `bound`) are absent.
+pub fn bounded_min_dist(edges: &[(u32, u32)], starts: &[u32], bound: u32) -> Vec<(u32, u32)> {
+    let mut dist: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut frontier: BTreeSet<u32> = BTreeSet::new();
+    for &s in starts {
+        dist.insert(s, 0);
+        frontier.insert(s);
+    }
+    let mut hops = 0;
+    while !frontier.is_empty() && hops < bound {
+        hops += 1;
+        let mut next = BTreeSet::new();
+        for &x in &frontier {
+            for &(a, b) in edges {
+                if a == x && !dist.contains_key(&b) {
+                    dist.insert(b, hops);
+                    next.insert(b);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist.into_iter().collect()
+}
+
+/// Longest bounded walk from `starts`: the Kleene fixpoint of
+/// `M(y) = max(0 if start, max over edges (x, y) with M(x) < bound of
+/// M(x) + 1)` — the reference for the single-stratum `max` lattice.
+/// Returns sorted `(node, length)` pairs.
+///
+/// **Acyclic inputs only.** On a DAG (with a bound large enough not to
+/// saturate) this recurrence equals the engine's `max` lattice fold.  On a
+/// cyclic graph the engine's fold may also extend walks from *earlier*
+/// optima a node held while climbing through a cycle (every intermediate
+/// maximum generated aggregation-input rows that persist), so its fixpoint
+/// can exceed this in-place recurrence; the fuzzer therefore only generates
+/// `max` cases over forward (`a < b`) edges.  `min` has no such asymmetry —
+/// its recurrence has a unique least fixpoint on any graph.
+pub fn bounded_max_walk(edges: &[(u32, u32)], starts: &[u32], bound: u32) -> Vec<(u32, u32)> {
+    let mut best: BTreeMap<u32, u32> = BTreeMap::new();
+    for &s in starts {
+        best.insert(s, 0);
+    }
+    loop {
+        let mut changed = false;
+        for &(x, y) in edges {
+            if let Some(&dx) = best.get(&x) {
+                if dx < bound {
+                    let cand = dx + 1;
+                    if best.get(&y).is_none_or(|&c| cand > c) {
+                        best.insert(y, cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best.into_iter().collect()
+}
+
+/// Reach-restricted in-degrees: for every node `y` with at least one edge
+/// `(x, y)` from a reachable `x`, the number of such distinct `x` — the
+/// reference for the stratified `count` aggregate
+/// `InDeg(y, count x) :- Edge(x, y), Reach(x)`.  Returns sorted
+/// `(node, count)` pairs.
+pub fn bounded_reach_counts(edges: &[(u32, u32)], starts: &[u32]) -> Vec<(u32, u32)> {
+    // Unbounded reachability from the start set.
+    let mut reach: BTreeSet<u32> = starts.iter().copied().collect();
+    loop {
+        let mut changed = false;
+        for &(x, y) in edges {
+            if reach.contains(&x) && reach.insert(y) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut counts: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for &(x, y) in edges {
+        if reach.contains(&x) {
+            counts.entry(y).or_default().insert(x);
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(y, xs)| (y, xs.len() as u32))
+        .collect()
+}
+
+/// Runs the classic **two-stratum** shortest-path formulation (bounded
+/// reachability enumeration + stratified `min`) through the
+/// [`SouffleLike`] baseline interpreter and returns the number of `Dist`
+/// rows — an engine-grade second oracle for the `min` lattice's result
+/// cardinality.
+pub fn two_stratum_min_dist(
+    edges: &[(u32, u32)],
+    starts: &[u32],
+    bound: u32,
+) -> Result<usize, ExecError> {
+    let mut source = String::new();
+    for &(a, b) in edges {
+        source.push_str(&format!("Edge({a}, {b}). "));
+    }
+    for &s in starts {
+        source.push_str(&format!("Start({s}). "));
+    }
+    source.push_str("Zero(0). ");
+    for d in 0..bound {
+        source.push_str(&format!("Succ({d}, {}). ", d + 1));
+    }
+    source.push_str(
+        "\nReach(y, d)  :- Start(y), Zero(d).\n\
+         Reach(y, d2) :- Reach(x, d1), Edge(x, y), Succ(d1, d2).\n\
+         Dist(y, min d) :- Reach(y, d).",
+    );
+    let program = parse(&source).map_err(|e| ExecError::Internal(e.to_string()))?;
+    let baseline = SouffleLike::new(
+        program,
+        SouffleConfig {
+            mode: SouffleMode::Interpreter,
+            ..SouffleConfig::default()
+        },
+    );
+    Ok(baseline.run("Dist")?.output_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIAMOND: &[(u32, u32)] = &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)];
+
+    #[test]
+    fn min_dist_is_bfs() {
+        let dists = bounded_min_dist(DIAMOND, &[0], 6);
+        assert_eq!(dists, vec![(0, 0), (1, 1), (2, 1), (3, 2), (4, 3)]);
+        // The bound truncates.
+        assert_eq!(
+            bounded_min_dist(DIAMOND, &[0], 2),
+            vec![(0, 0), (1, 1), (2, 1), (3, 2)]
+        );
+        // Multi-source takes the nearest source.
+        assert_eq!(
+            bounded_min_dist(DIAMOND, &[0, 3], 6),
+            vec![(0, 0), (1, 1), (2, 1), (3, 0), (4, 1)]
+        );
+    }
+
+    #[test]
+    fn max_walk_is_the_bellman_fixpoint() {
+        let walks = bounded_max_walk(DIAMOND, &[0], 6);
+        assert_eq!(walks, vec![(0, 0), (1, 1), (2, 1), (3, 2), (4, 3)]);
+        // The bound caps walk lengths on long chains.
+        let chain: &[(u32, u32)] = &[(0, 1), (1, 2), (2, 3), (3, 4)];
+        assert_eq!(
+            bounded_max_walk(chain, &[0], 2),
+            vec![(0, 0), (1, 1), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn reach_counts_ignore_unreachable_predecessors() {
+        // 9 -> 3 exists but 9 is unreachable from 0.
+        let edges: &[(u32, u32)] = &[(0, 1), (0, 2), (1, 3), (2, 3), (9, 3)];
+        assert_eq!(
+            bounded_reach_counts(edges, &[0]),
+            vec![(1, 1), (2, 1), (3, 2)]
+        );
+    }
+
+    #[test]
+    fn two_stratum_baseline_agrees_with_bfs_cardinality() {
+        let count = two_stratum_min_dist(DIAMOND, &[0], 6).unwrap();
+        assert_eq!(count, bounded_min_dist(DIAMOND, &[0], 6).len());
+    }
+}

@@ -2,7 +2,8 @@
 
 use std::time::Instant;
 
-use carac_datalog::magic::{magic_rewrite, QueryBinding};
+use carac_datalog::hasher::{FxHashMap, FxHashSet};
+use carac_datalog::magic::{is_magic_name, magic_rewrite, QueryBinding};
 use carac_datalog::Program;
 use carac_exec::{
     interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine,
@@ -15,6 +16,7 @@ use carac_storage::{RelId, Tuple, Value};
 use crate::aot::prepare_plan;
 use crate::config::{EngineConfig, ExecutionMode};
 use crate::error::CaracError;
+use crate::explain::{self, DerivationTree};
 use crate::result::{QueryAnswer, QueryResult};
 
 /// Keeps only the tuples matching every bound position of `pattern`.
@@ -274,6 +276,98 @@ impl Carac {
             derived_facts,
             rewritten.answer_relation,
         ))
+    }
+
+    /// Explains **why** a derived fact holds: returns a minimal-depth
+    /// [`DerivationTree`] of rule instantiations (and aggregate folds)
+    /// bottoming out at extensional / asserted base facts.
+    ///
+    /// The walk is goal-directed: the engine evaluates the program rewritten
+    /// by the magic-set transformation for the fully bound fact, so the
+    /// backward search runs over the *demanded cone* — typically far smaller
+    /// than the full fixpoint.  Goals that cannot soundly be
+    /// demand-restricted (aggregated or negated relations, fact-bearing
+    /// heads) fall back to searching the full fixpoint; the answer is the
+    /// same either way.
+    ///
+    /// Errors with [`CaracError::Explain`] when the fact is not derivable.
+    ///
+    /// ```
+    /// use carac::Carac;
+    /// use carac_datalog::parser::parse;
+    ///
+    /// let program = parse(
+    ///     "Path(x, y) :- Edge(x, y).\n\
+    ///      Path(x, y) :- Edge(x, z), Path(z, y).\n\
+    ///      Edge(1, 2). Edge(2, 3).",
+    /// ).unwrap();
+    /// let engine = Carac::new(program);
+    /// let tree = engine.explain("Path", &[1, 3]).unwrap();
+    /// assert_eq!(tree.root().relation, "Path");
+    /// assert!(tree.leaves().all(|leaf| leaf.relation == "Edge"));
+    /// assert!(engine.explain("Path", &[3, 1]).is_err());
+    /// ```
+    pub fn explain(&self, relation: &str, values: &[u32]) -> Result<DerivationTree, CaracError> {
+        self.explain_tuple(
+            relation,
+            Tuple::new(values.iter().copied().map(Value::int).collect()),
+        )
+    }
+
+    /// [`Carac::explain`] over a pre-built tuple (for interned symbols or
+    /// tuples taken from a result).
+    pub fn explain_tuple(
+        &self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<DerivationTree, CaracError> {
+        let rel = self.program.relation_by_name(relation)?;
+        let decl = self.program.relation(rel);
+        if tuple.values().len() != decl.arity {
+            return Err(carac_datalog::DatalogError::ArityMismatch {
+                relation: decl.name.clone(),
+                expected: decl.arity,
+                actual: tuple.values().len(),
+            }
+            .into());
+        }
+        // Restrict the search to the demanded cone of the fully bound goal.
+        // EDB goals take the fallback branch inside the rewrite (extensional
+        // relations are never demand-restricted) and resolve to leaves.
+        let pattern: Vec<QueryBinding> = tuple
+            .values()
+            .iter()
+            .map(|&v| QueryBinding::Bound(v))
+            .collect();
+        let extra_rels: Vec<RelId> = self.extra_facts.iter().map(|&(r, _)| r).collect();
+        let rewritten = magic_rewrite(&self.program, rel, &pattern, &extra_rels)?;
+        let ctx = self.run_context_for(&rewritten.program, &rewritten.magic_relations)?;
+
+        // Collapse the evaluated relations back onto the original program's
+        // ids: an original relation's cone is its own facts plus every
+        // adorned variant's.
+        let mut cone: FxHashMap<RelId, FxHashSet<Tuple>> = FxHashMap::default();
+        for evaluated in rewritten.program.relations() {
+            if is_magic_name(&evaluated.name) {
+                continue;
+            }
+            let original = rewritten
+                .adorned_map
+                .iter()
+                .find(|(adorned, _)| *adorned == evaluated.name)
+                .map(|(_, original)| original.as_str())
+                .unwrap_or(&evaluated.name);
+            let Ok(orig_rel) = self.program.relation_by_name(original) else {
+                continue;
+            };
+            cone.entry(orig_rel)
+                .or_default()
+                .extend(ctx.derived_tuples(evaluated.id));
+        }
+
+        let mut base_facts: Vec<(RelId, Tuple)> = self.program.facts().to_vec();
+        base_facts.extend(self.extra_facts.iter().cloned());
+        explain::build_tree(&self.program, &cone, &base_facts, rel, &tuple)
     }
 
     /// Runs the program to completion and returns the raw execution context

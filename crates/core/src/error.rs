@@ -11,6 +11,12 @@ pub enum CaracError {
     Exec(carac_exec::ExecError),
     /// Storage error outside the execution path (e.g. loading facts).
     Storage(carac_storage::StorageError),
+    /// Provenance reconstruction failure: the fact handed to
+    /// [`Carac::explain`] is not derivable, or (internal invariant
+    /// violation) its derivation could not be rebuilt.
+    ///
+    /// [`Carac::explain`]: crate::engine::Carac::explain
+    Explain(String),
 }
 
 impl fmt::Display for CaracError {
@@ -19,6 +25,7 @@ impl fmt::Display for CaracError {
             CaracError::Datalog(err) => write!(f, "{err}"),
             CaracError::Exec(err) => write!(f, "{err}"),
             CaracError::Storage(err) => write!(f, "{err}"),
+            CaracError::Explain(msg) => write!(f, "explain: {msg}"),
         }
     }
 }

@@ -1,0 +1,623 @@
+//! Provenance: *why* does a derived fact hold?
+//!
+//! [`Carac::explain`] reconstructs a derivation of one fact as a
+//! [`DerivationTree`]: a proof DAG whose internal nodes are rule
+//! instantiations (or aggregate folds) and whose leaves are extensional or
+//! asserted base facts.  The reconstruction is **goal-directed**: the
+//! engine first evaluates the program rewritten by the magic-set transform
+//! for the fully bound goal ([`carac_datalog::magic::magic_rewrite`]), so
+//! the backward search runs over the *demanded cone* of the fact — a small
+//! subset of the full fixpoint — and falls back to the full fixpoint only
+//! when the goal cannot soundly be demand-restricted (aggregated or negated
+//! relations, fact-bearing heads).
+//!
+//! Trees are **minimal-depth**: facts are labeled in breadth-first rounds
+//! (round 0 holds the base facts, round `k` everything derivable from
+//! rounds `< k`), and each fact records the first justification that
+//! labeled it.  Shared premises appear once — the tree is an arena-backed
+//! DAG with children stored before their parents.
+//!
+//! [`Carac::explain`]: crate::engine::Carac::explain
+
+use std::fmt;
+
+use carac_datalog::hasher::{FxHashMap, FxHashSet};
+use carac_datalog::{Program, Rule, RuleId, Term};
+use carac_storage::{AggFunc, RelId, Tuple, Value};
+
+use crate::error::CaracError;
+
+/// Index of a node within its [`DerivationTree`] arena.
+pub type NodeId = usize;
+
+/// How one fact of a derivation tree came to hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Derivation {
+    /// An extensional or asserted base fact — a leaf.
+    Fact,
+    /// An instantiation of a program rule: the premises are the positive
+    /// body literals' facts, in body order.
+    Rule {
+        /// The instantiated rule.
+        rule: RuleId,
+        /// Human-readable rendering of the rule.
+        display: String,
+        /// One node per positive body literal, in body order.
+        premises: Vec<NodeId>,
+    },
+    /// An aggregate fold over the hidden input relation.  For `min`/`max`
+    /// the witness is the input row achieving the optimum; for `count`/
+    /// `sum` the witnesses are the whole group (every row contributes).
+    Aggregate {
+        /// The fold function.
+        func: AggFunc,
+        /// Name of the hidden input relation.
+        input: String,
+        /// Input rows justifying the folded value.
+        witnesses: Vec<NodeId>,
+    },
+}
+
+/// One fact of a [`DerivationTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationNode {
+    /// Relation the fact belongs to.
+    pub relation: String,
+    /// The fact itself.
+    pub tuple: Tuple,
+    /// The fact rendered through the program's symbol table.
+    pub row: Vec<String>,
+    /// Breadth-first round in which the fact became derivable (0 for base
+    /// facts).
+    pub depth: usize,
+    /// The justification.
+    pub derivation: Derivation,
+}
+
+impl DerivationNode {
+    /// Whether this node is a base-fact leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.derivation, Derivation::Fact)
+    }
+
+    /// The child node ids (premises or witnesses), empty for leaves.
+    pub fn children(&self) -> &[NodeId] {
+        match &self.derivation {
+            Derivation::Fact => &[],
+            Derivation::Rule { premises, .. } => premises,
+            Derivation::Aggregate { witnesses, .. } => witnesses,
+        }
+    }
+}
+
+/// A minimal-depth derivation of one fact: an arena of nodes (children
+/// stored before parents, each shared fact appearing once) plus the root.
+#[derive(Debug, Clone)]
+pub struct DerivationTree {
+    nodes: Vec<DerivationNode>,
+    root: NodeId,
+}
+
+impl DerivationTree {
+    /// The root node — the explained fact.
+    pub fn root(&self) -> &DerivationNode {
+        &self.nodes[self.root]
+    }
+
+    /// The root's node id.
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &DerivationNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes, children before parents.
+    pub fn nodes(&self) -> &[DerivationNode] {
+        &self.nodes
+    }
+
+    /// Number of distinct facts in the proof DAG.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Depth of the root: the number of breadth-first rounds needed to
+    /// derive the explained fact.
+    pub fn depth(&self) -> usize {
+        self.root().depth
+    }
+
+    /// The leaf nodes: every extensional / asserted fact the derivation
+    /// bottoms out at.
+    pub fn leaves(&self) -> impl Iterator<Item = &DerivationNode> {
+        self.nodes.iter().filter(|n| n.is_leaf())
+    }
+
+    /// Structural validation: children precede parents, leaves are base
+    /// facts, every child is strictly shallower than its parent, and every
+    /// node is reachable from the root.  Returns an error description on
+    /// the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        let mut reachable = vec![false; self.nodes.len()];
+        reachable[self.root] = true;
+        for (id, node) in self.nodes.iter().enumerate().rev() {
+            if !reachable[id] {
+                continue;
+            }
+            for &child in node.children() {
+                if child >= id {
+                    return Err(format!(
+                        "child {child} of node {id} does not precede its parent"
+                    ));
+                }
+                if self.nodes[child].depth >= node.depth {
+                    return Err(format!(
+                        "child {child} (depth {}) is not shallower than node {id} (depth {})",
+                        self.nodes[child].depth, node.depth
+                    ));
+                }
+                reachable[child] = true;
+            }
+            if node.children().is_empty() && !node.is_leaf() {
+                return Err(format!("internal node {id} has no premises"));
+            }
+        }
+        if let Some(unreachable) = reachable.iter().position(|&r| !r) {
+            return Err(format!("node {unreachable} is not reachable from the root"));
+        }
+        Ok(())
+    }
+
+    fn render_into(&self, id: NodeId, indent: usize, out: &mut String) {
+        let node = &self.nodes[id];
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push_str(&node.relation);
+        out.push('(');
+        out.push_str(&node.row.join(", "));
+        out.push(')');
+        match &node.derivation {
+            Derivation::Fact => out.push_str("  [fact]"),
+            Derivation::Rule { display, .. } => {
+                out.push_str("  [");
+                out.push_str(display);
+                out.push(']');
+            }
+            Derivation::Aggregate { func, input, .. } => {
+                out.push_str(&format!("  [{} over {input}]", func.name()));
+            }
+        }
+        out.push('\n');
+        for &child in self.nodes[id].children() {
+            self.render_into(child, indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for DerivationTree {
+    /// Indented rendering, one fact per line, premises nested under their
+    /// conclusion (shared premises re-printed in place).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render_into(self.root, 0, &mut out);
+        f.write_str(out.trim_end())
+    }
+}
+
+/// How a fact was first labeled during the breadth-first rounds.
+enum Just {
+    Fact,
+    Rule {
+        rule: RuleId,
+        premises: Vec<(RelId, Tuple)>,
+    },
+    Aggregate {
+        func: AggFunc,
+        witnesses: Vec<Tuple>,
+    },
+}
+
+/// The labeling state: every fact known derivable so far, its round, and
+/// its first justification.
+struct Labeling {
+    depth: FxHashMap<(RelId, Tuple), usize>,
+    just: FxHashMap<(RelId, Tuple), Just>,
+    /// Labeled facts per relation, for the instantiation joins.
+    by_rel: FxHashMap<RelId, Vec<Tuple>>,
+}
+
+/// Backtracking instantiation of `rule` over the labeled facts: extends
+/// `bindings` literal by literal, and for every complete match whose head
+/// lands in `cone` (and is not yet labeled) records a round-`round`
+/// justification in `fresh`.
+fn instantiate(
+    rule: &Rule,
+    labeling: &Labeling,
+    cone: &FxHashMap<RelId, FxHashSet<Tuple>>,
+    fresh: &mut Vec<((RelId, Tuple), Just)>,
+    seen_fresh: &mut FxHashSet<(RelId, Tuple)>,
+) {
+    let search = Instantiation {
+        positives: rule.positive_body().collect(),
+        rule,
+        labeling,
+        cone,
+    };
+    let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars()];
+    let mut premises: Vec<(RelId, Tuple)> = Vec::with_capacity(search.positives.len());
+    search.go(0, &mut bindings, &mut premises, fresh, seen_fresh);
+}
+
+/// The read-only context of one rule instantiation, so the backtracking
+/// recursion only threads its mutable search state.
+struct Instantiation<'a> {
+    positives: Vec<&'a carac_datalog::Literal>,
+    rule: &'a Rule,
+    labeling: &'a Labeling,
+    cone: &'a FxHashMap<RelId, FxHashSet<Tuple>>,
+}
+
+impl Instantiation<'_> {
+    fn go(
+        &self,
+        level: usize,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &mut Vec<(RelId, Tuple)>,
+        fresh: &mut Vec<((RelId, Tuple), Just)>,
+        seen_fresh: &mut FxHashSet<(RelId, Tuple)>,
+    ) {
+        let Instantiation {
+            positives,
+            rule,
+            labeling,
+            cone,
+        } = self;
+        if level == positives.len() {
+            // All positive literals matched: check constraints, then
+            // negation (against the cone sets, which are complete for
+            // negated relations — demand never restricts them).
+            for c in &rule.constraints {
+                let value = |t: &Term| match t {
+                    Term::Const(v) => *v,
+                    Term::Var(v) => bindings[v.index()].expect("constraint var bound"),
+                };
+                if !c.op.eval(value(&c.lhs), value(&c.rhs)) {
+                    return;
+                }
+            }
+            for literal in rule.negative_body() {
+                let probe = Tuple::new(
+                    literal
+                        .atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => *v,
+                            Term::Var(v) => bindings[v.index()].expect("negated var bound"),
+                        })
+                        .collect(),
+                );
+                if cone
+                    .get(&literal.atom.rel)
+                    .is_some_and(|set| set.contains(&probe))
+                {
+                    return;
+                }
+            }
+            let head = Tuple::new(
+                rule.head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => *v,
+                        Term::Var(v) => bindings[v.index()].expect("head var bound"),
+                    })
+                    .collect(),
+            );
+            let key = (rule.head.rel, head);
+            if cone.get(&key.0).is_some_and(|set| set.contains(&key.1))
+                && !labeling.depth.contains_key(&key)
+                && seen_fresh.insert(key.clone())
+            {
+                fresh.push((
+                    key,
+                    Just::Rule {
+                        rule: rule.id,
+                        premises: premises.clone(),
+                    },
+                ));
+            }
+            return;
+        }
+        let atom = &positives[level].atom;
+        let Some(facts) = labeling.by_rel.get(&atom.rel) else {
+            return;
+        };
+        for tuple in facts {
+            let mut bound_here: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for (col, term) in atom.terms.iter().enumerate() {
+                let v = tuple.get(col).expect("arity validated");
+                match term {
+                    Term::Const(c) => {
+                        if *c != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(var) => match bindings[var.index()] {
+                        Some(b) => {
+                            if b != v {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            bindings[var.index()] = Some(v);
+                            bound_here.push(var.index());
+                        }
+                    },
+                }
+            }
+            if ok {
+                premises.push((atom.rel, tuple.clone()));
+                self.go(level + 1, bindings, premises, fresh, seen_fresh);
+                premises.pop();
+            }
+            for var in bound_here {
+                bindings[var] = None;
+            }
+        }
+    }
+}
+
+/// Labels every aggregate-output fact in `cone` whose witnesses are already
+/// labeled: `min`/`max` outputs need one input row equal to the output (the
+/// optimum is itself an input row), `count`/`sum` outputs need the whole
+/// input group.
+fn label_aggregates(
+    program: &Program,
+    labeling: &Labeling,
+    cone: &FxHashMap<RelId, FxHashSet<Tuple>>,
+    fresh: &mut Vec<((RelId, Tuple), Just)>,
+    seen_fresh: &mut FxHashSet<(RelId, Tuple)>,
+) {
+    for spec in program.aggregates() {
+        let Some(outputs) = cone.get(&spec.output) else {
+            continue;
+        };
+        let agg_cols: FxHashSet<usize> = spec.aggs.iter().map(|&(c, _)| c).collect();
+        // Labeled input rows per group key.
+        let mut groups: FxHashMap<Vec<Value>, Vec<Tuple>> = FxHashMap::default();
+        if let Some(inputs) = labeling.by_rel.get(&spec.input) {
+            for tuple in inputs {
+                let key: Vec<Value> = tuple
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| !agg_cols.contains(c))
+                    .map(|(_, &v)| v)
+                    .collect();
+                groups.entry(key).or_default().push(tuple.clone());
+            }
+        }
+        // Total input group sizes (labeled or not), to detect completeness
+        // for count/sum.
+        let mut totals: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+        if let Some(all_inputs) = cone.get(&spec.input) {
+            for tuple in all_inputs {
+                let key: Vec<Value> = tuple
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| !agg_cols.contains(c))
+                    .map(|(_, &v)| v)
+                    .collect();
+                *totals.entry(key).or_default() += 1;
+            }
+        }
+        let exact = spec
+            .aggs
+            .iter()
+            .all(|&(_, f)| matches!(f, AggFunc::Min | AggFunc::Max));
+        for out in outputs {
+            let key = (spec.output, out.clone());
+            if labeling.depth.contains_key(&key) || seen_fresh.contains(&key) {
+                continue;
+            }
+            let group_key: Vec<Value> = out
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| !agg_cols.contains(c))
+                .map(|(_, &v)| v)
+                .collect();
+            let Some(members) = groups.get(&group_key) else {
+                continue;
+            };
+            // A pure min/max fold's output is itself an input row of the
+            // group — that single row witnesses the folded value.  Count,
+            // sum, and multi-function folds combine the whole group, so the
+            // justification waits until every group row is labeled.
+            let optimum = exact.then(|| members.iter().find(|t| *t == out)).flatten();
+            let witnesses: Vec<Tuple> = match optimum {
+                Some(w) => vec![w.clone()],
+                None => {
+                    if totals.get(&group_key).copied().unwrap_or(0) != members.len() {
+                        continue;
+                    }
+                    members.clone()
+                }
+            };
+            seen_fresh.insert(key.clone());
+            fresh.push((
+                key,
+                Just::Aggregate {
+                    func: spec.aggs[0].1,
+                    witnesses,
+                },
+            ));
+        }
+    }
+}
+
+/// Builds the minimal-depth derivation of `(goal, tuple)` from the cone
+/// fact sets: breadth-first labeling rounds, then memoized tree extraction.
+pub(crate) fn build_tree(
+    program: &Program,
+    cone: &FxHashMap<RelId, FxHashSet<Tuple>>,
+    base_facts: &[(RelId, Tuple)],
+    goal: RelId,
+    tuple: &Tuple,
+) -> Result<DerivationTree, CaracError> {
+    let goal_name = &program.relation(goal).name;
+    if !cone.get(&goal).is_some_and(|set| set.contains(tuple)) {
+        return Err(CaracError::Explain(format!(
+            "{goal_name}({}) is not derivable from the current database",
+            tuple
+                .values()
+                .iter()
+                .map(|&v| program.symbols().display(v))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+
+    let mut labeling = Labeling {
+        depth: FxHashMap::default(),
+        just: FxHashMap::default(),
+        by_rel: FxHashMap::default(),
+    };
+    // Round 0: extensional relations (all their cone facts are base) plus
+    // asserted base facts on intensional relations.
+    for decl in program.relations() {
+        if !decl.is_edb {
+            continue;
+        }
+        if let Some(set) = cone.get(&decl.id) {
+            for t in set {
+                let key = (decl.id, t.clone());
+                labeling.depth.insert(key.clone(), 0);
+                labeling.just.insert(key, Just::Fact);
+                labeling.by_rel.entry(decl.id).or_default().push(t.clone());
+            }
+        }
+    }
+    for (rel, t) in base_facts {
+        if program.relation(*rel).is_edb {
+            continue; // already covered above
+        }
+        if !cone.get(rel).is_some_and(|set| set.contains(t)) {
+            continue;
+        }
+        let key = (*rel, t.clone());
+        if labeling.depth.contains_key(&key) {
+            continue;
+        }
+        labeling.depth.insert(key.clone(), 0);
+        labeling.just.insert(key, Just::Fact);
+        labeling.by_rel.entry(*rel).or_default().push(t.clone());
+    }
+
+    // Breadth-first rounds until the goal is labeled (or no progress —
+    // impossible for cone facts, kept as a safety net).
+    let target = (goal, tuple.clone());
+    let mut round = 0;
+    while !labeling.depth.contains_key(&target) {
+        round += 1;
+        let mut fresh: Vec<((RelId, Tuple), Just)> = Vec::new();
+        let mut seen_fresh: FxHashSet<(RelId, Tuple)> = FxHashSet::default();
+        for rule in program.rules() {
+            if !cone.contains_key(&rule.head.rel) {
+                continue;
+            }
+            instantiate(rule, &labeling, cone, &mut fresh, &mut seen_fresh);
+        }
+        label_aggregates(program, &labeling, cone, &mut fresh, &mut seen_fresh);
+        if fresh.is_empty() {
+            return Err(CaracError::Explain(format!(
+                "no derivation found for {goal_name} after {round} rounds \
+                 (the fact is in the fixpoint but could not be re-derived)"
+            )));
+        }
+        for (key, just) in fresh {
+            labeling.depth.insert(key.clone(), round);
+            labeling.just.insert(key.clone(), just);
+            labeling.by_rel.entry(key.0).or_default().push(key.1);
+        }
+    }
+
+    // Memoized extraction: depth-first, emitting children before parents so
+    // the arena is topologically ordered.
+    let mut nodes: Vec<DerivationNode> = Vec::new();
+    let mut memo: FxHashMap<(RelId, Tuple), NodeId> = FxHashMap::default();
+    let root = extract(program, &labeling, &target, &mut nodes, &mut memo);
+    Ok(DerivationTree { nodes, root })
+}
+
+/// Recursively materializes the node for `key`, memoizing shared facts.
+fn extract(
+    program: &Program,
+    labeling: &Labeling,
+    key: &(RelId, Tuple),
+    nodes: &mut Vec<DerivationNode>,
+    memo: &mut FxHashMap<(RelId, Tuple), NodeId>,
+) -> NodeId {
+    if let Some(&id) = memo.get(key) {
+        return id;
+    }
+    let just = labeling.just.get(key).expect("labeled fact has a just");
+    let derivation = match just {
+        Just::Fact => Derivation::Fact,
+        Just::Rule { rule, premises } => {
+            let ids = premises
+                .iter()
+                .map(|p| extract(program, labeling, p, nodes, memo))
+                .collect();
+            let rule_ast = program.rule(*rule);
+            Derivation::Rule {
+                rule: *rule,
+                display: program.display_rule(rule_ast),
+                premises: ids,
+            }
+        }
+        Just::Aggregate { func, witnesses } => {
+            let spec = program
+                .aggregate_for(key.0)
+                .expect("aggregate just on aggregate output");
+            let ids = witnesses
+                .iter()
+                .map(|w| extract(program, labeling, &(spec.input, w.clone()), nodes, memo))
+                .collect();
+            Derivation::Aggregate {
+                func: *func,
+                input: program.relation(spec.input).name.clone(),
+                witnesses: ids,
+            }
+        }
+    };
+    let id = nodes.len();
+    nodes.push(DerivationNode {
+        relation: program.relation(key.0).name.clone(),
+        row: key
+            .1
+            .values()
+            .iter()
+            .map(|&v| program.symbols().display(v))
+            .collect(),
+        tuple: key.1.clone(),
+        depth: *labeling.depth.get(key).expect("labeled"),
+        derivation,
+    });
+    memo.insert(key.clone(), id);
+    id
+}

@@ -58,12 +58,14 @@ pub mod aot;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod result;
 
 pub use config::knobs;
 pub use config::{AotConfig, EngineConfig, ExecutionMode};
 pub use engine::Carac;
 pub use error::CaracError;
+pub use explain::{Derivation, DerivationNode, DerivationTree, NodeId};
 pub use result::{QueryAnswer, QueryResult};
 
 // Incremental maintenance surface (see `Carac::apply_update`).

@@ -174,11 +174,20 @@ impl Constraint {
 /// listed in `aggs`, the listed columns are folded with their aggregation
 /// functions, and one row per group is inserted into `output`.
 ///
-/// The frontend materializes one spec per aggregate rule: writing
-/// `Dist(y, min d) :- Body` declares a hidden input relation holding the raw
-/// `(y, d)` projections of `Body` and records the `(column 1, Min)` spec
-/// against `Dist`.  Aggregation crosses strata exactly like negation, so
-/// recursion through an aggregate is rejected during stratification.
+/// The frontend materializes one spec per aggregated output relation:
+/// writing `Dist(y, min d) :- Body` declares a hidden input relation holding
+/// the raw `(y, d)` projections of `Body` and records the `(column 1, Min)`
+/// spec against `Dist`.
+///
+/// When input and output end up in *different* strata the aggregate is
+/// stratified: it crosses strata exactly like negation and the fold runs
+/// once, after the input stratum reaches its fixpoint.  When they share a
+/// recursive stratum (`Dist(y, min d) :- Dist(x, d1), ...`) the aggregate is
+/// a **monotone lattice fold** (`lattice` is set by stratification): the
+/// fold re-runs inside the stratum's fixpoint loop and a group re-enters the
+/// delta only when its folded value strictly improves.  All four functions
+/// are monotone over growing input sets (min/max over the value lattice,
+/// sum/count over naturals), so the fixpoint still terminates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggregateSpec {
     /// Relation receiving the aggregated rows.
@@ -187,6 +196,10 @@ pub struct AggregateSpec {
     pub input: RelId,
     /// `(column, function)` pairs; every other column is a group key.
     pub aggs: Vec<(usize, AggFunc)>,
+    /// `true` when input and output share a recursive stratum and the fold
+    /// runs inside that stratum's fixpoint loop (monotone lattice mode);
+    /// `false` for ordinary stratified aggregation.
+    pub lattice: bool,
 }
 
 /// A Datalog rule `head :- body`.

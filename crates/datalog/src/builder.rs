@@ -468,6 +468,9 @@ impl ProgramBuilder {
                 output,
                 input,
                 aggs: aggs.clone(),
+                // Refined during stratification: set when input and output
+                // share a recursive stratum.
+                lattice: false,
             });
         }
 
@@ -475,9 +478,9 @@ impl ProgramBuilder {
         //    shapes.
         validate::validate(&decls, &rules, &facts, &self.symbols)?;
 
-        // 6. Stratify (also rejects negation — and aggregation — through
-        //    recursion).
-        let stratification = Stratification::compute(&decls, &rules, &aggregates)?;
+        // 6. Stratify (rejects negation through recursion and classifies
+        //    each aggregate as stratified or monotone-lattice).
+        let stratification = Stratification::compute(&decls, &rules, &mut aggregates)?;
 
         Ok(Program::new(
             decls,
@@ -493,18 +496,30 @@ impl ProgramBuilder {
     /// ordinary rule deriving a hidden `<head>__agg_input` relation, plus a
     /// raw aggregation registration from the hidden input to the original
     /// head.
+    ///
+    /// Several rules may aggregate into the same output — e.g. the base and
+    /// recursive rules of a lattice fold like single-rule shortest path —
+    /// as long as every rule deriving that head aggregates the same columns
+    /// with the same functions; they all feed one shared hidden input and
+    /// register one aggregation.  Mixing aggregate and plain rules on one
+    /// head stays rejected.
     fn rewrite_aggregate_rules(&mut self) -> Result<(), DatalogError> {
-        // Count rules per head so aggregate heads can insist on exclusivity.
+        // Count rules per head so aggregate heads can insist that every
+        // sibling rule is also an aggregate rule.
         let mut head_counts: FxHashMap<String, usize> = FxHashMap::default();
         for raw in &self.raw_rules {
             *head_counts.entry(raw.head_rel.clone()).or_insert(0) += 1;
         }
-        // Phase 1: find the aggregate rules and check that each hidden name
-        // is genuinely fresh — `<head>__agg_input` is reserved, so any user
-        // declaration, rule or fact touching it would silently contaminate
-        // the aggregate's input and is rejected instead.
-        // (rule index, output name, hidden input name, agg columns).
-        let mut rewrites: Vec<(usize, RawAggregate)> = Vec::new();
+        // Phase 1: group the aggregate rules by output, checking signature
+        // agreement, and check that each hidden name is genuinely fresh —
+        // `<head>__agg_input` is reserved, so any user declaration, rule or
+        // fact touching it would silently contaminate the aggregate's input
+        // and is rejected instead.
+        // Rule indices sharing the head, plus the agreed (column, function)
+        // aggregate signature.
+        type AggGroup = (Vec<usize>, Vec<(usize, AggFunc)>);
+        let mut outputs: Vec<String> = Vec::new();
+        let mut grouped: FxHashMap<String, AggGroup> = FxHashMap::default();
         for (idx, raw) in self.raw_rules.iter().enumerate() {
             let agg_cols: Vec<(usize, AggFunc)> = raw
                 .head_terms
@@ -519,8 +534,27 @@ impl ProgramBuilder {
                 continue;
             }
             let output = raw.head_rel.clone();
-            if head_counts.get(&output).copied().unwrap_or(0) != 1 {
-                return Err(DatalogError::AggregateConflict { relation: output });
+            match grouped.get_mut(&output) {
+                Some((idxs, cols)) => {
+                    if *cols != agg_cols {
+                        return Err(DatalogError::AggregateConflict { relation: output });
+                    }
+                    idxs.push(idx);
+                }
+                None => {
+                    outputs.push(output.clone());
+                    grouped.insert(output, (vec![idx], agg_cols));
+                }
+            }
+        }
+        for output in &outputs {
+            let (idxs, _) = &grouped[output];
+            // Every rule deriving this head must be one of the aggregate
+            // rules; a plain sibling rule would bypass the fold.
+            if head_counts.get(output).copied().unwrap_or(0) != idxs.len() {
+                return Err(DatalogError::AggregateConflict {
+                    relation: output.clone(),
+                });
             }
             let hidden = format!("{output}{AGG_INPUT_SUFFIX}");
             let mentioned = self.relations.iter().any(|(n, _)| n == &hidden)
@@ -532,20 +566,23 @@ impl ProgramBuilder {
             if mentioned {
                 return Err(DatalogError::AggregateConflict { relation: hidden });
             }
-            rewrites.push((idx, (output, hidden, agg_cols)));
         }
-        // Phase 2: apply — declare the hidden relation, retarget the rule's
-        // head at it, register the aggregation.
-        for (idx, (output, hidden, agg_cols)) in rewrites {
-            let arity = self.raw_rules[idx].head_terms.len();
+        // Phase 2: apply — declare the hidden relation once per output,
+        // retarget every member rule's head at it, register the aggregation.
+        for output in outputs {
+            let (idxs, agg_cols) = grouped.remove(&output).expect("grouped by construction");
+            let hidden = format!("{output}{AGG_INPUT_SUFFIX}");
+            let arity = self.raw_rules[idxs[0]].head_terms.len();
             self.relations.push((hidden.clone(), arity));
-            let raw = &mut self.raw_rules[idx];
-            for term in &mut raw.head_terms {
-                if let TermSpec::Agg(_, var) = term {
-                    *term = TermSpec::Var(std::mem::take(var));
+            for idx in idxs {
+                let raw = &mut self.raw_rules[idx];
+                for term in &mut raw.head_terms {
+                    if let TermSpec::Agg(_, var) = term {
+                        *term = TermSpec::Var(std::mem::take(var));
+                    }
                 }
+                raw.head_rel = hidden.clone();
             }
-            raw.head_rel = hidden.clone();
             self.raw_aggregates.push((output, hidden, agg_cols));
         }
         Ok(())

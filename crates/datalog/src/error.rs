@@ -76,19 +76,13 @@ pub enum DatalogError {
         /// Relation whose atom or fact carried the aggregate term.
         relation: String,
     },
-    /// A relation with an aggregate rule also has other rules or facts, or
-    /// has more than one aggregate rule.  Aggregated relations must be
-    /// defined by exactly one aggregate rule.
+    /// A relation with an aggregate rule also has plain rules or facts, or
+    /// its aggregate rules disagree on which columns/functions they fold.
+    /// Aggregated relations must be defined solely by aggregate rules with
+    /// one common aggregation signature.
     AggregateConflict {
         /// The over-defined relation.
         relation: String,
-    },
-    /// Recursion through an aggregate: the aggregated relation participates
-    /// in the recursive computation of its own input, which (like negation
-    /// through recursion) has no least fixpoint.
-    AggregateThroughRecursion {
-        /// The aggregated relation.
-        output: String,
     },
     /// A program rewrite (magic sets) would generate a relation name the
     /// user program already declares; the name is reserved.
@@ -156,11 +150,7 @@ impl fmt::Display for DatalogError {
             ),
             DatalogError::AggregateConflict { relation } => write!(
                 f,
-                "relation `{relation}` must be defined by exactly one aggregate rule and nothing else"
-            ),
-            DatalogError::AggregateThroughRecursion { output } => write!(
-                f,
-                "program is not stratifiable: aggregated relation `{output}` depends recursively on its own aggregate"
+                "relation `{relation}` must be defined only by aggregate rules sharing one aggregation signature"
             ),
             DatalogError::ReservedName { relation } => write!(
                 f,

@@ -114,6 +114,11 @@ pub struct MagicProgram {
     /// Names of the generated magic predicates (empty on fallback) — the
     /// optimizer treats these as high-selectivity.
     pub magic_relations: Vec<String>,
+    /// Mapping from each adorned relation name (`Path__bf`) back to the
+    /// original relation it specializes (`Path`), empty on fallback.
+    /// Provenance reconstruction unions an original relation's facts with
+    /// its adorned variants' to recover the demanded cone per relation.
+    pub adorned_map: Vec<(String, String)>,
 }
 
 /// A generated rule before emission through the builder.
@@ -250,6 +255,7 @@ pub fn magic_rewrite(
             answer_relation: goal_decl.name.clone(),
             fallback: true,
             magic_relations: Vec::new(),
+            adorned_map: Vec::new(),
         });
     }
 
@@ -414,9 +420,12 @@ pub fn magic_rewrite(
         builder.relation(&decl.name, decl.arity);
     }
     let mut magic_relations = Vec::with_capacity(adorned.len());
+    let mut adorned_map = Vec::with_capacity(adorned.len());
     for (rel, adn) in &adorned {
         let decl = program.relation(*rel);
-        builder.relation(&adorned_name(&decl.name, adn), decl.arity);
+        let adorned = adorned_name(&decl.name, adn);
+        builder.relation(&adorned, decl.arity);
+        adorned_map.push((adorned, decl.name.clone()));
         let magic = magic_name(&decl.name, adn);
         builder.relation(&magic, adn.iter().filter(|&&b| b).count());
         magic_relations.push(magic);
@@ -491,6 +500,7 @@ pub fn magic_rewrite(
         program: rewritten,
         fallback: false,
         magic_relations,
+        adorned_map,
     })
 }
 

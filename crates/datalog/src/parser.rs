@@ -26,7 +26,10 @@
 //!   `=`, `!=`),
 //! * head positions may hold aggregate terms `count v`, `sum v`, `min v`,
 //!   `max v`: `Deg(x, count y) :- Edge(x, y).` groups by the plain head
-//!   columns and aggregates the marked ones (stratified, like negation),
+//!   columns and aggregates the marked ones.  Non-recursive aggregates are
+//!   stratified like negation; an aggregate whose rules recurse through the
+//!   aggregated head (`Dist(y, min d2) :- Dist(x, d1), ...`) runs as a
+//!   monotone lattice fold inside the recursion,
 //! * `%`, `#` and `//` start line comments,
 //! * relations are declared implicitly by use; arities must be consistent.
 
@@ -703,15 +706,40 @@ mod tests {
     }
 
     #[test]
-    fn recursion_through_aggregate_is_rejected() {
+    fn recursion_through_aggregate_is_a_lattice_fold() {
+        // A single-rule shortest path: the aggregated relation participates
+        // in its own input's recursion, so the spec is classified as a
+        // monotone lattice fold rather than rejected.
+        let program = parse(
+            "Dist(v, min d) :- Start(v), Zero(d).\n\
+             Dist(y, min d2) :- Dist(x, d1), Edge(x, y), Succ(d1, d2).\n\
+             Start(0). Zero(0). Succ(0, 1). Succ(1, 2). Edge(0, 1).",
+        )
+        .unwrap();
+        assert_eq!(program.aggregates().len(), 1);
+        let spec = &program.aggregates()[0];
+        assert!(spec.lattice);
+        // Both aggregate rules feed one shared hidden input.
+        assert_eq!(program.rules_for(spec.input).count(), 2);
+        // Input and output share one recursive stratum.
+        let strat = program.stratification();
+        let stratum = strat
+            .strata()
+            .iter()
+            .find(|s| s.relations.contains(&spec.output))
+            .unwrap();
+        assert!(stratum.relations.contains(&spec.input));
+        assert!(stratum.recursive);
+    }
+
+    #[test]
+    fn mixed_aggregate_signatures_on_one_head_are_rejected() {
         let err = parse(
-            "Dist(y, min d) :- Dist(x, d), Edge(x, y).\n\
-             Edge(1, 2).",
+            "Dist(v, min d) :- Start(v), Zero(d).\n\
+             Dist(v, max d) :- Start(v), Zero(d).\n\
+             Start(0). Zero(0).",
         )
         .unwrap_err();
-        assert!(matches!(
-            err,
-            DatalogError::AggregateThroughRecursion { .. }
-        ));
+        assert!(matches!(err, DatalogError::AggregateConflict { .. }));
     }
 }

@@ -57,12 +57,18 @@ impl Stratification {
 
     /// Computes the stratification of `rules` (and `aggregates`) over
     /// `decls`.  An aggregation contributes a dependency edge from its
-    /// output to its input that — like negation — must cross strata: the
-    /// input has to be fully computed before the aggregate is finalized.
+    /// output to its input.  When that edge crosses strata the aggregate is
+    /// stratified — like negation, the input is fully computed before the
+    /// fold runs once.  When output and input land in the same SCC the
+    /// aggregate is recursive; because all four aggregation functions are
+    /// monotone over growing input sets (min/max over the value lattice,
+    /// sum/count over saturating naturals), it is classified as a monotone
+    /// *lattice* fold (`spec.lattice = true`) that re-runs inside the
+    /// stratum's fixpoint loop instead of being rejected.
     pub fn compute(
         decls: &[RelationDecl],
         rules: &[Rule],
-        aggregates: &[AggregateSpec],
+        aggregates: &mut [AggregateSpec],
     ) -> Result<Self, DatalogError> {
         let n = decls.len();
 
@@ -79,7 +85,7 @@ impl Stratification {
                 }
             }
         }
-        for spec in aggregates {
+        for spec in aggregates.iter() {
             deps[spec.output.index()].insert(spec.input.index());
         }
 
@@ -106,14 +112,12 @@ impl Stratification {
                 }
             }
         }
-        // Reject aggregation inside an SCC: like negation, the aggregate's
-        // input must be fully computed before the output is finalized.
-        for spec in aggregates {
-            if scc_of[spec.output.index()] == scc_of[spec.input.index()] {
-                return Err(DatalogError::AggregateThroughRecursion {
-                    output: decls[spec.output.index()].name.clone(),
-                });
-            }
+        // Classify each aggregate: output and input in the same SCC means
+        // the fold participates in that stratum's fixpoint (monotone lattice
+        // mode); otherwise it is an ordinary stratified aggregate whose
+        // input is finalized before the fold runs once.
+        for spec in aggregates.iter_mut() {
+            spec.lattice = scc_of[spec.output.index()] == scc_of[spec.input.index()];
         }
 
         // Tarjan emits SCCs in reverse topological order of the condensation

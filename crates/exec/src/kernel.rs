@@ -524,17 +524,24 @@ fn probe_exists(
     })
 }
 
-/// Executes a stratum-boundary aggregation: groups the input relation's
-/// derived rows, folds the aggregate columns and inserts one row per group
-/// into the output relation's delta-new database.  Shared by the
-/// interpreter, the compiled-closure backends and the JIT (the bytecode VM
-/// has its own `Aggregate` instruction calling the same storage primitive).
+/// Executes an aggregation node: groups the input relation's derived rows,
+/// folds the aggregate columns and inserts the result rows into the output
+/// relation's delta-new database.  A stratified spec runs the one-shot
+/// stratum-boundary fold; a lattice spec runs the in-recursion fold that
+/// retracts a group's previous optimum and emits only strictly improved
+/// groups.  Shared by the interpreter, the compiled-closure backends and
+/// the JIT (the bytecode VM has its own `Aggregate` instruction calling the
+/// same storage primitives).
 pub fn execute_aggregate(
     spec: &AggregateSpec,
     storage: &mut StorageManager,
     stats: &mut RunStats,
 ) -> Result<(), ExecError> {
-    let (emitted, inserted) = storage.aggregate_into(spec.input, spec.output, &spec.aggs)?;
+    let (emitted, inserted) = if spec.lattice {
+        storage.aggregate_lattice_into(spec.input, spec.output, &spec.aggs)?
+    } else {
+        storage.aggregate_into(spec.input, spec.output, &spec.aggs)?
+    };
     stats.tuples_emitted += emitted;
     stats.tuples_inserted += inserted;
     Ok(())

@@ -59,16 +59,23 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
             .collect();
 
         // --- initial naive pass: every rule, all atoms from Derived ------
-        // Aggregated relations have no rules: their single contribution is
-        // the stratum-boundary Aggregate operator reading the (lower-
-        // stratum, fully computed) hidden input relation.
+        // Aggregated relations have no rules of their own.  A *stratified*
+        // aggregate contributes its stratum-boundary Aggregate operator here,
+        // reading the (lower-stratum, fully computed) hidden input relation.
+        // A *lattice* aggregate's input lives in the same stratum and is
+        // still sitting in delta-new at this point, so its fold runs inside
+        // the fixpoint loop instead (first folded at iteration one, after
+        // the initial SwapClear publishes the base rows).
         let mut initial_children = Vec::new();
+        let mut initial_aggregates = Vec::new();
         for &rel in &relations {
             if let Some(spec) = program.aggregate_for(rel) {
-                initial_children.push(IRNode {
-                    id: ids.fresh(),
-                    op: IROp::Aggregate { spec: spec.clone() },
-                });
+                if !spec.lattice {
+                    initial_aggregates.push(IRNode {
+                        id: ids.fresh(),
+                        op: IROp::Aggregate { spec: spec.clone() },
+                    });
+                }
                 continue;
             }
             let mut rule_nodes = Vec::new();
@@ -95,6 +102,7 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
                 },
             });
         }
+        initial_children.extend(initial_aggregates);
         initial_children.push(IRNode {
             id: ids.fresh(),
             op: IROp::SwapClear {
@@ -111,7 +119,22 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
         // --- fixpoint loop ------------------------------------------------
         let loop_node = if stratum.recursive {
             let mut loop_children = Vec::new();
+            let mut loop_aggregates = Vec::new();
             for &rel in &relations {
+                // A lattice aggregate re-folds every iteration, *after* all
+                // rule unions have extended its input delta: only groups
+                // whose folded value strictly improves re-enter the delta.
+                if let Some(spec) = program.aggregate_for(rel) {
+                    debug_assert!(
+                        spec.lattice,
+                        "stratified aggregate output cannot be recursive"
+                    );
+                    loop_aggregates.push(IRNode {
+                        id: ids.fresh(),
+                        op: IROp::Aggregate { spec: spec.clone() },
+                    });
+                    continue;
+                }
                 let mut rule_nodes = Vec::new();
                 for rule in rules.iter().filter(|r| r.head.rel == rel) {
                     let variants = delta_variants(rule, &relations, strategy, &mut ids);
@@ -134,6 +157,7 @@ pub fn generate_plan(program: &Program, strategy: EvalStrategy) -> IRNode {
                     },
                 });
             }
+            loop_children.extend(loop_aggregates);
             loop_children.push(IRNode {
                 id: ids.fresh(),
                 op: IROp::SwapClear {

@@ -402,6 +402,127 @@ impl StorageManager {
         output: RelId,
         aggs: &[(usize, crate::ops::AggFunc)],
     ) -> Result<(u64, u64)> {
+        let (group_cols, groups, order) = self.aggregate_groups(input, output, aggs)?;
+        let arity = self.derived.relation(input)?.arity();
+
+        // Emit one row per group, in first-seen group order (deterministic
+        // for a given input row order).
+        let mut out_row = vec![Value::default(); arity];
+        let mut emitted = 0u64;
+        let mut inserted = 0u64;
+        for (hash, slot) in order {
+            let (key, accs) = &groups[&hash][slot];
+            for (i, &c) in group_cols.iter().enumerate() {
+                out_row[c] = key[i];
+            }
+            for (i, &(col, func)) in aggs.iter().enumerate() {
+                out_row[col] = func.finish(accs[i]);
+            }
+            emitted += 1;
+            if self.insert_derived_row(output, &out_row)? {
+                inserted += 1;
+            }
+        }
+        Ok((emitted, inserted))
+    }
+
+    /// In-recursion (monotone lattice) aggregation: like
+    /// [`StorageManager::aggregate_into`], but the fold runs *inside* the
+    /// input's fixpoint loop, so `output` may already hold a previous
+    /// optimum per group.  For each group the freshly folded row is compared
+    /// against the group's existing derived row (the output relation is
+    /// written only by its fold, so each group key has at most one):
+    ///
+    /// * unchanged groups emit nothing — they stay out of the delta and do
+    ///   not re-drive the recursion;
+    /// * improved groups retract the old optimum from the derived database
+    ///   and insert the new row into delta-new, which re-enters the loop at
+    ///   the next iteration boundary.
+    ///
+    /// Monotonicity of the four fold functions over a growing input set
+    /// (min only decreases, max/sum/count only increase, the latter two
+    /// saturating) guarantees a retracted value is never re-derived and the
+    /// per-group value chain is finite, so the fixpoint terminates.
+    ///
+    /// Returns `(groups_changed, rows_inserted)`.
+    pub fn aggregate_lattice_into(
+        &mut self,
+        input: RelId,
+        output: RelId,
+        aggs: &[(usize, crate::ops::AggFunc)],
+    ) -> Result<(u64, u64)> {
+        let (group_cols, groups, order) = self.aggregate_groups(input, output, aggs)?;
+        let arity = self.derived.relation(input)?.arity();
+
+        // Current optimum per group, read from the output's derived rows.
+        type OutBucket = Vec<(Vec<Value>, Vec<Value>)>;
+        let mut current: FxHashMap<u64, OutBucket> = FxHashMap::default();
+        {
+            let output_rel = self.derived.relation(output)?;
+            let mut key_buf: Vec<Value> = Vec::with_capacity(group_cols.len());
+            for row in output_rel.iter_rows() {
+                key_buf.clear();
+                key_buf.extend(group_cols.iter().map(|&c| row[c]));
+                let hash = crate::pool::row_hash(&key_buf);
+                current
+                    .entry(hash)
+                    .or_default()
+                    .push((key_buf.clone(), row.to_vec()));
+            }
+        }
+
+        let mut out_row = vec![Value::default(); arity];
+        let mut changed = 0u64;
+        let mut inserted = 0u64;
+        for (hash, slot) in order {
+            let (key, accs) = &groups[&hash][slot];
+            for (i, &c) in group_cols.iter().enumerate() {
+                out_row[c] = key[i];
+            }
+            for (i, &(col, func)) in aggs.iter().enumerate() {
+                out_row[col] = func.finish(accs[i]);
+            }
+            let existing = current
+                .get(&hash)
+                .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+                .map(|(_, row)| row.clone());
+            match existing {
+                Some(old) if old == out_row => continue,
+                Some(old) => {
+                    self.retract_derived_row(output, &old)?;
+                    changed += 1;
+                    if self.insert_derived_row(output, &out_row)? {
+                        inserted += 1;
+                    }
+                }
+                None => {
+                    changed += 1;
+                    if self.insert_derived_row(output, &out_row)? {
+                        inserted += 1;
+                    }
+                }
+            }
+        }
+        Ok((changed, inserted))
+    }
+
+    /// Shared grouping pass of the two aggregation entry points: validates
+    /// shapes, then groups `input`'s derived rows by the hash of their
+    /// group-key columns (buckets confirm by full-key equality, so hash
+    /// collisions stay correct) and folds the aggregate columns.  Returns
+    /// the group columns, the folded buckets, and the first-seen group
+    /// order.
+    #[allow(clippy::type_complexity)]
+    fn aggregate_groups(
+        &self,
+        input: RelId,
+        output: RelId,
+        aggs: &[(usize, crate::ops::AggFunc)],
+    ) -> Result<(
+        Vec<usize>,
+        FxHashMap<u64, Vec<(Vec<Value>, Vec<u64>)>>,
+        Vec<(u64, usize)>,
+    )> {
         use crate::ops::AggFunc;
 
         let input_rel = self.derived.relation(input)?;
@@ -429,8 +550,6 @@ impl StorageManager {
         }
         let group_cols: Vec<usize> = (0..arity).filter(|&c| !is_agg[c]).collect();
 
-        // Group rows by the hash of their group-key columns; buckets confirm
-        // by full-key equality, so hash collisions stay correct.
         type Bucket = Vec<(Vec<Value>, Vec<u64>)>;
         let mut groups: FxHashMap<u64, Bucket> = FxHashMap::default();
         let mut order: Vec<(u64, usize)> = Vec::new();
@@ -457,26 +576,7 @@ impl StorageManager {
                 accs[i] = func.fold(accs[i], row[col]);
             }
         }
-
-        // Emit one row per group, in first-seen group order (deterministic
-        // for a given input row order).
-        let mut out_row = vec![Value::default(); arity];
-        let mut emitted = 0u64;
-        let mut inserted = 0u64;
-        for (hash, slot) in order {
-            let (key, accs) = &groups[&hash][slot];
-            for (i, &c) in group_cols.iter().enumerate() {
-                out_row[c] = key[i];
-            }
-            for (i, &(col, func)) in aggs.iter().enumerate() {
-                out_row[col] = func.finish(accs[i]);
-            }
-            emitted += 1;
-            if self.insert_derived_row(output, &out_row)? {
-                inserted += 1;
-            }
-        }
-        Ok((emitted, inserted))
+        Ok((group_cols, groups, order))
     }
 
     /// The compaction generation of `rel`'s derived row pool (see
@@ -764,6 +864,39 @@ mod tests {
             assert!(out.contains(&Tuple::pair(8, b)), "{func:?}");
             assert_eq!(out.len(), 2);
         }
+    }
+
+    #[test]
+    fn aggregate_lattice_emits_only_improved_groups() {
+        use crate::ops::AggFunc;
+        let mut sm = StorageManager::new(true);
+        let input = sm.register("DistIn", 2, false);
+        let output = sm.register("Dist", 2, false);
+        // First fold: group 1 folds to min 5 and enters the delta.
+        sm.insert_fact(input, Tuple::pair(1, 5)).unwrap();
+        let (changed, inserted) = sm
+            .aggregate_lattice_into(input, output, &[(1, AggFunc::Min)])
+            .unwrap();
+        assert_eq!((changed, inserted), (1, 1));
+        sm.swap_and_clear(&[output]).unwrap();
+        // Unchanged input: the group stays out of the delta.
+        let (changed, _) = sm
+            .aggregate_lattice_into(input, output, &[(1, AggFunc::Min)])
+            .unwrap();
+        assert_eq!(changed, 0);
+        assert!(sm.relation(DbKind::DeltaNew, output).unwrap().is_empty());
+        // A strictly better row: the old optimum is retracted and the
+        // improved row re-enters the delta.
+        sm.insert_fact(input, Tuple::pair(1, 3)).unwrap();
+        let (changed, inserted) = sm
+            .aggregate_lattice_into(input, output, &[(1, AggFunc::Min)])
+            .unwrap();
+        assert_eq!((changed, inserted), (1, 1));
+        sm.swap_and_clear(&[output]).unwrap();
+        let derived = sm.relation(DbKind::Derived, output).unwrap();
+        assert_eq!(derived.len(), 1);
+        assert!(derived.contains(&Tuple::pair(1, 3)));
+        assert!(!derived.contains(&Tuple::pair(1, 5)));
     }
 
     #[test]

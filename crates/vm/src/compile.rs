@@ -128,6 +128,7 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) -> Result<(), VmError> {
                 input: spec.input,
                 output: spec.output,
                 aggs: spec.aggs.clone(),
+                lattice: spec.lattice,
             });
         }
     }

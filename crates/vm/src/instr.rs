@@ -109,16 +109,21 @@ pub enum Instr {
         /// Jump target when the comparison fails.
         on_mismatch: Pc,
     },
-    /// Stratum-boundary aggregation: groups `input`'s derived rows on the
-    /// non-aggregated columns, folds the `aggs` columns, and emits one row
-    /// per group into `output`'s delta-new database.
+    /// Aggregation: groups `input`'s derived rows on the non-aggregated
+    /// columns, folds the `aggs` columns, and emits result rows into
+    /// `output`'s delta-new database.  Stratum-boundary folds run once over
+    /// a fully computed lower-stratum input; lattice folds run inside the
+    /// fixpoint loop, retract a group's previous optimum and emit only
+    /// strictly improved groups.
     Aggregate {
-        /// Relation holding the raw rows (fully computed, lower stratum).
+        /// Relation holding the raw rows.
         input: RelId,
         /// Relation receiving the aggregated rows.
         output: RelId,
         /// `(column, function)` pairs; other columns are group keys.
         aggs: Vec<(usize, AggFunc)>,
+        /// Whether this is an in-recursion monotone lattice fold.
+        lattice: bool,
     },
     /// Anti-join check: if a tuple matching `filters` exists in `(rel, db)`,
     /// jump to `on_found` (the negated literal is violated).
@@ -195,8 +200,10 @@ impl fmt::Display for Instr {
                 input,
                 output,
                 aggs,
+                lattice,
             } => {
-                write!(f, "agg    {input:?} -> {output:?} {aggs:?}")
+                let mode = if *lattice { "lattice " } else { "" };
+                write!(f, "agg    {mode}{input:?} -> {output:?} {aggs:?}")
             }
             Instr::NegCheck {
                 rel,

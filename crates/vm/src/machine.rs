@@ -238,8 +238,13 @@ impl Machine {
                     input,
                     output,
                     aggs,
+                    lattice,
                 } => {
-                    let (emitted, inserted) = storage.aggregate_into(*input, *output, aggs)?;
+                    let (emitted, inserted) = if *lattice {
+                        storage.aggregate_lattice_into(*input, *output, aggs)?
+                    } else {
+                        storage.aggregate_into(*input, *output, aggs)?
+                    };
                     stats.emitted += emitted;
                     stats.inserted += inserted;
                 }

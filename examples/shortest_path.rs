@@ -1,8 +1,12 @@
-//! Shortest paths via `min` aggregation and comparison constraints.
+//! Shortest paths three ways: two-stratum `min` aggregation, the
+//! single-rule recursive lattice form, and `explain` on the result.
 //!
-//! Bounded reachability enumerates `(node, distance)` pairs, a stratified
-//! `min` aggregate collapses them to one shortest distance per node, and a
-//! `<` constraint selects the nodes within a delivery radius.
+//! The two-stratum form enumerates every bounded `(node, distance)` walk
+//! and folds once at the stratum boundary; the lattice form folds *inside*
+//! the fixpoint loop, so only the current optimum per node is ever carried
+//! forward.  Both derive the exact BFS distances; a `<` constraint then
+//! selects the nodes within a delivery radius, and `Carac::explain`
+//! reconstructs a shortest route as a derivation tree.
 //!
 //! Run with:
 //! ```text
@@ -12,21 +16,21 @@
 use carac::{Carac, EngineConfig};
 use carac_datalog::parser::parse;
 
+const NETWORK: &str = r#"
+    % road network
+    Road(0, 1). Road(0, 2). Road(1, 3). Road(2, 3).
+    Road(3, 4). Road(4, 5). Road(2, 6). Road(6, 5).
+
+    % bounded hop counting
+    Zero(0).
+    Succ(0, 1). Succ(1, 2). Succ(2, 3). Succ(3, 4). Succ(4, 5). Succ(5, 6).
+    Depot(0).
+"#;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A small road network.  `Succ` encodes the distance chain 0..=6 so the
-    // recursive enumeration is bounded; `min d` keeps only the shortest
-    // distance per node; `d < 3` selects the delivery radius.
-    let program = parse(
-        r#"
-        % road network
-        Road(0, 1). Road(0, 2). Road(1, 3). Road(2, 3).
-        Road(3, 4). Road(4, 5). Road(2, 6). Road(6, 5).
-
-        % bounded hop counting
-        Zero(0).
-        Succ(0, 1). Succ(1, 2). Succ(2, 3). Succ(3, 4). Succ(4, 5). Succ(5, 6).
-        Depot(0).
-
+    // --- Two-stratum formulation: enumerate walks, fold once. -------------
+    let two_stratum = parse(&format!(
+        "{NETWORK}
         Reach(y, d)  :- Depot(y), Zero(d).
         Reach(y, d2) :- Reach(x, d1), Road(x, y), Succ(d1, d2).
 
@@ -35,15 +39,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         % nodes within the delivery radius (comparison constraint)
         Deliverable(y) :- Dist(y, d), d < 3.
-        "#,
-    )?;
+        "
+    ))?;
 
-    let result = Carac::new(program.clone()).run()?;
+    // --- Recursive lattice formulation: fold inside the loop. -------------
+    // `Dist` appears in its own rule body, so stratification classifies the
+    // `min` as a monotone lattice fold: each iteration re-folds the hidden
+    // input and a node re-enters the delta only when its distance strictly
+    // improves.  The bounded walk enumeration is never materialized.
+    let lattice = parse(&format!(
+        "{NETWORK}
+        Dist(y, min d)  :- Depot(y), Zero(d).
+        Dist(y, min d2) :- Dist(x, d1), Road(x, y), Succ(d1, d2).
+        Deliverable(y)  :- Dist(y, d), d < 3.
+        "
+    ))?;
 
-    println!("Shortest distances from the depot:");
+    let reference = Carac::new(two_stratum.clone()).run()?;
+    let result = Carac::new(lattice.clone()).run()?;
+
+    println!("Shortest distances from the depot (single-rule lattice form):");
     let mut rows = result.rows("Dist")?;
     rows.sort();
-    for row in rows {
+    for row in &rows {
         println!("  node {} at distance {}", row[0], row[1]);
     }
 
@@ -54,15 +72,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  node {}", row[0]);
     }
 
-    // Every backend agrees on the aggregate and the constrained selection.
+    // The two formulations agree tuple-for-tuple...
+    let mut lattice_dists = result.tuples("Dist")?;
+    let mut two_stratum_dists = reference.tuples("Dist")?;
+    lattice_dists.sort();
+    two_stratum_dists.sort();
+    assert_eq!(lattice_dists, two_stratum_dists);
+
+    // ...and every backend agrees on the lattice fold.
     for config in [
         EngineConfig::interpreted(),
         EngineConfig::jit(carac::knobs::BackendKind::Bytecode, false),
+        EngineConfig::interpreted().with_parallelism(4),
     ] {
-        let other = Carac::new(program.clone()).with_config(config).run()?;
-        assert_eq!(other.count("Dist")?, result.count("Dist")?);
-        assert_eq!(other.count("Deliverable")?, result.count("Deliverable")?);
+        let other = Carac::new(lattice.clone()).with_config(config).run()?;
+        let mut dists = other.tuples("Dist")?;
+        dists.sort();
+        assert_eq!(dists, lattice_dists);
     }
-    println!("\ninterpreter, JIT and bytecode VM agree on every distance");
+    println!("\ntwo-stratum, lattice, interpreter, bytecode VM and parallel runs all agree");
+
+    // --- Why is node 5 at distance 3?  Ask for the derivation. ------------
+    let tree = Carac::new(lattice).explain("Dist", &[5, 3])?;
+    println!("\nexplain Dist(5, 3):\n{tree}");
     Ok(())
 }

@@ -35,16 +35,22 @@ fn all_configs() -> Vec<EngineConfig> {
 
 #[test]
 fn every_configuration_agrees_on_every_workload() {
+    // (workload, output must be non-empty even at this scale): the
+    // closed-form micro workloads have known non-empty outputs, so an empty
+    // result there is a bug, never a scale artifact.  The graph workloads'
+    // headline relations may legitimately be small at these tiny test
+    // scales (e.g. few redundant call pairs); their non-emptiness at larger
+    // scales is asserted by `carac-analysis`'s own tests.
     let workloads = vec![
-        andersen(28, 3),
-        inverse_functions(32, 3),
-        cspa(20, 3),
-        csda(50, 3),
-        ackermann(14),
-        fibonacci(14),
-        primes(60),
+        (andersen(28, 3), false),
+        (inverse_functions(32, 3), false),
+        (cspa(20, 3), false),
+        (csda(50, 3), false),
+        (ackermann(14), true),
+        (fibonacci(14), true),
+        (primes(60), true),
     ];
-    for workload in workloads {
+    for (workload, must_be_nonempty) in workloads {
         for formulation in Formulation::BOTH {
             let mut expected: Option<usize> = None;
             for config in all_configs() {
@@ -61,11 +67,14 @@ fn every_configuration_agrees_on_every_workload() {
                     ),
                 }
             }
-            // The headline output relation may legitimately be small at these
-            // tiny test scales (e.g. few redundant call pairs); equality
-            // across configurations is the property under test.  A separate
-            // test in `carac-analysis` checks non-emptiness at larger scales.
-            assert!(expected.is_some(), "{} never ran", workload.name);
+            let expected = expected.unwrap_or_else(|| panic!("{} never ran", workload.name));
+            if must_be_nonempty {
+                assert!(
+                    expected > 0,
+                    "{} has a closed-form non-empty output",
+                    workload.name
+                );
+            }
         }
     }
 }

@@ -1,0 +1,264 @@
+//! `Carac::explain` provenance: derivation trees verify structurally,
+//! replay against their rules, bottom out at base facts, stay inside the
+//! demanded cone, and cover aggregates (stratified and lattice) and
+//! negation.
+
+use carac::{Carac, CaracError, Derivation, DerivationTree};
+use carac_datalog::parser::parse;
+use carac_datalog::Term;
+use carac_storage::Value;
+
+/// Replays every rule node of `tree`: re-unifies the instantiated rule's
+/// head with the node's fact and each positive body literal with its
+/// premise, checks binding consistency and the rule's comparison
+/// constraints, and re-probes negated literals against `full` (the full
+/// fixpoint).  Panics on the first node that does not re-derive.
+fn replay(tree: &DerivationTree, engine: &Carac) {
+    let program = engine.program();
+    let full = engine.run().expect("full fixpoint for negation probes");
+    for (id, node) in tree.nodes().iter().enumerate() {
+        let Derivation::Rule { rule, premises, .. } = &node.derivation else {
+            continue;
+        };
+        let rule = program.rule(*rule);
+        let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars()];
+        let bind = |term: &Term, value: Value, bindings: &mut Vec<Option<Value>>| match term {
+            Term::Const(c) => assert_eq!(*c, value, "constant mismatch in node {id}"),
+            Term::Var(v) => match bindings[v.index()] {
+                Some(b) => assert_eq!(b, value, "inconsistent binding in node {id}"),
+                None => bindings[v.index()] = Some(value),
+            },
+        };
+        for (term, &value) in rule.head.terms.iter().zip(node.tuple.values()) {
+            bind(term, value, &mut bindings);
+        }
+        let positives: Vec<_> = rule.positive_body().collect();
+        assert_eq!(
+            positives.len(),
+            premises.len(),
+            "node {id} premise count diverges from the rule body"
+        );
+        for (literal, &premise) in positives.iter().zip(premises) {
+            let premise = tree.node(premise);
+            assert_eq!(
+                program.relation(literal.atom.rel).name,
+                premise.relation,
+                "node {id} premise relation diverges"
+            );
+            for (term, &value) in literal.atom.terms.iter().zip(premise.tuple.values()) {
+                bind(term, value, &mut bindings);
+            }
+        }
+        let value_of = |term: &Term| match term {
+            Term::Const(c) => *c,
+            Term::Var(v) => bindings[v.index()].expect("bound by replay"),
+        };
+        for c in &rule.constraints {
+            assert!(
+                c.op.eval(value_of(&c.lhs), value_of(&c.rhs)),
+                "node {id} violates a rule constraint on replay"
+            );
+        }
+        for literal in rule.negative_body() {
+            let probe: Vec<Value> = literal.atom.terms.iter().map(value_of).collect();
+            let name = &program.relation(literal.atom.rel).name;
+            let present = full
+                .tuples(name)
+                .unwrap()
+                .iter()
+                .any(|t| t.values() == probe.as_slice());
+            assert!(!present, "node {id}: negated {name} fact present on replay");
+        }
+    }
+}
+
+#[test]
+fn transitive_closure_explains_with_minimal_depth() {
+    let engine = Carac::new(
+        parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4).",
+        )
+        .unwrap(),
+    );
+    let tree = engine.explain("Path", &[1, 4]).unwrap();
+    tree.check().expect("structurally valid");
+    assert_eq!(tree.root().relation, "Path");
+    assert_eq!(tree.root().row, vec!["1", "4"]);
+    // Every leaf is an extensional fact.
+    assert!(tree.leaves().all(|l| l.relation == "Edge"));
+    // Minimal depth: Path(1,4) needs exactly three chained rule firings.
+    assert_eq!(tree.depth(), 3);
+    // Direct edges explain in one round.
+    assert_eq!(engine.explain("Path", &[3, 4]).unwrap().depth(), 1);
+    replay(&tree, &engine);
+    // The rendering nests premises under conclusions.
+    let rendered = tree.to_string();
+    assert!(rendered.contains("Path(1, 4)"));
+    assert!(rendered.contains("[fact]"));
+}
+
+#[test]
+fn explain_stays_inside_the_demanded_cone() {
+    // Two disjoint components; explaining a fact of the small one must not
+    // materialize (or mention) the big one.
+    let mut source = String::from(
+        "Path(x, y) :- Edge(x, y).\n\
+         Path(x, y) :- Edge(x, z), Path(z, y).\n\
+         Edge(1, 2). Edge(2, 3).\n",
+    );
+    for i in 100..140 {
+        source.push_str(&format!("Edge({i}, {}).\n", i + 1));
+    }
+    let engine = Carac::new(parse(&source).unwrap());
+    let full = engine.run().unwrap();
+    let tree = engine.explain("Path", &[1, 3]).unwrap();
+    tree.check().unwrap();
+    assert!(
+        tree.len() < full.total_tuples(),
+        "cone-restricted proof ({} nodes) must be smaller than the fixpoint ({})",
+        tree.len(),
+        full.total_tuples()
+    );
+    for node in tree.nodes() {
+        for &v in node.tuple.values() {
+            assert!(
+                v < Value::int(100),
+                "proof leaked outside the demanded cone: {}({:?})",
+                node.relation,
+                node.row
+            );
+        }
+    }
+    replay(&tree, &engine);
+}
+
+#[test]
+fn underivable_facts_error() {
+    let engine = Carac::new(
+        parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3).",
+        )
+        .unwrap(),
+    );
+    match engine.explain("Path", &[3, 1]) {
+        Err(CaracError::Explain(msg)) => assert!(msg.contains("Path")),
+        other => panic!("expected an explain error, got {other:?}"),
+    }
+    // Arity mismatches are frontend errors.
+    assert!(matches!(
+        engine.explain("Path", &[1]),
+        Err(CaracError::Datalog(_))
+    ));
+}
+
+#[test]
+fn edb_facts_explain_as_leaves() {
+    let engine = Carac::new(parse("Path(x, y) :- Edge(x, y). Edge(1, 2).").unwrap());
+    let tree = engine.explain("Edge", &[1, 2]).unwrap();
+    assert_eq!(tree.len(), 1);
+    assert!(tree.root().is_leaf());
+    assert_eq!(tree.depth(), 0);
+    assert!(engine.explain("Edge", &[2, 1]).is_err());
+}
+
+#[test]
+fn lattice_min_explains_through_the_aggregate() {
+    let engine = Carac::new(
+        parse(
+            "Road(0, 1). Road(0, 2). Road(1, 3). Road(2, 3). Road(3, 4).\n\
+             Zero(0). Succ(0, 1). Succ(1, 2). Succ(2, 3). Succ(3, 4).\n\
+             Depot(0).\n\
+             Dist(y, min d)  :- Depot(y), Zero(d).\n\
+             Dist(y, min d2) :- Dist(x, d1), Road(x, y), Succ(d1, d2).",
+        )
+        .unwrap(),
+    );
+    // Node 4 is 3 hops out.
+    let tree = engine.explain("Dist", &[4, 3]).unwrap();
+    tree.check().unwrap();
+    // The root is the aggregate fold; its witness is the optimum input row.
+    match &tree.root().derivation {
+        Derivation::Aggregate {
+            input, witnesses, ..
+        } => {
+            assert_eq!(witnesses.len(), 1, "min folds witness a single optimum");
+            assert!(input.contains("Dist"));
+            let witness = tree.node(witnesses[0]);
+            assert_eq!(witness.tuple, tree.root().tuple);
+        }
+        other => panic!("expected an aggregate root, got {other:?}"),
+    }
+    // The proof bottoms out at the base facts only.
+    for leaf in tree.leaves() {
+        assert!(
+            ["Road", "Zero", "Succ", "Depot"].contains(&leaf.relation.as_str()),
+            "unexpected leaf {}",
+            leaf.relation
+        );
+    }
+    replay(&tree, &engine);
+    // The suboptimal distance is not a derivable Dist fact.
+    assert!(engine.explain("Dist", &[4, 4]).is_err());
+}
+
+#[test]
+fn stratified_count_witnesses_the_whole_group() {
+    let engine = Carac::new(
+        parse(
+            "Edge(1, 10). Edge(2, 10). Edge(3, 10). Edge(4, 20).\n\
+             InDegree(y, count x) :- Edge(x, y).",
+        )
+        .unwrap(),
+    );
+    let tree = engine.explain("InDegree", &[10, 3]).unwrap();
+    tree.check().unwrap();
+    match &tree.root().derivation {
+        Derivation::Aggregate { witnesses, .. } => {
+            assert_eq!(witnesses.len(), 3, "count folds witness the whole group");
+        }
+        other => panic!("expected an aggregate root, got {other:?}"),
+    }
+    replay(&tree, &engine);
+}
+
+#[test]
+fn negation_explains_against_the_full_relation() {
+    let engine = Carac::new(
+        parse(
+            "Reach(x) :- Start(x).\n\
+             Reach(y) :- Reach(x), Edge(x, y).\n\
+             Unreached(x) :- Node(x), !Reach(x).\n\
+             Start(1). Edge(1, 2). Node(1). Node(2). Node(3).",
+        )
+        .unwrap(),
+    );
+    let tree = engine.explain("Unreached", &[3]).unwrap();
+    tree.check().unwrap();
+    assert_eq!(tree.root().relation, "Unreached");
+    assert_eq!(tree.depth(), 1);
+    replay(&tree, &engine);
+    assert!(engine.explain("Unreached", &[2]).is_err());
+}
+
+#[test]
+fn shared_premises_appear_once() {
+    // Both rules for Both(x) use A(x); the proof DAG shares the node.
+    let engine = Carac::new(
+        parse(
+            "B(x) :- A(x).\n\
+             C(x) :- A(x).\n\
+             Both(x) :- B(x), C(x).\n\
+             A(7).",
+        )
+        .unwrap(),
+    );
+    let tree = engine.explain("Both", &[7]).unwrap();
+    tree.check().unwrap();
+    let a_nodes = tree.nodes().iter().filter(|n| n.relation == "A").count();
+    assert_eq!(a_nodes, 1, "shared premise must be memoized");
+    replay(&tree, &engine);
+}

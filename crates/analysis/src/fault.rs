@@ -1,0 +1,156 @@
+//! Deterministic fault injection for the durable-storage test harness.
+//!
+//! The recovery subsystem's guarantee is two-sided: every crash point must
+//! recover to a state bit-identical to the uncrashed run, and every
+//! corruption must be *detected* (typed rejection, or — for a journal's
+//! final record only — degradation to the valid prefix).  Exercising that
+//! guarantee needs reproducible damage: these helpers corrupt on-disk bytes
+//! at seeded offsets so a failing case replays from its seed alone.
+
+use crate::rng::SmallRng;
+
+/// One reproducible corruption of an on-disk file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Truncate the file to `len` bytes — a torn write or lost tail.
+    TruncateAt(u64),
+    /// Flip bit `bit` (0..8) of the byte at `offset` — media corruption.
+    BitFlip {
+        /// Byte offset of the corrupted byte.
+        offset: u64,
+        /// Which bit of the byte to flip (0 = least significant).
+        bit: u8,
+    },
+    /// Re-append a copy of the byte range `start..start + len` at the end
+    /// of the file — a duplicated/replayed write.
+    DuplicateRange {
+        /// Start offset of the duplicated range.
+        start: u64,
+        /// Length of the duplicated range in bytes.
+        len: u64,
+    },
+}
+
+impl Fault {
+    /// A short stable label for reporting which fault a failing case used.
+    pub fn label(&self) -> String {
+        match self {
+            Fault::TruncateAt(len) => format!("truncate@{len}"),
+            Fault::BitFlip { offset, bit } => format!("bitflip@{offset}.{bit}"),
+            Fault::DuplicateRange { start, len } => format!("dup@{start}+{len}"),
+        }
+    }
+}
+
+/// Applies `fault` to a byte image, returning the damaged image.  Offsets
+/// beyond the image clamp to its end, so seeded faults stay applicable to
+/// files of any length.
+pub fn apply_fault(bytes: &[u8], fault: Fault) -> Vec<u8> {
+    let clamp = |offset: u64| -> usize { (offset as usize).min(bytes.len()) };
+    match fault {
+        Fault::TruncateAt(len) => bytes[..clamp(len)].to_vec(),
+        Fault::BitFlip { offset, bit } => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() {
+                let at = clamp(offset).min(out.len() - 1);
+                out[at] ^= 1 << (bit % 8);
+            }
+            out
+        }
+        Fault::DuplicateRange { start, len } => {
+            let start = clamp(start);
+            let end = clamp((start as u64).saturating_add(len));
+            let mut out = bytes.to_vec();
+            out.extend_from_slice(&bytes[start..end]);
+            out
+        }
+    }
+}
+
+/// `count` seeded faults scaled to a file of `file_len` bytes: a mix of
+/// truncations, single-bit flips and duplicated ranges at
+/// deterministically-chosen offsets.  Equal `(seed, file_len, count)`
+/// produce equal fault lists on every platform.
+pub fn seeded_faults(seed: u64, file_len: u64, count: usize) -> Vec<Fault> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ file_len);
+    let len = file_len.max(1);
+    (0..count)
+        .map(|_| match rng.gen_range_u32(0, 3) {
+            0 => Fault::TruncateAt(rng.next_u64() % len),
+            1 => Fault::BitFlip {
+                offset: rng.next_u64() % len,
+                bit: (rng.next_u64() % 8) as u8,
+            },
+            _ => {
+                let start = rng.next_u64() % len;
+                Fault::DuplicateRange {
+                    start,
+                    len: 1 + rng.next_u64() % 64,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_deterministic() {
+        assert_eq!(seeded_faults(7, 1024, 16), seeded_faults(7, 1024, 16));
+        assert_ne!(seeded_faults(7, 1024, 16), seeded_faults(8, 1024, 16));
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let bytes: Vec<u8> = (0..32).collect();
+        assert_eq!(apply_fault(&bytes, Fault::TruncateAt(10)).len(), 10);
+        // Beyond-EOF truncation clamps to a no-op.
+        assert_eq!(apply_fault(&bytes, Fault::TruncateAt(99)), bytes);
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let bytes = vec![0u8; 16];
+        let flipped = apply_fault(&bytes, Fault::BitFlip { offset: 5, bit: 3 });
+        assert_eq!(flipped.len(), 16);
+        let differing: u32 = bytes
+            .iter()
+            .zip(&flipped)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1);
+        // Empty files survive (no-op), out-of-range offsets clamp.
+        assert!(apply_fault(&[], Fault::BitFlip { offset: 0, bit: 0 }).is_empty());
+        let tail = apply_fault(
+            &bytes,
+            Fault::BitFlip {
+                offset: 999,
+                bit: 9,
+            },
+        );
+        assert_eq!(tail[15], 1 << 1);
+    }
+
+    #[test]
+    fn duplicate_appends_the_range() {
+        let bytes: Vec<u8> = (0..32).collect();
+        let dup = apply_fault(&bytes, Fault::DuplicateRange { start: 4, len: 8 });
+        assert_eq!(dup.len(), 40);
+        assert_eq!(&dup[32..], &bytes[4..12]);
+        // Ranges past EOF clamp instead of panicking.
+        let tail = apply_fault(&bytes, Fault::DuplicateRange { start: 30, len: 8 });
+        assert_eq!(tail.len(), 34);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Fault::TruncateAt(5).label(), "truncate@5");
+        assert_eq!(Fault::BitFlip { offset: 2, bit: 7 }.label(), "bitflip@2.7");
+        assert_eq!(
+            Fault::DuplicateRange { start: 1, len: 3 }.label(),
+            "dup@1+3"
+        );
+    }
+}

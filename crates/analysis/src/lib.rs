@@ -15,6 +15,7 @@
 //! formulation — the two atom orders the paper compares against the
 //! adaptive JIT.
 
+pub mod fault;
 pub mod fuzz;
 pub mod generators;
 pub mod graph_stats;
@@ -23,6 +24,7 @@ pub mod program_analysis;
 pub mod rng;
 pub mod workload;
 
+pub use fault::{apply_fault, seeded_faults, Fault};
 pub use fuzz::{fuzz_program, FuzzCase, FuzzOp, LatticeKind};
 pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};

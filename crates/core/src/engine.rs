@@ -35,9 +35,9 @@ fn filter_pattern(tuples: Vec<Tuple>, pattern: &[QueryBinding]) -> Vec<Tuple> {
 /// A live evaluated session: the fixpoint context plus the incremental
 /// maintenance machinery keeping it current under update batches.
 #[derive(Debug)]
-struct LiveSession {
-    ctx: ExecContext,
-    incremental: Incremental,
+pub(crate) struct LiveSession {
+    pub(crate) ctx: ExecContext,
+    pub(crate) incremental: Incremental,
 }
 
 /// The user-facing engine: a validated [`Program`] plus an
@@ -90,8 +90,13 @@ struct LiveSession {
 pub struct Carac {
     program: Program,
     config: EngineConfig,
-    extra_facts: Vec<(RelId, Tuple)>,
-    live: Option<LiveSession>,
+    pub(crate) extra_facts: Vec<(RelId, Tuple)>,
+    pub(crate) live: Option<LiveSession>,
+    /// Write-ahead update journal attached with [`Carac::journal_to`] (or by
+    /// recovery): every applied batch is appended — and fsync'd — *before*
+    /// the in-memory state changes.  Detached whenever the live session it
+    /// describes is discarded; see `persist.rs` for the full protocol.
+    pub(crate) journal: Option<carac_storage::JournalWriter>,
 }
 
 impl Carac {
@@ -103,13 +108,14 @@ impl Carac {
             config: EngineConfig::default(),
             extra_facts: Vec::new(),
             live: None,
+            journal: None,
         }
     }
 
     /// Replaces the configuration.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
-        self.live = None;
+        self.discard_session();
         self
     }
 
@@ -131,7 +137,7 @@ impl Carac {
             rel,
             Tuple::new(values.iter().copied().map(Value::int).collect()),
         ));
-        self.live = None;
+        self.discard_session();
         Ok(())
     }
 
@@ -145,7 +151,7 @@ impl Carac {
         let rel = self.program.relation_by_name(relation)?;
         self.extra_facts
             .extend(edges.iter().map(|&(a, b)| (rel, Tuple::pair(a, b))));
-        self.live = None;
+        self.discard_session();
         Ok(())
     }
 
@@ -153,7 +159,7 @@ impl Carac {
     pub fn add_fact_tuple(&mut self, relation: &str, tuple: Tuple) -> Result<(), CaracError> {
         let rel = self.program.relation_by_name(relation)?;
         self.extra_facts.push((rel, tuple));
-        self.live = None;
+        self.discard_session();
         Ok(())
     }
 
@@ -441,7 +447,7 @@ impl Carac {
 
     /// The update kernel implied by the configured execution mode (the
     /// backend dispatch seam of `carac_exec::backends::update_kernel`).
-    fn live_kernel(&self) -> UpdateKernel {
+    pub(crate) fn live_kernel(&self) -> UpdateKernel {
         match &self.config.mode {
             ExecutionMode::Interpreted => UpdateKernel::Interpreted,
             ExecutionMode::Jit(jit) => update_kernel(jit.backend),
@@ -468,9 +474,19 @@ impl Carac {
     }
 
     /// Discards the live session (the next [`Carac::apply_update`] or
-    /// [`Carac::run_live`] re-evaluates from scratch).
+    /// [`Carac::run_live`] re-evaluates from scratch).  Any attached
+    /// write-ahead journal is detached with it: the journal describes the
+    /// update history of the session being discarded, not the fresh one.
     pub fn invalidate_live(&mut self) {
+        self.discard_session();
+    }
+
+    /// Drops the live session together with its journal (the shared body of
+    /// every invalidation path — a journal must never outlive the session
+    /// lineage it records).
+    pub(crate) fn discard_session(&mut self) {
         self.live = None;
+        self.journal = None;
     }
 
     /// Applies a batch of EDB insertions and retractions to the live
@@ -479,10 +495,42 @@ impl Carac {
     /// ones).  Opens the live session first if none exists.  The resulting
     /// fact sets are identical to re-evaluating the updated EDB from
     /// scratch.
+    ///
+    /// When a write-ahead journal is attached ([`Carac::journal_to`]), the
+    /// batch is appended to it — and fsync'd to disk — *before* any
+    /// in-memory state changes, so a crash at any point leaves the journal a
+    /// superset of the applied batches and [`Carac::recover`] replays the
+    /// suffix deterministically.  A batch the maintenance layer rejects is
+    /// rolled back out of the journal again, keeping the log exactly the
+    /// sequence of successfully applied batches.
     pub fn apply_update(&mut self, batch: UpdateBatch) -> Result<UpdateReport, CaracError> {
         self.run_live()?;
+        // Write-ahead: journal first, apply second.
+        let rollback = match self.journal.as_mut() {
+            Some(journal) => {
+                let mark = (journal.byte_len(), journal.next_seq());
+                journal.append(&batch.encode())?;
+                Some(mark)
+            }
+            None => None,
+        };
         let live = self.live.as_mut().expect("run_live just succeeded");
-        Ok(live.incremental.apply(&mut live.ctx, &batch)?)
+        match live.incremental.apply(&mut live.ctx, &batch) {
+            Ok(report) => Ok(report),
+            Err(err) => {
+                // The batch did not apply; take it back out of the journal
+                // so the log stays exactly the applied-batch sequence.  If
+                // even the rollback fails the journal is no longer coherent
+                // with the session and is detached — recovery from it could
+                // otherwise replay a batch the live run rejected.
+                if let (Some(journal), Some((len, seq))) = (self.journal.as_mut(), rollback) {
+                    if journal.truncate_to(len, seq).is_err() {
+                        self.journal = None;
+                    }
+                }
+                Err(err.into())
+            }
+        }
     }
 
     /// Convenience wrapper over [`Carac::apply_update`] for the common

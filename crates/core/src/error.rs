@@ -17,6 +17,10 @@ pub enum CaracError {
     ///
     /// [`Carac::explain`]: crate::engine::Carac::explain
     Explain(String),
+    /// Durable-storage failure: a checkpoint, journal or recovery operation
+    /// hit an I/O error or detected on-disk corruption.  Corrupt files are
+    /// *rejected* with this variant, never deserialized into a session.
+    Persist(carac_storage::PersistError),
 }
 
 impl fmt::Display for CaracError {
@@ -26,6 +30,7 @@ impl fmt::Display for CaracError {
             CaracError::Exec(err) => write!(f, "{err}"),
             CaracError::Storage(err) => write!(f, "{err}"),
             CaracError::Explain(msg) => write!(f, "explain: {msg}"),
+            CaracError::Persist(err) => write!(f, "{err}"),
         }
     }
 }
@@ -47,6 +52,12 @@ impl From<carac_exec::ExecError> for CaracError {
 impl From<carac_storage::StorageError> for CaracError {
     fn from(err: carac_storage::StorageError) -> Self {
         CaracError::Storage(err)
+    }
+}
+
+impl From<carac_storage::PersistError> for CaracError {
+    fn from(err: carac_storage::PersistError) -> Self {
+        CaracError::Persist(err)
     }
 }
 

@@ -59,6 +59,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod explain;
+pub mod persist;
 pub mod result;
 
 pub use config::knobs;
@@ -71,6 +72,10 @@ pub use result::{QueryAnswer, QueryResult};
 // Incremental maintenance surface (see `Carac::apply_update`).
 pub use carac_exec::{UpdateBatch, UpdateOp, UpdateReport, UpdateStats};
 pub use carac_storage::DeltaSign;
+
+// Durable-storage surface (see `Carac::checkpoint` / `Carac::recover`).
+pub use carac_storage::PersistError;
+pub use persist::RecoveryReport;
 
 // Goal-directed query surface (see `Carac::query`).
 pub use carac_datalog::magic::QueryBinding;

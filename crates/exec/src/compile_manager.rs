@@ -96,10 +96,17 @@ impl CompilationManager {
                             duration,
                         },
                     });
-                    worker_results
-                        .lock()
-                        .expect("compiler result map poisoned")
-                        .insert(request.node_id, result);
+                    match worker_results.lock() {
+                        Ok(mut map) => {
+                            map.insert(request.node_id, result);
+                        }
+                        // The map is poisoned: some thread panicked while
+                        // holding the lock.  The worker cannot report an
+                        // error itself, so it exits; every subsequent poll
+                        // on the engine side surfaces the typed
+                        // manager-failure error instead of panicking here.
+                        Err(_) => break,
+                    }
                 }
             })
             .expect("failed to spawn the compiler thread");
@@ -190,11 +197,19 @@ impl CompilationManager {
     /// the request is still in flight; a completed compilation may carry a
     /// typed backend error instead of an artifact.
     pub fn poll(&mut self, node_id: NodeId) -> Option<Result<CompileResult, ExecError>> {
-        let result = self
-            .results
-            .lock()
-            .expect("compiler result map poisoned")
-            .remove(&node_id);
+        let result = match self.results.lock() {
+            Ok(mut map) => map.remove(&node_id),
+            // Poisoned map: a thread panicked while holding the lock.  The
+            // request is reported failed through the existing typed
+            // manager-failure path, so the engine degrades to blocking
+            // compilation instead of the poll aborting the process.
+            Err(_) => {
+                self.pending.remove(&node_id);
+                return Some(Err(ExecError::Compilation(
+                    "compiler result map poisoned".into(),
+                )));
+            }
+        };
         if result.is_some() {
             self.pending.remove(&node_id);
             self.completed_compilations += 1;
@@ -325,6 +340,31 @@ mod tests {
         let _ = manager.wait(plan.id, Duration::from_secs(5)).unwrap();
         // Only one result was produced for the node.
         assert!(manager.poll(plan.id).is_none());
+    }
+
+    #[test]
+    fn poisoned_result_map_reports_typed_error() {
+        // Regression (robustness): a poisoned result map used to panic the
+        // polling thread via `.expect(...)`.  It now reports through the
+        // typed manager-failure path and clears the pending marker so the
+        // engine can fall back to blocking compilation.
+        let mut manager = CompilationManager::new();
+        manager.pending.insert(NodeId(7));
+        let results = Arc::clone(&manager.results);
+        let _ = std::thread::spawn(move || {
+            let _guard = results.lock().unwrap();
+            panic!("poison the compiler result map");
+        })
+        .join();
+        let result = manager.poll(NodeId(7)).expect("poisoned poll must report");
+        match result {
+            Err(ExecError::Compilation(msg)) => {
+                assert!(msg.contains("poisoned"), "message: {msg}");
+            }
+            Err(other) => panic!("expected Compilation error, got {other:?}"),
+            Ok(_) => panic!("expected an error, got a compile result"),
+        }
+        assert!(!manager.is_pending(NodeId(7)));
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub enum ExecError {
     /// An update batch was rejected by the incremental maintenance
     /// subsystem (unknown relation, non-EDB target, arity mismatch).
     Update(String),
+    /// A worker thread of the data-parallel pool panicked.  The panic
+    /// payload message is captured so the caller can report it and fall
+    /// back to serial execution — the context stays usable instead of the
+    /// process aborting on an opaque join failure.
+    WorkerPanicked(String),
     /// An internal invariant was violated (a bug in plan generation or the
     /// JIT controller).
     Internal(String),
@@ -42,6 +47,7 @@ impl fmt::Display for ExecError {
                 )
             }
             ExecError::Update(msg) => write!(f, "update error: {msg}"),
+            ExecError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
             ExecError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

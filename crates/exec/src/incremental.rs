@@ -40,6 +40,7 @@
 //! scratch — the differential tests in `tests/differential.rs` assert this
 //! for insert-only, delete-only and mixed batches across thread counts.
 
+use std::collections::hash_map::Entry;
 use std::time::Instant;
 
 use carac_datalog::{HeadBinding, Program, Rule, Term};
@@ -122,6 +123,83 @@ impl UpdateBatch {
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Serializes the batch for the write-ahead update journal: an op count
+    /// followed, per op, by the target relation id, a sign byte
+    /// (`0` insert / `1` retract), the row width and the raw row values —
+    /// everything little-endian.  [`UpdateBatch::decode`] inverts this
+    /// exactly; the framing, checksumming and fsync discipline around the
+    /// payload belong to `carac_storage::journal`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.ops.len() * 16);
+        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            out.extend_from_slice(&op.rel.0.to_le_bytes());
+            out.push(match op.sign {
+                DeltaSign::Insert => 0,
+                DeltaSign::Retract => 1,
+            });
+            out.extend_from_slice(&(op.values.len() as u32).to_le_bytes());
+            for value in &op.values {
+                out.extend_from_slice(&value.raw().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a batch previously produced by [`UpdateBatch::encode`].
+    ///
+    /// Every structural defect — truncation, an unknown sign byte, trailing
+    /// bytes — is a typed [`ExecError::Update`]; nothing here panics on
+    /// hostile input, because the bytes come from a journal file that may
+    /// have been corrupted on disk (the journal layer's checksums catch
+    /// random corruption, but recovery must stay panic-free even against
+    /// payloads that collide with a valid CRC).
+    pub fn decode(bytes: &[u8]) -> Result<UpdateBatch, ExecError> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], ExecError> {
+            let end = pos
+                .checked_add(n)
+                .filter(|&end| end <= bytes.len())
+                .ok_or_else(|| ExecError::Update("journaled update batch is truncated".into()))?;
+            let slice = &bytes[*pos..end];
+            *pos = end;
+            Ok(slice)
+        }
+        fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, ExecError> {
+            let b = take(bytes, pos, 4)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        }
+        let mut pos = 0;
+        let count = read_u32(bytes, &mut pos)? as usize;
+        let mut ops = Vec::new();
+        for _ in 0..count {
+            let rel = RelId(read_u32(bytes, &mut pos)?);
+            let sign = match take(bytes, &mut pos, 1)?[0] {
+                0 => DeltaSign::Insert,
+                1 => DeltaSign::Retract,
+                other => {
+                    return Err(ExecError::Update(format!(
+                        "journaled update batch carries invalid sign byte {other}"
+                    )))
+                }
+            };
+            let width = read_u32(bytes, &mut pos)? as usize;
+            // Reserve conservatively: `width` is attacker-controlled until
+            // the per-value reads below have actually consumed the bytes.
+            let mut values = Vec::with_capacity(width.min(64));
+            for _ in 0..width {
+                values.push(Value(read_u32(bytes, &mut pos)?));
+            }
+            ops.push(UpdateOp { rel, sign, values });
+        }
+        if pos != bytes.len() {
+            return Err(ExecError::Update(format!(
+                "journaled update batch has {} trailing bytes",
+                bytes.len() - pos
+            )));
+        }
+        Ok(UpdateBatch { ops })
     }
 }
 
@@ -683,24 +761,25 @@ impl Incremental {
         }
 
         // Over-delete fixpoint: frontier rounds over the delta variants.
-        let schema_of = |rel: RelId, ctx: &ExecContext| -> RelationSchema {
-            ctx.storage.schema(rel).expect("stratum relation").clone()
+        // Schema lookups go through the checked accessor: a maintenance plan
+        // built for a different program than the live session (a caller
+        // pairing mismatched `Incremental` and `ExecContext` values) surfaces
+        // as a typed error here instead of panicking mid-phase.
+        let schema_of = |rel: RelId, ctx: &ExecContext| -> Result<RelationSchema, ExecError> {
+            Ok(ctx.storage.schema(rel)?.clone())
         };
         let mut deleted: FxHashMap<RelId, Relation> = FxHashMap::default();
         for &rel in &plan.relations {
-            deleted.insert(rel, Relation::new(schema_of(rel, ctx)));
+            deleted.insert(rel, Relation::new(schema_of(rel, ctx)?));
         }
-        let mut frontier: Vec<(RelId, Relation)> = plan
-            .body_rels
-            .iter()
-            .filter_map(|&rel| {
-                deltas.minus_of(rel).map(|minus| {
-                    let mut side = Relation::new(schema_of(rel, ctx));
-                    side.union_in_place(minus).expect("schema match");
-                    (rel, side)
-                })
-            })
-            .collect();
+        let mut frontier: Vec<(RelId, Relation)> = Vec::new();
+        for &rel in &plan.body_rels {
+            if let Some(minus) = deltas.minus_of(rel) {
+                let mut side = Relation::new(schema_of(rel, ctx)?);
+                side.union_in_place(minus)?;
+                frontier.push((rel, side));
+            }
+        }
         while !frontier.is_empty() {
             let frontier_rels: Vec<RelId> = frontier.iter().map(|(r, _)| *r).collect();
             for (rel, facts) in &frontier {
@@ -743,12 +822,23 @@ impl Incremental {
                                 .relation_mut(head)?
                                 .sub_support(slot, 1);
                         }
-                        let set = deleted.get_mut(&head).expect("stratum relation");
+                        let set = deleted.get_mut(&head).ok_or_else(|| {
+                            ExecError::Internal(format!(
+                                "over-delete emitted into relation {head:?}, which is \
+                                 not part of the stratum being maintained"
+                            ))
+                        })?;
                         if set.insert_row(row)? {
                             up.overdeleted += 1;
-                            next.entry(head)
-                                .or_insert_with(|| Relation::new(schema_of(head, ctx)))
-                                .insert_row(row)?;
+                            match next.entry(head) {
+                                Entry::Occupied(mut side) => {
+                                    side.get_mut().insert_row(row)?;
+                                }
+                                Entry::Vacant(slot) => {
+                                    slot.insert(Relation::new(schema_of(head, ctx)?))
+                                        .insert_row(row)?;
+                                }
+                            }
                         }
                     }
                 }
@@ -898,19 +988,18 @@ impl Incremental {
             } = ctx;
             let (buf, rows) = rule.driver.collect(storage, stats, *parallelism)?;
             let arity = rule.driver.head_arity();
+            // Resolve the seed relation through the checked schema accessor
+            // once per rule, so a plan/session mismatch is a typed error
+            // rather than a panic inside the entry closure.
+            if rows > 0 && !seeds.contains_key(&rule.head_rel) {
+                let schema = ctx.storage.schema(rule.head_rel)?.clone();
+                seeds.insert(rule.head_rel, Relation::new(schema));
+            }
             for i in 0..rows as usize {
                 let row = &buf[i * arity..(i + 1) * arity];
-                seeds
-                    .entry(rule.head_rel)
-                    .or_insert_with(|| {
-                        Relation::new(
-                            ctx.storage
-                                .schema(rule.head_rel)
-                                .expect("head schema")
-                                .clone(),
-                        )
-                    })
-                    .insert_row(row)?;
+                if let Some(seed) = seeds.get_mut(&rule.head_rel) {
+                    seed.insert_row(row)?;
+                }
             }
         }
         ctx.storage.clear_deltas(&plan.relations)?;
@@ -1410,6 +1499,91 @@ mod tests {
         assert_eq!(report.stats.edb_inserted, 0);
         assert_eq!(report.stats.edb_retracted, 0);
         assert_eq!(ctx.derived_count(path), 6);
+    }
+
+    #[test]
+    fn update_batch_encode_decode_roundtrips() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(RelId(0), Tuple::pair(1, 2));
+        batch.retract(RelId(3), Tuple::from_ints(&[7, 8, 9]));
+        batch.insert_row(RelId(1), Vec::new()); // arity-0 row
+        let decoded = UpdateBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded, batch);
+        // The empty batch roundtrips too.
+        assert_eq!(
+            UpdateBatch::decode(&UpdateBatch::new().encode()).unwrap(),
+            UpdateBatch::new()
+        );
+    }
+
+    #[test]
+    fn update_batch_decode_rejects_malformed_payloads() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(RelId(0), Tuple::pair(1, 2));
+        let bytes = batch.encode();
+        // Every strict prefix is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let err = UpdateBatch::decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, ExecError::Update(_)), "cut at {cut}: {err}");
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0xAB);
+        assert!(matches!(
+            UpdateBatch::decode(&padded).unwrap_err(),
+            ExecError::Update(_)
+        ));
+        // An invalid sign byte is rejected (offset 4 count + 4 rel = 8).
+        let mut bad_sign = bytes.clone();
+        bad_sign[8] = 9;
+        let err = UpdateBatch::decode(&bad_sign).unwrap_err();
+        assert!(err.to_string().contains("sign"), "got: {err}");
+        // An absurd op count hits truncation, not an allocation blow-up.
+        let huge = u32::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            UpdateBatch::decode(&huge).unwrap_err(),
+            ExecError::Update(_)
+        ));
+    }
+
+    #[test]
+    fn mismatched_maintenance_plan_is_a_typed_error() {
+        // Regression (robustness): pairing an `Incremental` built for one
+        // program with a live context prepared from another used to panic
+        // (`expect("stratum relation")` / `expect("schema match")` /
+        // `expect("head schema")` inside the maintenance phases).  The
+        // checked accessors now surface a typed error on both the deletion
+        // and insertion paths, and the session itself stays usable.
+        let (p, mut ctx, inc) = live_tc();
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        let bigger = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Wide(x, y) :- Edge(x, y), Path(x, y).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4).",
+        )
+        .unwrap();
+        let mismatched = Incremental::new(&bigger, &[], UpdateKernel::Specialized);
+        // Deletion path: the Wide stratum references a relation the session
+        // never registered.
+        let mut batch = UpdateBatch::new();
+        batch.retract(edge, Tuple::pair(1, 2));
+        let err = mismatched.apply(&mut ctx, &batch).unwrap_err();
+        assert!(matches!(err, ExecError::Storage(_)), "got: {err}");
+        // Insertion path: same mismatch, insert side.
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(4, 5));
+        let err = mismatched.apply(&mut ctx, &batch).unwrap_err();
+        assert!(matches!(err, ExecError::Storage(_)), "got: {err}");
+        // The matched plan still maintains the session afterwards.  (The
+        // mismatched applies above did maintain the Path stratum before
+        // erroring on the unknown one: Edge is now {2-3, 3-4, 4-5}.)
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge, Tuple::pair(1, 2));
+        inc.apply(&mut ctx, &batch).unwrap();
+        // Full chain 1..=5 restored: 4+3+2+1 paths.
+        assert_eq!(ctx.derived_count(path), 10);
     }
 
     #[test]

@@ -408,7 +408,7 @@ impl SpecializedQuery {
                 &mut out,
             )?;
             Ok::<_, ExecError>(out)
-        });
+        })?;
         let mut merged = EmitBuffer::default();
         for result in results {
             merged.append(result?);
@@ -710,7 +710,7 @@ fn interp_parallel(
             &mut out,
         )?;
         Ok::<_, ExecError>(out)
-    });
+    })?;
     let mut merged = EmitBuffer::default();
     for result in results {
         merged.append(result?);

@@ -16,8 +16,11 @@
 //! threads let workers borrow the storage manager directly — no `Arc`, no
 //! cloning multi-million-tuple databases.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+use crate::error::ExecError;
 
 /// Applies `f` to every item, using up to `parallelism` worker threads, and
 /// returns the results *in item order* regardless of which worker computed
@@ -26,7 +29,13 @@ use std::sync::mpsc;
 /// With `parallelism <= 1` (or fewer than two items) the map runs inline on
 /// the calling thread — the serial and parallel paths produce identical
 /// output by construction.
-pub fn parallel_map<I, T, F>(parallelism: usize, items: &[I], f: F) -> Vec<T>
+///
+/// A panic inside `f` on a worker thread is caught and surfaced as a typed
+/// [`ExecError::WorkerPanicked`] carrying the panic message, instead of
+/// propagating as an opaque scope-join abort: the calling context stays
+/// usable, so callers can fall back to serial execution (where the same
+/// panic, if deterministic, surfaces normally on the calling thread).
+pub fn parallel_map<I, T, F>(parallelism: usize, items: &[I], f: F) -> Result<Vec<T>, ExecError>
 where
     I: Sync,
     T: Send,
@@ -34,10 +43,10 @@ where
 {
     let workers = parallelism.min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return Ok(items.iter().map(f).collect());
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -50,7 +59,12 @@ where
                 if i >= items.len() {
                     break;
                 }
-                if tx.send((i, f(&items[i]))).is_err() {
+                // Catch a panicking partition so it reports as a typed
+                // error instead of tearing down the scope join.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                let failed = result.is_err();
+                if tx.send((i, result)).is_err() || failed {
                     break;
                 }
             });
@@ -59,12 +73,29 @@ where
     });
     let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
     for (i, result) in rx {
-        slots[i] = Some(result);
+        slots[i] = Some(result.map_err(ExecError::WorkerPanicked)?);
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every partition index was claimed exactly once"))
+        .map(|slot| {
+            slot.ok_or_else(|| {
+                ExecError::Internal("a partition index was claimed but never reported".to_string())
+            })
+        })
         .collect()
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload
+/// (panics carry `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
 }
 
 /// Splits `rows` into at most `parts` contiguous chunks of near-equal size
@@ -97,7 +128,7 @@ mod tests {
     fn parallel_map_preserves_item_order() {
         let items: Vec<usize> = (0..100).collect();
         for parallelism in [1, 2, 4, 8] {
-            let doubled = parallel_map(parallelism, &items, |&i| i * 2);
+            let doubled = parallel_map(parallelism, &items, |&i| i * 2).unwrap();
             assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
         }
     }
@@ -108,8 +139,10 @@ mod tests {
         // path; instead verify the inline path handles the empty and unit
         // cases.
         let empty: Vec<u32> = Vec::new();
-        assert!(parallel_map::<u32, u32, _>(4, &empty, |&x| x).is_empty());
-        assert_eq!(parallel_map(4, &[7], |&x| x + 1), vec![8]);
+        assert!(parallel_map::<u32, u32, _>(4, &empty, |&x| x)
+            .unwrap()
+            .is_empty());
+        assert_eq!(parallel_map(4, &[7], |&x| x + 1).unwrap(), vec![8]);
     }
 
     #[test]
@@ -118,9 +151,35 @@ mod tests {
         let items: Vec<u64> = (0..32)
             .map(|i| if i % 7 == 0 { 200_000 } else { 10 })
             .collect();
-        let sums = parallel_map(8, &items, |&n| (0..n).sum::<u64>());
+        let sums = parallel_map(8, &items, |&n| (0..n).sum::<u64>()).unwrap();
         let expected: Vec<u64> = items.iter().map(|&n| (0..n).sum()).collect();
         assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        // Regression (robustness): a panic on a worker thread used to
+        // propagate through the scope join and abort the caller.  It now
+        // comes back as a typed error carrying the panic message, and the
+        // calling thread survives to retry serially.
+        let items: Vec<u32> = (0..64).collect();
+        let err = parallel_map(8, &items, |&i| {
+            if i == 13 {
+                panic!("partition {i} exploded");
+            }
+            i * 2
+        })
+        .unwrap_err();
+        match &err {
+            crate::error::ExecError::WorkerPanicked(msg) => {
+                assert!(msg.contains("partition 13 exploded"), "message: {msg}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The context is still usable: the same caller can immediately run
+        // the fallback (serial here, where no worker panics).
+        let ok = parallel_map(8, &items, |&i| i * 2).unwrap();
+        assert_eq!(ok.len(), 64);
     }
 
     #[test]

@@ -579,6 +579,13 @@ impl StorageManager {
         Ok((group_cols, groups, order))
     }
 
+    /// Mutable access to `rel`'s derived relation — the restore path of the
+    /// snapshot subsystem rebuilds rows, support counts and the generation
+    /// counter through this.
+    pub(crate) fn derived_relation_mut(&mut self, rel: RelId) -> Result<&mut Relation> {
+        self.derived.relation_mut(rel)
+    }
+
     /// The compaction generation of `rel`'s derived row pool (see
     /// [`Relation::generation`]): callers holding [`crate::RowId`]s across
     /// statements snapshot this and validate it on re-access

@@ -22,7 +22,10 @@
 //! * [`ops`] — basic relational operators (select, project, join, union,
 //!   difference) usable both directly and as building blocks for the
 //!   execution backends,
-//! * [`stats`] — cardinality snapshots consumed by the adaptive optimizer.
+//! * [`stats`] — cardinality snapshots consumed by the adaptive optimizer,
+//! * [`snapshot`] / [`journal`] — the durable-storage layer: CRC-checked
+//!   on-disk snapshots of the derived database plus the append-only
+//!   write-ahead update journal with its torn-tail recovery policy.
 //!
 //! The layer is deliberately storage-engine-agnostic from the point of view
 //! of the upper layers: the execution engine only talks to it through the
@@ -34,10 +37,12 @@ pub mod database;
 pub mod error;
 pub mod hasher;
 pub mod index;
+pub mod journal;
 pub mod ops;
 pub mod pool;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod symbol;
 pub mod tuple;
@@ -46,10 +51,12 @@ pub mod value;
 pub use database::{Database, DbKind, StorageManager};
 pub use error::StorageError;
 pub use index::{ColumnIndex, CompositeIndex};
+pub use journal::{read_journal, JournalContents, JournalRecord, JournalWriter};
 pub use ops::{AggFunc, CmpOp, DeltaSign};
 pub use pool::{PoolStats, PostingList, RowId, RowPool, SUPPORT_SATURATED};
 pub use relation::{ProbeIter, ProbeRows, Relation};
 pub use schema::{RelId, RelationSchema};
+pub use snapshot::{read_snapshot, write_snapshot, PersistError, RelationSnapshot, Snapshot};
 pub use stats::{RelationStats, StatsSnapshot};
 pub use symbol::SymbolTable;
 pub use tuple::Tuple;

@@ -305,6 +305,14 @@ impl RowPool {
         self.generation
     }
 
+    /// Overwrites the compaction generation — used by snapshot restore to
+    /// carry the counter across a process restart so the monotonic history
+    /// of any persisted [`RowId`]-with-generation pair stays meaningful.
+    #[inline]
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
     /// Row stride.
     #[inline]
     pub fn arity(&self) -> usize {

@@ -522,6 +522,13 @@ impl Relation {
         self.pool.generation()
     }
 
+    /// Overwrites the pool's compaction generation (snapshot restore only:
+    /// the counter must survive a process restart to stay monotonic).
+    #[inline]
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.pool.set_generation(generation);
+    }
+
     /// The values of row `row`, validated against the compaction
     /// `generation` the id was obtained under.  Unlike [`Relation::row`] —
     /// which trusts the caller and, after a compaction, would silently

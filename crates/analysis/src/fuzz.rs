@@ -163,6 +163,119 @@ impl FuzzCase {
     }
 }
 
+/// The kind of defect [`fuzz_program_with_defects`] injected — mirrors the
+/// error-level diagnostic codes of `carac_datalog::analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectKind {
+    /// A rule whose comparison constraints contradict each other.
+    UnsatisfiableRule,
+    /// A rule whose body depends on a transitively-empty relation.
+    DeadRule,
+    /// A variable-renamed copy of an existing rule.
+    DuplicateRule,
+    /// A rule strictly more specific than an existing rule.
+    SubsumedRule,
+}
+
+/// One defect injected into a fuzzed program, with enough metadata for the
+/// harness to assert the analyzer caught it.
+#[derive(Debug, Clone)]
+pub struct InjectedDefect {
+    /// What was injected.
+    pub kind: DefectKind,
+    /// The rule's index in the parsed program (rules appear in source
+    /// order, so this is the `RuleId` the analyzer reports).
+    pub rule_index: usize,
+    /// The injected rule text (for failure messages).
+    pub rule: String,
+}
+
+/// [`fuzz_program`] plus a seed-deterministic set of **semantics-preserving
+/// defects** appended to the rule list: unsatisfiable rules, dead rules
+/// (fed by a provably-empty relation), variable-renamed duplicates and
+/// subsumed (strictly more specific) rules.  None of the injections can
+/// change the derived fact set — each one derives nothing or a subset of
+/// what an existing rule already derives, under *any* EDB — so pruned and
+/// unpruned evaluation must stay bit-identical, including under update
+/// streams.  At least one defect is always present.
+pub fn fuzz_program_with_defects(seed: u64) -> (FuzzCase, Vec<InjectedDefect>) {
+    let mut case = fuzz_program(seed);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xD1B5_4A32_D192_ED03) ^ 0xDEFE_C700);
+    let mut unsat = rng.gen_bool(0.6);
+    let dead = rng.gen_bool(0.6);
+    let duplicate = rng.gen_bool(0.6);
+    let subsumed = rng.gen_bool(0.6);
+    if !(unsat || dead || duplicate || subsumed) {
+        unsat = true;
+    }
+
+    // Rules appear in source order, so the next rule's id is the number of
+    // rules already present.
+    let mut index = case.source.matches(":-").count();
+    let mut defects = Vec::new();
+
+    if unsat {
+        // `x < a, x > b` with `a <= b` admits no value.
+        let a = rng.gen_range_u32(1, case.nodes.max(2));
+        let b = a + rng.gen_range_u32(0, 4);
+        let rule = format!("Reach(x) :- Node(x), x < {a}, x > {b}.");
+        case.source.push_str(&rule);
+        case.source.push('\n');
+        defects.push(InjectedDefect {
+            kind: DefectKind::UnsatisfiableRule,
+            rule_index: index,
+            rule,
+        });
+        index += 1;
+    }
+    if dead {
+        // `GhostSrc` is intensional and only derivable through an
+        // unsatisfiable rule, so it is provably empty under *any* EDB —
+        // the rule consuming it is dead even in the analyzer's
+        // update-independent mode.  (The feeder itself is convicted as
+        // unsatisfiable; the recorded defect is the dead consumer.)
+        case.source.push_str("GhostSrc(x) :- Node(x), x < 0.\n");
+        index += 1;
+        let rule = "Reach(y) :- GhostSrc(y).".to_string();
+        case.source.push_str(&rule);
+        case.source.push('\n');
+        defects.push(InjectedDefect {
+            kind: DefectKind::DeadRule,
+            rule_index: index,
+            rule,
+        });
+        index += 1;
+    }
+    if duplicate {
+        // A variable-renamed copy of the program's first rule
+        // (`Reach(x) :- Start(x).`, present in every fuzzed case).
+        let rule = "Reach(q) :- Start(q).".to_string();
+        case.source.push_str(&rule);
+        case.source.push('\n');
+        defects.push(InjectedDefect {
+            kind: DefectKind::DuplicateRule,
+            rule_index: index,
+            rule,
+        });
+        index += 1;
+    }
+    if subsumed {
+        // Strictly more specific than `Reach(x) :- Start(x).`: the extra
+        // constraint only narrows it.
+        let limit = case.nodes + rng.gen_range_u32(1, 16);
+        let rule = format!("Reach(s) :- Start(s), s < {limit}.");
+        case.source.push_str(&rule);
+        case.source.push('\n');
+        defects.push(InjectedDefect {
+            kind: DefectKind::SubsumedRule,
+            rule_index: index,
+            rule,
+        });
+    }
+
+    (case, defects)
+}
+
 /// Generates the deterministic [`FuzzCase`] for `seed`.
 pub fn fuzz_program(seed: u64) -> FuzzCase {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
@@ -414,6 +527,38 @@ mod tests {
             let expected: Vec<(String, Vec<u32>)> = current.into_iter().collect();
             assert_eq!(case.facts_after(case.batches.len()), expected);
         }
+    }
+
+    #[test]
+    fn defect_injection_is_deterministic_and_always_injects() {
+        for seed in 0..50 {
+            let (a, da) = fuzz_program_with_defects(seed);
+            let (b, db) = fuzz_program_with_defects(seed);
+            assert_eq!(a.source, b.source);
+            assert_eq!(da.len(), db.len());
+            assert!(!da.is_empty(), "seed {seed} injected nothing");
+            // The recorded indices line up with the rules in source order.
+            let rules: Vec<&str> = a
+                .source
+                .lines()
+                .filter(|line| line.contains(":-"))
+                .collect();
+            for defect in &da {
+                assert_eq!(
+                    rules[defect.rule_index], defect.rule,
+                    "seed {seed}: defect index out of step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_defect_kind() {
+        let kinds: BTreeSet<String> = (0..50)
+            .flat_map(|s| fuzz_program_with_defects(s).1)
+            .map(|d| format!("{:?}", d.kind))
+            .collect();
+        assert_eq!(kinds.len(), 4, "missing defect kinds: {kinds:?}");
     }
 
     #[test]

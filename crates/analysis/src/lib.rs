@@ -15,6 +15,8 @@
 //! formulation — the two atom orders the paper compares against the
 //! adaptive JIT.
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod fuzz;
 pub mod generators;
@@ -25,7 +27,10 @@ pub mod rng;
 pub mod workload;
 
 pub use fault::{apply_fault, seeded_faults, Fault};
-pub use fuzz::{fuzz_program, FuzzCase, FuzzOp, LatticeKind};
+pub use fuzz::{
+    fuzz_program, fuzz_program_with_defects, DefectKind, FuzzCase, FuzzOp, InjectedDefect,
+    LatticeKind,
+};
 pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};

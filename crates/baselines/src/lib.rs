@@ -13,6 +13,8 @@
 //! adaptive) rather than incidental engineering differences.  See DESIGN.md
 //! for the substitution rationale and its limits.
 
+#![forbid(unsafe_code)]
+
 pub mod dlx_like;
 pub mod reference;
 pub mod souffle_like;

@@ -1,0 +1,316 @@
+//! Static-analysis lint sweep plus pruned-vs-unpruned fixpoint timing.
+//!
+//! Two jobs, both feeding the CI gate:
+//!
+//! * **Lint the shipped workloads** — every figure workload (macro suite,
+//!   shortest path, CSDA, micro suite; both formulations) is run through
+//!   `carac_datalog::analyze`, asserting **zero error-level diagnostics**:
+//!   our own benchmarks must not contain rules our own analyzer convicts.
+//! * **Measure pruning** — a CSPA variant with ~30% injected dead,
+//!   duplicate and subsumed rules (each semantics-preserving by
+//!   construction) is evaluated with and without `EngineConfig::with_prune`
+//!   on the interpreter and the specialized kernels; every row asserts
+//!   bit-identical output cardinality.
+//!
+//! Results are written as a JSON artifact (default `BENCH_lint.json`,
+//! override with `CARAC_BENCH_JSON`) for CI to archive.
+//! `CARAC_BENCH_SMOKE=1` shrinks the scales so CI finishes in seconds.
+
+use std::time::Duration;
+
+use carac::{analyze, prune_with, AnalysisOptions, Carac, EngineConfig, Severity};
+use carac_analysis::Formulation;
+use carac_bench::{
+    figure_csda, figure_macro_workloads, figure_micro_workloads, figure_shortest_path, fmt_secs,
+    fmt_speedup, render_table, smoke_mode, speedup, HARNESS_SEED,
+};
+use carac_datalog::ast::Term;
+use carac_datalog::builder::{c, v, TermSpec};
+use carac_datalog::{Program, ProgramBuilder, Rule};
+
+struct LintRow {
+    workload: String,
+    formulation: &'static str,
+    rules: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+struct PruneRow {
+    engine: &'static str,
+    rules_total: usize,
+    rules_dropped: usize,
+    unpruned: Duration,
+    pruned: Duration,
+    facts: usize,
+    speedup: f64,
+}
+
+/// Lints one program, asserting the zero-error gate.
+fn lint(workload: &str, formulation: &'static str, program: &Program) -> LintRow {
+    let analysis = analyze(program);
+    for diagnostic in analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+    {
+        eprintln!("[fig_lint] {workload}/{formulation}: {diagnostic}");
+    }
+    assert_eq!(
+        analysis.error_count(),
+        0,
+        "{workload}/{formulation}: shipped workload has error-level diagnostics"
+    );
+    LintRow {
+        workload: workload.to_string(),
+        formulation,
+        rules: program.rules().len(),
+        errors: analysis.error_count(),
+        warnings: analysis.warning_count(),
+    }
+}
+
+/// Reopens a program of plain positive rules (as CSPA is) into a builder,
+/// so defective rules can be appended before `build()`.
+fn reopen(base: &Program) -> ProgramBuilder {
+    let spec = |rule: &Rule, terms: &[Term]| -> Vec<TermSpec> {
+        terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(var) => TermSpec::Var(rule.var_names[var.index()].clone()),
+                Term::Const(value) => TermSpec::Value(*value),
+            })
+            .collect()
+    };
+    let mut b = ProgramBuilder::new();
+    for decl in base.relations() {
+        b.relation(&decl.name, decl.arity);
+    }
+    for rule in base.rules() {
+        assert!(
+            rule.constraints.is_empty() && rule.body.iter().all(|l| !l.negated),
+            "reopen handles plain positive rules only"
+        );
+        let mut rb = b.rule(
+            &base.relation(rule.head.rel).name.clone(),
+            &spec(rule, &rule.head.terms),
+        );
+        for literal in &rule.body {
+            rb = rb.when(
+                &base.relation(literal.atom.rel).name.clone(),
+                &spec(rule, &literal.atom.terms),
+            );
+        }
+        rb.end();
+    }
+    for (rel, tuple) in base.facts() {
+        let terms: Vec<TermSpec> = tuple
+            .values()
+            .iter()
+            .map(|&value| TermSpec::Value(value))
+            .collect();
+        let name = base.relation(*rel).name.clone();
+        b.fact(&name, &terms);
+    }
+    b
+}
+
+/// The CSPA hand-optimized program with ~30% extra rules, all convictable:
+/// an unsatisfiable `Ghost` feeder, a dead rule reading `Ghost`, a
+/// variable-renamed duplicate and a subsumed (strictly narrower) copy.
+/// None of them can contribute a fact, so pruned and unpruned runs must
+/// derive identical results.
+fn defective_cspa(scale: u32) -> Program {
+    let clean = carac_analysis::cspa(scale, HARNESS_SEED);
+    let base = clean.program(Formulation::HandOptimized);
+    let mut b = reopen(base);
+    b.relation("Ghost", 2);
+    // unsat-rule: no u32 is below 0.
+    b.rule("Ghost", &[v("x"), v("y")])
+        .when("Assign", &[v("x"), v("y")])
+        .lt(v("x"), c(0))
+        .end();
+    // dead-rule: Ghost is provably empty under any EDB.
+    b.rule("VaFlow", &[v("x"), v("y")])
+        .when("Ghost", &[v("x"), v("y")])
+        .end();
+    // duplicate-rule: a renamed copy of `VaFlow(v2, v1) :- Assign(v2, v1).`
+    b.rule("VaFlow", &[v("p"), v("q")])
+        .when("Assign", &[v("p"), v("q")])
+        .end();
+    // subsumed-rule: strictly narrower than the same rule.
+    b.rule("VaFlow", &[v("p"), v("q")])
+        .when("Assign", &[v("p"), v("q")])
+        .lt(v("p"), c(1_000_000_000))
+        .end();
+    b.build().expect("defective CSPA variant validates")
+}
+
+/// One pruned-vs-unpruned measurement on `program`.
+fn measure_prune(engine: &'static str, config: EngineConfig, program: &Program) -> PruneRow {
+    let options = AnalysisOptions::default();
+    let rules_dropped = prune_with(program, &options, true).dropped_rules.len();
+
+    let unpruned_run = Carac::new(program.clone())
+        .with_config(config)
+        .run()
+        .expect("unpruned run");
+    let pruned_run = Carac::new(program.clone())
+        .with_config(config.with_prune())
+        .run()
+        .expect("pruned run");
+    let facts = unpruned_run.count("VaFlow").expect("output relation");
+    assert_eq!(
+        facts,
+        pruned_run.count("VaFlow").expect("output relation"),
+        "{engine}: pruning changed the derived fact set"
+    );
+    let unpruned = unpruned_run.stats().total_time;
+    let pruned = pruned_run.stats().total_time;
+    PruneRow {
+        engine,
+        rules_total: program.rules().len(),
+        rules_dropped,
+        unpruned,
+        pruned,
+        facts,
+        speedup: speedup(unpruned, pruned),
+    }
+}
+
+fn write_json(path: &str, lint_rows: &[LintRow], prune_rows: &[PruneRow]) {
+    let mut json = String::from("{\n  \"lint\": [\n");
+    for (i, r) in lint_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"formulation\": \"{}\", \"rules\": {}, \
+             \"errors\": {}, \"warnings\": {}}}{}\n",
+            r.workload,
+            r.formulation,
+            r.rules,
+            r.errors,
+            r.warnings,
+            if i + 1 < lint_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"prune\": [\n");
+    for (i, r) in prune_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"rules_total\": {}, \"rules_dropped\": {}, \
+             \"unpruned_secs\": {:.6}, \"pruned_secs\": {:.6}, \"facts\": {}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.engine,
+            r.rules_total,
+            r.rules_dropped,
+            r.unpruned.as_secs_f64(),
+            r.pruned.as_secs_f64(),
+            r.facts,
+            r.speedup,
+            if i + 1 < prune_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(path, json) {
+        eprintln!("[fig_lint] could not write {path}: {err}");
+    } else {
+        eprintln!("[fig_lint] wrote {path}");
+    }
+}
+
+fn main() {
+    let json_path =
+        std::env::var("CARAC_BENCH_JSON").unwrap_or_else(|_| "BENCH_lint.json".to_string());
+
+    // ── 1. Lint every shipped figure workload ──────────────────────────
+    let mut workloads = figure_macro_workloads();
+    workloads.push(figure_shortest_path());
+    workloads.push(figure_csda());
+    workloads.extend(figure_micro_workloads());
+    let mut lint_rows = Vec::new();
+    for w in &workloads {
+        for (formulation, label) in [
+            (Formulation::HandOptimized, "optimized"),
+            (Formulation::Unoptimized, "unoptimized"),
+        ] {
+            lint_rows.push(lint(w.name, label, w.program(formulation)));
+        }
+    }
+    write_json(&json_path, &lint_rows, &[]);
+    eprintln!(
+        "[fig_lint] {} workload programs linted, zero error-level diagnostics",
+        lint_rows.len()
+    );
+
+    // ── 2. Pruned vs unpruned on the defective CSPA variant ────────────
+    let scale = if smoke_mode() { 24 } else { 56 };
+    let defective = defective_cspa(scale);
+    let mut prune_rows = Vec::new();
+    for (engine, config) in [
+        ("interpreted", EngineConfig::interpreted()),
+        (
+            "specialized",
+            EngineConfig::jit(carac::knobs::BackendKind::Lambda, false),
+        ),
+    ] {
+        prune_rows.push(measure_prune(engine, config, &defective));
+        write_json(&json_path, &lint_rows, &prune_rows);
+        eprintln!("[fig_lint] prune/{engine} done");
+    }
+
+    // ── 3. Render ──────────────────────────────────────────────────────
+    let lint_table: Vec<Vec<String>> = lint_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.formulation.to_string(),
+                r.rules.to_string(),
+                r.errors.to_string(),
+                r.warnings.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Analyzer over the shipped figure workloads",
+            &[
+                "Workload".to_string(),
+                "formulation".to_string(),
+                "rules".to_string(),
+                "errors".to_string(),
+                "warnings".to_string(),
+            ],
+            &lint_table
+        )
+    );
+    let prune_table: Vec<Vec<String>> = prune_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.to_string(),
+                format!("{} (-{})", r.rules_total, r.rules_dropped),
+                fmt_secs(r.unpruned),
+                fmt_secs(r.pruned),
+                r.facts.to_string(),
+                fmt_speedup(r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "CSPA + ~30% injected dead/duplicate/subsumed rules: pruned vs unpruned",
+            &[
+                "engine".to_string(),
+                "rules (dropped)".to_string(),
+                "unpruned".to_string(),
+                "pruned".to_string(),
+                "VaFlow facts".to_string(),
+                "speedup".to_string(),
+            ],
+            &prune_table
+        )
+    );
+    println!("(every row asserts bit-identical output cardinality with and without pruning;");
+    println!(" the lint sweep asserts zero error-level diagnostics on our own benchmarks.)");
+}

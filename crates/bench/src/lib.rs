@@ -12,6 +12,8 @@
 //! harness reproduces.  Set `CARAC_BENCH_SCALE` to scale the macro workloads
 //! up or down.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use carac::knobs::BackendKind;

@@ -90,6 +90,17 @@ pub struct EngineConfig {
     /// every execution mode (the bytecode VM itself stays serial; its
     /// interpreted fallbacks parallelize).
     pub parallelism: usize,
+    /// Whether the engine runs the static analyzer before planning and
+    /// evaluates the pruned program: rules convicted at error level
+    /// (unsatisfiable, dead, duplicate, subsumed) are dropped and the
+    /// analyzer's column-interval facts feed the cost model as refined
+    /// comparison selectivities.  Pruning is semantics-preserving — the
+    /// derived fact set is bit-identical with and without it.  One-shot
+    /// runs prune against the program's frozen facts (plus any facts
+    /// inserted before the run); live (incremental) sessions prune only
+    /// update-independent defects so later updates stay sound.  Off by
+    /// default.
+    pub prune: bool,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +110,7 @@ impl Default for EngineConfig {
             use_indexes: true,
             strategy: EvalStrategy::SemiNaive,
             parallelism: 1,
+            prune: false,
         }
     }
 }
@@ -166,6 +178,13 @@ impl EngineConfig {
     /// [`EngineConfig::parallelism`]).  `0` is treated as `1`.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Enables analyzer-driven pruning before planning (see
+    /// [`EngineConfig::prune`]).
+    pub fn with_prune(mut self) -> Self {
+        self.prune = true;
         self
     }
 
@@ -268,5 +287,14 @@ mod tests {
         // The knob composes with every mode without changing the label.
         let parallel = EngineConfig::jit(BackendKind::Lambda, false).with_parallelism(4);
         assert_eq!(parallel.label(), "JIT Lambda Blocking");
+    }
+
+    #[test]
+    fn prune_is_off_by_default_and_composes() {
+        assert!(!EngineConfig::default().prune);
+        let pruned = EngineConfig::interpreted().with_prune().with_parallelism(2);
+        assert!(pruned.prune);
+        assert_eq!(pruned.parallelism, 2);
+        assert_eq!(pruned.label(), "Interpreted");
     }
 }

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use carac_datalog::hasher::{FxHashMap, FxHashSet};
 use carac_datalog::magic::{is_magic_name, magic_rewrite, QueryBinding};
-use carac_datalog::Program;
+use carac_datalog::{analyze_with, prune_with, Analysis, AnalysisOptions, Program};
 use carac_exec::{
     interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine,
     RunStats, UpdateBatch, UpdateKernel, UpdateReport,
@@ -376,10 +376,57 @@ impl Carac {
         explain::build_tree(&self.program, &cone, &base_facts, rel, &tuple)
     }
 
+    /// The analyzer options matching this engine instance: relations that
+    /// received facts through the `add_*` methods are treated as non-empty
+    /// even though the facts live outside `program.facts()`.
+    fn analysis_options(&self, assume_edb_nonempty: bool) -> AnalysisOptions {
+        AnalysisOptions {
+            assume_edb_nonempty,
+            extra_nonempty: self.extra_facts.iter().map(|&(r, _)| r).collect(),
+        }
+    }
+
+    /// Runs the static analyzer over the program: abstract interpretation of
+    /// every rule body (constant propagation plus interval analysis over the
+    /// comparison constraints) and emptiness/reachability dataflow over the
+    /// dependency graph.  Returns machine-readable diagnostics —
+    /// unsatisfiable, dead, duplicate and subsumed rules at error level;
+    /// unused relations, singleton variables and statically-decided
+    /// comparisons as warnings — without modifying the program.
+    ///
+    /// The analysis treats the fact set as *frozen* (the program's facts
+    /// plus anything added with the `add_*` methods), matching what a
+    /// [`Carac::run`] call would evaluate.
+    ///
+    /// ```
+    /// use carac::Carac;
+    /// use carac_datalog::parser::parse;
+    ///
+    /// let program = parse(
+    ///     "Path(x, y) :- Edge(x, y), x < 3, x > 7.\n\
+    ///      Path(x, y) :- Edge(x, y).\n\
+    ///      Edge(1, 2).",
+    /// ).unwrap();
+    /// let analysis = Carac::new(program).analyze();
+    /// assert_eq!(analysis.error_count(), 1); // the contradiction
+    /// ```
+    pub fn analyze(&self) -> Analysis {
+        analyze_with(&self.program, &self.analysis_options(false))
+    }
+
     /// Runs the program to completion and returns the raw execution context
     /// (the shared engine body behind [`Carac::run`] and the live session).
+    ///
+    /// With [`EngineConfig::prune`] set, the analyzer runs first and the
+    /// engine evaluates the pruned program (declarations kept, error-level
+    /// rules dropped) with the analyzer's column-interval facts installed as
+    /// optimizer hints.  The derived fact set is identical either way.
     fn run_context(&self) -> Result<ExecContext, CaracError> {
-        self.run_context_for(&self.program, &[])
+        if !self.config.prune {
+            return self.run_context_for(&self.program, &[]);
+        }
+        let pruned = prune_with(&self.program, &self.analysis_options(false), true);
+        self.run_context_hinted(&pruned.program, &[], pruned.analysis.interval_hints)
     }
 
     /// [`Carac::run_context`] over an explicit program: the goal-directed
@@ -396,7 +443,22 @@ impl Carac {
         program: &Program,
         magic: &[String],
     ) -> Result<ExecContext, CaracError> {
+        self.run_context_hinted(program, magic, FxHashMap::default())
+    }
+
+    /// [`Carac::run_context_for`] with column-interval facts from the static
+    /// analyzer installed before evaluation begins, so every reordering the
+    /// run performs sees the refined comparison selectivities.
+    fn run_context_hinted(
+        &self,
+        program: &Program,
+        magic: &[String],
+        interval_hints: FxHashMap<(RelId, usize), (u32, u32)>,
+    ) -> Result<ExecContext, CaracError> {
         let mut ctx = ExecContext::prepare(program, self.config.use_indexes)?;
+        if !interval_hints.is_empty() {
+            ctx.set_interval_hints(interval_hints);
+        }
         if !magic.is_empty() {
             let rels = magic
                 .iter()
@@ -462,8 +524,28 @@ impl Carac {
         if self.live.is_some() {
             return Ok(());
         }
-        let ctx = self.run_context()?;
-        let incremental = Incremental::new(&self.program, &self.extra_facts, self.live_kernel());
+        // A live session must stay correct under arbitrary later updates, so
+        // the pruning analysis runs in its update-independent mode: every
+        // EDB relation is assumed potentially non-empty and only rules that
+        // can never fire under *any* fact set are dropped.  The incremental
+        // maintenance then operates on the same pruned rule set the initial
+        // fixpoint evaluated.
+        let (ctx, incremental) = if self.config.prune {
+            let pruned = prune_with(&self.program, &self.analysis_options(true), true);
+            let ctx = self.run_context_hinted(
+                &pruned.program,
+                &[],
+                pruned.analysis.interval_hints.clone(),
+            )?;
+            let incremental =
+                Incremental::new(&pruned.program, &self.extra_facts, self.live_kernel());
+            (ctx, incremental)
+        } else {
+            let ctx = self.run_context_for(&self.program, &[])?;
+            let incremental =
+                Incremental::new(&self.program, &self.extra_facts, self.live_kernel());
+            (ctx, incremental)
+        };
         self.live = Some(LiveSession { ctx, incremental });
         Ok(())
     }
@@ -581,6 +663,7 @@ mod tests {
     use super::*;
     use crate::config::EngineConfig;
     use carac_datalog::parser::parse;
+    use carac_datalog::DiagnosticCode;
     use carac_exec::BackendKind;
 
     fn tc() -> Program {
@@ -812,6 +895,113 @@ mod tests {
                 "{label} diverged on the goal-directed query"
             );
         }
+    }
+
+    /// A transitive closure padded with one unsatisfiable rule, one rule
+    /// over a factless (dead) relation, and one duplicate rule.
+    fn defective_tc() -> Program {
+        parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Path(x, y) :- Edge(x, y), x < 2, x > 9.\n\
+             Path(x, y) :- Ghost(x, z), Edge(z, y).\n\
+             Path(a, b) :- Edge(a, b).\n\
+             Edge(1, 2). Edge(2, 3). Edge(3, 4).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_reports_defects_without_modifying_the_program() {
+        let engine = Carac::new(defective_tc());
+        let analysis = engine.analyze();
+        assert!(analysis.has_errors());
+        assert_eq!(
+            analysis
+                .with_code(DiagnosticCode::UnsatisfiableRule)
+                .count(),
+            1
+        );
+        assert_eq!(analysis.with_code(DiagnosticCode::DeadRule).count(), 1);
+        assert_eq!(analysis.with_code(DiagnosticCode::DuplicateRule).count(), 1);
+        assert_eq!(engine.program().rules().len(), 5);
+    }
+
+    #[test]
+    fn pruned_runs_match_unpruned_across_modes() {
+        let program = defective_tc();
+        for config in [
+            EngineConfig::interpreted(),
+            EngineConfig::jit(BackendKind::Lambda, false),
+            EngineConfig::jit(BackendKind::Bytecode, false),
+            EngineConfig::interpreted().with_parallelism(4),
+        ] {
+            let label = config.label();
+            let plain = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .unwrap();
+            let pruned = Carac::new(program.clone())
+                .with_config(config.with_prune())
+                .run()
+                .unwrap();
+            let mut a = plain.tuples("Path").unwrap();
+            let mut b = pruned.tuples("Path").unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{label} diverged under pruning");
+        }
+    }
+
+    #[test]
+    fn pruned_live_session_matches_unpruned_under_updates() {
+        let program = defective_tc();
+        let mut plain = Carac::new(program.clone()).with_config(EngineConfig::interpreted());
+        let mut pruned = Carac::new(program).with_config(EngineConfig::interpreted().with_prune());
+        for engine in [&mut plain, &mut pruned] {
+            engine.apply_edge_updates("Edge", &[(4, 5)], &[]).unwrap();
+            engine.apply_edge_updates("Edge", &[], &[(1, 2)]).unwrap();
+            // The dead relation coming alive mid-stream must still derive:
+            // live pruning may only drop update-independent defects.
+            engine.apply_edge_updates("Ghost", &[(0, 2)], &[]).unwrap();
+        }
+        let mut a = plain.live_tuples("Path").unwrap();
+        let mut b = pruned.live_tuples("Path").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "live pruning diverged under updates");
+    }
+
+    #[test]
+    fn extra_facts_keep_their_relations_alive_for_the_analyzer() {
+        let mut engine = Carac::new(defective_tc()).with_config(EngineConfig::interpreted());
+        engine.add_edge_facts("Ghost", &[(0, 2)]).unwrap();
+        let analysis = engine.analyze();
+        // Ghost now has facts, so the rule over it is no longer dead.
+        assert!(analysis
+            .with_code(DiagnosticCode::DeadRule)
+            .next()
+            .is_none());
+        let plain = engine.run().unwrap();
+        let pruned = Carac::new(engine.program().clone())
+            .with_config(EngineConfig::interpreted().with_prune());
+        let mut with_prune = pruned;
+        with_prune.add_edge_facts("Ghost", &[(0, 2)]).unwrap();
+        let pruned_result = with_prune.run().unwrap();
+        assert_eq!(
+            plain.count("Path").unwrap(),
+            pruned_result.count("Path").unwrap()
+        );
+    }
+
+    #[test]
+    fn pruning_leaves_goal_directed_queries_untouched() {
+        let engine =
+            Carac::new(defective_tc()).with_config(EngineConfig::interpreted().with_prune());
+        let answer = engine
+            .query("Path", &[QueryBinding::bound_int(1), QueryBinding::Free])
+            .unwrap();
+        assert_eq!(answer.count(), 3);
     }
 
     #[test]

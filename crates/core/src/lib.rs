@@ -52,6 +52,7 @@
 //! * [`carac_storage`] — tuples, relations, indexes and the semi-naive
 //!   evaluation databases.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aot;
@@ -79,6 +80,12 @@ pub use persist::RecoveryReport;
 
 // Goal-directed query surface (see `Carac::query`).
 pub use carac_datalog::magic::QueryBinding;
+
+// Static-analysis surface (see `Carac::analyze` and `EngineConfig::prune`).
+pub use carac_datalog::{
+    analyze, analyze_with, prune, prune_with, Analysis, AnalysisOptions, Diagnostic,
+    DiagnosticCode, DropReason, PrunedProgram, Severity,
+};
 
 // Re-export the substrate crates under stable names.
 pub use carac_datalog as datalog;

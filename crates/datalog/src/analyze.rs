@@ -1,0 +1,1520 @@
+//! Static program analysis: abstract interpretation over comparison
+//! constraints, emptiness/reachability dataflow, redundancy detection, and
+//! semantics-preserving pruning.
+//!
+//! The analyzer runs over *validated* programs (anything a
+//! [`ProgramBuilder`](crate::builder::ProgramBuilder) or the parser
+//! returns) and produces machine-readable [`Diagnostic`]s:
+//!
+//! * **Errors** — rules and relations that provably contribute nothing:
+//!   unsatisfiable rules (contradictory constraints, `x < 5, x > 9`),
+//!   dead rules (bodies depending on transitively-empty relations given the
+//!   program's EDB facts), never-derivable relations, and duplicate or
+//!   subsumed rules (body subsumption up to variable renaming).
+//! * **Warnings** — suspicious but legal patterns: relations that nothing
+//!   reads, variables bound once and never read, and comparisons that are
+//!   statically true because their operands are pinned constant.
+//!
+//! Two abstract domains drive the rule-level verdicts:
+//!
+//! * **Constant propagation / intervals per rule body.**  Every rule
+//!   variable starts at the full value interval `[0, u32::MAX]` (raw
+//!   [`Value`] order, matching [`CmpOp::eval`]) and is narrowed to a
+//!   fixpoint by the rule's comparison constraints; an empty interval means
+//!   the rule can never fire.  A reachability check over the strict-order
+//!   digraph catches pure variable cycles (`x < y, y < x`) that interval
+//!   narrowing alone converges on too slowly.
+//! * **Column intervals over the stratified dependency graph.**  Extensional
+//!   columns take the min/max of the program's facts; intensional columns
+//!   are a least fixpoint of the rules' head projections.  The result both
+//!   refines rule-level satisfiability (a constraint can be statically
+//!   false under the values that actually flow) and is exported as
+//!   [`Analysis::interval_hints`] — refined selectivity hints consumed by
+//!   the cost model's `atom_score`.
+//!
+//! [`prune`] drops every rule and (optionally) relation convicted at error
+//! level and rebuilds the program through the builder, so the pruned
+//! program re-validates and re-stratifies from scratch.  Pruning is
+//! semantics-preserving: dropped rules derive nothing (unsatisfiable /
+//! dead) or derive a subset of what a kept rule derives (duplicate /
+//! subsumed), and dropped relations are provably empty and unreferenced.
+//!
+//! For engines that accept *update streams* (incremental maintenance), the
+//! fact set is not frozen: [`AnalysisOptions::assume_edb_nonempty`] makes
+//! the analysis update-independent by treating every extensional relation
+//! as potentially non-empty, which suppresses the data-dependent verdicts
+//! and keeps only the structural ones (contradictory constraints,
+//! duplicates, subsumption, relations no rule can ever derive).
+
+use std::fmt;
+
+use carac_storage::hasher::{FxHashMap, FxHashSet};
+use carac_storage::{AggFunc, CmpOp, RelId, Value};
+
+use crate::ast::{Rule, RuleId, Term};
+use crate::program::Program;
+
+/// How serious a [`Diagnostic`] is.  `Error` diagnostics identify rules or
+/// relations that provably contribute nothing to any result (and are what
+/// [`prune`] removes); `Warning` diagnostics flag legal but suspicious
+/// patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal; evaluation is unaffected.
+    Warning,
+    /// Provably useless work: the subject can be pruned without changing
+    /// any result.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Machine-readable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticCode {
+    /// The rule's comparison constraints are contradictory (or statically
+    /// false under propagated constants): it can never fire.
+    UnsatisfiableRule,
+    /// A positive body literal reads a relation that is provably empty, so
+    /// the rule can never fire.
+    DeadRule,
+    /// An intensional relation that can never hold a tuple.
+    UnreachableRelation,
+    /// The rule is identical (up to variable renaming) to an earlier rule.
+    DuplicateRule,
+    /// Everything the rule derives, an earlier/more-general rule already
+    /// derives (body subsumption up to variable renaming).
+    SubsumedRule,
+    /// An extensional relation that no rule body reads.
+    UnusedRelation,
+    /// A variable bound once and never read (no join, head, negation or
+    /// constraint uses it).
+    SingletonVariable,
+    /// A comparison that is statically true because its operands are
+    /// pinned constant (by `=` constraints or constant columns).
+    ConstantComparison,
+}
+
+impl DiagnosticCode {
+    /// The stable kebab-case code string (used in rendered diagnostics and
+    /// CI assertions).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagnosticCode::UnsatisfiableRule => "unsat-rule",
+            DiagnosticCode::DeadRule => "dead-rule",
+            DiagnosticCode::UnreachableRelation => "unreachable-relation",
+            DiagnosticCode::DuplicateRule => "duplicate-rule",
+            DiagnosticCode::SubsumedRule => "subsumed-rule",
+            DiagnosticCode::UnusedRelation => "unused-relation",
+            DiagnosticCode::SingletonVariable => "singleton-variable",
+            DiagnosticCode::ConstantComparison => "constant-comparison",
+        }
+    }
+
+    /// The severity this code is always reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticCode::UnsatisfiableRule
+            | DiagnosticCode::DeadRule
+            | DiagnosticCode::UnreachableRelation
+            | DiagnosticCode::DuplicateRule
+            | DiagnosticCode::SubsumedRule => Severity::Error,
+            DiagnosticCode::UnusedRelation
+            | DiagnosticCode::SingletonVariable
+            | DiagnosticCode::ConstantComparison => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Machine-readable code.
+    pub code: DiagnosticCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The rule the finding is about, if any.
+    pub rule: Option<RuleId>,
+    /// The relation the finding is about, if any.
+    pub relation: Option<RelId>,
+    /// Human-readable message citing the rule's source label/position when
+    /// available.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity,
+            self.code.as_str(),
+            self.message
+        )
+    }
+}
+
+/// Why [`prune`] drops a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Contradictory or statically-false constraints.
+    Unsatisfiable,
+    /// A positive body literal reads a provably-empty relation.
+    Dead,
+    /// Identical (up to renaming) to the cited kept rule.
+    Duplicate(RuleId),
+    /// Subsumed by the cited kept rule.
+    Subsumed(RuleId),
+}
+
+/// Analysis knobs.  The default analyzes the program's fact set as frozen
+/// (one-shot evaluation).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// Treat every extensional relation as potentially non-empty.  Set for
+    /// programs that will receive update streams: emptiness then depends
+    /// only on the rule/dependency structure, so every verdict stays valid
+    /// under any sequence of EDB inserts and deletes.
+    pub assume_edb_nonempty: bool,
+    /// Additional relations to treat as non-empty (facts the caller will
+    /// supply at run time, outside `program.facts()`).
+    pub extra_nonempty: FxHashSet<RelId>,
+}
+
+/// The result of [`analyze`]: diagnostics, per-rule prune verdicts,
+/// emptiness facts and column-interval facts.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, rules first (in rule order), then relations.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per rule (indexed by `RuleId`), why pruning drops it — `None` for
+    /// kept rules.
+    pub drop_reasons: Vec<Option<DropReason>>,
+    /// Relations that can never hold a tuple under the analyzed options
+    /// (never-derivable IDB relations and factless EDB relations).
+    pub empty_relations: Vec<RelId>,
+    /// Interval facts: for `(relation, column)` keys, the inclusive
+    /// `(min, max)` raw-value range that can ever flow into the column.
+    /// Only columns with a range narrower than the full value space have
+    /// entries; provably-empty relations have none.
+    pub interval_hints: FxHashMap<(RelId, usize), (u32, u32)>,
+}
+
+impl Analysis {
+    /// Number of error-level diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-level diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any error-level diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The diagnostics carrying a specific code.
+    pub fn with_code(&self, code: DiagnosticCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+}
+
+/// The outcome of [`prune`]: the rebuilt program plus an account of what
+/// was dropped.
+#[derive(Debug, Clone)]
+pub struct PrunedProgram {
+    /// The rebuilt (re-validated, re-stratified) program.
+    pub program: Program,
+    /// Original ids of the dropped rules, ascending, with reasons.
+    pub dropped_rules: Vec<(RuleId, DropReason)>,
+    /// Original ids of the kept rules, in the pruned program's rule order.
+    pub kept_rules: Vec<RuleId>,
+    /// Names of relations whose declarations were dropped entirely.
+    pub dropped_relations: Vec<String>,
+    /// The analysis that drove the prune.
+    pub analysis: Analysis,
+}
+
+/// Analyzes `program` with default options (frozen fact set).
+pub fn analyze(program: &Program) -> Analysis {
+    analyze_with(program, &AnalysisOptions::default())
+}
+
+/// Analyzes `program` under `options`.
+pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
+    let pass = Pass::run(program, options);
+    pass.into_analysis(program)
+}
+
+/// Prunes `program` with default options: drops error-level rules and the
+/// relations they leave provably empty and unreferenced.  The result is
+/// semantics-preserving for one-shot evaluation of the program's frozen
+/// fact set; use [`prune_with`] with
+/// [`AnalysisOptions::assume_edb_nonempty`] when updates may follow.
+pub fn prune(program: &Program) -> PrunedProgram {
+    prune_with(program, &AnalysisOptions::default(), false)
+}
+
+/// Prunes `program` under `options`.  With `keep_declarations` set, every
+/// relation declaration survives (only rules are dropped), so result
+/// lookups by name behave identically on the pruned program — this is what
+/// the engine's `with_prune` seam uses.
+pub fn prune_with(
+    program: &Program,
+    options: &AnalysisOptions,
+    keep_declarations: bool,
+) -> PrunedProgram {
+    let analysis = analyze_with(program, options);
+    let mut dropped_rules = Vec::new();
+    let mut kept_rules = Vec::new();
+    for rule in program.rules() {
+        match analysis.drop_reasons[rule.id.index()] {
+            Some(reason) => dropped_rules.push((rule.id, reason)),
+            None => kept_rules.push(rule.id),
+        }
+    }
+
+    // A declaration can be dropped only when it is provably empty and
+    // nothing kept references it: no kept rule (head, positive or negated
+    // body), no fact, no aggregate (either side).  Aggregate relations are
+    // pinned wholesale, mirroring alias elimination.
+    let mut referenced = vec![false; program.relations().len()];
+    for &id in &kept_rules {
+        let rule = program.rule(id);
+        referenced[rule.head.rel.index()] = true;
+        for literal in &rule.body {
+            referenced[literal.atom.rel.index()] = true;
+        }
+    }
+    for (rel, _) in program.facts() {
+        referenced[rel.index()] = true;
+    }
+    for spec in program.aggregates() {
+        referenced[spec.input.index()] = true;
+        referenced[spec.output.index()] = true;
+    }
+    let drop_decl = |rel: RelId| -> bool {
+        !keep_declarations && !referenced[rel.index()] && analysis.empty_relations.contains(&rel)
+    };
+
+    let mut dropped_relations = Vec::new();
+    let mut builder = crate::builder::ProgramBuilder::new();
+    builder.with_symbols(program.symbols().clone());
+    for decl in program.relations() {
+        if drop_decl(decl.id) {
+            dropped_relations.push(decl.name.clone());
+        } else {
+            builder.relation(&decl.name, decl.arity);
+        }
+    }
+    let to_spec = |term: &Term, rule: &Rule| match term {
+        Term::Var(v) => crate::builder::TermSpec::Var(rule.var_names[v.index()].clone()),
+        Term::Const(c) => crate::builder::TermSpec::Value(*c),
+    };
+    for &id in &kept_rules {
+        let rule = program.rule(id);
+        let head_name = &program.relation(rule.head.rel).name;
+        let head_terms: Vec<_> = rule.head.terms.iter().map(|t| to_spec(t, rule)).collect();
+        let mut rb = builder.rule(head_name, &head_terms);
+        for literal in &rule.body {
+            let rel_name = &program.relation(literal.atom.rel).name;
+            let terms: Vec<_> = literal
+                .atom
+                .terms
+                .iter()
+                .map(|t| to_spec(t, rule))
+                .collect();
+            rb = if literal.negated {
+                rb.when_not(rel_name, &terms)
+            } else {
+                rb.when(rel_name, &terms)
+            };
+        }
+        for constraint in &rule.constraints {
+            rb = rb.constrain(
+                to_spec(&constraint.lhs, rule),
+                constraint.op,
+                to_spec(&constraint.rhs, rule),
+            );
+        }
+        if let Some(label) = &rule.origin.label {
+            rb = rb.label(label);
+        }
+        if let Some((line, col)) = rule.origin.position {
+            rb = rb.at(line, col);
+        }
+        rb.end();
+    }
+    for (rel, tuple) in program.facts() {
+        let name = &program.relation(*rel).name;
+        let specs: Vec<_> = tuple
+            .values()
+            .iter()
+            .map(|v| crate::builder::TermSpec::Value(*v))
+            .collect();
+        builder.fact(name, &specs);
+    }
+    for spec in program.aggregates() {
+        builder.aggregate(
+            &program.relation(spec.output).name,
+            &program.relation(spec.input).name,
+            &spec.aggs,
+        );
+    }
+    let pruned = builder.build().expect("pruning must preserve validity");
+    PrunedProgram {
+        program: pruned,
+        dropped_rules,
+        kept_rules,
+        dropped_relations,
+        analysis,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+/// An inclusive interval over raw 32-bit values; `lo > hi` means empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: u32,
+    hi: u32,
+}
+
+impl Interval {
+    const FULL: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+    const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+
+    fn singleton(v: u32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn as_singleton(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Greatest lower bound (intersection).
+    fn meet(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Least upper bound (interval hull).
+    fn join(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Narrows `(a, b)` under `a op b`.  Returns the refined pair; either side
+/// may come back empty (the constraint is unsatisfiable on these ranges).
+fn narrow(op: CmpOp, a: Interval, b: Interval) -> (Interval, Interval) {
+    if a.is_empty() || b.is_empty() {
+        return (Interval::EMPTY, Interval::EMPTY);
+    }
+    match op {
+        CmpOp::Lt => {
+            let a2 = match b.hi.checked_sub(1) {
+                Some(hi) => a.meet(Interval { lo: 0, hi }),
+                None => Interval::EMPTY,
+            };
+            let b2 = match a.lo.checked_add(1) {
+                Some(lo) => b.meet(Interval { lo, hi: u32::MAX }),
+                None => Interval::EMPTY,
+            };
+            (a2, b2)
+        }
+        CmpOp::Le => (
+            a.meet(Interval { lo: 0, hi: b.hi }),
+            b.meet(Interval {
+                lo: a.lo,
+                hi: u32::MAX,
+            }),
+        ),
+        CmpOp::Gt => {
+            let (b2, a2) = narrow(CmpOp::Lt, b, a);
+            (a2, b2)
+        }
+        CmpOp::Ge => {
+            let (b2, a2) = narrow(CmpOp::Le, b, a);
+            (a2, b2)
+        }
+        CmpOp::Eq => {
+            let m = a.meet(b);
+            (m, m)
+        }
+        CmpOp::Ne => {
+            let mut a2 = a;
+            let mut b2 = b;
+            if let Some(v) = b.as_singleton() {
+                if a2.lo == v {
+                    a2 = match v.checked_add(1) {
+                        Some(lo) => Interval { lo, hi: a2.hi },
+                        None => Interval::EMPTY,
+                    };
+                }
+                if !a2.is_empty() && a2.hi == v {
+                    a2 = match v.checked_sub(1) {
+                        Some(hi) => Interval { lo: a2.lo, hi },
+                        None => Interval::EMPTY,
+                    };
+                }
+            }
+            if let Some(v) = a.as_singleton() {
+                if b2.lo == v {
+                    b2 = match v.checked_add(1) {
+                        Some(lo) => Interval { lo, hi: b2.hi },
+                        None => Interval::EMPTY,
+                    };
+                }
+                if !b2.is_empty() && b2.hi == v {
+                    b2 = match v.checked_sub(1) {
+                        Some(hi) => Interval { lo: b2.lo, hi },
+                        None => Interval::EMPTY,
+                    };
+                }
+            }
+            (a2, b2)
+        }
+    }
+}
+
+/// Per-rule abstract interpretation: narrows every variable's interval to a
+/// fixpoint under the rule's constraints.  `seed` supplies initial
+/// intervals per variable (from body-atom column ranges); `None` seeds mean
+/// the full interval.  Returns `None` when the constraints are
+/// unsatisfiable on the seeded ranges.
+fn rule_var_intervals(rule: &Rule, seed: Option<&[Interval]>) -> Option<Vec<Interval>> {
+    let mut iv: Vec<Interval> = match seed {
+        Some(seed) => seed.to_vec(),
+        None => vec![Interval::FULL; rule.num_vars()],
+    };
+    if iv.iter().any(|i| i.is_empty()) {
+        return None;
+    }
+    let term_iv = |t: Term, iv: &[Interval]| match t {
+        Term::Var(v) => iv[v.index()],
+        Term::Const(c) => Interval::singleton(c.raw()),
+    };
+    // Narrowing only shrinks, so the loop terminates; the pass cap guards
+    // against slow convergence on variable-to-variable chains (the strict
+    // order cycle check below catches the pathological contradictions).
+    for _ in 0..32 {
+        let mut changed = false;
+        for constraint in &rule.constraints {
+            let (a, b) = narrow(
+                constraint.op,
+                term_iv(constraint.lhs, &iv),
+                term_iv(constraint.rhs, &iv),
+            );
+            if a.is_empty() || b.is_empty() {
+                return None;
+            }
+            if let Term::Var(v) = constraint.lhs {
+                if iv[v.index()] != a {
+                    iv[v.index()] = a;
+                    changed = true;
+                }
+            }
+            if let Term::Var(v) = constraint.rhs {
+                if iv[v.index()] != b {
+                    iv[v.index()] = b;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Strict-order cycle check: a `u < v` edge inside a `<=`-reachable
+    // cycle (x < y, y <= x) is a contradiction interval narrowing may only
+    // converge on after ~2^32 passes.
+    if has_strict_cycle(rule) {
+        return None;
+    }
+    Some(iv)
+}
+
+/// Whether the rule's order constraints contain a cycle through at least
+/// one strict edge (`x < y, y <= z, z <= x`).  Equalities add edges both
+/// ways.
+fn has_strict_cycle(rule: &Rule) -> bool {
+    let n = rule.num_vars();
+    // adj[u] = (v, strict) edges meaning u ≤ v (strict: u < v).
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    let add = |from: Term, to: Term, strict: bool, adj: &mut Vec<Vec<(usize, bool)>>| {
+        if let (Term::Var(a), Term::Var(b)) = (from, to) {
+            adj[a.index()].push((b.index(), strict));
+        }
+    };
+    for c in &rule.constraints {
+        match c.op {
+            CmpOp::Lt => add(c.lhs, c.rhs, true, &mut adj),
+            CmpOp::Le => add(c.lhs, c.rhs, false, &mut adj),
+            CmpOp::Gt => add(c.rhs, c.lhs, true, &mut adj),
+            CmpOp::Ge => add(c.rhs, c.lhs, false, &mut adj),
+            CmpOp::Eq => {
+                add(c.lhs, c.rhs, false, &mut adj);
+                add(c.rhs, c.lhs, false, &mut adj);
+            }
+            CmpOp::Ne => {}
+        }
+    }
+    // For every strict edge u -> v, a contradiction exists iff v reaches u.
+    for u in 0..n {
+        for &(v, strict) in &adj[u] {
+            if !strict {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            let mut stack = vec![v];
+            while let Some(w) = stack.pop() {
+                if w == u {
+                    return true;
+                }
+                if seen[w] {
+                    continue;
+                }
+                seen[w] = true;
+                for &(next, _) in &adj[w] {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule subsumption
+// ---------------------------------------------------------------------------
+
+/// Whether rule `a` subsumes rule `b`: a variable substitution θ over `a`'s
+/// variables exists with θ(head_a) = head_b, every θ(literal) of `a`'s body
+/// appearing in `b`'s body (same relation and polarity), and every
+/// θ(constraint) of `a` appearing among `b`'s constraints.  Then everything
+/// `b` derives, `a` derives, so dropping `b` preserves semantics.
+fn subsumes(a: &Rule, b: &Rule) -> bool {
+    if a.head.rel != b.head.rel || a.body.len() > b.body.len() {
+        return false;
+    }
+    // θ: VarId of a -> Term of b.
+    let mut theta: Vec<Option<Term>> = vec![None; a.num_vars()];
+    fn unify_term(theta: &mut [Option<Term>], ta: Term, tb: Term) -> Option<Option<usize>> {
+        // Returns Some(binding-slot-to-undo) on success, None on clash.
+        match ta {
+            Term::Const(ca) => match tb {
+                Term::Const(cb) if ca == cb => Some(None),
+                _ => None,
+            },
+            Term::Var(v) => match theta[v.index()] {
+                Some(bound) if bound == tb => Some(None),
+                Some(_) => None,
+                None => {
+                    theta[v.index()] = Some(tb);
+                    Some(Some(v.index()))
+                }
+            },
+        }
+    }
+    fn unify_atoms(
+        theta: &mut [Option<Term>],
+        a_terms: &[Term],
+        b_terms: &[Term],
+    ) -> Option<Vec<usize>> {
+        if a_terms.len() != b_terms.len() {
+            return None;
+        }
+        let mut undo = Vec::new();
+        for (&ta, &tb) in a_terms.iter().zip(b_terms) {
+            match unify_term(theta, ta, tb) {
+                Some(Some(slot)) => undo.push(slot),
+                Some(None) => {}
+                None => {
+                    for slot in undo {
+                        theta[slot] = None;
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(undo)
+    }
+    fn match_body(theta: &mut [Option<Term>], a: &Rule, b: &Rule, idx: usize) -> bool {
+        let Some(lit_a) = a.body.get(idx) else {
+            return match_constraints(theta, a, b);
+        };
+        for lit_b in &b.body {
+            if lit_b.atom.rel != lit_a.atom.rel || lit_b.negated != lit_a.negated {
+                continue;
+            }
+            if let Some(undo) = unify_atoms(theta, &lit_a.atom.terms, &lit_b.atom.terms) {
+                if match_body(theta, a, b, idx + 1) {
+                    return true;
+                }
+                for slot in undo {
+                    theta[slot] = None;
+                }
+            }
+        }
+        false
+    }
+    fn match_constraints(theta: &mut [Option<Term>], a: &Rule, b: &Rule) -> bool {
+        // Body variables of `a` are all bound by now (validation guarantees
+        // constraint/head variables occur in the positive body).
+        let apply = |t: Term| match t {
+            Term::Var(v) => theta[v.index()].expect("safe rules bind every variable"),
+            Term::Const(_) => t,
+        };
+        a.constraints.iter().all(|ca| {
+            b.constraints
+                .iter()
+                .any(|cb| cb.op == ca.op && apply(ca.lhs) == cb.lhs && apply(ca.rhs) == cb.rhs)
+        })
+    }
+
+    // Bind the head first: cheap and prunes the search hard.
+    let Some(head_undo) = unify_atoms(&mut theta, &a.head.terms, &b.head.terms) else {
+        return false;
+    };
+    let _ = head_undo;
+    match_body(&mut theta, a, b, 0)
+}
+
+// ---------------------------------------------------------------------------
+// The analysis pass
+// ---------------------------------------------------------------------------
+
+struct Pass {
+    drop_reasons: Vec<Option<DropReason>>,
+    unsat: Vec<bool>,
+    nonempty: Vec<bool>,
+    col_iv: Vec<Vec<Interval>>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Pass {
+    fn run(program: &Program, options: &AnalysisOptions) -> Pass {
+        let nrels = program.relations().len();
+        let nrules = program.rules().len();
+        let mut pass = Pass {
+            drop_reasons: vec![None; nrules],
+            unsat: vec![false; nrules],
+            nonempty: vec![false; nrels],
+            col_iv: program
+                .relations()
+                .iter()
+                .map(|d| vec![Interval::EMPTY; d.arity])
+                .collect(),
+            diagnostics: Vec::new(),
+        };
+        pass.seed_from_facts(program, options);
+        pass.column_fixpoint(program);
+        pass.rule_satisfiability(program, options);
+        pass.emptiness_fixpoint(program);
+        pass.convict_dead_rules(program);
+        pass.convict_redundant_rules(program);
+        pass.relation_diagnostics(program, options);
+        pass.warn_singleton_variables(program);
+        pass
+    }
+
+    fn seed_from_facts(&mut self, program: &Program, options: &AnalysisOptions) {
+        for (rel, tuple) in program.facts() {
+            self.nonempty[rel.index()] = true;
+            for (col, value) in tuple.values().iter().enumerate() {
+                self.col_iv[rel.index()][col] =
+                    self.col_iv[rel.index()][col].join(Interval::singleton(value.raw()));
+            }
+        }
+        for rel in &options.extra_nonempty {
+            self.nonempty[rel.index()] = true;
+            for iv in &mut self.col_iv[rel.index()] {
+                *iv = Interval::FULL;
+            }
+        }
+        if options.assume_edb_nonempty {
+            for decl in program.relations() {
+                if decl.is_edb {
+                    self.nonempty[decl.id.index()] = true;
+                    for iv in &mut self.col_iv[decl.id.index()] {
+                        *iv = Interval::FULL;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Least-fixpoint propagation of column intervals through rule heads
+    /// and aggregates.  Joins only widen, and every endpoint is drawn from
+    /// the finite set of fact values and constraint constants (±1), so the
+    /// loop converges; the pass cap widens to the full interval as a
+    /// sound fallback.
+    fn column_fixpoint(&mut self, program: &Program) {
+        let max_passes = 8 * program.rules().len() + 8;
+        for pass in 0..=max_passes {
+            if pass == max_passes {
+                for decl in program.relations() {
+                    if !decl.is_edb {
+                        for iv in &mut self.col_iv[decl.id.index()] {
+                            *iv = Interval::FULL;
+                        }
+                    }
+                }
+                break;
+            }
+            let mut changed = false;
+            for rule in program.rules() {
+                let Some(var_iv) = self.body_var_intervals(rule) else {
+                    continue; // cannot fire yet (or ever)
+                };
+                for (col, term) in rule.head.terms.iter().enumerate() {
+                    let head_iv = match term {
+                        Term::Const(c) => Interval::singleton(c.raw()),
+                        Term::Var(v) => var_iv[v.index()],
+                    };
+                    let slot = &mut self.col_iv[rule.head.rel.index()][col];
+                    let joined = slot.join(head_iv);
+                    if joined != *slot {
+                        *slot = joined;
+                        changed = true;
+                    }
+                }
+            }
+            for spec in program.aggregates() {
+                let agg_cols: FxHashMap<usize, AggFunc> = spec.aggs.iter().copied().collect();
+                for col in 0..self.col_iv[spec.output.index()].len() {
+                    let in_iv = self.col_iv[spec.input.index()][col];
+                    let out_iv = match agg_cols.get(&col) {
+                        // Min/max fold stays within the input's range;
+                        // count/sum can exceed it arbitrarily.
+                        None | Some(AggFunc::Min) | Some(AggFunc::Max) => in_iv,
+                        Some(AggFunc::Count) | Some(AggFunc::Sum) => {
+                            if in_iv.is_empty() {
+                                in_iv
+                            } else {
+                                Interval::FULL
+                            }
+                        }
+                    };
+                    let slot = &mut self.col_iv[spec.output.index()][col];
+                    let joined = slot.join(out_iv);
+                    if joined != *slot {
+                        *slot = joined;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Seeds a rule's variable intervals from its positive body atoms'
+    /// current column intervals and narrows under the constraints.  `None`
+    /// when some body column is still empty or the constraints are
+    /// unsatisfiable on these ranges.
+    fn body_var_intervals(&self, rule: &Rule) -> Option<Vec<Interval>> {
+        let mut seed = vec![Interval::FULL; rule.num_vars()];
+        for literal in rule.positive_body() {
+            for (col, var) in literal.atom.variables() {
+                let iv = self.col_iv[literal.atom.rel.index()][col];
+                if iv.is_empty() {
+                    return None;
+                }
+                seed[var.index()] = seed[var.index()].meet(iv);
+            }
+            // Constant columns must admit the constant.
+            for (col, value) in literal.atom.constants() {
+                let iv = self.col_iv[literal.atom.rel.index()][col];
+                if iv.meet(Interval::singleton(value.raw())).is_empty() {
+                    return None;
+                }
+            }
+        }
+        if seed.iter().any(|iv| iv.is_empty()) {
+            return None;
+        }
+        rule_var_intervals(rule, Some(&seed))
+    }
+
+    fn rule_satisfiability(&mut self, program: &Program, options: &AnalysisOptions) {
+        for rule in program.rules() {
+            // Structural check first: constraints alone, valid under any
+            // fact set (and therefore under update streams).
+            let structural = rule_var_intervals(rule, None);
+            let mut unsat = structural.is_none();
+            let mut qualifier = "";
+            if !unsat && !options.assume_edb_nonempty {
+                // Data-refined check: constraints can be statically false
+                // under the values that actually flow into the body.  Only
+                // flag rules whose body *could* otherwise fire — emptiness
+                // is the dead-rule diagnostic's job.
+                let body_live = rule
+                    .positive_body()
+                    .all(|l| self.nonempty[l.atom.rel.index()]);
+                if body_live && self.body_var_intervals(rule).is_none() {
+                    unsat = true;
+                    qualifier = " for the values that reach it";
+                }
+            }
+            if unsat {
+                self.unsat[rule.id.index()] = true;
+                self.drop_reasons[rule.id.index()] = Some(DropReason::Unsatisfiable);
+                self.diagnostics.push(Diagnostic {
+                    code: DiagnosticCode::UnsatisfiableRule,
+                    severity: Severity::Error,
+                    rule: Some(rule.id),
+                    relation: Some(rule.head.rel),
+                    message: format!(
+                        "rule {} can never fire: its comparison constraints are contradictory{qualifier}",
+                        cite(program, rule)
+                    ),
+                });
+            } else {
+                self.warn_constant_comparisons(program, rule);
+            }
+        }
+    }
+
+    /// Statically-true comparisons between constant-pinned operands.  Each
+    /// constraint is judged against the intervals implied by *everything
+    /// else* (body columns plus the remaining constraints) so a filter like
+    /// `x = 3` never convicts itself.
+    fn warn_constant_comparisons(&mut self, program: &Program, rule: &Rule) {
+        if rule.constraints.is_empty() {
+            return;
+        }
+        for (idx, constraint) in rule.constraints.iter().enumerate() {
+            let mut rest = rule.clone();
+            rest.constraints.remove(idx);
+            let Some(rest_iv) = self.body_var_intervals(&rest) else {
+                continue;
+            };
+            let iv_of = |t: Term| -> Interval {
+                match t {
+                    Term::Const(c) => Interval::singleton(c.raw()),
+                    Term::Var(v) => rest_iv[v.index()],
+                }
+            };
+            let (a, b) = (iv_of(constraint.lhs), iv_of(constraint.rhs));
+            if let (Some(ca), Some(cb)) = (a.as_singleton(), b.as_singleton()) {
+                if constraint.op.eval(Value(ca), Value(cb)) {
+                    self.diagnostics.push(Diagnostic {
+                        code: DiagnosticCode::ConstantComparison,
+                        severity: Severity::Warning,
+                        rule: Some(rule.id),
+                        relation: Some(rule.head.rel),
+                        message: format!(
+                            "constraint `{}` in rule {} is statically true: both operands are pinned constant",
+                            display_constraint(rule, constraint),
+                            cite(program, rule)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Emptiness dataflow: a relation can hold a tuple iff it has facts or
+    /// some satisfiable rule with an entirely-nonempty positive body
+    /// derives it (negated literals never block — over-approximation), or
+    /// it is the output of an aggregation over a nonempty input.
+    fn emptiness_fixpoint(&mut self, program: &Program) {
+        loop {
+            let mut changed = false;
+            for rule in program.rules() {
+                if self.unsat[rule.id.index()] || self.nonempty[rule.head.rel.index()] {
+                    continue;
+                }
+                if rule
+                    .positive_body()
+                    .all(|l| self.nonempty[l.atom.rel.index()])
+                {
+                    self.nonempty[rule.head.rel.index()] = true;
+                    changed = true;
+                }
+            }
+            for spec in program.aggregates() {
+                if !self.nonempty[spec.output.index()] && self.nonempty[spec.input.index()] {
+                    self.nonempty[spec.output.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn convict_dead_rules(&mut self, program: &Program) {
+        for rule in program.rules() {
+            if self.drop_reasons[rule.id.index()].is_some() {
+                continue;
+            }
+            let empty_dep = rule
+                .positive_body()
+                .find(|l| !self.nonempty[l.atom.rel.index()]);
+            if let Some(literal) = empty_dep {
+                self.drop_reasons[rule.id.index()] = Some(DropReason::Dead);
+                self.diagnostics.push(Diagnostic {
+                    code: DiagnosticCode::DeadRule,
+                    severity: Severity::Error,
+                    rule: Some(rule.id),
+                    relation: Some(rule.head.rel),
+                    message: format!(
+                        "rule {} is dead: `{}` can never hold a tuple",
+                        cite(program, rule),
+                        program.relation(literal.atom.rel).name
+                    ),
+                });
+            }
+        }
+    }
+
+    fn convict_redundant_rules(&mut self, program: &Program) {
+        let rules = program.rules();
+        for b in rules {
+            if self.drop_reasons[b.id.index()].is_some() {
+                continue;
+            }
+            for a in rules {
+                if a.id == b.id || self.drop_reasons[a.id.index()].is_some() {
+                    continue;
+                }
+                if !subsumes(a, b) {
+                    continue;
+                }
+                let mutual = subsumes(b, a);
+                if mutual && a.id > b.id {
+                    continue; // the earlier rule of a duplicate pair stays
+                }
+                let (code, reason) = if mutual {
+                    (DiagnosticCode::DuplicateRule, DropReason::Duplicate(a.id))
+                } else {
+                    (DiagnosticCode::SubsumedRule, DropReason::Subsumed(a.id))
+                };
+                self.drop_reasons[b.id.index()] = Some(reason);
+                self.diagnostics.push(Diagnostic {
+                    code,
+                    severity: Severity::Error,
+                    rule: Some(b.id),
+                    relation: Some(b.head.rel),
+                    message: format!(
+                        "rule {} is {} rule {}",
+                        cite(program, b),
+                        if mutual {
+                            "a duplicate of"
+                        } else {
+                            "subsumed by"
+                        },
+                        cite(program, a)
+                    ),
+                });
+                break;
+            }
+        }
+    }
+
+    fn relation_diagnostics(&mut self, program: &Program, options: &AnalysisOptions) {
+        let mut read = vec![false; program.relations().len()];
+        for rule in program.rules() {
+            for literal in &rule.body {
+                read[literal.atom.rel.index()] = true;
+            }
+        }
+        for spec in program.aggregates() {
+            read[spec.input.index()] = true;
+        }
+        for decl in program.relations() {
+            if !decl.is_edb && !self.nonempty[decl.id.index()] {
+                self.diagnostics.push(Diagnostic {
+                    code: DiagnosticCode::UnreachableRelation,
+                    severity: Severity::Error,
+                    rule: None,
+                    relation: Some(decl.id),
+                    message: format!(
+                        "relation `{}` can never be derived{}",
+                        decl.name,
+                        if options.assume_edb_nonempty {
+                            ""
+                        } else {
+                            " from the program's facts"
+                        }
+                    ),
+                });
+            }
+            if decl.is_edb && !read[decl.id.index()] {
+                self.diagnostics.push(Diagnostic {
+                    code: DiagnosticCode::UnusedRelation,
+                    severity: Severity::Warning,
+                    rule: None,
+                    relation: Some(decl.id),
+                    message: format!("relation `{}` is never read by any rule", decl.name),
+                });
+            }
+        }
+    }
+
+    fn warn_singleton_variables(&mut self, program: &Program) {
+        for rule in program.rules() {
+            let mut mentions = vec![0usize; rule.num_vars()];
+            for (_, v) in rule.head.variables() {
+                mentions[v.index()] += 2; // head use is a read
+            }
+            for literal in &rule.body {
+                for (_, v) in literal.atom.variables() {
+                    mentions[v.index()] += 1;
+                }
+            }
+            for constraint in &rule.constraints {
+                for v in constraint.variables() {
+                    mentions[v.index()] += 2; // constraint use is a read
+                }
+            }
+            for (idx, &count) in mentions.iter().enumerate() {
+                if count == 1 {
+                    self.diagnostics.push(Diagnostic {
+                        code: DiagnosticCode::SingletonVariable,
+                        severity: Severity::Warning,
+                        rule: Some(rule.id),
+                        relation: Some(rule.head.rel),
+                        message: format!(
+                            "variable `{}` in rule {} is bound once and never read",
+                            rule.var_names[idx],
+                            cite(program, rule)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn into_analysis(self, program: &Program) -> Analysis {
+        let mut interval_hints = FxHashMap::default();
+        for decl in program.relations() {
+            for (col, iv) in self.col_iv[decl.id.index()].iter().enumerate() {
+                if !iv.is_empty() && *iv != Interval::FULL {
+                    interval_hints.insert((decl.id, col), (iv.lo, iv.hi));
+                }
+            }
+        }
+        let empty_relations = program
+            .relations()
+            .iter()
+            .filter(|d| !self.nonempty[d.id.index()])
+            .map(|d| d.id)
+            .collect();
+        let mut diagnostics = self.diagnostics;
+        // Stable order: errors before warnings, then rule order.
+        diagnostics.sort_by_key(|d| {
+            (
+                std::cmp::Reverse(d.severity),
+                d.rule.map(|r| r.0),
+                d.relation.map(|r| r.0),
+            )
+        });
+        Analysis {
+            diagnostics,
+            drop_reasons: self.drop_reasons,
+            empty_relations,
+            interval_hints,
+        }
+    }
+}
+
+/// Cites a rule for a diagnostic message: rendered source plus origin.
+fn cite(program: &Program, rule: &Rule) -> String {
+    let rendered = program.display_rule(rule);
+    match rule.origin.describe() {
+        Some(origin) => format!("{origin} `{rendered}`"),
+        None => format!("#{} `{rendered}`", rule.id.0),
+    }
+}
+
+fn display_constraint(rule: &Rule, constraint: &crate::ast::Constraint) -> String {
+    let term = |t: Term| match t {
+        Term::Var(v) => rule.var_names[v.index()].clone(),
+        Term::Const(c) => format!("{}", c.raw()),
+    };
+    format!(
+        "{} {} {}",
+        term(constraint.lhs),
+        constraint.op.symbol(),
+        term(constraint.rhs)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c, v, ProgramBuilder};
+    use crate::parser::parse;
+
+    fn codes(analysis: &Analysis) -> Vec<DiagnosticCode> {
+        analysis.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_errors() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2). Edge(2, 3).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.error_count(), 0, "{:?}", a.diagnostics);
+        assert!(a.drop_reasons.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn contradictory_constraints_are_unsatisfiable() {
+        let p = parse(
+            "Out(x) :- Node(x), x < 5, x > 9.\n\
+             Node(1).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+        assert_eq!(a.drop_reasons[0], Some(DropReason::Unsatisfiable));
+        // `Out` becomes never-derivable too.
+        assert!(codes(&a).contains(&DiagnosticCode::UnreachableRelation));
+    }
+
+    #[test]
+    fn constant_propagation_detects_statically_false_constraints() {
+        // x = 3 propagates into x > 7.
+        let p = parse("Out(x) :- Node(x), x = 3, x > 7.\nNode(3).").unwrap();
+        let a = analyze(&p);
+        assert!(codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+
+        // Structurally fine, but the only value flowing in is 2.
+        let p = parse("Out(x) :- Node(x), x > 7.\nNode(2).").unwrap();
+        let a = analyze(&p);
+        assert!(codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+        // ... and the same rule is *not* flagged when updates may follow.
+        let opts = AnalysisOptions {
+            assume_edb_nonempty: true,
+            ..Default::default()
+        };
+        let a = analyze_with(&p, &opts);
+        assert!(!codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+    }
+
+    #[test]
+    fn strict_variable_cycles_are_unsatisfiable() {
+        let p = parse("Out(x, y) :- Pair(x, y), x < y, y < x.\nPair(1, 2).").unwrap();
+        let a = analyze(&p);
+        assert!(codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+
+        // A plain `x < y` order must of course stay satisfiable.
+        let p = parse("Out(x, y) :- Pair(x, y), x < y.\nPair(1, 2).").unwrap();
+        let a = analyze(&p);
+        assert!(!codes(&a).contains(&DiagnosticCode::UnsatisfiableRule));
+    }
+
+    #[test]
+    fn rules_on_empty_relations_are_dead() {
+        let p = parse(
+            "Reach(x) :- Start(x).\n\
+             Reach(y) :- Reach(x), Edge(x, y).\n\
+             Dead(x) :- Node(x), Ghost(x).\n\
+             Node(1). Edge(1, 2). Start(1).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let dead: Vec<_> = a.with_code(DiagnosticCode::DeadRule).collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("Ghost"));
+        let ghost = p.relation_by_name("Ghost").unwrap();
+        assert!(a.empty_relations.contains(&ghost));
+    }
+
+    #[test]
+    fn duplicates_and_subsumption_up_to_renaming() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(a, b) :- Edge(a, b).\n\
+             Big(x, y) :- Edge(x, y), Node(x).\n\
+             Edge(1, 2). Node(1).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        // Rule 1 duplicates rule 0 (renamed variables).
+        assert_eq!(a.drop_reasons[1], Some(DropReason::Duplicate(RuleId(0))));
+        assert_eq!(a.drop_reasons[0], None);
+        // `Big` is not subsumed by the Path rules (different head).
+        assert_eq!(a.drop_reasons[2], None);
+
+        // Proper subsumption: the 2-atom rule derives a subset.
+        let p = parse(
+            "Out(x, y) :- Edge(x, y).\n\
+             Out(x, y) :- Edge(x, y), Node(x).\n\
+             Edge(1, 2). Node(1).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.drop_reasons[1], Some(DropReason::Subsumed(RuleId(0))));
+        assert!(codes(&a).contains(&DiagnosticCode::SubsumedRule));
+    }
+
+    #[test]
+    fn constraints_block_subsumption_unless_carried_over() {
+        // The constrained rule derives a subset of the unconstrained one.
+        let p = parse(
+            "Out(x, y) :- Edge(x, y).\n\
+             Out(x, y) :- Edge(x, y), x < y.\n\
+             Edge(1, 2).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.drop_reasons[1], Some(DropReason::Subsumed(RuleId(0))));
+
+        // Order does not matter: the constrained rule is the more specific
+        // one, so it is the one dropped even when it comes first.
+        let p = parse(
+            "Out(x, y) :- Edge(x, y), x < y.\n\
+             Out(x, y) :- Edge(x, y).\n\
+             Edge(1, 2).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.drop_reasons[0], Some(DropReason::Subsumed(RuleId(1))));
+        assert_eq!(a.drop_reasons[1], None);
+
+        // Different constraints in both rules: neither covers the other.
+        let p = parse(
+            "Out(x, y) :- Edge(x, y), x < y.\n\
+             Out(x, y) :- Edge(x, y), x > y.\n\
+             Edge(2, 1). Edge(1, 2).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.drop_reasons[0], None);
+        assert_eq!(a.drop_reasons[1], None);
+    }
+
+    #[test]
+    fn warnings_for_unused_relations_and_singleton_variables() {
+        let p = parse(
+            "Out(x) :- Edge(x, y).\n\
+             Edge(1, 2). Lonely(7).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert_eq!(a.error_count(), 0);
+        let unused: Vec<_> = a.with_code(DiagnosticCode::UnusedRelation).collect();
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("Lonely"));
+        let singles: Vec<_> = a.with_code(DiagnosticCode::SingletonVariable).collect();
+        assert_eq!(singles.len(), 1);
+        assert!(singles[0].message.contains('y'));
+    }
+
+    #[test]
+    fn statically_true_constraints_on_constant_operands_warn() {
+        let p = parse("Out(x) :- Node(x), x = 3, x < 9.\nNode(3).").unwrap();
+        let a = analyze(&p);
+        assert!(codes(&a).contains(&DiagnosticCode::ConstantComparison));
+        assert_eq!(a.error_count(), 0);
+    }
+
+    #[test]
+    fn interval_hints_cover_edb_and_idb_columns() {
+        let p = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(3, 5). Edge(5, 9).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let edge = p.relation_by_name("Edge").unwrap();
+        let path = p.relation_by_name("Path").unwrap();
+        assert_eq!(a.interval_hints.get(&(edge, 0)), Some(&(3, 5)));
+        assert_eq!(a.interval_hints.get(&(edge, 1)), Some(&(5, 9)));
+        // Path columns are joins of Edge columns through the rules.
+        assert_eq!(a.interval_hints.get(&(path, 0)), Some(&(3, 5)));
+        assert_eq!(a.interval_hints.get(&(path, 1)), Some(&(5, 9)));
+    }
+
+    #[test]
+    fn pruning_drops_convicted_rules_and_empty_relations() {
+        let p = parse(
+            "Reach(x) :- Start(x).\n\
+             Reach(x) :- Start(x).\n\
+             Dead(x) :- Ghost(x).\n\
+             Never(x) :- Node(x), x < 2, x > 8.\n\
+             Start(1). Node(5).",
+        )
+        .unwrap();
+        let pruned = prune(&p);
+        assert_eq!(pruned.kept_rules, vec![RuleId(0)]);
+        assert_eq!(pruned.dropped_rules.len(), 3);
+        // Ghost (empty EDB) and Dead/Never (unreachable IDB) vanish when
+        // nothing kept references them.
+        assert!(pruned.dropped_relations.contains(&"Ghost".to_string()));
+        assert!(pruned.dropped_relations.contains(&"Dead".to_string()));
+        assert!(pruned.dropped_relations.contains(&"Never".to_string()));
+        assert!(pruned.program.relation_by_name("Reach").is_ok());
+        assert_eq!(pruned.program.rules().len(), 1);
+
+        // With declarations pinned, only rules are dropped.
+        let kept = prune_with(&p, &AnalysisOptions::default(), true);
+        assert_eq!(kept.program.rules().len(), 1);
+        assert!(kept.dropped_relations.is_empty());
+        assert!(kept.program.relation_by_name("Ghost").is_ok());
+    }
+
+    #[test]
+    fn pruning_keeps_negated_empty_relations_declared() {
+        // `Blocked` is empty but read under negation: the rule is live and
+        // the declaration must survive even in full prune mode.
+        let p = parse(
+            "Ok(x) :- Node(x), !Blocked(x).\n\
+             Node(1). Node(2).",
+        )
+        .unwrap();
+        let pruned = prune(&p);
+        assert!(pruned.program.relation_by_name("Blocked").is_ok());
+        assert_eq!(pruned.program.rules().len(), 1);
+        assert!(pruned.dropped_rules.is_empty());
+    }
+
+    #[test]
+    fn pruning_preserves_aggregates_and_origins() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Deg", 2);
+        b.rule("Deg", &[v("x"), crate::builder::count_of("y")])
+            .when("Edge", &["x", "y"])
+            .label("degree")
+            .end();
+        b.rule("Deg", &[v("x"), crate::builder::count_of("y")])
+            .when("Edge", &["x", "y"])
+            .end();
+        b.fact_ints("Edge", &[1, 2]);
+        let p = b.build().unwrap();
+        let pruned = prune(&p);
+        // The duplicate aggregate-input rule is dropped; the aggregation
+        // and its hidden input relation survive.
+        assert_eq!(pruned.program.rules().len(), 1);
+        assert_eq!(pruned.program.aggregates().len(), 1);
+        assert_eq!(
+            pruned.program.rules()[0].origin.label.as_deref(),
+            Some("degree")
+        );
+    }
+
+    #[test]
+    fn update_independent_mode_keeps_data_dependent_rules() {
+        let p = parse(
+            "Dead(x) :- Node(x), Ghost(x).\n\
+             Node(1).",
+        )
+        .unwrap();
+        let opts = AnalysisOptions {
+            assume_edb_nonempty: true,
+            ..Default::default()
+        };
+        let a = analyze_with(&p, &opts);
+        // Ghost could receive updates: the rule must not be convicted.
+        assert_eq!(a.drop_reasons[0], None);
+        assert!(!codes(&a).contains(&DiagnosticCode::DeadRule));
+
+        // A rule over a relation *no* update can populate stays dead: IDB
+        // with no deriving rules cannot become non-empty.
+        let p = parse(
+            "Phantom(x) :- Phantom2(x), Phantom(x).\n\
+             Gone(x) :- Node(x), Phantom(x).\n\
+             Phantom2(9).\n\
+             Node(1).",
+        )
+        .unwrap();
+        let a = analyze_with(&p, &opts);
+        // Phantom only derives from itself: never non-empty.
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::DeadRule));
+    }
+
+    #[test]
+    fn diagnostics_cite_labels_and_positions() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Node", 1);
+        b.relation("Out", 1);
+        b.rule("Out", &["x"])
+            .when("Node", &["x"])
+            .lt(v("x"), c(2))
+            .gt(v("x"), c(8))
+            .label("impossible-window")
+            .end();
+        b.fact_ints("Node", &[5]);
+        let p = b.build().unwrap();
+        let a = analyze(&p);
+        let unsat: Vec<_> = a.with_code(DiagnosticCode::UnsatisfiableRule).collect();
+        assert_eq!(unsat.len(), 1);
+        assert!(unsat[0].message.contains("impossible-window"));
+
+        let p = parse("Out(x) :- Node(x), x < 2, x > 8.\nNode(5).").unwrap();
+        let a = analyze(&p);
+        let unsat: Vec<_> = a.with_code(DiagnosticCode::UnsatisfiableRule).collect();
+        assert!(unsat[0].message.contains("at 1:1"));
+    }
+
+    #[test]
+    fn narrow_handles_boundaries() {
+        let full = Interval::FULL;
+        // x < 0 is impossible.
+        let (a, _) = narrow(CmpOp::Lt, full, Interval::singleton(0));
+        assert!(a.is_empty());
+        // x > MAX is impossible.
+        let (a, _) = narrow(CmpOp::Gt, full, Interval::singleton(u32::MAX));
+        assert!(a.is_empty());
+        // x != c on a singleton.
+        let (a, _) = narrow(CmpOp::Ne, Interval::singleton(5), Interval::singleton(5));
+        assert!(a.is_empty());
+        let (a, _) = narrow(CmpOp::Ne, Interval { lo: 5, hi: 9 }, Interval::singleton(5));
+        assert_eq!(a, Interval { lo: 6, hi: 9 });
+    }
+}

@@ -202,6 +202,36 @@ pub struct AggregateSpec {
     pub lattice: bool,
 }
 
+/// Where a rule came from, for diagnostics: an optional builder-side label
+/// and the optional 1-based `(line, column)` of the rule head in the parsed
+/// source.  Both are empty for rules synthesized by rewrites (aggregation
+/// inputs, magic sets) unless the rewrite forwards the original origin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleOrigin {
+    /// Human-readable label attached via `RuleBuilder::label`.
+    pub label: Option<String>,
+    /// 1-based `(line, column)` of the rule head in the source text.
+    pub position: Option<(usize, usize)>,
+}
+
+impl RuleOrigin {
+    /// `true` when neither a label nor a position is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.label.is_none() && self.position.is_none()
+    }
+
+    /// Renders the origin for diagnostics (`"tc-step" at 3:1`, `at 3:1`,
+    /// `"tc-step"`), or `None` when nothing is recorded.
+    pub fn describe(&self) -> Option<String> {
+        match (&self.label, self.position) {
+            (Some(label), Some((line, col))) => Some(format!("\"{label}\" at {line}:{col}")),
+            (Some(label), None) => Some(format!("\"{label}\"")),
+            (None, Some((line, col))) => Some(format!("at {line}:{col}")),
+            (None, None) => None,
+        }
+    }
+}
+
 /// A Datalog rule `head :- body`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
@@ -216,6 +246,9 @@ pub struct Rule {
     pub constraints: Vec<Constraint>,
     /// Variable names in [`VarId`] order, kept for diagnostics.
     pub var_names: Vec<String>,
+    /// Source provenance (label and/or parser position), kept for
+    /// diagnostics.
+    pub origin: RuleOrigin,
 }
 
 impl Rule {
@@ -256,6 +289,7 @@ impl Rule {
             body,
             constraints: self.constraints.clone(),
             var_names: self.var_names.clone(),
+            origin: self.origin.clone(),
         }
     }
 }
@@ -312,6 +346,7 @@ mod tests {
             ],
             constraints: vec![],
             var_names: vec!["x".into()],
+            origin: RuleOrigin::default(),
         };
         let reordered = rule.with_positive_order(&[1, 0]);
         let rels: Vec<RelId> = reordered.body.iter().map(|l| l.atom.rel).collect();
@@ -331,8 +366,30 @@ mod tests {
             ],
             constraints: vec![],
             var_names: vec!["x".into()],
+            origin: RuleOrigin::default(),
         };
         let _ = rule.with_positive_order(&[0]);
+    }
+
+    #[test]
+    fn rule_origin_describe_renders_label_and_position() {
+        assert_eq!(RuleOrigin::default().describe(), None);
+        assert!(RuleOrigin::default().is_empty());
+        let labelled = RuleOrigin {
+            label: Some("tc-step".into()),
+            position: None,
+        };
+        assert_eq!(labelled.describe().as_deref(), Some("\"tc-step\""));
+        let placed = RuleOrigin {
+            label: None,
+            position: Some((3, 1)),
+        };
+        assert_eq!(placed.describe().as_deref(), Some("at 3:1"));
+        let both = RuleOrigin {
+            label: Some("tc-step".into()),
+            position: Some((3, 1)),
+        };
+        assert_eq!(both.describe().as_deref(), Some("\"tc-step\" at 3:1"));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use carac_storage::{AggFunc, CmpOp, RelId, SymbolTable, Tuple, Value};
 
 use crate::ast::{
-    AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, Term, VarId,
+    AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, RuleOrigin, Term, VarId,
 };
 use crate::error::DatalogError;
 use carac_storage::hasher::FxHashMap;
@@ -117,6 +117,7 @@ pub struct RuleBuilder<'a> {
     head_terms: Vec<TermSpec>,
     body: Vec<(String, Vec<TermSpec>, bool)>,
     constraints: Vec<(TermSpec, CmpOp, TermSpec)>,
+    origin: RuleOrigin,
 }
 
 impl<'a> RuleBuilder<'a> {
@@ -178,6 +179,20 @@ impl<'a> RuleBuilder<'a> {
         self.constrain(lhs, CmpOp::Ne, rhs)
     }
 
+    /// Attaches a human-readable label to the rule, cited by validation
+    /// errors and analyzer diagnostics instead of the bare rule number.
+    pub fn label(mut self, label: &str) -> Self {
+        self.origin.label = Some(label.to_string());
+        self
+    }
+
+    /// Records the 1-based source `(line, column)` of the rule head (used by
+    /// the parser; host programs normally use [`RuleBuilder::label`]).
+    pub fn at(mut self, line: usize, column: usize) -> Self {
+        self.origin.position = Some((line, column));
+        self
+    }
+
     /// Finishes the rule and records it in the program builder.
     pub fn end(self) {
         self.builder.raw_rules.push(RawRule {
@@ -185,6 +200,7 @@ impl<'a> RuleBuilder<'a> {
             head_terms: self.head_terms,
             body: self.body,
             constraints: self.constraints,
+            origin: self.origin,
         });
     }
 }
@@ -200,6 +216,7 @@ struct RawRule {
     head_terms: Vec<TermSpec>,
     body: Vec<(String, Vec<TermSpec>, bool)>,
     constraints: Vec<(TermSpec, CmpOp, TermSpec)>,
+    origin: RuleOrigin,
 }
 
 /// Incremental program builder.
@@ -235,6 +252,7 @@ impl ProgramBuilder {
             head_terms: terms.iter().cloned().map(Into::into).collect(),
             body: Vec::new(),
             constraints: Vec::new(),
+            origin: RuleOrigin::default(),
             builder: self,
         }
     }
@@ -393,6 +411,7 @@ impl ProgramBuilder {
                 body,
                 constraints,
                 var_names,
+                origin: raw.origin.clone(),
             });
         }
 
@@ -840,6 +859,27 @@ mod tests {
             }
             other => panic!("expected AggregateMisplaced, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rule_labels_and_positions_reach_the_resolved_rule() {
+        let mut b = ProgramBuilder::new();
+        b.relation("Edge", 2);
+        b.relation("Path", 2);
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "y"])
+            .label("base-case")
+            .end();
+        b.rule("Path", &["x", "y"])
+            .when("Edge", &["x", "z"])
+            .when("Path", &["z", "y"])
+            .at(2, 1)
+            .end();
+        let p = b.build().unwrap();
+        assert_eq!(p.rules()[0].origin.label.as_deref(), Some("base-case"));
+        assert_eq!(p.rules()[0].origin.position, None);
+        assert_eq!(p.rules()[1].origin.position, Some((2, 1)));
+        assert!(p.rules()[1].origin.label.is_none());
     }
 
     #[test]

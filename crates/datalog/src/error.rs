@@ -99,6 +99,34 @@ pub enum DatalogError {
         /// Message.
         message: String,
     },
+    /// Several independent validation errors collected in one pass (see
+    /// `validate::validate_all`).  Never nested: the contained errors are
+    /// all simple variants, and a single collected error is returned bare.
+    Multiple(Vec<DatalogError>),
+}
+
+impl DatalogError {
+    /// Wraps a non-empty batch of collected errors: one error is returned
+    /// as itself, several become [`DatalogError::Multiple`].
+    ///
+    /// Panics on an empty batch — callers only collect when something
+    /// failed.
+    pub fn from_batch(mut errors: Vec<DatalogError>) -> DatalogError {
+        match errors.len() {
+            0 => panic!("from_batch called with no errors"),
+            1 => errors.remove(0),
+            _ => DatalogError::Multiple(errors),
+        }
+    }
+
+    /// The individual errors: the contained batch for
+    /// [`DatalogError::Multiple`], otherwise a one-element slice of `self`.
+    pub fn each(&self) -> &[DatalogError] {
+        match self {
+            DatalogError::Multiple(errors) => errors,
+            other => std::slice::from_ref(other),
+        }
+    }
 }
 
 impl fmt::Display for DatalogError {
@@ -161,6 +189,13 @@ impl fmt::Display for DatalogError {
                 column,
                 message,
             } => write!(f, "parse error at {line}:{column}: {message}"),
+            DatalogError::Multiple(errors) => {
+                write!(f, "{} validation errors:", errors.len())?;
+                for err in errors {
+                    write!(f, "\n  - {err}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -181,5 +216,22 @@ mod tests {
         };
         assert!(err.to_string().contains("Prime"));
         assert!(err.to_string().contains("Composite"));
+    }
+
+    #[test]
+    fn batches_collapse_singletons_and_list_everything_else() {
+        let single = DatalogError::from_batch(vec![DatalogError::UnknownRelation("A".into())]);
+        assert!(matches!(single, DatalogError::UnknownRelation(_)));
+        assert_eq!(single.each().len(), 1);
+
+        let multiple = DatalogError::from_batch(vec![
+            DatalogError::UnknownRelation("A".into()),
+            DatalogError::UnknownRelation("B".into()),
+        ]);
+        assert!(matches!(multiple, DatalogError::Multiple(_)));
+        assert_eq!(multiple.each().len(), 2);
+        let text = multiple.to_string();
+        assert!(text.contains("2 validation errors"));
+        assert!(text.contains('A') && text.contains('B'));
     }
 }

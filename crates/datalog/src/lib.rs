@@ -22,6 +22,9 @@
 //! assert_eq!(program.stratification().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod ast;
 pub mod builder;
 pub mod error;
@@ -33,7 +36,13 @@ pub mod program;
 pub mod rewrite;
 pub mod validate;
 
-pub use ast::{AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, Term, VarId};
+pub use analyze::{
+    analyze, analyze_with, prune, prune_with, Analysis, AnalysisOptions, Diagnostic,
+    DiagnosticCode, DropReason, PrunedProgram, Severity,
+};
+pub use ast::{
+    AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, RuleOrigin, Term, VarId,
+};
 pub use builder::{ProgramBuilder, TermSpec};
 pub use carac_storage::hasher;
 pub use carac_storage::{AggFunc, CmpOp};

@@ -265,11 +265,16 @@ struct ParsedConstraint {
     rhs: TermSpec,
 }
 
-/// A parsed clause: head, body atoms, body constraints.
+/// A parsed clause: head, body atoms, body constraints, plus the 1-based
+/// source position of the head token (threaded into [`Rule`] provenance so
+/// diagnostics can cite the offending line).
+///
+/// [`Rule`]: crate::ast::Rule
 struct ParsedClause {
     head: ParsedAtom,
     body: Vec<ParsedAtom>,
     constraints: Vec<ParsedConstraint>,
+    pos: (usize, usize),
 }
 
 impl Parser {
@@ -375,6 +380,7 @@ impl Parser {
                 head,
                 body,
                 constraints,
+                pos,
             } = clause;
             let is_fact = body.is_empty()
                 && constraints.is_empty()
@@ -396,7 +402,7 @@ impl Parser {
                 for c in constraints {
                     rb = rb.constrain(c.lhs, c.op, c.rhs);
                 }
-                rb.end();
+                rb.at(pos.0, pos.1).end();
             }
         }
         builder.build()
@@ -408,6 +414,11 @@ impl Parser {
     }
 
     fn parse_clause(&mut self) -> Result<ParsedClause, DatalogError> {
+        let pos = self
+            .tokens
+            .get(self.pos)
+            .map(|&(_, line, col)| (line, col))
+            .unwrap_or((0, 0));
         let head = self.parse_atom(false, true)?;
         let mut body = Vec::new();
         let mut constraints = Vec::new();
@@ -454,6 +465,7 @@ impl Parser {
             head,
             body,
             constraints,
+            pos,
         })
     }
 
@@ -550,6 +562,22 @@ mod tests {
         assert_eq!(program.facts().len(), 2);
         let edge = program.relation_by_name("Edge").unwrap();
         assert!(program.relation(edge).is_edb);
+    }
+
+    #[test]
+    fn rules_carry_their_source_position() {
+        let program = parse(
+            "Path(x, y) :- Edge(x, y).\n\
+             Path(x, y) :- Edge(x, z), Path(z, y).\n\
+             Edge(1, 2).",
+        )
+        .unwrap();
+        assert_eq!(program.rules()[0].origin.position, Some((1, 1)));
+        assert_eq!(program.rules()[1].origin.position, Some((2, 1)));
+        assert_eq!(
+            program.rules()[1].origin.describe().as_deref(),
+            Some("at 2:1")
+        );
     }
 
     #[test]

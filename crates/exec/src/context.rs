@@ -3,7 +3,7 @@
 
 use carac_datalog::Program;
 use carac_optimizer::OptimizeContext;
-use carac_storage::hasher::FxHashSet;
+use carac_storage::hasher::{FxHashMap, FxHashSet};
 use carac_storage::{DbKind, RelId, StorageManager, Tuple};
 
 use crate::error::ExecError;
@@ -37,6 +37,11 @@ pub struct ExecContext {
     pub iteration: u64,
     /// Worker threads available to the join kernels (1 = serial).
     pub parallelism: usize,
+    /// Column-interval facts from static analysis (`(rel, column)` → the
+    /// inclusive `(min, max)` raw-value range that can flow into the
+    /// column).  Forwarded to the cost model, which refines comparison
+    /// selectivity with them.  Empty unless the engine ran the analyzer.
+    pub interval_hints: FxHashMap<(RelId, usize), (u32, u32)>,
     /// Run statistics.
     pub stats: RunStats,
 }
@@ -74,6 +79,7 @@ impl ExecContext {
             magic_rels: FxHashSet::default(),
             iteration: 0,
             parallelism: 1,
+            interval_hints: FxHashMap::default(),
             stats: RunStats::default(),
         })
     }
@@ -85,6 +91,13 @@ impl ExecContext {
     /// prefix is not mis-scored on programs that never used the rewrite.
     pub fn set_magic_relations(&mut self, magic_rels: FxHashSet<RelId>) {
         self.magic_rels = magic_rels;
+    }
+
+    /// Installs column-interval facts from the static analyzer; the cost
+    /// model consulted by every reordering sees them via
+    /// [`ExecContext::optimize_context`].
+    pub fn set_interval_hints(&mut self, hints: FxHashMap<(RelId, usize), (u32, u32)>) {
+        self.interval_hints = hints;
     }
 
     /// Configures the worker-thread budget for the join kernels and shards
@@ -114,6 +127,7 @@ impl ExecContext {
             .with_composites(self.composite_indexed.iter().cloned().collect())
             .with_parallelism(self.parallelism)
             .with_magic(self.magic_rels.clone())
+            .with_intervals(self.interval_hints.clone())
     }
 
     /// Number of tuples currently derived for `rel`.

@@ -15,6 +15,8 @@
 //! when the freshness test detects that the cardinality landscape has
 //! drifted.
 
+#![forbid(unsafe_code)]
+
 pub mod backends;
 pub mod compile_manager;
 pub mod context;

@@ -13,6 +13,8 @@
 //!
 //! [`Program`]: carac_datalog::Program
 
+#![forbid(unsafe_code)]
+
 pub mod node;
 pub mod plan;
 pub mod pretty;

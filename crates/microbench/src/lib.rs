@@ -16,6 +16,8 @@
 //! `use criterion::...` lines compile verbatim against either this shim or
 //! the real crate.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Entry point mirroring `criterion::Criterion`.

@@ -7,7 +7,7 @@
 //! iteration number are all available.  `OptimizeContext` bundles whatever
 //! is known so the same reordering algorithm serves every stage.
 
-use carac_storage::hasher::FxHashSet;
+use carac_storage::hasher::{FxHashMap, FxHashSet};
 use carac_storage::{DbKind, RelId, StatsSnapshot};
 
 /// Everything the cost model may consult.
@@ -30,6 +30,12 @@ pub struct OptimizeContext {
     /// Magic predicates of a goal-directed (magic-set rewritten) program:
     /// demand guards the cost model scores as high-selectivity.
     pub magic: FxHashSet<RelId>,
+    /// Interval facts from static analysis: for `(relation, column)` keys
+    /// the inclusive `(min, max)` raw-value range that can ever flow into
+    /// the column.  The cost model refines the selectivity of comparison
+    /// constraints by the satisfying fraction of these ranges; an absent
+    /// entry means the full value space (no refinement).
+    pub intervals: FxHashMap<(RelId, usize), (u32, u32)>,
 }
 
 impl OptimizeContext {
@@ -72,6 +78,18 @@ impl OptimizeContext {
     pub fn with_magic(mut self, magic: FxHashSet<RelId>) -> Self {
         self.magic = magic;
         self
+    }
+
+    /// Attaches column-interval facts from static analysis.
+    pub fn with_intervals(mut self, intervals: FxHashMap<(RelId, usize), (u32, u32)>) -> Self {
+        self.intervals = intervals;
+        self
+    }
+
+    /// The known `(min, max)` value range of `(rel, column)`, if static
+    /// analysis narrowed it below the full value space.
+    pub fn interval(&self, rel: RelId, column: usize) -> Option<(u32, u32)> {
+        self.intervals.get(&(rel, column)).copied()
     }
 
     /// Whether `rel` is a magic predicate.

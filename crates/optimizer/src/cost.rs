@@ -150,9 +150,147 @@ pub fn constraint_factor(
     factor
 }
 
+/// [`constraint_factor`] refined by the column-interval facts of static
+/// analysis: when an operand of a newly-decidable inequality maps to one of
+/// the atom's columns with a known `(min, max)` range, the constraint's
+/// selectivity becomes the fraction of that range satisfying the
+/// comparison (under a uniform-and-independent assumption) instead of the
+/// constant [`OptimizerConfig::comparison_selectivity`].  A statically-true
+/// comparison thus stops discounting the atom, and a nearly-false one
+/// scores it close to empty.  Without interval facts (the default — the
+/// context's map is empty) this is exactly [`constraint_factor`].
+pub fn constraint_factor_refined(
+    atom: &QueryAtom,
+    bound: &[bool],
+    constraints: &[Constraint],
+    ctx: &OptimizeContext,
+    config: &OptimizerConfig,
+) -> f64 {
+    if constraints.is_empty() {
+        return 1.0;
+    }
+    let mut factor = 1.0;
+    for constraint in constraints {
+        let mut any_new = false;
+        let mut all_covered = true;
+        for var in constraint.variables() {
+            let was_bound = bound.get(var.index()).copied().unwrap_or(false);
+            if !was_bound {
+                if atom.variable_columns().any(|(_, v)| v == var) {
+                    any_new = true;
+                } else {
+                    all_covered = false;
+                }
+            }
+        }
+        if any_new && all_covered {
+            let fallback = match constraint.op {
+                CmpOp::Eq => config.selectivity_factor,
+                _ => config.comparison_selectivity,
+            };
+            factor *= interval_fraction(atom, constraint, ctx).unwrap_or(fallback);
+        }
+    }
+    factor
+}
+
+/// The satisfying fraction of a comparison given the operands' known value
+/// ranges, or `None` when no operand carries an interval fact (equalities
+/// and `!=` always defer to the configured constants — interval width says
+/// little about point selectivity).
+fn interval_fraction(
+    atom: &QueryAtom,
+    constraint: &Constraint,
+    ctx: &OptimizeContext,
+) -> Option<f64> {
+    if matches!(constraint.op, CmpOp::Eq | CmpOp::Ne) {
+        return None;
+    }
+    // Resolve each operand to a range: constants are points; variables map
+    // through the atom's columns to the analyzed interval.  An operand
+    // without a known range spans the full value space — sound, and only
+    // consulted when the *other* operand is genuinely narrowed.
+    let mut any_hint = false;
+    let mut resolve = |term: carac_datalog::Term| -> (f64, f64) {
+        match term {
+            carac_datalog::Term::Const(c) => {
+                let p = c.raw() as f64;
+                (p, p)
+            }
+            carac_datalog::Term::Var(v) => {
+                let hint = atom
+                    .terms
+                    .iter()
+                    .position(|t| *t == carac_datalog::Term::Var(v))
+                    .and_then(|col| ctx.interval(atom.rel, col));
+                match hint {
+                    Some((lo, hi)) => {
+                        any_hint = true;
+                        (lo as f64, hi as f64)
+                    }
+                    None => (0.0, u32::MAX as f64),
+                }
+            }
+        }
+    };
+    let a = resolve(constraint.lhs);
+    let b = resolve(constraint.rhs);
+    if !any_hint {
+        return None;
+    }
+    let p = match constraint.op {
+        CmpOp::Lt | CmpOp::Le => prob_lt(a, b),
+        CmpOp::Gt | CmpOp::Ge => prob_lt(b, a),
+        CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+    };
+    Some(p.clamp(0.0, 1.0))
+}
+
+/// `P(x < y)` for `x ~ U[a]`, `y ~ U[b]` (continuous approximation; `<=`
+/// is treated identically — one point of a continuous range has measure
+/// zero, and the estimate only steers ordering).
+fn prob_lt(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (a1, a2) = a;
+    let (b1, b2) = b;
+    let wa = a2 - a1;
+    let wb = b2 - b1;
+    if wa <= 0.0 && wb <= 0.0 {
+        return if a1 < b1 { 1.0 } else { 0.0 };
+    }
+    if a2 <= b1 {
+        return 1.0;
+    }
+    if a1 >= b2 {
+        return 0.0;
+    }
+    if wa <= 0.0 {
+        // Point x = a1 strictly inside [b1, b2): the fraction of y above it.
+        return ((b2 - a1) / wb).clamp(0.0, 1.0);
+    }
+    if wb <= 0.0 {
+        // Point y = b1 strictly inside [a1, a2): the fraction of x below it.
+        return ((b1 - a1) / wa).clamp(0.0, 1.0);
+    }
+    // E_y[F_x(y)]: integrate the CDF of x over [b1, b2], piecewise — the
+    // overlap ramp plus the region where y clears all of x.
+    let lo = b1.max(a1);
+    let hi = b2.min(a2);
+    let mut integral = 0.0;
+    if hi > lo {
+        integral += ((hi - a1).powi(2) - (lo - a1).powi(2)) / (2.0 * wa);
+    }
+    let above = b1.max(a2);
+    if b2 > above {
+        integral += b2 - above;
+    }
+    (integral / wb).clamp(0.0, 1.0)
+}
+
 /// [`atom_score`] with the newly-decidable comparison constraints folded in
 /// as selectivity — the estimate the join ordering actually minimizes when
-/// the query carries constraints.
+/// the query carries constraints.  Comparison selectivities are refined by
+/// the context's column-interval facts when present
+/// ([`constraint_factor_refined`]).
 pub fn atom_score_with_constraints(
     atom: &QueryAtom,
     bound: &[bool],
@@ -160,7 +298,8 @@ pub fn atom_score_with_constraints(
     ctx: &OptimizeContext,
     config: &OptimizerConfig,
 ) -> f64 {
-    atom_score(atom, bound, ctx, config) * constraint_factor(atom, bound, constraints, config)
+    atom_score(atom, bound, ctx, config)
+        * constraint_factor_refined(atom, bound, constraints, ctx, config)
 }
 
 /// Whether `atom` shares at least one variable with the bound prefix or
@@ -461,6 +600,79 @@ mod tests {
         let scored = atom_score_with_constraints(&a, &[false, false], &[lt], &ctx, &config);
         let plain = atom_score(&a, &[false, false], &ctx, &config);
         assert!((scored - plain * config.comparison_selectivity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_hints_refine_comparison_selectivity() {
+        use carac_datalog::Constraint;
+        use carac_storage::hasher::FxHashMap;
+        let config = OptimizerConfig::default();
+        let a = atom(
+            0,
+            DbKind::Derived,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+        );
+        let lt = |k: u32| Constraint {
+            op: CmpOp::Lt,
+            lhs: Term::Var(VarId(0)),
+            rhs: Term::Const(Value::int(k)),
+        };
+        // Column 0 is known to hold values in [0, 99].
+        let mut intervals: FxHashMap<(RelId, usize), (u32, u32)> = FxHashMap::default();
+        intervals.insert((RelId(0), 0), (0, 99));
+        let ctx = ctx_with(&[(1000, 0)]).with_intervals(intervals);
+
+        // `x < 1000` is statically true on [0, 99]: no discount at all.
+        let f = constraint_factor_refined(&a, &[false, false], &[lt(1000)], &ctx, &config);
+        assert!((f - 1.0).abs() < 1e-9);
+        // `x < 50` keeps about half the range.
+        let f = constraint_factor_refined(&a, &[false, false], &[lt(50)], &ctx, &config);
+        assert!((f - 0.5).abs() < 0.02, "got {f}");
+        // A nearly-false comparison scores close to empty.
+        let f = constraint_factor_refined(&a, &[false, false], &[lt(1)], &ctx, &config);
+        assert!(f < 0.05, "got {f}");
+        // Gt mirrors Lt.
+        let gt = Constraint {
+            op: CmpOp::Gt,
+            lhs: Term::Var(VarId(0)),
+            rhs: Term::Const(Value::int(1000)),
+        };
+        let f = constraint_factor_refined(&a, &[false, false], &[gt], &ctx, &config);
+        assert!(f < 1e-9);
+
+        // Without interval facts the constant fallback is bit-identical to
+        // the unrefined factor.
+        let plain_ctx = ctx_with(&[(1000, 0)]);
+        let refined =
+            constraint_factor_refined(&a, &[false, false], &[lt(50)], &plain_ctx, &config);
+        let constant = constraint_factor(&a, &[false, false], &[lt(50)], &config);
+        assert_eq!(refined, constant);
+        // Equalities always defer to the configured constant.
+        let eq = Constraint {
+            op: CmpOp::Eq,
+            lhs: Term::Var(VarId(0)),
+            rhs: Term::Const(Value::int(3)),
+        };
+        let f = constraint_factor_refined(&a, &[false, false], &[eq], &ctx, &config);
+        assert!((f - config.selectivity_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_lt_boundaries() {
+        // Disjoint ranges decide fully.
+        assert_eq!(prob_lt((0.0, 10.0), (20.0, 30.0)), 1.0);
+        assert_eq!(prob_lt((20.0, 30.0), (0.0, 10.0)), 0.0);
+        // Identical ranges: half the pairs.
+        assert!((prob_lt((0.0, 10.0), (0.0, 10.0)) - 0.5).abs() < 1e-9);
+        // Point vs range.
+        assert!((prob_lt((5.0, 5.0), (0.0, 10.0)) - 0.5).abs() < 1e-9);
+        assert!((prob_lt((0.0, 10.0), (5.0, 5.0)) - 0.5).abs() < 1e-9);
+        // Point vs point.
+        assert_eq!(prob_lt((1.0, 1.0), (2.0, 2.0)), 1.0);
+        assert_eq!(prob_lt((2.0, 2.0), (2.0, 2.0)), 0.0);
+        // Partial overlap stays within (0, 1).
+        let p = prob_lt((0.0, 10.0), (5.0, 15.0));
+        assert!(p > 0.5 && p < 1.0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   single subtree.
 //! * [`freshness`] — the freshness test that gates expensive recompilation.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod context;
 pub mod cost;
@@ -27,7 +29,9 @@ pub mod reorder;
 
 pub use config::OptimizerConfig;
 pub use context::OptimizeContext;
-pub use cost::{atom_score_with_constraints, constraint_factor, parallel_speedup};
+pub use cost::{
+    atom_score_with_constraints, constraint_factor, constraint_factor_refined, parallel_speedup,
+};
 pub use freshness::FreshnessTest;
 pub use plan_rewrite::{optimize_plan, optimize_subtree};
 pub use reorder::{greedy_order, reorder_query, sort_order, ReorderAlgorithm};

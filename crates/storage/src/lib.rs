@@ -31,6 +31,7 @@
 //! of the upper layers: the execution engine only talks to it through the
 //! APIs exposed here, mirroring the paper's "pluggable relational layer".
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod database;

@@ -12,6 +12,8 @@
 //! control back to the plan interpreter in the middle of a node — the same
 //! trade-offs as the paper's bytecode target.
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod instr;
 pub mod machine;

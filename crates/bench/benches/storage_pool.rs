@@ -297,11 +297,79 @@ fn check_fig6_invariants(_c: &mut Criterion) {
     );
 }
 
+/// The observability acceptance invariant: with tracing off, every
+/// instrumentation site is one branch on a `None`, and the total cost of
+/// those branches over a full fixpoint must stay under 2% of the run.
+///
+/// Measured deterministically rather than by A/B wall-clock: the per-call
+/// cost of the disabled tracer is timed over a million begin/end pairs,
+/// the number of instrumented sites a run executes is counted from a
+/// traced run of the same program, and the product is compared against
+/// the untraced run's wall-clock time.
+fn check_tracing_off_overhead(_c: &mut Criterion) {
+    use std::time::Instant;
+
+    // Per-site cost of the disabled tracer (one begin + one end).
+    let tracer = carac::exec::Tracer::disabled();
+    let calls: u32 = 1_000_000;
+    let started = Instant::now();
+    for i in 0..calls {
+        let token = tracer.begin(carac::Phase::Subquery, i);
+        tracer.end(black_box(token), &[]);
+    }
+    let per_site = started.elapsed() / calls;
+
+    // The TC fixpoint from `bench_fixpoint_iteration`, untraced and traced.
+    let nodes: u32 = if smoke_mode() { 150 } else { 400 };
+    let mut source = String::from(
+        "Path(x, y) :- Edge(x, y).\n\
+         Path(x, y) :- Edge(x, z), Path(z, y).\n",
+    );
+    for i in 0..nodes {
+        source.push_str(&format!("Edge({}, {}).\n", i, (i + 1) % nodes));
+    }
+    let program = carac::datalog::parser::parse(&source).unwrap();
+
+    let started = Instant::now();
+    let untraced = carac::Carac::new(program.clone())
+        .with_config(EngineConfig::interpreted())
+        .run()
+        .unwrap();
+    let run_time = started.elapsed();
+    black_box(untraced.count("Path").unwrap());
+
+    let traced = carac::Carac::new(program)
+        .with_config(EngineConfig::interpreted().with_tracing(carac::TraceConfig::default()))
+        .run()
+        .unwrap();
+    let tracer = &traced.stats().tracer;
+    let sites = (tracer.events().len() as u64 + tracer.dropped()) / 2;
+
+    let branch_cost = per_site * sites as u32;
+    let overhead = branch_cost.as_secs_f64() / run_time.as_secs_f64();
+    println!(
+        "\n-- tracing-off overhead (TC fixpoint, {nodes} nodes) --\n\
+         disabled tracer per site:  {:?}\n\
+         instrumented sites:        {sites}\n\
+         implied branch cost:       {branch_cost:?}\n\
+         untraced run:              {run_time:?}\n\
+         implied overhead:          {:.4}%",
+        per_site,
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.02,
+        "tracing-off instrumentation overhead {:.3}% breaches the 2% bar",
+        overhead * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_bulk_insert,
     bench_indexed_probe,
     bench_fixpoint_iteration,
     check_fig6_invariants,
+    check_tracing_off_overhead,
 );
 criterion_main!(benches);

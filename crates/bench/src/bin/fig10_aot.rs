@@ -19,7 +19,7 @@
 use carac::knobs::BackendKind;
 use carac::EngineConfig;
 use carac_analysis::Formulation;
-use carac_bench::{figure_micro_workloads, fmt_speedup, measure, render_table, speedup};
+use carac_bench::{figure_micro_workloads, fmt_speedup, measure, speedup, FigureReport};
 
 fn main() {
     let workloads = figure_micro_workloads();
@@ -52,7 +52,11 @@ fn main() {
         baselines.push(t);
     }
 
-    let mut rows = Vec::new();
+    let mut report = FigureReport::new(
+        "fig10",
+        "Figure 10: microbenchmarks — ahead-of-time and online compilation (speedup over unoptimized)",
+        headers,
+    );
     for (label, config) in configs {
         let mut row = vec![label.to_string()];
         for (w, base) in workloads.iter().zip(&baselines) {
@@ -60,15 +64,7 @@ fn main() {
             row.push(fmt_speedup(speedup(*base, t)));
         }
         eprintln!("[fig10] configuration `{label}` done");
-        rows.push(row);
+        report.push_row(row, vec![]);
     }
-
-    println!(
-        "{}",
-        render_table(
-            "Figure 10: microbenchmarks — ahead-of-time and online compilation (speedup over unoptimized)",
-            &headers,
-            &rows
-        )
-    );
+    report.print();
 }

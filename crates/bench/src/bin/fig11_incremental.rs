@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::{edge_update_stream, random_digraph, UpdateStreamBatch};
 use carac_bench::{
-    fmt_secs, fmt_speedup, macro_scale, render_table, smoke_mode, speedup, HARNESS_SEED,
+    fmt_secs, fmt_speedup, macro_scale, smoke_mode, speedup, FigureReport, Json, HARNESS_SEED,
 };
 use carac_datalog::{builder, Program, ProgramBuilder};
 
@@ -147,6 +147,7 @@ fn measure(
         scratch_result = Some(result);
     }
     let scratch_result = scratch_result.expect("at least one batch");
+    carac_bench::export_env_trace("fig11", &scratch_result);
     let mut scratch_tuples = scratch_result.tuples(output).expect("output relation");
     scratch_tuples.sort();
     assert_eq!(
@@ -170,30 +171,29 @@ fn measure(
     }
 }
 
-fn write_json(path: &str, outcomes: &[Outcome]) {
-    let mut json = String::from("[\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"kernel\": \"{}\", \"batches\": {}, \
-             \"max_ops_per_batch\": {}, \"scratch_secs\": {:.6}, \
-             \"incremental_secs\": {:.6}, \"speedup\": {:.3}, \"final_facts\": {}}}{}\n",
-            o.workload,
-            o.kernel,
-            o.batches,
-            o.ops_per_batch,
-            o.scratch.as_secs_f64(),
-            o.incremental.as_secs_f64(),
-            o.speedup,
-            o.final_facts,
-            if i + 1 < outcomes.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("]\n");
-    if let Err(err) = std::fs::write(path, json) {
-        eprintln!("[fig11] could not write {path}: {err}");
-    } else {
-        eprintln!("[fig11] wrote {path}");
-    }
+/// The outcome's table row and JSON twin for the shared reporter.
+fn report_row(o: &Outcome) -> (Vec<String>, Vec<(&'static str, Json)>) {
+    (
+        vec![
+            o.workload.to_string(),
+            o.kernel.to_string(),
+            o.batches.to_string(),
+            fmt_secs(o.scratch),
+            fmt_secs(o.incremental),
+            fmt_speedup(o.speedup),
+            o.final_facts.to_string(),
+        ],
+        vec![
+            ("workload", Json::Str(o.workload.to_string())),
+            ("kernel", Json::Str(o.kernel.to_string())),
+            ("batches", Json::UInt(o.batches as u64)),
+            ("max_ops_per_batch", Json::UInt(o.ops_per_batch as u64)),
+            ("scratch_secs", Json::Secs(o.scratch)),
+            ("incremental_secs", Json::Secs(o.incremental)),
+            ("speedup", Json::Ratio(o.speedup)),
+            ("final_facts", Json::UInt(o.final_facts as u64)),
+        ],
+    )
 }
 
 fn main() {
@@ -237,26 +237,48 @@ fn main() {
 
     let sp_build = move |edges: &[(u32, u32)]| sp_program(edges, sp_depth);
     let kernels: Vec<(&'static str, EngineConfig)> = vec![
-        ("interpreted", EngineConfig::interpreted()),
+        (
+            "interpreted",
+            carac_bench::apply_trace_env(EngineConfig::interpreted()),
+        ),
         (
             "specialized",
-            EngineConfig::jit(carac::knobs::BackendKind::Lambda, false),
+            carac_bench::apply_trace_env(EngineConfig::jit(
+                carac::knobs::BackendKind::Lambda,
+                false,
+            )),
         ),
     ];
 
     let json_path =
         std::env::var("CARAC_BENCH_JSON").unwrap_or_else(|_| "BENCH_incremental.json".to_string());
     let mut outcomes = Vec::new();
+    let mut report = FigureReport::new(
+        "fig11",
+        "Figure 11: incremental maintenance vs from-scratch re-evaluation",
+        vec![
+            "Workload".to_string(),
+            "kernel".to_string(),
+            "batches".to_string(),
+            "scratch".to_string(),
+            "incremental".to_string(),
+            "speedup".to_string(),
+            "final facts".to_string(),
+        ],
+    );
     // The JSON is rewritten after every completed row, so a later
     // divergence panic still leaves the finished rows on disk for the CI
     // artifact.
-    let push = |outcomes: &mut Vec<Outcome>, o: Outcome| {
+    let push = |outcomes: &mut Vec<Outcome>, report: &mut FigureReport, o: Outcome| {
+        let (cells, json) = report_row(&o);
+        report.push_row(cells, json);
+        report.rewrite_json(&json_path);
         outcomes.push(o);
-        write_json(&json_path, outcomes);
     };
     for (kernel, config) in &kernels {
         push(
             &mut outcomes,
+            &mut report,
             measure(
                 "TransitiveClosure",
                 kernel,
@@ -270,6 +292,7 @@ fn main() {
         eprintln!("[fig11] TransitiveClosure/{kernel} done");
         push(
             &mut outcomes,
+            &mut report,
             measure(
                 "ShortestPath (mixed)",
                 kernel,
@@ -283,6 +306,7 @@ fn main() {
         eprintln!("[fig11] ShortestPath (mixed)/{kernel} done");
         push(
             &mut outcomes,
+            &mut report,
             measure(
                 "ShortestPath (grow)",
                 kernel,
@@ -296,42 +320,13 @@ fn main() {
         eprintln!("[fig11] ShortestPath (grow)/{kernel} done");
     }
 
-    let headers = vec![
-        "Workload".to_string(),
-        "kernel".to_string(),
-        "batches".to_string(),
-        "scratch".to_string(),
-        "incremental".to_string(),
-        "speedup".to_string(),
-        "final facts".to_string(),
-    ];
-    let rows: Vec<Vec<String>> = outcomes
-        .iter()
-        .map(|o| {
-            vec![
-                o.workload.to_string(),
-                o.kernel.to_string(),
-                o.batches.to_string(),
-                fmt_secs(o.scratch),
-                fmt_secs(o.incremental),
-                fmt_speedup(o.speedup),
-                o.final_facts.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Figure 11: incremental maintenance vs from-scratch re-evaluation",
-            &headers,
-            &rows
-        )
-    );
-    println!("(scratch = sum of full re-evaluations after every batch; incremental = the live");
-    println!(" session's apply_update total; fact sets are asserted identical on every row.");
-    println!(" ShortestPath mixed batches pay the DRed deletion cone across the depth-indexed");
-    println!(" Reach relation plus a per-batch aggregate-stratum recompute, so deletions there");
-    println!(" approach scratch cost by design; the insert-only stream shows the growth shape.)");
+    report.note("(scratch = sum of full re-evaluations after every batch; incremental = the live");
+    report.note(" session's apply_update total; fact sets are asserted identical on every row.");
+    report.note(" ShortestPath mixed batches pay the DRed deletion cone across the depth-indexed");
+    report.note(" Reach relation plus a per-batch aggregate-stratum recompute, so deletions there");
+    report
+        .note(" approach scratch cost by design; the insert-only stream shows the growth shape.)");
+    report.print();
 
     // The headline claim of the figure: at macro scale, single-edge deltas
     // on transitive closure are maintained at least 5x faster than scratch

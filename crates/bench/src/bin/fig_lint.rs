@@ -22,7 +22,8 @@ use carac::{analyze, prune_with, AnalysisOptions, Carac, EngineConfig, Severity}
 use carac_analysis::Formulation;
 use carac_bench::{
     figure_csda, figure_macro_workloads, figure_micro_workloads, figure_shortest_path, fmt_secs,
-    fmt_speedup, render_table, smoke_mode, speedup, HARNESS_SEED,
+    fmt_speedup, render_table, smoke_mode, speedup, write_json_sections, Json, JsonRow,
+    HARNESS_SEED,
 };
 use carac_datalog::ast::Term;
 use carac_datalog::builder::{c, v, TermSpec};
@@ -178,42 +179,33 @@ fn measure_prune(engine: &'static str, config: EngineConfig, program: &Program) 
     }
 }
 
+/// The two JSON sections for the shared sectioned-artifact writer.
+fn lint_json(r: &LintRow) -> JsonRow {
+    vec![
+        ("workload", Json::Str(r.workload.clone())),
+        ("formulation", Json::Str(r.formulation.to_string())),
+        ("rules", Json::UInt(r.rules as u64)),
+        ("errors", Json::UInt(r.errors as u64)),
+        ("warnings", Json::UInt(r.warnings as u64)),
+    ]
+}
+
+fn prune_json(r: &PruneRow) -> JsonRow {
+    vec![
+        ("engine", Json::Str(r.engine.to_string())),
+        ("rules_total", Json::UInt(r.rules_total as u64)),
+        ("rules_dropped", Json::UInt(r.rules_dropped as u64)),
+        ("unpruned_secs", Json::Secs(r.unpruned)),
+        ("pruned_secs", Json::Secs(r.pruned)),
+        ("facts", Json::UInt(r.facts as u64)),
+        ("speedup", Json::Ratio(r.speedup)),
+    ]
+}
+
 fn write_json(path: &str, lint_rows: &[LintRow], prune_rows: &[PruneRow]) {
-    let mut json = String::from("{\n  \"lint\": [\n");
-    for (i, r) in lint_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"formulation\": \"{}\", \"rules\": {}, \
-             \"errors\": {}, \"warnings\": {}}}{}\n",
-            r.workload,
-            r.formulation,
-            r.rules,
-            r.errors,
-            r.warnings,
-            if i + 1 < lint_rows.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ],\n  \"prune\": [\n");
-    for (i, r) in prune_rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"rules_total\": {}, \"rules_dropped\": {}, \
-             \"unpruned_secs\": {:.6}, \"pruned_secs\": {:.6}, \"facts\": {}, \
-             \"speedup\": {:.3}}}{}\n",
-            r.engine,
-            r.rules_total,
-            r.rules_dropped,
-            r.unpruned.as_secs_f64(),
-            r.pruned.as_secs_f64(),
-            r.facts,
-            r.speedup,
-            if i + 1 < prune_rows.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    if let Err(err) = std::fs::write(path, json) {
-        eprintln!("[fig_lint] could not write {path}: {err}");
-    } else {
-        eprintln!("[fig_lint] wrote {path}");
-    }
+    let lint: Vec<JsonRow> = lint_rows.iter().map(lint_json).collect();
+    let prune: Vec<JsonRow> = prune_rows.iter().map(prune_json).collect();
+    write_json_sections("fig_lint", path, &[("lint", &lint), ("prune", &prune)]);
 }
 
 fn main() {

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use carac::{Carac, EngineConfig, QueryBinding};
 use carac_analysis::generators::random_digraph;
 use carac_bench::{
-    fmt_secs, fmt_speedup, macro_scale, render_table, smoke_mode, speedup, HARNESS_SEED,
+    fmt_secs, fmt_speedup, macro_scale, smoke_mode, speedup, FigureReport, Json, HARNESS_SEED,
 };
 use carac_datalog::{Program, ProgramBuilder};
 
@@ -105,6 +105,7 @@ fn measure(
 ) -> Outcome {
     let engine_handle = Carac::new(program.clone()).with_config(config);
     let full = engine_handle.run().expect("full fixpoint");
+    carac_bench::export_env_trace("fig_query", &full);
     let full_time = full.stats().total_time;
     let full_facts = full.total_tuples();
 
@@ -160,30 +161,30 @@ fn measure(
     }
 }
 
-fn write_json(path: &str, outcomes: &[Outcome]) {
-    let mut json = String::from("[\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"sources\": {}, \
-             \"full_secs\": {:.6}, \"full_facts\": {}, \"query_mean_secs\": {:.6}, \
-             \"query_max_facts\": {}, \"speedup\": {:.3}}}{}\n",
-            o.workload,
-            o.engine,
-            o.sources,
-            o.full.as_secs_f64(),
-            o.full_facts,
-            o.query_mean.as_secs_f64(),
-            o.query_max_facts,
-            o.speedup,
-            if i + 1 < outcomes.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("]\n");
-    if let Err(err) = std::fs::write(path, json) {
-        eprintln!("[fig_query] could not write {path}: {err}");
-    } else {
-        eprintln!("[fig_query] wrote {path}");
-    }
+/// The outcome's table row and JSON twin for the shared reporter.
+fn report_row(o: &Outcome) -> (Vec<String>, Vec<(&'static str, Json)>) {
+    (
+        vec![
+            o.workload.to_string(),
+            o.engine.to_string(),
+            o.sources.to_string(),
+            fmt_secs(o.full),
+            o.full_facts.to_string(),
+            fmt_secs(o.query_mean),
+            o.query_max_facts.to_string(),
+            fmt_speedup(o.speedup),
+        ],
+        vec![
+            ("workload", Json::Str(o.workload.to_string())),
+            ("engine", Json::Str(o.engine.to_string())),
+            ("sources", Json::UInt(o.sources as u64)),
+            ("full_secs", Json::Secs(o.full)),
+            ("full_facts", Json::UInt(o.full_facts as u64)),
+            ("query_mean_secs", Json::Secs(o.query_mean)),
+            ("query_max_facts", Json::UInt(o.query_max_facts as u64)),
+            ("speedup", Json::Ratio(o.speedup)),
+        ],
+    )
 }
 
 fn main() {
@@ -202,80 +203,82 @@ fn main() {
     let sp_sources = [0, sp_nodes / 2];
 
     let engines: Vec<(&'static str, EngineConfig)> = vec![
-        ("interpreted", EngineConfig::interpreted()),
+        (
+            "interpreted",
+            carac_bench::apply_trace_env(EngineConfig::interpreted()),
+        ),
         (
             "specialized",
-            EngineConfig::jit(carac::knobs::BackendKind::Lambda, false),
+            carac_bench::apply_trace_env(EngineConfig::jit(
+                carac::knobs::BackendKind::Lambda,
+                false,
+            )),
         ),
     ];
 
     let json_path =
         std::env::var("CARAC_BENCH_JSON").unwrap_or_else(|_| "BENCH_query.json".to_string());
     let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut report = FigureReport::new(
+        "fig_query",
+        "Goal-directed queries (magic sets) vs full fixpoint",
+        vec![
+            "Workload".to_string(),
+            "engine".to_string(),
+            "sources".to_string(),
+            "full fixpoint".to_string(),
+            "full facts".to_string(),
+            "query (mean)".to_string(),
+            "query facts (max)".to_string(),
+            "speedup".to_string(),
+        ],
+    );
     // Rewrite the JSON after every completed row so a later assertion
     // failure still leaves the finished rows on disk for the CI artifact.
+    let push = |outcomes: &mut Vec<Outcome>, report: &mut FigureReport, o: Outcome| {
+        let (cells, json) = report_row(&o);
+        report.push_row(cells, json);
+        report.rewrite_json(&json_path);
+        outcomes.push(o);
+    };
     for (engine, config) in &engines {
-        outcomes.push(measure(
-            "TransitiveClosure",
-            engine,
-            *config,
-            &tc,
-            "Path",
-            &tc_sources,
-            1,
-        ));
-        write_json(&json_path, &outcomes);
+        push(
+            &mut outcomes,
+            &mut report,
+            measure(
+                "TransitiveClosure",
+                engine,
+                *config,
+                &tc,
+                "Path",
+                &tc_sources,
+                1,
+            ),
+        );
         eprintln!("[fig_query] TransitiveClosure/{engine} done");
-        outcomes.push(measure(
-            "ShortestPath",
-            engine,
-            *config,
-            &sp,
-            "Reach",
-            &sp_sources,
-            2,
-        ));
-        write_json(&json_path, &outcomes);
+        push(
+            &mut outcomes,
+            &mut report,
+            measure(
+                "ShortestPath",
+                engine,
+                *config,
+                &sp,
+                "Reach",
+                &sp_sources,
+                2,
+            ),
+        );
         eprintln!("[fig_query] ShortestPath/{engine} done");
     }
 
-    let headers = vec![
-        "Workload".to_string(),
-        "engine".to_string(),
-        "sources".to_string(),
-        "full fixpoint".to_string(),
-        "full facts".to_string(),
-        "query (mean)".to_string(),
-        "query facts (max)".to_string(),
-        "speedup".to_string(),
-    ];
-    let rows: Vec<Vec<String>> = outcomes
-        .iter()
-        .map(|o| {
-            vec![
-                o.workload.to_string(),
-                o.engine.to_string(),
-                o.sources.to_string(),
-                fmt_secs(o.full),
-                o.full_facts.to_string(),
-                fmt_secs(o.query_mean),
-                o.query_max_facts.to_string(),
-                fmt_speedup(o.speedup),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Goal-directed queries (magic sets) vs full fixpoint",
-            &headers,
-            &rows
-        )
-    );
-    println!("(full fixpoint = one Carac::run deriving every fact; query = Carac::query with the");
-    println!(" source bound, mean over the listed sources, including the magic-set rewrite cost.");
-    println!(" Answers are asserted bit-identical to filtering the fixpoint, and every query");
-    println!(" derived strictly fewer facts than the fixpoint holds.)");
+    report
+        .note("(full fixpoint = one Carac::run deriving every fact; query = Carac::query with the");
+    report
+        .note(" source bound, mean over the listed sources, including the magic-set rewrite cost.");
+    report.note(" Answers are asserted bit-identical to filtering the fixpoint, and every query");
+    report.note(" derived strictly fewer facts than the fixpoint holds.)");
+    report.print();
 
     // The headline claim: at macro scale, a single-source TC point query is
     // at least 5x faster than the full fixpoint.  Reduced scales (smoke,

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use carac::{Carac, EngineConfig};
 use carac_analysis::generators::{edge_update_stream, random_digraph, UpdateStreamBatch};
 use carac_bench::{
-    fmt_secs, fmt_speedup, macro_scale, render_table, smoke_mode, speedup, HARNESS_SEED,
+    fmt_secs, fmt_speedup, macro_scale, smoke_mode, speedup, FigureReport, Json, HARNESS_SEED,
 };
 use carac_datalog::{builder, Program, ProgramBuilder};
 
@@ -181,33 +181,33 @@ fn measure(
     outcome
 }
 
-fn write_json(path: &str, outcomes: &[Outcome]) {
-    let mut json = String::from("[\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"kernel\": \"{}\", \"batches\": {}, \
-             \"cold_secs\": {:.6}, \"recover_secs\": {:.6}, \"speedup\": {:.3}, \
-             \"checkpoint_secs\": {:.6}, \"snapshot_bytes\": {}, \
-             \"journal_bytes\": {}, \"final_facts\": {}}}{}\n",
-            o.workload,
-            o.kernel,
-            o.batches,
-            o.cold.as_secs_f64(),
-            o.recover.as_secs_f64(),
-            o.speedup,
-            o.checkpoint.as_secs_f64(),
-            o.snapshot_bytes,
-            o.journal_bytes,
-            o.final_facts,
-            if i + 1 < outcomes.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("]\n");
-    if let Err(err) = std::fs::write(path, json) {
-        eprintln!("[fig_recover] could not write {path}: {err}");
-    } else {
-        eprintln!("[fig_recover] wrote {path}");
-    }
+/// The outcome's table row and JSON twin for the shared reporter.
+fn report_row(o: &Outcome) -> (Vec<String>, Vec<(&'static str, Json)>) {
+    (
+        vec![
+            o.workload.to_string(),
+            o.kernel.to_string(),
+            o.batches.to_string(),
+            fmt_secs(o.cold),
+            fmt_secs(o.recover),
+            fmt_speedup(o.speedup),
+            fmt_secs(o.checkpoint),
+            format!("{} KiB", o.snapshot_bytes / 1024),
+            o.final_facts.to_string(),
+        ],
+        vec![
+            ("workload", Json::Str(o.workload.to_string())),
+            ("kernel", Json::Str(o.kernel.to_string())),
+            ("batches", Json::UInt(o.batches as u64)),
+            ("cold_secs", Json::Secs(o.cold)),
+            ("recover_secs", Json::Secs(o.recover)),
+            ("speedup", Json::Ratio(o.speedup)),
+            ("checkpoint_secs", Json::Secs(o.checkpoint)),
+            ("snapshot_bytes", Json::UInt(o.snapshot_bytes)),
+            ("journal_bytes", Json::UInt(o.journal_bytes)),
+            ("final_facts", Json::UInt(o.final_facts as u64)),
+        ],
+    )
 }
 
 fn main() {
@@ -228,26 +228,50 @@ fn main() {
 
     let sp_build = move |edges: &[(u32, u32)]| sp_program(edges, sp_depth);
     let kernels: Vec<(&'static str, EngineConfig)> = vec![
-        ("interpreted", EngineConfig::interpreted()),
+        (
+            "interpreted",
+            carac_bench::apply_trace_env(EngineConfig::interpreted()),
+        ),
         (
             "specialized",
-            EngineConfig::jit(carac::knobs::BackendKind::Lambda, false),
+            carac_bench::apply_trace_env(EngineConfig::jit(
+                carac::knobs::BackendKind::Lambda,
+                false,
+            )),
         ),
     ];
 
     let json_path =
         std::env::var("CARAC_BENCH_JSON").unwrap_or_else(|_| "BENCH_recover.json".to_string());
     let mut outcomes = Vec::new();
+    let mut report = FigureReport::new(
+        "fig_recover",
+        "Recovery: cold re-derivation vs restore-and-replay after a crash",
+        vec![
+            "Workload".to_string(),
+            "kernel".to_string(),
+            "batches".to_string(),
+            "cold".to_string(),
+            "recover".to_string(),
+            "speedup".to_string(),
+            "checkpoint".to_string(),
+            "snapshot".to_string(),
+            "final facts".to_string(),
+        ],
+    );
     // The JSON is rewritten after every completed row, so a later
     // divergence panic still leaves the finished rows on disk for the CI
     // artifact.
-    let push = |outcomes: &mut Vec<Outcome>, o: Outcome| {
+    let push = |outcomes: &mut Vec<Outcome>, report: &mut FigureReport, o: Outcome| {
+        let (cells, json) = report_row(&o);
+        report.push_row(cells, json);
+        report.rewrite_json(&json_path);
         outcomes.push(o);
-        write_json(&json_path, outcomes);
     };
     for (kernel, config) in &kernels {
         push(
             &mut outcomes,
+            &mut report,
             measure(
                 "TransitiveClosure",
                 kernel,
@@ -261,6 +285,7 @@ fn main() {
         eprintln!("[fig_recover] TransitiveClosure/{kernel} done");
         push(
             &mut outcomes,
+            &mut report,
             measure(
                 "ShortestPath",
                 kernel,
@@ -274,45 +299,11 @@ fn main() {
         eprintln!("[fig_recover] ShortestPath/{kernel} done");
     }
 
-    let headers = vec![
-        "Workload".to_string(),
-        "kernel".to_string(),
-        "batches".to_string(),
-        "cold".to_string(),
-        "recover".to_string(),
-        "speedup".to_string(),
-        "checkpoint".to_string(),
-        "snapshot".to_string(),
-        "final facts".to_string(),
-    ];
-    let rows: Vec<Vec<String>> = outcomes
-        .iter()
-        .map(|o| {
-            vec![
-                o.workload.to_string(),
-                o.kernel.to_string(),
-                o.batches.to_string(),
-                fmt_secs(o.cold),
-                fmt_secs(o.recover),
-                fmt_speedup(o.speedup),
-                fmt_secs(o.checkpoint),
-                format!("{} KiB", o.snapshot_bytes / 1024),
-                o.final_facts.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            "Recovery: cold re-derivation vs restore-and-replay after a crash",
-            &headers,
-            &rows
-        )
-    );
-    println!("(cold = full semi-naive re-derivation plus re-applying every lost batch;");
-    println!(" recover = read checkpoint + journal, install derived state and support counts,");
-    println!(" replay the journal suffix incrementally.  Fact sets are asserted identical on");
-    println!(" every row, so the speedup column is certified crash-consistent.)");
+    report.note("(cold = full semi-naive re-derivation plus re-applying every lost batch;");
+    report.note(" recover = read checkpoint + journal, install derived state and support counts,");
+    report.note(" replay the journal suffix incrementally.  Fact sets are asserted identical on");
+    report.note(" every row, so the speedup column is certified crash-consistent.)");
+    report.print();
 
     // The headline claim: at macro scale, restoring a checkpoint and
     // replaying the journal suffix beats re-deriving the database from

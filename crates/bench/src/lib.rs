@@ -14,11 +14,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use std::time::Duration;
 
 use carac::knobs::BackendKind;
 use carac::EngineConfig;
 use carac_analysis::{Formulation, Workload};
+
+pub use report::{
+    apply_trace_env, export_env_trace, trace_env_path, write_json_array, write_json_sections,
+    FigureReport, Json, JsonRow,
+};
 
 /// Default scale for the macrobenchmarks (roughly the number of program
 /// variables in the synthetic fact generators).
@@ -135,9 +142,11 @@ pub fn parallel_scaling_table(
     for workload in workloads {
         // The first serial run is kept whole (fact count, wall time *and*
         // pool stats); the remaining repeats only refine the best-of-N time.
+        // It is also the run the `CARAC_TRACE` override traces and exports.
         let first = workload
-            .run(formulation, EngineConfig::interpreted())
+            .run(formulation, apply_trace_env(EngineConfig::interpreted()))
             .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
+        export_env_trace(title, &first);
         let serial_count = first
             .count(workload.output_relation)
             .expect("workload output relation exists");

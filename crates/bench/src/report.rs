@@ -1,0 +1,318 @@
+//! Shared figure reporter.
+//!
+//! Every figure binary used to hand-roll the same three endings: a
+//! plain-text table plus its footnote lines, a JSON artifact written row by
+//! row (so a mid-run panic still leaves the finished rows for CI), and the
+//! `eprintln!` progress/outcome messages.  This module holds the one copy:
+//! [`FigureReport`] accumulates table rows and their JSON twins and renders
+//! both with byte-identical text to the old per-binary printers (the golden
+//! test below pins the fig11 output), and the `CARAC_TRACE` hook turns any
+//! figure run into a chrome-trace + metrics export rendered from the
+//! engine's telemetry snapshot.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use carac::{EngineConfig, QueryResult, TraceConfig};
+
+use crate::render_table;
+
+/// One JSON field value, formatted exactly as the old hand-rolled writers
+/// did: strings quoted, integers plain, seconds with six decimals, ratios
+/// (speedups) with three.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string value (quoted; quotes and backslashes escaped).
+    Str(String),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A duration, rendered as fractional seconds with six decimals.
+    Secs(std::time::Duration),
+    /// A dimensionless ratio (speedup), rendered with three decimals.
+    Ratio(f64),
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        _ => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Secs(d) => write!(f, "{:.6}", d.as_secs_f64()),
+            Json::Ratio(r) => write!(f, "{r:.3}"),
+        }
+    }
+}
+
+/// A JSON object row: field names with their values, emitted in order.
+pub type JsonRow = Vec<(&'static str, Json)>;
+
+fn json_object(row: &JsonRow) -> String {
+    let fields: Vec<String> = row.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Renders rows as the body of a JSON array, one object per line at the
+/// given indent, with the trailing-comma discipline of the old writers.
+pub fn json_rows(rows: &[JsonRow], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("{pad}{}{comma}\n", json_object(row)));
+    }
+    out
+}
+
+/// Writes a JSON artifact with the figure binaries' shared reporting
+/// convention: best-effort write, `[{tag}] wrote {path}` on success and a
+/// non-fatal complaint on failure (a missing artifact must not kill a
+/// benchmark that already printed its table).
+pub fn write_json_artifact(tag: &str, path: &str, body: &str) {
+    if let Err(err) = std::fs::write(path, body) {
+        eprintln!("[{tag}] could not write {path}: {err}");
+    } else {
+        eprintln!("[{tag}] wrote {path}");
+    }
+}
+
+/// Writes a flat JSON array artifact (`[ row, ... ]`) — the shape of the
+/// fig11/fig_query/fig_recover artifacts.
+pub fn write_json_array(tag: &str, path: &str, rows: &[JsonRow]) {
+    let body = format!("[\n{}]\n", json_rows(rows, 2));
+    write_json_artifact(tag, path, &body);
+}
+
+/// Writes a sectioned JSON object artifact (`{"name": [row, ...], ...}`) —
+/// the shape of the fig_lint artifact.
+pub fn write_json_sections(tag: &str, path: &str, sections: &[(&str, &[JsonRow])]) {
+    let mut body = String::from("{\n");
+    for (i, (name, rows)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        body.push_str(&format!(
+            "  \"{name}\": [\n{}  ]{comma}\n",
+            json_rows(rows, 4)
+        ));
+    }
+    body.push_str("}\n");
+    write_json_artifact(tag, path, &body);
+}
+
+/// A figure's accumulated outcome: one plain-text table (headers + rows +
+/// footnote lines) and, optionally, a JSON artifact mirroring the rows.
+///
+/// The rendered text is byte-identical to what the binaries printed before
+/// the reporter existed; `rewrite_json` after every pushed row preserves
+/// their crash-resilient artifact discipline.
+#[derive(Debug)]
+pub struct FigureReport {
+    tag: &'static str,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    json: Vec<JsonRow>,
+    notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Starts a report for the figure binary `tag` (the `[tag]` of its
+    /// progress messages) with the table's title and column headers.
+    pub fn new(tag: &'static str, title: impl Into<String>, headers: Vec<String>) -> Self {
+        FigureReport {
+            tag,
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+            json: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one table row and its JSON twin.
+    pub fn push_row(&mut self, cells: Vec<String>, json: JsonRow) {
+        self.rows.push(cells);
+        if !json.is_empty() {
+            self.json.push(json);
+        }
+    }
+
+    /// Appends a footnote line printed verbatim after the table.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Rewrites the JSON artifact with every row pushed so far, so a later
+    /// panic still leaves the finished rows on disk for the CI artifact.
+    pub fn rewrite_json(&self, path: &str) {
+        write_json_array(self.tag, path, &self.json);
+    }
+
+    /// The rendered table plus footnotes — exactly the text `print` emits.
+    pub fn render(&self) -> String {
+        let mut out = render_table(&self.title, &self.headers, &self.rows);
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and footnotes to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// The `CARAC_TRACE` override: when set (and non-empty), every figure
+/// binary that goes through [`apply_trace_env`] runs its engines with span
+/// tracing on and exports the last traced run's chrome-trace JSON to the
+/// given path (plus the flat metrics snapshot next to it, with
+/// `.metrics.json` appended).
+pub fn trace_env_path() -> Option<PathBuf> {
+    match std::env::var("CARAC_TRACE") {
+        Ok(path) if !path.is_empty() => Some(PathBuf::from(path)),
+        _ => None,
+    }
+}
+
+/// Enables span tracing on `config` when `CARAC_TRACE` is set; the
+/// identity otherwise.
+pub fn apply_trace_env(config: EngineConfig) -> EngineConfig {
+    if trace_env_path().is_some() {
+        config.with_tracing(TraceConfig::default())
+    } else {
+        config
+    }
+}
+
+/// Exports a traced run's telemetry to the `CARAC_TRACE` path (chrome
+/// trace) and its `.metrics.json` sibling (flat metrics snapshot).  A
+/// no-op when the override is unset.  Later calls overwrite earlier ones
+/// (atomically), so the artifact always holds the last traced run.
+pub fn export_env_trace(tag: &str, result: &QueryResult) {
+    let Some(path) = trace_env_path() else {
+        return;
+    };
+    let mut metrics = path.clone().into_os_string();
+    metrics.push(".metrics.json");
+    let metrics = PathBuf::from(metrics);
+    match result
+        .write_chrome_trace(&path)
+        .and_then(|()| result.write_metrics_snapshot(&metrics))
+    {
+        Ok(()) => eprintln!(
+            "[{tag}] wrote trace {} and metrics {}",
+            path.display(),
+            metrics.display()
+        ),
+        Err(err) => eprintln!("[{tag}] could not write trace {}: {err}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Golden test for the fig11 ending: the reporter must reproduce the
+    /// pre-reporter table text and JSON artifact byte for byte.
+    #[test]
+    fn fig11_table_and_json_are_byte_identical_to_the_hand_rolled_printer() {
+        let headers = vec![
+            "Workload".to_string(),
+            "kernel".to_string(),
+            "batches".to_string(),
+            "scratch".to_string(),
+            "incremental".to_string(),
+            "speedup".to_string(),
+            "final facts".to_string(),
+        ];
+        let mut report = FigureReport::new(
+            "fig11",
+            "Figure 11: incremental maintenance vs from-scratch re-evaluation",
+            headers,
+        );
+        report.push_row(
+            vec![
+                "TransitiveClosure".to_string(),
+                "interpreted".to_string(),
+                "8".to_string(),
+                crate::fmt_secs(Duration::from_millis(1500)),
+                crate::fmt_secs(Duration::from_millis(100)),
+                crate::fmt_speedup(15.0),
+                "1234".to_string(),
+            ],
+            vec![
+                ("workload", Json::Str("TransitiveClosure".to_string())),
+                ("kernel", Json::Str("interpreted".to_string())),
+                ("batches", Json::UInt(8)),
+                ("max_ops_per_batch", Json::UInt(1)),
+                ("scratch_secs", Json::Secs(Duration::from_millis(1500))),
+                ("incremental_secs", Json::Secs(Duration::from_millis(100))),
+                ("speedup", Json::Ratio(15.0)),
+                ("final_facts", Json::UInt(1234)),
+            ],
+        );
+        report.note("(scratch = sum of full re-evaluations after every batch)");
+
+        // The old printer: println!("{}", render_table(..)) then one
+        // println! per footnote line.
+        let expected_table = concat!(
+            "\n== Figure 11: incremental maintenance vs from-scratch re-evaluation ==\n",
+            "         Workload       kernel  batches  scratch  incremental  speedup  final facts\n",
+            "-----------------------------------------------------------------------------------\n",
+            "TransitiveClosure  interpreted        8   1.5000       0.1000   15.00x         1234\n",
+            "\n",
+            "(scratch = sum of full re-evaluations after every batch)\n",
+        );
+        assert_eq!(report.render(), expected_table);
+
+        // The old write_json body, including separators and precision.
+        let body = format!("[\n{}]\n", json_rows(&report.json, 2));
+        assert_eq!(
+            body,
+            "[\n  {\"workload\": \"TransitiveClosure\", \"kernel\": \"interpreted\", \
+             \"batches\": 8, \"max_ops_per_batch\": 1, \"scratch_secs\": 1.500000, \
+             \"incremental_secs\": 0.100000, \"speedup\": 15.000, \"final_facts\": 1234}\n]\n"
+        );
+    }
+
+    #[test]
+    fn sectioned_json_matches_the_fig_lint_shape() {
+        let lint = vec![vec![
+            ("workload", Json::Str("Andersen".to_string())),
+            ("errors", Json::UInt(0)),
+        ]];
+        let prune = vec![vec![
+            ("engine", Json::Str("interpreted".to_string())),
+            ("speedup", Json::Ratio(1.25)),
+        ]];
+        let mut body = String::from("{\n");
+        body.push_str(&format!("  \"lint\": [\n{}  ],\n", json_rows(&lint, 4)));
+        body.push_str(&format!("  \"prune\": [\n{}  ]\n", json_rows(&prune, 4)));
+        body.push_str("}\n");
+        assert_eq!(
+            body,
+            "{\n  \"lint\": [\n    {\"workload\": \"Andersen\", \"errors\": 0}\n  ],\n  \
+             \"prune\": [\n    {\"engine\": \"interpreted\", \"speedup\": 1.250}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_strings_escape_quotes() {
+        assert_eq!(
+            Json::Str("a\"b\\c".to_string()).to_string(),
+            "\"a\\\"b\\\\c\""
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! compilation granularity, indexed vs. unindexed storage, and the
 //! semi-naive vs. naive evaluation strategy.
 
-use carac_exec::{BackendKind, CompileMode, JitConfig};
+use carac_exec::{BackendKind, CompileMode, JitConfig, TraceConfig};
 use carac_ir::EvalStrategy;
 use carac_optimizer::OptimizerConfig;
 
@@ -101,6 +101,14 @@ pub struct EngineConfig {
     /// update-independent defects so later updates stay sound.  Off by
     /// default.
     pub prune: bool,
+    /// Span tracing.  `None` (the default) disables the tracer — every
+    /// instrumentation site then pays a single branch.  `Some(config)`
+    /// records begin/end events for run/stratum/iteration/subquery/
+    /// aggregate/compile/update-batch/checkpoint/recover phases into a
+    /// bounded ring, exported with [`carac_exec::chrome_trace_json`] /
+    /// [`carac_exec::metrics_json`].  Per-rule profiles
+    /// (`RunStats::rule_profiles`) are always on regardless of this knob.
+    pub tracing: Option<TraceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +119,7 @@ impl Default for EngineConfig {
             strategy: EvalStrategy::SemiNaive,
             parallelism: 1,
             prune: false,
+            tracing: None,
         }
     }
 }
@@ -188,6 +197,12 @@ impl EngineConfig {
         self
     }
 
+    /// Enables span tracing (see [`EngineConfig::tracing`]).
+    pub fn with_tracing(mut self, config: TraceConfig) -> Self {
+        self.tracing = Some(config);
+        self
+    }
+
     /// Human-readable label matching the paper's legends ("JIT Lambda
     /// Blocking", "Interpreted", "Macro Facts+Rules (online)", ...).
     pub fn label(&self) -> String {
@@ -230,7 +245,7 @@ impl EngineConfig {
 
 /// Re-exported knobs so downstream crates only need `carac` for common use.
 pub mod knobs {
-    pub use carac_exec::{BackendKind, CompileMode, StagingCostModel};
+    pub use carac_exec::{BackendKind, CompileMode, StagingCostModel, TraceConfig};
     pub use carac_ir::{EvalStrategy, OpKind};
     pub use carac_optimizer::{OptimizerConfig, ReorderAlgorithm};
 }
@@ -296,5 +311,16 @@ mod tests {
         assert!(pruned.prune);
         assert_eq!(pruned.parallelism, 2);
         assert_eq!(pruned.label(), "Interpreted");
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_composes() {
+        assert!(EngineConfig::default().tracing.is_none());
+        let traced = EngineConfig::interpreted()
+            .with_tracing(TraceConfig::default().with_span_capacity(1024))
+            .with_parallelism(2);
+        assert_eq!(traced.tracing.unwrap().span_capacity, 1024);
+        assert_eq!(traced.parallelism, 2);
+        assert_eq!(traced.label(), "Interpreted");
     }
 }

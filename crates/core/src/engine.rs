@@ -6,8 +6,8 @@ use carac_datalog::hasher::{FxHashMap, FxHashSet};
 use carac_datalog::magic::{is_magic_name, magic_rewrite, QueryBinding};
 use carac_datalog::{analyze_with, prune_with, Analysis, AnalysisOptions, Program};
 use carac_exec::{
-    interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine,
-    RunStats, UpdateBatch, UpdateKernel, UpdateReport,
+    interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine, Phase,
+    RunStats, Tracer, UpdateBatch, UpdateKernel, UpdateReport,
 };
 use carac_ir::generate_plan;
 use carac_optimizer::ReorderAlgorithm;
@@ -470,40 +470,62 @@ impl Carac {
         for (rel, tuple) in &self.extra_facts {
             ctx.insert_fact(*rel, tuple.clone())?;
         }
+        if let Some(trace) = self.config.tracing {
+            ctx.stats.tracer = Tracer::new(trace);
+            ctx.stats.compile_event_capacity = trace.compile_event_capacity;
+        }
 
-        match &self.config.mode {
-            ExecutionMode::Interpreted => {
-                let plan = generate_plan(program, self.config.strategy);
-                let started = Instant::now();
-                interpreter::interpret(&plan, &mut ctx)?;
-                ctx.stats.total_time = started.elapsed();
-            }
-            ExecutionMode::Jit(jit_config) => {
-                let plan = generate_plan(program, self.config.strategy);
-                let mut engine = JitEngine::new(plan, *jit_config);
-                engine.run(&mut ctx)?;
-            }
-            ExecutionMode::AheadOfTime(aot) => {
-                // The offline sort is *not* charged to execution time.
-                let (plan, _) =
-                    prepare_plan(program, self.config.strategy, aot, &self.extra_facts)?;
-                let started = Instant::now();
-                if aot.online_reorder {
-                    let jit_config = JitConfig {
-                        backend: BackendKind::IrGen,
-                        reorder_algorithm: ReorderAlgorithm::Sort,
-                        ..JitConfig::default()
-                    };
-                    let mut engine = JitEngine::new(plan, jit_config);
-                    engine.run(&mut ctx)?;
-                    // `JitEngine::run` already accumulated its own wall time;
-                    // keep that measurement.
-                } else {
+        let run_token = ctx.stats.tracer.begin(Phase::Run, 0);
+        let run_result: Result<(), CaracError> = (|| {
+            match &self.config.mode {
+                ExecutionMode::Interpreted => {
+                    let plan = generate_plan(program, self.config.strategy);
+                    let started = Instant::now();
                     interpreter::interpret(&plan, &mut ctx)?;
                     ctx.stats.total_time = started.elapsed();
                 }
+                ExecutionMode::Jit(jit_config) => {
+                    let plan = generate_plan(program, self.config.strategy);
+                    let mut engine = JitEngine::new(plan, *jit_config);
+                    engine.run(&mut ctx)?;
+                }
+                ExecutionMode::AheadOfTime(aot) => {
+                    // The offline sort is *not* charged to execution time.
+                    let (plan, _) =
+                        prepare_plan(program, self.config.strategy, aot, &self.extra_facts)?;
+                    let started = Instant::now();
+                    if aot.online_reorder {
+                        let jit_config = JitConfig {
+                            backend: BackendKind::IrGen,
+                            reorder_algorithm: ReorderAlgorithm::Sort,
+                            ..JitConfig::default()
+                        };
+                        let mut engine = JitEngine::new(plan, jit_config);
+                        engine.run(&mut ctx)?;
+                        // `JitEngine::run` already accumulated its own wall
+                        // time; keep that measurement.
+                    } else {
+                        interpreter::interpret(&plan, &mut ctx)?;
+                        ctx.stats.total_time = started.elapsed();
+                    }
+                }
             }
-        }
+            Ok(())
+        })();
+        let (emitted, inserted, iterations) = (
+            ctx.stats.tuples_emitted,
+            ctx.stats.tuples_inserted,
+            ctx.stats.iterations,
+        );
+        ctx.stats.tracer.end(
+            run_token,
+            &[
+                ("emitted", emitted),
+                ("inserted", inserted),
+                ("iterations", iterations),
+            ],
+        );
+        run_result?;
         Ok(ctx)
     }
 
@@ -597,7 +619,21 @@ impl Carac {
             None => None,
         };
         let live = self.live.as_mut().expect("run_live just succeeded");
-        match live.incremental.apply(&mut live.ctx, &batch) {
+        let token = live
+            .ctx
+            .stats
+            .tracer
+            .begin(Phase::UpdateBatch, batch.ops().len() as u32);
+        let outcome = live.incremental.apply(&mut live.ctx, &batch);
+        let counters = match &outcome {
+            Ok(report) => [
+                ("edb_inserted", report.stats.edb_inserted),
+                ("edb_retracted", report.stats.edb_retracted),
+            ],
+            Err(_) => [("edb_inserted", 0), ("edb_retracted", 0)],
+        };
+        live.ctx.stats.tracer.end(token, &counters);
+        match outcome {
             Ok(report) => Ok(report),
             Err(err) => {
                 // The batch did not apply; take it back out of the journal

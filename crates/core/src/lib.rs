@@ -71,12 +71,18 @@ pub use explain::{Derivation, DerivationNode, DerivationTree, NodeId};
 pub use result::{QueryAnswer, QueryResult};
 
 // Incremental maintenance surface (see `Carac::apply_update`).
-pub use carac_exec::{UpdateBatch, UpdateOp, UpdateReport, UpdateStats};
+pub use carac_exec::{RunStats, UpdateBatch, UpdateOp, UpdateReport, UpdateStats};
 pub use carac_storage::DeltaSign;
 
 // Durable-storage surface (see `Carac::checkpoint` / `Carac::recover`).
 pub use carac_storage::PersistError;
 pub use persist::RecoveryReport;
+
+// Observability surface (see `EngineConfig::with_tracing`).
+pub use carac_exec::{
+    chrome_trace_json, metrics_json, write_chrome_trace, write_metrics_snapshot, EventKind, Phase,
+    ProfileTable, RuleProfile, TraceConfig, TraceEvent,
+};
 
 // Goal-directed query surface (see `Carac::query`).
 pub use carac_datalog::magic::QueryBinding;

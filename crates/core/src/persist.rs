@@ -35,7 +35,7 @@
 
 use std::path::Path;
 
-use carac_exec::{ExecContext, Incremental, UpdateBatch};
+use carac_exec::{ExecContext, Incremental, Phase, UpdateBatch};
 use carac_storage::{read_journal, read_snapshot, write_snapshot, JournalWriter, Snapshot};
 
 use crate::engine::{Carac, LiveSession};
@@ -69,12 +69,18 @@ impl Carac {
             .as_ref()
             .map_or(0, |journal| journal.next_seq().saturating_sub(1));
         let live = self.live.as_ref().expect("run_live just succeeded");
-        write_snapshot(
+        let token = live.ctx.stats.tracer.begin(Phase::Checkpoint, 0);
+        let result = write_snapshot(
             path.as_ref(),
             &live.ctx.storage,
             self.program().symbols(),
             journal_seq,
-        )?;
+        );
+        live.ctx
+            .stats
+            .tracer
+            .end(token, &[("journal_seq", journal_seq)]);
+        result?;
         Ok(())
     }
 
@@ -114,21 +120,30 @@ impl Carac {
         let contents = read_journal(journal.as_ref())?;
         self.install_snapshot(&snapshot)?;
         let mut replayed = 0u64;
-        let replay = (|| -> Result<(), CaracError> {
+        let replay = {
             let live = self
                 .live
                 .as_mut()
                 .expect("install_snapshot opened the session");
-            for record in &contents.records {
-                if record.seq <= snapshot.journal_seq {
-                    continue; // already reflected in the checkpoint
+            let token = live
+                .ctx
+                .stats
+                .tracer
+                .begin(Phase::Recover, contents.records.len() as u32);
+            let result = (|| -> Result<(), CaracError> {
+                for record in &contents.records {
+                    if record.seq <= snapshot.journal_seq {
+                        continue; // already reflected in the checkpoint
+                    }
+                    let batch = UpdateBatch::decode(&record.payload)?;
+                    live.incremental.apply(&mut live.ctx, &batch)?;
+                    replayed += 1;
                 }
-                let batch = UpdateBatch::decode(&record.payload)?;
-                live.incremental.apply(&mut live.ctx, &batch)?;
-                replayed += 1;
-            }
-            Ok(())
-        })();
+                Ok(())
+            })();
+            live.ctx.stats.tracer.end(token, &[("replayed", replayed)]);
+            result
+        };
         if let Err(err) = replay {
             // A half-replayed session is not a consistent state at any
             // batch boundary; drop it rather than hand it out.
@@ -184,6 +199,10 @@ impl Carac {
         snapshot.validate_symbols(self.program().symbols())?;
         let mut ctx = ExecContext::prepare(self.program(), self.config().use_indexes)?;
         ctx.set_parallelism(self.config().parallelism)?;
+        if let Some(trace) = self.config().tracing {
+            ctx.stats.tracer = carac_exec::Tracer::new(trace);
+            ctx.stats.compile_event_capacity = trace.compile_event_capacity;
+        }
         snapshot.apply(&mut ctx.storage)?;
         let incremental = Incremental::new(self.program(), &self.extra_facts, self.live_kernel());
         self.discard_session();

@@ -73,6 +73,29 @@ impl QueryResult {
         self.context.storage.pool_stats()
     }
 
+    /// Per-rule execution profiles collected during the run (see
+    /// [`carac_exec::ProfileTable`]); always populated, tracing on or off.
+    pub fn rule_profiles(&self) -> &carac_exec::ProfileTable {
+        &self.context.stats.rule_profiles
+    }
+
+    /// Human-readable run summary: aggregate counters plus the per-rule
+    /// profile table.
+    pub fn summary(&self) -> String {
+        self.context.stats.summary()
+    }
+
+    /// Writes the run's span trace as a chrome://tracing / Perfetto JSON
+    /// file (atomic temp-file + rename).  Empty trace when tracing was off.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        carac_exec::write_chrome_trace(path.as_ref(), &self.context.stats)
+    }
+
+    /// Writes the flat JSON metrics snapshot (atomic temp-file + rename).
+    pub fn write_metrics_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        carac_exec::write_metrics_snapshot(path.as_ref(), &self.context.stats)
+    }
+
     /// The program this result was computed for.
     pub fn program(&self) -> &Program {
         &self.program

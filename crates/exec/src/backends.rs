@@ -27,6 +27,7 @@ use crate::context::ExecContext;
 use crate::error::ExecError;
 use crate::kernel::SpecializedQuery;
 use crate::stats::BackendTag;
+use crate::telemetry::trace::Phase;
 
 /// Which compilation target to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,7 +263,6 @@ pub fn compile_closure(node: &IRNode) -> ClosureFn {
     match &node.op {
         IROp::Program { children }
         | IROp::Sequence { children }
-        | IROp::Stratum { children, .. }
         | IROp::UnionAllRules { children, .. }
         | IROp::UnionRule { children, .. } => {
             let compiled: Vec<ClosureFn> = children.iter().map(compile_closure).collect();
@@ -271,6 +271,23 @@ pub fn compile_closure(node: &IRNode) -> ClosureFn {
                     child(ctx)?;
                 }
                 Ok(())
+            })
+        }
+        IROp::Stratum { children, .. } => {
+            let compiled: Vec<ClosureFn> = children.iter().map(compile_closure).collect();
+            Box::new(move |ctx| {
+                let stratum = ctx.stats.strata_entered as u32;
+                ctx.stats.strata_entered += 1;
+                ctx.stats.current_stratum = stratum;
+                let token = ctx.stats.tracer.begin(Phase::Stratum, stratum);
+                let result: Result<(), ExecError> = (|| {
+                    for child in &compiled {
+                        child(ctx)?;
+                    }
+                    Ok(())
+                })();
+                ctx.stats.tracer.end(token, &[]);
+                result
             })
         }
         IROp::SwapClear { relations } => {
@@ -285,7 +302,15 @@ pub fn compile_closure(node: &IRNode) -> ClosureFn {
             let body = compile_closure(body);
             Box::new(move |ctx| {
                 loop {
-                    body(ctx)?;
+                    let token = ctx
+                        .stats
+                        .tracer
+                        .begin(Phase::Iteration, ctx.iteration as u32);
+                    let result = body(ctx);
+                    ctx.stats
+                        .tracer
+                        .end(token, &[("emitted", ctx.stats.tuples_emitted)]);
+                    result?;
                     ctx.iteration += 1;
                     ctx.stats.iterations += 1;
                     if ctx.storage.deltas_empty(&relations)? {

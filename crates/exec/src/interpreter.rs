@@ -11,13 +11,13 @@ use carac_ir::{IRNode, IROp};
 use crate::context::ExecContext;
 use crate::error::ExecError;
 use crate::kernel::{execute_aggregate, execute_interpreted_with};
+use crate::telemetry::trace::Phase;
 
 /// Executes `node` (and its whole subtree) against `ctx`.
 pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> {
     match &node.op {
         IROp::Program { children }
         | IROp::Sequence { children }
-        | IROp::Stratum { children, .. }
         | IROp::UnionAllRules { children, .. }
         | IROp::UnionRule { children, .. } => {
             for child in children {
@@ -25,13 +25,37 @@ pub fn interpret(node: &IRNode, ctx: &mut ExecContext) -> Result<(), ExecError> 
             }
             Ok(())
         }
+        IROp::Stratum { children, .. } => {
+            // Strata have no index in the IR: number them in visit order so
+            // rule profiles and spans can attribute work to a stratum.
+            let stratum = ctx.stats.strata_entered as u32;
+            ctx.stats.strata_entered += 1;
+            ctx.stats.current_stratum = stratum;
+            let token = ctx.stats.tracer.begin(Phase::Stratum, stratum);
+            let result: Result<(), ExecError> = (|| {
+                for child in children {
+                    interpret(child, ctx)?;
+                }
+                Ok(())
+            })();
+            ctx.stats.tracer.end(token, &[]);
+            result
+        }
         IROp::SwapClear { relations } => {
             ctx.storage.swap_and_clear(relations)?;
             Ok(())
         }
         IROp::DoWhile { relations, body } => {
             loop {
-                interpret(body, ctx)?;
+                let token = ctx
+                    .stats
+                    .tracer
+                    .begin(Phase::Iteration, ctx.iteration as u32);
+                let result = interpret(body, ctx);
+                ctx.stats
+                    .tracer
+                    .end(token, &[("emitted", ctx.stats.tuples_emitted)]);
+                result?;
                 ctx.iteration += 1;
                 ctx.stats.iterations += 1;
                 if ctx.storage.deltas_empty(relations)? {

@@ -15,10 +15,14 @@
 
 use std::time::Instant;
 
+use carac_datalog::RuleId;
 use carac_ir::{IRNode, IROp, NodeId, OpKind};
-use carac_optimizer::{optimize_plan, FreshnessTest, OptimizerConfig, ReorderAlgorithm};
+use carac_optimizer::{
+    optimize_plan, FreshnessTest, OptimizeContext, OptimizerConfig, ReorderAlgorithm,
+};
 use carac_storage::hasher::FxHashMap;
-use carac_vm::Machine;
+use carac_storage::{DbKind, RelId};
+use carac_vm::{Machine, MarkKind};
 
 use crate::backends::{check_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
 use crate::compile_manager::CompilationManager;
@@ -26,7 +30,38 @@ use crate::context::ExecContext;
 use crate::error::ExecError;
 use crate::interpreter::interpret;
 use crate::kernel::{execute_interpreted_with, SpecializedQuery};
-use crate::stats::CompileEvent;
+use crate::stats::{CompileEvent, RunStats};
+use crate::telemetry::trace::Phase;
+
+/// Pushes a compile event onto the bounded ring and mirrors it as a
+/// zero-width `Compile` span (the real duration travels in `duration_ns`:
+/// background compilations overlap interpretation, so their wall-clock
+/// interval cannot nest on the coordinator timeline).
+fn note_compile(stats: &mut RunStats, event: CompileEvent) {
+    stats.tracer.record_complete(
+        Phase::Compile,
+        event.node.0,
+        &[("duration_ns", event.duration.as_nanos() as u64)],
+    );
+    stats.push_compile_event(event);
+}
+
+/// Records the optimizer's delta-cardinality estimate for every rule in the
+/// (just reordered) subtree, so profiles can report observed-vs-estimated
+/// drift — the input signal for a profile-guided tiered JIT.
+fn record_delta_estimates(subtree: &IRNode, oc: &OptimizeContext, stats: &mut RunStats) {
+    subtree.visit(&mut |n| {
+        if let IROp::Spj { query } = &n.op {
+            let estimated: u64 = query
+                .atoms
+                .iter()
+                .filter(|atom| atom.db == DbKind::DeltaKnown)
+                .map(|atom| oc.cardinality(atom.rel, atom.db) as u64)
+                .sum();
+            stats.rule_profiles.record_estimate(query.rule, estimated);
+        }
+    });
+}
 
 /// Configuration of the JIT.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,7 +166,6 @@ impl JitEngine {
         match &node.op {
             IROp::Program { children }
             | IROp::Sequence { children }
-            | IROp::Stratum { children, .. }
             | IROp::UnionAllRules { children, .. }
             | IROp::UnionRule { children, .. } => {
                 for child in children {
@@ -139,13 +173,35 @@ impl JitEngine {
                 }
                 Ok(())
             }
+            IROp::Stratum { children, .. } => {
+                let stratum = ctx.stats.strata_entered as u32;
+                ctx.stats.strata_entered += 1;
+                ctx.stats.current_stratum = stratum;
+                let token = ctx.stats.tracer.begin(Phase::Stratum, stratum);
+                let result: Result<(), ExecError> = (|| {
+                    for child in children {
+                        self.exec_node(child, ctx)?;
+                    }
+                    Ok(())
+                })();
+                ctx.stats.tracer.end(token, &[]);
+                result
+            }
             IROp::SwapClear { relations } => {
                 ctx.storage.swap_and_clear(relations)?;
                 Ok(())
             }
             IROp::DoWhile { relations, body } => {
                 loop {
-                    self.exec_node(body, ctx)?;
+                    let token = ctx
+                        .stats
+                        .tracer
+                        .begin(Phase::Iteration, ctx.iteration as u32);
+                    let result = self.exec_node(body, ctx);
+                    ctx.stats
+                        .tracer
+                        .end(token, &[("emitted", ctx.stats.tuples_emitted)]);
+                    result?;
                     ctx.iteration += 1;
                     ctx.stats.iterations += 1;
                     if ctx.storage.deltas_empty(relations)? {
@@ -187,7 +243,7 @@ impl JitEngine {
             if let Some(result) = self.manager.poll(node.id) {
                 let result = result?;
                 check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
-                ctx.stats.compile_events.push(result.event);
+                note_compile(&mut ctx.stats, result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness
                     .entry(node.id)
@@ -210,6 +266,7 @@ impl JitEngine {
                 self.config.reorder_algorithm,
             );
             ctx.stats.reorders += changed as u64;
+            record_delta_estimates(&subtree, &oc, &mut ctx.stats);
         }
         let reorder_time = reorder_started.elapsed();
         self.freshness
@@ -220,14 +277,17 @@ impl JitEngine {
         if self.config.backend == BackendKind::IrGen {
             // The IRGenerator target needs no separate compilation phase:
             // the reordered IR is the artifact and the interpreter runs it.
-            ctx.stats.compile_events.push(CompileEvent {
-                node: node.id,
-                kind: node.kind(),
-                backend: BackendKind::IrGen.tag(),
-                full: true,
-                warm: true,
-                duration: reorder_time,
-            });
+            note_compile(
+                &mut ctx.stats,
+                CompileEvent {
+                    node: node.id,
+                    kind: node.kind(),
+                    backend: BackendKind::IrGen.tag(),
+                    full: true,
+                    warm: true,
+                    duration: reorder_time,
+                },
+            );
             self.artifacts.insert(node.id, Artifact::Ir(subtree));
             return self.run_cached(node, ctx);
         }
@@ -254,7 +314,7 @@ impl JitEngine {
             &self.config.staging,
         )?;
         check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
-        ctx.stats.compile_events.push(result.event);
+        note_compile(&mut ctx.stats, result.event);
         self.artifacts.insert(node.id, result.artifact);
         self.run_cached(node, ctx)
     }
@@ -280,12 +340,95 @@ impl JitEngine {
             Artifact::Ir(subtree) => interpret(subtree, ctx),
             Artifact::Vm(program) => {
                 let mut machine = Machine::for_program(program);
+                machine.set_collect_marks(ctx.stats.tracer.is_enabled());
                 let vm_stats = machine.run(program, &mut ctx.storage)?;
                 ctx.stats.tuples_emitted += vm_stats.emitted;
                 ctx.stats.tuples_inserted += vm_stats.inserted;
+                Self::merge_vm_telemetry(&machine, ctx);
                 Ok(())
             }
             Artifact::Snippet(kernels) => Self::exec_with_snippets(node, kernels, ctx),
+        }
+    }
+
+    /// Folds the bytecode VM's side tallies into `RunStats` after a run and
+    /// replays its mark events as tracer spans.  The VM cannot touch
+    /// `RunStats` while executing (it only sees the storage manager), so
+    /// per-rule profiles and span boundaries travel back as [`Machine`]
+    /// side state.
+    fn merge_vm_telemetry(machine: &Machine, ctx: &mut ExecContext) {
+        // Strata compiled into the program are numbered locally from 0;
+        // offset them by the strata already entered so the global numbering
+        // stays dense.  Rules compiled below any stratum node inherit the
+        // stratum the coordinator is currently in.
+        let stratum_base = ctx.stats.strata_entered as u32;
+        for (&rule, tally) in machine.rule_tallies() {
+            let stratum = if tally.stratum == u32::MAX {
+                ctx.stats.current_stratum
+            } else {
+                stratum_base + tally.stratum
+            };
+            ctx.stats.subqueries += tally.executions;
+            ctx.stats.rule_profiles.merge_rule_tally(
+                RuleId(rule),
+                stratum,
+                tally.executions,
+                tally.delta_rows_in,
+                tally.emitted,
+                tally.inserted,
+                tally.time,
+            );
+        }
+        for (&output, tally) in machine.aggregate_tallies() {
+            ctx.stats.rule_profiles.merge_aggregate_tally(
+                RelId(output),
+                tally.executions,
+                tally.emitted,
+                tally.inserted,
+                tally.time,
+            );
+        }
+        ctx.stats.iterations += machine.iterations();
+        ctx.stats.strata_entered += machine.strata_entered();
+        if machine.strata_entered() > 0 {
+            ctx.stats.current_stratum = (ctx.stats.strata_entered - 1) as u32;
+        }
+        if !ctx.stats.tracer.is_enabled() {
+            return;
+        }
+        let tracer = ctx.stats.tracer.clone();
+        let mut stack = Vec::new();
+        let mut last_at = None;
+        for mark in machine.marks() {
+            last_at = Some(mark.at);
+            match mark.kind {
+                MarkKind::StratumBegin => {
+                    stack.push(tracer.begin_at(Phase::Stratum, stratum_base + mark.detail, mark.at))
+                }
+                MarkKind::IterBegin => {
+                    stack.push(tracer.begin_at(Phase::Iteration, mark.detail, mark.at))
+                }
+                MarkKind::RuleBegin => {
+                    stack.push(tracer.begin_at(Phase::Subquery, mark.detail, mark.at))
+                }
+                MarkKind::StratumEnd | MarkKind::IterEnd | MarkKind::RuleEnd => {
+                    if let Some(token) = stack.pop() {
+                        tracer.end_at(
+                            token,
+                            mark.at,
+                            &[("emitted", mark.emitted), ("inserted", mark.inserted)],
+                        );
+                    }
+                }
+            }
+        }
+        // Marks come out balanced from a completed run; close leftovers
+        // defensively so the stream can never be left dangling.
+        while let Some(token) = stack.pop() {
+            match last_at {
+                Some(at) => tracer.end_at(token, at, &[]),
+                None => tracer.end(token, &[]),
+            }
         }
     }
 
@@ -320,7 +463,15 @@ impl JitEngine {
             }
             IROp::DoWhile { relations, body } => {
                 loop {
-                    Self::exec_with_snippets(body, kernels, ctx)?;
+                    let token = ctx
+                        .stats
+                        .tracer
+                        .begin(Phase::Iteration, ctx.iteration as u32);
+                    let result = Self::exec_with_snippets(body, kernels, ctx);
+                    ctx.stats
+                        .tracer
+                        .end(token, &[("emitted", ctx.stats.tuples_emitted)]);
+                    result?;
                     ctx.iteration += 1;
                     ctx.stats.iterations += 1;
                     if ctx.storage.deltas_empty(relations)? {
@@ -329,9 +480,22 @@ impl JitEngine {
                 }
                 Ok(())
             }
+            IROp::Stratum { children, .. } => {
+                let stratum = ctx.stats.strata_entered as u32;
+                ctx.stats.strata_entered += 1;
+                ctx.stats.current_stratum = stratum;
+                let token = ctx.stats.tracer.begin(Phase::Stratum, stratum);
+                let result: Result<(), ExecError> = (|| {
+                    for child in children {
+                        Self::exec_with_snippets(child, kernels, ctx)?;
+                    }
+                    Ok(())
+                })();
+                ctx.stats.tracer.end(token, &[]);
+                result
+            }
             IROp::Program { children }
             | IROp::Sequence { children }
-            | IROp::Stratum { children, .. }
             | IROp::UnionAllRules { children, .. }
             | IROp::UnionRule { children, .. } => {
                 for child in children {
@@ -360,7 +524,7 @@ impl JitEngine {
             if let Some(result) = self.manager.poll(node.id) {
                 let result = result?;
                 check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
-                ctx.stats.compile_events.push(result.event);
+                note_compile(&mut ctx.stats, result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness
                     .entry(node.id)

@@ -28,7 +28,9 @@
 //! no other per-row heap allocation) is constructed anywhere on the fixpoint
 //! hot path.
 
-use carac_datalog::{AggregateSpec, HeadBinding, Term, VarId};
+use std::time::Instant;
+
+use carac_datalog::{AggregateSpec, HeadBinding, RuleId, Term, VarId};
 use carac_ir::ConjunctiveQuery;
 use carac_storage::hasher::FxHashMap;
 use carac_storage::{CmpOp, DbKind, RelId, Relation, RowId, StorageManager, Value};
@@ -36,6 +38,7 @@ use carac_storage::{CmpOp, DbKind, RelId, Relation, RowId, StorageManager, Value
 use crate::error::ExecError;
 use crate::parallel::{chunk_rows, parallel_map};
 use crate::stats::RunStats;
+use crate::telemetry::trace::Phase;
 
 /// Minimum number of driving rows before a subquery is worth forking: below
 /// this, thread-spawn overhead dominates and the kernels stay serial.  The
@@ -116,6 +119,9 @@ impl EmitBuffer {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecializedQuery {
     head_rel: RelId,
+    /// The rule this subquery derives — carried through specialization so
+    /// executions are attributed to the right per-rule profile.
+    rule: RuleId,
     head: Vec<EmitVal>,
     atoms: Vec<SpecializedAtom>,
     negated: Vec<SpecializedAtom>,
@@ -227,6 +233,7 @@ impl SpecializedQuery {
             .collect();
         SpecializedQuery {
             head_rel: query.head_rel,
+            rule: query.rule,
             head,
             atoms,
             negated,
@@ -277,6 +284,7 @@ impl SpecializedQuery {
             }
         }
         stats.tuples_inserted += inserted;
+        stats.rule_profiles.record_inserted(self.rule, inserted);
         Ok(inserted)
     }
 
@@ -312,12 +320,25 @@ impl SpecializedQuery {
         stats: &mut RunStats,
         parallelism: usize,
     ) -> Result<EmitBuffer, ExecError> {
+        let started = Instant::now();
+        let token = stats.tracer.begin(Phase::Subquery, self.rule.0);
         stats.subqueries += 1;
         if !self.static_ok {
             // A constant-only constraint failed at compile time: the query
-            // is empty regardless of the database contents.
+            // is empty regardless of the database contents.  Still one
+            // execution for the profile — the reconciliation invariant
+            // counts every subquery.
+            stats.rule_profiles.record_execution(
+                self.rule,
+                stats.current_stratum,
+                0,
+                0,
+                started.elapsed(),
+            );
+            stats.tracer.end(token, &[("emitted", 0)]);
             return Ok(EmitBuffer::default());
         }
+        let delta_in = delta_rows_in(storage, self.atoms.iter().map(|a| (a.db, a.rel)));
         let out = if parallelism > 1 {
             self.join_parallel(storage, stats, parallelism)?
         } else {
@@ -328,6 +349,16 @@ impl SpecializedQuery {
             out
         };
         stats.tuples_emitted += out.rows;
+        stats.rule_profiles.record_execution(
+            self.rule,
+            stats.current_stratum,
+            delta_in,
+            out.rows,
+            started.elapsed(),
+        );
+        stats
+            .tracer
+            .end(token, &[("emitted", out.rows), ("delta_in", delta_in)]);
         Ok(out)
     }
 
@@ -395,6 +426,7 @@ impl SpecializedQuery {
         stats.parallel_subqueries += 1;
         stats.parallel_tasks += partitions.len() as u64;
         let results = parallel_map(parallelism, &partitions, |rows| {
+            let worker_started = Instant::now();
             let mut bindings = vec![Value::int(0); self.num_vars];
             let mut scratch = self.new_scratch();
             let mut out = EmitBuffer::default();
@@ -407,11 +439,23 @@ impl SpecializedQuery {
                 &mut scratch,
                 &mut out,
             )?;
-            Ok::<_, ExecError>(out)
+            Ok::<_, ExecError>((out, worker_started.elapsed()))
         })?;
         let mut merged = EmitBuffer::default();
-        for result in results {
-            merged.append(result?);
+        // Per-partition spans are recorded post-join, in partition order —
+        // the same deterministic merge discipline the result buffers follow.
+        // The measured parallel duration travels in `duration_ns`.
+        for (index, result) in results.into_iter().enumerate() {
+            let (out, elapsed) = result?;
+            stats.tracer.record_complete(
+                Phase::Partition,
+                index as u32,
+                &[
+                    ("rows", out.rows),
+                    ("duration_ns", elapsed.as_nanos() as u64),
+                ],
+            );
+            merged.append(out);
         }
         Ok(merged)
     }
@@ -537,6 +581,8 @@ pub fn execute_aggregate(
     storage: &mut StorageManager,
     stats: &mut RunStats,
 ) -> Result<(), ExecError> {
+    let started = Instant::now();
+    let token = stats.tracer.begin(Phase::Aggregate, spec.output.0);
     let (emitted, inserted) = if spec.lattice {
         storage.aggregate_lattice_into(spec.input, spec.output, &spec.aggs)?
     } else {
@@ -544,7 +590,27 @@ pub fn execute_aggregate(
     };
     stats.tuples_emitted += emitted;
     stats.tuples_inserted += inserted;
+    stats
+        .rule_profiles
+        .record_aggregate(spec.output, emitted, inserted, started.elapsed());
+    stats
+        .tracer
+        .end(token, &[("emitted", emitted), ("inserted", inserted)]);
     Ok(())
+}
+
+/// Total rows currently sitting in the `DeltaKnown` atoms of a subquery —
+/// the semi-naive work driver recorded as `delta_rows_in` on rule profiles.
+fn delta_rows_in(storage: &StorageManager, atoms: impl Iterator<Item = (DbKind, RelId)>) -> u64 {
+    let mut total = 0u64;
+    for (db, rel) in atoms {
+        if db == DbKind::DeltaKnown {
+            if let Ok(relation) = storage.relation(db, rel) {
+                total += relation.len() as u64;
+            }
+        }
+    }
+    total
 }
 
 /// Fully interpreted execution of a conjunctive query: every candidate row
@@ -580,6 +646,7 @@ pub fn execute_interpreted_with(
         }
     }
     stats.tuples_inserted += inserted;
+    stats.rule_profiles.record_inserted(query.rule, inserted);
     Ok(inserted)
 }
 
@@ -605,7 +672,10 @@ fn interp_collect(
     stats: &mut RunStats,
     parallelism: usize,
 ) -> Result<EmitBuffer, ExecError> {
+    let started = Instant::now();
+    let token = stats.tracer.begin(Phase::Subquery, query.rule.0);
     stats.subqueries += 1;
+    let delta_in = delta_rows_in(storage, query.atoms.iter().map(|a| (a.db, a.rel)));
     let out = if parallelism > 1 && !query.atoms.is_empty() {
         interp_parallel(query, storage, stats, parallelism)?
     } else {
@@ -625,6 +695,16 @@ fn interp_collect(
         out
     };
     stats.tuples_emitted += out.rows;
+    stats.rule_profiles.record_execution(
+        query.rule,
+        stats.current_stratum,
+        delta_in,
+        out.rows,
+        started.elapsed(),
+    );
+    stats
+        .tracer
+        .end(token, &[("emitted", out.rows), ("delta_in", delta_in)]);
     Ok(out)
 }
 
@@ -694,6 +774,7 @@ fn interp_parallel(
     stats.parallel_subqueries += 1;
     stats.parallel_tasks += partitions.len() as u64;
     let results = parallel_map(parallelism, &partitions, |rows| {
+        let worker_started = Instant::now();
         let mut bindings: FxHashMap<VarId, Value> = FxHashMap::default();
         let mut scratch = interp_scratch(query);
         let mut trail = Vec::new();
@@ -709,11 +790,21 @@ fn interp_parallel(
             &mut trail,
             &mut out,
         )?;
-        Ok::<_, ExecError>(out)
+        Ok::<_, ExecError>((out, worker_started.elapsed()))
     })?;
     let mut merged = EmitBuffer::default();
-    for result in results {
-        merged.append(result?);
+    // Post-join, partition-order span merge: see `join_parallel`.
+    for (index, result) in results.into_iter().enumerate() {
+        let (out, elapsed) = result?;
+        stats.tracer.record_complete(
+            Phase::Partition,
+            index as u32,
+            &[
+                ("rows", out.rows),
+                ("duration_ns", elapsed.as_nanos() as u64),
+            ],
+        );
+        merged.append(out);
     }
     Ok(merged)
 }

@@ -27,6 +27,7 @@ pub mod jit;
 pub mod kernel;
 pub mod parallel;
 pub mod stats;
+pub mod telemetry;
 
 pub use backends::{
     check_artifact, update_kernel, Artifact, BackendKind, CompileMode, StagingCostModel,
@@ -40,3 +41,7 @@ pub use jit::{JitConfig, JitEngine};
 pub use kernel::SpecializedQuery;
 pub use parallel::parallel_map;
 pub use stats::{BackendTag, CompileEvent, RunStats, UpdateStats};
+pub use telemetry::{
+    chrome_trace_json, metrics_json, write_chrome_trace, write_metrics_snapshot, AggregateProfile,
+    EventKind, Phase, ProfileTable, RuleProfile, SpanToken, TraceConfig, TraceEvent, Tracer,
+};

@@ -3,11 +3,19 @@
 //! These counters back the evaluation: speedups are computed from
 //! `total_time`, the compilation-cost figures (paper Fig. 5) from the
 //! per-event [`CompileEvent`] log, and the benchmark harness asserts result
-//! sizes through `tuples_inserted`.
+//! sizes through `tuples_inserted`.  Since the observability layer landed,
+//! `RunStats` also carries the per-rule profile table
+//! ([`ProfileTable`]) and the span [`Tracer`] — both ride along here
+//! because every execution site already threads a `&mut RunStats`.
 
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use carac_ir::{NodeId, OpKind};
+
+use crate::telemetry::profile::ProfileTable;
+use crate::telemetry::trace::{Tracer, DEFAULT_COMPILE_EVENT_CAPACITY};
 
 /// Which backend produced an artifact (mirrors `BackendKind`, duplicated
 /// here to keep `stats` dependency-free of the backend module).
@@ -100,7 +108,7 @@ impl UpdateStats {
 }
 
 /// Counters for one run of a program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Semi-naive iterations executed (across all strata).
     pub iterations: u64,
@@ -126,8 +134,29 @@ pub struct RunStats {
     /// Partitions dispatched to worker threads across all parallel
     /// subqueries (shards or contiguous chunks).
     pub parallel_tasks: u64,
-    /// Compilation log.
-    pub compile_events: Vec<CompileEvent>,
+    /// Compilation log: a bounded ring (oldest events evicted first) so
+    /// long-lived live sessions do not grow memory linearly with
+    /// compilations.  Push through [`RunStats::push_compile_event`].
+    pub compile_events: VecDeque<CompileEvent>,
+    /// Capacity of the compile-event ring (settable via
+    /// `TraceConfig::compile_event_capacity`; default 4096).
+    pub compile_event_capacity: usize,
+    /// Compile events evicted from the ring so far.
+    pub compile_events_dropped: u64,
+    /// Strata entered during this run (also the source of the stratum index
+    /// recorded on rule profiles and spans).
+    pub strata_entered: u64,
+    /// Index of the stratum currently executing — scratch state maintained
+    /// by the plan walkers so the kernels (which only see `RunStats`) can
+    /// attribute rule executions to a stratum.
+    pub current_stratum: u32,
+    /// Per-rule and per-aggregate execution profiles (always on; one record
+    /// per subquery execution, never per tuple).
+    pub rule_profiles: ProfileTable,
+    /// The span tracer.  Disabled (records nothing, single-branch cost)
+    /// unless the engine was configured `with_tracing`.  Cloning a
+    /// `RunStats` shares the tracer's ring.
+    pub tracer: Tracer,
     /// Incremental-maintenance counters (zero unless `apply_update` ran).
     pub update: UpdateStats,
     /// Whether a goal-directed query fell back to full evaluation because
@@ -139,19 +168,57 @@ pub struct RunStats {
     pub total_time: Duration,
 }
 
+impl Default for RunStats {
+    fn default() -> Self {
+        RunStats {
+            iterations: 0,
+            subqueries: 0,
+            tuples_emitted: 0,
+            tuples_inserted: 0,
+            reorders: 0,
+            deopts: 0,
+            compiled_executions: 0,
+            interpreted_fallbacks: 0,
+            parallel_subqueries: 0,
+            parallel_tasks: 0,
+            compile_events: VecDeque::new(),
+            compile_event_capacity: DEFAULT_COMPILE_EVENT_CAPACITY,
+            compile_events_dropped: 0,
+            strata_entered: 0,
+            current_stratum: 0,
+            rule_profiles: ProfileTable::default(),
+            tracer: Tracer::disabled(),
+            update: UpdateStats::default(),
+            magic_fallback: false,
+            total_time: Duration::ZERO,
+        }
+    }
+}
+
 impl RunStats {
-    /// Total time spent compiling (sum over events).
+    /// Total time spent compiling (sum over retained events).
     pub fn compile_time(&self) -> Duration {
         self.compile_events.iter().map(|e| e.duration).sum()
     }
 
-    /// Number of compilations.
+    /// Number of retained compilation events (see
+    /// [`RunStats::compile_events_dropped`] for evictions).
     pub fn compilations(&self) -> usize {
         self.compile_events.len()
     }
 
+    /// Appends a compile event, evicting the oldest once the ring is full.
+    pub fn push_compile_event(&mut self, event: CompileEvent) {
+        while self.compile_events.len() >= self.compile_event_capacity.max(1) {
+            self.compile_events.pop_front();
+            self.compile_events_dropped += 1;
+        }
+        self.compile_events.push_back(event);
+    }
+
     /// Merges another stats block into this one (used when a run is split
-    /// across strata or across engine components).
+    /// across strata or across engine components).  The tracer handle of
+    /// `self` is kept — a run has one event stream.
     pub fn merge(&mut self, other: &RunStats) {
         self.iterations += other.iterations;
         self.subqueries += other.subqueries;
@@ -163,11 +230,78 @@ impl RunStats {
         self.interpreted_fallbacks += other.interpreted_fallbacks;
         self.parallel_subqueries += other.parallel_subqueries;
         self.parallel_tasks += other.parallel_tasks;
-        self.compile_events
-            .extend(other.compile_events.iter().cloned());
+        for event in &other.compile_events {
+            self.push_compile_event(event.clone());
+        }
+        self.compile_events_dropped += other.compile_events_dropped;
+        self.strata_entered += other.strata_entered;
+        self.rule_profiles.merge(&other.rule_profiles);
         self.update.merge(&other.update);
         self.magic_fallback |= other.magic_fallback;
         self.total_time += other.total_time;
+    }
+
+    /// A human-readable run summary: the aggregate counters followed by the
+    /// per-rule profile table (and the aggregate profiles, when any).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run: {} iterations, {} subqueries, {} emitted, {} inserted, {:.4}s total",
+            self.iterations,
+            self.subqueries,
+            self.tuples_emitted,
+            self.tuples_inserted,
+            self.total_time.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "jit: {} compilations ({} dropped), {} compiled execs, {} fallbacks, {} reorders, {} deopts",
+            self.compilations(),
+            self.compile_events_dropped,
+            self.compiled_executions,
+            self.interpreted_fallbacks,
+            self.reorders,
+            self.deopts
+        );
+        if self.rule_profiles.is_empty() {
+            let _ = writeln!(out, "rule profiles: (none recorded)");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>7} {:>6} {:>10} {:>10} {:>10} {:>9} {:>10}",
+            "rule", "stratum", "execs", "delta-in", "emitted", "inserted", "est-in", "time"
+        );
+        for p in self.rule_profiles.rules() {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>7} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9.4}s",
+                p.rule.0,
+                p.stratum,
+                p.executions,
+                p.delta_rows_in,
+                p.tuples_emitted,
+                p.tuples_inserted,
+                p.estimated_delta_rows,
+                p.cumulative_time.as_secs_f64()
+            );
+        }
+        for a in self.rule_profiles.aggregates() {
+            let _ = writeln!(
+                out,
+                "agg@{:<3} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9.4}s",
+                a.output.0,
+                "-",
+                a.executions,
+                "-",
+                a.tuples_emitted,
+                a.tuples_inserted,
+                "-",
+                a.cumulative_time.as_secs_f64()
+            );
+        }
+        out
     }
 }
 
@@ -189,10 +323,26 @@ mod tests {
     #[test]
     fn compile_time_sums_events() {
         let mut stats = RunStats::default();
-        stats.compile_events.push(event(5));
-        stats.compile_events.push(event(7));
+        stats.push_compile_event(event(5));
+        stats.push_compile_event(event(7));
         assert_eq!(stats.compile_time(), Duration::from_millis(12));
         assert_eq!(stats.compilations(), 2);
+        assert_eq!(stats.compile_events_dropped, 0);
+    }
+
+    #[test]
+    fn compile_event_ring_is_bounded() {
+        let mut stats = RunStats {
+            compile_event_capacity: 3,
+            ..RunStats::default()
+        };
+        for ms in 1..=5 {
+            stats.push_compile_event(event(ms));
+        }
+        assert_eq!(stats.compilations(), 3);
+        assert_eq!(stats.compile_events_dropped, 2);
+        // Oldest dropped: the survivors are 3, 4, 5 ms.
+        assert_eq!(stats.compile_time(), Duration::from_millis(12));
     }
 
     #[test]
@@ -202,15 +352,47 @@ mod tests {
             subqueries: 10,
             ..RunStats::default()
         };
-        let b = RunStats {
+        let mut b = RunStats {
             iterations: 3,
             subqueries: 5,
-            compile_events: vec![event(1)],
             ..RunStats::default()
         };
+        b.push_compile_event(event(1));
         a.merge(&b);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.subqueries, 15);
         assert_eq!(a.compilations(), 1);
+    }
+
+    #[test]
+    fn merge_respects_ring_capacity() {
+        let mut a = RunStats {
+            compile_event_capacity: 2,
+            ..RunStats::default()
+        };
+        let mut b = RunStats::default();
+        for ms in 1..=4 {
+            b.push_compile_event(event(ms));
+        }
+        a.merge(&b);
+        assert_eq!(a.compilations(), 2);
+        assert_eq!(a.compile_events_dropped, 2);
+    }
+
+    #[test]
+    fn summary_renders_rule_table() {
+        let mut stats = RunStats::default();
+        stats.rule_profiles.record_execution(
+            carac_datalog::RuleId(2),
+            1,
+            7,
+            4,
+            Duration::from_millis(1),
+        );
+        stats.subqueries = 1;
+        let text = stats.summary();
+        assert!(text.contains("rule"));
+        assert!(text.contains("stratum"));
+        assert!(text.lines().any(|l| l.trim_start().starts_with('2')));
     }
 }

@@ -1,0 +1,22 @@
+//! Observability layer: span tracing, per-rule profiling and exporters.
+//!
+//! Three pieces, threaded through the whole evaluation stack:
+//!
+//! * [`trace`] — a bounded ring-buffer span tracer ([`Tracer`]) recording
+//!   begin/end events for run / stratum / iteration / subquery / aggregate /
+//!   compile / update-batch / checkpoint / recover phases.  Disabled by
+//!   default; enabling costs a mutexed ring push per phase boundary,
+//!   disabled costs one branch.
+//! * [`profile`] — always-on per-rule execution profiles
+//!   ([`RuleProfile`]), exposed as `RunStats::rule_profiles`.  This is the
+//!   substrate the profile-guided tiered JIT needs.
+//! * [`export`] — chrome-trace-event JSON (Perfetto-loadable) and a flat
+//!   JSON metrics snapshot, both written atomically.
+
+pub mod export;
+pub mod profile;
+pub mod trace;
+
+pub use export::{chrome_trace_json, metrics_json, write_chrome_trace, write_metrics_snapshot};
+pub use profile::{AggregateProfile, ProfileTable, RuleProfile};
+pub use trace::{EventKind, Phase, SpanToken, TraceConfig, TraceEvent, Tracer};

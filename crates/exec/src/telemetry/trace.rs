@@ -1,0 +1,400 @@
+//! Span tracer: a bounded ring-buffer event log for one evaluation run.
+//!
+//! The tracer records begin/end events for the coarse phases of a run
+//! (strata, fixpoint iterations, subqueries, aggregates, compilations,
+//! update batches, checkpoint/recover) with wall-clock offsets from a
+//! per-run epoch and small counter payloads.  It is deliberately *not* a
+//! per-tuple instrument: events fire at phase boundaries, so the volume is
+//! proportional to plan structure and iteration count, never to data size.
+//!
+//! Cost discipline: a disabled tracer is a `None` behind an `Option<Arc>`,
+//! so every instrumentation site pays exactly one branch when tracing is
+//! off.  When enabled, events go through a mutex into a fixed-capacity ring
+//! (`VecDeque`); once full, the *oldest* events are dropped and counted so
+//! long-lived live sessions cannot grow memory without bound.
+//!
+//! Threading: all events are recorded by the coordinating evaluation
+//! thread.  Fork-join workers never touch the ring directly — the kernel
+//! measures each partition on the worker and the coordinator records the
+//! per-partition spans *after the join, in partition order* (mirroring how
+//! partition results themselves are merged), so the event stream stays
+//! deterministic and globally monotone.  The measured parallel duration is
+//! preserved in the span's `duration_ns` counter.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The phase a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// One whole engine run (outermost span).
+    Run,
+    /// One stratum of the stratified plan; detail = stratum index.
+    Stratum,
+    /// One pass of a semi-naive fixpoint loop; detail = iteration number.
+    Iteration,
+    /// One execution of one rule's subquery; detail = rule id.
+    Subquery,
+    /// One aggregate finalization; detail = output relation id.
+    Aggregate,
+    /// One backend compilation; detail = plan node id.
+    Compile,
+    /// One incremental update batch applied to a live session.
+    UpdateBatch,
+    /// A durable checkpoint of a live session.
+    Checkpoint,
+    /// Crash recovery (snapshot restore + journal replay).
+    Recover,
+    /// One fork-join partition of a parallel subquery; detail = partition
+    /// index.  Recorded post-join by the coordinator (see module docs).
+    Partition,
+}
+
+impl Phase {
+    /// Stable lowercase name (used by the exporters and formatters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Run => "run",
+            Phase::Stratum => "stratum",
+            Phase::Iteration => "iteration",
+            Phase::Subquery => "subquery",
+            Phase::Aggregate => "aggregate",
+            Phase::Compile => "compile",
+            Phase::UpdateBatch => "update-batch",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recover => "recover",
+            Phase::Partition => "partition",
+        }
+    }
+}
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Begin,
+    /// Span closed; carries the final counters.
+    End,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Begin or end.
+    pub kind: EventKind,
+    /// Phase of the span this event belongs to.
+    pub phase: Phase,
+    /// Span id; begin/end events of the same span share it.  Ids are
+    /// assigned from 1, densely, in begin order.
+    pub id: u64,
+    /// Span id of the enclosing open span, or 0 at the root.
+    pub parent: u64,
+    /// Wall-clock offset from the tracer's epoch.
+    pub at: Duration,
+    /// Phase-specific small payload (rule id, stratum index, ...).
+    pub detail: u32,
+    /// Named counters attached to the event (end events carry the totals).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Knobs for the tracer, carried inside `EngineConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum number of events retained in the ring (oldest dropped
+    /// first).  Default 65 536.
+    pub span_capacity: usize,
+    /// Maximum number of [`CompileEvent`](crate::stats::CompileEvent)s
+    /// retained on `RunStats` (oldest dropped first).  Default 4 096.
+    pub compile_event_capacity: usize,
+}
+
+/// Default bound on the `RunStats` compile-event ring, applied even when
+/// tracing is disabled (satellite: long-lived live sessions must not grow
+/// memory linearly with compilations).
+pub const DEFAULT_COMPILE_EVENT_CAPACITY: usize = 4096;
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            span_capacity: 65_536,
+            compile_event_capacity: DEFAULT_COMPILE_EVENT_CAPACITY,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Sets the event-ring capacity.
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        self.span_capacity = capacity.max(2);
+        self
+    }
+
+    /// Sets the compile-event ring capacity.
+    pub fn with_compile_event_capacity(mut self, capacity: usize) -> Self {
+        self.compile_event_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Handle returned by [`Tracer::begin`]; pass it back to [`Tracer::end`].
+/// A zero token is the disabled-tracer no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "unclosed spans leave the trace unbalanced"]
+pub struct SpanToken(u64);
+
+impl SpanToken {
+    /// The no-op token handed out by a disabled tracer.
+    pub const NONE: SpanToken = SpanToken(0);
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    next_id: u64,
+    /// Open span ids, innermost last (events are recorded by the
+    /// coordinating thread only, so a single stack suffices).
+    stack: Vec<u64>,
+}
+
+impl TracerInner {
+    fn push(&mut self, event: TraceEvent) {
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+#[derive(Debug)]
+struct TracerShared {
+    epoch: Instant,
+    inner: Mutex<TracerInner>,
+}
+
+/// The span tracer.  Cloning shares the underlying ring (the handle is an
+/// `Arc`), so `RunStats` can be cloned freely.  The default tracer is
+/// disabled and records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Arc<TracerShared>>);
+
+impl Tracer {
+    /// A tracer that records nothing; every call is a branch and a return.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// An enabled tracer with the given ring capacity.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer(Some(Arc::new(TracerShared {
+            epoch: Instant::now(),
+            inner: Mutex::new(TracerInner {
+                ring: VecDeque::with_capacity(config.span_capacity.min(4096)),
+                capacity: config.span_capacity.max(2),
+                dropped: 0,
+                next_id: 0,
+                stack: Vec::new(),
+            }),
+        })))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The instant all event offsets are relative to (`None` if disabled).
+    pub fn epoch(&self) -> Option<Instant> {
+        self.0.as_ref().map(|shared| shared.epoch)
+    }
+
+    /// Opens a span now.
+    pub fn begin(&self, phase: Phase, detail: u32) -> SpanToken {
+        match &self.0 {
+            None => SpanToken::NONE,
+            Some(shared) => Self::begin_inner(shared, phase, detail, Instant::now()),
+        }
+    }
+
+    /// Opens a span with an explicit timestamp (used when replaying events
+    /// measured elsewhere, e.g. inside the bytecode VM).
+    pub fn begin_at(&self, phase: Phase, detail: u32, at: Instant) -> SpanToken {
+        match &self.0 {
+            None => SpanToken::NONE,
+            Some(shared) => Self::begin_inner(shared, phase, detail, at),
+        }
+    }
+
+    fn begin_inner(shared: &TracerShared, phase: Phase, detail: u32, at: Instant) -> SpanToken {
+        let at = at.saturating_duration_since(shared.epoch);
+        let mut inner = shared.inner.lock().expect("tracer poisoned");
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        inner.stack.push(id);
+        inner.push(TraceEvent {
+            kind: EventKind::Begin,
+            phase,
+            id,
+            parent,
+            at,
+            detail,
+            counters: Vec::new(),
+        });
+        SpanToken(id)
+    }
+
+    /// Closes a span now, attaching the final counters.
+    pub fn end(&self, token: SpanToken, counters: &[(&'static str, u64)]) {
+        if let Some(shared) = &self.0 {
+            Self::end_inner(shared, token, Instant::now(), counters);
+        }
+    }
+
+    /// Closes a span with an explicit timestamp (replay companion of
+    /// [`Tracer::begin_at`]).
+    pub fn end_at(&self, token: SpanToken, at: Instant, counters: &[(&'static str, u64)]) {
+        if let Some(shared) = &self.0 {
+            Self::end_inner(shared, token, at, counters);
+        }
+    }
+
+    fn end_inner(
+        shared: &TracerShared,
+        token: SpanToken,
+        at: Instant,
+        counters: &[(&'static str, u64)],
+    ) {
+        if token == SpanToken::NONE {
+            return;
+        }
+        let at = at.saturating_duration_since(shared.epoch);
+        let mut inner = shared.inner.lock().expect("tracer poisoned");
+        // Normally the token is the innermost open span; tolerate skipped
+        // closes (error paths) by unwinding to it.
+        while let Some(open) = inner.stack.pop() {
+            if open == token.0 {
+                break;
+            }
+        }
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        let (phase, detail) = inner
+            .ring
+            .iter()
+            .rev()
+            .find(|e| e.id == token.0 && e.kind == EventKind::Begin)
+            .map(|e| (e.phase, e.detail))
+            .unwrap_or((Phase::Run, 0));
+        inner.push(TraceEvent {
+            kind: EventKind::End,
+            phase,
+            id: token.0,
+            parent,
+            at,
+            detail,
+            counters: counters.to_vec(),
+        });
+    }
+
+    /// Records a complete span (begin immediately followed by end) nested
+    /// under the current open span.  Used for phases whose duration was
+    /// measured elsewhere — background compilations, fork-join partitions —
+    /// where the measured time travels in `counters` (e.g. `duration_ns`)
+    /// while the event offsets stay monotone in record order.
+    pub fn record_complete(&self, phase: Phase, detail: u32, counters: &[(&'static str, u64)]) {
+        if let Some(shared) = &self.0 {
+            let now = Instant::now();
+            let token = Self::begin_inner(shared, phase, detail, now);
+            Self::end_inner(shared, token, now, counters);
+        }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(shared) => {
+                let inner = shared.inner.lock().expect("tracer poisoned");
+                inner.ring.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// How many events have been evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(shared) => shared.inner.lock().expect("tracer poisoned").dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        let token = tracer.begin(Phase::Run, 0);
+        tracer.end(token, &[("x", 1)]);
+        assert!(!tracer.is_enabled());
+        assert!(tracer.events().is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let run = tracer.begin(Phase::Run, 0);
+        let stratum = tracer.begin(Phase::Stratum, 0);
+        let sq = tracer.begin(Phase::Subquery, 7);
+        tracer.end(sq, &[("emitted", 3)]);
+        tracer.end(stratum, &[]);
+        tracer.end(run, &[]);
+        let events = tracer.events();
+        assert_eq!(events.len(), 6);
+        // Parent chain: run is root, stratum under run, subquery under stratum.
+        assert_eq!(events[0].parent, 0);
+        assert_eq!(events[1].parent, events[0].id);
+        assert_eq!(events[2].parent, events[1].id);
+        // Timestamps are monotone.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        // End event carries phase/detail of its begin.
+        assert_eq!(events[3].phase, Phase::Subquery);
+        assert_eq!(events[3].detail, 7);
+        assert_eq!(events[3].counters, vec![("emitted", 3)]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let config = TraceConfig::default().with_span_capacity(4);
+        let tracer = Tracer::new(config);
+        for i in 0..4 {
+            let t = tracer.begin(Phase::Iteration, i);
+            tracer.end(t, &[]);
+        }
+        assert_eq!(tracer.events().len(), 4);
+        assert_eq!(tracer.dropped(), 4);
+        // The survivors are the most recent events.
+        let details: Vec<u32> = tracer.events().iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn record_complete_is_balanced_and_nested() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let run = tracer.begin(Phase::Run, 0);
+        tracer.record_complete(Phase::Compile, 5, &[("duration_ns", 1234)]);
+        tracer.end(run, &[]);
+        let events = tracer.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[1].phase, Phase::Compile);
+        assert_eq!(events[1].parent, events[0].id);
+        assert_eq!(events[2].kind, EventKind::End);
+        assert_eq!(events[2].counters, vec![("duration_ns", 1234)]);
+    }
+}

@@ -10,7 +10,7 @@ use carac_datalog::{HeadBinding, Term, VarId};
 use carac_ir::{ConjunctiveQuery, IRNode, IROp};
 use carac_storage::hasher::FxHashMap;
 
-use crate::instr::{EmitSource, FilterSource, Instr, Pc, Reg, Slot};
+use crate::instr::{EmitSource, FilterSource, Instr, MarkKind, Marker, Pc, Reg, Slot};
 use crate::machine::VmError;
 use crate::program::VmProgram;
 
@@ -20,6 +20,15 @@ struct Assembler {
     instrs: Vec<Instr>,
     num_regs: usize,
     num_slots: usize,
+    /// Strata numbered in emission order (mirrors the visit-order numbering
+    /// the interpreter uses), carried by `StratumBegin` markers.
+    next_stratum: u32,
+}
+
+impl Assembler {
+    fn mark(&mut self, kind: MarkKind, detail: u32) {
+        self.instrs.push(Instr::Mark(Marker { kind, detail }));
+    }
 }
 
 impl Assembler {
@@ -92,7 +101,9 @@ pub fn compile_node(node: &IRNode) -> Result<VmProgram, VmError> {
 /// [`compile_node`].
 pub fn compile_query(query: &ConjunctiveQuery) -> Result<VmProgram, VmError> {
     let mut asm = Assembler::default();
+    asm.mark(MarkKind::RuleBegin, query.rule.0);
     emit_query(query, &mut asm)?;
+    asm.mark(MarkKind::RuleEnd, query.rule.0);
     let program = asm.finish();
     debug_assert_eq!(program.validate(), Ok(()));
     Ok(program)
@@ -102,12 +113,20 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) -> Result<(), VmError> {
     match &node.op {
         IROp::Program { children }
         | IROp::Sequence { children }
-        | IROp::Stratum { children, .. }
         | IROp::UnionAllRules { children, .. }
         | IROp::UnionRule { children, .. } => {
             for child in children {
                 emit_node(child, asm)?;
             }
+        }
+        IROp::Stratum { children, .. } => {
+            let stratum = asm.next_stratum;
+            asm.next_stratum += 1;
+            asm.mark(MarkKind::StratumBegin, stratum);
+            for child in children {
+                emit_node(child, asm)?;
+            }
+            asm.mark(MarkKind::StratumEnd, stratum);
         }
         IROp::SwapClear { relations } => {
             asm.push(Instr::SwapClear {
@@ -115,14 +134,24 @@ fn emit_node(node: &IRNode, asm: &mut Assembler) -> Result<(), VmError> {
             });
         }
         IROp::DoWhile { relations, body } => {
+            // The iter-begin marker sits at the loop head so every taken
+            // back-edge re-executes it (one marker pair per fixpoint pass).
             let loop_head = asm.here();
+            asm.mark(MarkKind::IterBegin, 0);
             emit_node(body, asm)?;
+            asm.mark(MarkKind::IterEnd, 0);
             asm.push(Instr::JumpIfDeltasNotEmpty {
                 relations: relations.clone(),
                 target: loop_head,
             });
         }
-        IROp::Spj { query } => emit_query(query, asm)?,
+        IROp::Spj { query } => {
+            // Markers bracket the query from outside so a statically-false
+            // (empty) body still yields a balanced begin/end pair.
+            asm.mark(MarkKind::RuleBegin, query.rule.0);
+            emit_query(query, asm)?;
+            asm.mark(MarkKind::RuleEnd, query.rule.0);
+        }
         IROp::Aggregate { spec } => {
             asm.push(Instr::Aggregate {
                 input: spec.input,

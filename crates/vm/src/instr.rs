@@ -59,6 +59,48 @@ pub enum EmitSource {
     Const(Value),
 }
 
+/// Kind of telemetry marker (see [`Instr::Mark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkKind {
+    /// Entering a stratum; detail = stratum index local to the program.
+    StratumBegin,
+    /// Leaving a stratum.
+    StratumEnd,
+    /// Starting one fixpoint pass (sits at the loop head, so it re-executes
+    /// on every back-edge taken).
+    IterBegin,
+    /// Finishing one fixpoint pass.
+    IterEnd,
+    /// Entering one rule's subquery; detail = rule id.
+    RuleBegin,
+    /// Leaving one rule's subquery.
+    RuleEnd,
+}
+
+impl MarkKind {
+    /// Stable lowercase name (used by `Display`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkKind::StratumBegin => "stratum-begin",
+            MarkKind::StratumEnd => "stratum-end",
+            MarkKind::IterBegin => "iter-begin",
+            MarkKind::IterEnd => "iter-end",
+            MarkKind::RuleBegin => "rule-begin",
+            MarkKind::RuleEnd => "rule-end",
+        }
+    }
+}
+
+/// Payload of a telemetry marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Marker {
+    /// What boundary this marker denotes.
+    pub kind: MarkKind,
+    /// Phase-specific payload (stratum index, rule id; 0 for iterations —
+    /// the machine substitutes its runtime iteration counter).
+    pub detail: u32,
+}
+
 /// One VM instruction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
@@ -160,6 +202,10 @@ pub enum Instr {
         /// Loop head.
         target: Pc,
     },
+    /// Telemetry boundary: updates the machine's per-rule/iteration/stratum
+    /// side tallies and (when mark collection is on) records a timestamped
+    /// mark event for span replay.  Has no effect on query results.
+    Mark(Marker),
     /// Stops execution of the program.
     Halt,
 }
@@ -221,6 +267,7 @@ impl fmt::Display for Instr {
             Instr::JumpIfDeltasNotEmpty { relations, target } => {
                 write!(f, "loop?  {relations:?} -> {}", target.0)
             }
+            Instr::Mark(marker) => write!(f, "mark   {} {}", marker.kind.name(), marker.detail),
             Instr::Halt => write!(f, "halt"),
         }
     }

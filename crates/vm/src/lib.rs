@@ -20,6 +20,6 @@ pub mod machine;
 pub mod program;
 
 pub use compile::{compile_node, compile_query};
-pub use instr::{EmitSource, FilterSource, Instr, Pc, Reg, Slot};
-pub use machine::{Machine, VmError, VmStats};
+pub use instr::{EmitSource, FilterSource, Instr, MarkKind, Marker, Pc, Reg, Slot};
+pub use machine::{AggregateTally, Machine, MarkEvent, RuleTally, VmError, VmStats};
 pub use program::VmProgram;

@@ -8,9 +8,11 @@
 //! the runtime still enforces its own invariants.
 
 use carac_storage::{DbKind, Relation, RowId, StorageManager, Value};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
-use crate::instr::{EmitSource, FilterSource, Instr, Reg, Slot};
+use crate::instr::{EmitSource, FilterSource, Instr, MarkKind, Marker, Reg, Slot};
 use crate::program::VmProgram;
 
 /// Errors raised while executing a VM program.
@@ -76,6 +78,70 @@ pub struct VmStats {
     pub composite_probes: u64,
 }
 
+/// Per-rule side tallies accumulated while a program runs, keyed by rule
+/// id.  Always on (one `Instant` pair per rule execution, mirroring the
+/// specialized kernel's profiling cost) so the JIT can fold them into
+/// `RunStats::rule_profiles` after every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleTally {
+    /// Stratum index local to the program (`u32::MAX` when the compiled
+    /// subtree contained no stratum marker — the caller substitutes the
+    /// stratum it is currently in).
+    pub stratum: u32,
+    /// Number of times the rule's subquery body was entered.
+    pub executions: u64,
+    /// Rows in the rule's delta atoms (not measured by the VM; always 0).
+    pub delta_rows_in: u64,
+    /// Tuples emitted by the rule before deduplication.
+    pub emitted: u64,
+    /// Tuples that were genuinely new.
+    pub inserted: u64,
+    /// Wall-clock time between the rule's begin/end markers.
+    pub time: Duration,
+}
+
+impl Default for RuleTally {
+    fn default() -> Self {
+        RuleTally {
+            stratum: u32::MAX,
+            executions: 0,
+            delta_rows_in: 0,
+            emitted: 0,
+            inserted: 0,
+            time: Duration::ZERO,
+        }
+    }
+}
+
+/// Per-aggregate side tallies, keyed by output relation id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateTally {
+    /// Number of finalizations.
+    pub executions: u64,
+    /// Result rows emitted.
+    pub emitted: u64,
+    /// Result rows that were genuinely new.
+    pub inserted: u64,
+    /// Wall-clock time spent folding.
+    pub time: Duration,
+}
+
+/// A timestamped marker recorded during a run (only when mark collection is
+/// enabled).  The JIT replays these as tracer spans after the run.
+#[derive(Debug, Clone, Copy)]
+pub struct MarkEvent {
+    /// Boundary kind.
+    pub kind: MarkKind,
+    /// Detail (stratum index, runtime iteration number, or rule id).
+    pub detail: u32,
+    /// When the marker executed.
+    pub at: Instant,
+    /// Tuples emitted so far at this point of the run.
+    pub emitted: u64,
+    /// Tuples inserted so far at this point of the run.
+    pub inserted: u64,
+}
+
 /// An open cursor: the matching row ids of one relation snapshot and the
 /// current position within them.  The row buffer is owned by the cursor and
 /// reused across `OpenScan`s (cleared, never reallocated once warm), so the
@@ -115,6 +181,17 @@ pub struct Machine {
     /// Maximum number of instructions a single `run` may execute; defaults
     /// to effectively unlimited.
     pub budget: u64,
+    /// Whether `Mark` instructions additionally record timestamped
+    /// [`MarkEvent`]s for span replay (tallies are always maintained).
+    collect_marks: bool,
+    marks: Vec<MarkEvent>,
+    rule_tallies: BTreeMap<u32, RuleTally>,
+    aggregate_tallies: BTreeMap<u32, AggregateTally>,
+    /// Open rule markers: `(rule, started, emitted₀, inserted₀)`.
+    rule_stack: Vec<(u32, Instant, u64, u64)>,
+    current_stratum: u32,
+    iterations: u64,
+    strata_entered: u64,
 }
 
 impl Machine {
@@ -127,6 +204,90 @@ impl Machine {
             probe_scratch: Vec::new(),
             emit_row: Vec::new(),
             budget: u64::MAX,
+            collect_marks: false,
+            marks: Vec::new(),
+            rule_tallies: BTreeMap::new(),
+            aggregate_tallies: BTreeMap::new(),
+            rule_stack: Vec::new(),
+            current_stratum: u32::MAX,
+            iterations: 0,
+            strata_entered: 0,
+        }
+    }
+
+    /// Enables or disables timestamped mark collection (off by default; the
+    /// per-rule/aggregate tallies are always maintained).
+    pub fn set_collect_marks(&mut self, on: bool) {
+        self.collect_marks = on;
+    }
+
+    /// Per-rule tallies accumulated by `run`, keyed by rule id.
+    pub fn rule_tallies(&self) -> &BTreeMap<u32, RuleTally> {
+        &self.rule_tallies
+    }
+
+    /// Per-aggregate tallies accumulated by `run`, keyed by output relation.
+    pub fn aggregate_tallies(&self) -> &BTreeMap<u32, AggregateTally> {
+        &self.aggregate_tallies
+    }
+
+    /// Timestamped markers recorded by `run` (empty unless collection is on).
+    pub fn marks(&self) -> &[MarkEvent] {
+        &self.marks
+    }
+
+    /// Fixpoint passes executed (counted at `IterBegin` markers).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Strata entered (counted at `StratumBegin` markers).
+    pub fn strata_entered(&self) -> u64 {
+        self.strata_entered
+    }
+
+    /// Updates the side tallies for one executed marker and, when mark
+    /// collection is on, records the timestamped event.
+    fn note_mark(&mut self, marker: &Marker, stats: &VmStats) {
+        let now = Instant::now();
+        let mut detail = marker.detail;
+        match marker.kind {
+            MarkKind::StratumBegin => {
+                self.current_stratum = marker.detail;
+                self.strata_entered += 1;
+            }
+            MarkKind::StratumEnd => self.current_stratum = u32::MAX,
+            MarkKind::IterBegin => {
+                detail = self.iterations as u32;
+                self.iterations += 1;
+            }
+            MarkKind::IterEnd => {}
+            MarkKind::RuleBegin => {
+                self.rule_stack
+                    .push((marker.detail, now, stats.emitted, stats.inserted));
+            }
+            MarkKind::RuleEnd => {
+                if let Some((rule, started, emitted0, inserted0)) = self.rule_stack.pop() {
+                    let tally = self.rule_tallies.entry(rule).or_default();
+                    if self.current_stratum != u32::MAX {
+                        tally.stratum = self.current_stratum;
+                    }
+                    tally.executions += 1;
+                    tally.emitted += stats.emitted.saturating_sub(emitted0);
+                    tally.inserted += stats.inserted.saturating_sub(inserted0);
+                    tally.time += now.saturating_duration_since(started);
+                    detail = rule;
+                }
+            }
+        }
+        if self.collect_marks {
+            self.marks.push(MarkEvent {
+                kind: marker.kind,
+                detail,
+                at: now,
+                emitted: stats.emitted,
+                inserted: stats.inserted,
+            });
         }
     }
 
@@ -240,6 +401,7 @@ impl Machine {
                     aggs,
                     lattice,
                 } => {
+                    let started = Instant::now();
                     let (emitted, inserted) = if *lattice {
                         storage.aggregate_lattice_into(*input, *output, aggs)?
                     } else {
@@ -247,6 +409,11 @@ impl Machine {
                     };
                     stats.emitted += emitted;
                     stats.inserted += inserted;
+                    let tally = self.aggregate_tallies.entry(output.0).or_default();
+                    tally.executions += 1;
+                    tally.emitted += emitted;
+                    tally.inserted += inserted;
+                    tally.time += started.elapsed();
                 }
                 Instr::NegCheck {
                     rel,
@@ -265,6 +432,10 @@ impl Machine {
                         pc = on_found.index();
                         continue;
                     }
+                }
+                Instr::Mark(marker) => {
+                    let marker = *marker;
+                    self.note_mark(&marker, &stats);
                 }
                 Instr::Emit { rel, columns } => {
                     self.emit_row.clear();

@@ -1,0 +1,191 @@
+//! Observability tour: trace a run, print the per-rule profile table, and
+//! export the chrome-trace + metrics artifacts.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example trace
+//! ```
+//!
+//! Writes `carac-trace.json` (load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and `carac-metrics.json` (a flat counter
+//! snapshot) to the current directory — override the prefix with
+//! `CARAC_TRACE_PREFIX=/some/dir/name`.  A small built-in JSON checker
+//! re-reads both files and fails loudly if either is malformed or empty,
+//! which is exactly what CI runs.
+
+use carac::{Carac, EngineConfig, TraceConfig};
+use carac_datalog::parser::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Transitive closure over a chain with shortcuts: enough iterations to
+    // give every rule a profile worth reading.
+    let mut source = String::from(
+        "Path(x, y) :- Edge(x, y).\n\
+         Path(x, y) :- Path(x, z), Edge(z, y).\n",
+    );
+    for i in 0..40u32 {
+        source.push_str(&format!("Edge({i}, {}). ", i + 1));
+    }
+    for i in (0..30u32).step_by(6) {
+        source.push_str(&format!("Edge({i}, {}). ", i + 4));
+    }
+    let program = parse(&source)?;
+
+    // Tracing is one builder call; the default config records nothing and
+    // costs one branch per instrumentation site.
+    let result = Carac::new(program)
+        .with_config(EngineConfig::default().with_tracing(TraceConfig::default()))
+        .run()?;
+
+    println!("derived {} Path facts\n", result.count("Path")?);
+
+    // The per-rule profile table: executions, delta input rows, emitted /
+    // inserted tuples and time per rule, plus observed-vs-estimated
+    // cardinality deltas where the optimizer made a prediction.
+    println!("{}", result.summary());
+
+    let prefix = std::env::var("CARAC_TRACE_PREFIX").unwrap_or_else(|_| "carac".to_string());
+    let trace_path = format!("{prefix}-trace.json");
+    let metrics_path = format!("{prefix}-metrics.json");
+    result.write_chrome_trace(&trace_path)?;
+    result.write_metrics_snapshot(&metrics_path)?;
+    println!("wrote {trace_path} and {metrics_path}");
+
+    // Re-read and validate both artifacts.
+    let trace = std::fs::read_to_string(&trace_path)?;
+    let events = check_json(&trace)?;
+    if events == 0 {
+        return Err(format!("{trace_path}: no trace events recorded").into());
+    }
+    let metrics = std::fs::read_to_string(&metrics_path)?;
+    check_json(&metrics)?;
+    println!("validated: {events} chrome-trace events, metrics snapshot parses");
+    Ok(())
+}
+
+/// A minimal JSON syntax checker (no values retained): validates the whole
+/// document and returns the element count of the top-level array, or 0 for
+/// a top-level object.
+fn check_json(text: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let count = match value(bytes, &mut pos)? {
+        Top::Array(n) => n,
+        Top::Other => 0,
+    };
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}").into());
+    }
+    Ok(count)
+}
+
+enum Top {
+    Array(usize),
+    Other,
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<Top, Box<dyn std::error::Error>> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'[') => {
+            *pos += 1;
+            let mut n = 0usize;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Top::Array(0));
+            }
+            loop {
+                value(bytes, pos)?;
+                n += 1;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Top::Array(n));
+                    }
+                    other => return Err(format!("expected , or ] but found {other:?}").into()),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Top::Other);
+            }
+            loop {
+                skip_ws(bytes, pos);
+                string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err("expected : after object key".into());
+                }
+                *pos += 1;
+                value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Top::Other);
+                    }
+                    other => return Err(format!("expected , or }} but found {other:?}").into()),
+                }
+            }
+        }
+        Some(b'"') => {
+            string(bytes, pos)?;
+            Ok(Top::Other)
+        }
+        Some(b) if b.is_ascii_digit() || *b == b'-' => {
+            *pos += 1;
+            while bytes.get(*pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                *pos += 1;
+            }
+            Ok(Top::Other)
+        }
+        Some(_) => {
+            for lit in ["true", "false", "null"] {
+                if bytes[*pos..].starts_with(lit.as_bytes()) {
+                    *pos += lit.len();
+                    return Ok(Top::Other);
+                }
+            }
+            Err(format!("unexpected byte at offset {pos}").into())
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), Box<dyn std::error::Error>> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err("expected string".into());
+    }
+    *pos += 1;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}

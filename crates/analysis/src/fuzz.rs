@@ -138,7 +138,7 @@ impl FuzzCase {
                 "{relation}({}).",
                 values
                     .iter()
-                    .map(|v| v.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(", ")
             );
@@ -153,7 +153,7 @@ impl FuzzCase {
                     op.relation,
                     op.values
                         .iter()
-                        .map(|v| v.to_string())
+                        .map(std::string::ToString::to_string)
                         .collect::<Vec<_>>()
                         .join(", ")
                 );
@@ -572,7 +572,7 @@ mod tests {
                 "{relation}({})",
                 values
                     .iter()
-                    .map(|v| v.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(", ")
             );

@@ -216,7 +216,7 @@ mod tests {
         for d in 1..=8u32 {
             let mut next = Vec::new();
             for &x in &frontier {
-                for &y in adjacency.get(&x).map(Vec::as_slice).unwrap_or(&[]) {
+                for &y in adjacency.get(&x).into_iter().flatten() {
                     if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(y) {
                         slot.insert(d);
                         next.push(y);

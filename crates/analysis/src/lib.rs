@@ -22,6 +22,7 @@ pub mod fuzz;
 pub mod generators;
 pub mod graph_stats;
 pub mod micro;
+pub mod mutate;
 pub mod program_analysis;
 pub mod rng;
 pub mod workload;
@@ -34,6 +35,7 @@ pub use fuzz::{
 pub use generators::{edge_update_stream, UpdateStreamBatch};
 pub use graph_stats::{degree_distribution, shortest_path};
 pub use micro::{ackermann, fibonacci, primes};
+pub use mutate::{mutate_plan, mutate_vm, Expectation, Mutation};
 pub use program_analysis::{andersen, csda, cspa, inverse_functions};
 pub use workload::{Formulation, Workload};
 

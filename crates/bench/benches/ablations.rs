@@ -33,7 +33,7 @@ fn bench_granularity(c: &mut Criterion) {
             ..JitConfig::default()
         });
         group.bench_function(label, |b| {
-            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap());
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn bench_freshness(c: &mut Criterion) {
             ..JitConfig::default()
         });
         group.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap());
         });
     }
     group.finish();
@@ -77,7 +77,7 @@ fn bench_selectivity(c: &mut Criterion) {
             ..JitConfig::default()
         });
         group.bench_function(format!("selectivity_{selectivity}"), |b| {
-            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap());
         });
     }
     group.finish();

@@ -32,7 +32,7 @@ fn bench_aot(c: &mut Criterion) {
         ("macro_rules", EngineConfig::ahead_of_time(false, false)),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap())
+            b.iter(|| workload.measure(Formulation::Unoptimized, config).unwrap());
         });
     }
     group.finish();

@@ -27,7 +27,7 @@ fn bench_codegen(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for backend in BackendKind::ALL {
         group.bench_function(format!("{backend:?}_full_warm"), |b| {
-            b.iter(|| compile_artifact(&plan, backend, CompileMode::Full, &staging, true))
+            b.iter(|| compile_artifact(&plan, backend, CompileMode::Full, &staging, true));
         });
     }
     group.bench_function("Quotes_snippet_warm", |b| {
@@ -39,7 +39,7 @@ fn bench_codegen(c: &mut Criterion) {
                 &staging,
                 true,
             )
-        })
+        });
     });
     group.finish();
 }

@@ -25,14 +25,14 @@ fn bench_andersen(c: &mut Criterion) {
             workload
                 .measure(Formulation::Unoptimized, EngineConfig::interpreted())
                 .unwrap()
-        })
+        });
     });
     group.bench_function("interpreted_hand_optimized", |b| {
         b.iter(|| {
             workload
                 .measure(Formulation::HandOptimized, EngineConfig::interpreted())
                 .unwrap()
-        })
+        });
     });
     group.bench_function("jit_lambda_blocking_on_unoptimized", |b| {
         b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_andersen(c: &mut Criterion) {
                     EngineConfig::jit(BackendKind::Lambda, false),
                 )
                 .unwrap()
-        })
+        });
     });
     group.bench_function("jit_irgen_on_unoptimized", |b| {
         b.iter(|| {
@@ -52,7 +52,7 @@ fn bench_andersen(c: &mut Criterion) {
                     EngineConfig::jit(BackendKind::IrGen, false),
                 )
                 .unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -38,7 +38,7 @@ fn bench_fibonacci(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| workload.measure(formulation, config).unwrap())
+            b.iter(|| workload.measure(formulation, config).unwrap());
         });
     }
     group.finish();

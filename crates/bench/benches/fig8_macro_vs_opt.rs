@@ -31,7 +31,7 @@ fn bench_csda(c: &mut Criterion) {
                 workload
                     .measure(Formulation::HandOptimized, config)
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

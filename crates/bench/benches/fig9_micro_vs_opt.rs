@@ -36,7 +36,7 @@ fn bench_ackermann(c: &mut Criterion) {
                 workload
                     .measure(Formulation::HandOptimized, config)
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -65,7 +65,7 @@ impl LegacyDoubleStore {
     }
 
     fn lookup(&self, value: Value) -> &[usize] {
-        self.index.get(&value).map(Vec::as_slice).unwrap_or(&[])
+        self.index.get(&value).map_or(&[], Vec::as_slice)
     }
 
     /// Resident bytes, capacity-based — the same accounting discipline as
@@ -134,7 +134,7 @@ fn bench_bulk_insert(c: &mut Criterion) {
                 r.insert_row(&[Value::int(x), Value::int(y)]).unwrap();
             }
             black_box(r.len())
-        })
+        });
     });
     group.bench_function("legacy_double_store", |b| {
         b.iter(|| {
@@ -143,7 +143,7 @@ fn bench_bulk_insert(c: &mut Criterion) {
                 r.insert(Tuple::pair(x, y));
             }
             black_box(r.tuples.len())
-        })
+        });
     });
     group.finish();
 }
@@ -170,12 +170,12 @@ fn bench_indexed_probe(c: &mut Criterion) {
             let mut hits = 0usize;
             for &v in &probes {
                 let probe = flat.probe_rows(&[(0, v)], &mut scratch);
-                for row in probe.iter() {
+                for row in &probe {
                     hits += usize::from(flat.row(row)[0] == v);
                 }
             }
             black_box(hits)
-        })
+        });
     });
     group.bench_function("legacy_index", |b| {
         b.iter(|| {
@@ -186,7 +186,7 @@ fn bench_indexed_probe(c: &mut Criterion) {
                 }
             }
             black_box(hits)
-        })
+        });
     });
     group.finish();
 }
@@ -218,7 +218,7 @@ fn bench_fixpoint_iteration(c: &mut Criterion) {
                 .run()
                 .unwrap();
             black_box(result.count("Path").unwrap())
-        })
+        });
     });
     group.finish();
 }

@@ -11,6 +11,12 @@
 //!   construction) is evaluated with and without `EngineConfig::with_prune`
 //!   on the interpreter and the specialized kernels; every row asserts
 //!   bit-identical output cardinality.
+//! * **Measure verification** — clean CSPA with and without
+//!   `EngineConfig::with_verify` on the interpreter (plan validation) and
+//!   the bytecode JIT (plan validation + bytecode verification at install
+//!   time); every row asserts identical output cardinality and that the
+//!   verify-on overhead stays under 3% (plus a small absolute epsilon
+//!   against timer noise at smoke scales).
 //!
 //! Results are written as a JSON artifact (default `BENCH_lint.json`,
 //! override with `CARAC_BENCH_JSON`) for CI to archive.
@@ -179,7 +185,56 @@ fn measure_prune(engine: &'static str, config: EngineConfig, program: &Program) 
     }
 }
 
-/// The two JSON sections for the shared sectioned-artifact writer.
+struct VerifyRow {
+    engine: &'static str,
+    off: Duration,
+    on: Duration,
+    facts: usize,
+    overhead: f64,
+}
+
+/// Verify-on vs verify-off on the clean CSPA workload.  Best-of-3 per
+/// setting damps scheduler noise; the <3% bar gets a 5 ms absolute epsilon
+/// so smoke-scale runs (total time in the low milliseconds) cannot fail on
+/// timer granularity alone.
+fn measure_verify(engine: &'static str, config: EngineConfig, program: &Program) -> VerifyRow {
+    let best_of = |config: EngineConfig| -> (Duration, usize) {
+        let mut best = Duration::MAX;
+        let mut facts = 0;
+        for _ in 0..3 {
+            let run = Carac::new(program.clone())
+                .with_config(config)
+                .run()
+                .expect("verify-measurement run");
+            best = best.min(run.stats().total_time);
+            facts = run.count("VaFlow").expect("output relation");
+        }
+        (best, facts)
+    };
+    let (off, facts_off) = best_of(config.with_verify(false));
+    let (on, facts_on) = best_of(config.with_verify(true));
+    assert_eq!(
+        facts_off, facts_on,
+        "{engine}: verification changed the derived fact set"
+    );
+    let overhead = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64();
+    assert!(
+        on.as_secs_f64() <= off.as_secs_f64() * 1.03 + 0.005,
+        "{engine}: verify-on overhead {:.2}% exceeds the 3% budget ({} -> {})",
+        overhead * 100.0,
+        fmt_secs(off),
+        fmt_secs(on)
+    );
+    VerifyRow {
+        engine,
+        off,
+        on,
+        facts: facts_on,
+        overhead,
+    }
+}
+
+/// The three JSON sections for the shared sectioned-artifact writer.
 fn lint_json(r: &LintRow) -> JsonRow {
     vec![
         ("workload", Json::Str(r.workload.clone())),
@@ -202,10 +257,30 @@ fn prune_json(r: &PruneRow) -> JsonRow {
     ]
 }
 
-fn write_json(path: &str, lint_rows: &[LintRow], prune_rows: &[PruneRow]) {
+fn verify_json(r: &VerifyRow) -> JsonRow {
+    vec![
+        ("engine", Json::Str(r.engine.to_string())),
+        ("verify_off_secs", Json::Secs(r.off)),
+        ("verify_on_secs", Json::Secs(r.on)),
+        ("facts", Json::UInt(r.facts as u64)),
+        ("overhead", Json::Ratio(r.overhead)),
+    ]
+}
+
+fn write_json(
+    path: &str,
+    lint_rows: &[LintRow],
+    prune_rows: &[PruneRow],
+    verify_rows: &[VerifyRow],
+) {
     let lint: Vec<JsonRow> = lint_rows.iter().map(lint_json).collect();
     let prune: Vec<JsonRow> = prune_rows.iter().map(prune_json).collect();
-    write_json_sections("fig_lint", path, &[("lint", &lint), ("prune", &prune)]);
+    let verify: Vec<JsonRow> = verify_rows.iter().map(verify_json).collect();
+    write_json_sections(
+        "fig_lint",
+        path,
+        &[("lint", &lint), ("prune", &prune), ("verify", &verify)],
+    );
 }
 
 fn main() {
@@ -226,7 +301,7 @@ fn main() {
             lint_rows.push(lint(w.name, label, w.program(formulation)));
         }
     }
-    write_json(&json_path, &lint_rows, &[]);
+    write_json(&json_path, &lint_rows, &[], &[]);
     eprintln!(
         "[fig_lint] {} workload programs linted, zero error-level diagnostics",
         lint_rows.len()
@@ -244,11 +319,27 @@ fn main() {
         ),
     ] {
         prune_rows.push(measure_prune(engine, config, &defective));
-        write_json(&json_path, &lint_rows, &prune_rows);
+        write_json(&json_path, &lint_rows, &prune_rows, &[]);
         eprintln!("[fig_lint] prune/{engine} done");
     }
 
-    // ── 3. Render ──────────────────────────────────────────────────────
+    // ── 3. Verify-on vs verify-off on clean CSPA ───────────────────────
+    let clean = carac_analysis::cspa(scale, HARNESS_SEED);
+    let clean_program = clean.program(Formulation::HandOptimized);
+    let mut verify_rows = Vec::new();
+    for (engine, config) in [
+        ("interpreted", EngineConfig::interpreted()),
+        (
+            "bytecode-jit",
+            EngineConfig::jit(carac::knobs::BackendKind::Bytecode, false),
+        ),
+    ] {
+        verify_rows.push(measure_verify(engine, config, clean_program));
+        write_json(&json_path, &lint_rows, &prune_rows, &verify_rows);
+        eprintln!("[fig_lint] verify/{engine} done");
+    }
+
+    // ── 4. Render ──────────────────────────────────────────────────────
     let lint_table: Vec<Vec<String>> = lint_rows
         .iter()
         .map(|r| {
@@ -303,6 +394,33 @@ fn main() {
             &prune_table
         )
     );
-    println!("(every row asserts bit-identical output cardinality with and without pruning;");
-    println!(" the lint sweep asserts zero error-level diagnostics on our own benchmarks.)");
+    let verify_table: Vec<Vec<String>> = verify_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.to_string(),
+                fmt_secs(r.off),
+                fmt_secs(r.on),
+                r.facts.to_string(),
+                format!("{:+.2}%", r.overhead * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Clean CSPA: artifact verification off vs on",
+            &[
+                "engine".to_string(),
+                "verify off".to_string(),
+                "verify on".to_string(),
+                "VaFlow facts".to_string(),
+                "overhead".to_string(),
+            ],
+            &verify_table
+        )
+    );
+    println!("(every row asserts bit-identical output cardinality with and without pruning,");
+    println!(" identical results with and without verification at <3% overhead, and the lint");
+    println!(" sweep asserts zero error-level diagnostics on our own benchmarks.)");
 }

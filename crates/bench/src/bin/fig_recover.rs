@@ -163,7 +163,7 @@ fn measure(
         "{workload}/{kernel}: restore-and-replay diverged from the crashed session"
     );
 
-    let file_len = |p: &PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let file_len = |p: &PathBuf| std::fs::metadata(p).map_or(0, |m| m.len());
     let outcome = Outcome {
         workload,
         kernel,

@@ -56,9 +56,7 @@ pub fn macro_scale() -> u32 {
 /// build, run and uphold their invariants (identical fact counts, flat pool
 /// smaller than the legacy double-store) in seconds rather than minutes.
 pub fn smoke_mode() -> bool {
-    std::env::var("CARAC_BENCH_SMOKE")
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false)
+    std::env::var("CARAC_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Renders the row-pool statistics table printed by the fig6–fig9 binaries
@@ -303,7 +301,7 @@ pub fn speedup(baseline: Duration, measured: Duration) -> f64 {
 
 /// Renders a plain-text table.
 pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(std::string::String::len).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {

@@ -101,6 +101,16 @@ pub struct EngineConfig {
     /// update-independent defects so later updates stay sound.  Off by
     /// default.
     pub prune: bool,
+    /// Whether artifacts are statically verified before first execution:
+    /// generated plans run through `carac_ir::verify_plan` (stratum
+    /// ordering, binding safety, arity agreement, loop sanity) and every
+    /// JIT-compiled artifact through the backend verifier (for the bytecode
+    /// target: jump bounds, def-before-use, cursor discipline, termination).
+    /// A failing artifact is rejected with a typed error instead of being
+    /// installed.  Defaults to the build's `debug_assertions` setting — on
+    /// in debug/CI builds, off in release; [`EngineConfig::with_verify`]
+    /// opts release builds in.
+    pub verify: bool,
     /// Span tracing.  `None` (the default) disables the tracer — every
     /// instrumentation site then pays a single branch.  `Some(config)`
     /// records begin/end events for run/stratum/iteration/subquery/
@@ -119,6 +129,7 @@ impl Default for EngineConfig {
             strategy: EvalStrategy::SemiNaive,
             parallelism: 1,
             prune: false,
+            verify: cfg!(debug_assertions),
             tracing: None,
         }
     }
@@ -200,6 +211,15 @@ impl EngineConfig {
     /// Enables span tracing (see [`EngineConfig::tracing`]).
     pub fn with_tracing(mut self, config: TraceConfig) -> Self {
         self.tracing = Some(config);
+        self
+    }
+
+    /// Sets whether artifacts are statically verified before first
+    /// execution (see [`EngineConfig::verify`]).  Use `with_verify(true)`
+    /// to opt a release build in, `with_verify(false)` to silence the
+    /// debug-build default in a benchmark.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -311,6 +331,17 @@ mod tests {
         assert!(pruned.prune);
         assert_eq!(pruned.parallelism, 2);
         assert_eq!(pruned.label(), "Interpreted");
+    }
+
+    #[test]
+    fn verify_follows_debug_assertions_and_composes() {
+        assert_eq!(EngineConfig::default().verify, cfg!(debug_assertions));
+        let on = EngineConfig::interpreted().with_verify(true).with_prune();
+        assert!(on.verify);
+        assert!(on.prune);
+        let off = EngineConfig::jit(BackendKind::Bytecode, false).with_verify(false);
+        assert!(!off.verify);
+        assert_eq!(off.label(), "JIT Bytecode Blocking");
     }
 
     #[test]

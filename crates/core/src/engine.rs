@@ -6,10 +6,10 @@ use carac_datalog::hasher::{FxHashMap, FxHashSet};
 use carac_datalog::magic::{is_magic_name, magic_rewrite, QueryBinding};
 use carac_datalog::{analyze_with, prune_with, Analysis, AnalysisOptions, Program};
 use carac_exec::{
-    interpreter, update_kernel, BackendKind, ExecContext, Incremental, JitConfig, JitEngine, Phase,
-    RunStats, Tracer, UpdateBatch, UpdateKernel, UpdateReport,
+    interpreter, update_kernel, BackendKind, ExecContext, ExecError, Incremental, JitConfig,
+    JitEngine, Phase, RunStats, Tracer, UpdateBatch, UpdateKernel, UpdateReport,
 };
-use carac_ir::generate_plan;
+use carac_ir::{generate_plan, IRNode};
 use carac_optimizer::ReorderAlgorithm;
 use carac_storage::{RelId, Tuple, Value};
 
@@ -361,8 +361,7 @@ impl Carac {
                 .adorned_map
                 .iter()
                 .find(|(adorned, _)| *adorned == evaluated.name)
-                .map(|(_, original)| original.as_str())
-                .unwrap_or(&evaluated.name);
+                .map_or(evaluated.name.as_str(), |(_, original)| original.as_str());
             let Ok(orig_rel) = self.program.relation_by_name(original) else {
                 continue;
             };
@@ -467,6 +466,7 @@ impl Carac {
             ctx.set_magic_relations(rels);
         }
         ctx.set_parallelism(self.config.parallelism)?;
+        ctx.set_verify(self.config.verify);
         for (rel, tuple) in &self.extra_facts {
             ctx.insert_fact(*rel, tuple.clone())?;
         }
@@ -480,12 +480,14 @@ impl Carac {
             match &self.config.mode {
                 ExecutionMode::Interpreted => {
                     let plan = generate_plan(program, self.config.strategy);
+                    self.verify_generated_plan(&plan, program)?;
                     let started = Instant::now();
                     interpreter::interpret(&plan, &mut ctx)?;
                     ctx.stats.total_time = started.elapsed();
                 }
                 ExecutionMode::Jit(jit_config) => {
                     let plan = generate_plan(program, self.config.strategy);
+                    self.verify_generated_plan(&plan, program)?;
                     let mut engine = JitEngine::new(plan, *jit_config);
                     engine.run(&mut ctx)?;
                 }
@@ -493,6 +495,7 @@ impl Carac {
                     // The offline sort is *not* charged to execution time.
                     let (plan, _) =
                         prepare_plan(program, self.config.strategy, aot, &self.extra_facts)?;
+                    self.verify_generated_plan(&plan, program)?;
                     let started = Instant::now();
                     if aot.online_reorder {
                         let jit_config = JitConfig {
@@ -527,6 +530,25 @@ impl Carac {
         );
         run_result?;
         Ok(ctx)
+    }
+
+    /// Statically verifies a freshly generated (or ahead-of-time-optimized)
+    /// plan against `program` before it executes, when
+    /// [`EngineConfig::verify`] is on.  Covers the ordinary, pruned and
+    /// magic-rewritten paths alike — they all flow through
+    /// [`Carac::run_context_hinted`].  A rejected plan is an engine bug
+    /// surfaced as a typed [`carac_exec::ExecError::Verify`] instead of a
+    /// wrong answer or a crash mid-query.
+    fn verify_generated_plan(&self, plan: &IRNode, program: &Program) -> Result<(), CaracError> {
+        if !self.config.verify {
+            return Ok(());
+        }
+        carac_ir::verify_plan(plan, program).map_err(|err| {
+            CaracError::Exec(ExecError::Verify {
+                backend: "planner".to_string(),
+                reason: err.to_string(),
+            })
+        })
     }
 
     /// The update kernel implied by the configured execution mode (the

@@ -100,6 +100,14 @@ pub enum DiagnosticCode {
     /// A comparison that is statically true because its operands are
     /// pinned constant (by `=` constraints or constant columns).
     ConstantComparison,
+    /// An ordered comparison (`<`, `<=`, `>`, `>=`) over an operand the
+    /// type inference proves to be a symbol, or a comparison whose operand
+    /// types are disjoint (one always int, one always symbol): the interned
+    /// symbol order is meaningless, so the result is arbitrary.
+    TypeConfusedComparison,
+    /// A `sum`/`min`/`max` fold over a column the type inference proves to
+    /// be a symbol: folding interned ids is meaningless (`count` is fine).
+    TypeConfusedAggregate,
 }
 
 impl DiagnosticCode {
@@ -115,6 +123,8 @@ impl DiagnosticCode {
             DiagnosticCode::UnusedRelation => "unused-relation",
             DiagnosticCode::SingletonVariable => "singleton-variable",
             DiagnosticCode::ConstantComparison => "constant-comparison",
+            DiagnosticCode::TypeConfusedComparison => "type-confused-comparison",
+            DiagnosticCode::TypeConfusedAggregate => "type-confused-aggregate",
         }
     }
 
@@ -128,7 +138,9 @@ impl DiagnosticCode {
             | DiagnosticCode::SubsumedRule => Severity::Error,
             DiagnosticCode::UnusedRelation
             | DiagnosticCode::SingletonVariable
-            | DiagnosticCode::ConstantComparison => Severity::Warning,
+            | DiagnosticCode::ConstantComparison
+            | DiagnosticCode::TypeConfusedComparison
+            | DiagnosticCode::TypeConfusedAggregate => Severity::Warning,
         }
     }
 }
@@ -155,6 +167,45 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Renders the diagnostic as one self-contained JSON object with the
+    /// stable keys `code`, `severity`, `rule`, `relation`, `message`
+    /// (`rule`/`relation` are `null` when the finding has no subject of
+    /// that kind).  The code strings are the registry documented in
+    /// `docs/DIAGNOSTICS.md`, so CI and editors can match on them.
+    pub fn to_json(&self) -> String {
+        let opt = |id: Option<u32>| match id {
+            Some(id) => id.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"rule\":{},\"relation\":{},\"message\":\"{}\"}}",
+            self.code.as_str(),
+            self.severity,
+            opt(self.rule.map(|r| r.0)),
+            opt(self.relation.map(|r| r.0)),
+            escape_json(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -166,6 +217,67 @@ impl fmt::Display for Diagnostic {
         )
     }
 }
+
+/// Abstract type of one relation column: the lattice
+/// `⊥ ⊑ {int, symbol} ⊑ ⊤` over the [`Value`] tagging scheme (interned
+/// symbols live above `SYMBOL_BASE`, ints below), propagated from facts and
+/// head constants through rule bodies and aggregates to a least fixpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// No value can ever flow here (bottom).
+    #[default]
+    Never,
+    /// Every value that can flow here is a plain integer.
+    Int,
+    /// Every value that can flow here is an interned symbol.
+    Symbol,
+    /// Both kinds of value can flow here (top).
+    Any,
+}
+
+impl ColumnType {
+    /// The type of one concrete value.
+    pub fn of(value: Value) -> ColumnType {
+        if value.is_symbol() {
+            ColumnType::Symbol
+        } else {
+            ColumnType::Int
+        }
+    }
+
+    /// Least upper bound: what a column may hold given both inputs flow in.
+    pub fn join(self, other: ColumnType) -> ColumnType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (ColumnType::Never, x) | (x, ColumnType::Never) => x,
+            _ => ColumnType::Any,
+        }
+    }
+
+    /// Greatest lower bound: what a variable may hold given it must match
+    /// both inputs.  `Int ⊓ Symbol = Never` — the value kinds are disjoint.
+    pub fn meet(self, other: ColumnType) -> ColumnType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (ColumnType::Any, x) | (x, ColumnType::Any) => x,
+            _ => ColumnType::Never,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Never => write!(f, "never"),
+            ColumnType::Int => write!(f, "int"),
+            ColumnType::Symbol => write!(f, "symbol"),
+            ColumnType::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// Inferred type per `(relation, column)`, for every declared column.
+pub type ColumnTypes = FxHashMap<(RelId, usize), ColumnType>;
 
 /// Why [`prune`] drops a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +323,10 @@ pub struct Analysis {
     /// Only columns with a range narrower than the full value space have
     /// entries; provably-empty relations have none.
     pub interval_hints: FxHashMap<(RelId, usize), (u32, u32)>,
+    /// Inferred [`ColumnType`] for every declared `(relation, column)` —
+    /// the type-lattice fixpoint behind the `type-confused-*` diagnostics,
+    /// exported for downstream consumers (verifiers, editors).
+    pub column_types: ColumnTypes,
 }
 
 impl Analysis {
@@ -728,6 +844,7 @@ struct Pass {
     unsat: Vec<bool>,
     nonempty: Vec<bool>,
     col_iv: Vec<Vec<Interval>>,
+    col_ty: Vec<Vec<ColumnType>>,
     diagnostics: Vec<Diagnostic>,
 }
 
@@ -744,10 +861,17 @@ impl Pass {
                 .iter()
                 .map(|d| vec![Interval::EMPTY; d.arity])
                 .collect(),
+            col_ty: program
+                .relations()
+                .iter()
+                .map(|d| vec![ColumnType::Never; d.arity])
+                .collect(),
             diagnostics: Vec::new(),
         };
         pass.seed_from_facts(program, options);
         pass.column_fixpoint(program);
+        pass.type_fixpoint(program);
+        pass.warn_type_confusion(program);
         pass.rule_satisfiability(program, options);
         pass.emptiness_fixpoint(program);
         pass.convict_dead_rules(program);
@@ -763,12 +887,17 @@ impl Pass {
             for (col, value) in tuple.values().iter().enumerate() {
                 self.col_iv[rel.index()][col] =
                     self.col_iv[rel.index()][col].join(Interval::singleton(value.raw()));
+                self.col_ty[rel.index()][col] =
+                    self.col_ty[rel.index()][col].join(ColumnType::of(*value));
             }
         }
         for rel in &options.extra_nonempty {
             self.nonempty[rel.index()] = true;
             for iv in &mut self.col_iv[rel.index()] {
                 *iv = Interval::FULL;
+            }
+            for ty in &mut self.col_ty[rel.index()] {
+                *ty = ColumnType::Any;
             }
         }
         if options.assume_edb_nonempty {
@@ -777,6 +906,9 @@ impl Pass {
                     self.nonempty[decl.id.index()] = true;
                     for iv in &mut self.col_iv[decl.id.index()] {
                         *iv = Interval::FULL;
+                    }
+                    for ty in &mut self.col_ty[decl.id.index()] {
+                        *ty = ColumnType::Any;
                     }
                 }
             }
@@ -845,6 +977,163 @@ impl Pass {
             }
             if !changed {
                 break;
+            }
+        }
+    }
+
+    /// Least-fixpoint propagation of [`ColumnType`]s through rule heads and
+    /// aggregates.  Joins only climb a four-point lattice, so the loop
+    /// converges in at most `4 × columns` passes.
+    fn type_fixpoint(&mut self, program: &Program) {
+        loop {
+            let mut changed = false;
+            for rule in program.rules() {
+                let Some(var_ty) = self.body_var_types(rule) else {
+                    continue; // some body column is still ⊥: cannot fire yet
+                };
+                for (col, term) in rule.head.terms.iter().enumerate() {
+                    let head_ty = match term {
+                        Term::Const(c) => ColumnType::of(*c),
+                        Term::Var(v) => var_ty[v.index()],
+                    };
+                    let slot = &mut self.col_ty[rule.head.rel.index()][col];
+                    let joined = slot.join(head_ty);
+                    if joined != *slot {
+                        *slot = joined;
+                        changed = true;
+                    }
+                }
+            }
+            for spec in program.aggregates() {
+                let agg_cols: FxHashMap<usize, AggFunc> = spec.aggs.iter().copied().collect();
+                for col in 0..self.col_ty[spec.output.index()].len() {
+                    let in_ty = self.col_ty[spec.input.index()][col];
+                    let out_ty = match agg_cols.get(&col) {
+                        // Group keys and min/max folds pass values through;
+                        // count/sum manufacture integers.
+                        None | Some(AggFunc::Min) | Some(AggFunc::Max) => in_ty,
+                        Some(AggFunc::Count) | Some(AggFunc::Sum) => {
+                            if in_ty == ColumnType::Never {
+                                in_ty
+                            } else {
+                                ColumnType::Int
+                            }
+                        }
+                    };
+                    let slot = &mut self.col_ty[spec.output.index()][col];
+                    let joined = slot.join(out_ty);
+                    if joined != *slot {
+                        *slot = joined;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// A rule's variable types under the current column types: the meet of
+    /// every column the variable joins on.  `None` when some body column
+    /// (or the meet across a join) is still ⊥ — the rule cannot fire.
+    fn body_var_types(&self, rule: &Rule) -> Option<Vec<ColumnType>> {
+        let mut var_ty = vec![ColumnType::Any; rule.num_vars()];
+        for literal in rule.positive_body() {
+            for (col, var) in literal.atom.variables() {
+                let ty = self.col_ty[literal.atom.rel.index()][col];
+                if ty == ColumnType::Never {
+                    return None;
+                }
+                var_ty[var.index()] = var_ty[var.index()].meet(ty);
+            }
+            for (col, value) in literal.atom.constants() {
+                let ty = self.col_ty[literal.atom.rel.index()][col];
+                if ty.meet(ColumnType::of(value)) == ColumnType::Never {
+                    return None;
+                }
+            }
+        }
+        if var_ty
+            .iter()
+            .take(rule.num_vars())
+            .any(|&ty| ty == ColumnType::Never)
+        {
+            return None;
+        }
+        Some(var_ty)
+    }
+
+    /// Flags type-confused constraints (ordering symbols, comparing
+    /// provably-disjoint operands) and aggregates (`sum`/`min`/`max` over a
+    /// symbol column).  Warnings only: the engine evaluates both just fine
+    /// on raw values — the *meaning* is what is suspect.
+    fn warn_type_confusion(&mut self, program: &Program) {
+        for rule in program.rules() {
+            let Some(var_ty) = self.body_var_types(rule) else {
+                continue; // dead body — the emptiness passes handle it
+            };
+            let type_of = |term: Term| match term {
+                Term::Const(c) => ColumnType::of(c),
+                Term::Var(v) => var_ty[v.index()],
+            };
+            for constraint in &rule.constraints {
+                let (lhs, rhs) = (type_of(constraint.lhs), type_of(constraint.rhs));
+                let ordered =
+                    matches!(constraint.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
+                let message = if ordered && (lhs == ColumnType::Symbol || rhs == ColumnType::Symbol)
+                {
+                    Some(format!(
+                        "comparison `{}` in rule {} orders symbol values; \
+                         the interned order is arbitrary",
+                        display_constraint(rule, constraint),
+                        cite(program, rule)
+                    ))
+                } else if lhs.meet(rhs) == ColumnType::Never {
+                    Some(format!(
+                        "comparison `{}` in rule {} mixes int and symbol operands, \
+                         which can never be meaningfully related",
+                        display_constraint(rule, constraint),
+                        cite(program, rule)
+                    ))
+                } else {
+                    None
+                };
+                if let Some(message) = message {
+                    self.diagnostics.push(Diagnostic {
+                        code: DiagnosticCode::TypeConfusedComparison,
+                        severity: Severity::Warning,
+                        rule: Some(rule.id),
+                        relation: Some(rule.head.rel),
+                        message,
+                    });
+                }
+            }
+        }
+        for spec in program.aggregates() {
+            for &(col, func) in &spec.aggs {
+                if func == AggFunc::Count {
+                    continue; // counting symbols is fine
+                }
+                if self.col_ty[spec.input.index()][col] == ColumnType::Symbol {
+                    let func_name = match func {
+                        AggFunc::Sum => "sum",
+                        AggFunc::Min => "min",
+                        AggFunc::Max => "max",
+                        AggFunc::Count => unreachable!("count returns above"),
+                    };
+                    self.diagnostics.push(Diagnostic {
+                        code: DiagnosticCode::TypeConfusedAggregate,
+                        severity: Severity::Warning,
+                        rule: None,
+                        relation: Some(spec.output),
+                        message: format!(
+                            "aggregate `{func_name}` over column {col} of `{}` folds \
+                             symbol values",
+                            program.relation(spec.input).name
+                        ),
+                    });
+                }
             }
         }
     }
@@ -1144,6 +1433,12 @@ impl Pass {
             .filter(|d| !self.nonempty[d.id.index()])
             .map(|d| d.id)
             .collect();
+        let mut column_types = ColumnTypes::default();
+        for decl in program.relations() {
+            for (col, ty) in self.col_ty[decl.id.index()].iter().enumerate() {
+                column_types.insert((decl.id, col), *ty);
+            }
+        }
         let mut diagnostics = self.diagnostics;
         // Stable order: errors before warnings, then rule order.
         diagnostics.sort_by_key(|d| {
@@ -1158,6 +1453,7 @@ impl Pass {
             drop_reasons: self.drop_reasons,
             empty_relations,
             interval_hints,
+            column_types,
         }
     }
 }
@@ -1204,7 +1500,7 @@ mod tests {
         .unwrap();
         let a = analyze(&p);
         assert_eq!(a.error_count(), 0, "{:?}", a.diagnostics);
-        assert!(a.drop_reasons.iter().all(|r| r.is_none()));
+        assert!(a.drop_reasons.iter().all(std::option::Option::is_none));
     }
 
     #[test]
@@ -1500,6 +1796,136 @@ mod tests {
         let a = analyze(&p);
         let unsat: Vec<_> = a.with_code(DiagnosticCode::UnsatisfiableRule).collect();
         assert!(unsat[0].message.contains("at 1:1"));
+    }
+
+    #[test]
+    fn type_inference_propagates_through_rules() {
+        let p = parse(
+            "Owner(\"alice\", 1). Owner(\"bob\", 2).\n\
+             Holds(who, n) :- Owner(who, n).\n\
+             Pair(n, who) :- Holds(who, n).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let rel = |name: &str| p.relation_by_name(name).unwrap();
+        assert_eq!(a.column_types[&(rel("Owner"), 0)], ColumnType::Symbol);
+        assert_eq!(a.column_types[&(rel("Owner"), 1)], ColumnType::Int);
+        assert_eq!(a.column_types[&(rel("Holds"), 0)], ColumnType::Symbol);
+        assert_eq!(a.column_types[&(rel("Holds"), 1)], ColumnType::Int);
+        assert_eq!(a.column_types[&(rel("Pair"), 0)], ColumnType::Int);
+        assert_eq!(a.column_types[&(rel("Pair"), 1)], ColumnType::Symbol);
+        assert!(!a.has_errors());
+        assert!(a
+            .with_code(DiagnosticCode::TypeConfusedComparison)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn ordering_a_symbol_column_is_flagged() {
+        let p = parse(
+            "Owner(\"alice\", 1). Owner(\"bob\", 2).\n\
+             Early(who) :- Owner(who, n), who > 0.",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let confused: Vec<_> = a
+            .with_code(DiagnosticCode::TypeConfusedComparison)
+            .collect();
+        assert_eq!(confused.len(), 1);
+        assert_eq!(confused[0].severity, Severity::Warning);
+        assert!(confused[0].message.contains("orders symbol values"));
+        // Warnings never make the rule prunable.
+        assert!(a.drop_reasons[0].is_none());
+    }
+
+    #[test]
+    fn comparing_disjoint_types_is_flagged() {
+        let p = parse(
+            "Owner(\"alice\", 1).\n\
+             Odd(n) :- Owner(who, n), who != n.",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let confused: Vec<_> = a
+            .with_code(DiagnosticCode::TypeConfusedComparison)
+            .collect();
+        assert_eq!(confused.len(), 1);
+        assert!(confused[0].message.contains("mixes int and symbol"));
+    }
+
+    #[test]
+    fn summing_a_symbol_column_is_flagged() {
+        let p = parse(
+            "Owner(\"alice\", 1). Owner(\"bob\", 2).\n\
+             Total(n, sum who) :- Owner(who, n).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let confused: Vec<_> = a.with_code(DiagnosticCode::TypeConfusedAggregate).collect();
+        assert_eq!(confused.len(), 1);
+        assert!(confused[0].message.contains("sum"));
+
+        // Counting the same column is fine.
+        let p = parse(
+            "Owner(\"alice\", 1). Owner(\"bob\", 2).\n\
+             Total(n, count who) :- Owner(who, n).",
+        )
+        .unwrap();
+        let a = analyze(&p);
+        assert!(a
+            .with_code(DiagnosticCode::TypeConfusedAggregate)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn update_mode_widens_edb_types_to_any() {
+        let p = parse("Out(x) :- In(x, y), x < 5.\nIn(1, 2).").unwrap();
+        let options = AnalysisOptions {
+            assume_edb_nonempty: true,
+            ..AnalysisOptions::default()
+        };
+        let a = analyze_with(&p, &options);
+        let rel = p.relation_by_name("In").unwrap();
+        assert_eq!(a.column_types[&(rel, 0)], ColumnType::Any);
+        // `Any` operands draw no type-confusion warning.
+        assert!(a
+            .with_code(DiagnosticCode::TypeConfusedComparison)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn column_type_lattice_laws() {
+        use ColumnType::*;
+        for ty in [Never, Int, Symbol, Any] {
+            assert_eq!(ty.join(ty), ty);
+            assert_eq!(ty.meet(ty), ty);
+            assert_eq!(ty.join(Never), ty);
+            assert_eq!(ty.meet(Any), ty);
+        }
+        assert_eq!(Int.join(Symbol), Any);
+        assert_eq!(Int.meet(Symbol), Never);
+    }
+
+    #[test]
+    fn diagnostics_render_as_json() {
+        let p = parse("Out(x) :- Node(x), x < 2, x > 8.\nNode(5).").unwrap();
+        let a = analyze(&p);
+        let unsat = a
+            .with_code(DiagnosticCode::UnsatisfiableRule)
+            .next()
+            .unwrap();
+        let json = unsat.to_json();
+        assert!(json.starts_with("{\"code\":\"unsat-rule\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"rule\":0"));
+        assert!(json.contains("\"message\":\""));
+        // Messages with quotes (rule citations use backticks, but guard
+        // anyway) stay valid JSON.
+        assert!(!json.contains("\n"));
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

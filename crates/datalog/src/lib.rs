@@ -37,8 +37,8 @@ pub mod rewrite;
 pub mod validate;
 
 pub use analyze::{
-    analyze, analyze_with, prune, prune_with, Analysis, AnalysisOptions, Diagnostic,
-    DiagnosticCode, DropReason, PrunedProgram, Severity,
+    analyze, analyze_with, prune, prune_with, Analysis, AnalysisOptions, ColumnType, ColumnTypes,
+    Diagnostic, DiagnosticCode, DropReason, PrunedProgram, Severity,
 };
 pub use ast::{
     AggregateSpec, Atom, Constraint, Literal, RelationDecl, Rule, RuleId, RuleOrigin, Term, VarId,

@@ -302,8 +302,7 @@ impl Parser {
         let (line, column) = self
             .tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|&(_, l, c)| (l, c))
-            .unwrap_or((0, 0));
+            .map_or((0, 0), |&(_, l, c)| (l, c));
         DatalogError::Parse {
             line,
             column,
@@ -417,8 +416,7 @@ impl Parser {
         let pos = self
             .tokens
             .get(self.pos)
-            .map(|&(_, line, col)| (line, col))
-            .unwrap_or((0, 0));
+            .map_or((0, 0), |&(_, line, col)| (line, col));
         let head = self.parse_atom(false, true)?;
         let mut body = Vec::new();
         let mut constraints = Vec::new();
@@ -445,7 +443,7 @@ impl Parser {
                         constraints.push(self.parse_constraint()?);
                     }
                     match self.bump() {
-                        Some(Token::Comma) => continue,
+                        Some(Token::Comma) => {}
                         Some(Token::Dot) => break,
                         other => {
                             return Err(self.error_at(format!(
@@ -529,7 +527,7 @@ impl Parser {
                 other => return Err(self.error_at(format!("expected term, found {other:?}"))),
             }
             match self.bump() {
-                Some(Token::Comma) => continue,
+                Some(Token::Comma) => {}
                 Some(Token::RParen) => break,
                 other => return Err(self.error_at(format!("expected `,` or `)`, found {other:?}"))),
             }

@@ -86,7 +86,7 @@ pub fn find_aliases(program: &Program) -> FxHashMap<RelId, RelId> {
 
     // Resolve chains, guarding against cycles.
     let mut resolved: FxHashMap<RelId, RelId> = FxHashMap::default();
-    for (&alias, &mut mut target) in direct.clone().iter_mut() {
+    for (&alias, &mut mut target) in &mut direct.clone() {
         let mut seen = FxHashSet::default();
         seen.insert(alias);
         while let Some(&next) = direct.get(&target) {

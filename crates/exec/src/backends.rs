@@ -188,15 +188,30 @@ pub fn update_kernel(backend: BackendKind) -> UpdateKernel {
     }
 }
 
-/// Validates that `artifact` has a shape the given backend/mode pair is
-/// specified to produce, returning a typed
-/// [`ExecError::UnexpectedArtifact`] otherwise.  The JIT runs every freshly
-/// compiled artifact through this check before caching it, so a misbehaving
-/// backend surfaces as a query error instead of aborting the process.
-pub fn check_artifact(
+/// Validates a freshly compiled artifact before the JIT caches it.
+///
+/// Two layers of defence, cheapest first:
+///
+/// 1. **Shape** — the artifact must have the form the backend/mode pair is
+///    specified to produce (a bytecode backend handing back a closure is a
+///    backend bug).  Always on; failures surface as
+///    [`ExecError::UnexpectedArtifact`].
+/// 2. **Static verification** (when `deep` is set) — bytecode artifacts run
+///    through [`carac_vm::verify_program`] (jump bounds, def-before-use,
+///    cursor discipline, arity agreement, termination) and IR artifacts
+///    through [`carac_ir::verify_subtree`], so a miscompiled artifact is
+///    rejected with a typed [`ExecError::Verify`] *before* its first
+///    execution instead of trapping or looping inside a query.
+///
+/// The closure backends carry no inspectable code, so for them the shape
+/// check is the whole story; their output is covered by the differential
+/// suites instead.
+pub fn verify_artifact(
     backend: BackendKind,
     mode: CompileMode,
     artifact: &Artifact,
+    arities: &[usize],
+    deep: bool,
 ) -> Result<(), ExecError> {
     let ok = match (backend, mode, artifact) {
         (
@@ -212,14 +227,30 @@ pub fn check_artifact(
         (BackendKind::IrGen, _, Artifact::Ir(_)) => true,
         _ => false,
     };
-    if ok {
-        Ok(())
-    } else {
-        Err(ExecError::UnexpectedArtifact {
+    if !ok {
+        return Err(ExecError::UnexpectedArtifact {
             backend: format!("{backend:?}"),
             artifact: format!("{artifact:?}"),
-        })
+        });
     }
+    if deep {
+        match artifact {
+            Artifact::Vm(program) => {
+                carac_vm::verify_program(program, arities).map_err(|err| ExecError::Verify {
+                    backend: format!("{backend:?}"),
+                    reason: err.to_string(),
+                })?;
+            }
+            Artifact::Ir(node) => {
+                carac_ir::verify_subtree(node, arities).map_err(|err| ExecError::Verify {
+                    backend: format!("{backend:?}"),
+                    reason: err.to_string(),
+                })?;
+            }
+            Artifact::FullClosure(_) | Artifact::Snippet(_) => {}
+        }
+    }
+    Ok(())
 }
 
 /// Compiles `node` (already reordered by the optimizer) with the requested
@@ -377,21 +408,24 @@ mod tests {
 
     #[test]
     fn every_backend_produces_an_artifact() {
-        let (_, plan) = tc();
+        let (p, plan) = tc();
+        let arities: Vec<usize> = p.relations().iter().map(|d| d.arity).collect();
         let staging = StagingCostModel::free();
         for backend in BackendKind::ALL {
             let (artifact, elapsed) =
                 compile_artifact(&plan, backend, CompileMode::Full, &staging, true).unwrap();
             assert!(elapsed < Duration::from_secs(1));
-            // The typed shape check replaces the old hard panic: a
-            // misbehaving backend now degrades into ExecError.
-            check_artifact(backend, CompileMode::Full, &artifact).unwrap_or_else(|e| panic!("{e}"));
+            // Both the shape check and the deep static verifiers accept
+            // every well-formed compile — a misbehaving backend degrades
+            // into ExecError instead of a hard panic.
+            verify_artifact(backend, CompileMode::Full, &artifact, &arities, true)
+                .unwrap_or_else(|e| panic!("{e}"));
             match (backend, artifact) {
                 (BackendKind::Bytecode, Artifact::Vm(program)) => {
-                    assert!(program.validate().is_ok())
+                    assert!(program.validate().is_ok());
                 }
                 (BackendKind::IrGen, Artifact::Ir(node)) => {
-                    assert_eq!(node.node_count(), plan.node_count())
+                    assert_eq!(node.node_count(), plan.node_count());
                 }
                 _ => {}
             }
@@ -400,17 +434,65 @@ mod tests {
 
     #[test]
     fn artifact_shape_mismatch_is_a_typed_error() {
-        let (_, plan) = tc();
+        let (p, plan) = tc();
+        let arities: Vec<usize> = p.relations().iter().map(|d| d.arity).collect();
         // A VM artifact claimed to come from the Lambda backend is the
         // misbehaving-backend scenario: the check reports it as a typed
         // error instead of aborting the process.
         let vm = Artifact::Vm(carac_vm::compile_node(&plan).expect("plan compiles"));
-        let err = check_artifact(BackendKind::Lambda, CompileMode::Full, &vm).unwrap_err();
+        let err = verify_artifact(BackendKind::Lambda, CompileMode::Full, &vm, &arities, true)
+            .unwrap_err();
         assert!(matches!(err, ExecError::UnexpectedArtifact { .. }));
         assert!(err.to_string().contains("unexpected artifact"));
         // Matching pairs pass, including the documented bytecode
         // snippet-degrades-to-full case.
-        assert!(check_artifact(BackendKind::Bytecode, CompileMode::Snippet, &vm).is_ok());
+        assert!(verify_artifact(
+            BackendKind::Bytecode,
+            CompileMode::Snippet,
+            &vm,
+            &arities,
+            true
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn corrupted_bytecode_is_rejected_before_install() {
+        let (p, plan) = tc();
+        let arities: Vec<usize> = p.relations().iter().map(|d| d.arity).collect();
+        let mut program = carac_vm::compile_node(&plan).expect("plan compiles");
+        // Corrupt one jump target past the end of the program — the shape is
+        // still right, so only the deep verifier can catch it.
+        let broken = program.instrs.iter_mut().any(|instr| {
+            if let carac_vm::Instr::Jump(target) = instr {
+                *target = carac_vm::Pc(u32::MAX - 1);
+                true
+            } else {
+                false
+            }
+        });
+        assert!(broken, "expected the compiled plan to contain a Jump");
+        let artifact = Artifact::Vm(program);
+        let err = verify_artifact(
+            BackendKind::Bytecode,
+            CompileMode::Full,
+            &artifact,
+            &arities,
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Verify { .. }), "{err}");
+        assert!(err.to_string().contains("unverifiable"), "{err}");
+        // With verification disabled the shape check alone accepts it —
+        // the release-mode default unless EngineConfig::with_verify is set.
+        assert!(verify_artifact(
+            BackendKind::Bytecode,
+            CompileMode::Full,
+            &artifact,
+            &arities,
+            false,
+        )
+        .is_ok());
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct ExecContext {
     /// column).  Forwarded to the cost model, which refines comparison
     /// selectivity with them.  Empty unless the engine ran the analyzer.
     pub interval_hints: FxHashMap<(RelId, usize), (u32, u32)>,
+    /// Declared arity per relation (`arities[rel.index()]`) — the schema
+    /// the artifact verifier checks compiled code against.
+    pub arities: Vec<usize>,
+    /// Whether compiled artifacts are statically verified before first
+    /// execution (see `EngineConfig::verify`; defaults to the build's
+    /// `debug_assertions` setting).
+    pub verify: bool,
     /// Run statistics.
     pub stats: RunStats,
 }
@@ -71,6 +78,7 @@ impl ExecContext {
             storage.insert_fact(*rel, tuple.clone())?;
         }
         let is_idb = program.relations().iter().map(|d| !d.is_edb).collect();
+        let arities = program.relations().iter().map(|d| d.arity).collect();
         Ok(ExecContext {
             storage,
             is_idb,
@@ -80,8 +88,16 @@ impl ExecContext {
             iteration: 0,
             parallelism: 1,
             interval_hints: FxHashMap::default(),
+            arities,
+            verify: cfg!(debug_assertions),
             stats: RunStats::default(),
         })
+    }
+
+    /// Toggles static artifact verification for this run (see
+    /// [`ExecContext::verify`]).
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
     }
 
     /// Marks the magic (demand-guard) predicates of a goal-directed
@@ -134,8 +150,7 @@ impl ExecContext {
     pub fn derived_count(&self, rel: RelId) -> usize {
         self.storage
             .relation(DbKind::Derived, rel)
-            .map(|r| r.len())
-            .unwrap_or(0)
+            .map_or(0, carac_storage::Relation::len)
     }
 
     /// All derived tuples of `rel`, cloned (for result inspection by callers
@@ -143,7 +158,7 @@ impl ExecContext {
     pub fn derived_tuples(&self, rel: RelId) -> Vec<Tuple> {
         self.storage
             .relation(DbKind::Derived, rel)
-            .map(|r| r.to_tuples())
+            .map(carac_storage::Relation::to_tuples)
             .unwrap_or_default()
     }
 }

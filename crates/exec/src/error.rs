@@ -21,6 +21,16 @@ pub enum ExecError {
         /// Debug rendering of the artifact that was produced.
         artifact: String,
     },
+    /// A compiled artifact failed static verification: its bytecode or plan
+    /// would trap or misbehave at runtime (bad jump, unbound register,
+    /// arity mismatch, unproven termination).  Surfaced before first
+    /// execution so a bad compile is rejected instead of installed.
+    Verify {
+        /// The backend that produced the artifact.
+        backend: String,
+        /// The verifier's conviction.
+        reason: String,
+    },
     /// An update batch was rejected by the incremental maintenance
     /// subsystem (unknown relation, non-EDB target, arity mismatch).
     Update(String),
@@ -44,6 +54,12 @@ impl fmt::Display for ExecError {
                 write!(
                     f,
                     "backend {backend} produced unexpected artifact {artifact}"
+                )
+            }
+            ExecError::Verify { backend, reason } => {
+                write!(
+                    f,
+                    "backend {backend} produced unverifiable artifact: {reason}"
                 )
             }
             ExecError::Update(msg) => write!(f, "update error: {msg}"),

@@ -620,7 +620,7 @@ impl Incremental {
                 self.deletion_phase(plan, ctx, &mut deltas, &mut up)?;
             }
             if plan.body_rels.iter().any(|&r| deltas.plus_of(r).is_some()) {
-                self.insertion_phase(plan, ctx, &mut deltas, &mut up)?;
+                Self::insertion_phase(plan, ctx, &mut deltas, &mut up)?;
             }
         }
 
@@ -677,7 +677,6 @@ impl Incremental {
     /// the stratum's rules for `rel`, and returns emissions per fact (the
     /// delta databases are cleared again before returning).
     fn count_derivations(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         rel: RelId,
@@ -853,9 +852,9 @@ impl Incremental {
         }
 
         if plan.recursive {
-            self.rederive(plan, ctx, &deleted, deltas, up)?;
+            Self::rederive(plan, ctx, &deleted, deltas, up)?;
         } else {
-            self.counted_survivors(plan, ctx, &deleted, deltas, up)?;
+            Self::counted_survivors(plan, ctx, &deleted, deltas, up)?;
         }
 
         // Publish the genuinely new facts this phase created: live rows
@@ -877,7 +876,6 @@ impl Incremental {
     /// whose decremented support stayed positive survive untouched; the
     /// rest are retracted and re-checked by an exact head-driven recount.
     fn counted_survivors(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         deleted: &FxHashMap<RelId, Relation>,
@@ -918,7 +916,7 @@ impl Incremental {
                 ctx.storage.retract_derived_row(rel, row)?;
                 probe.insert_row(row)?;
             }
-            let counts = self.count_derivations(plan, ctx, rel, &probe)?;
+            let counts = Self::count_derivations(plan, ctx, rel, &probe)?;
             for row in zeroed {
                 match counts.get(&row).copied().unwrap_or(0) {
                     0 => deltas.record_retract(rel, &row)?,
@@ -942,7 +940,6 @@ impl Incremental {
     /// over-deleted cone, rescue facts with a remaining one-step derivation
     /// via the head-driven driver, then propagate the rescues to fixpoint.
     fn rederive(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         deleted: &FxHashMap<RelId, Relation>,
@@ -1014,7 +1011,7 @@ impl Incremental {
             }
             Self::load_delta(ctx, *rel, seed)?;
         }
-        self.propagate(plan, ctx, &plan.relations.clone(), None)?;
+        Self::propagate(plan, ctx, &plan.relations.clone(), None)?;
         // Facts still absent are the net retractions the strata above see;
         // re-derived facts existed before, so they are no delta at all.
         for &rel in &plan.relations {
@@ -1043,7 +1040,6 @@ impl Incremental {
     /// keeping the support invariant (`stored <= true derivations`) that
     /// the counted deletion fast path relies on.
     fn insertion_phase(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         deltas: &mut DeltaSets,
@@ -1078,7 +1074,7 @@ impl Incremental {
         // recount below to keep the `stored <= true` invariant.
         let mut affected: Option<FxHashMap<RelId, Relation>> =
             (!plan.recursive).then(FxHashMap::default);
-        self.propagate(plan, ctx, &boundary, affected.as_mut())?;
+        Self::propagate(plan, ctx, &boundary, affected.as_mut())?;
 
         // Collect the net-new facts for downstream strata.
         for (rel, mark) in marks {
@@ -1087,7 +1083,7 @@ impl Incremental {
             }
         }
         if let Some(affected) = affected {
-            self.recount_affected(plan, ctx, affected, up)?;
+            Self::recount_affected(plan, ctx, affected, up)?;
         }
         Ok(())
     }
@@ -1099,7 +1095,6 @@ impl Incremental {
     /// `affected` is given, every emitted head fact is recorded there
     /// (deduplicated) for the caller's support recount.
     fn propagate(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         boundary: &[RelId],
@@ -1159,17 +1154,16 @@ impl Incremental {
     /// the affected set drives each rule's full body; the number of
     /// emissions per fact is its exact derivation count.
     fn recount_affected(
-        &self,
         plan: &StratumPlan,
         ctx: &mut ExecContext,
         affected: FxHashMap<RelId, Relation>,
         up: &mut UpdateStats,
     ) -> Result<(), ExecError> {
-        for (&rel, probe) in affected.iter() {
+        for (&rel, probe) in &affected {
             if probe.is_empty() {
                 continue;
             }
-            let counts = self.count_derivations(plan, ctx, rel, probe)?;
+            let counts = Self::count_derivations(plan, ctx, rel, probe)?;
             let derived = ctx.storage.db_mut(DbKind::Derived).relation_mut(rel)?;
             for row in probe.iter_rows() {
                 if let Some(slot) = derived.find_row_hashed(row, carac_storage::pool::row_hash(row))

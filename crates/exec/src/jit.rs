@@ -24,7 +24,7 @@ use carac_storage::hasher::FxHashMap;
 use carac_storage::{DbKind, RelId};
 use carac_vm::{Machine, MarkKind};
 
-use crate::backends::{check_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
+use crate::backends::{verify_artifact, Artifact, BackendKind, CompileMode, StagingCostModel};
 use crate::compile_manager::CompilationManager;
 use crate::context::ExecContext;
 use crate::error::ExecError;
@@ -242,7 +242,13 @@ impl JitEngine {
         if self.manager.is_pending(node.id) {
             if let Some(result) = self.manager.poll(node.id) {
                 let result = result?;
-                check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
+                verify_artifact(
+                    self.config.backend,
+                    self.config.mode,
+                    &result.artifact,
+                    &ctx.arities,
+                    ctx.verify,
+                )?;
                 note_compile(&mut ctx.stats, result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness
@@ -288,7 +294,15 @@ impl JitEngine {
                     duration: reorder_time,
                 },
             );
-            self.artifacts.insert(node.id, Artifact::Ir(subtree));
+            let artifact = Artifact::Ir(subtree);
+            verify_artifact(
+                self.config.backend,
+                self.config.mode,
+                &artifact,
+                &ctx.arities,
+                ctx.verify,
+            )?;
+            self.artifacts.insert(node.id, artifact);
             return self.run_cached(node, ctx);
         }
 
@@ -313,7 +327,13 @@ impl JitEngine {
             self.config.mode,
             &self.config.staging,
         )?;
-        check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
+        verify_artifact(
+            self.config.backend,
+            self.config.mode,
+            &result.artifact,
+            &ctx.arities,
+            ctx.verify,
+        )?;
         note_compile(&mut ctx.stats, result.event);
         self.artifacts.insert(node.id, result.artifact);
         self.run_cached(node, ctx)
@@ -403,13 +423,17 @@ impl JitEngine {
             last_at = Some(mark.at);
             match mark.kind {
                 MarkKind::StratumBegin => {
-                    stack.push(tracer.begin_at(Phase::Stratum, stratum_base + mark.detail, mark.at))
+                    stack.push(tracer.begin_at(
+                        Phase::Stratum,
+                        stratum_base + mark.detail,
+                        mark.at,
+                    ));
                 }
                 MarkKind::IterBegin => {
-                    stack.push(tracer.begin_at(Phase::Iteration, mark.detail, mark.at))
+                    stack.push(tracer.begin_at(Phase::Iteration, mark.detail, mark.at));
                 }
                 MarkKind::RuleBegin => {
-                    stack.push(tracer.begin_at(Phase::Subquery, mark.detail, mark.at))
+                    stack.push(tracer.begin_at(Phase::Subquery, mark.detail, mark.at));
                 }
                 MarkKind::StratumEnd | MarkKind::IterEnd | MarkKind::RuleEnd => {
                     if let Some(token) = stack.pop() {
@@ -523,7 +547,13 @@ impl JitEngine {
         for child in children {
             if let Some(result) = self.manager.poll(node.id) {
                 let result = result?;
-                check_artifact(self.config.backend, self.config.mode, &result.artifact)?;
+                verify_artifact(
+                    self.config.backend,
+                    self.config.mode,
+                    &result.artifact,
+                    &ctx.arities,
+                    ctx.verify,
+                )?;
                 note_compile(&mut ctx.stats, result.event);
                 self.artifacts.insert(node.id, result.artifact);
                 self.freshness

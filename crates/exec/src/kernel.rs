@@ -244,7 +244,7 @@ impl SpecializedQuery {
 
     /// One scratch level per atom plus one shared by the negation probes.
     fn new_scratch(&self) -> Vec<LevelScratch> {
-        (0..self.atoms.len() + 1)
+        (0..=self.atoms.len())
             .map(|_| LevelScratch::default())
             .collect()
     }
@@ -711,7 +711,7 @@ fn interp_collect(
 /// One scratch level per atom (the interpreter checks negation by scanning,
 /// so no spare level is needed — but keep one for symmetry and safety).
 fn interp_scratch(query: &ConjunctiveQuery) -> Vec<LevelScratch> {
-    (0..query.atoms.len() + 1)
+    (0..=query.atoms.len())
         .map(|_| LevelScratch::default())
         .collect()
 }
@@ -836,10 +836,7 @@ fn interp_level(
             let exists = relation.iter_rows().any(|row| {
                 neg.terms.iter().enumerate().all(|(col, term)| match term {
                     Term::Const(c) => row.get(col) == Some(c),
-                    Term::Var(v) => bindings
-                        .get(v)
-                        .map(|b| row.get(col) == Some(b))
-                        .unwrap_or(false),
+                    Term::Var(v) => bindings.get(v).is_some_and(|b| row.get(col) == Some(b)),
                 })
             });
             if exists {

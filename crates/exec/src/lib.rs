@@ -30,7 +30,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use backends::{
-    check_artifact, update_kernel, Artifact, BackendKind, CompileMode, StagingCostModel,
+    update_kernel, verify_artifact, Artifact, BackendKind, CompileMode, StagingCostModel,
     UpdateKernel,
 };
 pub use compile_manager::CompilationManager;

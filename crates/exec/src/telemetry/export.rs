@@ -49,7 +49,7 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path
         .file_name()
-        .map(|n| n.to_os_string())
+        .map(std::ffi::OsStr::to_os_string)
         .unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)

@@ -286,8 +286,7 @@ impl Tracer {
             .iter()
             .rev()
             .find(|e| e.id == token.0 && e.kind == EventKind::Begin)
-            .map(|e| (e.phase, e.detail))
-            .unwrap_or((Phase::Run, 0));
+            .map_or((Phase::Run, 0), |e| (e.phase, e.detail));
         inner.push(TraceEvent {
             kind: EventKind::End,
             phase,

@@ -19,8 +19,10 @@ pub mod node;
 pub mod plan;
 pub mod pretty;
 pub mod query;
+pub mod verify;
 
 pub use node::{IRNode, IROp, NodeId, NodeIdGen, OpKind};
 pub use plan::{generate_plan, EvalStrategy};
 pub use pretty::{render_plan, render_query};
 pub use query::{ConjunctiveQuery, QueryAtom};
+pub use verify::{verify_plan, verify_query, verify_subtree, PlanError};

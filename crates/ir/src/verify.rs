@@ -1,0 +1,674 @@
+//! Static validation of IR plans — the middle layer of the artifact
+//! verifier.
+//!
+//! Two entry points, both structural inductions over [`IROp`]:
+//!
+//! * [`verify_subtree`] checks any plan fragment against the relation
+//!   schema alone: arity agreement of atoms, heads and aggregates;
+//!   variable ids inside each query's declared frame; every variable read
+//!   by a head binding, comparison constraint or negated atom bound by
+//!   some positive atom (negation and aggregate inputs fully bound);
+//!   negated atoms probing the `Derived` database; at most one delta atom
+//!   per query; `DoWhile` bodies that actually swap the deltas they loop
+//!   on.  This is what the JIT runs on compiled-subtree artifacts, where
+//!   the stratification context is not available.
+//! * [`verify_plan`] additionally checks a *whole* generated plan against
+//!   its source program: one `Stratum` node per stratification stratum, in
+//!   dependency order with matching relation sets and recursion flags;
+//!   every rule placed in its own stratum; positive atoms reading only
+//!   EDB relations or strata already computed (same stratum only through
+//!   the delta discipline), negated atoms strictly lower strata; aggregate
+//!   nodes agreeing with the program's aggregate specs, lattice folds
+//!   inside the fixpoint loop and stratum-boundary folds outside.
+//!
+//! Join *order* is deliberately unconstrained: the optimizer permutes atom
+//! orders at runtime, and any permutation is executable because scans
+//! filter on whatever is bound so far.  What must hold regardless of order
+//! is that every consumed variable has a producer — that is what is
+//! checked.
+
+use carac_datalog::{HeadBinding, Program, Term, VarId};
+use carac_storage::{DbKind, RelId};
+use std::fmt;
+
+use crate::node::{IRNode, IROp};
+use crate::query::ConjunctiveQuery;
+
+/// A plan-validation failure.
+///
+/// Every variant names the query's rule (when one is involved) so the
+/// message can be correlated with the source program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A relation id has no schema entry.
+    UnknownRelation {
+        /// The unknown relation.
+        rel: RelId,
+        /// Where it was referenced.
+        context: String,
+    },
+    /// An atom or head is wider or narrower than the declared relation.
+    ArityMismatch {
+        /// The relation whose arity was violated.
+        rel: RelId,
+        /// Terms the plan supplies.
+        found: usize,
+        /// The declared arity.
+        arity: usize,
+        /// Where the mismatch sits.
+        context: String,
+    },
+    /// A variable id at or past the query's declared frame size.
+    VariableOutOfFrame {
+        /// The out-of-frame variable.
+        var: VarId,
+        /// The query's frame size.
+        num_vars: usize,
+        /// Where the variable appears.
+        context: String,
+    },
+    /// A head binding, constraint or negated atom reads a variable no
+    /// positive atom binds.
+    UnboundVariable {
+        /// The unbound variable.
+        var: VarId,
+        /// Where the read happens.
+        context: String,
+    },
+    /// A negated atom probes a delta database instead of `Derived`.
+    NegatedDelta {
+        /// The negated relation.
+        rel: RelId,
+        /// Where it appears.
+        context: String,
+    },
+    /// More than one delta atom in one query (semi-naive emits exactly one
+    /// delta variant per positive atom).
+    MultipleDeltaAtoms {
+        /// Where they appear.
+        context: String,
+    },
+    /// The plan's structure does not match the expected shape (stratum
+    /// ordering, `DoWhile` placement, swap coverage, aggregate spec drift).
+    Structure(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownRelation { rel, context } => {
+                write!(f, "{context}: relation {rel:?} has no schema entry")
+            }
+            PlanError::ArityMismatch {
+                rel,
+                found,
+                arity,
+                context,
+            } => write!(
+                f,
+                "{context}: {rel:?} supplied {found} terms, declared arity {arity}"
+            ),
+            PlanError::VariableOutOfFrame {
+                var,
+                num_vars,
+                context,
+            } => write!(
+                f,
+                "{context}: variable v{} outside frame of {num_vars}",
+                var.0
+            ),
+            PlanError::UnboundVariable { var, context } => {
+                write!(f, "{context}: variable v{} has no positive binder", var.0)
+            }
+            PlanError::NegatedDelta { rel, context } => {
+                write!(f, "{context}: negated {rel:?} probes a delta database")
+            }
+            PlanError::MultipleDeltaAtoms { context } => {
+                write!(f, "{context}: more than one delta atom")
+            }
+            PlanError::Structure(msg) => write!(f, "plan structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Declared arity of `rel`, or an `UnknownRelation` conviction.
+fn arity_of(
+    arities: &[usize],
+    rel: RelId,
+    context: &dyn Fn() -> String,
+) -> Result<usize, PlanError> {
+    arities
+        .get(rel.index())
+        .copied()
+        .ok_or_else(|| PlanError::UnknownRelation {
+            rel,
+            context: context(),
+        })
+}
+
+/// Schema-only validation of one conjunctive query; see the module docs.
+pub fn verify_query(query: &ConjunctiveQuery, arities: &[usize]) -> Result<(), PlanError> {
+    let rule = query.rule;
+    let check_var = |var: VarId, what: &str| -> Result<(), PlanError> {
+        if var.index() >= query.num_vars {
+            return Err(PlanError::VariableOutOfFrame {
+                var,
+                num_vars: query.num_vars,
+                context: format!("rule {}: {what}", rule.0),
+            });
+        }
+        Ok(())
+    };
+
+    // Positive atoms: arity agreement, frame membership, delta discipline,
+    // and the set of bound variables everything else may consume.
+    let mut bound = vec![false; query.num_vars];
+    let mut delta_atoms = 0usize;
+    for atom in &query.atoms {
+        let arity = arity_of(arities, atom.rel, &|| {
+            format!("rule {}: positive atom", rule.0)
+        })?;
+        if atom.terms.len() != arity {
+            return Err(PlanError::ArityMismatch {
+                rel: atom.rel,
+                found: atom.terms.len(),
+                arity,
+                context: format!("rule {}: positive atom", rule.0),
+            });
+        }
+        for term in &atom.terms {
+            if let Term::Var(var) = term {
+                check_var(*var, "positive atom")?;
+                bound[var.index()] = true;
+            }
+        }
+        if atom.db == DbKind::DeltaKnown {
+            delta_atoms += 1;
+        }
+    }
+    if delta_atoms > 1 {
+        return Err(PlanError::MultipleDeltaAtoms {
+            context: format!("rule {}", rule.0),
+        });
+    }
+    let require_bound = |var: VarId, what: &str| -> Result<(), PlanError> {
+        check_var(var, what)?;
+        if !bound[var.index()] {
+            return Err(PlanError::UnboundVariable {
+                var,
+                context: format!("rule {}: {what}", rule.0),
+            });
+        }
+        Ok(())
+    };
+
+    // Negated atoms: fully bound probes of the Derived database.
+    for atom in &query.negated {
+        let arity = arity_of(arities, atom.rel, &|| {
+            format!("rule {}: negated atom", rule.0)
+        })?;
+        if atom.terms.len() != arity {
+            return Err(PlanError::ArityMismatch {
+                rel: atom.rel,
+                found: atom.terms.len(),
+                arity,
+                context: format!("rule {}: negated atom", rule.0),
+            });
+        }
+        if atom.db != DbKind::Derived {
+            return Err(PlanError::NegatedDelta {
+                rel: atom.rel,
+                context: format!("rule {}", rule.0),
+            });
+        }
+        for term in &atom.terms {
+            if let Term::Var(var) = term {
+                require_bound(*var, "negated atom")?;
+            }
+        }
+    }
+
+    // Comparison constraints: both operands bound (or constant).
+    for constraint in &query.constraints {
+        for var in constraint.variables() {
+            require_bound(var, "constraint")?;
+        }
+    }
+
+    // Head: arity agreement and bound sources.
+    let head_arity = arity_of(arities, query.head_rel, &|| {
+        format!("rule {}: head", rule.0)
+    })?;
+    if query.head_bindings.len() != head_arity {
+        return Err(PlanError::ArityMismatch {
+            rel: query.head_rel,
+            found: query.head_bindings.len(),
+            arity: head_arity,
+            context: format!("rule {}: head", rule.0),
+        });
+    }
+    for binding in &query.head_bindings {
+        if let HeadBinding::Var(var) = binding {
+            require_bound(*var, "head")?;
+        }
+    }
+    Ok(())
+}
+
+/// Context-free validation of a plan fragment against the relation schema;
+/// see the module docs.  This is the check the JIT applies to compiled
+/// subtree artifacts.
+pub fn verify_subtree(node: &IRNode, arities: &[usize]) -> Result<(), PlanError> {
+    let check_rels = |relations: &[RelId], what: &str| -> Result<(), PlanError> {
+        for &rel in relations {
+            arity_of(arities, rel, &|| what.to_string())?;
+        }
+        Ok(())
+    };
+    match &node.op {
+        IROp::Program { children }
+        | IROp::Sequence { children }
+        | IROp::UnionRule { children, .. } => {
+            for child in children {
+                verify_subtree(child, arities)?;
+            }
+            Ok(())
+        }
+        IROp::Stratum {
+            relations,
+            children,
+            ..
+        } => {
+            check_rels(relations, "stratum")?;
+            for child in children {
+                verify_subtree(child, arities)?;
+            }
+            Ok(())
+        }
+        IROp::UnionAllRules { rel, children } => {
+            arity_of(arities, *rel, &|| "union-all-rules".to_string())?;
+            for child in children {
+                verify_subtree(child, arities)?;
+            }
+            Ok(())
+        }
+        IROp::DoWhile { relations, body } => {
+            if relations.is_empty() {
+                return Err(PlanError::Structure(
+                    "do-while loops over an empty relation set".to_string(),
+                ));
+            }
+            check_rels(relations, "do-while")?;
+            // The loop must drain the deltas it tests: some SwapClear in
+            // the body has to cover every looped relation, otherwise the
+            // exit condition can never become false.
+            let mut covered = false;
+            body.visit(&mut |n| {
+                if let IROp::SwapClear { relations: cleared } = &n.op {
+                    if relations.iter().all(|r| cleared.contains(r)) {
+                        covered = true;
+                    }
+                }
+            });
+            if !covered {
+                return Err(PlanError::Structure(format!(
+                    "do-while over {relations:?} has no covering swap-clear in its body"
+                )));
+            }
+            verify_subtree(body, arities)
+        }
+        IROp::SwapClear { relations } => check_rels(relations, "swap-clear"),
+        IROp::Spj { query } => verify_query(query, arities),
+        IROp::Aggregate { spec } => {
+            let in_arity = arity_of(arities, spec.input, &|| "aggregate input".to_string())?;
+            let out_arity = arity_of(arities, spec.output, &|| "aggregate output".to_string())?;
+            if in_arity != out_arity {
+                return Err(PlanError::ArityMismatch {
+                    rel: spec.output,
+                    found: in_arity,
+                    arity: out_arity,
+                    context: "aggregate".to_string(),
+                });
+            }
+            for &(column, _) in &spec.aggs {
+                if column >= in_arity {
+                    return Err(PlanError::Structure(format!(
+                        "aggregate folds column {column} of {:?} with arity {in_arity}",
+                        spec.input
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validation of a whole generated plan against its source program; see
+/// the module docs.  Applied to optimizer output and to magic-rewritten
+/// plans (which are generated from the rewritten program and verified
+/// against it).
+pub fn verify_plan(plan: &IRNode, program: &Program) -> Result<(), PlanError> {
+    let arities: Vec<usize> = program.relations().iter().map(|d| d.arity).collect();
+    verify_subtree(plan, &arities)?;
+
+    let strata = program.stratification().strata();
+    // Stratum index of every IDB relation, for dependency checks.
+    let mut stratum_of: Vec<Option<usize>> = vec![None; program.relations().len()];
+    for (i, stratum) in strata.iter().enumerate() {
+        for rel in &stratum.relations {
+            stratum_of[rel.index()] = Some(i);
+        }
+    }
+
+    let IROp::Program { children } = &plan.op else {
+        return Err(PlanError::Structure(
+            "plan root is not a program node".to_string(),
+        ));
+    };
+    if children.len() != strata.len() {
+        return Err(PlanError::Structure(format!(
+            "plan has {} strata, stratification has {}",
+            children.len(),
+            strata.len()
+        )));
+    }
+    for (i, (child, stratum)) in children.iter().zip(strata).enumerate() {
+        let IROp::Stratum {
+            relations,
+            recursive,
+            ..
+        } = &child.op
+        else {
+            return Err(PlanError::Structure(format!(
+                "plan child {i} is not a stratum node"
+            )));
+        };
+        if *recursive != stratum.recursive {
+            return Err(PlanError::Structure(format!(
+                "stratum {i} recursion flag disagrees with the stratification"
+            )));
+        }
+        let mut expected: Vec<RelId> = stratum.relations.clone();
+        let mut found: Vec<RelId> = relations.clone();
+        expected.sort_unstable_by_key(|r| r.0);
+        found.sort_unstable_by_key(|r| r.0);
+        if expected != found {
+            return Err(PlanError::Structure(format!(
+                "stratum {i} computes {found:?}, stratification assigns {expected:?}"
+            )));
+        }
+        verify_stratum_body(child, i, stratum.recursive, false, program, &stratum_of)?;
+    }
+    Ok(())
+}
+
+/// Checks every query and aggregate below one stratum node against the
+/// stratification: reads only from completed strata (or the own stratum's
+/// deltas), negation strictly below, aggregate specs matching the program,
+/// lattice folds inside the loop and boundary folds outside.
+fn verify_stratum_body(
+    node: &IRNode,
+    stratum: usize,
+    recursive: bool,
+    in_loop: bool,
+    program: &Program,
+    stratum_of: &[Option<usize>],
+) -> Result<(), PlanError> {
+    match &node.op {
+        IROp::DoWhile { body, .. } => {
+            if !recursive {
+                return Err(PlanError::Structure(format!(
+                    "stratum {stratum} is not recursive but contains a do-while"
+                )));
+            }
+            verify_stratum_body(body, stratum, recursive, true, program, stratum_of)
+        }
+        IROp::Spj { query } => {
+            let place = |rel: RelId| stratum_of.get(rel.index()).copied().flatten();
+            if place(query.head_rel) != Some(stratum) {
+                return Err(PlanError::Structure(format!(
+                    "stratum {stratum} derives {:?}, which belongs to stratum {:?}",
+                    query.head_rel,
+                    place(query.head_rel)
+                )));
+            }
+            for atom in &query.atoms {
+                match atom.db {
+                    DbKind::Derived => {
+                        if let Some(home) = place(atom.rel) {
+                            if home > stratum {
+                                return Err(PlanError::Structure(format!(
+                                    "stratum {stratum} reads {:?} from later stratum {home}",
+                                    atom.rel
+                                )));
+                            }
+                        }
+                    }
+                    DbKind::DeltaKnown => {
+                        if place(atom.rel) != Some(stratum) {
+                            return Err(PlanError::Structure(format!(
+                                "stratum {stratum} reads deltas of {:?} from another stratum",
+                                atom.rel
+                            )));
+                        }
+                    }
+                    DbKind::DeltaNew => {
+                        return Err(PlanError::Structure(format!(
+                            "stratum {stratum} reads the delta-new database of {:?}",
+                            atom.rel
+                        )));
+                    }
+                }
+            }
+            for atom in &query.negated {
+                if let Some(home) = place(atom.rel) {
+                    if home >= stratum {
+                        return Err(PlanError::Structure(format!(
+                            "stratum {stratum} negates {:?} of stratum {home}, not strictly lower",
+                            atom.rel
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        IROp::Aggregate { spec } => {
+            let declared = program.aggregate_for(spec.output).ok_or_else(|| {
+                PlanError::Structure(format!(
+                    "plan aggregates into {:?}, which the program does not declare",
+                    spec.output
+                ))
+            })?;
+            if declared != spec {
+                return Err(PlanError::Structure(format!(
+                    "aggregate spec for {:?} drifted from the program's declaration",
+                    spec.output
+                )));
+            }
+            if spec.lattice != in_loop {
+                return Err(PlanError::Structure(format!(
+                    "{} aggregate for {:?} placed {} the fixpoint loop",
+                    if spec.lattice { "lattice" } else { "boundary" },
+                    spec.output,
+                    if in_loop { "inside" } else { "outside" }
+                )));
+            }
+            Ok(())
+        }
+        _ => {
+            for child in node.children() {
+                verify_stratum_body(child, stratum, recursive, in_loop, program, stratum_of)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{generate_plan, EvalStrategy};
+    use carac_datalog::parser::parse;
+
+    fn arities(program: &Program) -> Vec<usize> {
+        program.relations().iter().map(|d| d.arity).collect()
+    }
+
+    fn plan_of(source: &str) -> (IRNode, Program) {
+        let p = parse(source).unwrap();
+        let plan = generate_plan(&p, EvalStrategy::SemiNaive);
+        (plan, p)
+    }
+
+    #[test]
+    fn accepts_generated_plans() {
+        for source in [
+            "Path(x, y) :- Edge(x, y).\nPath(x, y) :- Edge(x, z), Path(z, y).\nEdge(1, 2).",
+            "Blocked(x, y) :- Edge(x, y), !Open(x, y).\nOpen(1, 1). Edge(1, 2).",
+            "Cost(x, y) :- Edge(x, y).\nBest(x, min y) :- Cost(x, y).\nEdge(1, 7).",
+            "Out(x) :- R(x, y), S(y, z), T(z, x), x < z.\nR(1, 2). S(2, 3). T(3, 1).",
+        ] {
+            let (plan, p) = plan_of(source);
+            verify_plan(&plan, &p).unwrap_or_else(|e| panic!("{source}: {e}"));
+            for strategy in [EvalStrategy::Naive, EvalStrategy::SemiNaive] {
+                let plan = generate_plan(&p, strategy);
+                verify_plan(&plan, &p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_arbitrary_join_orders() {
+        let (plan, p) = plan_of(
+            "Q(x, z) :- R(x, y), S(y, z), T(z, x).\n\
+             R(1, 2). S(2, 3). T(3, 1).",
+        );
+        let ar = arities(&p);
+        for (_, query) in plan.spj_queries() {
+            if query.width() == 3 {
+                for order in [[2, 1, 0], [1, 2, 0], [2, 0, 1]] {
+                    let reordered = query.with_order(&order);
+                    verify_query(&reordered, &ar).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_shuffled_strata() {
+        let (mut plan, p) = plan_of(
+            "Cost(x, y) :- Edge(x, y).\n\
+             Best(x, min y) :- Cost(x, y).\n\
+             Edge(1, 7).",
+        );
+        if let IROp::Program { children } = &mut plan.op {
+            assert!(children.len() >= 2, "aggregate forces multiple strata");
+            children.swap(0, 1);
+        }
+        assert!(matches!(
+            verify_plan(&plan, &p),
+            Err(PlanError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dropped_swap_clear() {
+        let (mut plan, p) = plan_of(
+            "Path(x, y) :- Edge(x, y).\nPath(x, y) :- Edge(x, z), Path(z, y).\nEdge(1, 2).",
+        );
+        plan.visit_mut(&mut |n| {
+            if let IROp::SwapClear { relations } = &mut n.op {
+                relations.clear();
+            }
+        });
+        assert!(matches!(
+            verify_plan(&plan, &p),
+            Err(PlanError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_head_and_negation_variables() {
+        let (plan, p) =
+            plan_of("Blocked(x, y) :- Edge(x, y), !Open(x, y).\nOpen(1, 1). Edge(1, 2).");
+        let ar = arities(&p);
+        for (_, query) in plan.spj_queries() {
+            if query.negated.is_empty() {
+                continue;
+            }
+            // Dropping the positive atom leaves the negation unbound.
+            let mut broken = query.clone();
+            broken.atoms.clear();
+            assert!(matches!(
+                verify_query(&broken, &ar),
+                Err(PlanError::UnboundVariable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_arity_and_frame_violations() {
+        let (plan, p) = plan_of("Path(x, y) :- Edge(x, y).\nEdge(1, 2).");
+        let ar = arities(&p);
+        for (_, query) in plan.spj_queries() {
+            let mut wide = query.clone();
+            wide.atoms[0].terms.push(Term::Var(VarId(0)));
+            assert!(matches!(
+                verify_query(&wide, &ar),
+                Err(PlanError::ArityMismatch { .. })
+            ));
+
+            let mut out_of_frame = query.clone();
+            out_of_frame.num_vars = 1;
+            assert!(matches!(
+                verify_query(&out_of_frame, &ar),
+                Err(PlanError::VariableOutOfFrame { .. })
+            ));
+
+            let mut ghost = query.clone();
+            ghost.head_rel = RelId(99);
+            assert!(matches!(
+                verify_query(&ghost, &ar),
+                Err(PlanError::UnknownRelation { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_negated_delta_probe() {
+        let (plan, p) =
+            plan_of("Blocked(x, y) :- Edge(x, y), !Open(x, y).\nOpen(1, 1). Edge(1, 2).");
+        let ar = arities(&p);
+        for (_, query) in plan.spj_queries() {
+            if query.negated.is_empty() {
+                continue;
+            }
+            let mut broken = query.clone();
+            broken.negated[0].db = DbKind::DeltaKnown;
+            assert!(matches!(
+                verify_query(&broken, &ar),
+                Err(PlanError::NegatedDelta { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_aggregate_drift() {
+        let (mut plan, p) = plan_of(
+            "Cost(x, y) :- Edge(x, y).\n\
+             Best(x, min y) :- Cost(x, y).\n\
+             Edge(1, 7).",
+        );
+        plan.visit_mut(&mut |n| {
+            if let IROp::Aggregate { spec } = &mut n.op {
+                spec.lattice = !spec.lattice;
+            }
+        });
+        assert!(matches!(
+            verify_plan(&plan, &p),
+            Err(PlanError::Structure(_))
+        ));
+    }
+}

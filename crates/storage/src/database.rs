@@ -218,10 +218,7 @@ impl StorageManager {
 
     /// The shard count configured for `rel` (1 when unsharded).
     pub fn shard_count(&self, rel: RelId) -> usize {
-        self.derived
-            .relation(rel)
-            .map(Relation::shard_count)
-            .unwrap_or(1)
+        self.derived.relation(rel).map_or(1, Relation::shard_count)
     }
 
     /// Read access to one of the three databases.
@@ -487,7 +484,7 @@ impl StorageManager {
                 .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
                 .map(|(_, row)| row.clone());
             match existing {
-                Some(old) if old == out_row => continue,
+                Some(old) if old == out_row => {}
                 Some(old) => {
                     self.retract_derived_row(output, &old)?;
                     changed += 1;

@@ -77,10 +77,7 @@ impl ColumnIndex {
     /// entries are keyed by the value itself, not a hash of it).
     #[inline]
     pub fn lookup(&self, value: Value) -> &[RowId] {
-        self.entries
-            .get(&value)
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+        self.entries.get(&value).map_or(&[], PostingList::as_slice)
     }
 
     /// Number of distinct values present in the indexed column.
@@ -218,10 +215,7 @@ impl CompositeIndex {
     /// Candidate row ids for a precomputed key hash.
     #[inline]
     pub fn lookup_hash(&self, hash: u64) -> &[RowId] {
-        self.entries
-            .get(&hash)
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+        self.entries.get(&hash).map_or(&[], PostingList::as_slice)
     }
 
     /// Number of distinct key hashes present (distinct value combinations,

@@ -239,8 +239,7 @@ impl Relation {
         self.indexes
             .iter()
             .find(|ix| ix.column() == column)
-            .map(ColumnIndex::distinct_values)
-            .unwrap_or(0)
+            .map_or(0, ColumnIndex::distinct_values)
     }
 
     /// `(column, distinct values)` for every single-column index, in index
@@ -339,7 +338,7 @@ impl Relation {
     /// Row ids belonging to shard `shard` (insertion order within the
     /// shard).  Empty for out-of-range shards or when sharding is disabled.
     pub fn shard_rows(&self, shard: usize) -> &[RowId] {
-        self.shards.get(shard).map(Vec::as_slice).unwrap_or(&[])
+        self.shards.get(shard).map_or(&[], Vec::as_slice)
     }
 
     fn rebuild_shards(&mut self) {

@@ -409,7 +409,7 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     let mut name = path
         .file_name()
-        .map(|n| n.to_os_string())
+        .map(std::ffi::OsStr::to_os_string)
         .unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)
@@ -815,8 +815,7 @@ mod tests {
                 match read_snapshot(&path) {
                     Err(_) => {}
                     Ok(parsed) => panic!(
-                        "bit {bit} of byte {byte} flipped silently: {:?} vs {:?}",
-                        parsed, baseline
+                        "bit {bit} of byte {byte} flipped silently: {parsed:?} vs {baseline:?}"
                     ),
                 }
             }

@@ -60,7 +60,7 @@ impl StatsSnapshot {
                 storage
                     .db(DbKind::Derived)
                     .relation(rel)
-                    .map(|r| r.indexed_distincts())
+                    .map(super::relation::Relation::indexed_distincts)
                     .unwrap_or_default(),
             );
             per_relation.push(RelationStats {
@@ -105,8 +105,7 @@ impl StatsSnapshot {
         self.derived_index_distinct
             .get(rel.index())
             .and_then(|cols| cols.iter().find(|&&(c, _)| c == column))
-            .map(|&(_, d)| d)
-            .unwrap_or(0)
+            .map_or(0, |&(_, d)| d)
     }
 
     /// Stats for one relation; zeroes if the relation is unknown.

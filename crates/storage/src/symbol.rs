@@ -56,8 +56,7 @@ impl SymbolTable {
             Some(name) => name.to_string(),
             None => value
                 .as_int()
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| format!("{value:?}")),
+                .map_or_else(|| format!("{value:?}"), |n| n.to_string()),
         }
     }
 

@@ -18,8 +18,10 @@ pub mod compile;
 pub mod instr;
 pub mod machine;
 pub mod program;
+pub mod verify;
 
 pub use compile::{compile_node, compile_query};
 pub use instr::{EmitSource, FilterSource, Instr, MarkKind, Marker, Pc, Reg, Slot};
 pub use machine::{AggregateTally, Machine, MarkEvent, RuleTally, VmError, VmStats};
 pub use program::VmProgram;
+pub use verify::{verify_program, VerifyError};

@@ -526,7 +526,7 @@ fn fill_matching_rows(
         // A single-column posting list or filtered scan is already exact.
         out.extend(probe.iter());
     } else {
-        for row in probe.iter() {
+        for row in &probe {
             let values = relation.row(row);
             if resolved
                 .iter()

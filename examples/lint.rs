@@ -14,7 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A transitive closure padded with every defect class the analyzer
     // detects: an unsatisfiable rule, a dead rule over a never-derivable
     // relation, a variable-renamed duplicate, a subsumed (strictly more
-    // specific) rule, and an unused relation.
+    // specific) rule, an unused relation, and an ordered comparison over
+    // a column the type inference proves to be a symbol.
     let program = parse(
         r#"
         Edge(1, 2). Edge(2, 3). Edge(3, 4).
@@ -37,6 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         % unused-relation: extensional facts no rule ever reads
         Color(1). Color(2).
+
+        % type-confused-comparison: the type inference proves `who` is a
+        % symbol, so ordering it compares arbitrary interned ids
+        Owner("alice", 2). Owner("bob", 3).
+        Early(who, y) :- Owner(who, x), Edge(x, y), who > 0.
         "#,
     )?;
 

@@ -100,7 +100,7 @@ fn check_well_formed(label: &str, events: &[TraceEvent]) -> BTreeMap<&'static st
                     last_begin_id
                 );
                 last_begin_id = event.id;
-                let parent = stack.last().map(|open| open.id).unwrap_or(0);
+                let parent = stack.last().map_or(0, |open| open.id);
                 assert_eq!(
                     event.parent, parent,
                     "{label}: span {} begins under parent {} but {} is open",
@@ -277,7 +277,7 @@ fn live_update_sessions_stay_well_formed_and_reconciled() {
             .relation_by_name("Edge")
             .expect("Edge exists");
         let mut batch = carac::UpdateBatch::new();
-        for &(a, b) in ops.iter() {
+        for &(a, b) in *ops {
             batch.insert(
                 rel,
                 Tuple::new(vec![
